@@ -1,0 +1,103 @@
+// Shared plumbing for the per-table / per-figure bench binaries.
+//
+// Every bench prints (a) the reproduced table/figure as ASCII, in the
+// paper's layout, with the paper's reference values where they are scalar,
+// and (b) optionally a CSV (--csv <path>) for external plotting.
+// EXPERIMENTS.md is generated from these outputs.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hswbench.h"
+#include "util/cli.h"
+#include "util/csv.h"
+
+namespace hswbench {
+
+struct BenchArgs {
+  std::string csv;        // empty = no CSV output
+  bool quick = false;     // trim sweep sizes for smoke runs
+  std::uint64_t seed = 1;
+};
+
+// Parses the standard bench flags; exits on --help / bad flags.
+inline BenchArgs parse_args(int argc, char** argv, const char* summary) {
+  BenchArgs args;
+  hsw::CommandLine cli(summary);
+  cli.add_string("csv", &args.csv, "write the series to this CSV file");
+  cli.add_bool("quick", &args.quick, "reduced sweep for smoke testing");
+  std::int64_t seed = 1;
+  cli.add_int("seed", &seed, "placement/chase RNG seed");
+  if (!cli.parse(argc, argv)) std::exit(0);
+  args.seed = static_cast<std::uint64_t>(seed);
+  return args;
+}
+
+// One named series over a shared size axis.
+struct Series {
+  std::string name;
+  std::vector<double> values;  // aligned with the size axis
+};
+
+inline void print_sized_series(const char* title,
+                               const std::vector<std::uint64_t>& sizes,
+                               const std::vector<Series>& series,
+                               const std::string& csv_path,
+                               const char* unit) {
+  std::printf("%s\n", title);
+  std::vector<std::string> header{"data set size"};
+  for (const Series& s : series) header.push_back(s.name);
+  hsw::Table table(header);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::vector<std::string> row{hsw::format_bytes(sizes[i])};
+    for (const Series& s : series) {
+      row.push_back(i < s.values.size() ? hsw::cell(s.values[i], 1)
+                                        : std::string{});
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s(values in %s)\n\n", table.to_string().c_str(), unit);
+
+  if (!csv_path.empty()) {
+    std::vector<std::string> csv_header{"bytes"};
+    for (const Series& s : series) csv_header.push_back(s.name);
+    hsw::CsvWriter csv(csv_path, csv_header);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      std::vector<std::string> row{std::to_string(sizes[i])};
+      for (const Series& s : series) {
+        row.push_back(i < s.values.size() ? hsw::cell(s.values[i], 3)
+                                          : std::string{});
+      }
+      csv.add_row(row);
+    }
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+}
+
+// Sweep axis used by the figure benches.
+inline std::vector<std::uint64_t> figure_sizes(const BenchArgs& args,
+                                               std::uint64_t max_bytes) {
+  if (args.quick) max_bytes = std::min<std::uint64_t>(max_bytes, hsw::mib(4));
+  return hsw::sweep_sizes(hsw::kib(16), max_bytes);
+}
+
+// Convenience: run one latency sweep and return its mean-latency series.
+inline Series latency_series(std::string name, hsw::LatencySweepConfig config) {
+  Series series;
+  series.name = std::move(name);
+  for (const hsw::LatencySweepPoint& p : hsw::latency_sweep(config)) {
+    series.values.push_back(p.result.mean_ns);
+  }
+  return series;
+}
+
+inline void print_paper_note(const char* note) {
+  std::printf("paper reference: %s\n\n", note);
+}
+
+}  // namespace hswbench

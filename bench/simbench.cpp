@@ -1,0 +1,90 @@
+// google-benchmark microbenchmarks of the simulator itself: throughput of
+// the hot paths (cache hits, protocol transactions, placement).  These keep
+// the engine fast enough for the full-figure sweeps.
+#include <benchmark/benchmark.h>
+
+#include "core/hswbench.h"
+
+namespace {
+
+void BM_L1Hit(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  const hsw::PhysAddr addr = sys.alloc_on_node(0, 64).base;
+  sys.write(0, addr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.read(0, addr).ns);
+  }
+}
+BENCHMARK(BM_L1Hit);
+
+void BM_L3Hit(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  const hsw::MemRegion region = sys.alloc_on_node(0, hsw::mib(1));
+  const auto order = hsw::chase_order(region, 1);
+  for (hsw::LineAddr line : order) sys.write(0, hsw::addr_of(line));
+  sys.evict_core_caches(0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.read(1, hsw::addr_of(order[i])).ns);
+    i = (i + 1) % order.size();
+  }
+}
+BENCHMARK(BM_L3Hit);
+
+void BM_MemoryRead(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  const hsw::MemRegion region = sys.alloc_on_node(0, hsw::mib(64));
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sys.read(0, region.addr_at((line * 64) % region.bytes)).ns);
+    line += 97;  // stride past the caches
+  }
+}
+BENCHMARK(BM_MemoryRead);
+
+void BM_CrossSocketTransfer(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  const hsw::PhysAddr addr = sys.alloc_on_node(0, 64).base;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.write(0, addr).ns);
+    benchmark::DoNotOptimize(sys.write(12, addr).ns);
+  }
+}
+BENCHMARK(BM_CrossSocketTransfer);
+
+void BM_CodSharedBroadcast(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::cluster_on_die());
+  const hsw::SystemTopology& topo = sys.topology();
+  const hsw::PhysAddr addr = sys.alloc_on_node(1, 64).base;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sys.write(topo.node(1).cores[1], addr);
+    sys.flush_line(addr);
+    sys.read(topo.node(1).cores[1], addr);
+    sys.read(topo.node(2).cores[1], addr);
+    sys.evict_core_caches(topo.node(1).cores[1]);
+    sys.evict_core_caches(topo.node(2).cores[1]);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sys.read(0, addr).ns);
+  }
+}
+BENCHMARK(BM_CodSharedBroadcast);
+
+void BM_Placement64KiB(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  for (auto _ : state) {
+    const hsw::MemRegion region = sys.alloc_on_node(0, hsw::kib(64));
+    hsw::Placement placement;
+    placement.owner_core = 0;
+    placement.memory_node = 0;
+    placement.state = hsw::Mesif::kExclusive;
+    hsw::place(sys, region, placement);
+    benchmark::DoNotOptimize(region.base);
+  }
+}
+BENCHMARK(BM_Placement64KiB);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table I: comparison of the Sandy Bridge and Haswell micro-architectures.
+#include <cstdio>
+#include <string>
+
+#include "common.h"
+#include "machine/specs.h"
+
+int main(int argc, char** argv) {
+  hswbench::parse_args(argc, argv, "Table I: Sandy Bridge vs Haswell");
+  const hsw::UarchSpec& snb = hsw::sandy_bridge_spec();
+  const hsw::UarchSpec& hsx = hsw::haswell_spec();
+
+  hsw::Table table({"micro-architecture", std::string(snb.name),
+                    std::string(hsx.name)});
+  auto row = [&](const char* label, auto snb_value, auto hsx_value) {
+    table.add_row({label, std::string(snb_value), std::string(hsx_value)});
+  };
+  auto num = [](auto v) { return std::to_string(v); };
+
+  row("decode", "4(+1) x86/cycle", "4(+1) x86/cycle");
+  row("allocation queue", num(snb.allocation_queue) + "/thread",
+      num(hsx.allocation_queue));
+  row("execute", num(snb.execute_uops_per_cycle) + " micro-ops/cycle",
+      num(hsx.execute_uops_per_cycle) + " micro-ops/cycle");
+  row("retire", num(snb.retire_uops_per_cycle) + " micro-ops/cycle",
+      num(hsx.retire_uops_per_cycle) + " micro-ops/cycle");
+  row("scheduler entries", num(snb.scheduler_entries), num(hsx.scheduler_entries));
+  row("ROB entries", num(snb.rob_entries), num(hsx.rob_entries));
+  row("INT/FP registers", num(snb.int_registers) + "/" + num(snb.fp_registers),
+      num(hsx.int_registers) + "/" + num(hsx.fp_registers));
+  row("SIMD ISA", snb.simd_isa, hsx.simd_isa);
+  row("FPU width", snb.fpu_width, hsx.fpu_width);
+  row("FLOPS/cycle", num(snb.flops_per_cycle_sp) + " single / " +
+      num(snb.flops_per_cycle_dp) + " double",
+      num(hsx.flops_per_cycle_sp) + " single / " +
+      num(hsx.flops_per_cycle_dp) + " double");
+  row("load/store buffers", num(snb.load_buffers) + "/" + num(snb.store_buffers),
+      num(hsx.load_buffers) + "/" + num(hsx.store_buffers));
+  row("L1D accesses/cycle",
+      "2x " + num(snb.l1_load_bytes_per_cycle) + " B load + 1x " +
+      num(snb.l1_store_bytes_per_cycle) + " B store",
+      "2x " + num(hsx.l1_load_bytes_per_cycle) + " B load + 1x " +
+      num(hsx.l1_store_bytes_per_cycle) + " B store");
+  row("L2 bytes/cycle", num(snb.l2_bytes_per_cycle), num(hsx.l2_bytes_per_cycle));
+  row("memory channels", snb.memory_channels, hsx.memory_channels);
+  row("QPI speed", hsw::cell(snb.qpi_speed_gts, 1) + " GT/s (" +
+      hsw::cell(snb.qpi_bw_gbps, 1) + " GB/s)",
+      hsw::cell(hsx.qpi_speed_gts, 1) + " GT/s (" +
+      hsw::cell(hsx.qpi_bw_gbps, 1) + " GB/s)");
+
+  std::printf("Table I: comparison of Sandy Bridge and Haswell\n%s",
+              table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table II: the simulated test system's configuration.
+#include <cstdio>
+#include <string>
+
+#include "common.h"
+#include "machine/specs.h"
+
+int main(int argc, char** argv) {
+  hswbench::parse_args(argc, argv, "Table II: test system configuration");
+  const hsw::TestSystemSpec& spec = hsw::test_system_spec();
+
+  hsw::Table table({"component", "configuration"});
+  table.set_align(1, hsw::Table::Align::kLeft);
+  table.add_row({"processors", std::string(spec.processor)});
+  table.add_row({"cores", std::to_string(spec.cores_per_socket) +
+                              " per socket, " + hsw::cell(spec.base_ghz, 1) +
+                              " GHz (AVX base " + hsw::cell(spec.avx_base_ghz, 1) +
+                              " GHz)"});
+  table.add_row({"L1", std::string(spec.l1)});
+  table.add_row({"L2", std::string(spec.l2)});
+  table.add_row({"L3", std::string(spec.l3)});
+  table.add_row({"memory", std::string(spec.memory)});
+  table.add_row({"QPI", std::string(spec.qpi)});
+  table.add_row({"BIOS modes", std::string(spec.bios_modes)});
+  std::printf("Table II: test system\n%s", table.to_string().c_str());
+
+  // Verify the constructed machine agrees with the spec sheet.
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  std::printf("\nconstructed machine: %s\n", sys.config().describe().c_str());
+  std::printf("cores: %d, NUMA nodes: %d, L3 per node: %s, DRAM per node: %s\n",
+              sys.core_count(), sys.node_count(),
+              hsw::format_bytes(sys.node_l3_bytes(0)).c_str(),
+              hsw::format_gbps(sys.node_dram_bandwidth_gbps(0)).c_str());
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Table III: latency summary across the three coherence configurations.
+//
+// Rows: L3 (state exclusive) and memory, local and remote; columns: default
+// (source snoop), Early Snoop disabled (home snoop), and the three COD core
+// groups (first node; second node cores on ring 0; second node cores on
+// ring 1) — the per-group differences come from the asymmetric-ring to
+// balanced-NUMA mapping.
+#include <cstdio>
+
+#include "common.h"
+
+namespace {
+
+double l3_latency(const hsw::SystemConfig& config, int reader, int owner,
+                  int node, std::uint64_t seed) {
+  hsw::System sys(config);
+  hsw::LatencyConfig lc;
+  lc.reader_core = reader;
+  lc.placement.owner_core = owner;
+  lc.placement.memory_node = node;
+  lc.placement.state = hsw::Mesif::kExclusive;
+  lc.placement.level = hsw::CacheLevel::kL3;
+  lc.buffer_bytes = hsw::kib(512);
+  lc.max_measured_lines = 2048;
+  lc.seed = seed;
+  return hsw::measure_latency(sys, lc).mean_ns;
+}
+
+double mem_latency(const hsw::SystemConfig& config, int reader, int node,
+                   std::uint64_t seed) {
+  hsw::System sys(config);
+  hsw::LatencyConfig lc;
+  lc.reader_core = reader;
+  lc.placement.owner_core = reader;
+  lc.placement.memory_node = node;
+  lc.placement.state = hsw::Mesif::kModified;
+  lc.placement.level = hsw::CacheLevel::kMemory;
+  lc.buffer_bytes = hsw::mib(4);
+  lc.max_measured_lines = 4096;
+  lc.seed = seed;
+  return hsw::measure_latency(sys, lc).mean_ns;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hswbench::BenchArgs args =
+      hswbench::parse_args(argc, argv, "Table III: latency summary");
+  const std::uint64_t seed = args.seed;
+
+  const hsw::SystemConfig source = hsw::SystemConfig::source_snoop();
+  const hsw::SystemConfig home = hsw::SystemConfig::home_snoop();
+  const hsw::SystemConfig cod = hsw::SystemConfig::cluster_on_die();
+  hsw::System probe(cod);
+  const hsw::SystemTopology& topo = probe.topology();
+
+  // COD reader per core group and the nodes it measures against.
+  struct Group {
+    const char* name;
+    int reader;
+    int local_node;
+  };
+  const Group groups[] = {
+      {"COD first node", 0, 0},
+      {"COD 2nd node ring0", 6, 1},
+      {"COD 2nd node ring1", 8, 1},
+  };
+
+  hsw::Table table({"", "source", "default", "Early Snoop off",
+                    "COD 1st node", "COD 2nd/ring0", "COD 2nd/ring1"});
+  auto fmt = [](double v) { return hsw::cell(v, 1); };
+
+  // --- L3 rows -------------------------------------------------------------
+  {
+    std::vector<std::string> row{"L3", "local"};
+    row.push_back(fmt(l3_latency(source, 0, 0, 0, seed)));
+    row.push_back(fmt(l3_latency(home, 0, 0, 0, seed)));
+    for (const Group& g : groups) {
+      row.push_back(fmt(l3_latency(cod, g.reader, g.reader, g.local_node, seed)));
+    }
+    table.add_row(std::move(row));
+  }
+  {
+    std::vector<std::string> row{"L3", "remote 1st node"};
+    row.push_back(fmt(l3_latency(source, 0, 12, 1, seed)));
+    row.push_back(fmt(l3_latency(home, 0, 12, 1, seed)));
+    for (const Group& g : groups) {
+      row.push_back(fmt(
+          l3_latency(cod, g.reader, topo.node(2).cores[0], 2, seed)));
+    }
+    table.add_row(std::move(row));
+  }
+  {
+    std::vector<std::string> row{"L3", "remote 2nd node", "", ""};
+    for (const Group& g : groups) {
+      row.push_back(fmt(
+          l3_latency(cod, g.reader, topo.node(3).cores[0], 3, seed)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.add_separator();
+
+  // --- memory rows -----------------------------------------------------------
+  {
+    std::vector<std::string> row{"memory", "local"};
+    row.push_back(fmt(mem_latency(source, 0, 0, seed)));
+    row.push_back(fmt(mem_latency(home, 0, 0, seed)));
+    for (const Group& g : groups) {
+      row.push_back(fmt(mem_latency(cod, g.reader, g.local_node, seed)));
+    }
+    table.add_row(std::move(row));
+  }
+  {
+    std::vector<std::string> row{"memory", "remote 1st node"};
+    row.push_back(fmt(mem_latency(source, 0, 1, seed)));
+    row.push_back(fmt(mem_latency(home, 0, 1, seed)));
+    for (const Group& g : groups) {
+      row.push_back(fmt(mem_latency(cod, g.reader, 2, seed)));
+    }
+    table.add_row(std::move(row));
+  }
+  {
+    std::vector<std::string> row{"memory", "remote 2nd node", "", ""};
+    for (const Group& g : groups) {
+      row.push_back(fmt(mem_latency(cod, g.reader, 3, seed)));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::printf("Table III: latency in nanoseconds (L3 values: state E)\n%s",
+              table.to_string().c_str());
+  hswbench::print_paper_note(
+      "L3 local 21.2 | 21.2 | 18.0 | 20.0 | 18.4;  L3 remote 104 | 115 | "
+      "104/113 | 108/118 | 111/120;  memory local 96.4 | 108 | 89.6 | 94.0 | "
+      "90.4;  memory remote 146 | 148 | 141/147 | 145/151 | 148/153");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table VII: memory read/write bandwidth scaling with the number of
+// concurrently accessing cores, source snoop vs home snoop.
+//
+// The headline result: remote read bandwidth nearly doubles with Early
+// Snoop disabled (16.8 -> 30.6 GB/s) because the QPI links stop carrying
+// the source-snoop broadcast traffic.
+#include <cstdio>
+
+#include "common.h"
+
+namespace {
+
+double scaling_point(const hsw::SystemConfig& config, int cores, int node,
+                     bool write, std::uint64_t seed) {
+  hsw::System sys(config);
+  hsw::BandwidthConfig bc;
+  for (int c = 0; c < cores; ++c) {
+    hsw::StreamConfig stream;
+    stream.core = c;
+    stream.write = write;
+    stream.placement.owner_core = c;
+    stream.placement.memory_node = node;
+    stream.placement.state = hsw::Mesif::kModified;
+    stream.placement.level = hsw::CacheLevel::kMemory;
+    bc.streams.push_back(stream);
+  }
+  bc.buffer_bytes = hsw::mib(2);
+  bc.seed = seed;
+  return hsw::measure_bandwidth(sys, bc).total_gbps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hswbench::BenchArgs args = hswbench::parse_args(
+      argc, argv, "Table VII: memory bandwidth scaling, source vs home snoop");
+
+  const int max_cores = args.quick ? 4 : 12;
+  std::vector<std::string> header{"source"};
+  for (int c = 1; c <= max_cores; ++c) header.push_back(std::to_string(c));
+  hsw::Table table(header);
+
+  struct Row {
+    const char* name;
+    hsw::SystemConfig config;
+    int node;
+    bool write;
+  };
+  const Row rows[] = {
+      {"local read (source snoop)", hsw::SystemConfig::source_snoop(), 0, false},
+      {"local read (home snoop)", hsw::SystemConfig::home_snoop(), 0, false},
+      {"local write", hsw::SystemConfig::source_snoop(), 0, true},
+      {"remote read (source snoop)", hsw::SystemConfig::source_snoop(), 1, false},
+      {"remote read (home snoop)", hsw::SystemConfig::home_snoop(), 1, false},
+  };
+  for (const Row& row : rows) {
+    std::vector<std::string> cells{row.name};
+    for (int c = 1; c <= max_cores; ++c) {
+      cells.push_back(hsw::cell(
+          scaling_point(row.config, c, row.node, row.write, args.seed), 1));
+    }
+    table.add_row(std::move(cells));
+  }
+
+  std::printf("Table VII: memory bandwidth (GB/s) vs concurrently accessing "
+              "cores\n%s",
+              table.to_string().c_str());
+  hswbench::print_paper_note(
+      "local read saturates at ~63 GB/s (both modes; home snoop slower for "
+      "<= 7 cores); write peaks at 26.5 GB/s (5 cores) and ends at 25.8; "
+      "remote read: 16.8 GB/s source snoop vs 30.6 GB/s home snoop");
+  return 0;
+}

@@ -1,0 +1,241 @@
+// hswsim_cli: general-purpose driver for ad-hoc experiments.
+//
+// Subcommands:
+//   latency    measure a placement-controlled latency
+//   bandwidth  measure a single- or multi-core bandwidth
+//   topo       print the machine topology and distance matrices
+//   trace      run a synthetic trace and print the per-source breakdown
+//
+// Examples:
+//   hswsim_cli latency --mode cod --reader 0 --owner 6 --state M --size 256KiB
+//   hswsim_cli bandwidth --mode home --cores 4 --node 1 --size 2MiB
+//   hswsim_cli topo --mode cod
+//   hswsim_cli trace --pattern hotset --cores 8
+#include <cstdio>
+#include <string>
+
+#include "core/hswbench.h"
+#include "util/cli.h"
+#include "workload/trace.h"
+
+namespace {
+
+hsw::SystemConfig config_for(const std::string& mode) {
+  if (mode == "source") return hsw::SystemConfig::source_snoop();
+  if (mode == "home") return hsw::SystemConfig::home_snoop();
+  if (mode == "cod") return hsw::SystemConfig::cluster_on_die();
+  std::fprintf(stderr, "unknown --mode '%s' (source|home|cod)\n", mode.c_str());
+  std::exit(1);
+}
+
+hsw::Mesif state_for(const std::string& state) {
+  if (state == "M") return hsw::Mesif::kModified;
+  if (state == "E") return hsw::Mesif::kExclusive;
+  if (state == "S") return hsw::Mesif::kShared;
+  std::fprintf(stderr, "unknown --state '%s' (M|E|S)\n", state.c_str());
+  std::exit(1);
+}
+
+int cmd_latency(int argc, char** argv) {
+  std::string mode = "source";
+  std::string state = "M";
+  std::string level = "auto";
+  std::int64_t reader = 0;
+  std::int64_t owner = 0;
+  std::int64_t sharer = -1;
+  std::int64_t node = -1;
+  std::uint64_t size = hsw::kib(64);
+  hsw::CommandLine cli("hswsim_cli latency: placement-controlled latency");
+  cli.add_string("mode", &mode, "source | home | cod");
+  cli.add_string("state", &state, "coherence state: M | E | S");
+  cli.add_string("level", &level, "auto | l3 | memory");
+  cli.add_int("reader", &reader, "measuring core");
+  cli.add_int("owner", &owner, "core that places the data");
+  cli.add_int("sharer", &sharer, "optional extra reader (takes Forward)");
+  cli.add_int("node", &node, "memory NUMA node (-1: owner's node)");
+  cli.add_bytes("size", &size, "data-set size");
+  if (!cli.parse(argc, argv)) return 1;
+
+  hsw::System system(config_for(mode));
+  hsw::LatencyConfig lc;
+  lc.reader_core = static_cast<int>(reader);
+  lc.placement.owner_core = static_cast<int>(owner);
+  lc.placement.memory_node =
+      node >= 0 ? static_cast<int>(node)
+                : system.topology().node_of_core(static_cast<int>(owner));
+  lc.placement.state = state_for(state);
+  if (sharer >= 0) lc.placement.sharers = {static_cast<int>(sharer)};
+  if (level == "l3") lc.placement.level = hsw::CacheLevel::kL3;
+  if (level == "memory") lc.placement.level = hsw::CacheLevel::kMemory;
+  lc.buffer_bytes = size;
+
+  const hsw::LatencyResult r = hsw::measure_latency(system, lc);
+  std::printf("machine : %s\n", system.config().describe().c_str());
+  std::printf("latency : %s (min %s, max %s over %llu loads)\n",
+              hsw::format_ns(r.mean_ns).c_str(),
+              hsw::format_ns(r.min_ns).c_str(),
+              hsw::format_ns(r.max_ns).c_str(),
+              static_cast<unsigned long long>(r.lines_measured));
+  std::printf("sources :");
+  for (std::size_t s = 0; s < r.source_counts.size(); ++s) {
+    if (r.source_counts[s] == 0) continue;
+    std::printf(" %s=%.1f%%",
+                hsw::to_string(static_cast<hsw::ServiceSource>(s)),
+                100.0 * r.source_fraction(static_cast<hsw::ServiceSource>(s)));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_bandwidth(int argc, char** argv) {
+  std::string mode = "source";
+  std::int64_t cores = 1;
+  std::int64_t node = 0;
+  std::uint64_t size = hsw::mib(2);
+  bool write = false;
+  hsw::CommandLine cli("hswsim_cli bandwidth: concurrent memory streams");
+  cli.add_string("mode", &mode, "source | home | cod");
+  cli.add_int("cores", &cores, "number of concurrently streaming cores (0..n-1)");
+  cli.add_int("node", &node, "memory NUMA node the streams target");
+  cli.add_bytes("size", &size, "buffer bytes per stream");
+  cli.add_bool("write", &write, "store streams instead of loads");
+  if (!cli.parse(argc, argv)) return 1;
+
+  hsw::System system(config_for(mode));
+  hsw::BandwidthConfig bc;
+  for (int c = 0; c < cores; ++c) {
+    hsw::StreamConfig stream;
+    stream.core = c;
+    stream.write = write;
+    stream.placement.owner_core = c;
+    stream.placement.memory_node = static_cast<int>(node);
+    stream.placement.state = hsw::Mesif::kModified;
+    stream.placement.level = hsw::CacheLevel::kMemory;
+    bc.streams.push_back(stream);
+  }
+  bc.buffer_bytes = size;
+  const hsw::BandwidthResult r = hsw::measure_bandwidth(system, bc);
+  std::printf("machine   : %s\n", system.config().describe().c_str());
+  std::printf("aggregate : %s\n", hsw::format_gbps(r.total_gbps).c_str());
+  for (std::size_t i = 0; i < r.streams.size(); ++i) {
+    std::printf("  core %-2zu : %s  (probe %s, %s%s)\n", i,
+                hsw::format_gbps(r.streams[i].gbps).c_str(),
+                hsw::format_ns(r.streams[i].probe_latency_ns).c_str(),
+                hsw::to_string(r.streams[i].source),
+                r.streams[i].stale_directory ? ", stale directory" : "");
+  }
+  return 0;
+}
+
+int cmd_topo(int argc, char** argv) {
+  std::string mode = "source";
+  hsw::CommandLine cli("hswsim_cli topo: topology and distances");
+  cli.add_string("mode", &mode, "source | home | cod");
+  if (!cli.parse(argc, argv)) return 1;
+
+  hsw::System system(config_for(mode));
+  const hsw::SystemTopology& topo = system.topology();
+  std::printf("%s\n\n", system.config().describe().c_str());
+  for (const hsw::NumaNode& n : topo.nodes()) {
+    std::printf("node %d (socket %d, cluster %d): cores", n.id, n.socket,
+                n.cluster);
+    for (int c : n.cores) std::printf(" %d", c);
+    std::printf(", L3 %s, DRAM %s\n",
+                hsw::format_bytes(system.node_l3_bytes(n.id)).c_str(),
+                hsw::format_gbps(system.node_dram_bandwidth_gbps(n.id)).c_str());
+  }
+  std::printf("\ninter-node hops:\n");
+  hsw::Table table({""});
+  std::vector<std::string> header{""};
+  for (int b = 0; b < topo.node_count(); ++b) {
+    header.push_back("node" + std::to_string(b));
+  }
+  hsw::Table hops(header);
+  for (int a = 0; a < topo.node_count(); ++a) {
+    std::vector<std::string> row{"node" + std::to_string(a)};
+    for (int b = 0; b < topo.node_count(); ++b) {
+      row.push_back(std::to_string(topo.internode_hops(a, b)));
+    }
+    hops.add_row(std::move(row));
+  }
+  std::printf("%s", hops.to_string().c_str());
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  std::string mode = "source";
+  std::string pattern = "hotset";
+  std::int64_t cores = 4;
+  std::int64_t accesses = 20000;
+  hsw::CommandLine cli("hswsim_cli trace: synthetic trace replay");
+  cli.add_string("mode", &mode, "source | home | cod");
+  cli.add_string("pattern", &pattern,
+                 "stream | chase | producer-consumer | hotset");
+  cli.add_int("cores", &cores, "participating cores");
+  cli.add_int("accesses", &accesses, "approximate trace length");
+  if (!cli.parse(argc, argv)) return 1;
+
+  hsw::System system(config_for(mode));
+  std::vector<int> core_list;
+  for (int c = 0; c < cores; ++c) core_list.push_back(c);
+
+  hsw::Trace trace;
+  if (pattern == "stream") {
+    trace = hsw::make_stream_trace(
+        system, core_list,
+        static_cast<std::uint64_t>(accesses / cores) * 64, 0.0, 1);
+  } else if (pattern == "chase") {
+    trace = hsw::make_chase_trace(system, core_list, hsw::mib(4),
+                                  static_cast<std::uint64_t>(accesses / cores),
+                                  1);
+  } else if (pattern == "producer-consumer") {
+    trace = hsw::make_producer_consumer_trace(
+        system, 0, system.core_count() / 2, hsw::kib(16),
+        static_cast<int>(accesses / 512), 1);
+  } else if (pattern == "hotset") {
+    trace = hsw::make_hotset_trace(system, core_list, 64,
+                                   static_cast<std::uint64_t>(accesses), 0.3, 1);
+  } else {
+    std::fprintf(stderr, "unknown --pattern '%s'\n", pattern.c_str());
+    return 1;
+  }
+
+  const hsw::ReplayStats stats = hsw::replay(system, trace);
+  std::printf("machine : %s\n", system.config().describe().c_str());
+  std::printf("events  : %llu, mean %s per access\n",
+              static_cast<unsigned long long>(stats.events),
+              hsw::format_ns(stats.mean_ns()).c_str());
+  std::printf("sources :");
+  for (std::size_t s = 0; s < stats.by_source.size(); ++s) {
+    if (stats.by_source[s] == 0) continue;
+    std::printf(" %s=%.1f%%",
+                hsw::to_string(static_cast<hsw::ServiceSource>(s)),
+                100.0 * stats.source_fraction(static_cast<hsw::ServiceSource>(s)));
+  }
+  std::printf("\ncounters:\n");
+  for (std::size_t i = 0; i < hsw::kCtrCount; ++i) {
+    if (stats.counters[i] == 0) continue;
+    std::printf("  %-45s %llu\n",
+                std::string(hsw::ctr_name(static_cast<hsw::Ctr>(i))).c_str(),
+                static_cast<unsigned long long>(stats.counters[i]));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: hswsim_cli <latency|bandwidth|topo|trace> [flags]\n"
+                 "run a subcommand with --help for its flags\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "latency") return cmd_latency(argc - 1, argv + 1);
+  if (command == "bandwidth") return cmd_bandwidth(argc - 1, argv + 1);
+  if (command == "topo") return cmd_topo(argc - 1, argv + 1);
+  if (command == "trace") return cmd_trace(argc - 1, argv + 1);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 1;
+}

@@ -1,0 +1,148 @@
+#include "bw/model.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "bw/solver.h"
+
+namespace hsw::bw {
+
+BandwidthModel::BandwidthModel(const System& system, const BwParams& params)
+    : system_(system), params_(params), nodes_(system.node_count()) {
+  const bool cod = system_.topology().cod();
+  capacities_.assign(static_cast<std::size_t>(2 * nodes_ + 2 + 2), 0.0);
+  for (int n = 0; n < nodes_; ++n) {
+    const NumaNode& node = system_.topology().node(n);
+    capacities_[static_cast<std::size_t>(res_l3_ring(n))] =
+        params_.l3_slice_gbps * static_cast<double>(node.local_slices.size());
+    const double channels = static_cast<double>(node.imcs.size()) *
+                            system_.config().geometry.channels_per_imc;
+    const double eff = cod ? params_.dram_efficiency_cod : params_.dram_efficiency;
+    capacities_[static_cast<std::size_t>(res_dram(n))] = channels * 17.064 * eff;
+  }
+  for (int s = 0; s < 2; ++s) {
+    capacities_[static_cast<std::size_t>(res_qpi(s))] = params_.qpi_raw_gbps;
+    capacities_[static_cast<std::size_t>(res_bridge(s))] = params_.bridge_gbps;
+  }
+}
+
+double BandwidthModel::qpi_weight(const StreamSpec& spec) const {
+  double weight = 0.0;
+  switch (system_.config().snoop_mode) {
+    case SnoopMode::kSourceSnoop:
+      weight = params_.qpi_weight_source_snoop;
+      break;
+    case SnoopMode::kHomeSnoop:
+      weight = params_.qpi_weight_home_snoop;
+      break;
+    case SnoopMode::kCod:
+      weight = spec.stale_directory ? params_.qpi_weight_directory_stale
+                                    : params_.qpi_weight_directory_clean;
+      break;
+  }
+  const int req_node = system_.topology().node_of_core(spec.core);
+  const int hops = system_.topology().internode_hops(req_node, spec.source_node);
+  if (hops > 1) {
+    weight += params_.qpi_weight_per_extra_hop * static_cast<double>(hops - 1);
+  }
+  return weight;
+}
+
+double BandwidthModel::demand(const StreamSpec& spec) const {
+  const double write_scale = spec.write ? params_.l1l2_write_fraction : 1.0;
+  switch (spec.source) {
+    case ServiceSource::kL1:
+      return write_scale * (spec.width == LoadWidth::kAvx256
+                                ? params_.l1_read_avx
+                                : params_.l1_read_sse);
+    case ServiceSource::kL2:
+      return write_scale * (spec.width == LoadWidth::kAvx256
+                                ? params_.l2_read_avx
+                                : params_.l2_read_sse);
+    case ServiceSource::kL3:
+    case ServiceSource::kCoreFwd: {
+      if (spec.write) return params_.l3_write_per_core;
+      const double mlp = params_.l3_concurrency * 64.0 / spec.latency_ns;
+      return std::min(mlp, params_.l3_per_core_cap);
+    }
+    case ServiceSource::kRemoteFwd: {
+      const double conc = params_.remote_cache_conc_base +
+                          params_.remote_cache_conc_slope * spec.latency_ns;
+      return conc * 64.0 / spec.latency_ns;
+    }
+    case ServiceSource::kLocalDram:
+    case ServiceSource::kRemoteDram: {
+      if (spec.write) return params_.dram_write_per_core;
+      const int req_node = system_.topology().node_of_core(spec.core);
+      const bool remote = req_node != spec.home_node;
+      const double conc = remote ? params_.mem_concurrency_remote
+                                 : params_.mem_concurrency_local;
+      const double occupancy =
+          std::max(spec.latency_ns - params_.mem_return_overhead, 10.0);
+      return conc * 64.0 / occupancy;
+    }
+  }
+  return 0.0;
+}
+
+Flow BandwidthModel::flow_for(const StreamSpec& spec) const {
+  Flow flow;
+  flow.demand = demand(spec);
+
+  const SystemTopology& topo = system_.topology();
+  const int req_node = topo.node_of_core(spec.core);
+  const NumaNode& requester = topo.node(req_node);
+
+  // Core-private levels use no shared resources.
+  if (spec.source == ServiceSource::kL1 || spec.source == ServiceSource::kL2) {
+    return flow;
+  }
+
+  // Every CA transaction rides the requester node's ring.
+  const double ring_weight =
+      spec.write ? params_.l3_write_amplification : 1.0;
+  flow.uses.push_back({res_l3_ring(req_node), ring_weight});
+
+  const bool from_dram = spec.source == ServiceSource::kLocalDram ||
+                         spec.source == ServiceSource::kRemoteDram;
+  if (from_dram) {
+    const double dram_weight =
+        spec.write ? params_.dram_write_amplification : 1.0;
+    flow.uses.push_back({res_dram(spec.home_node), dram_weight});
+  } else if (spec.source == ServiceSource::kRemoteFwd) {
+    // The forwarding node's ring carries the data out of its L3.
+    flow.uses.push_back({res_l3_ring(spec.source_node), 1.0});
+  }
+
+  // Transport: QPI when crossing sockets, inter-ring bridges for each
+  // on-chip cluster crossing.
+  const int data_node = from_dram ? spec.home_node : spec.source_node;
+  if (data_node != req_node) {
+    const NumaNode& source = topo.node(data_node);
+    if (source.socket != requester.socket) {
+      flow.uses.push_back({res_qpi(requester.socket), qpi_weight(spec)});
+      if (source.cluster == 1) flow.uses.push_back({res_bridge(source.socket), 1.0});
+      if (requester.cluster == 1) {
+        flow.uses.push_back({res_bridge(requester.socket), 1.0});
+      }
+    } else {
+      flow.uses.push_back({res_bridge(requester.socket), 1.0});
+    }
+  }
+  return flow;
+}
+
+double BandwidthModel::single_stream(const StreamSpec& spec) const {
+  std::vector<StreamSpec> one{spec};
+  return concurrent(one).front();
+}
+
+std::vector<double> BandwidthModel::concurrent(
+    std::span<const StreamSpec> specs) const {
+  std::vector<Flow> flows;
+  flows.reserve(specs.size());
+  for (const StreamSpec& spec : specs) flows.push_back(flow_for(spec));
+  return max_min_rates(flows, capacities_);
+}
+
+}  // namespace hsw::bw

@@ -1,0 +1,118 @@
+// Bandwidth model: single-stream rates + shared-resource contention.
+//
+// A stream's standalone rate is limited by the core's memory-level
+// parallelism: roughly (outstanding lines x 64 B) / effective latency, capped
+// by the data-path width for cache-resident sets.  The effective latency
+// comes from the coherence engine, so protocol-mode changes (home snoop's
+// higher local-memory latency, COD's lower one) propagate into bandwidth
+// exactly as the paper observes.
+//
+// Concurrent streams then share ring, QPI, bridge, and DRAM resources under
+// max-min fairness (solver.h).  Protocol overhead is modelled as *weight*:
+// e.g. a source-snoop remote read moves ~2.3 bytes across QPI per payload
+// byte (snoop broadcasts + responses), which is why the paper measures only
+// 16.8 GB/s of the 38.4 GB/s link in the default mode but 30.6 GB/s with
+// Early Snoop disabled.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bw/solver.h"
+#include "coh/engine.h"
+#include "machine/system.h"
+
+namespace hsw::bw {
+
+enum class LoadWidth { kSse128, kAvx256 };
+
+// Calibration constants of the bandwidth model (paper Figs. 8/9, Tables
+// VI-VIII; see DESIGN.md §6).
+struct BwParams {
+  // Core data-path limits (GB/s) including pipeline efficiency.
+  double l1_read_avx = 127.2;
+  double l1_read_sse = 77.1;
+  double l2_read_avx = 69.1;
+  double l2_read_sse = 48.2;
+  double l1l2_write_fraction = 0.55;  // store-port width is half the load width
+
+  // Outstanding-line counts (memory-level parallelism).
+  double l3_concurrency = 8.7;        // L1-miss fill buffers reaching L3
+  // Remote cache-to-cache streams: the prefetcher ramps deeper the longer
+  // the latency, so the effective outstanding-line count grows with it:
+  // conc = base + slope * latency_ns (12.6 lines at 86 ns, 14.3 at 104 ns).
+  double remote_cache_conc_base = 4.2;
+  double remote_cache_conc_slope = 0.097;  // lines per ns
+  double mem_concurrency_local = 10.45;
+  double mem_concurrency_remote = 14.0;  // deeper prefetch across nodes
+  // Part of the load-to-use latency that does not occupy the request
+  // tracker (return/completion tail): memory streams are limited by tracker
+  // occupancy, not full latency.
+  double mem_return_overhead = 36.0;
+  double l3_per_core_cap = 29.5;      // uncore request-token rate per core
+  double l3_write_per_core = 15.0;
+  double dram_write_per_core = 7.7;
+
+  // Shared resources.
+  double l3_slice_gbps = 24.3;        // ring stop bandwidth per slice
+  double l3_write_amplification = 1.75;  // RFO + writeback on the ring
+  double dram_efficiency = 0.92;      // scheduling losses on 4 channels
+  double dram_efficiency_cod = 0.95;  // 2-channel node schedules better
+  double dram_write_amplification = 2.42;
+  double qpi_raw_gbps = 38.4;         // per direction (both links)
+  double bridge_gbps = 18.8;          // inter-ring queue, cross-node traffic
+
+  // QPI protocol weight = bytes moved per payload byte.
+  double qpi_weight_source_snoop = 2.29;  // broadcasts + responses
+  double qpi_weight_home_snoop = 1.25;
+  double qpi_weight_directory_clean = 1.25;
+  double qpi_weight_directory_stale = 2.45;  // stale-dir broadcast per line
+  double qpi_weight_per_extra_hop = 0.15;
+};
+
+// One core's stream, classified by where its data is serviced.
+struct StreamSpec {
+  int core = 0;
+  bool write = false;
+  LoadWidth width = LoadWidth::kAvx256;
+  ServiceSource source = ServiceSource::kL1;
+  int source_node = 0;      // node that supplies the data
+  int home_node = 0;        // home node of the buffer
+  double latency_ns = 1.6;  // measured per-line latency of this stream
+  // COD only: the stream's lines have snoop-all directory state although no
+  // cache holds them (silent evictions) — every re-read broadcasts.
+  bool stale_directory = false;
+};
+
+class BandwidthModel {
+ public:
+  explicit BandwidthModel(const System& system, const BwParams& params = {});
+
+  // Standalone rate of one stream (GB/s).
+  [[nodiscard]] double single_stream(const StreamSpec& spec) const;
+  // Max-min fair rates of concurrent streams (GB/s each).
+  [[nodiscard]] std::vector<double> concurrent(
+      std::span<const StreamSpec> specs) const;
+
+  [[nodiscard]] const BwParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] double demand(const StreamSpec& spec) const;
+  [[nodiscard]] Flow flow_for(const StreamSpec& spec) const;
+
+  // Resource indices.
+  [[nodiscard]] int res_l3_ring(int node) const { return node; }
+  [[nodiscard]] int res_dram(int node) const { return nodes_ + node; }
+  [[nodiscard]] int res_qpi(int to_socket) const { return 2 * nodes_ + to_socket; }
+  [[nodiscard]] int res_bridge(int socket) const {
+    return 2 * nodes_ + 2 + socket;
+  }
+  [[nodiscard]] double qpi_weight(const StreamSpec& spec) const;
+
+  const System& system_;
+  BwParams params_;
+  int nodes_;
+  std::vector<double> capacities_;
+};
+
+}  // namespace hsw::bw

@@ -1,0 +1,57 @@
+// Event-driven queueing cross-check for the analytic bandwidth model.
+//
+// The max-min solver (solver.h) is a fluid approximation.  This module
+// simulates the same flows discretely: every core keeps `mlp` requests in
+// flight; each request visits the resources on its path in order, where a
+// resource is a FIFO server with a deterministic per-line service time
+// (64 B / capacity), then pays the flow's base latency and retires, letting
+// the core issue the next request.  Throughput measured over a window gives
+// an independent estimate of each flow's bandwidth — tests assert the two
+// models agree, and the validate_bw_model bench prints the comparison.
+//
+// This is intentionally a different formalism from the solver: agreement is
+// evidence the fluid model didn't bake in its own conclusion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace hsw::bw {
+
+struct QueueFlow {
+  // Outstanding requests the issuing core sustains.
+  double mlp = 8.0;
+  // Unloaded round-trip latency excluding the resource service times (ns).
+  double base_latency_ns = 80.0;
+  // Resource indices visited, in order.  `weight` multiplies the service
+  // time (protocol overhead bytes per payload byte).
+  struct Visit {
+    int resource = 0;
+    double weight = 1.0;
+  };
+  std::vector<Visit> visits;
+};
+
+struct QueueingResult {
+  std::vector<double> gbps;      // per flow
+  double simulated_ns = 0.0;
+  std::uint64_t lines_retired = 0;
+};
+
+class QueueingSimulator {
+ public:
+  // `capacities_gbps[i]` is resource i's line rate; its deterministic
+  // service time per 64-B line is 64 / capacity ns.
+  explicit QueueingSimulator(std::vector<double> capacities_gbps);
+
+  // Runs until `window_ns` of simulated time passed (after a warmup of
+  // window/4) and reports the per-flow throughput.
+  QueueingResult run(const std::vector<QueueFlow>& flows, double window_ns);
+
+ private:
+  std::vector<double> service_ns_;
+};
+
+}  // namespace hsw::bw

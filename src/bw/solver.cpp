@@ -1,0 +1,72 @@
+#include "bw/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace hsw::bw {
+
+std::vector<double> max_min_rates(const std::vector<Flow>& flows,
+                                  const std::vector<double>& capacities) {
+  const std::size_t n = flows.size();
+  std::vector<double> rate(n, 0.0);
+  std::vector<bool> frozen(n, false);
+  std::vector<double> remaining = capacities;
+
+  // All unfrozen flows grow at the same additional rate `delta` per round.
+  for (std::size_t round = 0; round < n + capacities.size() + 1; ++round) {
+    // Smallest step until some unfrozen flow reaches its demand.
+    double delta = std::numeric_limits<double>::infinity();
+    bool any_unfrozen = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (frozen[f]) continue;
+      any_unfrozen = true;
+      delta = std::min(delta, flows[f].demand - rate[f]);
+    }
+    if (!any_unfrozen) break;
+
+    // Smallest step until some resource saturates.  A resource constrains
+    // the uniform growth by remaining / (sum of weights of unfrozen flows).
+    std::vector<double> unfrozen_weight(capacities.size(), 0.0);
+    for (std::size_t f = 0; f < n; ++f) {
+      if (frozen[f]) continue;
+      for (const Flow::Use& use : flows[f].uses) {
+        unfrozen_weight[static_cast<std::size_t>(use.resource)] += use.weight;
+      }
+    }
+    for (std::size_t r = 0; r < capacities.size(); ++r) {
+      if (unfrozen_weight[r] > 0.0) {
+        delta = std::min(delta, remaining[r] / unfrozen_weight[r]);
+      }
+    }
+    if (delta < 0.0) delta = 0.0;
+
+    // Apply the step.
+    for (std::size_t f = 0; f < n; ++f) {
+      if (frozen[f]) continue;
+      rate[f] += delta;
+      for (const Flow::Use& use : flows[f].uses) {
+        remaining[static_cast<std::size_t>(use.resource)] -= delta * use.weight;
+      }
+    }
+
+    // Freeze flows that met their demand or sit on a saturated resource.
+    constexpr double kEps = 1e-9;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (frozen[f]) continue;
+      if (rate[f] + kEps >= flows[f].demand) {
+        frozen[f] = true;
+        continue;
+      }
+      for (const Flow::Use& use : flows[f].uses) {
+        if (remaining[static_cast<std::size_t>(use.resource)] <= kEps) {
+          frozen[f] = true;
+          break;
+        }
+      }
+    }
+  }
+  return rate;
+}
+
+}  // namespace hsw::bw

@@ -1,0 +1,38 @@
+// Max-min fair bandwidth allocation (progressive filling / water-filling).
+//
+// Concurrent memory streams share ring segments, QPI links, and DRAM
+// channels.  Measured aggregate bandwidths on real hardware are well
+// approximated by max-min fairness: every flow's rate rises uniformly until
+// either its own demand (concurrency limit) or some shared resource
+// saturates, at which point the flows through that resource are frozen and
+// the rest keep growing.  This reproduces the saturating shapes of the
+// paper's Tables VII/VIII (e.g. local reads: 10.6 -> 63 GB/s, flat beyond
+// six cores).
+#pragma once
+
+#include <vector>
+
+namespace hsw::bw {
+
+struct Flow {
+  // Maximum rate this flow could sustain alone (GB/s): the MLP-limited
+  // single-stream rate.
+  double demand = 0.0;
+  // Indices into the capacity vector of every resource on the flow's path.
+  // `weight` scales the flow's consumption of that resource (e.g. a write
+  // stream consumes DRAM capacity at ~2.4x its application rate because of
+  // RFO reads plus writebacks).
+  struct Use {
+    int resource = 0;
+    double weight = 1.0;
+  };
+  std::vector<Use> uses;
+};
+
+// Returns the max-min fair rate (GB/s) of each flow given per-resource
+// capacities (GB/s).  Flows with zero demand get zero.  Runs in
+// O(iterations * flows * uses); iterations <= flows + resources.
+std::vector<double> max_min_rates(const std::vector<Flow>& flows,
+                                  const std::vector<double>& capacities);
+
+}  // namespace hsw::bw

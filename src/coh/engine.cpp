@@ -1,0 +1,808 @@
+#include "coh/engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <vector>
+
+#include "coh/slice_hash.h"
+#include "mem/address.h"
+
+namespace hsw {
+
+namespace {
+constexpr std::uint32_t bit_of(int socket_local_core) {
+  return 1u << static_cast<unsigned>(socket_local_core);
+}
+}  // namespace
+
+const char* to_string(ServiceSource source) {
+  switch (source) {
+    case ServiceSource::kL1: return "L1";
+    case ServiceSource::kL2: return "L2";
+    case ServiceSource::kL3: return "L3";
+    case ServiceSource::kCoreFwd: return "core-forward";
+    case ServiceSource::kRemoteFwd: return "remote-forward";
+    case ServiceSource::kLocalDram: return "local DRAM";
+    case ServiceSource::kRemoteDram: return "remote DRAM";
+  }
+  return "?";
+}
+
+// --- timing helpers ----------------------------------------------------------
+
+double CoherenceEngine::l3_path(int core) const {
+  return m_.timing.l3_base +
+         2.0 * m_.core_to_ca_hops(core) * m_.timing.ring_hop;
+}
+
+double CoherenceEngine::link_ns(int node_a, int node_b) const {
+  if (node_a == node_b) return 0.0;
+  const NumaNode& a = m_.topo.node(node_a);
+  const NumaNode& b = m_.topo.node(node_b);
+  if (a.socket == b.socket) return m_.timing.cluster_oneway;
+  double ns = m_.timing.qpi_oneway;
+  if (a.cluster == 1) ns += m_.timing.cluster_oneway;
+  if (b.cluster == 1) ns += m_.timing.cluster_oneway;
+  return ns;
+}
+
+double CoherenceEngine::ca_to_ha(int node) const {
+  return m_.ca_to_imc_hops(node) * m_.timing.ring_hop;
+}
+
+double CoherenceEngine::request_to_ha(int req_node, int home_node) const {
+  if (req_node == home_node) return ca_to_ha(home_node);
+  if (!m_.topo.crosses_qpi(req_node, home_node)) {
+    // Same die: the bridge crossing is in link_ns(); ride the peer ring to
+    // the home agent.
+    return link_ns(req_node, home_node) + ca_to_ha(home_node);
+  }
+  return link_ns(req_node, home_node) +
+         m_.topo.mean_qpi_to_imc_hops(home_node) * m_.timing.ring_hop;
+}
+
+// --- DRAM --------------------------------------------------------------------
+
+double CoherenceEngine::dram_read(MachineState::HomeRef& home) {
+  m_.counters.bump(Ctr::kDramReads);
+  auto& channel = home.ha->channels[static_cast<std::size_t>(home.channel)];
+  switch (channel.access(home.channel_line)) {
+    case RowBufferOutcome::kHit:
+      m_.counters.bump(Ctr::kDramPageHit);
+      return m_.timing.dram_page_hit;
+    case RowBufferOutcome::kEmpty:
+      m_.counters.bump(Ctr::kDramPageMiss);
+      return m_.timing.dram_page_empty;
+    case RowBufferOutcome::kConflict:
+      m_.counters.bump(Ctr::kDramPageMiss);
+      return m_.timing.dram_page_conflict;
+  }
+  return m_.timing.dram_page_conflict;
+}
+
+void CoherenceEngine::dram_write(MachineState::HomeRef& home) {
+  m_.counters.bump(Ctr::kDramWrites);
+  auto& channel = home.ha->channels[static_cast<std::size_t>(home.channel)];
+  (void)channel.access(home.channel_line);
+}
+
+void CoherenceEngine::writeback(LineAddr line, bool clears_directory) {
+  auto home = m_.home_of(line);
+  dram_write(home);
+  m_.counters.bump(Ctr::kL3WritebacksToMem);
+  if (directory_on() && clears_directory) {
+    if (home.ha->directory.set(line, DirState::kRemoteInvalid)) {
+      m_.counters.bump(Ctr::kDirectoryUpdates);
+    }
+  }
+}
+
+// --- core snoops ---------------------------------------------------------------
+
+CoherenceEngine::CoreSnoop CoherenceEngine::snoop_core(int global_core,
+                                                       LineAddr line,
+                                                       Mesif demote_to) {
+  m_.counters.bump(Ctr::kCoreSnoops);
+  CoreCaches& cc = m_.cores[static_cast<std::size_t>(global_core)];
+  CoreSnoop result;
+  // Both levels must be demoted: a store fill leaves the line in L1 *and*
+  // L2, and a snoop that only downgraded one of them would leave a stale
+  // Modified copy behind.
+  auto handle = [&](CacheArray& cache, double data_ns) {
+    CacheEntry* entry = cache.lookup(line, /*touch=*/false);
+    if (!entry) return false;
+    if (entry->state == Mesif::kModified && !result.dirty) {
+      result.dirty = true;
+      result.data_ns = data_ns;
+    }
+    if (demote_to == Mesif::kInvalid) {
+      cache.erase(line);
+    } else {
+      entry->state = demote_to;
+    }
+    return true;
+  };
+  handle(cc.l1, m_.timing.core_data_l1);
+  handle(cc.l2, m_.timing.core_data_l2);
+  return result;  // not found anywhere: silently evicted, clean, no data
+}
+
+bool CoherenceEngine::invalidate_core(int global_core, LineAddr line) {
+  CoreCaches& cc = m_.cores[static_cast<std::size_t>(global_core)];
+  bool dirty = false;
+  if (auto prior = cc.l1.erase(line)) dirty |= is_dirty(prior->state);
+  if (auto prior = cc.l2.erase(line)) dirty |= is_dirty(prior->state);
+  return dirty;
+}
+
+// --- peer CA snoops ------------------------------------------------------------
+
+CoherenceEngine::PeerSnoop CoherenceEngine::snoop_peer_read(int peer_node,
+                                                            LineAddr line) {
+  m_.counters.bump(Ctr::kSnoopsSent);
+  const NumaNode& node = m_.topo.node(peer_node);
+  const int slice = m_.slice_for(peer_node, line);
+  CacheArray& l3 = m_.l3_slice(node.socket, slice);
+
+  PeerSnoop result;
+  result.handling_ns = m_.timing.snoop_ca_lookup;
+  CacheEntry* entry = l3.lookup(line, /*touch=*/false);
+  if (!entry) return result;
+
+  switch (entry->state) {
+    case Mesif::kShared:
+      result.had_shared = true;
+      return result;
+    case Mesif::kForward:
+      entry->state = Mesif::kShared;
+      result.forwarded = true;
+      return result;
+    case Mesif::kExclusive:
+    case Mesif::kModified: {
+      const std::uint32_t cv = entry->core_valid;
+      const bool multi = std::popcount(cv) > 1;
+      if (m_.features.core_valid_bits && cv != 0 && !multi) {
+        // Exactly one core may hold a newer copy: chase the core-valid bit.
+        const int owner_local = std::countr_zero(cv);
+        const int owner = m_.topo.global_core(node.socket, owner_local);
+        result.handling_ns += m_.timing.core_snoop_external;
+        CoreSnoop cs = snoop_core(owner, line, Mesif::kShared);
+        if (cs.dirty) {
+          result.handling_ns += cs.data_ns;
+          entry->state = Mesif::kModified;  // refreshed with the dirty data
+        }
+      }
+      // The peer's copy was possibly dirty; forwarding a Modified line
+      // writes it back to the home memory and demotes the copy to Shared.
+      if (entry->state == Mesif::kModified) {
+        writeback(line, /*clears_directory=*/false);
+      }
+      entry->state = Mesif::kShared;
+      result.forwarded = true;
+      return result;
+    }
+    case Mesif::kInvalid:
+      break;
+  }
+  return result;
+}
+
+double CoherenceEngine::snoop_peer_invalidate(int peer_node, LineAddr line) {
+  m_.counters.bump(Ctr::kSnoopsSent);
+  const NumaNode& node = m_.topo.node(peer_node);
+  const int slice = m_.slice_for(peer_node, line);
+  CacheArray& l3 = m_.l3_slice(node.socket, slice);
+
+  double handling = m_.timing.snoop_ca_lookup;
+  CacheEntry* entry = l3.lookup(line, /*touch=*/false);
+  if (!entry) return handling;
+
+  std::uint32_t cv = entry->core_valid;
+  bool dirty = entry->state == Mesif::kModified;
+  while (cv != 0) {
+    const int owner_local = std::countr_zero(cv);
+    cv &= cv - 1;
+    dirty |= invalidate_core(m_.topo.global_core(node.socket, owner_local), line);
+  }
+  if (entry->core_valid != 0) handling += m_.timing.core_snoop_external;
+  if (dirty) {
+    // The dirty data migrates to the requester (M transfer); account the
+    // extraction cost but leave memory untouched.
+    handling += m_.timing.core_data_l2;
+  }
+  l3.erase(line);
+  return handling;
+}
+
+// --- victim / fill plumbing -----------------------------------------------------
+
+void CoherenceEngine::handle_l1_victim(int core, const CacheEntry& victim) {
+  CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
+  if (CacheEntry* in_l2 = cc.l2.lookup(victim.line, /*touch=*/false)) {
+    if (is_dirty(victim.state)) in_l2->state = Mesif::kModified;
+    return;
+  }
+  if (is_dirty(victim.state)) {
+    auto ins = cc.l2.insert(victim.line, Mesif::kModified);
+    if (ins.victim) handle_l2_victim(core, *ins.victim);
+  }
+  // Clean lines not present in L2 are dropped: the inclusive L3 has a copy.
+}
+
+void CoherenceEngine::handle_l2_victim(int core, const CacheEntry& victim) {
+  const int node = m_.topo.node_of_core(core);
+  const int socket = m_.topo.socket_of_core(core);
+  const int local = m_.topo.local_core(core);
+  CacheArray& l3 = m_.l3_slice(socket, m_.slice_for(node, victim.line));
+  CacheEntry* entry = l3.lookup(victim.line, /*touch=*/false);
+  if (is_dirty(victim.state)) {
+    // Write back to the L3: refreshes the data and clears the core-valid
+    // bit (paper §VI-A: "the write back to the L3 also clears the core
+    // valid bit") — unless the core's L1 still holds the line (an L2
+    // capacity victim of a non-inclusive L2), in which case the CBo must
+    // keep tracking the core.
+    if (entry) {
+      entry->state = Mesif::kModified;
+      if (!m_.cores[static_cast<std::size_t>(core)].l1.contains(victim.line)) {
+        entry->core_valid &= ~bit_of(local);
+      }
+    } else {
+      auto ins = l3.insert(victim.line, Mesif::kModified);
+      if (ins.victim) handle_l3_victim(socket, node, *ins.victim);
+    }
+  }
+  // Clean (E/S/F) lines are evicted *silently*: the core-valid bit in the
+  // L3 stays set, which later forces a useless core snoop (the paper's
+  // E-state latency penalty).
+}
+
+void CoherenceEngine::handle_l3_victim(int socket, int /*node*/,
+                                       const CacheEntry& victim) {
+  m_.counters.bump(Ctr::kL3Evictions);
+  // Inclusive L3: back-invalidate every core copy in this node.
+  bool dirty = victim.state == Mesif::kModified;
+  std::uint32_t cv = victim.core_valid;
+  while (cv != 0) {
+    const int owner_local = std::countr_zero(cv);
+    cv &= cv - 1;
+    dirty |= invalidate_core(m_.topo.global_core(socket, owner_local), victim.line);
+  }
+  if (dirty) {
+    // Explicit writeback: the home agent learns the exclusive copy is gone.
+    writeback(victim.line, /*clears_directory=*/true);
+  }
+  // Clean evictions are silent: if the line was homed in another node, the
+  // in-memory directory keeps saying snoop-all (Table V's stale-directory
+  // broadcast penalty).
+}
+
+void CoherenceEngine::fill_caches(int core, LineAddr line, const Fill& fill) {
+  const int node = m_.topo.node_of_core(core);
+  const int socket = m_.topo.socket_of_core(core);
+  const int local = m_.topo.local_core(core);
+
+  CacheArray& l3 = m_.l3_slice(socket, m_.slice_for(node, line));
+  if (CacheEntry* entry = l3.lookup(line)) {
+    entry->core_valid |= bit_of(local);
+  } else {
+    auto ins = l3.insert(line, fill.node_state);
+    if (ins.victim) handle_l3_victim(socket, node, *ins.victim);
+    ins.entry->core_valid = bit_of(local);
+  }
+
+  CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
+  if (CacheEntry* in_l2 = cc.l2.lookup(line)) {
+    in_l2->state = fill.core_state;
+  } else {
+    auto ins = cc.l2.insert(line, fill.core_state);
+    if (ins.victim) handle_l2_victim(core, *ins.victim);
+  }
+  if (!cc.l1.contains(line)) {
+    auto ins = cc.l1.insert(line, fill.core_state);
+    if (ins.victim) handle_l1_victim(core, *ins.victim);
+  } else if (fill.core_state == Mesif::kModified) {
+    cc.l1.lookup(line)->state = Mesif::kModified;
+  }
+}
+
+// --- read ----------------------------------------------------------------------
+
+AccessResult CoherenceEngine::read(int core, PhysAddr addr) {
+  const LineAddr line = line_of(addr);
+  const int req_node = m_.topo.node_of_core(core);
+  CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
+
+  auto shared_hit_needs_l3 = [&](Mesif state) {
+    if (state != Mesif::kShared) return false;
+    // Reading a Shared line whose Forward copy lives in another node
+    // notifies the responsible CA to reclaim the forward state (paper
+    // Table IV / Fig. 9): the access costs a full L3 round trip.
+    const int socket = m_.topo.socket_of_core(core);
+    const CacheArray& l3 =
+        m_.l3[static_cast<std::size_t>(socket)]
+            [static_cast<std::size_t>(m_.slice_for(req_node, line))];
+    const CacheEntry* entry = l3.peek(line);
+    return entry != nullptr && entry->state == Mesif::kShared;
+  };
+
+  if (CacheEntry* e1 = cc.l1.lookup(line)) {
+    if (shared_hit_needs_l3(e1->state)) {
+      m_.counters.bump(Ctr::kLoadsL3Hit);
+      return {l3_path(core), ServiceSource::kL3, req_node};
+    }
+    m_.counters.bump(Ctr::kLoadsL1Hit);
+    return {m_.timing.l1_hit, ServiceSource::kL1, req_node};
+  }
+  if (CacheEntry* e2 = cc.l2.lookup(line)) {
+    if (shared_hit_needs_l3(e2->state)) {
+      m_.counters.bump(Ctr::kLoadsL3Hit);
+      return {l3_path(core), ServiceSource::kL3, req_node};
+    }
+    auto ins = cc.l1.insert(line, e2->state);
+    if (ins.victim) handle_l1_victim(core, *ins.victim);
+    m_.counters.bump(Ctr::kLoadsL2Hit);
+    return {m_.timing.l2_hit, ServiceSource::kL2, req_node};
+  }
+
+  Fill fill = ca_read(core, line);
+  fill_caches(core, line, fill);
+  switch (fill.source) {
+    case ServiceSource::kL3:
+    case ServiceSource::kCoreFwd:
+      m_.counters.bump(Ctr::kLoadsL3Hit);
+      break;
+    case ServiceSource::kRemoteFwd:
+      m_.counters.bump(Ctr::kLoadsRemoteFwd);
+      break;
+    case ServiceSource::kLocalDram:
+      m_.counters.bump(Ctr::kLoadsLocalDram);
+      break;
+    case ServiceSource::kRemoteDram:
+      m_.counters.bump(Ctr::kLoadsRemoteDram);
+      break;
+    default:
+      break;
+  }
+  return {fill.ns, fill.source, fill.source_node};
+}
+
+CoherenceEngine::Fill CoherenceEngine::ca_read(int core, LineAddr line) {
+  const int req_node = m_.topo.node_of_core(core);
+  const int socket = m_.topo.socket_of_core(core);
+  const int local = m_.topo.local_core(core);
+  CacheArray& l3 = m_.l3_slice(socket, m_.slice_for(req_node, line));
+
+  Fill fill;
+  fill.ns = l3_path(core);
+  fill.source = ServiceSource::kL3;
+  fill.source_node = req_node;
+  fill.core_state = Mesif::kShared;
+
+  if (CacheEntry* entry = l3.lookup(line)) {
+    const std::uint32_t owners = entry->core_valid & ~bit_of(local);
+    const bool multi = std::popcount(entry->core_valid) > 1;
+    if ((entry->state == Mesif::kExclusive || entry->state == Mesif::kModified) &&
+        m_.features.core_valid_bits && owners != 0 && !multi) {
+      // A single other core may hold the line Modified (stores upgrade E->M
+      // silently) — and exclusive lines are evicted silently, so the bit may
+      // be stale.  Either way the CA must snoop (44.4 ns case).
+      const int owner_local = std::countr_zero(owners);
+      const int owner = m_.topo.global_core(socket, owner_local);
+      fill.ns += m_.timing.core_snoop_local;
+      CoreSnoop cs = snoop_core(owner, line, Mesif::kShared);
+      if (cs.dirty) {
+        fill.ns += cs.data_ns;
+        entry->state = Mesif::kModified;  // L3 refreshed with dirty data
+        fill.source = ServiceSource::kCoreFwd;
+      }
+    }
+    entry->core_valid |= bit_of(local);
+    fill.node_state = entry->state;
+    return fill;
+  }
+  return home_read(core, req_node, line);
+}
+
+CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
+                                                 LineAddr line) {
+  const TimingParams& t = m_.timing;
+  auto home = m_.home_of(line);
+  const int h = home.node;
+  const double lat0 = l3_path(core);
+
+  Fill fill;
+  fill.core_state = Mesif::kShared;
+  fill.node_state = Mesif::kForward;
+
+  // Peer nodes other than requester and home.
+  std::vector<int> peers;
+  for (int n = 0; n < m_.topo.node_count(); ++n) {
+    if (n != req_node && n != h) peers.push_back(n);
+  }
+
+  const double t_req_at_ha =
+      lat0 + request_to_ha(req_node, h) + t.ca_to_ha_fixed;
+
+  // Completion helpers.
+  auto served_by_memory = [&](double ready_ns) {
+    fill.ns = ready_ns + link_ns(h, req_node) + t.response_return;
+    fill.source = h == req_node ? ServiceSource::kLocalDram
+                                : ServiceSource::kRemoteDram;
+    fill.source_node = h;
+  };
+  auto served_by_forward = [&](double data_sent_ns, int from_node) {
+    fill.ns = data_sent_ns + link_ns(from_node, req_node) + t.cache_fwd_return;
+    fill.source = from_node == req_node ? ServiceSource::kL3
+                                        : ServiceSource::kRemoteFwd;
+    fill.source_node = from_node;
+  };
+  auto record_forward_state = [&](int forwarder_node, bool any_shared) {
+    (void)any_shared;
+    fill.node_state = Mesif::kForward;
+    if (directory_on() && req_node != h) {
+      // AllocateShared: a line handed to a remote node in Forward state
+      // enters the HitME cache; the in-memory directory goes snoop-all.
+      if (hitme_on()) {
+        const auto presence = static_cast<std::uint8_t>(
+            (1u << static_cast<unsigned>(req_node)) |
+            (1u << static_cast<unsigned>(forwarder_node)));
+        if (auto prior = home.ha->hitme.lookup(line)) {
+          home.ha->hitme.put(line, prior->presence | presence);
+        } else {
+          if (home.ha->hitme.put(line, presence)) {
+            m_.counters.bump(Ctr::kHitmeEvict);
+          }
+          m_.counters.bump(Ctr::kHitmeAlloc);
+        }
+        if (home.ha->directory.set(line, DirState::kSnoopAll)) {
+          m_.counters.bump(Ctr::kDirectoryUpdates);
+        }
+      } else {
+        // Classic DAS without a directory cache: clean forwards record the
+        // `shared` state, which keeps the memory copy authoritative.
+        if (home.ha->directory.set(line, DirState::kShared)) {
+          m_.counters.bump(Ctr::kDirectoryUpdates);
+        }
+      }
+    }
+  };
+  auto record_memory_grant = [&](bool exclusive) {
+    fill.node_state = exclusive ? Mesif::kExclusive : Mesif::kShared;
+    fill.core_state = exclusive ? Mesif::kExclusive : Mesif::kShared;
+    if (directory_on() && req_node != h) {
+      if (home.ha->directory.set(line, DirState::kSnoopAll)) {
+        m_.counters.bump(Ctr::kDirectoryUpdates);
+      }
+    }
+  };
+
+  if (!directory_on()) {
+    // ---- snoopy modes (source snoop / home snoop without directory) -------
+    // The home node's CA is a snoop target like any other peer.
+    std::vector<int> snooped = peers;
+    if (h != req_node) snooped.insert(snooped.begin(), h);
+
+    if (source_snoop()) {
+      // The requester CA broadcasts at lat0; responses race the DRAM read.
+      double slowest_response_at_ha = t_req_at_ha;
+      bool any_shared = false;
+      for (int p : snooped) {
+        m_.counters.bump(Ctr::kSnoopBroadcasts);
+        if (m_.topo.crosses_qpi(req_node, p)) {
+          m_.counters.bump(Ctr::kQpiSnoopFlits);
+        }
+        PeerSnoop snoop = snoop_peer_read(p, line);
+        const double response_at_peer = lat0 + link_ns(req_node, p) + snoop.handling_ns;
+        if (snoop.forwarded) {
+          served_by_forward(response_at_peer, p);
+          record_forward_state(p, any_shared);
+          return fill;
+        }
+        any_shared |= snoop.had_shared;
+        slowest_response_at_ha =
+            std::max(slowest_response_at_ha, response_at_peer + link_ns(p, h));
+      }
+      const double dram_ready = t_req_at_ha + t.ha_processing + dram_read(home);
+      served_by_memory(std::max(dram_ready, slowest_response_at_ha));
+      record_memory_grant(/*exclusive=*/!any_shared);
+      if (any_shared) fill.node_state = Mesif::kForward;
+      return fill;
+    }
+
+    // Home snoop: the HA broadcasts after receiving and processing the
+    // request — the paper's "delayed snoop broadcast".
+    const double snoop_base = t_req_at_ha + t.ha_processing;
+    double slowest_response = snoop_base;
+    bool any_shared = false;
+    int fanout = 0;
+    for (int p : snooped) {
+      m_.counters.bump(Ctr::kSnoopBroadcasts);
+      if (m_.topo.crosses_qpi(h, p)) m_.counters.bump(Ctr::kQpiSnoopFlits);
+      PeerSnoop snoop = snoop_peer_read(p, line);
+      const double launch = snoop_base + t.broadcast_fanout * fanout++;
+      const double handled_at_peer = launch + link_ns(h, p) + snoop.handling_ns;
+      if (snoop.forwarded) {
+        served_by_forward(handled_at_peer, p);
+        record_forward_state(p, any_shared);
+        return fill;
+      }
+      any_shared |= snoop.had_shared;
+      slowest_response = std::max(slowest_response, handled_at_peer + link_ns(p, h));
+    }
+    const double dram_ready = t_req_at_ha + t.ha_processing + dram_read(home);
+    served_by_memory(std::max(dram_ready, slowest_response));
+    record_memory_grant(/*exclusive=*/!any_shared);
+    if (any_shared) fill.node_state = Mesif::kForward;
+    return fill;
+  }
+
+  // ---- directory-assisted home snoop (COD) ---------------------------------
+  // 1. The home node's CA is snooped locally, independent of the directory
+  //    state (Moga et al.; paper §VI-C).  The in-memory directory only
+  //    tracks copies *outside* the home node, so a Shared copy found here
+  //    must veto any exclusive grant below.
+  bool home_had_shared = false;
+  if (h != req_node) {
+    PeerSnoop local_snoop = snoop_peer_read(h, line);
+    if (local_snoop.forwarded) {
+      const double data_at =
+          t_req_at_ha + t.ha_processing + local_snoop.handling_ns;
+      served_by_forward(data_at, h);
+      record_forward_state(h, false);
+      return fill;
+    }
+    home_had_shared = local_snoop.had_shared;
+  }
+
+  // 2. HitME probe.
+  const double probe_done = t_req_at_ha + t.ha_processing + t.hitme_lookup;
+  if (hitme_on()) {
+    if (auto entry = home.ha->hitme.lookup(line)) {
+      // Clean-shared migratory line: the memory copy is valid; forward it
+      // without waiting for snoop responses.
+      m_.counters.bump(Ctr::kHitmeHit);
+      const double dram_ready = probe_done + dram_read(home) - t.ha_bypass_savings;
+      served_by_memory(std::max(dram_ready, probe_done));
+      home.ha->hitme.put(
+          line, static_cast<std::uint8_t>(
+                    entry->presence | (1u << static_cast<unsigned>(req_node))));
+      record_memory_grant(/*exclusive=*/false);
+      return fill;
+    }
+    m_.counters.bump(Ctr::kHitmeMiss);
+  }
+
+  // 3. In-memory directory: available only once the DRAM read returns
+  //    (the 2-bit state lives in the ECC bits of the data).
+  m_.counters.bump(Ctr::kDirectoryLookups);
+  const double dram_ready = probe_done + dram_read(home);
+  const DirState dir = home.ha->directory.get(line);
+  if (dir == DirState::kRemoteInvalid) {
+    served_by_memory(dram_ready - t.ha_bypass_savings);
+    record_memory_grant(/*exclusive=*/!home_had_shared);
+    if (home_had_shared) fill.node_state = Mesif::kForward;
+    return fill;
+  }
+  if (dir == DirState::kShared) {
+    // Classic DAS shared state (no-HitME ablation): memory copy valid.
+    served_by_memory(dram_ready - t.ha_bypass_savings);
+    record_memory_grant(/*exclusive=*/false);
+    return fill;
+  }
+
+  // snoop-all: broadcast to the remaining peers, *after* the directory
+  // lookup completed (this is the Table V stale-directory penalty).
+  double slowest_response = dram_ready;
+  bool any_shared = home_had_shared;
+  int fanout = 0;
+  for (int p : peers) {
+    m_.counters.bump(Ctr::kSnoopBroadcasts);
+    if (m_.topo.crosses_qpi(h, p)) m_.counters.bump(Ctr::kQpiSnoopFlits);
+    PeerSnoop snoop = snoop_peer_read(p, line);
+    const double launch = dram_ready + t.broadcast_fanout * fanout++;
+    const double handled_at_peer = launch + link_ns(h, p) + snoop.handling_ns;
+    if (snoop.forwarded) {
+      // A third node supplies the data: the HA still has to collect the
+      // response and complete the transaction before the load can retire.
+      served_by_forward(handled_at_peer + t.three_node_penalty, p);
+      record_forward_state(p, any_shared);
+      return fill;
+    }
+    any_shared |= snoop.had_shared;
+    slowest_response = std::max(slowest_response, handled_at_peer + link_ns(p, h));
+  }
+  // Nobody answered: the directory was stale (silent L3 evictions).  Serve
+  // from memory after the HA has collected and processed all responses.
+  slowest_response += t.broadcast_collect * static_cast<double>(peers.size());
+  served_by_memory(slowest_response);
+  record_memory_grant(/*exclusive=*/!any_shared);
+  if (any_shared) fill.node_state = Mesif::kForward;
+  return fill;
+}
+
+// --- write ---------------------------------------------------------------------
+
+AccessResult CoherenceEngine::write(int core, PhysAddr addr) {
+  const LineAddr line = line_of(addr);
+  const int req_node = m_.topo.node_of_core(core);
+  CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
+
+  if (CacheEntry* e1 = cc.l1.lookup(line)) {
+    if (e1->state == Mesif::kModified || e1->state == Mesif::kExclusive) {
+      // Silent E->M upgrade: the L3 still believes the line is Exclusive.
+      e1->state = Mesif::kModified;
+      m_.counters.bump(Ctr::kLoadsL1Hit);
+      return {m_.timing.l1_hit, ServiceSource::kL1, req_node};
+    }
+  } else if (CacheEntry* e2 = cc.l2.lookup(line)) {
+    if (e2->state == Mesif::kModified || e2->state == Mesif::kExclusive) {
+      e2->state = Mesif::kModified;
+      auto ins = cc.l1.insert(line, Mesif::kModified);
+      if (ins.victim) handle_l1_victim(core, *ins.victim);
+      cc.l2.lookup(line)->state = Mesif::kShared;  // newest copy now in L1
+      m_.counters.bump(Ctr::kLoadsL2Hit);
+      return {m_.timing.l2_hit, ServiceSource::kL2, req_node};
+    }
+  }
+
+  // Shared or missing: read-for-ownership through the CA.
+  Fill fill = ca_write(core, line);
+  fill.core_state = Mesif::kModified;
+  fill_caches(core, line, fill);
+  return {fill.ns, fill.source, fill.source_node};
+}
+
+CoherenceEngine::Fill CoherenceEngine::ca_write(int core, LineAddr line) {
+  const int req_node = m_.topo.node_of_core(core);
+  const int socket = m_.topo.socket_of_core(core);
+  const int local = m_.topo.local_core(core);
+  CacheArray& l3 = m_.l3_slice(socket, m_.slice_for(req_node, line));
+
+  Fill fill;
+  fill.ns = l3_path(core);
+  fill.source = ServiceSource::kL3;
+  fill.source_node = req_node;
+  fill.node_state = Mesif::kExclusive;
+
+  if (CacheEntry* entry = l3.lookup(line)) {
+    if (entry->state == Mesif::kExclusive || entry->state == Mesif::kModified) {
+      // Node already owns the line: invalidate other in-node core copies.
+      std::uint32_t others = entry->core_valid & ~bit_of(local);
+      if (others != 0) {
+        fill.ns += m_.timing.core_snoop_local;
+        bool dirty = false;
+        while (others != 0) {
+          const int owner_local = std::countr_zero(others);
+          others &= others - 1;
+          dirty |= invalidate_core(m_.topo.global_core(socket, owner_local), line);
+        }
+        if (dirty) entry->state = Mesif::kModified;
+      }
+      entry->core_valid = bit_of(local);
+      fill.node_state = entry->state;
+      return fill;
+    }
+    // Shared/Forward at node level: other nodes may hold copies — obtain
+    // global ownership through the home agent, then upgrade in place.
+    std::uint32_t local_sharers = entry->core_valid & ~bit_of(local);
+    while (local_sharers != 0) {
+      const int owner_local = std::countr_zero(local_sharers);
+      local_sharers &= local_sharers - 1;
+      invalidate_core(m_.topo.global_core(socket, owner_local), line);
+    }
+    Fill upgrade = home_write(core, req_node, line);
+    if (CacheEntry* still = l3.lookup(line)) {
+      still->state = Mesif::kExclusive;
+      still->core_valid = bit_of(local);
+    }
+    upgrade.node_state = Mesif::kExclusive;
+    return upgrade;
+  }
+  return home_write(core, req_node, line);
+}
+
+CoherenceEngine::Fill CoherenceEngine::home_write(int core, int req_node,
+                                                  LineAddr line) {
+  const TimingParams& t = m_.timing;
+  auto home = m_.home_of(line);
+  const int h = home.node;
+  const double lat0 = l3_path(core);
+
+  Fill fill;
+  fill.core_state = Mesif::kModified;
+  fill.node_state = Mesif::kExclusive;
+
+  std::vector<int> snooped;
+  for (int n = 0; n < m_.topo.node_count(); ++n) {
+    if (n != req_node) snooped.push_back(n);
+  }
+
+  const double t_req_at_ha =
+      lat0 + request_to_ha(req_node, h) + t.ca_to_ha_fixed;
+
+  // Invalidate every other node's copies; the slowest acknowledgement and
+  // the DRAM read (for the data) gate completion.  In source snoop the
+  // invalidations launch from the requester CA; otherwise from the HA.
+  const bool from_requester = source_snoop() && !directory_on();
+  const double snoop_base =
+      from_requester ? lat0 : t_req_at_ha + t.ha_processing;
+
+  double slowest_ack = t_req_at_ha;
+  int fanout = 0;
+  bool dirty_transfer = false;
+  for (int p : snooped) {
+    m_.counters.bump(Ctr::kSnoopBroadcasts);
+    const int from = from_requester ? req_node : h;
+    if (m_.topo.crosses_qpi(from, p)) m_.counters.bump(Ctr::kQpiSnoopFlits);
+    const double handling = snoop_peer_invalidate(p, line);
+    dirty_transfer |= handling > t.snoop_ca_lookup + t.core_snoop_external;
+    const double launch = snoop_base + t.broadcast_fanout * fanout++;
+    slowest_ack =
+        std::max(slowest_ack, launch + link_ns(from, p) + handling + link_ns(p, h));
+  }
+
+  const double dram_ready = t_req_at_ha + t.ha_processing + dram_read(home);
+  fill.ns = std::max(dram_ready, slowest_ack) + link_ns(h, req_node) +
+            t.response_return;
+  fill.source = h == req_node ? ServiceSource::kLocalDram
+                              : ServiceSource::kRemoteDram;
+  if (dirty_transfer) fill.source = ServiceSource::kRemoteFwd;
+  fill.source_node = h;
+
+  if (directory_on()) {
+    const DirState next =
+        req_node == h ? DirState::kRemoteInvalid : DirState::kSnoopAll;
+    if (home.ha->directory.set(line, next)) {
+      m_.counters.bump(Ctr::kDirectoryUpdates);
+    }
+    if (hitme_on()) home.ha->hitme.erase(line);
+  }
+  return fill;
+}
+
+// --- flush / placement helpers ---------------------------------------------------
+
+double CoherenceEngine::flush_line(PhysAddr addr) {
+  const LineAddr line = line_of(addr);
+  bool dirty = false;
+  for (const NumaNode& node : m_.topo.nodes()) {
+    CacheArray& l3 = m_.l3_slice(node.socket, m_.slice_for(node.id, line));
+    if (auto entry = l3.erase(line)) {
+      dirty |= entry->state == Mesif::kModified;
+      std::uint32_t cv = entry->core_valid;
+      while (cv != 0) {
+        const int owner_local = std::countr_zero(cv);
+        cv &= cv - 1;
+        dirty |= invalidate_core(m_.topo.global_core(node.socket, owner_local), line);
+      }
+    }
+  }
+  if (dirty) writeback(line, /*clears_directory=*/true);
+  if (directory_on()) {
+    auto home = m_.home_of(line);
+    if (home.ha->directory.set(line, DirState::kRemoteInvalid)) {
+      m_.counters.bump(Ctr::kDirectoryUpdates);
+    }
+    if (hitme_on()) home.ha->hitme.erase(line);
+  }
+  return m_.timing.l3_base + (dirty ? m_.timing.dram_page_empty : 0.0);
+}
+
+void CoherenceEngine::evict_core_caches(int core) {
+  CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
+  // L1 first so dirty L1 lines land in the L3 via the same path as L2 lines.
+  cc.l1.flush([&](const CacheEntry& entry) { handle_l2_victim(core, entry); });
+  cc.l2.flush([&](const CacheEntry& entry) { handle_l2_victim(core, entry); });
+}
+
+void CoherenceEngine::flush_node_l3(int node) {
+  const NumaNode& n = m_.topo.node(node);
+  for (int slice : n.local_slices) {
+    m_.l3_slice(n.socket, slice).flush([&](const CacheEntry& entry) {
+      handle_l3_victim(n.socket, node, entry);
+    });
+  }
+}
+
+}  // namespace hsw

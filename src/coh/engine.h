@@ -1,0 +1,146 @@
+// MESIF transaction engine.
+//
+// Implements the protocol flows of paper §IV on top of MachineState:
+//   * requester-side CA handling (L3 hit paths, core-valid-bit snoops),
+//   * source snoop: the requester CA broadcasts snoops on an L3 miss,
+//   * home snoop: the home agent snoops after receiving the request,
+//   * directory-assisted mode (COD): the 2-bit in-memory directory gates
+//     broadcasts — but only after the DRAM read returns it — and the HitME
+//     cache short-circuits snoops for clean-shared migratory lines
+//     (AllocateShared policy).
+//
+// Each access returns the composed latency: component costs are summed along
+// the serial path and max()-ed across parallel legs (e.g. a DRAM read racing
+// the snoop responses the home agent must collect).
+#pragma once
+
+#include <cstdint>
+
+#include "coh/state.h"
+
+namespace hsw {
+
+enum class ServiceSource : std::uint8_t {
+  kL1,          // own L1D
+  kL2,          // own L2
+  kL3,          // a CA in the requester's node (incl. in-node core forwards)
+  kCoreFwd,     // dirty data from another core in the requester's node
+  kRemoteFwd,   // cache-to-cache forward from another node
+  kLocalDram,   // memory of the requester's own node
+  kRemoteDram,  // memory of another node
+};
+
+[[nodiscard]] const char* to_string(ServiceSource source);
+
+struct AccessResult {
+  double ns = 0.0;
+  ServiceSource source = ServiceSource::kL1;
+  int source_node = 0;  // node that supplied the data
+};
+
+class CoherenceEngine {
+ public:
+  explicit CoherenceEngine(MachineState& machine) : m_(machine) {}
+
+  // A demand load of one cache line by `core`.
+  AccessResult read(int core, PhysAddr addr);
+  // A store (read-for-ownership if needed); line ends Modified in the core.
+  AccessResult write(int core, PhysAddr addr);
+  // clflush semantics: the line leaves every cache in the system, dirty data
+  // is written back to the home memory, directory returns to remote-invalid.
+  double flush_line(PhysAddr addr);
+
+  // Placement helpers used by the benchmark kit -----------------------------
+  // Drains `core`'s L1+L2 into its node's L3: dirty lines write back (which
+  // clears the core-valid bit), clean lines are dropped *silently* (the
+  // core-valid bit stays set — the source of the paper's E-state penalty).
+  void evict_core_caches(int core);
+  // Evicts every line from a node's L3 slices: dirty lines write back to
+  // their home memory; clean lines are dropped silently, which leaves stale
+  // snoop-all directory state behind (the paper's Table V effect).
+  void flush_node_l3(int node);
+
+ private:
+  struct Fill {
+    double ns = 0.0;             // from the start of the CA transaction
+    Mesif core_state = Mesif::kShared;
+    Mesif node_state = Mesif::kShared;  // state for the requester node's L3
+    ServiceSource source = ServiceSource::kL3;
+    int source_node = 0;
+  };
+
+  // Requester-node CA transaction (after L1/L2 missed).
+  Fill ca_read(int core, LineAddr line);
+  Fill ca_write(int core, LineAddr line);
+  // Miss at the requester CA: go to the home agent / broadcast.
+  Fill home_read(int core, int req_node, LineAddr line);
+  // Read-for-ownership through the home agent: fetches data (if needed) and
+  // invalidates every other node's copies.
+  Fill home_write(int core, int req_node, LineAddr line);
+
+  // Snoop of one peer node's CA for a read.  Applies state transitions
+  // (owner demotes to S, dirty data scheduled for writeback).  Returns
+  // whether the peer had a forwardable copy and the peer-side handling time
+  // (slice lookup plus any core snoop / dirty-data extraction).
+  struct PeerSnoop {
+    bool forwarded = false;  // peer supplies the data
+    bool had_shared = false; // peer holds a non-forwardable S copy
+    double handling_ns = 0.0;
+  };
+  PeerSnoop snoop_peer_read(int peer_node, LineAddr line);
+  // Invalidating snoop (RFO): removes the peer's copies; dirty data is
+  // written back to memory.  Returns handling time.
+  double snoop_peer_invalidate(int peer_node, LineAddr line);
+
+  // Snoops a single core's L1/L2 (core-valid bit chase).  If the core holds
+  // the line Modified, the copy is demoted to `demote_to` and the L3 entry
+  // is refreshed with the dirty data (state -> M).  Returns the extra
+  // latency beyond the CBo round trip (data extraction), plus whether dirty
+  // data was found and where.
+  struct CoreSnoop {
+    bool dirty = false;
+    double data_ns = 0.0;
+  };
+  CoreSnoop snoop_core(int global_core, LineAddr line, Mesif demote_to);
+  // Removes the line from a core's L1/L2.  Returns true if it was dirty.
+  bool invalidate_core(int global_core, LineAddr line);
+
+  // DRAM access for `line` at its home; returns latency and counts the
+  // row-buffer outcome.
+  double dram_read(MachineState::HomeRef& home);
+  void dram_write(MachineState::HomeRef& home);
+  // Dirty data leaves a cache for memory (back-invalidation, M-forward
+  // writeback, clflush).  Updates the home directory to remote-invalid when
+  // `clears_directory` (an explicit writeback tells the HA the remote copy
+  // is gone; a silent clean eviction does not).
+  void writeback(LineAddr line, bool clears_directory);
+
+  // Fill plumbing -------------------------------------------------------------
+  void fill_caches(int core, LineAddr line, const Fill& fill);
+  void handle_l1_victim(int core, const CacheEntry& victim);
+  void handle_l2_victim(int core, const CacheEntry& victim);
+  void handle_l3_victim(int socket, int node, const CacheEntry& victim);
+
+  // Timing helpers ------------------------------------------------------------
+  // Core -> responsible CA -> back, plus the CBo pipeline (an L3 access).
+  [[nodiscard]] double l3_path(int core) const;
+  // One-way transport between agents in two nodes (0 within a node).
+  [[nodiscard]] double link_ns(int node_a, int node_b) const;
+  // Ring segment from a node's CAs to its home agent.
+  [[nodiscard]] double ca_to_ha(int node) const;
+  // Total request transport from the requester CA to the home agent: the
+  // local ring for in-node requests, or link + home-side ring ingress.
+  [[nodiscard]] double request_to_ha(int req_node, int home_node) const;
+
+  [[nodiscard]] bool directory_on() const { return m_.features.directory; }
+  [[nodiscard]] bool hitme_on() const {
+    return m_.features.directory && m_.features.hitme;
+  }
+  [[nodiscard]] bool source_snoop() const {
+    return m_.topo.config().snoop_mode == SnoopMode::kSourceSnoop;
+  }
+
+  MachineState& m_;
+};
+
+}  // namespace hsw

@@ -1,0 +1,33 @@
+#include "coh/hitme.h"
+
+namespace hsw {
+
+HitmeCache::HitmeCache(const HitmeConfig& config)
+    // CacheArray measures capacity in 64-B lines; we only use its tag + LRU
+    // machinery, so "capacity" here is entries * kLineSize.
+    : array_(static_cast<std::uint64_t>(config.entries) * kLineSize,
+             config.associativity) {}
+
+std::optional<HitmeCache::Entry> HitmeCache::lookup(LineAddr line) {
+  CacheEntry* entry = array_.lookup(line);
+  if (!entry) return std::nullopt;
+  return Entry{entry->payload};
+}
+
+bool HitmeCache::put(LineAddr line, std::uint8_t presence) {
+  if (CacheEntry* existing = array_.lookup(line)) {
+    existing->payload = presence;
+    return false;
+  }
+  auto result = array_.insert(line, Mesif::kShared);
+  result.entry->payload = presence;
+  return result.victim.has_value();
+}
+
+void HitmeCache::erase(LineAddr line) { array_.erase(line); }
+
+void HitmeCache::clear() {
+  array_.flush([](const CacheEntry&) {});
+}
+
+}  // namespace hsw

@@ -1,0 +1,53 @@
+// The "HitME" directory cache (Moga et al., implemented in Haswell-EP).
+//
+// A tiny (14 KiB per home agent) cache of 8-bit node-presence vectors for
+// *migratory* lines — lines that have been forwarded between caching agents
+// in different NUMA nodes.  The AllocateShared policy (paper §VI-C concludes
+// it is what Haswell implements) allocates an entry whenever a line is handed
+// to a remote node in Forward state; the in-memory directory is then set to
+// snoop-all, while the HitME entry remembers that the copies are clean and
+// lets the HA forward the valid memory copy without waiting for snoops.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mem/cache_array.h"
+#include "mem/line.h"
+
+namespace hsw {
+
+struct HitmeConfig {
+  // 14 KiB / ~3.5 B per entry (tag + presence + valid) = 4096 entries.
+  unsigned entries = 4096;
+  unsigned associativity = 8;
+};
+
+class HitmeCache {
+ public:
+  explicit HitmeCache(const HitmeConfig& config = {});
+
+  struct Entry {
+    std::uint8_t presence = 0;  // bit i => node i has a copy
+  };
+
+  // Probe; refreshes recency on hit.
+  [[nodiscard]] std::optional<Entry> lookup(LineAddr line);
+  [[nodiscard]] bool contains(LineAddr line) const { return array_.contains(line); }
+
+  // Allocates or updates an entry.  Returns true if an existing (different)
+  // line was evicted to make room.
+  bool put(LineAddr line, std::uint8_t presence);
+  void erase(LineAddr line);
+  void clear();
+
+  [[nodiscard]] std::size_t valid_entries() const { return array_.valid_count(); }
+  [[nodiscard]] std::uint64_t capacity_entries() const {
+    return array_.capacity_bytes() / kLineSize;
+  }
+
+ private:
+  CacheArray array_;
+};
+
+}  // namespace hsw

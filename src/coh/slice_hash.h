@@ -1,0 +1,31 @@
+// Physical-address to L3-slice (CBo) hash.
+//
+// Haswell-EP distributes physical addresses over the L3 slices of a node with
+// an undocumented hash (paper cites [16, Section 2.3]).  What matters for the
+// reproduction is that (a) the mapping is uniform, so ring distances average
+// out over a data set, and (b) all cores of a node agree on the responsible
+// CA for a line.  We use a Fibonacci-style mixer reduced modulo the node's
+// slice count.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/line.h"
+
+namespace hsw {
+
+// Mixes the line address into a well-distributed 64-bit value.
+constexpr std::uint64_t mix_line(LineAddr line) {
+  std::uint64_t x = line * 0x9e3779b97f4a7c15ull;
+  x ^= x >> 32;
+  x *= 0xd6e8feb86659fd93ull;
+  x ^= x >> 32;
+  return x;
+}
+
+// Index into a node's slice list for `line`; `slice_count` > 0.
+constexpr int slice_index(LineAddr line, int slice_count) {
+  return static_cast<int>(mix_line(line) % static_cast<std::uint64_t>(slice_count));
+}
+
+}  // namespace hsw

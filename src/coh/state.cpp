@@ -1,0 +1,87 @@
+#include "coh/state.h"
+
+#include <bit>
+#include <cassert>
+
+#include "coh/slice_hash.h"
+
+namespace hsw {
+
+MachineState::MachineState(const TopologyConfig& topo_config,
+                           const TimingParams& timing_params,
+                           const CacheGeometry& geometry_params,
+                           const ProtocolFeatures& feature_flags)
+    : topo(topo_config),
+      timing(timing_params),
+      geometry(geometry_params),
+      features(feature_flags) {
+  const int n_cores = topo.core_count();
+  cores.reserve(static_cast<std::size_t>(n_cores));
+  for (int c = 0; c < n_cores; ++c) cores.emplace_back(geometry);
+
+  for (int s = 0; s < topo.socket_count(); ++s) {
+    const Die& d = topo.die(s);
+    auto& slices = l3.emplace_back();
+    for (int slice = 0; slice < d.core_count(); ++slice) {
+      slices.emplace_back(geometry.l3_slice_bytes, geometry.l3_assoc);
+    }
+    auto& socket_agents = agents.emplace_back();
+    for (int imc = 0; imc < d.imc_count(); ++imc) {
+      socket_agents.emplace_back(geometry);
+    }
+  }
+
+  core_to_ca_hops_.resize(static_cast<std::size_t>(n_cores));
+  for (int c = 0; c < n_cores; ++c) {
+    core_to_ca_hops_[static_cast<std::size_t>(c)] = topo.mean_core_to_ca_hops(c);
+  }
+  ca_to_imc_hops_.resize(static_cast<std::size_t>(topo.node_count()));
+  for (int n = 0; n < topo.node_count(); ++n) {
+    ca_to_imc_hops_[static_cast<std::size_t>(n)] = topo.mean_ca_to_imc_hops(n);
+  }
+}
+
+int MachineState::slice_for(int node_id, LineAddr line) const {
+  const NumaNode& n = topo.node(node_id);
+  const int idx = slice_index(line, static_cast<int>(n.local_slices.size()));
+  return n.local_slices[static_cast<std::size_t>(idx)];
+}
+
+CacheArray& MachineState::l3_slice(int socket, int local_slice) {
+  return l3[static_cast<std::size_t>(socket)][static_cast<std::size_t>(local_slice)];
+}
+
+MachineState::HomeRef MachineState::home_of(LineAddr line) {
+  HomeRef ref;
+  ref.node = home_node_of_line(line);
+  assert(ref.node < topo.node_count() && "address homed on a non-existent node");
+  const NumaNode& n = topo.node(ref.node);
+  ref.socket = n.socket;
+  // Consecutive lines stripe across all channels of the node (64-B channel
+  // interleave), so a streaming access pattern spreads over every channel.
+  const auto n_channels =
+      static_cast<std::uint64_t>(n.imcs.size()) * geometry.channels_per_imc;
+  assert(std::has_single_bit(n_channels));
+  const std::uint64_t ch_index = line & (n_channels - 1);
+  const auto imc_pos = static_cast<std::size_t>(ch_index / geometry.channels_per_imc);
+  ref.imc = n.imcs[imc_pos];
+  ref.ha = &agents[static_cast<std::size_t>(ref.socket)][static_cast<std::size_t>(ref.imc)];
+  ref.channel = static_cast<int>(ch_index % geometry.channels_per_imc);
+  ref.channel_line = line / n_channels;
+  return ref;
+}
+
+void MachineState::drop_all_caches() {
+  auto drop = [](CacheArray& array) {
+    array.flush([](const CacheEntry&) {});
+  };
+  for (CoreCaches& core : cores) {
+    drop(core.l1);
+    drop(core.l2);
+  }
+  for (auto& socket : l3) {
+    for (CacheArray& slice : socket) drop(slice);
+  }
+}
+
+}  // namespace hsw

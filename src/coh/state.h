@@ -1,0 +1,123 @@
+// Aggregate mutable state of the simulated machine.
+//
+// Ownership layout mirrors the hardware: every core owns a private L1D and
+// L2; every socket owns one L3 tag array per slice (the CBo/CA co-located
+// with each core); every memory controller hosts a home agent with its DRAM
+// channels, the in-memory directory for the lines it is home to, and the
+// HitME directory cache.  The coherence engine (engine.h) is the only writer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coh/hitme.h"
+#include "coh/timing.h"
+#include "mem/address.h"
+#include "mem/cache_array.h"
+#include "mem/dram.h"
+#include "sim/counters.h"
+#include "topo/topology.h"
+
+namespace hsw {
+
+struct CacheGeometry {
+  std::uint64_t l1_bytes = 32 * 1024;
+  unsigned l1_assoc = 8;
+  std::uint64_t l2_bytes = 256 * 1024;
+  unsigned l2_assoc = 8;
+  std::uint64_t l3_slice_bytes = 2560 * 1024;  // 2.5 MiB per slice
+  unsigned l3_assoc = 20;
+  unsigned channels_per_imc = 2;
+  DramGeometry dram;
+  HitmeConfig hitme;
+};
+
+// Protocol feature switches.  The defaults follow the BIOS semantics the
+// paper describes; ablation benches override individual flags.
+struct ProtocolFeatures {
+  // In-memory 2-bit directory consulted by the home agent.  The paper infers
+  // it is off in both 2-socket non-COD modes and on in COD.
+  bool directory = false;
+  // HitME directory cache (requires directory).
+  bool hitme = false;
+  // Core-valid bits in the L3 (the E-state snoop penalty).  Always on in
+  // real hardware; exposed for the ablation study.
+  bool core_valid_bits = true;
+
+  static ProtocolFeatures for_mode(SnoopMode mode) {
+    ProtocolFeatures f;
+    f.directory = mode == SnoopMode::kCod;
+    f.hitme = mode == SnoopMode::kCod;
+    return f;
+  }
+};
+
+struct CoreCaches {
+  CacheArray l1;
+  CacheArray l2;
+
+  CoreCaches(const CacheGeometry& g)
+      : l1(g.l1_bytes, g.l1_assoc), l2(g.l2_bytes, g.l2_assoc) {}
+};
+
+struct HomeAgentState {
+  DirectoryStore directory;
+  HitmeCache hitme;
+  std::vector<DramChannel> channels;
+
+  HomeAgentState(const CacheGeometry& g) : hitme(g.hitme) {
+    for (unsigned c = 0; c < g.channels_per_imc; ++c) {
+      channels.emplace_back(g.dram);
+    }
+  }
+};
+
+class MachineState {
+ public:
+  MachineState(const TopologyConfig& topo_config, const TimingParams& timing,
+               const CacheGeometry& geometry, const ProtocolFeatures& features);
+
+  SystemTopology topo;
+  TimingParams timing;
+  CacheGeometry geometry;
+  ProtocolFeatures features;
+
+  std::vector<CoreCaches> cores;                    // [global core]
+  std::vector<std::vector<CacheArray>> l3;          // [socket][local slice]
+  std::vector<std::vector<HomeAgentState>> agents;  // [socket][local imc]
+  AddressSpace address_space;
+  CounterSet counters;
+
+  // --- lookups --------------------------------------------------------------
+  // Local slice id of the CA responsible for `line` within `node`.
+  [[nodiscard]] int slice_for(int node, LineAddr line) const;
+  CacheArray& l3_slice(int socket, int local_slice);
+  // Home agent (imc index within the home node) for `line`.
+  struct HomeRef {
+    int node;
+    int socket;
+    int imc;           // local imc id on the socket
+    HomeAgentState* ha;
+    int channel;       // channel index within the imc
+    std::uint64_t channel_line;  // line index within that channel
+  };
+  [[nodiscard]] HomeRef home_of(LineAddr line);
+
+  // Precomputed mean ring distances (hops), used by the timing composition.
+  [[nodiscard]] double core_to_ca_hops(int global_core) const {
+    return core_to_ca_hops_[static_cast<std::size_t>(global_core)];
+  }
+  [[nodiscard]] double ca_to_imc_hops(int node) const {
+    return ca_to_imc_hops_[static_cast<std::size_t>(node)];
+  }
+
+  // Removes every cached copy everywhere without touching directory state
+  // for clean lines (used between experiments; mirrors a quiescent machine).
+  void drop_all_caches();
+
+ private:
+  std::vector<double> core_to_ca_hops_;
+  std::vector<double> ca_to_imc_hops_;
+};
+
+}  // namespace hsw

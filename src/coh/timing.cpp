@@ -1,0 +1,7 @@
+#include "coh/timing.h"
+
+namespace hsw {
+
+TimingParams TimingParams::haswell_ep() { return TimingParams{}; }
+
+}  // namespace hsw

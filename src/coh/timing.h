@@ -1,0 +1,90 @@
+// Timing parameters of the memory subsystem.
+//
+// Every latency the simulator reports is *composed* from these constants by
+// the transaction engine (sum along the protocol path, max across parallel
+// legs such as a DRAM read racing a snoop round-trip).  The constants are
+// calibrated so the composed values land on the paper's measurements for the
+// 2.5 GHz Xeon E5-2680 v3 test system (Figures 4-7, Tables III-V); the
+// calibration is checked by tests/machine/calibration_test.cpp.
+//
+// Units: nanoseconds (1 core cycle @2.5 GHz = 0.4 ns).
+#pragma once
+
+namespace hsw {
+
+struct TimingParams {
+  // --- core-local hierarchy -------------------------------------------------
+  double l1_hit = 1.6;   // 4 cycles load-to-use (paper §VI-A)
+  double l2_hit = 4.8;   // 12 cycles
+  // Fixed part of an L3 access (L2 miss handling, CBo tag lookup, data
+  // return) excluding the ring traversal, which is distance-dependent.
+  double l3_base = 9.26;
+  // One ring hop (CBo-to-CBo segment, includes arbitration).
+  double ring_hop = 1.86;
+
+  // --- core snoops (CBo -> core -> CBo) ------------------------------------
+  // Round trip for a CBo snooping a core in the same node (tag check in the
+  // core's L1/L2, response back).  The paper's E-state penalty: 44.4 - 21.2.
+  double core_snoop_local = 23.2;
+  // Core snoop issued by a CBo on behalf of an external (QPI / other-node)
+  // request; partially overlapped with packet processing: 104 - 86.
+  double core_snoop_external = 18.0;
+  // Extra time to move dirty data out of the owning core's L1 / L2
+  // (53 = 21.2 + 23.2 + 8.6 and 49 = 21.2 + 23.2 + 4.6).
+  double core_data_l1 = 8.6;
+  double core_data_l2 = 4.6;
+
+  // --- on-die agents ---------------------------------------------------------
+  // CA -> HA handoff excluding ring distance (queueing, HA ingress).
+  double ca_to_ha_fixed = 4.0;
+  // HA request processing (conflict checks, tracker allocation).
+  double ha_processing = 6.0;
+  // Completion + data return from the HA to the requesting core
+  // (memory-served data).
+  double response_return = 14.0;
+  // Data return tail for direct cache-to-cache forwards (no HA completion
+  // on the critical path).
+  double cache_fwd_return = 6.0;
+  // Peer-CA slice lookup when handling an external snoop.
+  double snoop_ca_lookup = 8.8;
+  // HA fast path when the directory allows serving without waiting for any
+  // snoop response (no tracker dependency on snoop completion).
+  double ha_bypass_savings = 6.4;
+
+  // --- DRAM ------------------------------------------------------------------
+  double dram_page_hit = 33.0;       // CAS only
+  double dram_page_empty = 41.0;     // ACT + CAS
+  double dram_page_conflict = 45.0;  // PRE + ACT + CAS
+  // Directory update write scheduling overhead (in-memory directory).
+  double dir_update = 2.0;
+
+  // --- cross-socket / cross-cluster -----------------------------------------
+  // One-way QPI traversal: local ring egress + link + remote ring ingress.
+  double qpi_oneway = 25.0;
+  // One-way crossing between the two on-die clusters in COD mode (buffered
+  // queue + peer-ring segment), beyond plain ring hops.
+  double cluster_oneway = 3.2;
+
+  // --- COD directory machinery ----------------------------------------------
+  double hitme_lookup = 1.0;   // directory-cache probe at the HA
+  // HA snoop broadcast fan-out cost per peer node beyond the first (pipelined).
+  double broadcast_fanout = 4.0;
+  // Serialized snoop-response collection at the HA, per peer response
+  // (directory mode only).
+  double broadcast_collect = 4.0;
+  // Completion-ordering overhead when a broadcast makes a *third* node
+  // forward the data (requester != home != forwarder): the HA must observe
+  // the snoop response and complete the transaction (paper §IX: "complex
+  // transactions ... that involve three nodes ... severe degradations").
+  double three_node_penalty = 20.0;
+
+  // The nominal clock for cycle conversion.
+  double core_ghz = 2.5;
+
+  [[nodiscard]] double cycles(double ns) const { return ns * core_ghz; }
+
+  // The paper's test system (2x Xeon E5-2680 v3 class, DDR4-2133).
+  static TimingParams haswell_ep();
+};
+
+}  // namespace hsw

@@ -1,0 +1,109 @@
+#include "core/bandwidth.h"
+
+#include <algorithm>
+#include <array>
+
+namespace hsw {
+namespace {
+
+struct Probe {
+  double mean_ns = 0.0;
+  ServiceSource source = ServiceSource::kL1;
+  int source_node = 0;
+  std::uint64_t broadcasts = 0;
+};
+
+Probe run_probe(System& system, const StreamConfig& stream,
+                const std::vector<LineAddr>& order, std::uint64_t lines) {
+  Probe probe;
+  std::array<std::uint64_t, 7> counts{};
+  std::array<int, 7> nodes{};
+  const CounterSet::Snapshot before = system.counters().snapshot();
+  double total = 0.0;
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    const AccessResult access =
+        stream.write ? system.write(stream.core, addr_of(order[i]))
+                     : system.read(stream.core, addr_of(order[i]));
+    total += access.ns;
+    ++counts[static_cast<std::size_t>(access.source)];
+    nodes[static_cast<std::size_t>(access.source)] = access.source_node;
+  }
+  const CounterSet::Snapshot delta = system.counters().diff(before);
+  probe.broadcasts = delta[static_cast<std::size_t>(Ctr::kSnoopBroadcasts)];
+  probe.mean_ns = lines ? total / static_cast<double>(lines) : 0.0;
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < counts.size(); ++s) {
+    if (counts[s] > counts[best]) best = s;
+  }
+  probe.source = static_cast<ServiceSource>(best);
+  probe.source_node = nodes[best];
+  return probe;
+}
+
+}  // namespace
+
+BandwidthResult measure_bandwidth(System& system,
+                                  const BandwidthConfig& config) {
+  BandwidthResult result;
+  std::vector<bw::StreamSpec> specs;
+  specs.reserve(config.streams.size());
+
+  std::uint64_t seed = config.seed;
+  for (const StreamConfig& stream : config.streams) {
+    const MemRegion region =
+        system.alloc_on_node(stream.placement.memory_node, config.buffer_bytes);
+    place(system, region, stream.placement, seed);
+
+    const std::vector<LineAddr> order = chase_order(region, seed);
+    const std::uint64_t lines =
+        std::min<std::uint64_t>(order.size(), config.probe_lines);
+
+    Probe probe = run_probe(system, stream, order, lines);
+    if (config.steady_state &&
+        (stream.placement.level == CacheLevel::kMemory ||
+         probe.source == ServiceSource::kLocalDram ||
+         probe.source == ServiceSource::kRemoteDram)) {
+      // Steady state for streaming loads: the first pass warmed the reader's
+      // caches; drain them the silent way (no directory updates, like
+      // natural capacity evictions in an out-of-cache stream) and measure
+      // the second pass.
+      system.evict_core_caches(stream.core);
+      system.flush_node_l3(system.topology().node_of_core(stream.core));
+      probe = run_probe(system, stream, order, lines);
+    }
+
+    bw::StreamSpec spec;
+    spec.core = stream.core;
+    spec.write = stream.write;
+    spec.width = stream.width;
+    spec.source = probe.source;
+    spec.source_node = probe.source_node;
+    spec.home_node = stream.placement.memory_node;
+    spec.latency_ns = probe.mean_ns;
+    // A memory stream whose re-reads trigger snoop broadcasts is running on
+    // stale snoop-all directory state.
+    spec.stale_directory = system.topology().cod() &&
+                           (probe.source == ServiceSource::kLocalDram ||
+                            probe.source == ServiceSource::kRemoteDram) &&
+                           probe.broadcasts > lines / 2;
+    specs.push_back(spec);
+
+    StreamResult sr;
+    sr.probe_latency_ns = probe.mean_ns;
+    sr.source = probe.source;
+    sr.source_node = probe.source_node;
+    sr.stale_directory = spec.stale_directory;
+    result.streams.push_back(sr);
+    ++seed;
+  }
+
+  const bw::BandwidthModel model(system, config.model);
+  const std::vector<double> rates = model.concurrent(specs);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    result.streams[i].gbps = rates[i];
+    result.total_gbps += rates[i];
+  }
+  return result;
+}
+
+}  // namespace hsw

@@ -1,0 +1,55 @@
+// Bandwidth microbenchmark.
+//
+// Each stream is (a) placed like a latency experiment, (b) probed with a
+// short chase to classify where its data is serviced and at what latency,
+// then (c) the streams' sustained rates are computed by the MLP +
+// max-min-contention model (bw/model.h).  Memory-resident streams are probed
+// in steady state: the probe pass runs, the reader's caches are drained the
+// silent way, and a second pass is measured — this is what exposes the COD
+// stale-directory broadcasts that throttle remote streams (Table VIII).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bw/model.h"
+#include "core/placement.h"
+#include "machine/system.h"
+
+namespace hsw {
+
+struct StreamConfig {
+  int core = 0;
+  Placement placement;
+  bool write = false;
+  bw::LoadWidth width = bw::LoadWidth::kAvx256;
+};
+
+struct BandwidthConfig {
+  std::vector<StreamConfig> streams;
+  std::uint64_t buffer_bytes = 512 * 1024;
+  std::uint64_t probe_lines = 2048;
+  std::uint64_t seed = 1;
+  // Memory streams: probe the steady state (second pass after a silent
+  // cache drain), which exposes stale-directory broadcasts on re-reads.
+  // Disable to measure the first pass over freshly placed data.
+  bool steady_state = true;
+  bw::BwParams model;
+};
+
+struct StreamResult {
+  double gbps = 0.0;
+  double probe_latency_ns = 0.0;
+  ServiceSource source = ServiceSource::kL1;
+  int source_node = 0;
+  bool stale_directory = false;
+};
+
+struct BandwidthResult {
+  double total_gbps = 0.0;
+  std::vector<StreamResult> streams;
+};
+
+BandwidthResult measure_bandwidth(System& system, const BandwidthConfig& config);
+
+}  // namespace hsw

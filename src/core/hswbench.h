@@ -1,0 +1,26 @@
+// Umbrella header: the public API of the hswsim benchmark kit.
+//
+// Quickstart:
+//
+//   #include "core/hswbench.h"
+//   hsw::System system(hsw::SystemConfig::source_snoop());
+//   hsw::LatencyConfig cfg;
+//   cfg.reader_core = 0;
+//   cfg.placement = {.owner_core = 1, .memory_node = 0,
+//                    .state = hsw::Mesif::kModified};
+//   cfg.buffer_bytes = hsw::kib(64);
+//   auto r = hsw::measure_latency(system, cfg);   // ~53 ns: core-to-core
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+#pragma once
+
+#include "bw/model.h"
+#include "bw/solver.h"
+#include "core/bandwidth.h"
+#include "core/latency.h"
+#include "core/placement.h"
+#include "core/sweep.h"
+#include "machine/specs.h"
+#include "machine/system.h"
+#include "util/table.h"
+#include "util/units.h"

@@ -1,0 +1,48 @@
+#include "core/latency.h"
+
+#include <algorithm>
+
+namespace hsw {
+
+LatencyResult measure_latency(System& system, const LatencyConfig& config) {
+  const MemRegion region =
+      system.alloc_on_node(config.placement.memory_node, config.buffer_bytes);
+  place(system, region, config.placement, config.seed);
+
+  const std::vector<LineAddr> order = chase_order(region, config.seed);
+  const std::uint64_t measured =
+      std::min<std::uint64_t>(order.size(), config.max_measured_lines);
+
+  LatencyResult result;
+  result.lines_measured = measured;
+  const CounterSet::Snapshot before = system.counters().snapshot();
+
+  double total = 0.0;
+  double min_ns = 0.0;
+  double max_ns = 0.0;
+  for (std::uint64_t i = 0; i < measured; ++i) {
+    const AccessResult access = system.read(config.reader_core, addr_of(order[i]));
+    total += access.ns;
+    if (i == 0) {
+      min_ns = max_ns = access.ns;
+    } else {
+      min_ns = std::min(min_ns, access.ns);
+      max_ns = std::max(max_ns, access.ns);
+    }
+    ++result.source_counts[static_cast<std::size_t>(access.source)];
+  }
+
+  result.counters = system.counters().diff(before);
+  result.mean_ns = measured ? total / static_cast<double>(measured) : 0.0;
+  result.min_ns = min_ns;
+  result.max_ns = max_ns;
+
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < result.source_counts.size(); ++s) {
+    if (result.source_counts[s] > result.source_counts[best]) best = s;
+  }
+  result.dominant_source = static_cast<ServiceSource>(best);
+  return result;
+}
+
+}  // namespace hsw

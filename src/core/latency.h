@@ -1,0 +1,49 @@
+// Latency microbenchmark (pointer chasing with placement control).
+//
+// Mirrors the paper's methodology: place every line of a buffer into a
+// specified (core, level, state), then chase through the buffer from the
+// measuring core with dependent single-line loads and report the mean
+// per-load latency.  Perf-counter deltas over the measured section identify
+// where the data was actually serviced from (the Fig. 7 analysis).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/placement.h"
+#include "machine/system.h"
+
+namespace hsw {
+
+struct LatencyConfig {
+  int reader_core = 0;
+  Placement placement;
+  std::uint64_t buffer_bytes = 64 * 1024;
+  // Upper bound on measured loads (placement always covers the full buffer).
+  std::uint64_t max_measured_lines = 32768;
+  std::uint64_t seed = 1;
+};
+
+struct LatencyResult {
+  double mean_ns = 0.0;
+  double min_ns = 0.0;
+  double max_ns = 0.0;
+  std::uint64_t lines_measured = 0;
+  // Distribution of accesses over service sources, indexed by ServiceSource.
+  std::array<std::uint64_t, 7> source_counts{};
+  ServiceSource dominant_source = ServiceSource::kL1;
+  // Perf-counter deltas over the measured section only.
+  CounterSet::Snapshot counters{};
+
+  [[nodiscard]] double source_fraction(ServiceSource s) const {
+    if (lines_measured == 0) return 0.0;
+    return static_cast<double>(source_counts[static_cast<std::size_t>(s)]) /
+           static_cast<double>(lines_measured);
+  }
+};
+
+// Places the buffer and measures one chase pass.  The system should be
+// freshly constructed (or quiesced) — placement assumes it owns the caches.
+LatencyResult measure_latency(System& system, const LatencyConfig& config);
+
+}  // namespace hsw

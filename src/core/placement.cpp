@@ -1,0 +1,70 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace hsw {
+
+const char* to_string(CacheLevel level) {
+  switch (level) {
+    case CacheLevel::kL1L2: return "L1/L2";
+    case CacheLevel::kL3: return "L3";
+    case CacheLevel::kMemory: return "memory";
+  }
+  return "?";
+}
+
+std::vector<LineAddr> chase_order(const MemRegion& region, std::uint64_t seed) {
+  std::vector<LineAddr> lines(region.line_count());
+  std::iota(lines.begin(), lines.end(), region.first_line());
+  Xoshiro256 rng(seed);
+  // Fisher-Yates shuffle: a uniformly random single-cycle visiting order is
+  // what the real benchmark's pointer chain provides.
+  for (std::size_t i = lines.size(); i > 1; --i) {
+    std::swap(lines[i - 1], lines[rng.bounded(i)]);
+  }
+  return lines;
+}
+
+void place(System& system, const MemRegion& region, const Placement& placement,
+           std::uint64_t seed) {
+  const std::vector<LineAddr> order = chase_order(region, seed);
+
+  // 1. Establish the owner's copy in the requested state.
+  for (LineAddr line : order) system.write(placement.owner_core, addr_of(line));
+  if (placement.state == Mesif::kExclusive ||
+      placement.state == Mesif::kShared) {
+    for (LineAddr line : order) system.flush_line(addr_of(line));
+    for (LineAddr line : order) system.read(placement.owner_core, addr_of(line));
+  }
+
+  // 2. Spread shared copies; the last reader's node receives Forward.
+  if (placement.state == Mesif::kShared) {
+    for (int sharer : placement.sharers) {
+      for (LineAddr line : order) system.read(sharer, addr_of(line));
+    }
+  }
+
+  // 3. Push the lines down to the requested level.
+  if (placement.level == CacheLevel::kL3 ||
+      placement.level == CacheLevel::kMemory) {
+    system.evict_core_caches(placement.owner_core);
+    for (int sharer : placement.sharers) system.evict_core_caches(sharer);
+  }
+  if (placement.level == CacheLevel::kMemory) {
+    // Evict the involved nodes' L3s.  Clean lines drop silently, which is
+    // exactly what leaves the in-memory directory stale (Table V).
+    const SystemTopology& topo = system.topology();
+    std::vector<int> nodes{topo.node_of_core(placement.owner_core)};
+    for (int sharer : placement.sharers) {
+      nodes.push_back(topo.node_of_core(sharer));
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    for (int node : nodes) system.flush_node_l3(node);
+  }
+}
+
+}  // namespace hsw

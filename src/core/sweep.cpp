@@ -1,0 +1,53 @@
+#include "core/sweep.h"
+
+namespace hsw {
+
+std::vector<std::uint64_t> sweep_sizes(std::uint64_t min_bytes,
+                                       std::uint64_t max_bytes) {
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t base = 1024; base <= max_bytes; base *= 2) {
+    for (std::uint64_t size : {base, base + base / 2}) {
+      if (size >= min_bytes && size <= max_bytes) sizes.push_back(size);
+    }
+  }
+  return sizes;
+}
+
+std::vector<LatencySweepPoint> latency_sweep(const LatencySweepConfig& config) {
+  std::vector<LatencySweepPoint> points;
+  points.reserve(config.sizes.size());
+  for (std::uint64_t bytes : config.sizes) {
+    System system(config.system);
+    LatencyConfig lc;
+    lc.reader_core = config.reader_core;
+    lc.placement = config.placement;
+    lc.placement.level = CacheLevel::kL1L2;  // natural level by capacity
+    lc.buffer_bytes = bytes;
+    lc.max_measured_lines = config.max_measured_lines;
+    lc.seed = config.seed;
+    points.push_back({bytes, measure_latency(system, lc)});
+  }
+  return points;
+}
+
+std::vector<BandwidthSweepPoint> bandwidth_sweep(
+    const BandwidthSweepConfig& config) {
+  std::vector<BandwidthSweepPoint> points;
+  points.reserve(config.sizes.size());
+  for (std::uint64_t bytes : config.sizes) {
+    System system(config.system);
+    BandwidthConfig bc;
+    StreamConfig stream = config.stream;
+    stream.placement.level = CacheLevel::kL1L2;
+    bc.streams = {stream};
+    bc.buffer_bytes = bytes;
+    bc.seed = config.seed;
+    bc.model = config.model;
+    const BandwidthResult result = measure_bandwidth(system, bc);
+    points.push_back(
+        {bytes, result.total_gbps, result.streams.front().source});
+  }
+  return points;
+}
+
+}  // namespace hsw

@@ -1,0 +1,57 @@
+// Data-set-size sweeps: the x-axes of the paper's Figures 4-9.
+//
+// A sweep constructs a fresh System per point (measurements must not inherit
+// cache or directory state from the previous size), places the buffer with
+// the natural level (capacity decides which level holds the data, exactly as
+// on hardware), and measures latency or bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/bandwidth.h"
+#include "core/latency.h"
+#include "machine/system.h"
+
+namespace hsw {
+
+// Log-spaced sizes between min and max (inclusive): {1, 1.5}x powers of two,
+// e.g. 16K, 24K, 32K, 48K, 64K ...
+std::vector<std::uint64_t> sweep_sizes(std::uint64_t min_bytes,
+                                       std::uint64_t max_bytes);
+
+struct LatencySweepPoint {
+  std::uint64_t bytes = 0;
+  LatencyResult result;
+};
+
+struct LatencySweepConfig {
+  SystemConfig system;
+  int reader_core = 0;
+  // Level is forced to kL1L2 ("natural"); state/owner/sharers/node apply.
+  Placement placement;
+  std::vector<std::uint64_t> sizes;
+  std::uint64_t max_measured_lines = 16384;
+  std::uint64_t seed = 1;
+};
+
+std::vector<LatencySweepPoint> latency_sweep(const LatencySweepConfig& config);
+
+struct BandwidthSweepPoint {
+  std::uint64_t bytes = 0;
+  double gbps = 0.0;
+  ServiceSource source = ServiceSource::kL1;
+};
+
+struct BandwidthSweepConfig {
+  SystemConfig system;
+  StreamConfig stream;
+  std::vector<std::uint64_t> sizes;
+  std::uint64_t seed = 1;
+  bw::BwParams model;
+};
+
+std::vector<BandwidthSweepPoint> bandwidth_sweep(const BandwidthSweepConfig& config);
+
+}  // namespace hsw

@@ -1,0 +1,66 @@
+#include "machine/specs.h"
+
+namespace hsw {
+
+const UarchSpec& sandy_bridge_spec() {
+  static const UarchSpec spec{
+      .name = "Sandy Bridge",
+      .decode_per_cycle = 4,
+      .allocation_queue = 28,
+      .execute_uops_per_cycle = 6,
+      .retire_uops_per_cycle = 4,
+      .scheduler_entries = 54,
+      .rob_entries = 168,
+      .int_registers = 160,
+      .fp_registers = 144,
+      .simd_isa = "AVX",
+      .fpu_width = "2x 256 bit (1x add, 1x mul)",
+      .flops_per_cycle_sp = 16,
+      .flops_per_cycle_dp = 8,
+      .load_buffers = 64,
+      .store_buffers = 36,
+      .l1_load_bytes_per_cycle = 16,
+      .l1_store_bytes_per_cycle = 16,
+      .l2_bytes_per_cycle = 32,
+      .memory_channels = "4x DDR3-1600",
+      .memory_bw_gbps = 51.2,
+      .qpi_speed_gts = 8.0,
+      .qpi_bw_gbps = 32.0,
+  };
+  return spec;
+}
+
+const UarchSpec& haswell_spec() {
+  static const UarchSpec spec{
+      .name = "Haswell",
+      .decode_per_cycle = 4,
+      .allocation_queue = 56,
+      .execute_uops_per_cycle = 8,
+      .retire_uops_per_cycle = 4,
+      .scheduler_entries = 60,
+      .rob_entries = 192,
+      .int_registers = 168,
+      .fp_registers = 168,
+      .simd_isa = "AVX2",
+      .fpu_width = "2x 256 bit FMA",
+      .flops_per_cycle_sp = 32,
+      .flops_per_cycle_dp = 16,
+      .load_buffers = 72,
+      .store_buffers = 42,
+      .l1_load_bytes_per_cycle = 32,
+      .l1_store_bytes_per_cycle = 32,
+      .l2_bytes_per_cycle = 64,
+      .memory_channels = "4x DDR4-2133",
+      .memory_bw_gbps = 68.2,
+      .qpi_speed_gts = 9.6,
+      .qpi_bw_gbps = 38.4,
+  };
+  return spec;
+}
+
+const TestSystemSpec& test_system_spec() {
+  static const TestSystemSpec spec{};
+  return spec;
+}
+
+}  // namespace hsw

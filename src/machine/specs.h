@@ -1,0 +1,60 @@
+// Static architecture specification tables.
+//
+// Table I of the paper compares the Sandy Bridge and Haswell
+// micro-architectures; Table II documents the test system.  These are data,
+// not measurements — kept here so the table1/table2 bench binaries print
+// them from one authoritative place and the core model can consume the few
+// values that matter to it (FLOPS/cycle, load/store widths).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hsw {
+
+struct UarchSpec {
+  std::string_view name;
+  int decode_per_cycle;
+  int allocation_queue;      // entries (per thread for SNB)
+  int execute_uops_per_cycle;
+  int retire_uops_per_cycle;
+  int scheduler_entries;
+  int rob_entries;
+  int int_registers;
+  int fp_registers;
+  std::string_view simd_isa;
+  std::string_view fpu_width;
+  int flops_per_cycle_sp;
+  int flops_per_cycle_dp;
+  int load_buffers;
+  int store_buffers;
+  int l1_load_bytes_per_cycle;   // per port; two load ports
+  int l1_store_bytes_per_cycle;
+  int l2_bytes_per_cycle;
+  std::string_view memory_channels;
+  double memory_bw_gbps;
+  double qpi_speed_gts;
+  double qpi_bw_gbps;
+};
+
+[[nodiscard]] const UarchSpec& sandy_bridge_spec();
+[[nodiscard]] const UarchSpec& haswell_spec();
+
+struct TestSystemSpec {
+  std::string_view processor = "2x Intel Xeon E5-2680 v3 (Haswell-EP)";
+  int cores_per_socket = 12;
+  double base_ghz = 2.5;
+  double avx_base_ghz = 2.1;
+  std::string_view l1 = "32 KiB per core, 8-way";
+  std::string_view l2 = "256 KiB per core, 8-way";
+  std::string_view l3 = "30 MiB (12 x 2.5 MiB slices), 20-way, inclusive";
+  std::string_view memory = "4x DDR4-2133 per socket (68.3 GB/s)";
+  std::string_view qpi = "2 links @ 9.6 GT/s (38.4 GB/s per direction)";
+  std::string_view bios_modes =
+      "Early Snoop auto (source snoop) | disabled (home snoop) | COD";
+};
+
+[[nodiscard]] const TestSystemSpec& test_system_spec();
+
+}  // namespace hsw

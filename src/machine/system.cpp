@@ -1,0 +1,67 @@
+#include "machine/system.h"
+
+#include <sstream>
+
+#include "util/units.h"
+
+namespace hsw {
+namespace {
+
+TopologyConfig topo_config(const SystemConfig& c) {
+  TopologyConfig t;
+  t.sku = c.sku;
+  t.sockets = c.sockets;
+  t.snoop_mode = c.snoop_mode;
+  return t;
+}
+
+ProtocolFeatures features_of(const SystemConfig& c) {
+  return c.feature_override ? *c.feature_override
+                            : ProtocolFeatures::for_mode(c.snoop_mode);
+}
+
+}  // namespace
+
+SystemConfig SystemConfig::source_snoop() { return SystemConfig{}; }
+
+SystemConfig SystemConfig::home_snoop() {
+  SystemConfig c;
+  c.snoop_mode = SnoopMode::kHomeSnoop;
+  return c;
+}
+
+SystemConfig SystemConfig::cluster_on_die() {
+  SystemConfig c;
+  c.snoop_mode = SnoopMode::kCod;
+  return c;
+}
+
+std::string SystemConfig::describe() const {
+  std::ostringstream out;
+  out << sockets << "x " << to_string(sku) << ", " << to_string(snoop_mode)
+      << ", L3 " << format_bytes(geometry.l3_slice_bytes) << "/slice, "
+      << timing.core_ghz << " GHz";
+  return out.str();
+}
+
+System::System(const SystemConfig& config)
+    : config_(config),
+      state_(topo_config(config), config.timing, config.geometry,
+             features_of(config)),
+      engine_(state_) {}
+
+std::uint64_t System::node_l3_bytes(int node) const {
+  const NumaNode& n = state_.topo.node(node);
+  return static_cast<std::uint64_t>(n.local_slices.size()) *
+         config_.geometry.l3_slice_bytes;
+}
+
+double System::node_dram_bandwidth_gbps(int node) const {
+  // DDR4-2133: 2133 MT/s * 8 B = 17.064 GB/s per channel.
+  const NumaNode& n = state_.topo.node(node);
+  const double channels = static_cast<double>(n.imcs.size()) *
+                          config_.geometry.channels_per_imc;
+  return channels * 17.064;
+}
+
+}  // namespace hsw

@@ -1,0 +1,88 @@
+// Public facade of the simulated machine.
+//
+// `System` assembles topology, caches, agents and the coherence engine per a
+// `SystemConfig`, and exposes the operations the benchmark kit needs:
+// single-line reads/writes/flushes issued from a chosen core, NUMA-aware
+// allocation, placement helpers, and the perf counters.
+//
+// The default configuration is the paper's test system (Table II): two
+// 12-core Haswell-EP packages at 2.5 GHz, 4x DDR4-2133 per socket, two QPI
+// links at 9.6 GT/s.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "coh/engine.h"
+#include "coh/state.h"
+
+namespace hsw {
+
+struct SystemConfig {
+  DieSku sku = DieSku::kTwelveCore;
+  int sockets = 2;
+  SnoopMode snoop_mode = SnoopMode::kSourceSnoop;
+  TimingParams timing = TimingParams::haswell_ep();
+  CacheGeometry geometry;
+  // When set, overrides the feature flags derived from `snoop_mode`
+  // (used by the ablation benches).
+  std::optional<ProtocolFeatures> feature_override;
+
+  // Named presets matching the paper's three BIOS configurations.
+  static SystemConfig source_snoop();   // default: Early Snoop enabled
+  static SystemConfig home_snoop();     // Early Snoop disabled
+  static SystemConfig cluster_on_die(); // COD enabled
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config = SystemConfig::source_snoop());
+
+  // --- memory operations (single cache line each) ---------------------------
+  AccessResult read(int core, PhysAddr addr) { return engine_.read(core, addr); }
+  AccessResult write(int core, PhysAddr addr) { return engine_.write(core, addr); }
+  double flush_line(PhysAddr addr) { return engine_.flush_line(addr); }
+
+  // --- placement helpers -----------------------------------------------------
+  // Drain a core's L1+L2 into its node's L3 (silent for clean lines).
+  void evict_core_caches(int core) { engine_.evict_core_caches(core); }
+  // Evict a node's whole L3 to memory (silent for clean lines, preserving
+  // stale directory state like real hardware).
+  void flush_node_l3(int node) { engine_.flush_node_l3(node); }
+  // Drop every cached line without any writeback or directory traffic
+  // (experiment isolation only; not a hardware operation).
+  void drop_all_caches() { state_.drop_all_caches(); }
+
+  // NUMA-aware allocation (libnuma equivalent).
+  MemRegion alloc_on_node(int node, std::uint64_t bytes) {
+    return state_.address_space.alloc(node, bytes);
+  }
+
+  // --- introspection -----------------------------------------------------------
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] const SystemTopology& topology() const { return state_.topo; }
+  [[nodiscard]] const TimingParams& timing() const { return state_.timing; }
+  [[nodiscard]] int core_count() const { return state_.topo.core_count(); }
+  [[nodiscard]] int node_count() const { return state_.topo.node_count(); }
+  CounterSet& counters() { return state_.counters; }
+  [[nodiscard]] const CounterSet& counters() const { return state_.counters; }
+
+  // L3 capacity visible to one node (the inclusive-L3 domain in COD).
+  [[nodiscard]] std::uint64_t node_l3_bytes(int node) const;
+  // Aggregate DRAM bandwidth per node in GB/s (4x DDR4-2133 per socket).
+  [[nodiscard]] double node_dram_bandwidth_gbps(int node) const;
+
+  // Direct engine/state access for white-box tests and the bandwidth model.
+  MachineState& state() { return state_; }
+  [[nodiscard]] const MachineState& state() const { return state_; }
+
+ private:
+  SystemConfig config_;
+  MachineState state_;
+  CoherenceEngine engine_;
+};
+
+}  // namespace hsw

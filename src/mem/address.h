@@ -1,0 +1,70 @@
+// Physical address layout and NUMA-aware allocation.
+//
+// The benchmarks need libnuma-style placement: "allocate this buffer on node
+// N".  The simulator encodes the home node in address bits [46:44] and hands
+// out bump-allocated, line-aligned regions per node.  Lower bits interleave
+// consecutive lines across the home node's DRAM channels, matching the
+// 64-byte channel-interleave of the real machine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+#include "mem/line.h"
+
+namespace hsw {
+
+inline constexpr unsigned kNodeShift = 44;  // address bit of the node id
+inline constexpr unsigned kMaxNodes = 8;
+
+constexpr int home_node_of(PhysAddr addr) {
+  return static_cast<int>((addr >> kNodeShift) & (kMaxNodes - 1));
+}
+constexpr int home_node_of_line(LineAddr line) {
+  return static_cast<int>((line >> (kNodeShift - kLineBits)) & (kMaxNodes - 1));
+}
+
+// A contiguous, line-aligned physical region homed on one NUMA node.
+struct MemRegion {
+  PhysAddr base = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] LineAddr first_line() const { return line_of(base); }
+  [[nodiscard]] std::uint64_t line_count() const { return bytes / kLineSize; }
+  [[nodiscard]] PhysAddr addr_at(std::uint64_t offset) const {
+    return base + offset;
+  }
+  [[nodiscard]] bool contains(PhysAddr addr) const {
+    return addr >= base && addr < base + bytes;
+  }
+};
+
+// Bump allocator, one arena per NUMA node.  There is no free(): benchmark
+// runs allocate fresh regions and reset the whole machine between
+// experiments, exactly like a fresh process on real hardware.
+class AddressSpace {
+ public:
+  MemRegion alloc(int node, std::uint64_t bytes) {
+    if (node < 0 || node >= static_cast<int>(kMaxNodes)) {
+      throw std::out_of_range("node id out of range");
+    }
+    // Round up to whole lines.
+    bytes = (bytes + kLineSize - 1) & ~(kLineSize - 1);
+    auto& cursor = cursors_[static_cast<std::size_t>(node)];
+    const PhysAddr base =
+        (static_cast<PhysAddr>(node) << kNodeShift) | cursor;
+    if (cursor + bytes >= (1ull << kNodeShift)) {
+      throw std::bad_alloc();
+    }
+    cursor += bytes;
+    return MemRegion{base, bytes};
+  }
+
+  void reset() { cursors_.fill(0); }
+
+ private:
+  std::array<std::uint64_t, kMaxNodes> cursors_{};
+};
+
+}  // namespace hsw

@@ -1,0 +1,171 @@
+#include "mem/cache_array.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace hsw {
+
+CacheArray::CacheArray(std::uint64_t capacity_bytes, unsigned associativity,
+                       Replacement replacement)
+    : assoc_(associativity), replacement_(replacement) {
+  if (associativity == 0 || capacity_bytes == 0 ||
+      capacity_bytes % (static_cast<std::uint64_t>(associativity) * kLineSize) != 0) {
+    throw std::invalid_argument("cache capacity must be a multiple of assoc * 64B");
+  }
+  const std::uint64_t set_count =
+      capacity_bytes / (static_cast<std::uint64_t>(associativity) * kLineSize);
+  if (!std::has_single_bit(set_count)) {
+    throw std::invalid_argument("cache set count must be a power of two");
+  }
+  if (replacement == Replacement::kTreePlru && !std::has_single_bit(static_cast<std::uint64_t>(associativity))) {
+    throw std::invalid_argument("tree-PLRU requires power-of-two associativity");
+  }
+  set_mask_ = static_cast<std::size_t>(set_count - 1);
+  sets_.resize(static_cast<std::size_t>(set_count));
+  for (Set& set : sets_) set.resize(assoc_);
+  plru_.assign(sets_.size(), 0);
+}
+
+CacheArray::Way* CacheArray::find_way(LineAddr line) {
+  Set& set = sets_[set_index(line)];
+  for (Way& way : set) {
+    if (is_valid(way.entry.state) && way.entry.line == line) return &way;
+  }
+  return nullptr;
+}
+
+const CacheArray::Way* CacheArray::find_way(LineAddr line) const {
+  const Set& set = sets_[set_index(line)];
+  for (const Way& way : set) {
+    if (is_valid(way.entry.state) && way.entry.line == line) return &way;
+  }
+  return nullptr;
+}
+
+CacheEntry* CacheArray::lookup(LineAddr line, bool touch) {
+  Way* way = find_way(line);
+  if (!way) return nullptr;
+  if (touch) {
+    Set& set = sets_[set_index(line)];
+    touch_way(set, set_index(line), static_cast<std::size_t>(way - set.data()));
+  }
+  return &way->entry;
+}
+
+const CacheEntry* CacheArray::peek(LineAddr line) const {
+  const Way* way = find_way(line);
+  return way ? &way->entry : nullptr;
+}
+
+CacheArray::InsertResult CacheArray::insert(LineAddr line, Mesif state) {
+  assert(is_valid(state));
+  assert(!contains(line) && "insert of an already-present line");
+  const std::size_t idx = set_index(line);
+  Set& set = sets_[idx];
+
+  std::size_t target = assoc_;
+  for (std::size_t w = 0; w < set.size(); ++w) {
+    if (!is_valid(set[w].entry.state)) {
+      target = w;
+      break;
+    }
+  }
+
+  InsertResult result;
+  if (target == assoc_) {
+    target = victim_way(set, idx);
+    result.victim = set[target].entry;
+  }
+  set[target].entry = CacheEntry{line, state, 0, 0};
+  touch_way(set, idx, target);
+  result.entry = &set[target].entry;
+  return result;
+}
+
+std::optional<CacheEntry> CacheArray::erase(LineAddr line) {
+  Way* way = find_way(line);
+  if (!way) return std::nullopt;
+  CacheEntry prior = way->entry;
+  way->entry = CacheEntry{};
+  return prior;
+}
+
+void CacheArray::flush(const std::function<void(const CacheEntry&)>& on_evict) {
+  for (Set& set : sets_) {
+    for (Way& way : set) {
+      if (is_valid(way.entry.state)) {
+        on_evict(way.entry);
+        way.entry = CacheEntry{};
+      }
+    }
+  }
+}
+
+std::size_t CacheArray::valid_count() const {
+  std::size_t n = 0;
+  for (const Set& set : sets_) {
+    for (const Way& way : set) {
+      if (is_valid(way.entry.state)) ++n;
+    }
+  }
+  return n;
+}
+
+const CacheEntry* CacheArray::replacement_victim(LineAddr line_in_set) const {
+  const std::size_t idx = set_index(line_in_set);
+  const Set& set = sets_[idx];
+  for (const Way& way : set) {
+    if (!is_valid(way.entry.state)) return nullptr;
+  }
+  return &set[victim_way(set, idx)].entry;
+}
+
+std::size_t CacheArray::victim_way(const Set& set, std::size_t set_idx) const {
+  if (replacement_ == Replacement::kLru) {
+    std::size_t victim = 0;
+    for (std::size_t w = 1; w < set.size(); ++w) {
+      if (set[w].lru < set[victim].lru) victim = w;
+    }
+    return victim;
+  }
+  // Tree-PLRU: walk the bit tree; a 0 bit points left, 1 points right.  The
+  // victim is the leaf the pointers lead to.
+  const std::uint32_t tree = plru_[set_idx];
+  std::size_t node = 0;  // root of the implicit binary tree over ways
+  std::size_t width = assoc_;
+  std::size_t base = 0;
+  while (width > 1) {
+    const bool right = (tree >> node) & 1u;
+    width /= 2;
+    if (right) base += width;
+    node = 2 * node + (right ? 2 : 1);
+  }
+  return base;
+}
+
+void CacheArray::touch_way(Set& set, std::size_t set_idx, std::size_t way) {
+  set[way].lru = ++clock_;
+  if (replacement_ != Replacement::kTreePlru) return;
+  // Flip the tree pointers along the path to `way` to point away from it.
+  std::uint32_t tree = plru_[set_idx];
+  std::size_t node = 0;
+  std::size_t width = assoc_;
+  std::size_t base = 0;
+  while (width > 1) {
+    width /= 2;
+    const bool in_right_half = way >= base + width;
+    // Point the node away from the accessed half.
+    if (in_right_half) {
+      tree &= ~(1u << node);
+      base += width;
+      node = 2 * node + 2;
+    } else {
+      tree |= (1u << node);
+      node = 2 * node + 1;
+    }
+  }
+  plru_[set_idx] = tree;
+}
+
+}  // namespace hsw

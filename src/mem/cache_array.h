@@ -1,0 +1,98 @@
+// Set-associative cache tag/state array.
+//
+// A purely functional model (no data payloads — the simulator only tracks
+// placement and coherence state).  One class serves L1D, L2, L3 slices and
+// the HitME directory cache; the per-line metadata carries the MESIF state,
+// the core-valid bit vector (used by L3/CBo), and a small payload byte (used
+// by the HitME cache for its presence vector).
+//
+// Replacement is true LRU by default; tree-PLRU is available to study how
+// far the approximation changes eviction patterns (the L3 uses an
+// approximation on real silicon).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mem/line.h"
+
+namespace hsw {
+
+enum class Replacement : std::uint8_t { kLru, kTreePlru };
+
+struct CacheEntry {
+  LineAddr line = 0;
+  Mesif state = Mesif::kInvalid;
+  std::uint32_t core_valid = 0;  // CBo core-valid bits (L3 only)
+  std::uint8_t payload = 0;      // HitME presence vector
+};
+
+class CacheArray {
+ public:
+  // `capacity_bytes` must be a multiple of `associativity * kLineSize` and
+  // yield a power-of-two set count.
+  CacheArray(std::uint64_t capacity_bytes, unsigned associativity,
+             Replacement replacement = Replacement::kLru);
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return static_cast<std::uint64_t>(sets_.size()) * assoc_ * kLineSize;
+  }
+  [[nodiscard]] unsigned associativity() const { return assoc_; }
+  [[nodiscard]] std::size_t set_count() const { return sets_.size(); }
+
+  // Looks up a line; touch=true refreshes recency.  Returns nullptr on miss.
+  CacheEntry* lookup(LineAddr line, bool touch = true);
+  [[nodiscard]] const CacheEntry* peek(LineAddr line) const;
+  [[nodiscard]] bool contains(LineAddr line) const { return peek(line) != nullptr; }
+
+  // Inserts `line` (must not be present), evicting the replacement victim if
+  // the set is full.  The victim (if any, and if it was valid) is returned so
+  // the caller can handle writebacks / inclusive back-invalidations.
+  struct InsertResult {
+    CacheEntry* entry = nullptr;
+    std::optional<CacheEntry> victim;
+  };
+  InsertResult insert(LineAddr line, Mesif state);
+
+  // Invalidates a line if present; returns the prior entry.
+  std::optional<CacheEntry> erase(LineAddr line);
+
+  // Invalidates everything, invoking `on_evict` for each valid entry
+  // (used by the benchmark's cache-flush placement step).
+  void flush(const std::function<void(const CacheEntry&)>& on_evict);
+
+  [[nodiscard]] std::size_t valid_count() const;
+
+  // Victim the true-LRU / PLRU way would choose for this set right now, or
+  // nullptr if the set still has an invalid way.  Exposed for tests.
+  [[nodiscard]] const CacheEntry* replacement_victim(LineAddr line_in_set) const;
+
+ private:
+  struct Way {
+    CacheEntry entry;
+    std::uint64_t lru = 0;  // larger == more recent
+  };
+  using Set = std::vector<Way>;
+
+  [[nodiscard]] std::size_t set_index(LineAddr line) const {
+    return static_cast<std::size_t>(line) & set_mask_;
+  }
+  Way* find_way(LineAddr line);
+  [[nodiscard]] const Way* find_way(LineAddr line) const;
+  // Index of the way to replace in `set` (all ways valid).
+  [[nodiscard]] std::size_t victim_way(const Set& set, std::size_t set_idx) const;
+  void touch_way(Set& set, std::size_t set_idx, std::size_t way);
+
+  unsigned assoc_;
+  std::size_t set_mask_;
+  Replacement replacement_;
+  std::vector<Set> sets_;
+  // Tree-PLRU state: one bit-tree per set, stored as an integer of
+  // (assoc-1) bits (assoc must be a power of two for PLRU).
+  std::vector<std::uint32_t> plru_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace hsw

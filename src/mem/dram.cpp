@@ -1,0 +1,25 @@
+#include "mem/dram.h"
+
+namespace hsw {
+
+DramChannel::DramChannel(const DramGeometry& geometry) : geometry_(geometry) {
+  open_row_.assign(geometry_.banks, -1);
+}
+
+RowBufferOutcome DramChannel::access(std::uint64_t channel_line) {
+  const std::uint64_t lines_per_row = geometry_.lines_per_row();
+  const std::uint64_t global_row = channel_line / lines_per_row;
+  const auto bank = static_cast<std::size_t>(global_row % geometry_.banks);
+  const auto row = static_cast<std::int64_t>(global_row / geometry_.banks);
+
+  if (open_row_[bank] == row) return RowBufferOutcome::kHit;
+  const bool was_open = open_row_[bank] >= 0;
+  open_row_[bank] = row;
+  return was_open ? RowBufferOutcome::kConflict : RowBufferOutcome::kEmpty;
+}
+
+void DramChannel::close_all() {
+  open_row_.assign(geometry_.banks, -1);
+}
+
+}  // namespace hsw

@@ -1,0 +1,79 @@
+// DDR4 channel model with row-buffer (open-page) behaviour and the
+// in-memory coherence directory.
+//
+// The paper's footnote 7 attributes sub-256 KiB memory-latency variation to
+// "the portion of accesses that read from already open pages"; reproducing
+// Fig. 7 therefore needs a row-buffer model, not a flat DRAM latency.  Each
+// channel tracks the open row per bank: an access is a page hit (row already
+// open), a page empty (bank precharged), or a page conflict (different row
+// open, needs precharge + activate).
+//
+// The 2-bit in-memory directory (paper §IV-A) is stored alongside: real
+// hardware keeps it in the ECC bits of each line, so reading memory always
+// returns the directory state for free, and updating it costs a write.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/line.h"
+
+namespace hsw {
+
+enum class RowBufferOutcome : std::uint8_t { kHit, kEmpty, kConflict };
+
+struct DramGeometry {
+  unsigned banks = 16;
+  std::uint64_t row_bytes = 8192;  // 8 KiB row per bank per channel
+
+  [[nodiscard]] std::uint64_t lines_per_row() const { return row_bytes / kLineSize; }
+};
+
+// One DDR4 channel: per-bank open-row registers.
+class DramChannel {
+ public:
+  explicit DramChannel(const DramGeometry& geometry = {});
+
+  // `channel_line` is the line index within this channel's address space
+  // (i.e. the node-relative line index divided by the channel count).
+  RowBufferOutcome access(std::uint64_t channel_line);
+
+  // Precharges all banks (e.g. after idle periods between measurements).
+  void close_all();
+
+  [[nodiscard]] const DramGeometry& geometry() const { return geometry_; }
+
+ private:
+  DramGeometry geometry_;
+  std::vector<std::int64_t> open_row_;  // -1 == precharged
+};
+
+// Sparse in-memory directory: 2 bits per line, default remote-invalid.
+// Owned by each home agent for the lines it is home to.
+class DirectoryStore {
+ public:
+  [[nodiscard]] DirState get(LineAddr line) const {
+    auto it = states_.find(line);
+    return it == states_.end() ? DirState::kRemoteInvalid : it->second;
+  }
+
+  // Returns true if the stored state changed (a real machine pays a memory
+  // write for directory updates).
+  bool set(LineAddr line, DirState state) {
+    if (state == DirState::kRemoteInvalid) {
+      return states_.erase(line) > 0;
+    }
+    auto [it, inserted] = states_.insert_or_assign(line, state);
+    (void)it;
+    return inserted || true;
+  }
+
+  void clear() { states_.clear(); }
+  [[nodiscard]] std::size_t tracked_lines() const { return states_.size(); }
+
+ private:
+  std::unordered_map<LineAddr, DirState> states_;
+};
+
+}  // namespace hsw

@@ -1,0 +1,67 @@
+// Cache-line addressing and MESIF states.
+//
+// All coherence bookkeeping works on 64-byte line granularity.  A `LineAddr`
+// is a physical address shifted right by 6; the full physical address layout
+// (home-node encoding, channel interleave) lives in mem/address.h.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hsw {
+
+inline constexpr std::uint64_t kLineSize = 64;
+inline constexpr unsigned kLineBits = 6;
+
+using PhysAddr = std::uint64_t;
+using LineAddr = std::uint64_t;
+
+constexpr LineAddr line_of(PhysAddr addr) { return addr >> kLineBits; }
+constexpr PhysAddr addr_of(LineAddr line) { return line << kLineBits; }
+
+// MESIF coherence states (paper §IV-A).  `forward` designates the single
+// shared copy responsible for cache-to-cache forwarding.
+enum class Mesif : std::uint8_t {
+  kInvalid,
+  kShared,
+  kForward,
+  kExclusive,
+  kModified,
+};
+
+constexpr bool is_valid(Mesif s) { return s != Mesif::kInvalid; }
+constexpr bool is_dirty(Mesif s) { return s == Mesif::kModified; }
+// States that obligate the holder to respond with data to a snoop.
+constexpr bool can_forward(Mesif s) {
+  return s == Mesif::kModified || s == Mesif::kExclusive || s == Mesif::kForward;
+}
+
+constexpr std::string_view to_string(Mesif s) {
+  switch (s) {
+    case Mesif::kInvalid: return "I";
+    case Mesif::kShared: return "S";
+    case Mesif::kForward: return "F";
+    case Mesif::kExclusive: return "E";
+    case Mesif::kModified: return "M";
+  }
+  return "?";
+}
+
+// In-memory directory states stored in the ECC bits (2 bits per line,
+// paper §IV-A / Kottapalli et al.).
+enum class DirState : std::uint8_t {
+  kRemoteInvalid,  // no copy outside the home node: serve without snoops
+  kSnoopAll,       // a (potentially modified) copy may exist remotely
+  kShared,         // multiple clean copies exist; memory copy is valid
+};
+
+constexpr std::string_view to_string(DirState s) {
+  switch (s) {
+    case DirState::kRemoteInvalid: return "remote-invalid";
+    case DirState::kSnoopAll: return "snoop-all";
+    case DirState::kShared: return "shared";
+  }
+  return "?";
+}
+
+}  // namespace hsw

@@ -1,0 +1,61 @@
+#include "sim/counters.h"
+
+namespace hsw {
+namespace {
+
+constexpr std::array<std::string_view, kCtrCount> kNames = {
+    "mem_load_uops_retired.l1_hit",
+    "mem_load_uops_retired.l2_hit",
+    "mem_load_uops_retired.l3_hit",
+    "mem_load_uops_l3_miss_retired.local_dram",
+    "mem_load_uops_l3_miss_retired.remote_dram",
+    "mem_load_uops_l3_miss_retired.remote_fwd",
+    "uncore_cbo.snoops_sent",
+    "uncore_ha.snoop_broadcasts",
+    "uncore_ha.directory_lookups",
+    "uncore_ha.directory_updates",
+    "uncore_ha.hitme_hit",
+    "uncore_ha.hitme_miss",
+    "uncore_ha.hitme_alloc",
+    "uncore_ha.hitme_evict",
+    "uncore_qpi.data_flits",
+    "uncore_qpi.snoop_flits",
+    "uncore_imc.cas_count_read",
+    "uncore_imc.cas_count_write",
+    "uncore_imc.page_hit",
+    "uncore_imc.page_miss",
+    "uncore_cbo.l3_evictions",
+    "uncore_cbo.l3_writebacks",
+    "uncore_cbo.core_snoops",
+};
+
+}  // namespace
+
+std::string_view ctr_name(Ctr c) {
+  return kNames[static_cast<std::size_t>(c)];
+}
+
+std::uint64_t CounterSet::value(std::string_view name) const {
+  for (std::size_t i = 0; i < kCtrCount; ++i) {
+    if (kNames[i] == name) return values_[i];
+  }
+  return 0;
+}
+
+CounterSet::Snapshot CounterSet::diff(const Snapshot& before) const {
+  Snapshot result{};
+  for (std::size_t i = 0; i < kCtrCount; ++i) {
+    result[i] = values_[i] - before[i];
+  }
+  return result;
+}
+
+std::map<std::string, std::uint64_t> CounterSet::named() const {
+  std::map<std::string, std::uint64_t> result;
+  for (std::size_t i = 0; i < kCtrCount; ++i) {
+    if (values_[i] != 0) result.emplace(std::string(kNames[i]), values_[i]);
+  }
+  return result;
+}
+
+}  // namespace hsw

@@ -1,0 +1,64 @@
+#include "topo/ring.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+
+namespace hsw {
+
+Ring::Ring(int size) : size_(size) { assert(size > 0); }
+
+int Ring::distance(int from, int to) const {
+  assert(from >= 0 && from < size_ && to >= 0 && to < size_);
+  const int forward = std::abs(to - from);
+  return std::min(forward, size_ - forward);
+}
+
+double Ring::mean_distance(int from, std::span<const int> targets) const {
+  if (targets.empty()) return 0.0;
+  double total = 0.0;
+  for (int t : targets) total += distance(from, t);
+  return total / static_cast<double>(targets.size());
+}
+
+RingFabric::RingFabric(std::vector<Ring> rings, std::vector<RingBridge> bridges,
+                       double bridge_penalty_hops)
+    : rings_(std::move(rings)),
+      bridges_(std::move(bridges)),
+      bridge_penalty_hops_(bridge_penalty_hops) {
+  assert(!rings_.empty());
+}
+
+double RingFabric::distance(RingStop from, RingStop to) const {
+  if (from.ring == to.ring) {
+    return rings_[static_cast<std::size_t>(from.ring)].distance(from.stop, to.stop);
+  }
+  assert(!bridges_.empty() && "cross-ring transfer without a bridge");
+  // Choose whichever bridge minimises total path length.  Bridges store one
+  // stop per ring; orient them relative to (from, to).
+  double best = std::numeric_limits<double>::infinity();
+  for (const RingBridge& bridge : bridges_) {
+    const RingStop& near_side =
+        bridge.side_a.ring == from.ring ? bridge.side_a : bridge.side_b;
+    const RingStop& far_side =
+        bridge.side_a.ring == to.ring ? bridge.side_a : bridge.side_b;
+    assert(near_side.ring == from.ring && far_side.ring == to.ring);
+    const double cost =
+        rings_[static_cast<std::size_t>(from.ring)].distance(from.stop, near_side.stop) +
+        bridge_penalty_hops_ +
+        rings_[static_cast<std::size_t>(to.ring)].distance(far_side.stop, to.stop);
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+double RingFabric::mean_distance(RingStop from,
+                                 std::span<const RingStop> targets) const {
+  if (targets.empty()) return 0.0;
+  double total = 0.0;
+  for (const RingStop& t : targets) total += distance(from, t);
+  return total / static_cast<double>(targets.size());
+}
+
+}  // namespace hsw

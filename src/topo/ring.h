@@ -1,0 +1,78 @@
+// Bi-directional ring interconnect model.
+//
+// Haswell-EP connects cores, L3 slices (CBos), memory controllers, QPI and
+// PCIe through one or two bi-directional rings (paper Fig. 1).  A ring is a
+// cycle of `size` stops; a transfer between two stops takes the shorter
+// direction, which is what the bi-directional design buys.  The 12- and
+// 18-core dies have two rings coupled by two buffered queues; crossing a
+// queue costs extra cycles and lands the message on the peer ring.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hsw {
+
+// A stop index is a position on a ring, 0..size-1.
+class Ring {
+ public:
+  explicit Ring(int size);
+
+  [[nodiscard]] int size() const { return size_; }
+
+  // Minimal hop count between two stops going the shorter way around.
+  [[nodiscard]] int distance(int from, int to) const;
+
+  // Mean distance from `from` to each stop in `targets` (uniform weighting,
+  // which matches address-hash interleaving across L3 slices).
+  [[nodiscard]] double mean_distance(int from, std::span<const int> targets) const;
+
+ private:
+  int size_;
+};
+
+// Location of an agent in a (possibly multi-ring) die.
+struct RingStop {
+  int ring = 0;  // which ring of the die
+  int stop = 0;  // position on that ring
+};
+
+// A pair of buffered queues ("Sbox"es) coupling two rings.  Each queue has a
+// stop on both rings; a cross-ring message picks the queue that minimises
+// total distance.
+struct RingBridge {
+  RingStop side_a;  // stop on ring A
+  RingStop side_b;  // stop on ring B
+};
+
+// Hop metric for a die with one or two rings.  `bridge_penalty_hops` is the
+// extra cost of traversing the buffered inter-ring queue, expressed in
+// equivalent ring hops.
+class RingFabric {
+ public:
+  RingFabric(std::vector<Ring> rings, std::vector<RingBridge> bridges,
+             double bridge_penalty_hops);
+
+  [[nodiscard]] int ring_count() const { return static_cast<int>(rings_.size()); }
+  [[nodiscard]] const Ring& ring(int i) const { return rings_[static_cast<std::size_t>(i)]; }
+
+  // One-way distance (in hops; fractional because of the bridge penalty)
+  // between two stops, possibly on different rings.
+  [[nodiscard]] double distance(RingStop from, RingStop to) const;
+
+  // Mean one-way distance from `from` to each stop in `targets`.
+  [[nodiscard]] double mean_distance(RingStop from,
+                                     std::span<const RingStop> targets) const;
+
+  [[nodiscard]] bool crosses_bridge(RingStop from, RingStop to) const {
+    return from.ring != to.ring;
+  }
+
+ private:
+  std::vector<Ring> rings_;
+  std::vector<RingBridge> bridges_;
+  double bridge_penalty_hops_;
+};
+
+}  // namespace hsw

@@ -1,0 +1,160 @@
+#include "util/cli.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "util/units.h"
+
+namespace hsw {
+
+CommandLine::CommandLine(std::string binary_summary)
+    : summary_(std::move(binary_summary)) {}
+
+void CommandLine::add_string(std::string name, std::string* target,
+                             std::string help) {
+  Flag flag;
+  flag.help = std::move(help);
+  flag.default_value = *target;
+  flag.assign = [target](std::string_view v) {
+    *target = std::string(v);
+    return true;
+  };
+  flags_.emplace(std::move(name), std::move(flag));
+}
+
+void CommandLine::add_int(std::string name, std::int64_t* target,
+                          std::string help) {
+  Flag flag;
+  flag.help = std::move(help);
+  flag.default_value = std::to_string(*target);
+  flag.assign = [target](std::string_view v) {
+    std::int64_t value = 0;
+    auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), value);
+    if (ec != std::errc{} || ptr != v.data() + v.size()) return false;
+    *target = value;
+    return true;
+  };
+  flags_.emplace(std::move(name), std::move(flag));
+}
+
+void CommandLine::add_double(std::string name, double* target,
+                             std::string help) {
+  Flag flag;
+  flag.help = std::move(help);
+  flag.default_value = std::to_string(*target);
+  flag.assign = [target](std::string_view v) {
+    double value = 0.0;
+    auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), value);
+    if (ec != std::errc{} || ptr != v.data() + v.size()) return false;
+    *target = value;
+    return true;
+  };
+  flags_.emplace(std::move(name), std::move(flag));
+}
+
+void CommandLine::add_bool(std::string name, bool* target, std::string help) {
+  Flag flag;
+  flag.help = std::move(help);
+  flag.default_value = *target ? "true" : "false";
+  flag.is_bool = true;
+  flag.assign = [target](std::string_view v) {
+    if (v == "true" || v == "1" || v.empty()) {
+      *target = true;
+    } else if (v == "false" || v == "0") {
+      *target = false;
+    } else {
+      return false;
+    }
+    return true;
+  };
+  flags_.emplace(std::move(name), std::move(flag));
+}
+
+void CommandLine::add_bytes(std::string name, std::uint64_t* target,
+                            std::string help) {
+  Flag flag;
+  flag.help = std::move(help);
+  flag.default_value = format_bytes(*target);
+  flag.assign = [target](std::string_view v) {
+    auto parsed = parse_bytes(v);
+    if (!parsed) return false;
+    *target = *parsed;
+    return true;
+  };
+  flags_.emplace(std::move(name), std::move(flag));
+}
+
+bool CommandLine::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", help().c_str());
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+
+    std::string_view name = arg;
+    std::optional<std::string_view> inline_value;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+
+    bool negated = false;
+    auto it = flags_.find(name);
+    if (it == flags_.end() && name.starts_with("no-")) {
+      auto positive = flags_.find(name.substr(3));
+      if (positive != flags_.end() && positive->second.is_bool) {
+        it = positive;
+        negated = true;
+      }
+    }
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%.*s\n%s",
+                   static_cast<int>(name.size()), name.data(), help().c_str());
+      return false;
+    }
+
+    Flag& flag = it->second;
+    std::string_view value;
+    if (negated) {
+      value = "false";
+    } else if (inline_value) {
+      value = *inline_value;
+    } else if (flag.is_bool) {
+      value = "true";
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s requires a value\n", it->first.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!flag.assign(value)) {
+      std::fprintf(stderr, "invalid value '%.*s' for flag --%s\n",
+                   static_cast<int>(value.size()), value.data(),
+                   it->first.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CommandLine::help() const {
+  std::ostringstream out;
+  out << summary_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name;
+    if (!flag.is_bool) out << " <value>";
+    out << "  (default: " << flag.default_value << ")\n      " << flag.help
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hsw

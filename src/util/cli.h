@@ -1,0 +1,53 @@
+// Tiny declarative command-line flag parser shared by benches and examples.
+//
+// Supports `--flag value`, `--flag=value`, and boolean `--flag` /
+// `--no-flag`.  Unknown flags are reported as errors so typos in bench
+// invocations do not silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsw {
+
+class CommandLine {
+ public:
+  // `binary_summary` is printed at the top of --help output.
+  explicit CommandLine(std::string binary_summary);
+
+  void add_string(std::string name, std::string* target, std::string help);
+  void add_int(std::string name, std::int64_t* target, std::string help);
+  void add_double(std::string name, double* target, std::string help);
+  void add_bool(std::string name, bool* target, std::string help);
+  // Byte-size flag accepting "64KiB"-style values (see parse_bytes()).
+  void add_bytes(std::string name, std::uint64_t* target, std::string help);
+
+  // Returns true on success; on failure (or --help) prints a message to
+  // stderr/stdout and returns false.  Positional arguments are collected in
+  // `positional()`.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_value;
+    bool is_bool = false;
+    std::function<bool(std::string_view)> assign;
+  };
+
+  std::string summary_;
+  std::map<std::string, Flag, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hsw

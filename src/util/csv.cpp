@@ -1,0 +1,36 @@
+#include "util/csv.h"
+
+namespace hsw {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (out_) write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (!out_) return;
+  write_row(cells);
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < columns_; ++i) {
+    if (i) out_ << ',';
+    if (i < cells.size()) out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace hsw

@@ -1,0 +1,33 @@
+// Minimal CSV emission for machine-readable bench output.
+//
+// Bench binaries accept `--csv <path>` and dump their series through this
+// writer so the figures can be re-plotted externally.  Fields containing
+// separators/quotes/newlines are quoted per RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsw {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path` and writes the header row.  `ok()` reports
+  // whether the stream is usable; writes to a failed stream are no-ops.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+  void add_row(const std::vector<std::string>& cells);
+
+  static std::string escape(std::string_view field);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace hsw

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic decision in the simulator (pointer-chase permutations,
+// DRAM page-hit draws, workload access patterns) draws from an explicitly
+// seeded xoshiro256** stream, so that simulations are bit-reproducible and
+// independent components can own independent streams (via `split`).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hsw {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ull;
+      std::uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ull;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebull;
+      s = t ^ (t >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * static_cast<unsigned __int128>(bound);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>((*this)()) * static_cast<unsigned __int128>(bound);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Returns true with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Derives an independent-looking child stream (for per-component RNGs).
+  Xoshiro256 split() { return Xoshiro256((*this)() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hsw

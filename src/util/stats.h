@@ -1,0 +1,62 @@
+// Running statistics and percentile estimation for benchmark results.
+//
+// The paper reports medians of repeated runs and notes run-to-run variation
+// (uncore frequency scaling).  `Accumulator` keeps a full sample vector so we
+// can report min/median/p95/max exactly, and `Welford` provides numerically
+// stable streaming mean/variance for large event streams where storing every
+// sample would be wasteful.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hsw {
+
+// Exact-sample accumulator; O(n) memory, exact order statistics.
+class Accumulator {
+ public:
+  void add(double x);
+  void clear();
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  // Linear-interpolated percentile; q in [0, 1].  Requires non-empty.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Welford's online algorithm: O(1) memory streaming mean / variance.
+class Welford {
+ public:
+  void add(double x);
+  void merge(const Welford& other);
+  void clear();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hsw

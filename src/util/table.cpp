@@ -1,0 +1,79 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace hsw {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  align_.assign(header_.size(), Align::kRight);
+  if (!align_.empty()) align_[0] = Align::kLeft;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void Table::set_align(std::size_t column, Align align) {
+  if (column < align_.size()) align_[column] = align;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_rule = [&] {
+    out << '+';
+    for (std::size_t w : width) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = width[c] - text.size();
+      if (align_[c] == Align::kLeft) {
+        out << ' ' << text << std::string(pad, ' ') << ' ';
+      } else {
+        out << ' ' << std::string(pad, ' ') << text << ' ';
+      }
+      out << '|';
+    }
+    out << '\n';
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_rule();
+    } else {
+      emit_row(row.cells);
+    }
+  }
+  emit_rule();
+  return out.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string cell(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace hsw

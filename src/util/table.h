@@ -1,0 +1,44 @@
+// ASCII table rendering for bench binaries.
+//
+// Every bench target prints the table/figure it reproduces in a layout that
+// mirrors the paper, so `bench_output.txt` can be diffed against the paper's
+// numbers by eye.  Cells are strings; alignment is per-column.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hsw {
+
+class Table {
+ public:
+  enum class Align { kLeft, kRight };
+
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+  // Adds a horizontal separator at the current position.
+  void add_separator();
+  void set_align(std::size_t column, Align align);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<Align> align_;
+};
+
+// Convenience: formats a double with `decimals` fraction digits.
+std::string cell(double value, int decimals = 1);
+
+}  // namespace hsw

@@ -1,0 +1,102 @@
+#include "util/units.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace hsw {
+namespace {
+
+std::string format_with_unit(double value, std::string_view unit) {
+  char buf[64];
+  // Two significant decimals for small values, fewer for large ones, and no
+  // trailing ".0" noise for integral magnitudes.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f %.*s", value,
+                  static_cast<int>(unit.size()), unit.data());
+  } else if (std::fabs(value) >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.0f %.*s", value,
+                  static_cast<int>(unit.size()), unit.data());
+  } else if (std::fabs(value) >= 10.0) {
+    std::snprintf(buf, sizeof buf, "%.1f %.*s", value,
+                  static_cast<int>(unit.size()), unit.data());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %.*s", value,
+                  static_cast<int>(unit.size()), unit.data());
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes >= kGiB) {
+    return format_with_unit(static_cast<double>(bytes) / static_cast<double>(kGiB), "GiB");
+  }
+  if (bytes >= kMiB) {
+    return format_with_unit(static_cast<double>(bytes) / static_cast<double>(kMiB), "MiB");
+  }
+  if (bytes >= kKiB) {
+    return format_with_unit(static_cast<double>(bytes) / static_cast<double>(kKiB), "KiB");
+  }
+  return format_with_unit(static_cast<double>(bytes), "B");
+}
+
+std::string format_ns(double ns) { return format_with_unit(ns, "ns"); }
+
+std::string format_gbps(double gb_per_s) {
+  return format_with_unit(gb_per_s, "GB/s");
+}
+
+std::optional<std::uint64_t> parse_bytes(std::string_view text) {
+  // Trim surrounding whitespace.
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return std::nullopt;
+
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || value < 0.0) return std::nullopt;
+
+  std::string_view suffix(ptr, static_cast<std::size_t>(end - ptr));
+  while (!suffix.empty() && std::isspace(static_cast<unsigned char>(suffix.front()))) {
+    suffix.remove_prefix(1);
+  }
+
+  auto iequal = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(a[i])) !=
+          std::tolower(static_cast<unsigned char>(b[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  double multiplier = 1.0;
+  if (suffix.empty() || iequal(suffix, "b")) {
+    multiplier = 1.0;
+  } else if (iequal(suffix, "k") || iequal(suffix, "kib") || iequal(suffix, "kb")) {
+    multiplier = static_cast<double>(kKiB);
+  } else if (iequal(suffix, "m") || iequal(suffix, "mib") || iequal(suffix, "mb")) {
+    multiplier = static_cast<double>(kMiB);
+  } else if (iequal(suffix, "g") || iequal(suffix, "gib") || iequal(suffix, "gb")) {
+    multiplier = static_cast<double>(kGiB);
+  } else {
+    return std::nullopt;
+  }
+  const double bytes = value * multiplier;
+  if (bytes > 9.2e18) return std::nullopt;
+  return static_cast<std::uint64_t>(bytes);
+}
+
+}  // namespace hsw

@@ -1,0 +1,47 @@
+// Byte-size and time/bandwidth unit helpers.
+//
+// The paper's figures sweep data-set sizes from KiB to GiB and report
+// latencies in nanoseconds and bandwidths in GB/s (decimal, as is customary
+// for memory bandwidth).  These helpers keep the conversions in one place so
+// that the rest of the code can carry plain `double` nanoseconds and
+// `std::uint64_t` byte counts without ad-hoc constants.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hsw {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+// Decimal units used for bandwidth (GB/s in the paper is 1e9 bytes/second).
+inline constexpr double kGB = 1e9;
+inline constexpr double kMB = 1e6;
+
+constexpr std::uint64_t kib(std::uint64_t n) { return n * kKiB; }
+constexpr std::uint64_t mib(std::uint64_t n) { return n * kMiB; }
+constexpr std::uint64_t gib(std::uint64_t n) { return n * kGiB; }
+
+// Converts a byte count and a duration into GB/s (decimal).
+constexpr double gbps(double bytes, double nanoseconds) {
+  return nanoseconds > 0.0 ? bytes / nanoseconds : 0.0;  // B/ns == GB/s
+}
+
+// Formats a byte count with a binary suffix, e.g. "256 KiB", "2.5 MiB".
+std::string format_bytes(std::uint64_t bytes);
+
+// Formats nanoseconds with sensible precision, e.g. "21.2 ns", "1.6 ns".
+std::string format_ns(double ns);
+
+// Formats a decimal bandwidth, e.g. "26.2 GB/s".
+std::string format_gbps(double gb_per_s);
+
+// Parses strings like "64", "64KiB", "2.5MiB", "1GiB" (case-insensitive
+// suffix, optional whitespace).  Returns nullopt on malformed input.
+std::optional<std::uint64_t> parse_bytes(std::string_view text);
+
+}  // namespace hsw

@@ -1,0 +1,150 @@
+#include "workload/trace.h"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+
+namespace hsw {
+
+ReplayStats replay(System& system, const Trace& trace) {
+  ReplayStats stats;
+  const CounterSet::Snapshot before = system.counters().snapshot();
+  for (const TraceEvent& event : trace) {
+    switch (event.op) {
+      case TraceOp::kRead: {
+        const AccessResult r = system.read(event.core, event.addr);
+        stats.total_ns += r.ns;
+        ++stats.by_source[static_cast<std::size_t>(r.source)];
+        break;
+      }
+      case TraceOp::kWrite: {
+        const AccessResult r = system.write(event.core, event.addr);
+        stats.total_ns += r.ns;
+        ++stats.by_source[static_cast<std::size_t>(r.source)];
+        break;
+      }
+      case TraceOp::kFlush:
+        system.flush_line(event.addr);
+        break;
+    }
+    ++stats.events;
+  }
+  stats.counters = system.counters().diff(before);
+  return stats;
+}
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  for (const TraceEvent& event : trace) {
+    const char op = event.op == TraceOp::kRead    ? 'R'
+                    : event.op == TraceOp::kWrite ? 'W'
+                                                  : 'F';
+    out << event.core << ' ' << op << ' ' << std::hex << event.addr
+        << std::dec << '\n';
+  }
+}
+
+bool read_trace(std::istream& in, Trace& trace) {
+  std::int32_t core = 0;
+  char op = 0;
+  while (in >> core >> op) {
+    PhysAddr addr = 0;
+    if (!(in >> std::hex >> addr >> std::dec)) return false;
+    TraceEvent event;
+    event.core = core;
+    switch (op) {
+      case 'R': event.op = TraceOp::kRead; break;
+      case 'W': event.op = TraceOp::kWrite; break;
+      case 'F': event.op = TraceOp::kFlush; break;
+      default: return false;
+    }
+    event.addr = addr;
+    trace.push_back(event);
+  }
+  return in.eof();
+}
+
+Trace make_stream_trace(System& system, const std::vector<int>& cores,
+                        std::uint64_t bytes_per_core, double write_fraction,
+                        std::uint64_t seed) {
+  Trace trace;
+  Xoshiro256 rng(seed);
+  std::vector<MemRegion> regions;
+  regions.reserve(cores.size());
+  for (int core : cores) {
+    regions.push_back(system.alloc_on_node(
+        system.topology().node_of_core(core), bytes_per_core));
+  }
+  const std::uint64_t lines = bytes_per_core / kLineSize;
+  // Interleave the cores line-by-line, as concurrent streams would.
+  for (std::uint64_t l = 0; l < lines; ++l) {
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+      TraceEvent event;
+      event.core = cores[c];
+      event.op = rng.bernoulli(write_fraction) ? TraceOp::kWrite : TraceOp::kRead;
+      event.addr = regions[c].addr_at(l * kLineSize);
+      trace.push_back(event);
+    }
+  }
+  return trace;
+}
+
+Trace make_chase_trace(System& system, const std::vector<int>& cores,
+                       std::uint64_t bytes_per_core, std::uint64_t accesses,
+                       std::uint64_t seed) {
+  Trace trace;
+  Xoshiro256 rng(seed);
+  std::vector<MemRegion> regions;
+  for (int core : cores) {
+    regions.push_back(system.alloc_on_node(
+        system.topology().node_of_core(core), bytes_per_core));
+  }
+  const std::uint64_t lines = bytes_per_core / kLineSize;
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+      TraceEvent event;
+      event.core = cores[c];
+      event.op = TraceOp::kRead;
+      event.addr = regions[c].addr_at(rng.bounded(lines) * kLineSize);
+      trace.push_back(event);
+    }
+  }
+  return trace;
+}
+
+Trace make_producer_consumer_trace(System& system, int producer, int consumer,
+                                   std::uint64_t block_bytes, int rounds,
+                                   std::uint64_t /*seed*/) {
+  Trace trace;
+  const MemRegion region = system.alloc_on_node(
+      system.topology().node_of_core(producer), block_bytes);
+  const std::uint64_t lines = block_bytes / kLineSize;
+  for (int round = 0; round < rounds; ++round) {
+    for (std::uint64_t l = 0; l < lines; ++l) {
+      trace.push_back(
+          {producer, TraceOp::kWrite, region.addr_at(l * kLineSize)});
+    }
+    for (std::uint64_t l = 0; l < lines; ++l) {
+      trace.push_back(
+          {consumer, TraceOp::kRead, region.addr_at(l * kLineSize)});
+    }
+  }
+  return trace;
+}
+
+Trace make_hotset_trace(System& system, const std::vector<int>& cores,
+                        std::uint64_t hot_lines, std::uint64_t accesses,
+                        double write_fraction, std::uint64_t seed) {
+  Trace trace;
+  Xoshiro256 rng(seed);
+  const MemRegion region = system.alloc_on_node(0, hot_lines * kLineSize);
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    TraceEvent event;
+    event.core = cores[rng.bounded(cores.size())];
+    event.op = rng.bernoulli(write_fraction) ? TraceOp::kWrite : TraceOp::kRead;
+    event.addr = region.addr_at(rng.bounded(hot_lines) * kLineSize);
+    trace.push_back(event);
+  }
+  return trace;
+}
+
+}  // namespace hsw

@@ -1,0 +1,90 @@
+// Memory-access traces: recording, synthesis, and replay.
+//
+// A trace is a flat sequence of (core, op, address) events.  Traces close
+// the loop between the microbenchmarks and application-style evaluation:
+// synthetic generators produce the canonical HPC access patterns (streams,
+// pointer chases, producer-consumer sharing, hot-set contention), the
+// replayer drives them through a System under any coherence configuration,
+// and the statistics expose exactly the per-source breakdown the paper's
+// perf-counter analysis uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "machine/system.h"
+#include "util/rng.h"
+
+namespace hsw {
+
+enum class TraceOp : std::uint8_t { kRead, kWrite, kFlush };
+
+struct TraceEvent {
+  std::int32_t core = 0;
+  TraceOp op = TraceOp::kRead;
+  PhysAddr addr = 0;
+};
+
+using Trace = std::vector<TraceEvent>;
+
+// --- replay ------------------------------------------------------------------
+
+struct ReplayStats {
+  std::uint64_t events = 0;
+  double total_ns = 0.0;                       // sum of access latencies
+  std::array<std::uint64_t, 7> by_source{};    // indexed by ServiceSource
+  CounterSet::Snapshot counters{};             // deltas over the replay
+
+  [[nodiscard]] double mean_ns() const {
+    return events ? total_ns / static_cast<double>(events) : 0.0;
+  }
+  [[nodiscard]] double source_fraction(ServiceSource s) const {
+    return events ? static_cast<double>(
+                        by_source[static_cast<std::size_t>(s)]) /
+                        static_cast<double>(events)
+                  : 0.0;
+  }
+};
+
+// Replays every event in order; flushes count toward `events` but not the
+// latency sum (clflush retires asynchronously on real hardware).
+ReplayStats replay(System& system, const Trace& trace);
+
+// --- serialization -------------------------------------------------------------
+
+// Compact text format: one `core op hex-addr` triple per line; ops R/W/F.
+void write_trace(std::ostream& out, const Trace& trace);
+// Parses the same format.  Returns false (and stops) on malformed input.
+bool read_trace(std::istream& in, Trace& trace);
+
+// --- generators -----------------------------------------------------------------
+
+// Every generator owns its buffers: it allocates regions from `system` so
+// the addresses are valid for replay on that system.
+
+// Sequential streaming read/write over a per-core private buffer.
+Trace make_stream_trace(System& system, const std::vector<int>& cores,
+                        std::uint64_t bytes_per_core, double write_fraction,
+                        std::uint64_t seed);
+
+// Random dependent-load chase per core (latency-bound).
+Trace make_chase_trace(System& system, const std::vector<int>& cores,
+                       std::uint64_t bytes_per_core, std::uint64_t accesses,
+                       std::uint64_t seed);
+
+// Producer-consumer: `producer` writes a block, `consumer` reads it,
+// repeatedly — the migratory pattern the HitME cache targets.
+Trace make_producer_consumer_trace(System& system, int producer, int consumer,
+                                   std::uint64_t block_bytes, int rounds,
+                                   std::uint64_t seed);
+
+// All cores hammer a small hot set with mixed reads/writes (lock-like
+// contention); lines ping-pong between nodes.
+Trace make_hotset_trace(System& system, const std::vector<int>& cores,
+                        std::uint64_t hot_lines, std::uint64_t accesses,
+                        double write_fraction, std::uint64_t seed);
+
+}  // namespace hsw

@@ -1,0 +1,161 @@
+// Bandwidth-model tests against the paper's Table VI-VIII anchors.
+#include "bw/model.h"
+
+#include <gtest/gtest.h>
+
+namespace hsw::bw {
+namespace {
+
+StreamSpec spec(int core, ServiceSource source, double latency, int home = 0,
+                int source_node = 0) {
+  StreamSpec s;
+  s.core = core;
+  s.source = source;
+  s.latency_ns = latency;
+  s.home_node = home;
+  s.source_node = source_node;
+  return s;
+}
+
+class ModelTest : public ::testing::Test {
+ protected:
+  System source_{SystemConfig::source_snoop()};
+  System home_{SystemConfig::home_snoop()};
+};
+
+TEST_F(ModelTest, CacheWidthLimits) {
+  BandwidthModel model(source_);
+  StreamSpec l1 = spec(0, ServiceSource::kL1, 1.6);
+  EXPECT_NEAR(model.single_stream(l1), 127.2, 0.1);
+  l1.width = LoadWidth::kSse128;
+  EXPECT_NEAR(model.single_stream(l1), 77.1, 0.1);
+  StreamSpec l2 = spec(0, ServiceSource::kL2, 4.8);
+  EXPECT_NEAR(model.single_stream(l2), 69.1, 0.1);
+  l2.width = LoadWidth::kSse128;
+  EXPECT_NEAR(model.single_stream(l2), 48.2, 0.1);
+}
+
+TEST_F(ModelTest, L3SingleStreamIsMlpLimited) {
+  BandwidthModel model(source_);
+  // 8.7 outstanding lines at 21.2 ns ~ 26.2 GB/s (paper Fig. 8).
+  EXPECT_NEAR(model.single_stream(spec(0, ServiceSource::kL3, 21.2)), 26.2,
+              1.0);
+}
+
+TEST_F(ModelTest, RemoteCacheStreamMatchesPaper) {
+  BandwidthModel model(source_);
+  // M forwarded from the remote L3: 9.1 GB/s at 86 ns.
+  EXPECT_NEAR(
+      model.single_stream(spec(0, ServiceSource::kRemoteFwd, 86.0, 1, 1)),
+      9.1, 0.7);
+  // E with a remote core snoop: 8.8 GB/s at 104 ns.
+  EXPECT_NEAR(
+      model.single_stream(spec(0, ServiceSource::kRemoteFwd, 104.0, 1, 1)),
+      8.8, 0.7);
+}
+
+TEST_F(ModelTest, LocalMemorySingleStream) {
+  BandwidthModel model(source_);
+  EXPECT_NEAR(
+      model.single_stream(spec(0, ServiceSource::kLocalDram, 96.4)), 10.3,
+      1.1);
+}
+
+TEST_F(ModelTest, LocalMemoryAggregateSaturatesNear63) {
+  BandwidthModel model(source_);
+  std::vector<StreamSpec> streams;
+  for (int c = 0; c < 12; ++c) {
+    streams.push_back(spec(c, ServiceSource::kLocalDram, 96.4));
+  }
+  const auto rates = model.concurrent(streams);
+  double total = 0.0;
+  for (double r : rates) total += r;
+  EXPECT_NEAR(total, 62.8, 1.0);  // paper: ~63 GB/s
+}
+
+TEST_F(ModelTest, QpiEfficiencyByMode) {
+  // Source snoop: remote reads cap at ~16.8 GB/s; home snoop: ~30.6.
+  auto remote_total = [&](System& sys, double latency) {
+    BandwidthModel model(sys);
+    std::vector<StreamSpec> streams;
+    for (int c = 0; c < 12; ++c) {
+      streams.push_back(spec(c, ServiceSource::kRemoteDram, latency, 1, 1));
+    }
+    double total = 0.0;
+    for (double r : model.concurrent(streams)) total += r;
+    return total;
+  };
+  EXPECT_NEAR(remote_total(source_, 146.0), 16.8, 0.5);
+  EXPECT_NEAR(remote_total(home_, 146.0), 30.7, 0.7);
+}
+
+TEST_F(ModelTest, WriteStreamsAmplifyDramTraffic) {
+  BandwidthModel model(source_);
+  StreamSpec write = spec(0, ServiceSource::kLocalDram, 96.4);
+  write.write = true;
+  EXPECT_NEAR(model.single_stream(write), 7.7, 0.1);
+  std::vector<StreamSpec> streams(12, write);
+  for (int c = 0; c < 12; ++c) streams[static_cast<std::size_t>(c)].core = c;
+  double total = 0.0;
+  for (double r : model.concurrent(streams)) total += r;
+  EXPECT_NEAR(total, 25.9, 0.8);  // paper: 25.8-26.5 GB/s
+}
+
+TEST(ModelCod, StaleDirectoryStreamsThrottleQpi) {
+  System cod(SystemConfig::cluster_on_die());
+  BandwidthModel model(cod);
+  auto remote = [&](bool stale) {
+    StreamSpec s = spec(0, ServiceSource::kRemoteDram, 141.0, 2, 2);
+    s.stale_directory = stale;
+    std::vector<StreamSpec> streams(6, s);
+    for (int c = 0; c < 6; ++c) streams[static_cast<std::size_t>(c)].core = c;
+    double total = 0.0;
+    for (double r : model.concurrent(streams)) total += r;
+    return total;
+  };
+  EXPECT_LT(remote(true), remote(false));
+  EXPECT_NEAR(remote(true), 15.6, 1.0);  // Table VIII node0->node2
+}
+
+TEST(ModelCod, BridgeLimitsCrossClusterStreams) {
+  System cod(SystemConfig::cluster_on_die());
+  BandwidthModel model(cod);
+  std::vector<StreamSpec> streams;
+  for (int c = 0; c < 6; ++c) {
+    streams.push_back(spec(c, ServiceSource::kRemoteDram, 96.0, 1, 1));
+  }
+  double total = 0.0;
+  for (double r : model.concurrent(streams)) total += r;
+  EXPECT_NEAR(total, 18.8, 0.5);  // Table VIII node0->node1
+}
+
+TEST(ModelCod, LocalNodeDramCap) {
+  System cod(SystemConfig::cluster_on_die());
+  BandwidthModel model(cod);
+  std::vector<StreamSpec> streams;
+  for (int c = 0; c < 6; ++c) {
+    streams.push_back(spec(c, ServiceSource::kLocalDram, 89.6));
+  }
+  double total = 0.0;
+  for (double r : model.concurrent(streams)) total += r;
+  EXPECT_NEAR(total, 32.4, 0.6);  // Table VIII local: 32.5 GB/s
+}
+
+TEST_F(ModelTest, L3AggregateScalesAndSaturates) {
+  BandwidthModel model(source_);
+  auto total_for = [&](int cores) {
+    std::vector<StreamSpec> streams;
+    for (int c = 0; c < cores; ++c) {
+      streams.push_back(spec(c, ServiceSource::kL3, 21.2));
+    }
+    double total = 0.0;
+    for (double r : model.concurrent(streams)) total += r;
+    return total;
+  };
+  EXPECT_NEAR(total_for(1), 26.2, 1.0);
+  EXPECT_NEAR(total_for(12), 278.0, 25.0);  // paper: 278 GB/s
+  EXPECT_GT(total_for(12), total_for(6));
+}
+
+}  // namespace
+}  // namespace hsw::bw

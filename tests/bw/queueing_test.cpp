@@ -1,0 +1,79 @@
+#include "bw/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bw/solver.h"
+
+namespace hsw::bw {
+namespace {
+
+double total(const std::vector<double>& rates) {
+  return std::accumulate(rates.begin(), rates.end(), 0.0);
+}
+
+QueueFlow closed_loop(double demand_gbps, double latency_ns,
+                      std::initializer_list<QueueFlow::Visit> visits) {
+  QueueFlow flow;
+  flow.mlp = demand_gbps * latency_ns / 64.0;
+  flow.base_latency_ns = latency_ns;
+  flow.visits = visits;
+  return flow;
+}
+
+TEST(Queueing, SingleFlowReachesItsDemand) {
+  QueueingSimulator sim({1000.0});  // effectively uncontended
+  const auto result = sim.run({closed_loop(10.0, 96.0, {{0, 1.0}})}, 1e6);
+  EXPECT_NEAR(result.gbps[0], 10.0, 0.7);
+}
+
+TEST(Queueing, SaturatedResourceCapsThroughput) {
+  std::vector<QueueFlow> flows(12, closed_loop(11.2, 96.4, {{0, 1.0}}));
+  QueueingSimulator sim({62.8});
+  const auto result = sim.run(flows, 1e6);
+  EXPECT_NEAR(total(result.gbps), 62.8, 0.7);
+  // Fair sharing: every flow within 10% of the mean.
+  for (double r : result.gbps) {
+    EXPECT_NEAR(r, 62.8 / 12.0, 0.55);
+  }
+}
+
+TEST(Queueing, WeightsActAsProtocolOverhead) {
+  // Weight 2.29 on a 38.4 GB/s link -> ~16.8 GB/s payload (source snoop).
+  std::vector<QueueFlow> flows(6, closed_loop(8.4, 146.0, {{0, 2.29}}));
+  QueueingSimulator sim({38.4});
+  const auto result = sim.run(flows, 1e6);
+  EXPECT_NEAR(total(result.gbps), 16.8, 0.5);
+}
+
+TEST(Queueing, AgreesWithFluidModelAcrossLoadLevels) {
+  for (int n = 1; n <= 12; ++n) {
+    std::vector<Flow> fluid_flows(
+        static_cast<std::size_t>(n), Flow{11.2, {{0, 1.0}}});
+    const double fluid = total(max_min_rates(fluid_flows, {62.8}));
+
+    std::vector<QueueFlow> queue_flows(
+        static_cast<std::size_t>(n), closed_loop(11.2, 96.4, {{0, 1.0}}));
+    QueueingSimulator sim({62.8});
+    const double des = total(sim.run(queue_flows, 1e6).gbps);
+    EXPECT_NEAR(des, fluid, fluid * 0.05) << n << " flows";
+  }
+}
+
+TEST(Queueing, TwoStagePathBottleneckedByTighterStage) {
+  std::vector<QueueFlow> flows(8, closed_loop(12.0, 100.0, {{0, 1.0}, {1, 1.0}}));
+  QueueingSimulator sim({200.0, 30.0});
+  const auto result = sim.run(flows, 1e6);
+  EXPECT_NEAR(total(result.gbps), 30.0, 0.5);
+}
+
+TEST(Queueing, ReportsRetiredLines) {
+  QueueingSimulator sim({100.0});
+  const auto result = sim.run({closed_loop(5.0, 80.0, {{0, 1.0}})}, 1e5);
+  EXPECT_GT(result.lines_retired, 0u);
+  EXPECT_DOUBLE_EQ(result.simulated_ns, 1e5);
+}
+
+}  // namespace
+}  // namespace hsw::bw

@@ -1,0 +1,112 @@
+#include "bw/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hsw::bw {
+namespace {
+
+Flow flow(double demand, std::initializer_list<Flow::Use> uses) {
+  Flow f;
+  f.demand = demand;
+  f.uses = uses;
+  return f;
+}
+
+TEST(Solver, UnconstrainedFlowsReachDemand) {
+  const auto rates = max_min_rates({flow(10.0, {}), flow(5.0, {})}, {});
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+}
+
+TEST(Solver, SingleResourceSharedEqually) {
+  const auto rates = max_min_rates(
+      {flow(100.0, {{0, 1.0}}), flow(100.0, {{0, 1.0}})}, {30.0});
+  EXPECT_DOUBLE_EQ(rates[0], 15.0);
+  EXPECT_DOUBLE_EQ(rates[1], 15.0);
+}
+
+TEST(Solver, SmallDemandReleasesCapacityToOthers) {
+  // Max-min fairness: the 5-unit flow is satisfied; the rest is split.
+  const auto rates = max_min_rates(
+      {flow(5.0, {{0, 1.0}}), flow(100.0, {{0, 1.0}}), flow(100.0, {{0, 1.0}})},
+      {30.0});
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 12.5);
+  EXPECT_DOUBLE_EQ(rates[2], 12.5);
+}
+
+TEST(Solver, WeightsScaleConsumption) {
+  // A write stream consuming 2x the resource per unit saturates it earlier.
+  const auto rates =
+      max_min_rates({flow(100.0, {{0, 2.0}})}, {30.0});
+  EXPECT_DOUBLE_EQ(rates[0], 15.0);
+}
+
+TEST(Solver, BottleneckOnlyThrottlesItsFlows) {
+  // Flow 0 uses resource 0 (tight); flow 1 uses resource 1 (loose).
+  const auto rates = max_min_rates(
+      {flow(100.0, {{0, 1.0}}), flow(100.0, {{1, 1.0}})}, {10.0, 50.0});
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+}
+
+TEST(Solver, MultiResourcePathTakesTightest) {
+  const auto rates = max_min_rates(
+      {flow(100.0, {{0, 1.0}, {1, 1.0}})}, {40.0, 15.0});
+  EXPECT_DOUBLE_EQ(rates[0], 15.0);
+}
+
+TEST(Solver, CapacityConservation) {
+  // Never allocate more than capacity, whatever the topology.
+  std::vector<Flow> flows;
+  for (int i = 0; i < 8; ++i) {
+    flows.push_back(flow(7.0 + i, {{0, 1.0}, {1 + (i % 2), 1.0}}));
+  }
+  const std::vector<double> caps = {40.0, 25.0, 18.0};
+  const auto rates = max_min_rates(flows, caps);
+  std::vector<double> used(caps.size(), 0.0);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_LE(rates[f], flows[f].demand + 1e-9);
+    for (const Flow::Use& use : flows[f].uses) {
+      used[static_cast<std::size_t>(use.resource)] += rates[f] * use.weight;
+    }
+  }
+  for (std::size_t r = 0; r < caps.size(); ++r) {
+    EXPECT_LE(used[r], caps[r] + 1e-6) << "resource " << r;
+  }
+}
+
+TEST(Solver, SaturatingShapeLikeTableVII) {
+  // N identical local-memory streams against one 62.8 GB/s DRAM resource:
+  // linear ramp at 11.2 GB/s per core, flat at the DRAM limit afterwards —
+  // the shape of Table VII.
+  for (int n = 1; n <= 12; ++n) {
+    std::vector<Flow> flows(static_cast<std::size_t>(n),
+                            flow(11.2, {{0, 1.0}}));
+    const auto rates = max_min_rates(flows, {62.8});
+    const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+    if (n <= 5) {
+      EXPECT_NEAR(total, 11.2 * n, 1e-9);
+    } else {
+      EXPECT_NEAR(total, 62.8, 1e-9);
+    }
+  }
+}
+
+TEST(Solver, ZeroDemandFlows) {
+  const auto rates = max_min_rates({flow(0.0, {{0, 1.0}}), flow(9.0, {{0, 1.0}})},
+                                   {30.0});
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 9.0);
+}
+
+TEST(Solver, EmptyInputs) {
+  EXPECT_TRUE(max_min_rates({}, {10.0}).empty());
+  const auto rates = max_min_rates({flow(5.0, {})}, {});
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+}
+
+}  // namespace
+}  // namespace hsw::bw

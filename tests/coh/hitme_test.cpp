@@ -1,0 +1,79 @@
+#include "coh/hitme.h"
+
+#include <gtest/gtest.h>
+
+namespace hsw {
+namespace {
+
+TEST(Hitme, MissOnEmpty) {
+  HitmeCache cache;
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Hitme, PutAndLookupPresence) {
+  HitmeCache cache;
+  EXPECT_FALSE(cache.put(10, 0b0101));
+  auto entry = cache.lookup(10);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->presence, 0b0101);
+}
+
+TEST(Hitme, PutUpdatesExistingEntry) {
+  HitmeCache cache;
+  cache.put(10, 0b0001);
+  EXPECT_FALSE(cache.put(10, 0b0011));
+  EXPECT_EQ(cache.lookup(10)->presence, 0b0011);
+  EXPECT_EQ(cache.valid_entries(), 1u);
+}
+
+TEST(Hitme, Erase) {
+  HitmeCache cache;
+  cache.put(10, 1);
+  cache.erase(10);
+  EXPECT_FALSE(cache.lookup(10).has_value());
+}
+
+TEST(Hitme, CapacityMatchesPaper) {
+  // 14 KiB per home agent at ~3.5 B/entry = 4096 entries = 256 KiB of
+  // 64-B lines covered, matching the paper's Fig. 7 threshold.
+  HitmeCache cache;
+  EXPECT_EQ(cache.capacity_entries(), 4096u);
+}
+
+TEST(Hitme, EvictsWhenSetOverflows) {
+  HitmeConfig config;
+  config.entries = 16;
+  config.associativity = 4;  // 4 sets
+  HitmeCache cache(config);
+  bool evicted = false;
+  // 8 lines mapping to set 0 (stride = set count = 4).
+  for (LineAddr i = 0; i < 8; ++i) {
+    evicted |= cache.put(i * 4, 1);
+  }
+  EXPECT_TRUE(evicted);
+  EXPECT_LE(cache.valid_entries(), 16u);
+}
+
+TEST(Hitme, HitRateDegradesBeyondCapacity) {
+  HitmeCache cache;  // 4096 entries
+  const std::uint64_t lines = 3 * 4096;  // 3x capacity
+  for (LineAddr l = 0; l < lines; ++l) cache.put(l, 1);
+  std::size_t hits = 0;
+  for (LineAddr l = 0; l < lines; ++l) {
+    if (cache.contains(l)) ++hits;
+  }
+  const double hit_rate = static_cast<double>(hits) / static_cast<double>(lines);
+  EXPECT_LT(hit_rate, 0.5);
+  EXPECT_GT(hit_rate, 0.2);
+}
+
+TEST(Hitme, ClearEmptiesEverything) {
+  HitmeCache cache;
+  for (LineAddr l = 0; l < 100; ++l) cache.put(l, 1);
+  cache.clear();
+  EXPECT_EQ(cache.valid_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace hsw

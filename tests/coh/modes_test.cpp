@@ -1,0 +1,141 @@
+// Cross-mode behavioural tests: the same access sequence under source
+// snoop, home snoop, and COD must produce identical *functional* state and
+// the mode-specific traffic the paper describes.
+#include <gtest/gtest.h>
+
+#include "coh/engine.h"
+#include "machine/system.h"
+
+namespace hsw {
+namespace {
+
+SystemConfig config_for(SnoopMode mode) {
+  SystemConfig config;
+  config.snoop_mode = mode;
+  return config;
+}
+
+class ModesTest : public ::testing::TestWithParam<SnoopMode> {};
+
+TEST_P(ModesTest, FunctionalResultIndependentOfMode) {
+  System sys(config_for(GetParam()));
+  const PhysAddr a = sys.alloc_on_node(0, 64).base;
+  const int remote = sys.topology().node(sys.node_count() - 1).cores[0];
+
+  sys.write(0, a);
+  AccessResult r = sys.read(remote, a);
+  EXPECT_EQ(r.source, ServiceSource::kRemoteFwd);  // dirty forward
+
+  // Write from the remote side: everyone else invalidated.
+  sys.write(remote, a);
+  r = sys.read(0, a);
+  EXPECT_EQ(r.source, ServiceSource::kRemoteFwd);
+
+  // Flush: memory is the only copy, and it is current.
+  sys.flush_line(a);
+  r = sys.read(0, a);
+  EXPECT_EQ(r.source, ServiceSource::kLocalDram);
+}
+
+TEST_P(ModesTest, LatencyLadderOrderingHolds) {
+  System sys(config_for(GetParam()));
+  const PhysAddr a = sys.alloc_on_node(0, 64).base;
+  sys.write(0, a);
+  const double l1 = sys.read(0, a).ns;
+  sys.evict_core_caches(0);
+  const double l3 = sys.read(0, a).ns;
+  sys.flush_line(a);
+  const double mem = sys.read(0, a).ns;
+  EXPECT_LT(l1, l3);
+  EXPECT_LT(l3, mem);
+}
+
+TEST_P(ModesTest, SnoopTrafficMatchesTheModesDesign) {
+  System sys(config_for(GetParam()));
+  const PhysAddr local = sys.alloc_on_node(0, 64).base;
+  sys.counters().reset();
+  sys.read(0, local);  // cold local read
+
+  const std::uint64_t broadcasts = sys.counters().value(Ctr::kSnoopBroadcasts);
+  switch (GetParam()) {
+    case SnoopMode::kSourceSnoop:
+    case SnoopMode::kHomeSnoop:
+      // Without a directory every miss snoops the peer(s).
+      EXPECT_GT(broadcasts, 0u);
+      break;
+    case SnoopMode::kCod:
+      // Remote-invalid lines are served without any snoop (the whole point
+      // of the directory).
+      EXPECT_EQ(broadcasts, 0u);
+      break;
+  }
+}
+
+TEST_P(ModesTest, WriteMakesSubsequentLocalWritesCheap) {
+  System sys(config_for(GetParam()));
+  const PhysAddr a = sys.alloc_on_node(0, 64).base;
+  sys.write(0, a);
+  // Second write: M in L1, pure L1 hit in every mode.
+  EXPECT_DOUBLE_EQ(sys.write(0, a).ns, sys.timing().l1_hit);
+}
+
+TEST_P(ModesTest, PingPongCostsMoreAcrossSocketsThanWithin) {
+  System sys(config_for(GetParam()));
+  const PhysAddr a = sys.alloc_on_node(0, 64).base;
+  const int neighbour = 1;
+  const int remote = sys.topology().global_core(1, 0);
+  auto exchange = [&](int partner) {
+    sys.write(0, a);
+    return sys.write(partner, a).ns;
+  };
+  EXPECT_LT(exchange(neighbour), exchange(remote));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ModesTest,
+    ::testing::Values(SnoopMode::kSourceSnoop, SnoopMode::kHomeSnoop,
+                      SnoopMode::kCod),
+    [](const ::testing::TestParamInfo<SnoopMode>& param_info) {
+      switch (param_info.param) {
+        case SnoopMode::kSourceSnoop: return "source";
+        case SnoopMode::kHomeSnoop: return "home";
+        case SnoopMode::kCod: return "cod";
+      }
+      return "unknown";
+    });
+
+// Mode-specific counter semantics.
+TEST(ModeCounters, SourceSnoopBroadcastsFromTheRequester) {
+  System sys(config_for(SnoopMode::kSourceSnoop));
+  const PhysAddr remote = sys.alloc_on_node(1, 64).base;
+  sys.counters().reset();
+  sys.read(0, remote);
+  // The request to the remote home snoops its CA; QPI carries snoop flits.
+  EXPECT_GT(sys.counters().value(Ctr::kSnoopsSent), 0u);
+  EXPECT_GT(sys.counters().value(Ctr::kQpiSnoopFlits), 0u);
+  EXPECT_EQ(sys.counters().value(Ctr::kDirectoryLookups), 0u);
+}
+
+TEST(ModeCounters, CodConsultsTheDirectoryOncePerMiss) {
+  System sys(config_for(SnoopMode::kCod));
+  const PhysAddr a = sys.alloc_on_node(0, 64).base;
+  sys.counters().reset();
+  sys.read(0, a);
+  EXPECT_EQ(sys.counters().value(Ctr::kDirectoryLookups), 1u);
+  EXPECT_EQ(sys.counters().value(Ctr::kHitmeMiss), 1u);
+  sys.read(0, a);  // L1 hit: no uncore traffic
+  EXPECT_EQ(sys.counters().value(Ctr::kDirectoryLookups), 1u);
+}
+
+TEST(ModeCounters, DramCountersTrackReadsAndWritebacks) {
+  System sys(config_for(SnoopMode::kSourceSnoop));
+  const PhysAddr a = sys.alloc_on_node(0, 64).base;
+  sys.counters().reset();
+  sys.write(0, a);  // RFO: one DRAM read
+  EXPECT_EQ(sys.counters().value(Ctr::kDramReads), 1u);
+  sys.flush_line(a);  // dirty flush: one DRAM write
+  EXPECT_EQ(sys.counters().value(Ctr::kDramWrites), 1u);
+}
+
+}  // namespace
+}  // namespace hsw

@@ -1,0 +1,101 @@
+#include "core/bandwidth.h"
+
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace hsw {
+namespace {
+
+StreamConfig stream(int core, int node, Mesif state, CacheLevel level,
+                    bool write = false) {
+  StreamConfig s;
+  s.core = core;
+  s.write = write;
+  s.placement = Placement{.owner_core = core, .memory_node = node,
+                          .state = state, .sharers = {}, .level = level};
+  return s;
+}
+
+TEST(Bandwidth, SingleL1Stream) {
+  System sys(SystemConfig::source_snoop());
+  BandwidthConfig bc;
+  bc.streams = {stream(0, 0, Mesif::kModified, CacheLevel::kL1L2)};
+  bc.buffer_bytes = kib(16);
+  const BandwidthResult r = measure_bandwidth(sys, bc);
+  EXPECT_NEAR(r.total_gbps, 127.2, 0.5);
+  EXPECT_EQ(r.streams.front().source, ServiceSource::kL1);
+}
+
+TEST(Bandwidth, SseWidthHalvesL1) {
+  System sys(SystemConfig::source_snoop());
+  BandwidthConfig bc;
+  StreamConfig s = stream(0, 0, Mesif::kModified, CacheLevel::kL1L2);
+  s.width = bw::LoadWidth::kSse128;
+  bc.streams = {s};
+  bc.buffer_bytes = kib(16);
+  EXPECT_NEAR(measure_bandwidth(sys, bc).total_gbps, 77.1, 0.5);
+}
+
+TEST(Bandwidth, MemoryStreamUsesSteadyState) {
+  System sys(SystemConfig::source_snoop());
+  BandwidthConfig bc;
+  bc.streams = {stream(0, 0, Mesif::kModified, CacheLevel::kMemory)};
+  bc.buffer_bytes = mib(2);
+  const BandwidthResult r = measure_bandwidth(sys, bc);
+  EXPECT_EQ(r.streams.front().source, ServiceSource::kLocalDram);
+  EXPECT_NEAR(r.total_gbps, 10.6, 1.2);  // paper: 10.3 GB/s
+}
+
+TEST(Bandwidth, TwelveLocalReadersSaturateTheSocket) {
+  System sys(SystemConfig::source_snoop());
+  BandwidthConfig bc;
+  for (int c = 0; c < 12; ++c) {
+    bc.streams.push_back(stream(c, 0, Mesif::kModified, CacheLevel::kMemory));
+  }
+  bc.buffer_bytes = mib(1);
+  const BandwidthResult r = measure_bandwidth(sys, bc);
+  EXPECT_NEAR(r.total_gbps, 62.8, 1.5);  // paper: ~63 GB/s
+  // Max-min fairness: every stream gets an equal share.
+  for (const StreamResult& s : r.streams) {
+    EXPECT_NEAR(s.gbps, r.total_gbps / 12.0, 0.5);
+  }
+}
+
+TEST(Bandwidth, RemoteStreamsLimitedByQpiMode) {
+  auto remote_total = [](const SystemConfig& config) {
+    System sys(config);
+    BandwidthConfig bc;
+    for (int c = 0; c < 6; ++c) {
+      bc.streams.push_back(stream(c, 1, Mesif::kModified, CacheLevel::kMemory));
+    }
+    bc.buffer_bytes = mib(1);
+    return measure_bandwidth(sys, bc).total_gbps;
+  };
+  const double source = remote_total(SystemConfig::source_snoop());
+  const double home = remote_total(SystemConfig::home_snoop());
+  EXPECT_NEAR(source, 16.8, 0.7);  // Table VII
+  EXPECT_NEAR(home, 30.7, 1.0);
+  EXPECT_GT(home, source * 1.6);
+}
+
+TEST(Bandwidth, CodRemoteStreamsDetectStaleDirectory) {
+  System sys(SystemConfig::cluster_on_die());
+  BandwidthConfig bc;
+  bc.streams = {stream(0, 2, Mesif::kModified, CacheLevel::kMemory)};
+  bc.buffer_bytes = mib(1);
+  const BandwidthResult r = measure_bandwidth(sys, bc);
+  EXPECT_TRUE(r.streams.front().stale_directory);
+}
+
+TEST(Bandwidth, WriteStreamSlowerThanRead) {
+  System sys(SystemConfig::source_snoop());
+  BandwidthConfig bc;
+  bc.streams = {stream(0, 0, Mesif::kModified, CacheLevel::kMemory, true)};
+  bc.buffer_bytes = mib(1);
+  const BandwidthResult r = measure_bandwidth(sys, bc);
+  EXPECT_NEAR(r.total_gbps, 7.7, 0.2);  // Table VII single-core write
+}
+
+}  // namespace
+}  // namespace hsw

@@ -1,0 +1,120 @@
+#include "core/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "coh/slice_hash.h"
+
+namespace hsw {
+namespace {
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  System sys_{SystemConfig::source_snoop()};
+
+  const CacheEntry* l3_entry(int node, LineAddr line) {
+    MachineState& m = sys_.state();
+    const NumaNode& n = m.topo.node(node);
+    return m.l3[static_cast<std::size_t>(n.socket)]
+               [static_cast<std::size_t>(m.slice_for(node, line))]
+        .peek(line);
+  }
+};
+
+TEST(ChaseOrder, IsAPermutationOfTheRegion) {
+  AddressSpace space;
+  const MemRegion region = space.alloc(0, 64 * 128);
+  const auto order = chase_order(region, 7);
+  EXPECT_EQ(order.size(), 128u);
+  std::set<LineAddr> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), 128u);
+  EXPECT_EQ(*unique.begin(), region.first_line());
+  EXPECT_EQ(*unique.rbegin(), region.first_line() + 127);
+}
+
+TEST(ChaseOrder, SeedChangesOrderDeterministically) {
+  AddressSpace space;
+  const MemRegion region = space.alloc(0, 64 * 128);
+  EXPECT_EQ(chase_order(region, 3), chase_order(region, 3));
+  EXPECT_NE(chase_order(region, 3), chase_order(region, 4));
+}
+
+TEST_F(PlacementTest, ModifiedPlacementLeavesDirtyCoreCopies) {
+  const MemRegion region = sys_.alloc_on_node(0, 64 * 16);
+  place(sys_, region, Placement{.owner_core = 1, .memory_node = 0,
+                                .state = Mesif::kModified, .sharers = {},
+                                .level = CacheLevel::kL1L2});
+  const CoreCaches& cc = sys_.state().cores[1];
+  for (LineAddr line = region.first_line();
+       line < region.first_line() + region.line_count(); ++line) {
+    const CacheEntry* entry = cc.l1.peek(line);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->state, Mesif::kModified);
+  }
+}
+
+TEST_F(PlacementTest, ExclusivePlacementLeavesCleanExclusive) {
+  const MemRegion region = sys_.alloc_on_node(0, 64 * 16);
+  place(sys_, region, Placement{.owner_core = 1, .memory_node = 0,
+                                .state = Mesif::kExclusive, .sharers = {},
+                                .level = CacheLevel::kL1L2});
+  const CoreCaches& cc = sys_.state().cores[1];
+  for (LineAddr line = region.first_line();
+       line < region.first_line() + region.line_count(); ++line) {
+    const CacheEntry* entry = cc.l1.peek(line);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->state, Mesif::kExclusive);
+    EXPECT_EQ(l3_entry(0, line)->state, Mesif::kExclusive);
+  }
+}
+
+TEST_F(PlacementTest, SharedPlacementPutsForwardInLastReadersNode) {
+  const MemRegion region = sys_.alloc_on_node(0, 64 * 16);
+  Placement placement;
+  placement.owner_core = 1;
+  placement.memory_node = 0;
+  placement.state = Mesif::kShared;
+  placement.sharers = {12};  // socket 1 reads last -> holds Forward
+  place(sys_, region, placement);
+  for (LineAddr line = region.first_line();
+       line < region.first_line() + region.line_count(); ++line) {
+    ASSERT_NE(l3_entry(0, line), nullptr);
+    ASSERT_NE(l3_entry(1, line), nullptr);
+    EXPECT_EQ(l3_entry(0, line)->state, Mesif::kShared);
+    EXPECT_EQ(l3_entry(1, line)->state, Mesif::kForward);
+  }
+}
+
+TEST_F(PlacementTest, L3LevelEvictsCoreCachesOnly) {
+  const MemRegion region = sys_.alloc_on_node(0, 64 * 16);
+  place(sys_, region, Placement{.owner_core = 1, .memory_node = 0,
+                                .state = Mesif::kModified, .sharers = {},
+                                .level = CacheLevel::kL3});
+  const CoreCaches& cc = sys_.state().cores[1];
+  for (LineAddr line = region.first_line();
+       line < region.first_line() + region.line_count(); ++line) {
+    EXPECT_EQ(cc.l1.peek(line), nullptr);
+    EXPECT_EQ(cc.l2.peek(line), nullptr);
+    const CacheEntry* entry = l3_entry(0, line);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->state, Mesif::kModified);  // written back
+    EXPECT_EQ(entry->core_valid, 0u);
+  }
+}
+
+TEST_F(PlacementTest, MemoryLevelLeavesNothingCached) {
+  const MemRegion region = sys_.alloc_on_node(0, 64 * 16);
+  place(sys_, region, Placement{.owner_core = 1, .memory_node = 0,
+                                .state = Mesif::kExclusive, .sharers = {},
+                                .level = CacheLevel::kMemory});
+  for (LineAddr line = region.first_line();
+       line < region.first_line() + region.line_count(); ++line) {
+    EXPECT_EQ(l3_entry(0, line), nullptr);
+    EXPECT_EQ(sys_.state().cores[1].l1.peek(line), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace hsw

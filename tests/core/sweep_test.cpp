@@ -1,0 +1,70 @@
+#include "core/sweep.h"
+
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace hsw {
+namespace {
+
+TEST(SweepSizes, LogSpacedAndBounded) {
+  const auto sizes = sweep_sizes(kib(16), kib(128));
+  EXPECT_EQ(sizes.front(), kib(16));
+  EXPECT_EQ(sizes.back(), kib(128));
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GT(sizes[i], sizes[i - 1]);
+    EXPECT_LE(static_cast<double>(sizes[i]) / static_cast<double>(sizes[i - 1]),
+              1.6);
+  }
+}
+
+TEST(LatencySweep, ReproducesTheLevelStaircase) {
+  LatencySweepConfig config;
+  config.system = SystemConfig::source_snoop();
+  config.reader_core = 0;
+  config.placement = Placement{.owner_core = 0, .memory_node = 0,
+                               .state = Mesif::kModified, .sharers = {},
+                               .level = CacheLevel::kL1L2};
+  config.sizes = {kib(16), kib(128), mib(2)};
+  config.max_measured_lines = 4096;
+  const auto points = latency_sweep(config);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_NEAR(points[0].result.mean_ns, 1.6, 0.01);     // L1
+  EXPECT_LT(points[1].result.mean_ns, 4.8 + 0.01);      // mostly L2
+  EXPECT_NEAR(points[2].result.mean_ns, 21.2, 3.0);     // L3
+  EXPECT_EQ(points[0].bytes, kib(16));
+}
+
+TEST(LatencySweep, FreshSystemPerPoint) {
+  // The same size measured twice must give identical results (no state
+  // leaks between points).
+  LatencySweepConfig config;
+  config.system = SystemConfig::cluster_on_die();
+  config.reader_core = 0;
+  config.placement = Placement{.owner_core = 1, .memory_node = 0,
+                               .state = Mesif::kExclusive, .sharers = {},
+                               .level = CacheLevel::kL1L2};
+  config.sizes = {kib(64), kib(64)};
+  const auto points = latency_sweep(config);
+  EXPECT_DOUBLE_EQ(points[0].result.mean_ns, points[1].result.mean_ns);
+}
+
+TEST(BandwidthSweep, WidthStaircase) {
+  BandwidthSweepConfig config;
+  config.system = SystemConfig::source_snoop();
+  config.stream.core = 0;
+  config.stream.placement = Placement{.owner_core = 0, .memory_node = 0,
+                                      .state = Mesif::kModified, .sharers = {},
+                                      .level = CacheLevel::kL1L2};
+  config.sizes = {kib(16), kib(128), mib(2)};
+  const auto points = bandwidth_sweep(config);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_NEAR(points[0].gbps, 127.2, 0.5);  // L1
+  EXPECT_NEAR(points[1].gbps, 69.1, 0.5);   // L2
+  EXPECT_NEAR(points[2].gbps, 26.2, 2.0);   // L3
+  EXPECT_GT(points[0].gbps, points[1].gbps);
+  EXPECT_GT(points[1].gbps, points[2].gbps);
+}
+
+}  // namespace
+}  // namespace hsw

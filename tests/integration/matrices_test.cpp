@@ -1,0 +1,102 @@
+// Tables IV and V as end-to-end tests: the full 4x4 matrices produced by
+// the same placement recipes the benches use, compared cell-by-cell against
+// the paper within coarse tolerances.
+#include <gtest/gtest.h>
+
+#include "core/hswbench.h"
+
+namespace hsw {
+namespace {
+
+double shared_l3_cell(int f, int h, std::uint64_t seed) {
+  System sys(SystemConfig::cluster_on_die());
+  const SystemTopology& topo = sys.topology();
+  LatencyConfig lc;
+  lc.reader_core = 0;
+  lc.placement.owner_core = topo.node(h).cores[1];
+  lc.placement.memory_node = h;
+  lc.placement.state = Mesif::kShared;
+  lc.placement.sharers = {f == h ? topo.node(f).cores[2]
+                                 : topo.node(f).cores[1]};
+  lc.placement.level = CacheLevel::kL3;
+  lc.buffer_bytes = mib(4);  // beyond the HitME coverage
+  lc.max_measured_lines = 2048;
+  lc.seed = seed;
+  return measure_latency(sys, lc).mean_ns;
+}
+
+double stale_memory_cell(int f, int h, std::uint64_t seed) {
+  System sys(SystemConfig::cluster_on_die());
+  const SystemTopology& topo = sys.topology();
+  LatencyConfig lc;
+  lc.reader_core = 0;
+  lc.placement.owner_core = topo.node(h).cores[1];
+  lc.placement.memory_node = h;
+  lc.placement.state = Mesif::kShared;
+  lc.placement.sharers = {f == h ? topo.node(f).cores[2]
+                                 : topo.node(f).cores[1]};
+  lc.placement.level = CacheLevel::kMemory;
+  lc.buffer_bytes = mib(6);
+  lc.max_measured_lines = 2048;
+  lc.seed = seed;
+  return measure_latency(sys, lc).mean_ns;
+}
+
+TEST(TableIV, FullMatrixWithinTolerance) {
+  // Paper values; rows = F node, cols = home node, reader in node0.
+  const double paper[4][4] = {{18.0, 18.0, 18.0, 18.0},
+                              {18.0, 57.2, 170.0, 177.0},
+                              {18.0, 166.0, 90.0, 166.0},
+                              {18.0, 169.0, 162.0, 96.0}};
+  for (int f = 0; f < 4; ++f) {
+    for (int h = 0; h < 4; ++h) {
+      const double sim = shared_l3_cell(f, h, 3);
+      EXPECT_NEAR(sim, paper[f][h], paper[f][h] * 0.15)
+          << "F:node" << f << " H:node" << h;
+    }
+  }
+}
+
+TEST(TableIV, ThreeNodeWorstCaseDoublesTheDefault) {
+  // Paper §VI-C: 177 ns is more than twice the 86 ns of the default mode.
+  const double worst = shared_l3_cell(1, 3, 3);
+  System source(SystemConfig::source_snoop());
+  LatencyConfig lc;
+  lc.reader_core = 0;
+  lc.placement = Placement{.owner_core = 12, .memory_node = 1,
+                           .state = Mesif::kModified, .sharers = {},
+                           .level = CacheLevel::kL3};
+  lc.buffer_bytes = kib(512);
+  lc.max_measured_lines = 1024;
+  const double default_remote = measure_latency(source, lc).mean_ns;
+  EXPECT_GT(worst, 2.0 * default_remote * 0.9);
+}
+
+TEST(TableV, FullMatrixWithinTolerance) {
+  const double paper[4][4] = {{89.6, 182.0, 222.0, 236.0},
+                              {168.0, 96.0, 222.0, 236.0},
+                              {168.0, 182.0, 141.0, 236.0},
+                              {168.0, 182.0, 222.0, 147.0}};
+  for (int f = 0; f < 4; ++f) {
+    for (int h = 0; h < 4; ++h) {
+      const double sim = stale_memory_cell(f, h, 5);
+      EXPECT_NEAR(sim, paper[f][h], paper[f][h] * 0.12)
+          << "F:node" << f << " H:node" << h;
+    }
+  }
+}
+
+TEST(TableV, BroadcastPenaltyInPaperBand) {
+  // The stale-directory broadcast adds 78-89 ns over the clean diagonal.
+  for (int h = 0; h < 4; ++h) {
+    const double clean = stale_memory_cell(h, h, 7);
+    const int f = (h + 1) % 4;
+    const double stale = stale_memory_cell(f, h, 7);
+    const double penalty = stale - clean;
+    EXPECT_GT(penalty, 60.0) << "home node " << h;
+    EXPECT_LT(penalty, 100.0) << "home node " << h;
+  }
+}
+
+}  // namespace
+}  // namespace hsw

@@ -1,0 +1,64 @@
+#include "machine/frequency.h"
+
+#include <gtest/gtest.h>
+
+namespace hsw {
+namespace {
+
+TEST(Frequency, AvxLicenceEndpoints) {
+  FrequencyModel model;
+  EXPECT_DOUBLE_EQ(model.core_ghz(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(model.core_ghz(1.0), 2.1);  // paper footnote 3
+  EXPECT_GT(model.core_ghz(0.5), 2.1);
+  EXPECT_LT(model.core_ghz(0.5), 2.5);
+}
+
+TEST(Frequency, UncoreScalesWithUtilization) {
+  FrequencyModel model;
+  EXPECT_DOUBLE_EQ(model.uncore_ghz(0.0), model.uncore_min_ghz);
+  EXPECT_DOUBLE_EQ(model.uncore_ghz(1.0), model.uncore_max_ghz);
+  EXPECT_LT(model.uncore_ghz(0.3), model.uncore_ghz(0.7));
+}
+
+TEST(Frequency, LatencyAndBandwidthScalesAreReciprocal) {
+  FrequencyModel model;
+  for (double u : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_NEAR(model.l3_bandwidth_scale(u) * model.l3_latency_scale(u), 1.0,
+                1e-12);
+  }
+}
+
+TEST(Frequency, BoostHeadroomMatchesPaperRatio) {
+  // 343 / 278 = 1.23: the boost ceiling over the typical operating point.
+  FrequencyModel model;
+  EXPECT_NEAR(model.uncore_max_ghz / model.uncore_nominal_ghz, 343.0 / 278.0,
+              0.03);
+}
+
+TEST(Frequency, SampledRunsShowOccasionalBoosts) {
+  FrequencyModel model;
+  Xoshiro256 rng(5);
+  int boosted = 0;
+  double max_scale = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto sample = model.sample_run(1.0, rng);
+    boosted += sample.boosted;
+    max_scale = std::max(max_scale, sample.bandwidth_scale);
+  }
+  EXPECT_GT(boosted, 50);   // "occasionally"
+  EXPECT_LT(boosted, 400);  // but not typically
+  EXPECT_NEAR(max_scale, 343.0 / 278.0, 0.03);
+}
+
+TEST(Frequency, SamplesAreDeterministicPerSeed) {
+  FrequencyModel model;
+  Xoshiro256 a(9);
+  Xoshiro256 b(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(model.sample_run(0.8, a).bandwidth_scale,
+                     model.sample_run(0.8, b).bandwidth_scale);
+  }
+}
+
+}  // namespace
+}  // namespace hsw

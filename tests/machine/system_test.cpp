@@ -1,0 +1,89 @@
+#include "machine/system.h"
+
+#include <gtest/gtest.h>
+
+#include "machine/specs.h"
+
+namespace hsw {
+namespace {
+
+TEST(SystemConfig, Presets) {
+  EXPECT_EQ(SystemConfig::source_snoop().snoop_mode, SnoopMode::kSourceSnoop);
+  EXPECT_EQ(SystemConfig::home_snoop().snoop_mode, SnoopMode::kHomeSnoop);
+  EXPECT_EQ(SystemConfig::cluster_on_die().snoop_mode, SnoopMode::kCod);
+}
+
+TEST(SystemConfig, DescribeMentionsKeyFacts) {
+  const std::string text = SystemConfig::cluster_on_die().describe();
+  EXPECT_NE(text.find("12-core"), std::string::npos);
+  EXPECT_NE(text.find("Cluster-on-Die"), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+}
+
+TEST(System, FeatureFlagsFollowSnoopMode) {
+  EXPECT_FALSE(System(SystemConfig::source_snoop()).state().features.directory);
+  EXPECT_FALSE(System(SystemConfig::home_snoop()).state().features.directory);
+  EXPECT_TRUE(System(SystemConfig::cluster_on_die()).state().features.directory);
+  EXPECT_TRUE(System(SystemConfig::cluster_on_die()).state().features.hitme);
+}
+
+TEST(System, FeatureOverrideWins) {
+  SystemConfig config = SystemConfig::source_snoop();
+  ProtocolFeatures features;
+  features.directory = true;
+  features.core_valid_bits = false;
+  config.feature_override = features;
+  System sys(config);
+  EXPECT_TRUE(sys.state().features.directory);
+  EXPECT_FALSE(sys.state().features.core_valid_bits);
+}
+
+TEST(System, NodeL3Capacity) {
+  System non_cod(SystemConfig::source_snoop());
+  EXPECT_EQ(non_cod.node_l3_bytes(0), 12u * 2560 * 1024);  // 30 MiB
+  System cod(SystemConfig::cluster_on_die());
+  EXPECT_EQ(cod.node_l3_bytes(0), 6u * 2560 * 1024);  // 15 MiB
+}
+
+TEST(System, NodeDramBandwidthMatchesTableII) {
+  System non_cod(SystemConfig::source_snoop());
+  EXPECT_NEAR(non_cod.node_dram_bandwidth_gbps(0), 68.3, 0.3);  // 4 channels
+  System cod(SystemConfig::cluster_on_die());
+  EXPECT_NEAR(cod.node_dram_bandwidth_gbps(0), 34.1, 0.2);  // 2 channels
+}
+
+TEST(System, AllocationsLandOnRequestedNode) {
+  System sys(SystemConfig::cluster_on_die());
+  for (int node = 0; node < sys.node_count(); ++node) {
+    const MemRegion region = sys.alloc_on_node(node, 4096);
+    EXPECT_EQ(home_node_of(region.base), node);
+  }
+}
+
+TEST(System, DropAllCachesLeavesNothingResident) {
+  System sys(SystemConfig::source_snoop());
+  const PhysAddr a = sys.alloc_on_node(0, 64).base;
+  sys.write(0, a);
+  sys.drop_all_caches();
+  EXPECT_EQ(sys.read(0, a).source, ServiceSource::kLocalDram);
+}
+
+TEST(Specs, TableIValuesMatchPaper) {
+  const UarchSpec& snb = sandy_bridge_spec();
+  const UarchSpec& hsx = haswell_spec();
+  EXPECT_EQ(snb.rob_entries, 168);
+  EXPECT_EQ(hsx.rob_entries, 192);
+  EXPECT_EQ(snb.flops_per_cycle_dp, 8);
+  EXPECT_EQ(hsx.flops_per_cycle_dp, 16);
+  EXPECT_EQ(hsx.execute_uops_per_cycle, 8);
+  EXPECT_DOUBLE_EQ(hsx.qpi_speed_gts, 9.6);
+}
+
+TEST(Specs, TestSystemMatchesTableII) {
+  const TestSystemSpec& spec = test_system_spec();
+  EXPECT_EQ(spec.cores_per_socket, 12);
+  EXPECT_DOUBLE_EQ(spec.base_ghz, 2.5);
+}
+
+}  // namespace
+}  // namespace hsw

@@ -1,0 +1,102 @@
+// Identities the composed latencies must satisfy by construction — these
+// pin the *mechanism*, not just the calibrated value.  If a refactor of the
+// engine changes which components a path sums, these fail even when the
+// headline numbers still look plausible.
+#include <gtest/gtest.h>
+
+#include "core/hswbench.h"
+
+namespace hsw {
+namespace {
+
+double one_line_read(System& sys, int reader, int owner, int node, char state,
+                     bool evict) {
+  const PhysAddr a = sys.alloc_on_node(node, 64).base;
+  sys.write(owner, a);
+  if (state == 'E') {
+    sys.flush_line(a);
+    sys.read(owner, a);
+  }
+  if (evict) sys.evict_core_caches(owner);
+  return sys.read(reader, a).ns;
+}
+
+TEST(Composition, EStatePenaltyIsExactlyTheCoreSnoop) {
+  System a(SystemConfig::source_snoop());
+  System b(SystemConfig::source_snoop());
+  const double with_snoop = one_line_read(a, 0, 2, 0, 'E', true);
+  const double plain = one_line_read(b, 0, 0, 0, 'E', true);
+  EXPECT_NEAR(with_snoop - plain, a.timing().core_snoop_local, 1e-9);
+}
+
+TEST(Composition, CoreForwardAddsDataExtraction) {
+  System a(SystemConfig::source_snoop());
+  System b(SystemConfig::source_snoop());
+  // M in other core's L1 vs E-in-L3-with-snoop: differ by the L1 data
+  // extraction plus the local/remote snoop-cost asymmetry.
+  const double m_l1 = one_line_read(a, 0, 2, 0, 'M', false);
+  const double e_l3 = one_line_read(b, 0, 2, 0, 'E', true);
+  EXPECT_NEAR(m_l1 - e_l3, a.timing().core_data_l1, 1e-9);
+}
+
+TEST(Composition, RemoteCoreSnoopDelta) {
+  System a(SystemConfig::source_snoop());
+  System b(SystemConfig::source_snoop());
+  // Remote E (core snoop) minus remote M-in-L3 (no snoop) = the external
+  // core-snoop cost (paper: 104 - 86 = 18).
+  const double remote_e = one_line_read(a, 0, 12, 1, 'E', true);
+  const double remote_m = one_line_read(b, 0, 12, 1, 'M', true);
+  EXPECT_NEAR(remote_e - remote_m, a.timing().core_snoop_external, 1e-9);
+}
+
+TEST(Composition, L1AndL2HitsAreExactlyTheConfiguredTimings) {
+  System sys(SystemConfig::source_snoop());
+  const PhysAddr a = sys.alloc_on_node(0, 64).base;
+  sys.write(0, a);
+  EXPECT_DOUBLE_EQ(sys.read(0, a).ns, sys.timing().l1_hit);
+  // Evict from L1 only: read hits L2.
+  sys.state().cores[0].l1.erase(line_of(a));
+  EXPECT_DOUBLE_EQ(sys.read(0, a).ns, sys.timing().l2_hit);
+}
+
+TEST(Composition, L3PathScalesWithRingDistance) {
+  // Two cores at different mean distances from their node's slices must
+  // differ by exactly 2 * d(hops) * ring_hop.
+  System probe(SystemConfig::cluster_on_die());
+  const double d0 = probe.topology().mean_core_to_ca_hops(0);
+  const double d8 = probe.topology().mean_core_to_ca_hops(8);
+  System a(SystemConfig::cluster_on_die());
+  System b(SystemConfig::cluster_on_die());
+  const double l0 = one_line_read(a, 0, 1, 0, 'M', true);
+  const double l8 = one_line_read(b, 8, 9, 1, 'M', true);
+  EXPECT_NEAR(l0 - l8, 2.0 * (d0 - d8) * probe.timing().ring_hop, 1e-9);
+}
+
+TEST(Composition, HomeSnoopAddsHaIngressToRemoteCacheReads) {
+  System source(SystemConfig::source_snoop());
+  System home(SystemConfig::home_snoop());
+  const double s = one_line_read(source, 0, 12, 1, 'M', true);
+  const double h = one_line_read(home, 0, 12, 1, 'M', true);
+  // Home snoop inserts the HA handoff + processing before the local snoop.
+  EXPECT_NEAR(h - s,
+              source.timing().ca_to_ha_fixed + source.timing().ha_processing +
+                  source.topology().mean_qpi_to_imc_hops(1) *
+                      source.timing().ring_hop,
+              1e-9);
+}
+
+TEST(Composition, QpiRoundTripSeparatesLocalAndRemoteForwards) {
+  // Remote M-in-L3 (86 ns class) minus local M-in-L3 (21.2 ns class) =
+  // QPI round trip + peer handling - the local CA's own lookup time.
+  System a(SystemConfig::source_snoop());
+  System b(SystemConfig::source_snoop());
+  const double remote = one_line_read(a, 0, 12, 1, 'M', true);
+  const double local = one_line_read(b, 0, 0, 0, 'M', true);
+  const TimingParams& t = a.timing();
+  EXPECT_NEAR(remote - local,
+              2.0 * t.qpi_oneway + t.snoop_ca_lookup + t.cache_fwd_return,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace hsw

@@ -1,0 +1,62 @@
+#include "mem/address.h"
+
+#include <gtest/gtest.h>
+
+namespace hsw {
+namespace {
+
+TEST(Address, LineConversionRoundTrip) {
+  const PhysAddr addr = 0x1234567890ull;
+  EXPECT_EQ(addr_of(line_of(addr)), addr & ~(kLineSize - 1));
+  EXPECT_EQ(line_of(addr_of(42)), 42u);
+}
+
+TEST(AddressSpace, EncodesHomeNode) {
+  AddressSpace space;
+  for (int node = 0; node < 4; ++node) {
+    const MemRegion region = space.alloc(node, 4096);
+    EXPECT_EQ(home_node_of(region.base), node);
+    EXPECT_EQ(home_node_of_line(region.first_line()), node);
+    EXPECT_EQ(home_node_of(region.base + region.bytes - 1), node);
+  }
+}
+
+TEST(AddressSpace, RegionsDoNotOverlap) {
+  AddressSpace space;
+  const MemRegion a = space.alloc(0, 4096);
+  const MemRegion b = space.alloc(0, 4096);
+  EXPECT_GE(b.base, a.base + a.bytes);
+  EXPECT_FALSE(a.contains(b.base));
+  EXPECT_TRUE(a.contains(a.base + 100));
+}
+
+TEST(AddressSpace, RoundsUpToLines) {
+  AddressSpace space;
+  const MemRegion region = space.alloc(0, 65);
+  EXPECT_EQ(region.bytes, 2 * kLineSize);
+  EXPECT_EQ(region.line_count(), 2u);
+}
+
+TEST(AddressSpace, RejectsBadNode) {
+  AddressSpace space;
+  EXPECT_THROW(space.alloc(-1, 64), std::out_of_range);
+  EXPECT_THROW(space.alloc(8, 64), std::out_of_range);
+}
+
+TEST(AddressSpace, ResetReusesAddresses) {
+  AddressSpace space;
+  const MemRegion a = space.alloc(1, 4096);
+  space.reset();
+  const MemRegion b = space.alloc(1, 4096);
+  EXPECT_EQ(a.base, b.base);
+}
+
+TEST(MemRegion, AddrAt) {
+  AddressSpace space;
+  const MemRegion region = space.alloc(2, 4096);
+  EXPECT_EQ(region.addr_at(0), region.base);
+  EXPECT_EQ(region.addr_at(128), region.base + 128);
+}
+
+}  // namespace
+}  // namespace hsw

@@ -1,0 +1,142 @@
+#include "mem/cache_array.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hsw {
+namespace {
+
+// A tiny 4-set, 2-way array: capacity = 4 * 2 * 64 = 512 B.
+CacheArray tiny() { return CacheArray(512, 2); }
+
+TEST(CacheArray, RejectsBadGeometry) {
+  EXPECT_THROW(CacheArray(100, 2), std::invalid_argument);
+  EXPECT_THROW(CacheArray(0, 2), std::invalid_argument);
+  EXPECT_THROW(CacheArray(3 * 2 * 64, 2), std::invalid_argument);  // 3 sets
+  EXPECT_NO_THROW(CacheArray(512, 2));
+  // PLRU needs power-of-two associativity (the 20-way L3 must use LRU).
+  EXPECT_THROW(CacheArray(64 * 4 * 20, 20, Replacement::kTreePlru),
+               std::invalid_argument);
+  EXPECT_NO_THROW(CacheArray(1024, 4, Replacement::kTreePlru));
+}
+
+TEST(CacheArray, InsertAndLookup) {
+  CacheArray cache = tiny();
+  EXPECT_EQ(cache.lookup(7), nullptr);
+  auto ins = cache.insert(7, Mesif::kExclusive);
+  EXPECT_FALSE(ins.victim.has_value());
+  ASSERT_NE(cache.lookup(7), nullptr);
+  EXPECT_EQ(cache.lookup(7)->state, Mesif::kExclusive);
+  EXPECT_EQ(cache.valid_count(), 1u);
+}
+
+TEST(CacheArray, EraseReturnsPriorEntry) {
+  CacheArray cache = tiny();
+  cache.insert(5, Mesif::kModified);
+  auto prior = cache.erase(5);
+  ASSERT_TRUE(prior.has_value());
+  EXPECT_EQ(prior->state, Mesif::kModified);
+  EXPECT_FALSE(cache.contains(5));
+  EXPECT_FALSE(cache.erase(5).has_value());
+}
+
+TEST(CacheArray, LruEvictsLeastRecentlyUsed) {
+  CacheArray cache = tiny();  // sets indexed by line % 4
+  cache.insert(0, Mesif::kExclusive);   // set 0
+  cache.insert(4, Mesif::kExclusive);   // set 0 -> full
+  cache.lookup(0);                      // refresh line 0
+  auto ins = cache.insert(8, Mesif::kExclusive);  // set 0 -> evict 4
+  ASSERT_TRUE(ins.victim.has_value());
+  EXPECT_EQ(ins.victim->line, 4u);
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(8));
+}
+
+TEST(CacheArray, UntouchedLookupDoesNotRefresh) {
+  CacheArray cache = tiny();
+  cache.insert(0, Mesif::kExclusive);
+  cache.insert(4, Mesif::kExclusive);
+  cache.lookup(0, /*touch=*/false);  // must NOT refresh
+  auto ins = cache.insert(8, Mesif::kExclusive);
+  ASSERT_TRUE(ins.victim.has_value());
+  EXPECT_EQ(ins.victim->line, 0u);
+}
+
+TEST(CacheArray, VictimPreviewMatchesEviction) {
+  CacheArray cache = tiny();
+  EXPECT_EQ(cache.replacement_victim(0), nullptr);  // set not full
+  cache.insert(0, Mesif::kExclusive);
+  cache.insert(4, Mesif::kExclusive);
+  const CacheEntry* victim = cache.replacement_victim(0);
+  ASSERT_NE(victim, nullptr);
+  const LineAddr predicted = victim->line;
+  auto ins = cache.insert(8, Mesif::kExclusive);
+  ASSERT_TRUE(ins.victim.has_value());
+  EXPECT_EQ(ins.victim->line, predicted);
+}
+
+TEST(CacheArray, FlushInvokesCallbackForValidEntries) {
+  CacheArray cache = tiny();
+  cache.insert(1, Mesif::kModified);
+  cache.insert(2, Mesif::kShared);
+  std::set<LineAddr> flushed;
+  cache.flush([&](const CacheEntry& e) { flushed.insert(e.line); });
+  EXPECT_EQ(flushed, (std::set<LineAddr>{1, 2}));
+  EXPECT_EQ(cache.valid_count(), 0u);
+}
+
+TEST(CacheArray, CapacityWorksAtScale) {
+  // L3-slice geometry: 2.5 MiB, 20-way.
+  CacheArray slice(2560 * 1024, 20);
+  EXPECT_EQ(slice.set_count(), 2048u);
+  for (LineAddr line = 0; line < slice.capacity_bytes() / kLineSize; ++line) {
+    slice.insert(line, Mesif::kExclusive);
+  }
+  EXPECT_EQ(slice.valid_count(), slice.capacity_bytes() / kLineSize);
+  // One more insert in any set must evict exactly one line.
+  auto ins = slice.insert(1u << 30, Mesif::kExclusive);
+  EXPECT_TRUE(ins.victim.has_value());
+  EXPECT_EQ(slice.valid_count(), slice.capacity_bytes() / kLineSize);
+}
+
+TEST(CacheArrayPlru, TouchedWaySurvives) {
+  CacheArray cache(64 * 4 * 8, 8, Replacement::kTreePlru);  // 4 sets, 8-way
+  for (LineAddr i = 0; i < 8; ++i) cache.insert(i * 4, Mesif::kExclusive);
+  cache.lookup(0);  // make line 0 most recently used
+  auto ins = cache.insert(8 * 4, Mesif::kExclusive);
+  ASSERT_TRUE(ins.victim.has_value());
+  EXPECT_NE(ins.victim->line, 0u);
+  EXPECT_TRUE(cache.contains(0));
+}
+
+TEST(CacheArrayPlru, BehavesSanelyUnderRandomWorkload) {
+  CacheArray plru(64 * 16 * 8, 8, Replacement::kTreePlru);
+  Xoshiro256 rng(3);
+  std::size_t hits = 0;
+  const std::uint64_t lines = 64;  // half the capacity: should mostly hit
+  for (int i = 0; i < 20000; ++i) {
+    const LineAddr line = rng.bounded(lines);
+    if (plru.lookup(line)) {
+      ++hits;
+    } else {
+      plru.insert(line, Mesif::kExclusive);
+    }
+  }
+  EXPECT_GT(hits, 19000u);
+}
+
+TEST(CacheArray, PayloadAndCoreValidPersist) {
+  CacheArray cache = tiny();
+  auto ins = cache.insert(3, Mesif::kExclusive);
+  ins.entry->core_valid = 0b1010;
+  ins.entry->payload = 0x5a;
+  EXPECT_EQ(cache.lookup(3)->core_valid, 0b1010u);
+  EXPECT_EQ(cache.lookup(3)->payload, 0x5a);
+}
+
+}  // namespace
+}  // namespace hsw

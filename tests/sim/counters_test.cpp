@@ -1,0 +1,62 @@
+#include "sim/counters.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+namespace hsw {
+namespace {
+
+TEST(Counters, BumpAndRead) {
+  CounterSet counters;
+  EXPECT_EQ(counters.value(Ctr::kDramReads), 0u);
+  counters.bump(Ctr::kDramReads);
+  counters.bump(Ctr::kDramReads, 4);
+  EXPECT_EQ(counters.value(Ctr::kDramReads), 5u);
+}
+
+TEST(Counters, LookupByPerfName) {
+  CounterSet counters;
+  counters.bump(Ctr::kLoadsRemoteFwd, 3);
+  EXPECT_EQ(counters.value("mem_load_uops_l3_miss_retired.remote_fwd"), 3u);
+  EXPECT_EQ(counters.value("not.a.counter"), 0u);
+}
+
+TEST(Counters, EveryCounterHasAUniqueName) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kCtrCount; ++i) {
+    names.insert(ctr_name(static_cast<Ctr>(i)));
+  }
+  EXPECT_EQ(names.size(), kCtrCount);
+}
+
+TEST(Counters, DiffIsPerfStyleDelta) {
+  CounterSet counters;
+  counters.bump(Ctr::kSnoopsSent, 10);
+  const auto before = counters.snapshot();
+  counters.bump(Ctr::kSnoopsSent, 5);
+  counters.bump(Ctr::kCoreSnoops, 2);
+  const auto delta = counters.diff(before);
+  EXPECT_EQ(delta[static_cast<std::size_t>(Ctr::kSnoopsSent)], 5u);
+  EXPECT_EQ(delta[static_cast<std::size_t>(Ctr::kCoreSnoops)], 2u);
+  EXPECT_EQ(delta[static_cast<std::size_t>(Ctr::kDramReads)], 0u);
+}
+
+TEST(Counters, ResetZeroesEverything) {
+  CounterSet counters;
+  counters.bump(Ctr::kHitmeHit, 7);
+  counters.reset();
+  EXPECT_EQ(counters.value(Ctr::kHitmeHit), 0u);
+}
+
+TEST(Counters, NamedReportsOnlyNonZero) {
+  CounterSet counters;
+  counters.bump(Ctr::kDramWrites, 2);
+  const auto named = counters.named();
+  EXPECT_EQ(named.size(), 1u);
+  EXPECT_EQ(named.at("uncore_imc.cas_count_write"), 2u);
+}
+
+}  // namespace
+}  // namespace hsw

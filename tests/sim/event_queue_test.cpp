@@ -1,0 +1,82 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hsw {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&] { order.push_back(3); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative) {
+  EventQueue queue;
+  double fired_at = -1.0;
+  queue.schedule_at(10.0, [&] {
+    queue.schedule_after(5.0, [&] { fired_at = queue.now(); });
+  });
+  queue.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) queue.schedule_after(1.0, chain);
+  };
+  queue.schedule_at(0.0, chain);
+  EXPECT_EQ(queue.run(), 10u);
+  EXPECT_DOUBLE_EQ(queue.now(), 9.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    queue.schedule_at(t, [&fired, &queue] { fired.push_back(queue.now()); });
+  }
+  EXPECT_EQ(queue.run_until(2.5), 2u);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.5);
+  EXPECT_EQ(queue.pending(), 2u);
+  queue.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, MaxEventsBound) {
+  EventQueue queue;
+  for (int i = 0; i < 10; ++i) queue.schedule_at(i, [] {});
+  EXPECT_EQ(queue.run(3), 3u);
+  EXPECT_EQ(queue.pending(), 7u);
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue queue;
+  queue.schedule_at(5.0, [] {});
+  queue.run();
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace hsw

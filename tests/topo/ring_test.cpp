@@ -1,0 +1,71 @@
+#include "topo/ring.h"
+
+#include <gtest/gtest.h>
+
+namespace hsw {
+namespace {
+
+TEST(Ring, DistanceTakesShorterDirection) {
+  Ring ring(11);
+  EXPECT_EQ(ring.distance(0, 0), 0);
+  EXPECT_EQ(ring.distance(0, 1), 1);
+  EXPECT_EQ(ring.distance(0, 5), 5);
+  EXPECT_EQ(ring.distance(0, 6), 5);   // around the back
+  EXPECT_EQ(ring.distance(0, 10), 1);  // neighbour the other way
+  EXPECT_EQ(ring.distance(3, 9), 5);
+}
+
+TEST(Ring, DistanceIsSymmetric) {
+  Ring ring(7);
+  for (int a = 0; a < 7; ++a) {
+    for (int b = 0; b < 7; ++b) {
+      EXPECT_EQ(ring.distance(a, b), ring.distance(b, a));
+    }
+  }
+}
+
+TEST(Ring, MeanDistance) {
+  Ring ring(8);
+  const int targets[] = {0, 2, 4};
+  EXPECT_DOUBLE_EQ(ring.mean_distance(0, targets), (0 + 2 + 4) / 3.0);
+  EXPECT_DOUBLE_EQ(ring.mean_distance(0, std::span<const int>{}), 0.0);
+}
+
+TEST(RingFabric, SameRingUsesRingDistance) {
+  RingFabric fabric({Ring(11), Ring(5)},
+                    {RingBridge{{0, 0}, {1, 0}}, RingBridge{{0, 7}, {1, 3}}},
+                    2.0);
+  EXPECT_DOUBLE_EQ(fabric.distance({0, 2}, {0, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(fabric.distance({1, 1}, {1, 3}), 2.0);
+}
+
+TEST(RingFabric, CrossRingPicksBestBridge) {
+  RingFabric fabric({Ring(11), Ring(5)},
+                    {RingBridge{{0, 0}, {1, 0}}, RingBridge{{0, 7}, {1, 3}}},
+                    2.0);
+  // From (0,0) to (1,0): bridge 0 directly: 0 + 2 + 0.
+  EXPECT_DOUBLE_EQ(fabric.distance({0, 0}, {1, 0}), 2.0);
+  // From (0,6) to (1,3): bridge 1: 1 + 2 + 0 = 3 (bridge 0 would be 5+2+2).
+  EXPECT_DOUBLE_EQ(fabric.distance({0, 6}, {1, 3}), 3.0);
+}
+
+TEST(RingFabric, CrossRingSymmetry) {
+  RingFabric fabric({Ring(11), Ring(5)},
+                    {RingBridge{{0, 0}, {1, 0}}, RingBridge{{0, 7}, {1, 3}}},
+                    2.0);
+  for (int a = 0; a < 11; ++a) {
+    for (int b = 0; b < 5; ++b) {
+      EXPECT_DOUBLE_EQ(fabric.distance({0, a}, {1, b}),
+                       fabric.distance({1, b}, {0, a}));
+    }
+  }
+}
+
+TEST(RingFabric, CrossesBridge) {
+  RingFabric fabric({Ring(4), Ring(4)}, {RingBridge{{0, 0}, {1, 0}}}, 1.0);
+  EXPECT_FALSE(fabric.crosses_bridge({0, 1}, {0, 2}));
+  EXPECT_TRUE(fabric.crosses_bridge({0, 1}, {1, 2}));
+}
+
+}  // namespace
+}  // namespace hsw

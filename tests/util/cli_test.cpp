@@ -1,0 +1,91 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace hsw {
+namespace {
+
+TEST(CommandLine, ParsesAllTypes) {
+  std::string s = "default";
+  std::int64_t i = 0;
+  double d = 0.0;
+  bool b = false;
+  std::uint64_t bytes = 0;
+  CommandLine cli("test");
+  cli.add_string("name", &s, "");
+  cli.add_int("count", &i, "");
+  cli.add_double("ratio", &d, "");
+  cli.add_bool("flag", &b, "");
+  cli.add_bytes("size", &bytes, "");
+
+  const char* argv[] = {"prog", "--name", "x",    "--count", "42",
+                        "--ratio", "2.5", "--flag", "--size",  "64KiB"};
+  ASSERT_TRUE(cli.parse(10, argv));
+  EXPECT_EQ(s, "x");
+  EXPECT_EQ(i, 42);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(bytes, kib(64));
+}
+
+TEST(CommandLine, EqualsSyntax) {
+  std::int64_t i = 0;
+  CommandLine cli("test");
+  cli.add_int("n", &i, "");
+  const char* argv[] = {"prog", "--n=7"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(i, 7);
+}
+
+TEST(CommandLine, NegatedBool) {
+  bool b = true;
+  CommandLine cli("test");
+  cli.add_bool("verbose", &b, "");
+  const char* argv[] = {"prog", "--no-verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_FALSE(b);
+}
+
+TEST(CommandLine, UnknownFlagFails) {
+  CommandLine cli("test");
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CommandLine, MissingValueFails) {
+  std::int64_t i = 0;
+  CommandLine cli("test");
+  cli.add_int("n", &i, "");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CommandLine, BadValueFails) {
+  std::int64_t i = 0;
+  CommandLine cli("test");
+  cli.add_int("n", &i, "");
+  const char* argv[] = {"prog", "--n", "seven"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(CommandLine, PositionalArguments) {
+  CommandLine cli("test");
+  const char* argv[] = {"prog", "one", "two"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.positional(), (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(CommandLine, HelpContainsFlagsAndDefaults) {
+  std::int64_t i = 3;
+  CommandLine cli("my summary");
+  cli.add_int("iterations", &i, "how many");
+  const std::string help = cli.help();
+  EXPECT_NE(help.find("my summary"), std::string::npos);
+  EXPECT_NE(help.find("--iterations"), std::string::npos);
+  EXPECT_NE(help.find("default: 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsw

@@ -1,0 +1,60 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hsw {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_ =
+      (std::filesystem::temp_directory_path() / "hswsim_csv_test.csv").string();
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"size", "latency"});
+    ASSERT_TRUE(csv.ok());
+    csv.add_row({"16384", "1.6"});
+    csv.add_row({"65536", "4.8"});
+  }
+  EXPECT_EQ(slurp(path_), "size,latency\n16384,1.6\n65536,4.8\n");
+}
+
+TEST_F(CsvTest, PadsAndTruncatesToHeaderWidth) {
+  {
+    CsvWriter csv(path_, {"a", "b"});
+    csv.add_row({"1"});
+    csv.add_row({"1", "2", "3"});
+  }
+  EXPECT_EQ(slurp(path_), "a,b\n1,\n1,2\n");
+}
+
+TEST(CsvEscape, QuotesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, UnwritablePathIsNotOk) {
+  CsvWriter csv("/nonexistent-dir/x.csv", {"a"});
+  EXPECT_FALSE(csv.ok());
+  csv.add_row({"1"});  // must not crash
+}
+
+}  // namespace
+}  // namespace hsw

@@ -1,0 +1,98 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace hsw {
+namespace {
+
+TEST(Accumulator, BasicOrderStatistics) {
+  Accumulator acc;
+  for (double x : {5.0, 1.0, 3.0, 2.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 5u);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.median(), 3.0);
+}
+
+TEST(Accumulator, PercentileInterpolates) {
+  Accumulator acc;
+  acc.add(0.0);
+  acc.add(10.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(acc.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(1.0), 10.0);
+}
+
+TEST(Accumulator, MedianOfEvenCount) {
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.median(), 2.5);
+}
+
+TEST(Accumulator, AddAfterPercentileResorts) {
+  Accumulator acc;
+  acc.add(10.0);
+  EXPECT_DOUBLE_EQ(acc.median(), 10.0);
+  acc.add(0.0);
+  acc.add(5.0);
+  EXPECT_DOUBLE_EQ(acc.median(), 5.0);
+}
+
+TEST(Accumulator, Clear) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.clear();
+  EXPECT_TRUE(acc.empty());
+}
+
+TEST(Welford, MeanAndVariance) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, FewSamplesHaveZeroVariance) {
+  Welford w;
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  w.add(42.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 42.0);
+}
+
+TEST(Welford, MergeMatchesSequential) {
+  Welford a;
+  Welford b;
+  Welford all;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 100.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Welford, MergeWithEmpty) {
+  Welford a;
+  a.add(1.0);
+  Welford empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace hsw

@@ -1,0 +1,65 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace hsw {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(out.find("| beta  |    22 |"), std::string::npos);
+}
+
+TEST(Table, FirstColumnLeftAlignedOthersRight) {
+  Table table({"k", "v"});
+  table.add_row({"a", "1"});
+  table.add_row({"long", "1234"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| a    |    1 |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"x"});
+  EXPECT_EQ(table.rows(), 1u);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| x |   |   |"), std::string::npos);
+}
+
+TEST(Table, SeparatorEmitsRule) {
+  Table table({"a"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.to_string();
+  // 5 rules: top, under header, separator, bottom... plus the one above data.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, SetAlign) {
+  Table table({"a", "b"});
+  table.set_align(1, Table::Align::kLeft);
+  table.add_row({"x", "1"});
+  table.add_row({"y", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| x | 1  |"), std::string::npos);
+}
+
+TEST(TableCell, Precision) {
+  EXPECT_EQ(cell(21.24, 1), "21.2");
+  EXPECT_EQ(cell(96.4, 0), "96");
+  EXPECT_EQ(cell(1.556, 2), "1.56");
+}
+
+}  // namespace
+}  // namespace hsw

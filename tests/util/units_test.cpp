@@ -1,0 +1,57 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace hsw {
+namespace {
+
+TEST(Units, Constants) {
+  EXPECT_EQ(kib(1), 1024u);
+  EXPECT_EQ(mib(2), 2u * 1024 * 1024);
+  EXPECT_EQ(gib(1), 1024ull * 1024 * 1024);
+}
+
+TEST(Units, GbpsIsBytesPerNanosecond) {
+  EXPECT_DOUBLE_EQ(gbps(64.0, 2.0), 32.0);
+  EXPECT_DOUBLE_EQ(gbps(100.0, 0.0), 0.0);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(kib(16)), "16 KiB");
+  EXPECT_EQ(format_bytes(mib(2) + mib(1) / 2), "2.50 MiB");
+  EXPECT_EQ(format_bytes(gib(1)), "1 GiB");
+}
+
+TEST(Units, FormatNs) {
+  EXPECT_EQ(format_ns(1.6), "1.60 ns");
+  EXPECT_EQ(format_ns(21.2), "21.2 ns");
+  EXPECT_EQ(format_ns(146.0), "146 ns");
+}
+
+TEST(Units, ParseBytesPlain) {
+  EXPECT_EQ(parse_bytes("64"), 64u);
+  EXPECT_EQ(parse_bytes("  128  "), 128u);
+}
+
+TEST(Units, ParseBytesSuffixes) {
+  EXPECT_EQ(parse_bytes("64KiB"), kib(64));
+  EXPECT_EQ(parse_bytes("64k"), kib(64));
+  EXPECT_EQ(parse_bytes("64 KB"), kib(64));
+  EXPECT_EQ(parse_bytes("2.5MiB"), mib(2) + kib(512));
+  EXPECT_EQ(parse_bytes("1g"), gib(1));
+}
+
+TEST(Units, ParseBytesRejectsGarbage) {
+  EXPECT_FALSE(parse_bytes("").has_value());
+  EXPECT_FALSE(parse_bytes("abc").has_value());
+  EXPECT_FALSE(parse_bytes("12parsecs").has_value());
+  EXPECT_FALSE(parse_bytes("-5KiB").has_value());
+}
+
+TEST(Units, ParseBytesRejectsOverflow) {
+  EXPECT_FALSE(parse_bytes("99999999999GiB").has_value());
+}
+
+}  // namespace
+}  // namespace hsw

@@ -1,0 +1,103 @@
+#include "workload/apps.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hsw {
+namespace {
+
+TEST(Suites, SizesMatchThePaper) {
+  EXPECT_EQ(spec_omp2012().size(), 14u);   // SPEC OMP2012: 14 applications
+  EXPECT_EQ(spec_mpi2007().size(), 13u);   // SPEC MPI2007: 13 applications
+}
+
+TEST(Suites, NamesAreUniqueAndSuiteTagged) {
+  std::set<std::string> names;
+  for (const AppProfile& app : spec_omp2012()) {
+    EXPECT_EQ(app.suite, "OMP2012");
+    names.insert(app.name);
+  }
+  for (const AppProfile& app : spec_mpi2007()) {
+    EXPECT_EQ(app.suite, "MPI2007");
+    names.insert(app.name);
+  }
+  EXPECT_EQ(names.size(), 27u);
+}
+
+TEST(Suites, ProfilesAreWellFormed) {
+  for (const auto* suite : {&spec_omp2012(), &spec_mpi2007()}) {
+    for (const AppProfile& app : *suite) {
+      EXPECT_GT(app.compute_fraction, 0.0) << app.name;
+      EXPECT_LT(app.compute_fraction, 1.0) << app.name;
+      EXPECT_LE(app.f_l2 + app.f_l3 + app.f_dram + app.sharing, 1.0) << app.name;
+      EXPECT_GE(app.numa_locality, 0.0) << app.name;
+      EXPECT_LE(app.numa_locality, 1.0) << app.name;
+      EXPECT_GE(app.mlp, 1.0) << app.name;
+    }
+  }
+}
+
+TEST(Runtime, PositiveAndDecomposed) {
+  const AppRunResult r =
+      estimate_runtime(spec_omp2012().front(), SystemConfig::source_snoop());
+  EXPECT_GT(r.runtime, 0.0);
+  EXPECT_GT(r.memory_time, 0.0);
+  EXPECT_LE(r.sharing_time, r.memory_time);
+}
+
+TEST(Runtime, ColdAppInsensitiveToMode) {
+  // 350.md is compute-bound: configuration changes must barely move it.
+  const AppProfile& md = spec_omp2012().front();
+  ASSERT_EQ(md.name, "350.md");
+  const double base = estimate_runtime(md, SystemConfig::source_snoop()).runtime;
+  const double cod = estimate_runtime(md, SystemConfig::cluster_on_die()).runtime;
+  EXPECT_NEAR(cod / base, 1.0, 0.02);
+}
+
+TEST(Runtime, AppluDegradesUnderCod) {
+  // The paper's headline Fig. 10 result: 371.applu331 slows by up to 23%
+  // in COD mode.
+  const AppProfile* applu = nullptr;
+  for (const AppProfile& app : spec_omp2012()) {
+    if (app.name == "371.applu331") applu = &app;
+  }
+  ASSERT_NE(applu, nullptr);
+  const double base = estimate_runtime(*applu, SystemConfig::source_snoop()).runtime;
+  const double cod = estimate_runtime(*applu, SystemConfig::cluster_on_die()).runtime;
+  EXPECT_GT(cod / base, 1.10);
+  EXPECT_LT(cod / base, 1.30);
+}
+
+TEST(Runtime, MpiSuiteLikesCod) {
+  // MPI ranks use local memory; COD's lower local latency should help (or
+  // at least not hurt) most MPI codes.
+  int improved = 0;
+  for (const AppProfile& app : spec_mpi2007()) {
+    const double base =
+        estimate_runtime(app, SystemConfig::source_snoop()).runtime;
+    const double cod =
+        estimate_runtime(app, SystemConfig::cluster_on_die()).runtime;
+    if (cod <= base * 1.001) ++improved;
+  }
+  EXPECT_GE(improved, 10);
+}
+
+TEST(Runtime, HomeSnoopRoughlyNeutralForOmp) {
+  // Paper: 12 of 14 OMP apps within +/-2% under home snoop; our model keeps
+  // at least 10 of 14 within +/-3.5% (EXPERIMENTS.md discusses the rest —
+  // the model charges sharing-heavy apps the higher remote-cache latency
+  // without crediting the doubled cross-socket bandwidth in full).
+  int within = 0;
+  for (const AppProfile& app : spec_omp2012()) {
+    const double base =
+        estimate_runtime(app, SystemConfig::source_snoop()).runtime;
+    const double home =
+        estimate_runtime(app, SystemConfig::home_snoop()).runtime;
+    if (std::abs(home / base - 1.0) < 0.035) ++within;
+  }
+  EXPECT_GE(within, 10);
+}
+
+}  // namespace
+}  // namespace hsw

@@ -1,0 +1,104 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/units.h"
+
+namespace hsw {
+namespace {
+
+TEST(TraceRoundTrip, SerializeParse) {
+  Trace trace{{0, TraceOp::kRead, 0x1000},
+              {12, TraceOp::kWrite, 0x100000002040ull},
+              {3, TraceOp::kFlush, 0x40}};
+  std::stringstream buffer;
+  write_trace(buffer, trace);
+  Trace parsed;
+  ASSERT_TRUE(read_trace(buffer, parsed));
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed[i].core, trace[i].core);
+    EXPECT_EQ(parsed[i].op, trace[i].op);
+    EXPECT_EQ(parsed[i].addr, trace[i].addr);
+  }
+}
+
+TEST(TraceRoundTrip, RejectsMalformedInput) {
+  std::stringstream bad("0 X 1000\n");
+  Trace parsed;
+  EXPECT_FALSE(read_trace(bad, parsed));
+}
+
+TEST(TraceReplay, CountsAndClassifies) {
+  System sys(SystemConfig::source_snoop());
+  const MemRegion region = sys.alloc_on_node(0, kib(4));
+  Trace trace;
+  for (std::uint64_t l = 0; l < region.line_count(); ++l) {
+    trace.push_back({0, TraceOp::kWrite, region.addr_at(l * kLineSize)});
+    trace.push_back({0, TraceOp::kRead, region.addr_at(l * kLineSize)});
+  }
+  const ReplayStats stats = replay(sys, trace);
+  EXPECT_EQ(stats.events, trace.size());
+  // The second access of each pair is an L1 hit.
+  EXPECT_GE(stats.source_fraction(ServiceSource::kL1), 0.5);
+  EXPECT_GT(stats.mean_ns(), 0.0);
+}
+
+TEST(TraceGenerators, StreamCoversTheBuffers) {
+  System sys(SystemConfig::source_snoop());
+  const Trace trace = make_stream_trace(sys, {0, 1}, kib(8), 0.25, 3);
+  EXPECT_EQ(trace.size(), 2u * kib(8) / kLineSize);
+  std::size_t writes = 0;
+  for (const TraceEvent& e : trace) writes += e.op == TraceOp::kWrite;
+  EXPECT_GT(writes, trace.size() / 8);
+  EXPECT_LT(writes, trace.size() / 2);
+}
+
+TEST(TraceGenerators, ChaseRespectsAccessCount) {
+  System sys(SystemConfig::source_snoop());
+  const Trace trace = make_chase_trace(sys, {0, 1, 2}, kib(64), 100, 3);
+  EXPECT_EQ(trace.size(), 300u);
+  for (const TraceEvent& e : trace) EXPECT_EQ(e.op, TraceOp::kRead);
+}
+
+TEST(TraceGenerators, ProducerConsumerPingPongs) {
+  System sys(SystemConfig::source_snoop());
+  const Trace trace =
+      make_producer_consumer_trace(sys, 0, 12, kib(1), /*rounds=*/4, 1);
+  const ReplayStats stats = replay(sys, trace);
+  // Consumer reads must be serviced by cross-socket forwards after round 1.
+  EXPECT_GT(stats.source_fraction(ServiceSource::kRemoteFwd), 0.2);
+  EXPECT_GT(
+      stats.counters[static_cast<std::size_t>(Ctr::kLoadsRemoteFwd)], 0u);
+}
+
+TEST(TraceGenerators, HotsetContentionSnoopsHeavily) {
+  System sys(SystemConfig::source_snoop());
+  std::vector<int> cores{0, 1, 12, 13};  // both sockets fight
+  const Trace trace = make_hotset_trace(sys, cores, 16, 4000, 0.5, 7);
+  const ReplayStats stats = replay(sys, trace);
+  EXPECT_GT(stats.counters[static_cast<std::size_t>(Ctr::kSnoopsSent)], 500u);
+  // Contended lines cost far more than private L1 hits on average.
+  EXPECT_GT(stats.mean_ns(), 20.0);
+}
+
+TEST(TraceReplay, CodVsSourceOnMigratoryPattern) {
+  // A producer-consumer pattern across on-chip clusters: COD routes it via
+  // the home agent, the default mode forwards directly — COD should not be
+  // catastrophically worse thanks to the HitME cache.
+  auto run = [](const SystemConfig& config) {
+    System sys(config);
+    const Trace trace = make_producer_consumer_trace(
+        sys, 0, sys.topology().cod() ? 6 : 1, kib(4), 6, 1);
+    return replay(sys, trace).mean_ns();
+  };
+  const double source = run(SystemConfig::source_snoop());
+  const double cod = run(SystemConfig::cluster_on_die());
+  EXPECT_GT(cod, 0.0);
+  EXPECT_LT(cod, source * 3.0);
+}
+
+}  // namespace
+}  // namespace hsw
