@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_corevalid.dir/ablation_corevalid.cpp.o"
+  "CMakeFiles/ablation_corevalid.dir/ablation_corevalid.cpp.o.d"
+  "ablation_corevalid"
+  "ablation_corevalid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_corevalid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hitme.dir/ablation_hitme.cpp.o"
+  "CMakeFiles/ablation_hitme.dir/ablation_hitme.cpp.o.d"
+  "ablation_hitme"
+  "ablation_hitme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hitme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

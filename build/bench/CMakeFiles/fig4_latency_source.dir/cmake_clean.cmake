@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_latency_source.dir/fig4_latency_source.cpp.o"
+  "CMakeFiles/fig4_latency_source.dir/fig4_latency_source.cpp.o.d"
+  "fig4_latency_source"
+  "fig4_latency_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_latency_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

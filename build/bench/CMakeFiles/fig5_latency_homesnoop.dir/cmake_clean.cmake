@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_latency_homesnoop.dir/fig5_latency_homesnoop.cpp.o"
+  "CMakeFiles/fig5_latency_homesnoop.dir/fig5_latency_homesnoop.cpp.o.d"
+  "fig5_latency_homesnoop"
+  "fig5_latency_homesnoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_latency_homesnoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

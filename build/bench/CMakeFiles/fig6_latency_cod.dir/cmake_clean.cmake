@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_latency_cod.dir/fig6_latency_cod.cpp.o"
+  "CMakeFiles/fig6_latency_cod.dir/fig6_latency_cod.cpp.o.d"
+  "fig6_latency_cod"
+  "fig6_latency_cod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_latency_cod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

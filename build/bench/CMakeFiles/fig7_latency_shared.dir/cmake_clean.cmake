@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_latency_shared.dir/fig7_latency_shared.cpp.o"
+  "CMakeFiles/fig7_latency_shared.dir/fig7_latency_shared.cpp.o.d"
+  "fig7_latency_shared"
+  "fig7_latency_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_latency_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

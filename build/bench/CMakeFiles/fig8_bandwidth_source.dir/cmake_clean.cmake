@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bandwidth_source.dir/fig8_bandwidth_source.cpp.o"
+  "CMakeFiles/fig8_bandwidth_source.dir/fig8_bandwidth_source.cpp.o.d"
+  "fig8_bandwidth_source"
+  "fig8_bandwidth_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bandwidth_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_bandwidth_shared.dir/fig9_bandwidth_shared.cpp.o"
+  "CMakeFiles/fig9_bandwidth_shared.dir/fig9_bandwidth_shared.cpp.o.d"
+  "fig9_bandwidth_shared"
+  "fig9_bandwidth_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_bandwidth_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l3_scaling.dir/l3_scaling.cpp.o"
+  "CMakeFiles/l3_scaling.dir/l3_scaling.cpp.o.d"
+  "l3_scaling"
+  "l3_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l3_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simbench.dir/simbench.cpp.o"
+  "CMakeFiles/simbench.dir/simbench.cpp.o.d"
+  "simbench"
+  "simbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_uarch.dir/table1_uarch.cpp.o"
+  "CMakeFiles/table1_uarch.dir/table1_uarch.cpp.o.d"
+  "table1_uarch"
+  "table1_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_shared_l3_matrix.dir/table4_shared_l3_matrix.cpp.o"
+  "CMakeFiles/table4_shared_l3_matrix.dir/table4_shared_l3_matrix.cpp.o.d"
+  "table4_shared_l3_matrix"
+  "table4_shared_l3_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_shared_l3_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_shared_l3_matrix.
+# This may be replaced when dependencies are built.

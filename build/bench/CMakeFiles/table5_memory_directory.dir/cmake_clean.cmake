@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_memory_directory.dir/table5_memory_directory.cpp.o"
+  "CMakeFiles/table5_memory_directory.dir/table5_memory_directory.cpp.o.d"
+  "table5_memory_directory"
+  "table5_memory_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_memory_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

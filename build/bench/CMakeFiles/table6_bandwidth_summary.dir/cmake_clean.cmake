@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_bandwidth_summary.dir/table6_bandwidth_summary.cpp.o"
+  "CMakeFiles/table6_bandwidth_summary.dir/table6_bandwidth_summary.cpp.o.d"
+  "table6_bandwidth_summary"
+  "table6_bandwidth_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_bandwidth_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_bandwidth_cod.dir/table8_bandwidth_cod.cpp.o"
+  "CMakeFiles/table8_bandwidth_cod.dir/table8_bandwidth_cod.cpp.o.d"
+  "table8_bandwidth_cod"
+  "table8_bandwidth_cod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_bandwidth_cod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

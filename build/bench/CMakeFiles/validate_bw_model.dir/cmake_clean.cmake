@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_bw_model.dir/validate_bw_model.cpp.o"
+  "CMakeFiles/validate_bw_model.dir/validate_bw_model.cpp.o.d"
+  "validate_bw_model"
+  "validate_bw_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_bw_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

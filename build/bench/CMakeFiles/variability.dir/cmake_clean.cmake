@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variability.dir/variability.cpp.o"
+  "CMakeFiles/variability.dir/variability.cpp.o.d"
+  "variability"
+  "variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_explorer.dir/coherence_explorer.cpp.o"
+  "CMakeFiles/coherence_explorer.dir/coherence_explorer.cpp.o.d"
+  "coherence_explorer"
+  "coherence_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_sharing_cost.dir/false_sharing_cost.cpp.o"
+  "CMakeFiles/false_sharing_cost.dir/false_sharing_cost.cpp.o.d"
+  "false_sharing_cost"
+  "false_sharing_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_sharing_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hswsim_cli.dir/hswsim_cli.cpp.o"
+  "CMakeFiles/hswsim_cli.dir/hswsim_cli.cpp.o.d"
+  "hswsim_cli"
+  "hswsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hswsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hswsim_bw.dir/model.cpp.o"
+  "CMakeFiles/hswsim_bw.dir/model.cpp.o.d"
+  "CMakeFiles/hswsim_bw.dir/queueing.cpp.o"
+  "CMakeFiles/hswsim_bw.dir/queueing.cpp.o.d"
+  "CMakeFiles/hswsim_bw.dir/solver.cpp.o"
+  "CMakeFiles/hswsim_bw.dir/solver.cpp.o.d"
+  "libhswsim_bw.a"
+  "libhswsim_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hswsim_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coh/engine.cpp" "src/coh/CMakeFiles/hswsim_coh.dir/engine.cpp.o" "gcc" "src/coh/CMakeFiles/hswsim_coh.dir/engine.cpp.o.d"
+  "/root/repo/src/coh/hitme.cpp" "src/coh/CMakeFiles/hswsim_coh.dir/hitme.cpp.o" "gcc" "src/coh/CMakeFiles/hswsim_coh.dir/hitme.cpp.o.d"
+  "/root/repo/src/coh/state.cpp" "src/coh/CMakeFiles/hswsim_coh.dir/state.cpp.o" "gcc" "src/coh/CMakeFiles/hswsim_coh.dir/state.cpp.o.d"
+  "/root/repo/src/coh/timing.cpp" "src/coh/CMakeFiles/hswsim_coh.dir/timing.cpp.o" "gcc" "src/coh/CMakeFiles/hswsim_coh.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/hswsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hswsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hswsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hswsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

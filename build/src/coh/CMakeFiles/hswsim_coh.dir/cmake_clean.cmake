@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hswsim_coh.dir/engine.cpp.o"
+  "CMakeFiles/hswsim_coh.dir/engine.cpp.o.d"
+  "CMakeFiles/hswsim_coh.dir/hitme.cpp.o"
+  "CMakeFiles/hswsim_coh.dir/hitme.cpp.o.d"
+  "CMakeFiles/hswsim_coh.dir/state.cpp.o"
+  "CMakeFiles/hswsim_coh.dir/state.cpp.o.d"
+  "CMakeFiles/hswsim_coh.dir/timing.cpp.o"
+  "CMakeFiles/hswsim_coh.dir/timing.cpp.o.d"
+  "libhswsim_coh.a"
+  "libhswsim_coh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hswsim_coh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhswsim_coh.a"
+)

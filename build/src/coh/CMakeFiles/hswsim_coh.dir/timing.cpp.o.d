@@ -1,0 +1,3 @@
+src/coh/CMakeFiles/hswsim_coh.dir/timing.cpp.o: \
+ /root/repo/src/coh/timing.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/coh/timing.h

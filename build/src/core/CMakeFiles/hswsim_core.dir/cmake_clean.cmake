@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hswsim_core.dir/bandwidth.cpp.o"
+  "CMakeFiles/hswsim_core.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/hswsim_core.dir/latency.cpp.o"
+  "CMakeFiles/hswsim_core.dir/latency.cpp.o.d"
+  "CMakeFiles/hswsim_core.dir/placement.cpp.o"
+  "CMakeFiles/hswsim_core.dir/placement.cpp.o.d"
+  "CMakeFiles/hswsim_core.dir/sweep.cpp.o"
+  "CMakeFiles/hswsim_core.dir/sweep.cpp.o.d"
+  "libhswsim_core.a"
+  "libhswsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hswsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hswsim_machine.dir/specs.cpp.o"
+  "CMakeFiles/hswsim_machine.dir/specs.cpp.o.d"
+  "CMakeFiles/hswsim_machine.dir/system.cpp.o"
+  "CMakeFiles/hswsim_machine.dir/system.cpp.o.d"
+  "libhswsim_machine.a"
+  "libhswsim_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hswsim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

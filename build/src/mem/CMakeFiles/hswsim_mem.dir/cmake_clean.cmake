@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hswsim_mem.dir/cache_array.cpp.o"
+  "CMakeFiles/hswsim_mem.dir/cache_array.cpp.o.d"
+  "CMakeFiles/hswsim_mem.dir/dram.cpp.o"
+  "CMakeFiles/hswsim_mem.dir/dram.cpp.o.d"
+  "libhswsim_mem.a"
+  "libhswsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hswsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hswsim_sim.dir/counters.cpp.o"
+  "CMakeFiles/hswsim_sim.dir/counters.cpp.o.d"
+  "CMakeFiles/hswsim_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hswsim_sim.dir/event_queue.cpp.o.d"
+  "libhswsim_sim.a"
+  "libhswsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hswsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

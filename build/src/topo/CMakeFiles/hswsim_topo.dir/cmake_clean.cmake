@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hswsim_topo.dir/ring.cpp.o"
+  "CMakeFiles/hswsim_topo.dir/ring.cpp.o.d"
+  "CMakeFiles/hswsim_topo.dir/topology.cpp.o"
+  "CMakeFiles/hswsim_topo.dir/topology.cpp.o.d"
+  "libhswsim_topo.a"
+  "libhswsim_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hswsim_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

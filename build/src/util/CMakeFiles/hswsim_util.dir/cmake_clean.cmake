@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hswsim_util.dir/cli.cpp.o"
+  "CMakeFiles/hswsim_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hswsim_util.dir/csv.cpp.o"
+  "CMakeFiles/hswsim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hswsim_util.dir/stats.cpp.o"
+  "CMakeFiles/hswsim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hswsim_util.dir/table.cpp.o"
+  "CMakeFiles/hswsim_util.dir/table.cpp.o.d"
+  "CMakeFiles/hswsim_util.dir/units.cpp.o"
+  "CMakeFiles/hswsim_util.dir/units.cpp.o.d"
+  "libhswsim_util.a"
+  "libhswsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hswsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

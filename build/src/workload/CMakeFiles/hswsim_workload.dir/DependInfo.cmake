@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/apps.cpp" "src/workload/CMakeFiles/hswsim_workload.dir/apps.cpp.o" "gcc" "src/workload/CMakeFiles/hswsim_workload.dir/apps.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/hswsim_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/hswsim_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hswsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bw/CMakeFiles/hswsim_bw.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/hswsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/coh/CMakeFiles/hswsim_coh.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hswsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hswsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hswsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hswsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

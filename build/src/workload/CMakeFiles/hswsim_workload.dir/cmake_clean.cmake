@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hswsim_workload.dir/apps.cpp.o"
+  "CMakeFiles/hswsim_workload.dir/apps.cpp.o.d"
+  "CMakeFiles/hswsim_workload.dir/trace.cpp.o"
+  "CMakeFiles/hswsim_workload.dir/trace.cpp.o.d"
+  "libhswsim_workload.a"
+  "libhswsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hswsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_tests.dir/bw/model_test.cpp.o"
+  "CMakeFiles/bw_tests.dir/bw/model_test.cpp.o.d"
+  "CMakeFiles/bw_tests.dir/bw/queueing_test.cpp.o"
+  "CMakeFiles/bw_tests.dir/bw/queueing_test.cpp.o.d"
+  "CMakeFiles/bw_tests.dir/bw/solver_test.cpp.o"
+  "CMakeFiles/bw_tests.dir/bw/solver_test.cpp.o.d"
+  "bw_tests"
+  "bw_tests.pdb"
+  "bw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coh_invariants_tests.dir/coh/invariants_test.cpp.o"
+  "CMakeFiles/coh_invariants_tests.dir/coh/invariants_test.cpp.o.d"
+  "coh_invariants_tests"
+  "coh_invariants_tests.pdb"
+  "coh_invariants_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coh_invariants_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

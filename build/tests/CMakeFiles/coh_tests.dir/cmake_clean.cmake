@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coh_tests.dir/coh/directory_test.cpp.o"
+  "CMakeFiles/coh_tests.dir/coh/directory_test.cpp.o.d"
+  "CMakeFiles/coh_tests.dir/coh/engine_test.cpp.o"
+  "CMakeFiles/coh_tests.dir/coh/engine_test.cpp.o.d"
+  "CMakeFiles/coh_tests.dir/coh/hitme_test.cpp.o"
+  "CMakeFiles/coh_tests.dir/coh/hitme_test.cpp.o.d"
+  "CMakeFiles/coh_tests.dir/coh/modes_test.cpp.o"
+  "CMakeFiles/coh_tests.dir/coh/modes_test.cpp.o.d"
+  "coh_tests"
+  "coh_tests.pdb"
+  "coh_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coh_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

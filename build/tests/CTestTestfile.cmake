@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/topo_tests[1]_include.cmake")
+include("/root/repo/build/tests/mem_tests[1]_include.cmake")
+include("/root/repo/build/tests/coh_tests[1]_include.cmake")
+include("/root/repo/build/tests/coh_invariants_tests[1]_include.cmake")
+include("/root/repo/build/tests/machine_tests[1]_include.cmake")
+include("/root/repo/build/tests/bw_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;68;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_false_sharing "/root/repo/build/examples/false_sharing_cost" "--iterations" "50")
+set_tests_properties(example_false_sharing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;69;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_numa_tuning "/root/repo/build/examples/numa_tuning" "--locality" "0.5" "--sharing" "0.05")
+set_tests_properties(example_numa_tuning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_explorer_cod "/root/repo/build/examples/coherence_explorer" "--mode" "cod" "--level" "l3")
+set_tests_properties(example_explorer_cod PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;71;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_cli_topo "/root/repo/build/examples/hswsim_cli" "topo" "--mode" "cod")
+set_tests_properties(example_cli_topo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;72;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_cli_latency "/root/repo/build/examples/hswsim_cli" "latency" "--mode" "home" "--owner" "12" "--state" "E" "--level" "l3" "--size" "128KiB")
+set_tests_properties(example_cli_latency PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_cli_bandwidth "/root/repo/build/examples/hswsim_cli" "bandwidth" "--mode" "source" "--cores" "4" "--size" "1MiB")
+set_tests_properties(example_cli_bandwidth PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_cli_trace "/root/repo/build/examples/hswsim_cli" "trace" "--pattern" "producer-consumer" "--accesses" "4000")
+set_tests_properties(example_cli_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;75;add_test;/root/repo/tests/CMakeLists.txt;0;")
