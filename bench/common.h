@@ -4,16 +4,24 @@
 // paper's layout, with the paper's reference values where they are scalar,
 // and (b) optionally a CSV (--csv <path>) for external plotting.
 // EXPERIMENTS.md is generated from these outputs.
+//
+// All benches take --jobs N (default: hardware_concurrency).  Sweep points
+// are dispatched over one shared ThreadPool and written to slots indexed by
+// (series, size), so the printed tables and CSVs are bit-identical for any
+// job count; --jobs 1 is the fully serial path.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/hswbench.h"
+#include "sim/thread_pool.h"
 #include "util/cli.h"
 #include "util/csv.h"
 
@@ -23,9 +31,11 @@ struct BenchArgs {
   std::string csv;        // empty = no CSV output
   bool quick = false;     // trim sweep sizes for smoke runs
   std::uint64_t seed = 1;
+  unsigned jobs = 0;      // sweep-point worker threads; 0 = hardware_concurrency
 };
 
-// Parses the standard bench flags; exits on --help / bad flags.
+// Parses the standard bench flags.  Exits 0 on --help, 1 on bad flags (CI
+// must see a failure when an invocation has a typo).
 inline BenchArgs parse_args(int argc, char** argv, const char* summary) {
   BenchArgs args;
   hsw::CommandLine cli(summary);
@@ -33,8 +43,23 @@ inline BenchArgs parse_args(int argc, char** argv, const char* summary) {
   cli.add_bool("quick", &args.quick, "reduced sweep for smoke testing");
   std::int64_t seed = 1;
   cli.add_int("seed", &seed, "placement/chase RNG seed");
-  if (!cli.parse(argc, argv)) std::exit(0);
+  std::int64_t jobs = 0;
+  cli.add_int("jobs", &jobs,
+              "worker threads for sweep points (1 = serial, 0 = all cores)");
+  switch (cli.parse_status(argc, argv)) {
+    case hsw::CommandLine::ParseStatus::kHelp:
+      std::exit(0);
+    case hsw::CommandLine::ParseStatus::kError:
+      std::exit(1);
+    case hsw::CommandLine::ParseStatus::kOk:
+      break;
+  }
+  if (jobs < 0) {
+    std::fprintf(stderr, "--jobs must be >= 0\n");
+    std::exit(1);
+  }
   args.seed = static_cast<std::uint64_t>(seed);
+  args.jobs = static_cast<unsigned>(jobs);
   return args;
 }
 
@@ -84,6 +109,63 @@ inline std::vector<std::uint64_t> figure_sizes(const BenchArgs& args,
                                                std::uint64_t max_bytes) {
   if (args.quick) max_bytes = std::min<std::uint64_t>(max_bytes, hsw::mib(4));
   return hsw::sweep_sizes(hsw::kib(16), max_bytes);
+}
+
+// A named sweep queued for the parallel fan-out below.
+struct LatencySeriesPlan {
+  std::string name;
+  hsw::LatencySweepConfig config;
+};
+
+struct BandwidthSeriesPlan {
+  std::string name;
+  hsw::BandwidthSweepConfig config;
+};
+
+// Runs every (series, size) sweep point of `plans` over one shared pool and
+// returns the mean-latency series in plan order.  Each point writes its own
+// pre-assigned slot, so the result is identical for any job count.
+inline std::vector<Series> run_latency_series(
+    const std::vector<LatencySeriesPlan>& plans, unsigned jobs) {
+  std::vector<Series> series(plans.size());
+  std::vector<std::pair<std::size_t, std::size_t>> work;  // (plan, size index)
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    series[p].name = plans[p].name;
+    series[p].values.resize(plans[p].config.sizes.size());
+    for (std::size_t i = 0; i < plans[p].config.sizes.size(); ++i) {
+      work.emplace_back(p, i);
+    }
+  }
+  hsw::ThreadPool pool(jobs);
+  hsw::parallel_for_indexed(pool, work.size(), [&](std::size_t w) {
+    const auto [p, i] = work[w];
+    const hsw::LatencySweepPoint point =
+        hsw::latency_sweep_point(plans[p].config, plans[p].config.sizes[i]);
+    series[p].values[i] = point.result.mean_ns;
+  });
+  return series;
+}
+
+// Same fan-out for bandwidth sweeps; series values are GB/s.
+inline std::vector<Series> run_bandwidth_series(
+    const std::vector<BandwidthSeriesPlan>& plans, unsigned jobs) {
+  std::vector<Series> series(plans.size());
+  std::vector<std::pair<std::size_t, std::size_t>> work;
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    series[p].name = plans[p].name;
+    series[p].values.resize(plans[p].config.sizes.size());
+    for (std::size_t i = 0; i < plans[p].config.sizes.size(); ++i) {
+      work.emplace_back(p, i);
+    }
+  }
+  hsw::ThreadPool pool(jobs);
+  hsw::parallel_for_indexed(pool, work.size(), [&](std::size_t w) {
+    const auto [p, i] = work[w];
+    const hsw::BandwidthSweepPoint point = hsw::bandwidth_sweep_point(
+        plans[p].config, plans[p].config.sizes[i]);
+    series[p].values[i] = point.gbps;
+  });
+  return series;
 }
 
 // Convenience: run one latency sweep and return its mean-latency series.

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
       hswbench::figure_sizes(args, hsw::mib(64));
 
   const hsw::SystemConfig config = hsw::SystemConfig::source_snoop();
-  std::vector<hswbench::Series> series;
+  std::vector<hswbench::LatencySeriesPlan> plans;
 
   auto sweep = [&](std::string name, int reader, int owner, int sharer,
                    hsw::Mesif state) {
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     sc.sizes = sizes;
     sc.max_measured_lines = 8192;
     sc.seed = args.seed;
-    series.push_back(hswbench::latency_series(std::move(name), sc));
+    plans.push_back({std::move(name), std::move(sc)});
   };
 
   // Local hierarchy.
@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
   sweep("socket2 E", 0, 12, -1, hsw::Mesif::kExclusive);
   sweep("socket2 S", 0, 12, 13, hsw::Mesif::kShared);
 
+  const std::vector<hswbench::Series> series =
+      hswbench::run_latency_series(plans, args.jobs);
   hswbench::print_sized_series(
       "Fig. 4: memory read latency, default configuration (source snoop)",
       sizes, series, args.csv, "ns");

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   const std::vector<std::uint64_t> sizes =
       hswbench::figure_sizes(args, hsw::mib(64));
 
-  std::vector<hswbench::Series> series;
+  std::vector<hswbench::LatencySeriesPlan> plans;
   for (auto [prefix, config] :
        {std::pair{"source", hsw::SystemConfig::source_snoop()},
         {"home", hsw::SystemConfig::home_snoop()}}) {
@@ -27,10 +27,11 @@ int main(int argc, char** argv) {
       sc.sizes = sizes;
       sc.max_measured_lines = 8192;
       sc.seed = args.seed;
-      series.push_back(hswbench::latency_series(
-          std::string(prefix) + " " + where, sc));
+      plans.push_back({std::string(prefix) + " " + where, std::move(sc)});
     }
   }
+  const std::vector<hswbench::Series> series =
+      hswbench::run_latency_series(plans, args.jobs);
 
   hswbench::print_sized_series(
       "Fig. 5: read latency, source vs home snoop (state exclusive)", sizes,

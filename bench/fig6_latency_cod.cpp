@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   hsw::System probe(config);
   const hsw::SystemTopology& topo = probe.topology();
 
-  std::vector<hswbench::Series> series;
+  std::vector<hswbench::LatencySeriesPlan> plans;
   auto sweep = [&](std::string name, int reader, int owner_node,
                    hsw::Mesif state) {
     hsw::LatencySweepConfig sc;
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
     sc.sizes = sizes;
     sc.max_measured_lines = 8192;
     sc.seed = args.seed;
-    series.push_back(hswbench::latency_series(std::move(name), sc));
+    plans.push_back({std::move(name), std::move(sc)});
   };
 
   for (hsw::Mesif state : {hsw::Mesif::kModified, hsw::Mesif::kExclusive}) {
@@ -47,6 +47,8 @@ int main(int argc, char** argv) {
     sweep(title("3hops"), topo.node(1).cores[0], 3, state);  // node1 -> node3
   }
 
+  const std::vector<hswbench::Series> series =
+      hswbench::run_latency_series(plans, args.jobs);
   hswbench::print_sized_series("Fig. 6: read latency in COD mode", sizes,
                                series, args.csv, "ns");
   hswbench::print_paper_note(

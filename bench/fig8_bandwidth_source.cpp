@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
       hswbench::figure_sizes(args, hsw::mib(64));
   const hsw::SystemConfig config = hsw::SystemConfig::source_snoop();
 
-  std::vector<hswbench::Series> series;
+  std::vector<hswbench::BandwidthSeriesPlan> plans;
   auto sweep = [&](std::string name, int owner, hsw::Mesif state,
                    hsw::bw::LoadWidth width) {
     hsw::BandwidthSweepConfig sc;
@@ -24,11 +24,7 @@ int main(int argc, char** argv) {
     sc.stream.placement.state = state;
     sc.sizes = sizes;
     sc.seed = args.seed;
-    hswbench::Series s{std::move(name), {}};
-    for (const hsw::BandwidthSweepPoint& p : hsw::bandwidth_sweep(sc)) {
-      s.values.push_back(p.gbps);
-    }
-    series.push_back(std::move(s));
+    plans.push_back({std::move(name), std::move(sc)});
   };
 
   sweep("local M avx", 0, hsw::Mesif::kModified, hsw::bw::LoadWidth::kAvx256);
@@ -38,6 +34,8 @@ int main(int argc, char** argv) {
   sweep("socket2 M", 12, hsw::Mesif::kModified, hsw::bw::LoadWidth::kAvx256);
   sweep("socket2 E", 12, hsw::Mesif::kExclusive, hsw::bw::LoadWidth::kAvx256);
 
+  const std::vector<hswbench::Series> series =
+      hswbench::run_bandwidth_series(plans, args.jobs);
   hswbench::print_sized_series(
       "Fig. 8: single-threaded read bandwidth, default configuration", sizes,
       series, args.csv, "GB/s");

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
       hswbench::figure_sizes(args, hsw::mib(64));
   const hsw::SystemConfig config = hsw::SystemConfig::source_snoop();
 
-  std::vector<hswbench::Series> series;
+  std::vector<hswbench::BandwidthSeriesPlan> plans;
   auto sweep = [&](std::string name, int owner, int node,
                    std::vector<int> sharers) {
     hsw::BandwidthSweepConfig sc;
@@ -26,11 +26,7 @@ int main(int argc, char** argv) {
     sc.stream.placement.sharers = std::move(sharers);
     sc.sizes = sizes;
     sc.seed = args.seed;
-    hswbench::Series s{std::move(name), {}};
-    for (const hsw::BandwidthSweepPoint& p : hsw::bandwidth_sweep(sc)) {
-      s.values.push_back(p.gbps);
-    }
-    series.push_back(std::move(s));
+    plans.push_back({std::move(name), std::move(sc)});
   };
 
   // Reader 0 shares with core 2; the node keeps its exclusivity: full speed.
@@ -40,6 +36,8 @@ int main(int argc, char** argv) {
   // Data shared only within the other socket; reader 0 holds nothing.
   sweep("S in remote L3", 12, 1, {13});
 
+  const std::vector<hswbench::Series> series =
+      hswbench::run_bandwidth_series(plans, args.jobs);
   hswbench::print_sized_series(
       "Fig. 9: single-threaded read bandwidth, shared lines", sizes, series,
       args.csv, "GB/s");

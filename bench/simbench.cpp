@@ -1,9 +1,18 @@
 // google-benchmark microbenchmarks of the simulator itself: throughput of
 // the hot paths (cache hits, protocol transactions, placement).  These keep
 // the engine fast enough for the full-figure sweeps.
+//
+// Unless --benchmark_out is given, results are also written as JSON to
+// BENCH_simcore.json (per-benchmark ns/op) so successive PRs can diff the
+// perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "core/hswbench.h"
+#include "mem/cache_array.h"
 
 namespace {
 
@@ -85,6 +94,117 @@ void BM_Placement64KiB(benchmark::State& state) {
 }
 BENCHMARK(BM_Placement64KiB);
 
+// --- CacheArray hot path (the inner loop of every simulated access) ------
+
+// 256 KiB, 8-way: 512 sets x 8 ways = 4096 lines, filled completely so
+// every lookup hits after a full-set tag scan.
+constexpr std::uint64_t kArrayLines = 4096;
+
+hsw::CacheArray filled_array(hsw::Replacement replacement) {
+  hsw::CacheArray array(hsw::kib(256), 8, replacement);
+  for (std::uint64_t line = 0; line < kArrayLines; ++line) {
+    array.insert(line, hsw::Mesif::kExclusive);
+  }
+  return array;
+}
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  hsw::CacheArray array = filled_array(hsw::Replacement::kLru);
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.lookup(line));
+    line = (line + 97) % kArrayLines;
+  }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_CacheLookupMiss(benchmark::State& state) {
+  hsw::CacheArray array = filled_array(hsw::Replacement::kLru);
+  std::uint64_t line = kArrayLines;  // same sets, never-present tags
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.lookup(line));
+    line = kArrayLines + (line + 97) % kArrayLines;
+  }
+}
+BENCHMARK(BM_CacheLookupMiss);
+
+void BM_CacheInsertEvict(benchmark::State& state) {
+  hsw::CacheArray array = filled_array(hsw::Replacement::kLru);
+  std::uint64_t line = kArrayLines;  // every insert evicts an LRU victim
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.insert(line++, hsw::Mesif::kModified));
+  }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void BM_CacheInsertPlru(benchmark::State& state) {
+  hsw::CacheArray array = filled_array(hsw::Replacement::kTreePlru);
+  std::uint64_t line = kArrayLines;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.insert(line++, hsw::Mesif::kModified));
+  }
+}
+BENCHMARK(BM_CacheInsertPlru);
+
+void BM_CacheFillFlush(benchmark::State& state) {
+  hsw::CacheArray array(hsw::kib(256), 8);
+  for (auto _ : state) {
+    for (std::uint64_t line = 0; line < kArrayLines; ++line) {
+      array.insert(line, hsw::Mesif::kModified);
+    }
+    std::uint64_t evicted = 0;
+    array.flush([&](const hsw::CacheEntry&) { ++evicted; });
+    benchmark::DoNotOptimize(evicted);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kArrayLines));
+}
+BENCHMARK(BM_CacheFillFlush);
+
+// --- Whole-sweep wall clock (the harness's end-to-end unit of work) ------
+
+void BM_LatencySweepWallClock(benchmark::State& state) {
+  hsw::LatencySweepConfig config;
+  config.system = hsw::SystemConfig::source_snoop();
+  config.reader_core = 0;
+  config.placement.owner_core = 1;
+  config.placement.state = hsw::Mesif::kModified;
+  config.sizes = hsw::sweep_sizes(hsw::kib(16), hsw::mib(2));
+  config.max_measured_lines = 2048;
+  config.jobs = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hsw::latency_sweep(config).size());
+  }
+}
+BENCHMARK(BM_LatencySweepWallClock)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default JSON dump to BENCH_simcore.json so the
+// perf numbers of every PR land in a diffable artifact.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out")) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_simcore.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,23 @@
 #include "core/sweep.h"
 
+#include <stdexcept>
+
+#include "sim/thread_pool.h"
+
 namespace hsw {
+namespace {
+
+// Sweeps force the natural level; a caller that configured one explicitly
+// would be silently overridden, so reject it loudly instead.
+void check_level_unset(const Placement& placement) {
+  if (placement.level != CacheLevel::kL1L2) {
+    throw std::invalid_argument(
+        "sweep placements must leave `level` at its default: the data-set "
+        "size decides the level (see sweep.h)");
+  }
+}
+
+}  // namespace
 
 std::vector<std::uint64_t> sweep_sizes(std::uint64_t min_bytes,
                                        std::uint64_t max_bytes) {
@@ -13,40 +30,51 @@ std::vector<std::uint64_t> sweep_sizes(std::uint64_t min_bytes,
   return sizes;
 }
 
+LatencySweepPoint latency_sweep_point(const LatencySweepConfig& config,
+                                      std::uint64_t bytes) {
+  System system(config.system);
+  LatencyConfig lc;
+  lc.reader_core = config.reader_core;
+  lc.placement = config.placement;
+  lc.placement.level = CacheLevel::kL1L2;  // natural level by capacity
+  lc.buffer_bytes = bytes;
+  lc.max_measured_lines = config.max_measured_lines;
+  lc.seed = config.seed;
+  return {bytes, measure_latency(system, lc)};
+}
+
 std::vector<LatencySweepPoint> latency_sweep(const LatencySweepConfig& config) {
-  std::vector<LatencySweepPoint> points;
-  points.reserve(config.sizes.size());
-  for (std::uint64_t bytes : config.sizes) {
-    System system(config.system);
-    LatencyConfig lc;
-    lc.reader_core = config.reader_core;
-    lc.placement = config.placement;
-    lc.placement.level = CacheLevel::kL1L2;  // natural level by capacity
-    lc.buffer_bytes = bytes;
-    lc.max_measured_lines = config.max_measured_lines;
-    lc.seed = config.seed;
-    points.push_back({bytes, measure_latency(system, lc)});
-  }
+  check_level_unset(config.placement);
+  std::vector<LatencySweepPoint> points(config.sizes.size());
+  ThreadPool pool(config.jobs);
+  parallel_for_indexed(pool, config.sizes.size(), [&](std::size_t i) {
+    points[i] = latency_sweep_point(config, config.sizes[i]);
+  });
   return points;
+}
+
+BandwidthSweepPoint bandwidth_sweep_point(const BandwidthSweepConfig& config,
+                                          std::uint64_t bytes) {
+  System system(config.system);
+  BandwidthConfig bc;
+  StreamConfig stream = config.stream;
+  stream.placement.level = CacheLevel::kL1L2;
+  bc.streams = {stream};
+  bc.buffer_bytes = bytes;
+  bc.seed = config.seed;
+  bc.model = config.model;
+  const BandwidthResult result = measure_bandwidth(system, bc);
+  return {bytes, result.total_gbps, result.streams.front().source};
 }
 
 std::vector<BandwidthSweepPoint> bandwidth_sweep(
     const BandwidthSweepConfig& config) {
-  std::vector<BandwidthSweepPoint> points;
-  points.reserve(config.sizes.size());
-  for (std::uint64_t bytes : config.sizes) {
-    System system(config.system);
-    BandwidthConfig bc;
-    StreamConfig stream = config.stream;
-    stream.placement.level = CacheLevel::kL1L2;
-    bc.streams = {stream};
-    bc.buffer_bytes = bytes;
-    bc.seed = config.seed;
-    bc.model = config.model;
-    const BandwidthResult result = measure_bandwidth(system, bc);
-    points.push_back(
-        {bytes, result.total_gbps, result.streams.front().source});
-  }
+  check_level_unset(config.stream.placement);
+  std::vector<BandwidthSweepPoint> points(config.sizes.size());
+  ThreadPool pool(config.jobs);
+  parallel_for_indexed(pool, config.sizes.size(), [&](std::size_t i) {
+    points[i] = bandwidth_sweep_point(config, config.sizes[i]);
+  });
   return points;
 }
 

@@ -4,6 +4,11 @@
 // cache or directory state from the previous size), places the buffer with
 // the natural level (capacity decides which level holds the data, exactly as
 // on hardware), and measures latency or bandwidth.
+//
+// Points are independent — each one owns its System — so sweeps run the
+// size axis in parallel when `jobs > 1`.  Results land in slots indexed by
+// size, making the output bit-identical to the serial path for any job
+// count (the determinism the regression harness relies on).
 #pragma once
 
 #include <cstdint>
@@ -29,12 +34,23 @@ struct LatencySweepPoint {
 struct LatencySweepConfig {
   SystemConfig system;
   int reader_core = 0;
-  // Level is forced to kL1L2 ("natural"); state/owner/sharers/node apply.
+  // The sweep overrides `placement.level` with kL1L2 ("natural"): the data
+  // set's size, not a flush step, decides which level holds it — that is
+  // the whole point of sweeping.  The field must be left at its default;
+  // a sweep with an explicit level throws std::invalid_argument.  The
+  // state/owner/sharers/node fields apply unchanged.
   Placement placement;
   std::vector<std::uint64_t> sizes;
   std::uint64_t max_measured_lines = 16384;
   std::uint64_t seed = 1;
+  // Worker threads for the size axis; 1 = serial, 0 = hardware_concurrency.
+  unsigned jobs = 1;
 };
+
+// Measures a single size on a fresh System (the unit of work the parallel
+// sweep and the bench fan-out both dispatch).
+LatencySweepPoint latency_sweep_point(const LatencySweepConfig& config,
+                                      std::uint64_t bytes);
 
 std::vector<LatencySweepPoint> latency_sweep(const LatencySweepConfig& config);
 
@@ -46,11 +62,18 @@ struct BandwidthSweepPoint {
 
 struct BandwidthSweepConfig {
   SystemConfig system;
+  // `stream.placement.level` follows the same rule as the latency sweep:
+  // it must stay at its default (the sweep forces the natural level).
   StreamConfig stream;
   std::vector<std::uint64_t> sizes;
   std::uint64_t seed = 1;
   bw::BwParams model;
+  // Worker threads for the size axis; 1 = serial, 0 = hardware_concurrency.
+  unsigned jobs = 1;
 };
+
+BandwidthSweepPoint bandwidth_sweep_point(const BandwidthSweepConfig& config,
+                                          std::uint64_t bytes);
 
 std::vector<BandwidthSweepPoint> bandwidth_sweep(const BandwidthSweepConfig& config);
 

@@ -21,110 +21,76 @@ CacheArray::CacheArray(std::uint64_t capacity_bytes, unsigned associativity,
   if (replacement == Replacement::kTreePlru && !std::has_single_bit(static_cast<std::uint64_t>(associativity))) {
     throw std::invalid_argument("tree-PLRU requires power-of-two associativity");
   }
-  set_mask_ = static_cast<std::size_t>(set_count - 1);
-  sets_.resize(static_cast<std::size_t>(set_count));
-  for (Set& set : sets_) set.resize(assoc_);
-  plru_.assign(sets_.size(), 0);
-}
-
-CacheArray::Way* CacheArray::find_way(LineAddr line) {
-  Set& set = sets_[set_index(line)];
-  for (Way& way : set) {
-    if (is_valid(way.entry.state) && way.entry.line == line) return &way;
+  if (associativity > 64) {
+    throw std::invalid_argument("associativity above 64 is unsupported");
   }
-  return nullptr;
-}
-
-const CacheArray::Way* CacheArray::find_way(LineAddr line) const {
-  const Set& set = sets_[set_index(line)];
-  for (const Way& way : set) {
-    if (is_valid(way.entry.state) && way.entry.line == line) return &way;
-  }
-  return nullptr;
-}
-
-CacheEntry* CacheArray::lookup(LineAddr line, bool touch) {
-  Way* way = find_way(line);
-  if (!way) return nullptr;
-  if (touch) {
-    Set& set = sets_[set_index(line)];
-    touch_way(set, set_index(line), static_cast<std::size_t>(way - set.data()));
-  }
-  return &way->entry;
-}
-
-const CacheEntry* CacheArray::peek(LineAddr line) const {
-  const Way* way = find_way(line);
-  return way ? &way->entry : nullptr;
+  set_count_ = static_cast<std::size_t>(set_count);
+  set_mask_ = set_count_ - 1;
+  full_mask_ = assoc_ == 64 ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << assoc_) - 1;
+  ways_.resize(set_count_ * assoc_);
+  valid_mask_.assign(set_count_, 0);
+  plru_.assign(set_count_, 0);
 }
 
 CacheArray::InsertResult CacheArray::insert(LineAddr line, Mesif state) {
   assert(is_valid(state));
   assert(!contains(line) && "insert of an already-present line");
   const std::size_t idx = set_index(line);
-  Set& set = sets_[idx];
-
-  std::size_t target = assoc_;
-  for (std::size_t w = 0; w < set.size(); ++w) {
-    if (!is_valid(set[w].entry.state)) {
-      target = w;
-      break;
-    }
-  }
+  Way* const set = ways_.data() + idx * assoc_;
 
   InsertResult result;
-  if (target == assoc_) {
+  std::size_t target;
+  const std::uint64_t valid = valid_mask_[idx];
+  if (valid != full_mask_) {
+    // Free way available: its index is one bit scan away, no tag walk and
+    // no victim scan (the first invalid way, matching a serial search).
+    target = static_cast<std::size_t>(std::countr_one(valid));
+  } else {
     target = victim_way(set, idx);
     result.victim = set[target].entry;
   }
   set[target].entry = CacheEntry{line, state, 0, 0};
-  touch_way(set, idx, target);
+  valid_mask_[idx] = valid | (std::uint64_t{1} << target);
+  touch_way(idx, target);
   result.entry = &set[target].entry;
   return result;
 }
 
 std::optional<CacheEntry> CacheArray::erase(LineAddr line) {
-  Way* way = find_way(line);
-  if (!way) return std::nullopt;
-  CacheEntry prior = way->entry;
-  way->entry = CacheEntry{};
-  return prior;
-}
-
-void CacheArray::flush(const std::function<void(const CacheEntry&)>& on_evict) {
-  for (Set& set : sets_) {
-    for (Way& way : set) {
-      if (is_valid(way.entry.state)) {
-        on_evict(way.entry);
-        way.entry = CacheEntry{};
-      }
+  const std::size_t idx = set_index(line);
+  Way* const set = ways_.data() + idx * assoc_;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    CacheEntry& entry = set[w].entry;
+    if (entry.line == line && is_valid(entry.state)) {
+      CacheEntry prior = entry;
+      entry = CacheEntry{};
+      valid_mask_[idx] &= ~(std::uint64_t{1} << w);
+      return prior;
     }
   }
+  return std::nullopt;
 }
 
 std::size_t CacheArray::valid_count() const {
   std::size_t n = 0;
-  for (const Set& set : sets_) {
-    for (const Way& way : set) {
-      if (is_valid(way.entry.state)) ++n;
-    }
+  for (const Way& way : ways_) {
+    if (is_valid(way.entry.state)) ++n;
   }
   return n;
 }
 
 const CacheEntry* CacheArray::replacement_victim(LineAddr line_in_set) const {
   const std::size_t idx = set_index(line_in_set);
-  const Set& set = sets_[idx];
-  for (const Way& way : set) {
-    if (!is_valid(way.entry.state)) return nullptr;
-  }
+  if (valid_mask_[idx] != full_mask_) return nullptr;
+  const Way* const set = ways_.data() + idx * assoc_;
   return &set[victim_way(set, idx)].entry;
 }
 
-std::size_t CacheArray::victim_way(const Set& set, std::size_t set_idx) const {
+std::size_t CacheArray::victim_way(const Way* set, std::size_t set_idx) const {
   if (replacement_ == Replacement::kLru) {
     std::size_t victim = 0;
-    for (std::size_t w = 1; w < set.size(); ++w) {
+    for (std::size_t w = 1; w < assoc_; ++w) {
       if (set[w].lru < set[victim].lru) victim = w;
     }
     return victim;
@@ -144,9 +110,7 @@ std::size_t CacheArray::victim_way(const Set& set, std::size_t set_idx) const {
   return base;
 }
 
-void CacheArray::touch_way(Set& set, std::size_t set_idx, std::size_t way) {
-  set[way].lru = ++clock_;
-  if (replacement_ != Replacement::kTreePlru) return;
+void CacheArray::touch_plru(std::size_t set_idx, std::size_t way) {
   // Flip the tree pointers along the path to `way` to point away from it.
   std::uint32_t tree = plru_[set_idx];
   std::size_t node = 0;

@@ -9,11 +9,16 @@
 // Replacement is true LRU by default; tree-PLRU is available to study how
 // far the approximation changes eviction patterns (the L3 uses an
 // approximation on real silicon).
+//
+// Layout: ways live in one flat array indexed `set * assoc + way` — every
+// simulated access walks exactly one contiguous stripe of it, so lookup is
+// a linear scan with no per-set indirection.  lookup() and the scan helpers
+// are header-inline because they dominate the whole simulator's profile.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "mem/line.h"
@@ -37,14 +42,36 @@ class CacheArray {
              Replacement replacement = Replacement::kLru);
 
   [[nodiscard]] std::uint64_t capacity_bytes() const {
-    return static_cast<std::uint64_t>(sets_.size()) * assoc_ * kLineSize;
+    return static_cast<std::uint64_t>(set_count_) * assoc_ * kLineSize;
   }
   [[nodiscard]] unsigned associativity() const { return assoc_; }
-  [[nodiscard]] std::size_t set_count() const { return sets_.size(); }
+  [[nodiscard]] std::size_t set_count() const { return set_count_; }
 
   // Looks up a line; touch=true refreshes recency.  Returns nullptr on miss.
-  CacheEntry* lookup(LineAddr line, bool touch = true);
-  [[nodiscard]] const CacheEntry* peek(LineAddr line) const;
+  CacheEntry* lookup(LineAddr line, bool touch = true) {
+    const std::size_t idx = set_index(line);
+    Way* const base = ways_.data() + idx * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+      Way& way = base[w];
+      if (way.entry.line == line && is_valid(way.entry.state)) {
+        if (touch) touch_way(idx, w);
+        return &way.entry;
+      }
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const CacheEntry* peek(LineAddr line) const {
+    const std::size_t idx = set_index(line);
+    const Way* const base = ways_.data() + idx * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+      const Way& way = base[w];
+      if (way.entry.line == line && is_valid(way.entry.state)) {
+        return &way.entry;
+      }
+    }
+    return nullptr;
+  }
   [[nodiscard]] bool contains(LineAddr line) const { return peek(line) != nullptr; }
 
   // Inserts `line` (must not be present), evicting the replacement victim if
@@ -60,8 +87,18 @@ class CacheArray {
   std::optional<CacheEntry> erase(LineAddr line);
 
   // Invalidates everything, invoking `on_evict` for each valid entry
-  // (used by the benchmark's cache-flush placement step).
-  void flush(const std::function<void(const CacheEntry&)>& on_evict);
+  // (used by the benchmark's cache-flush placement step).  Templated on the
+  // callable so per-flush std::function allocation never happens.
+  template <typename OnEvict>
+  void flush(OnEvict&& on_evict) {
+    for (Way& way : ways_) {
+      if (is_valid(way.entry.state)) {
+        on_evict(std::as_const(way.entry));
+        way.entry = CacheEntry{};
+      }
+    }
+    valid_mask_.assign(set_count_, 0);
+  }
 
   [[nodiscard]] std::size_t valid_count() const;
 
@@ -74,21 +111,29 @@ class CacheArray {
     CacheEntry entry;
     std::uint64_t lru = 0;  // larger == more recent
   };
-  using Set = std::vector<Way>;
 
   [[nodiscard]] std::size_t set_index(LineAddr line) const {
     return static_cast<std::size_t>(line) & set_mask_;
   }
-  Way* find_way(LineAddr line);
-  [[nodiscard]] const Way* find_way(LineAddr line) const;
-  // Index of the way to replace in `set` (all ways valid).
-  [[nodiscard]] std::size_t victim_way(const Set& set, std::size_t set_idx) const;
-  void touch_way(Set& set, std::size_t set_idx, std::size_t way);
+  // Index of the way to replace in the set (all ways valid).
+  [[nodiscard]] std::size_t victim_way(const Way* set, std::size_t set_idx) const;
+  void touch_way(std::size_t set_idx, std::size_t way) {
+    ways_[set_idx * assoc_ + way].lru = ++clock_;
+    if (replacement_ == Replacement::kTreePlru) touch_plru(set_idx, way);
+  }
+  void touch_plru(std::size_t set_idx, std::size_t way);
 
   unsigned assoc_;
+  std::size_t set_count_;
   std::size_t set_mask_;
+  std::uint64_t full_mask_;  // all `assoc_` way bits set
   Replacement replacement_;
-  std::vector<Set> sets_;
+  // Flat `set * assoc + way` array (see the layout note above).
+  std::vector<Way> ways_;
+  // Per-set bitmask of valid ways: insert finds a free way with one bit
+  // scan instead of walking the tags (the short-circuit past the victim
+  // scan whenever an invalid way exists).
+  std::vector<std::uint64_t> valid_mask_;
   // Tree-PLRU state: one bit-tree per set, stored as an integer of
   // (assoc-1) bits (assoc must be a power of two for PLRU).
   std::vector<std::uint32_t> plru_;

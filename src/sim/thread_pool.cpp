@@ -1,0 +1,104 @@
+#include "sim/thread_pool.h"
+
+namespace hsw {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_items(const std::function<void(std::size_t)>& body,
+                           std::size_t count) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    try {
+      body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (i < error_index_) {
+        error_index_ = i;
+        error_ = std::current_exception();
+      }
+    }
+    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+      // Take the mutex so the notify cannot race ahead of the waiter's
+      // predicate check in for_indexed().
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      // A worker that wakes after the loop drained sees body_ == nullptr
+      // and goes back to sleep; `active_` keeps for_indexed() from
+      // returning (and a new loop from starting) while any worker is
+      // still inside run_items with this loop's body.
+      body = body_;
+      count = count_;
+      if (body) ++active_;
+    }
+    if (body) {
+      run_items(*body, count);
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::for_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    error_index_ = std::numeric_limits<std::size_t>::max();
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  run_items(body, count);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock,
+                [&] { return completed_.load() == count && active_ == 0; });
+  body_ = nullptr;
+  count_ = 0;
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace hsw

@@ -1,0 +1,82 @@
+// Deterministic fork-join thread pool for embarrassingly parallel loops.
+//
+// The pool is intentionally work-stealing-free: `for_indexed(count, body)`
+// hands out indices 0..count-1 from a single atomic counter and each body
+// invocation writes its result into a pre-sized slot chosen by index.  The
+// *schedule* (which thread runs which index) is nondeterministic, but as
+// long as bodies only write to their own slot the *output* is bit-identical
+// to a serial loop — which is what lets the sweep harness promise identical
+// tables for --jobs 1 and --jobs N.
+//
+// Exceptions thrown by a body are captured and the one with the lowest
+// index is rethrown from for_indexed() after the loop drains, so error
+// reporting is deterministic too.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hsw {
+
+class ThreadPool {
+ public:
+  // `threads` is the total worker count including the calling thread;
+  // 0 picks std::thread::hardware_concurrency().  A pool of 1 spawns no
+  // threads and runs every loop inline (the serial path).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  // Runs body(i) for every i in [0, count).  The calling thread
+  // participates; returns once all indices have executed.  If any body
+  // throws, the remaining indices still run and the lowest-index exception
+  // is rethrown here.
+  void for_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  void run_items(const std::function<void(std::size_t)>& body,
+                 std::size_t count);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* body_ = nullptr;  // guarded by mutex_
+  std::size_t count_ = 0;                                   // guarded by mutex_
+  std::uint64_t epoch_ = 0;                                 // guarded by mutex_
+  bool stop_ = false;                                       // guarded by mutex_
+  std::size_t active_ = 0;                                  // guarded by mutex_
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::exception_ptr error_;                                // guarded by mutex_
+  std::size_t error_index_ = std::numeric_limits<std::size_t>::max();
+};
+
+// Convenience wrapper accepting any callable without an explicit
+// std::function conversion at every call site.
+template <typename Body>
+void parallel_for_indexed(ThreadPool& pool, std::size_t count, Body&& body) {
+  if (pool.thread_count() <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  pool.for_indexed(count, std::function<void(std::size_t)>(std::ref(body)));
+}
+
+}  // namespace hsw

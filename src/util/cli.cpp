@@ -85,12 +85,13 @@ void CommandLine::add_bytes(std::string name, std::uint64_t* target,
   flags_.emplace(std::move(name), std::move(flag));
 }
 
-bool CommandLine::parse(int argc, const char* const* argv) {
+CommandLine::ParseStatus CommandLine::parse_status(int argc,
+                                                   const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf("%s", help().c_str());
-      return false;
+      return ParseStatus::kHelp;
     }
     if (!arg.starts_with("--")) {
       positional_.emplace_back(arg);
@@ -117,7 +118,7 @@ bool CommandLine::parse(int argc, const char* const* argv) {
     if (it == flags_.end()) {
       std::fprintf(stderr, "unknown flag --%.*s\n%s",
                    static_cast<int>(name.size()), name.data(), help().c_str());
-      return false;
+      return ParseStatus::kError;
     }
 
     Flag& flag = it->second;
@@ -131,7 +132,7 @@ bool CommandLine::parse(int argc, const char* const* argv) {
     } else {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "flag --%s requires a value\n", it->first.c_str());
-        return false;
+        return ParseStatus::kError;
       }
       value = argv[++i];
     }
@@ -139,10 +140,10 @@ bool CommandLine::parse(int argc, const char* const* argv) {
       std::fprintf(stderr, "invalid value '%.*s' for flag --%s\n",
                    static_cast<int>(value.size()), value.data(),
                    it->first.c_str());
-      return false;
+      return ParseStatus::kError;
     }
   }
-  return true;
+  return ParseStatus::kOk;
 }
 
 std::string CommandLine::help() const {

@@ -27,10 +27,19 @@ class CommandLine {
   // Byte-size flag accepting "64KiB"-style values (see parse_bytes()).
   void add_bytes(std::string name, std::uint64_t* target, std::string help);
 
-  // Returns true on success; on failure (or --help) prints a message to
-  // stderr/stdout and returns false.  Positional arguments are collected in
-  // `positional()`.
-  bool parse(int argc, const char* const* argv);
+  // Result of parse_status(): callers that exit on failure should use a
+  // nonzero exit code for kError (a typo must fail CI) and zero for kHelp.
+  enum class ParseStatus { kOk, kHelp, kError };
+
+  // Parses the arguments.  kHelp means --help/-h was given (help text was
+  // printed to stdout); kError means a bad flag or value (message printed
+  // to stderr).  Positional arguments are collected in `positional()`.
+  ParseStatus parse_status(int argc, const char* const* argv);
+
+  // Legacy boolean form: true on success, false on --help *or* error.
+  bool parse(int argc, const char* const* argv) {
+    return parse_status(argc, argv) == ParseStatus::kOk;
+  }
 
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;

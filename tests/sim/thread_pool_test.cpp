@@ -1,0 +1,91 @@
+#include "sim/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hsw {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_indexed(pool, hits.size(),
+                       [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  parallel_for_indexed(pool, 0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, MoreJobsThanItems) {
+  ThreadPool pool(16);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for_indexed(pool, hits.size(),
+                       [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<int> order;
+  parallel_for_indexed(pool, 5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // safe: serial path, no races
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, PropagatesTheLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    parallel_for_indexed(pool, 100, [&](std::size_t i) {
+      if (i == 7 || i == 60) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 7");
+  }
+}
+
+TEST(ThreadPool, RemainingItemsStillRunAfterAThrow) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(parallel_for_indexed(pool, 200,
+                                    [&](std::size_t i) {
+                                      executed.fetch_add(1);
+                                      if (i == 0) throw std::logic_error("x");
+                                    }),
+               std::logic_error);
+  EXPECT_EQ(executed.load(), 200);
+}
+
+TEST(ThreadPool, ReusableAcrossLoops) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::size_t> values(64, 0);
+    parallel_for_indexed(pool, values.size(),
+                         [&](std::size_t i) { values[i] = i * i; });
+    for (std::size_t i = 0; i < values.size(); ++i) EXPECT_EQ(values[i], i * i);
+  }
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  std::atomic<std::size_t> sum{0};
+  parallel_for_indexed(pool, 100, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+}  // namespace
+}  // namespace hsw

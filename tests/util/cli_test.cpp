@@ -77,6 +77,31 @@ TEST(CommandLine, PositionalArguments) {
   EXPECT_EQ(cli.positional(), (std::vector<std::string>{"one", "two"}));
 }
 
+TEST(CommandLine, ParseStatusDistinguishesHelpFromErrors) {
+  // Callers exit 0 on kHelp and nonzero on kError, so the two must be
+  // distinguishable (a typo in a CI invocation has to fail the job).
+  std::int64_t i = 0;
+  {
+    CommandLine cli("test");
+    cli.add_int("n", &i, "");
+    const char* argv[] = {"prog", "--help"};
+    EXPECT_EQ(cli.parse_status(2, argv), CommandLine::ParseStatus::kHelp);
+  }
+  {
+    CommandLine cli("test");
+    cli.add_int("n", &i, "");
+    const char* argv[] = {"prog", "--bogus"};
+    EXPECT_EQ(cli.parse_status(2, argv), CommandLine::ParseStatus::kError);
+  }
+  {
+    CommandLine cli("test");
+    cli.add_int("n", &i, "");
+    const char* argv[] = {"prog", "--n", "4"};
+    EXPECT_EQ(cli.parse_status(3, argv), CommandLine::ParseStatus::kOk);
+    EXPECT_EQ(i, 4);
+  }
+}
+
 TEST(CommandLine, HelpContainsFlagsAndDefaults) {
   std::int64_t i = 3;
   CommandLine cli("my summary");
