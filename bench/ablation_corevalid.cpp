@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   hsw::Table table({"configuration", "E-in-L3 latency (other core placed)"});
   table.add_row({"core-valid bits on (hardware)", hsw::format_ns(with_cv)});
   table.add_row({"core-valid bits off (ablation)", hsw::format_ns(without_cv)});
-  std::printf("Ablation: L3 core-valid bits\n%s", table.to_string().c_str());
+  hswbench::print_table("Ablation: L3 core-valid bits", table, args.csv);
   std::printf(
       "\nsnoop penalty attributable to silently evicted exclusive lines: "
       "%.1f ns (paper: 44.4 - 21.2 = 23.2 ns)\n",

@@ -48,9 +48,9 @@ int main(int argc, char** argv) {
                  hsw::format_ns(local_memory_latency(home, args.seed))});
   table.add_row({"home snoop + directory (ablation)",
                  hsw::format_ns(local_memory_latency(home_dir, args.seed))});
-  std::printf("Ablation: would a directory have saved the home-snoop local "
-              "latency?\n%s",
-              table.to_string().c_str());
+  hswbench::print_table(
+      "Ablation: would a directory have saved the home-snoop local latency?",
+      table, args.csv);
   hswbench::print_paper_note(
       "96.4 ns source snoop vs 108 ns home snoop (+12%); with a directory "
       "the remote-invalid fast path would have kept local memory at "

@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
                    hsw::format_ns(shared_latency(v.config, hsw::kib(128), args.seed)),
                    hsw::format_ns(shared_latency(v.config, hsw::mib(4), args.seed))});
   }
-  std::printf("Ablation: HitME directory cache on the Fig. 7 workload\n%s",
-              table.to_string().c_str());
+  hswbench::print_table("Ablation: HitME directory cache on the Fig. 7 workload",
+                        table, args.csv);
   std::printf(
       "\nexpected: HitME serves small migratory sets from home memory (fast);"
       "\nbeyond its 256 KiB coverage the snoop-all broadcasts return; classic"

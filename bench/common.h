@@ -104,6 +104,20 @@ inline void print_sized_series(const char* title,
   }
 }
 
+// Prints a finished table and optionally mirrors it to a CSV (the golden
+// regression files compare the CSV form cell by cell).
+inline void print_table(const char* title, const hsw::Table& table,
+                        const std::string& csv_path) {
+  std::printf("%s\n%s", title, table.to_string().c_str());
+  if (!csv_path.empty()) {
+    hsw::CsvWriter csv(csv_path, table.header());
+    for (const std::vector<std::string>& row : table.data_rows()) {
+      csv.add_row(row);
+    }
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+}
+
 // Sweep axis used by the figure benches.
 inline std::vector<std::uint64_t> figure_sizes(const BenchArgs& args,
                                                std::uint64_t max_bytes) {

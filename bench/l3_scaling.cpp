@@ -67,8 +67,8 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
 
-  std::printf("L3 aggregate bandwidth (GB/s) vs reading/writing cores\n%s",
-              table.to_string().c_str());
+  hswbench::print_table("L3 aggregate bandwidth (GB/s) vs reading/writing cores",
+                        table, args.csv);
   hswbench::print_paper_note(
       "read 26.2 -> 278 GB/s over 12 cores (23.2/core, occasional boosts to "
       "343 from uncore frequency scaling); write 15 -> 161 GB/s; COD: "

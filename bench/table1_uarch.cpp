@@ -6,7 +6,8 @@
 #include "machine/specs.h"
 
 int main(int argc, char** argv) {
-  hswbench::parse_args(argc, argv, "Table I: Sandy Bridge vs Haswell");
+  const hswbench::BenchArgs args =
+      hswbench::parse_args(argc, argv, "Table I: Sandy Bridge vs Haswell");
   const hsw::UarchSpec& snb = hsw::sandy_bridge_spec();
   const hsw::UarchSpec& hsx = hsw::haswell_spec();
 
@@ -48,7 +49,7 @@ int main(int argc, char** argv) {
       hsw::cell(hsx.qpi_speed_gts, 1) + " GT/s (" +
       hsw::cell(hsx.qpi_bw_gbps, 1) + " GB/s)");
 
-  std::printf("Table I: comparison of Sandy Bridge and Haswell\n%s",
-              table.to_string().c_str());
+  hswbench::print_table("Table I: comparison of Sandy Bridge and Haswell",
+                        table, args.csv);
   return 0;
 }

@@ -6,7 +6,8 @@
 #include "machine/specs.h"
 
 int main(int argc, char** argv) {
-  hswbench::parse_args(argc, argv, "Table II: test system configuration");
+  const hswbench::BenchArgs args = hswbench::parse_args(
+      argc, argv, "Table II: test system configuration");
   const hsw::TestSystemSpec& spec = hsw::test_system_spec();
 
   hsw::Table table({"component", "configuration"});
@@ -22,10 +23,21 @@ int main(int argc, char** argv) {
   table.add_row({"memory", std::string(spec.memory)});
   table.add_row({"QPI", std::string(spec.qpi)});
   table.add_row({"BIOS modes", std::string(spec.bios_modes)});
-  std::printf("Table II: test system\n%s", table.to_string().c_str());
 
-  // Verify the constructed machine agrees with the spec sheet.
+  // Verify the constructed machine agrees with the spec sheet; the golden
+  // CSV also pins the full calibrated timing model, so *any* TimingParams
+  // change (including display-only fields like core_ghz) fails table2's
+  // golden until the goldens are deliberately regenerated.
   hsw::System sys(hsw::SystemConfig::source_snoop());
+  table.add_separator();
+  table.add_row({"machine", sys.config().describe()});
+  hsw::for_each_timing_field(sys.timing(),
+                             [&](const char* name, const double& value) {
+                               table.add_row({std::string("timing ") + name,
+                                              hsw::cell(value, 2)});
+                             });
+
+  hswbench::print_table("Table II: test system", table, args.csv);
   std::printf("\nconstructed machine: %s\n", sys.config().describe().c_str());
   std::printf("cores: %d, NUMA nodes: %d, L3 per node: %s, DRAM per node: %s\n",
               sys.core_count(), sys.node_count(),

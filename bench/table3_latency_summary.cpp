@@ -127,8 +127,8 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
 
-  std::printf("Table III: latency in nanoseconds (L3 values: state E)\n%s",
-              table.to_string().c_str());
+  hswbench::print_table("Table III: latency in nanoseconds (L3 values: state E)",
+                        table, args.csv);
   hswbench::print_paper_note(
       "L3 local 21.2 | 21.2 | 18.0 | 20.0 | 18.4;  L3 remote 104 | 115 | "
       "104/113 | 108/118 | 111/120;  memory local 96.4 | 108 | 89.6 | 94.0 | "

@@ -40,10 +40,10 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
 
-  std::printf(
+  hswbench::print_table(
       "Table IV: latency (ns) from a node0 core to L3 lines with multiple "
-      "shared copies (COD, data sets > 2.5 MiB)\n%s",
-      table.to_string().c_str());
+      "shared copies (COD, data sets > 2.5 MiB)",
+      table, args.csv);
   hswbench::print_paper_note(
       "rows F:node0-3 x cols H:node0-3 =\n"
       "  [18.0 18.0 18.0 18.0]\n"

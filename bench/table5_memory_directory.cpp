@@ -42,10 +42,10 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
 
-  std::printf(
+  hswbench::print_table(
       "Table V: memory latency (ns) from a node0 core after the lines were "
-      "shared and then evicted (COD)\n%s",
-      table.to_string().c_str());
+      "shared and then evicted (COD)",
+      table, args.csv);
   hswbench::print_paper_note(
       "rows F:node0-3 x cols H:node0-3 =\n"
       "  [89.6 182  222  236 ]\n"

@@ -107,10 +107,9 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
 
-  std::printf(
-      "Table VI: single-threaded read bandwidth in GB/s (L3 rows: state E)\n"
-      "%s",
-      table.to_string().c_str());
+  hswbench::print_table(
+      "Table VI: single-threaded read bandwidth in GB/s (L3 rows: state E)",
+      table, args.csv);
   hswbench::print_paper_note(
       "L3 local 26.2 | 26.2 | 29.0 | 27.2 | 27.6;  L3 remote 8.8 | 8.9 | "
       "8.7/8.3 | 8.3/8.0 | 8.4/8.1;  memory local 10.3 | 9.5 | 12.6 | 12.4 | "

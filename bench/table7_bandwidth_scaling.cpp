@@ -62,9 +62,9 @@ int main(int argc, char** argv) {
     table.add_row(std::move(cells));
   }
 
-  std::printf("Table VII: memory bandwidth (GB/s) vs concurrently accessing "
-              "cores\n%s",
-              table.to_string().c_str());
+  hswbench::print_table(
+      "Table VII: memory bandwidth (GB/s) vs concurrently accessing cores",
+      table, args.csv);
   hswbench::print_paper_note(
       "local read saturates at ~63 GB/s (both modes; home snoop slower for "
       "<= 7 cores); write peaks at 26.5 GB/s (5 cores) and ends at 25.8; "

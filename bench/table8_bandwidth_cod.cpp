@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
     table.add_row(std::move(cells));
   }
 
-  std::printf("Table VIII: COD-mode memory read bandwidth (GB/s)\n%s",
-              table.to_string().c_str());
+  hswbench::print_table("Table VIII: COD-mode memory read bandwidth (GB/s)",
+                        table, args.csv);
   hswbench::print_paper_note(
       "local 12.6 -> 32.5 GB/s; node0->node1 7.0 -> 18.8 (inter-ring queue); "
       "node0->node2 5.9 -> 15.6; node0->node3 / node1->node3 5.5 -> 14.7 "

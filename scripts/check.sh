@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# One-shot verification: configure + build + full ctest in the default
+# configuration, then again under AddressSanitizer.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+#   HSWSIM_CHECK_SANITIZER=undefined|thread|address  (default: address)
+#   HSWSIM_CHECK_SKIP_SANITIZER=1                    (default build only)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+sanitizer="${HSWSIM_CHECK_SANITIZER:-address}"
+
+run_config() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S "$repo_root" "$@"
+  cmake --build "$build_dir" -j
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "${ctest_args[@]}"
+}
+
+ctest_args=("$@")
+
+echo "== default configuration =="
+run_config "$repo_root/build"
+
+if [[ "${HSWSIM_CHECK_SKIP_SANITIZER:-0}" != "1" ]]; then
+  echo "== ${sanitizer} sanitizer configuration =="
+  run_config "$repo_root/build-${sanitizer}" "-DHSWSIM_SANITIZE=${sanitizer}"
+fi
+
+echo "check.sh: all green"

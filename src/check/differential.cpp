@@ -1,0 +1,300 @@
+#include "check/differential.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mem/address.h"
+#include "util/rng.h"
+
+namespace hsw::check {
+
+const char* to_string(DiffOp::Kind kind) {
+  switch (kind) {
+    case DiffOp::Kind::kRead: return "kRead";
+    case DiffOp::Kind::kWrite: return "kWrite";
+    case DiffOp::Kind::kFlush: return "kFlush";
+    case DiffOp::Kind::kEvictCore: return "kEvictCore";
+    case DiffOp::Kind::kFlushNode: return "kFlushNode";
+  }
+  return "?";
+}
+
+SystemConfig system_config_for(const DiffConfig& config) {
+  SystemConfig sc;
+  sc.snoop_mode = config.mode;
+  if (config.das) {
+    ProtocolFeatures features = ProtocolFeatures::for_mode(config.mode);
+    features.directory = true;
+    features.hitme = false;
+    sc.feature_override = features;
+  }
+  return sc;
+}
+
+namespace {
+
+LineAddr region_base_line(int node) {
+  return static_cast<LineAddr>(node) << (kNodeShift - kLineBits);
+}
+
+int last_node(const DiffConfig& config) {
+  return config.mode == SnoopMode::kCod ? 3 : 1;
+}
+
+// Per-step comparison of every coherence-visible fact the two models share.
+std::optional<std::string> compare_states(System& sys, ReferenceModel& ref,
+                                          const std::vector<LineAddr>& lines) {
+  MachineState& m = sys.state();
+  const SystemTopology& topo = m.topo;
+  std::ostringstream out;
+  auto fail = [&]() -> std::optional<std::string> { return out.str(); };
+
+  for (const LineAddr line : lines) {
+    const ReferenceLine& ls = ref.line_state(line);
+    for (const NumaNode& node : topo.nodes()) {
+      const CacheEntry* entry =
+          m.l3[static_cast<std::size_t>(node.socket)]
+              [static_cast<std::size_t>(m.slice_for(node.id, line))]
+                  .peek(line);
+      const Mesif real = entry ? entry->state : Mesif::kInvalid;
+      const std::uint32_t real_cv = entry ? entry->core_valid : 0;
+      const auto n = static_cast<std::size_t>(node.id);
+      if (real != ls.l3[n] || (real != Mesif::kInvalid && real_cv != ls.cv[n])) {
+        out << "line 0x" << std::hex << line << std::dec << " node " << node.id
+            << ": engine L3 " << to_string(real) << " cv=0x" << std::hex
+            << real_cv << ", reference " << to_string(ls.l3[n]) << " cv=0x"
+            << ls.cv[n] << std::dec;
+        return fail();
+      }
+    }
+    for (int core = 0; core < topo.core_count(); ++core) {
+      const CoreCaches& cc = m.cores[static_cast<std::size_t>(core)];
+      const CacheEntry* e1 = cc.l1.peek(line);
+      const CacheEntry* e2 = cc.l2.peek(line);
+      const Mesif real1 = e1 ? e1->state : Mesif::kInvalid;
+      const Mesif real2 = e2 ? e2->state : Mesif::kInvalid;
+      const auto c = static_cast<std::size_t>(core);
+      if (real1 != ls.l1[c] || real2 != ls.l2[c]) {
+        out << "line 0x" << std::hex << line << std::dec << " core " << core
+            << ": engine L1/L2 " << to_string(real1) << "/" << to_string(real2)
+            << ", reference " << to_string(ls.l1[c]) << "/"
+            << to_string(ls.l2[c]);
+        return fail();
+      }
+    }
+    if (m.features.directory) {
+      const DirState real_dir = m.home_of(line).ha->directory.get(line);
+      if (real_dir != ls.dir) {
+        out << "line 0x" << std::hex << line << std::dec
+            << ": engine directory " << to_string(real_dir) << ", reference "
+            << to_string(ls.dir);
+        return fail();
+      }
+      if (m.features.hitme) {
+        const auto real_hm = m.home_of(line).ha->hitme.peek(line);
+        const bool real_present = real_hm.has_value();
+        const std::uint8_t real_presence = real_hm ? real_hm->presence : 0;
+        if (real_present != ls.hitme ||
+            (real_present && real_presence != ls.presence)) {
+          out << "line 0x" << std::hex << line << std::dec
+              << ": engine HitME " << (real_present ? "present" : "absent")
+              << " presence=0x" << std::hex << static_cast<unsigned>(real_presence)
+              << ", reference " << (ls.hitme ? "present" : "absent")
+              << " presence=0x" << static_cast<unsigned>(ls.presence) << std::dec;
+          return fail();
+        }
+      }
+    }
+  }
+
+  const CounterSet& ctr = sys.counters();
+  const ReferenceCounters& rc = ref.counters();
+  const struct {
+    Ctr engine;
+    std::uint64_t reference;
+  } counter_pairs[] = {
+      {Ctr::kDramReads, rc.dram_reads},
+      {Ctr::kDramWrites, rc.dram_writes},
+      {Ctr::kL3WritebacksToMem, rc.l3_writebacks},
+      {Ctr::kL3Evictions, rc.l3_evictions},
+      {Ctr::kDirectoryUpdates, rc.directory_updates},
+      {Ctr::kDirectoryLookups, rc.directory_lookups},
+      {Ctr::kCoreSnoops, rc.core_snoops},
+      {Ctr::kSnoopsSent, rc.snoops_sent},
+      {Ctr::kSnoopBroadcasts, rc.snoop_broadcasts},
+      {Ctr::kQpiSnoopFlits, rc.qpi_snoop_flits},
+      {Ctr::kHitmeHit, rc.hitme_hits},
+      {Ctr::kHitmeMiss, rc.hitme_misses},
+      {Ctr::kHitmeAlloc, rc.hitme_allocs},
+  };
+  for (const auto& pair : counter_pairs) {
+    if (ctr.value(pair.engine) != pair.reference) {
+      out << "counter " << ctr_name(pair.engine) << ": engine "
+          << ctr.value(pair.engine) << ", reference " << pair.reference;
+      return fail();
+    }
+  }
+  return std::nullopt;
+}
+
+void apply_op(System& sys, ReferenceModel& ref, const DiffOp& op) {
+  const PhysAddr addr = addr_of(op.line);
+  switch (op.kind) {
+    case DiffOp::Kind::kRead:
+      sys.read(op.core, addr);
+      ref.read(op.core, op.line);
+      break;
+    case DiffOp::Kind::kWrite:
+      sys.write(op.core, addr);
+      ref.write(op.core, op.line);
+      break;
+    case DiffOp::Kind::kFlush:
+      sys.flush_line(addr);
+      ref.flush_line(op.line);
+      break;
+    case DiffOp::Kind::kEvictCore:
+      sys.evict_core_caches(op.core);
+      ref.evict_core_caches(op.core);
+      break;
+    case DiffOp::Kind::kFlushNode: {
+      const int node = sys.topology().node_of_core(op.core);
+      sys.flush_node_l3(node);
+      ref.flush_node_l3(node);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LineAddr> tracked_lines(const DiffConfig& config) {
+  std::vector<LineAddr> lines;
+  for (const int node : {0, last_node(config)}) {
+    const LineAddr base = region_base_line(node);
+    for (std::uint64_t i = 0; i < config.lines_per_region; ++i) {
+      lines.push_back(base + i);
+    }
+  }
+  return lines;
+}
+
+std::vector<DiffOp> random_trace(const DiffConfig& config) {
+  Xoshiro256 rng(config.seed);
+  const LineAddr base_a = region_base_line(0);
+  const LineAddr base_b = region_base_line(last_node(config));
+  const SystemTopology topo(
+      TopologyConfig{DieSku::kTwelveCore, 2, config.mode});
+  const auto cores = static_cast<std::uint64_t>(topo.core_count());
+
+  std::vector<DiffOp> ops;
+  ops.reserve(static_cast<std::size_t>(config.steps));
+  for (int step = 0; step < config.steps; ++step) {
+    DiffOp op;
+    const LineAddr base = rng.bernoulli(0.5) ? base_a : base_b;
+    op.line = base + rng.bounded(config.lines_per_region);
+    op.core = static_cast<int>(rng.bounded(cores));
+    const double dice = rng.uniform();
+    if (dice < 0.45) {
+      op.kind = DiffOp::Kind::kRead;
+    } else if (dice < 0.85) {
+      op.kind = DiffOp::Kind::kWrite;
+    } else if (dice < 0.92) {
+      op.kind = DiffOp::Kind::kFlush;
+    } else if (dice < 0.97) {
+      op.kind = DiffOp::Kind::kEvictCore;
+    } else {
+      op.kind = DiffOp::Kind::kFlushNode;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+std::optional<Divergence> run_differential(const DiffConfig& config,
+                                           const std::vector<DiffOp>& ops) {
+  System sys(system_config_for(config));
+  ReferenceModel ref(sys.topology(), sys.state().features, config.fault);
+
+  std::vector<LineAddr> lines = tracked_lines(config);
+  for (const DiffOp& op : ops) {
+    if (std::find(lines.begin(), lines.end(), op.line) == lines.end()) {
+      lines.push_back(op.line);
+    }
+  }
+
+  for (std::size_t step = 0; step < ops.size(); ++step) {
+    apply_op(sys, ref, ops[step]);
+    if (auto mismatch = compare_states(sys, ref, lines)) {
+      std::ostringstream desc;
+      desc << "step " << step << " (" << to_string(ops[step].kind) << " core "
+           << ops[step].core << " line 0x" << std::hex << ops[step].line
+           << std::dec << "): " << *mismatch;
+      return Divergence{step, desc.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<DiffOp> minimize(const DiffConfig& config,
+                             std::vector<DiffOp> ops) {
+  auto diverges = [&](const std::vector<DiffOp>& candidate) {
+    return run_differential(config, candidate);
+  };
+  auto initial = diverges(ops);
+  if (!initial) return ops;  // nothing to minimize
+  // Ops after the failing step cannot matter.
+  ops.resize(initial->failing_step + 1);
+
+  std::size_t granularity = 2;
+  while (ops.size() >= 2) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, ops.size() / granularity);
+    bool reduced = false;
+    for (std::size_t start = 0; start < ops.size(); start += chunk) {
+      std::vector<DiffOp> candidate;
+      candidate.reserve(ops.size());
+      candidate.insert(candidate.end(), ops.begin(),
+                       ops.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(
+          candidate.end(),
+          ops.begin() + static_cast<std::ptrdiff_t>(
+                            std::min(start + chunk, ops.size())),
+          ops.end());
+      if (candidate.empty()) continue;
+      if (auto div = diverges(candidate)) {
+        candidate.resize(div->failing_step + 1);
+        ops = std::move(candidate);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk == 1) break;  // 1-minimal: no single op can be removed
+      granularity = std::min(ops.size(), granularity * 2);
+    }
+  }
+  return ops;
+}
+
+std::string format_replay(const DiffConfig& config,
+                          const std::vector<DiffOp>& ops) {
+  std::ostringstream out;
+  out << "// Replay with hsw::check::run_differential(config, ops):\n";
+  out << "hsw::check::DiffConfig config;\n";
+  out << "config.mode = hsw::SnoopMode::"
+      << (config.mode == SnoopMode::kSourceSnoop ? "kSourceSnoop"
+          : config.mode == SnoopMode::kHomeSnoop ? "kHomeSnoop"
+                                                 : "kCod")
+      << ";\n";
+  if (config.das) out << "config.das = true;\n";
+  out << "std::vector<hsw::check::DiffOp> ops = {\n";
+  for (const DiffOp& op : ops) {
+    out << "    {hsw::check::DiffOp::Kind::" << to_string(op.kind) << ", "
+        << op.core << ", 0x" << std::hex << op.line << std::dec << "ull},\n";
+  }
+  out << "};\n";
+  return out.str();
+}
+
+}  // namespace hsw::check

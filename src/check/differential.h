@@ -1,0 +1,80 @@
+// Differential coherence testing: replay random operation sequences through
+// the real System/CoherenceEngine and the timing-free ReferenceModel, diff
+// the complete coherence-visible state (per-core L1/L2 MESIF, per-node L3
+// state + core-valid bits, directory + HitME view, protocol counters) after
+// every step, and shrink any failing trace to a minimal repro.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/reference_model.h"
+#include "machine/system.h"
+
+namespace hsw::check {
+
+struct DiffOp {
+  enum class Kind : std::uint8_t {
+    kRead,
+    kWrite,
+    kFlush,       // clflush of `line` (core unused)
+    kEvictCore,   // drain `core`'s L1+L2 into its L3 (line unused)
+    kFlushNode,   // evict the whole L3 of `core`'s node (line unused)
+  };
+  Kind kind = Kind::kRead;
+  int core = 0;
+  LineAddr line = 0;
+
+  friend bool operator==(const DiffOp&, const DiffOp&) = default;
+};
+
+[[nodiscard]] const char* to_string(DiffOp::Kind kind);
+
+struct DiffConfig {
+  SnoopMode mode = SnoopMode::kSourceSnoop;
+  // Directory-assisted snoop without the HitME cache (classic DAS ablation;
+  // exercises the DirState::kShared paths).
+  bool das = false;
+  std::uint64_t seed = 1;
+  int steps = 1200;
+  // Lines per region; two regions (first and last node's memory).  Must stay
+  // small enough that no cache in the system can suffer a capacity eviction,
+  // otherwise the reference model's no-replacement assumption breaks.
+  std::uint64_t lines_per_region = 48;
+  ReferenceFault fault = ReferenceFault::kNone;
+};
+
+// The SystemConfig the differential run instantiates (paper topology with
+// the requested snoop mode / ablation).
+[[nodiscard]] SystemConfig system_config_for(const DiffConfig& config);
+
+// The line addresses the two regions cover (and the comparator checks).
+[[nodiscard]] std::vector<LineAddr> tracked_lines(const DiffConfig& config);
+
+// Randomized trace over the two regions, same op mix as the invariant fuzz.
+[[nodiscard]] std::vector<DiffOp> random_trace(const DiffConfig& config);
+
+struct Divergence {
+  std::size_t failing_step = 0;  // index into the replayed trace
+  std::string description;
+};
+
+// Replays `ops` through a fresh System and a fresh ReferenceModel, comparing
+// after every step.  Returns the first divergence, or nullopt if the models
+// agree over the whole trace.
+[[nodiscard]] std::optional<Divergence> run_differential(
+    const DiffConfig& config, const std::vector<DiffOp>& ops);
+
+// Delta-debugging (ddmin) shrink of a diverging trace: returns a subsequence
+// that still diverges and from which no single chunk removal preserves the
+// divergence.  `ops` must diverge under `config`.
+[[nodiscard]] std::vector<DiffOp> minimize(const DiffConfig& config,
+                                           std::vector<DiffOp> ops);
+
+// Renders a trace as a compilable C++ literal (paste into a test to replay).
+[[nodiscard]] std::string format_replay(const DiffConfig& config,
+                                        const std::vector<DiffOp>& ops);
+
+}  // namespace hsw::check

@@ -1,0 +1,121 @@
+#include "check/golden.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace hsw::check {
+
+namespace {
+
+// Reads all CSV records; strips trailing \r so goldens survive CRLF checkouts.
+bool read_records(const std::string& path, std::vector<std::string>& records,
+                  std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::string record;
+  while (std::getline(in, record)) {
+    if (!record.empty() && record.back() == '\r') record.pop_back();
+    records.push_back(record);
+  }
+  return true;
+}
+
+bool parse_number(const std::string& cell, double& value) {
+  if (cell.empty()) return false;
+  const char* begin = cell.c_str();
+  char* end = nullptr;
+  value = std::strtod(begin, &end);
+  return end == begin + cell.size();
+}
+
+}  // namespace
+
+std::vector<std::string> split_csv_record(const std::string& record) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    const char c = record[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < record.size() && record[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+bool cells_match(const std::string& golden, const std::string& actual,
+                 const GoldenTolerance& tolerance) {
+  double g = 0.0;
+  double a = 0.0;
+  if (parse_number(golden, g) && parse_number(actual, a)) {
+    const double diff = std::fabs(g - a);
+    const double scale = std::max(std::fabs(g), std::fabs(a));
+    return diff <= tolerance.abs || diff <= tolerance.rel * scale;
+  }
+  return golden == actual;
+}
+
+GoldenDiff compare_csv_files(const std::string& golden_path,
+                             const std::string& actual_path,
+                             const GoldenTolerance& tolerance) {
+  GoldenDiff result;
+  std::vector<std::string> golden;
+  std::vector<std::string> actual;
+  if (!read_records(golden_path, golden, result.message) ||
+      !read_records(actual_path, actual, result.message)) {
+    return result;
+  }
+  if (golden.size() != actual.size()) {
+    std::ostringstream out;
+    out << "row count differs: golden " << golden.size() << " rows, actual "
+        << actual.size() << " rows";
+    result.message = out.str();
+    return result;
+  }
+  for (std::size_t row = 0; row < golden.size(); ++row) {
+    const std::vector<std::string> gcells = split_csv_record(golden[row]);
+    const std::vector<std::string> acells = split_csv_record(actual[row]);
+    if (gcells.size() != acells.size()) {
+      std::ostringstream out;
+      out << "row " << row + 1 << ": column count differs (golden "
+          << gcells.size() << ", actual " << acells.size() << ")";
+      result.message = out.str();
+      return result;
+    }
+    for (std::size_t col = 0; col < gcells.size(); ++col) {
+      if (!cells_match(gcells[col], acells[col], tolerance)) {
+        std::ostringstream out;
+        out << "row " << row + 1 << " col " << col + 1 << ": golden \""
+            << gcells[col] << "\" vs actual \"" << acells[col] << "\"";
+        result.message = out.str();
+        return result;
+      }
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace hsw::check

@@ -1,0 +1,40 @@
+// Tolerance-aware CSV comparison for golden-figure regression tests.
+//
+// Goldens under tests/golden/ pin the quick-size output of every fig*/table*
+// bench.  Cells that parse as numbers are compared with a relative/absolute
+// epsilon (latencies and bandwidths are doubles that may legitimately move
+// in the last printed digit); everything else — headers, size labels, state
+// names, counter values formatted as integers — must match exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hsw::check {
+
+struct GoldenTolerance {
+  double rel = 1e-3;  // |a-b| <= rel * max(|a|,|b|) passes
+  double abs = 5e-3;  // ... or |a-b| <= abs (guards values near zero)
+};
+
+struct GoldenDiff {
+  bool ok = false;
+  std::string message;  // first mismatch, or load error
+};
+
+// Splits one RFC-4180 CSV record (quoted fields, embedded commas/quotes).
+[[nodiscard]] std::vector<std::string> split_csv_record(
+    const std::string& record);
+
+// Compares two cells under the tolerance (numeric if both parse fully as
+// doubles, exact string equality otherwise).
+[[nodiscard]] bool cells_match(const std::string& golden,
+                               const std::string& actual,
+                               const GoldenTolerance& tolerance);
+
+// Compares two CSV files cell by cell.
+[[nodiscard]] GoldenDiff compare_csv_files(const std::string& golden_path,
+                                           const std::string& actual_path,
+                                           const GoldenTolerance& tolerance = {});
+
+}  // namespace hsw::check

@@ -1,0 +1,47 @@
+// CLI wrapper around the golden CSV comparator.
+//
+//   golden_diff <golden.csv> <actual.csv> [--rel <tol>] [--abs <tol>]
+//
+// Exit code 0 when every cell matches under the tolerance, 1 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "check/golden.h"
+
+int main(int argc, char** argv) {
+  hsw::check::GoldenTolerance tolerance;
+  const char* golden = nullptr;
+  const char* actual = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rel") == 0 && i + 1 < argc) {
+      tolerance.rel = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--abs") == 0 && i + 1 < argc) {
+      tolerance.abs = std::strtod(argv[++i], nullptr);
+    } else if (!golden) {
+      golden = argv[i];
+    } else if (!actual) {
+      actual = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: golden_diff <golden.csv> <actual.csv> "
+                           "[--rel <tol>] [--abs <tol>]\n");
+      return 2;
+    }
+  }
+  if (!golden || !actual) {
+    std::fprintf(stderr, "usage: golden_diff <golden.csv> <actual.csv> "
+                         "[--rel <tol>] [--abs <tol>]\n");
+    return 2;
+  }
+  const hsw::check::GoldenDiff diff =
+      hsw::check::compare_csv_files(golden, actual, tolerance);
+  if (!diff.ok) {
+    std::fprintf(stderr, "golden mismatch (%s vs %s): %s\n", golden, actual,
+                 diff.message.c_str());
+    std::fprintf(stderr,
+                 "If the change is intentional, regenerate goldens with "
+                 "scripts/update_goldens.sh (see EXPERIMENTS.md).\n");
+    return 1;
+  }
+  return 0;
+}

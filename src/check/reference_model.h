@@ -1,0 +1,138 @@
+// Timing-free reference MESIF model for differential testing.
+//
+// A deliberately naive re-implementation of the protocol semantics in
+// coh/engine.cpp: one flat map of line -> (per-core L1/L2 state, per-node L3
+// state + core-valid bits, directory + HitME view) and nothing else.  No
+// cache arrays, no replacement, no latency composition — just the state
+// transitions and the counter semantics, written straight from the paper's
+// protocol description so that a bug in the engine's cache plumbing and a
+// bug in this model are unlikely to coincide.
+//
+// The model is only exact when the operation mix cannot cause capacity
+// evictions (the differential driver keeps its working set far below every
+// set's associativity); under that restriction L1-present implies
+// L2-present and all replacement decisions are invisible.
+//
+// `ReferenceFault` deliberately mis-implements one transition so the
+// sequence minimizer can be validated against a known divergence.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "coh/state.h"
+#include "mem/line.h"
+#include "topo/topology.h"
+
+namespace hsw::check {
+
+// Injectable bugs (testing the tester).  Each one drops or distorts a
+// single transition of the reference model.
+enum class ReferenceFault : std::uint8_t {
+  kNone,
+  // flush_line forgets the writeback of dirty data (counters diverge).
+  kFlushDropsWriteback,
+  // An RFO never updates the in-memory directory (COD state diverges).
+  kWriteSkipsDirectoryUpdate,
+  // Memory grants are always Exclusive, ignoring shared copies.
+  kReadAlwaysExclusive,
+};
+
+// Counter semantics the reference predicts (subset of hsw::Ctr tracked by
+// protocol transitions alone; DRAM page-hit/miss stay with the engine's
+// row-buffer model).
+struct ReferenceCounters {
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t l3_writebacks = 0;
+  std::uint64_t l3_evictions = 0;
+  std::uint64_t directory_updates = 0;
+  std::uint64_t directory_lookups = 0;
+  std::uint64_t core_snoops = 0;
+  std::uint64_t snoops_sent = 0;
+  std::uint64_t snoop_broadcasts = 0;
+  std::uint64_t qpi_snoop_flits = 0;
+  std::uint64_t hitme_hits = 0;
+  std::uint64_t hitme_misses = 0;
+  std::uint64_t hitme_allocs = 0;
+};
+
+// The full coherence-visible state of one line.
+struct ReferenceLine {
+  std::vector<Mesif> l1;              // [global core]
+  std::vector<Mesif> l2;              // [global core]
+  std::vector<Mesif> l3;              // [node], kInvalid = no entry
+  std::vector<std::uint32_t> cv;      // [node], socket-local core-valid bits
+  DirState dir = DirState::kRemoteInvalid;
+  bool hitme = false;                 // home HitME cache holds the line
+  std::uint8_t presence = 0;          // HitME node-presence vector
+};
+
+class ReferenceModel {
+ public:
+  ReferenceModel(const SystemTopology& topo, const ProtocolFeatures& features,
+                 ReferenceFault fault = ReferenceFault::kNone);
+
+  // Mirrors of the System / CoherenceEngine operations (state only).
+  void read(int core, LineAddr line);
+  void write(int core, LineAddr line);
+  void flush_line(LineAddr line);
+  void evict_core_caches(int core);
+  void flush_node_l3(int node);
+
+  // A line never touched is all-invalid; `line_state` materializes it.
+  [[nodiscard]] const ReferenceLine& line_state(LineAddr line);
+  [[nodiscard]] const ReferenceCounters& counters() const { return ctr_; }
+
+ private:
+  struct Fill {
+    Mesif core_state = Mesif::kShared;
+    Mesif node_state = Mesif::kForward;
+  };
+
+  ReferenceLine& at(LineAddr line);
+
+  Fill ca_read(int core, LineAddr line);
+  Fill home_read(int core, int req_node, LineAddr line);
+  Fill ca_write(int core, LineAddr line);
+  Fill home_write(int core, int req_node, LineAddr line);
+  void fill_caches(int core, LineAddr line, const Fill& fill);
+
+  struct PeerSnoop {
+    bool forwarded = false;
+    bool had_shared = false;
+  };
+  PeerSnoop snoop_peer_read(int peer_node, LineAddr line);
+  void snoop_peer_invalidate(int peer_node, LineAddr line);
+  // Demotes/erases a core's copy; returns true if it was Modified.
+  bool snoop_core(int global_core, LineAddr line, Mesif demote_to);
+  bool invalidate_core(int global_core, LineAddr line);
+  void handle_l2_victim(int core, LineAddr line, Mesif victim_state,
+                        bool l1_still_holds);
+  void handle_l3_victim(int node, LineAddr line);
+  void writeback(LineAddr line, bool clears_directory);
+
+  // DirectoryStore::set() semantics: returns whether the home agent pays a
+  // directory write (always true for non-remote-invalid states).
+  bool dir_set(ReferenceLine& ls, DirState next);
+
+  [[nodiscard]] bool directory_on() const { return features_.directory; }
+  [[nodiscard]] bool hitme_on() const {
+    return features_.directory && features_.hitme;
+  }
+  [[nodiscard]] bool source_snoop() const {
+    return topo_.config().snoop_mode == SnoopMode::kSourceSnoop;
+  }
+  [[nodiscard]] std::uint32_t bit_of_core(int global_core) const {
+    return 1u << static_cast<unsigned>(topo_.local_core(global_core));
+  }
+
+  const SystemTopology& topo_;
+  ProtocolFeatures features_;
+  ReferenceFault fault_;
+  ReferenceCounters ctr_;
+  std::unordered_map<LineAddr, ReferenceLine> lines_;
+};
+
+}  // namespace hsw::check

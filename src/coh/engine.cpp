@@ -455,6 +455,9 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
           }
           m_.counters.bump(Ctr::kHitmeAlloc);
         }
+        // The directory ECC write happens in the background here: the data
+        // comes cache-to-cache from the forwarder, so the HA's state update
+        // is not on the requester's critical path (unlike memory grants).
         if (home.ha->directory.set(line, DirState::kSnoopAll)) {
           m_.counters.bump(Ctr::kDirectoryUpdates);
         }
@@ -473,6 +476,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
     if (directory_on() && req_node != h) {
       if (home.ha->directory.set(line, DirState::kSnoopAll)) {
         m_.counters.bump(Ctr::kDirectoryUpdates);
+        fill.ns += t.dir_update;
       }
     }
   };
@@ -755,6 +759,9 @@ CoherenceEngine::Fill CoherenceEngine::home_write(int core, int req_node,
         req_node == h ? DirState::kRemoteInvalid : DirState::kSnoopAll;
     if (home.ha->directory.set(line, next)) {
       m_.counters.bump(Ctr::kDirectoryUpdates);
+      // The in-memory directory lives in the line's ECC bits: the HA must
+      // schedule the state write before completing the ownership grant.
+      fill.ns += t.dir_update;
     }
     if (hitme_on()) home.ha->hitme.erase(line);
   }

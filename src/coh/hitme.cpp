@@ -14,6 +14,12 @@ std::optional<HitmeCache::Entry> HitmeCache::lookup(LineAddr line) {
   return Entry{entry->payload};
 }
 
+std::optional<HitmeCache::Entry> HitmeCache::peek(LineAddr line) const {
+  const CacheEntry* entry = array_.peek(line);
+  if (!entry) return std::nullopt;
+  return Entry{entry->payload};
+}
+
 bool HitmeCache::put(LineAddr line, std::uint8_t presence) {
   if (CacheEntry* existing = array_.lookup(line)) {
     existing->payload = presence;

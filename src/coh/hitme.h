@@ -33,6 +33,8 @@ class HitmeCache {
 
   // Probe; refreshes recency on hit.
   [[nodiscard]] std::optional<Entry> lookup(LineAddr line);
+  // Recency-neutral probe for inspection (tests, differential checker).
+  [[nodiscard]] std::optional<Entry> peek(LineAddr line) const;
   [[nodiscard]] bool contains(LineAddr line) const { return array_.contains(line); }
 
   // Allocates or updates an entry.  Returns true if an existing (different)

@@ -87,4 +87,38 @@ struct TimingParams {
   static TimingParams haswell_ep();
 };
 
+// Visits every timing constant as (name, reference-to-field).  `Params` may
+// be const or mutable, so the same visitor serves both the configuration
+// dump (table2 / golden CSVs) and the perturbation sweep in
+// tests/check/timing_sensitivity_test.cpp.  New fields must be added here —
+// the sensitivity test counts them against sizeof(TimingParams).
+template <typename Params, typename Fn>
+void for_each_timing_field(Params& t, Fn&& fn) {
+  fn("l1_hit", t.l1_hit);
+  fn("l2_hit", t.l2_hit);
+  fn("l3_base", t.l3_base);
+  fn("ring_hop", t.ring_hop);
+  fn("core_snoop_local", t.core_snoop_local);
+  fn("core_snoop_external", t.core_snoop_external);
+  fn("core_data_l1", t.core_data_l1);
+  fn("core_data_l2", t.core_data_l2);
+  fn("ca_to_ha_fixed", t.ca_to_ha_fixed);
+  fn("ha_processing", t.ha_processing);
+  fn("response_return", t.response_return);
+  fn("cache_fwd_return", t.cache_fwd_return);
+  fn("snoop_ca_lookup", t.snoop_ca_lookup);
+  fn("ha_bypass_savings", t.ha_bypass_savings);
+  fn("dram_page_hit", t.dram_page_hit);
+  fn("dram_page_empty", t.dram_page_empty);
+  fn("dram_page_conflict", t.dram_page_conflict);
+  fn("dir_update", t.dir_update);
+  fn("qpi_oneway", t.qpi_oneway);
+  fn("cluster_oneway", t.cluster_oneway);
+  fn("hitme_lookup", t.hitme_lookup);
+  fn("broadcast_fanout", t.broadcast_fanout);
+  fn("broadcast_collect", t.broadcast_collect);
+  fn("three_node_penalty", t.three_node_penalty);
+  fn("core_ghz", t.core_ghz);
+}
+
 }  // namespace hsw

@@ -19,6 +19,15 @@ void Table::add_row(std::vector<std::string> cells) {
 
 void Table::add_separator() { rows_.push_back(Row{{}, true}); }
 
+std::vector<std::vector<std::string>> Table::data_rows() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(rows_.size());
+  for (const Row& row : rows_) {
+    if (!row.separator) rows.push_back(row.cells);
+  }
+  return rows;
+}
+
 void Table::set_align(std::size_t column, Align align) {
   if (column < align_.size()) align_[column] = align;
 }

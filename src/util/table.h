@@ -27,6 +27,13 @@ class Table {
   [[nodiscard]] std::string to_string() const;
   void print(std::ostream& os) const;
 
+  // Structured access for CSV export (golden-regression files): the header
+  // row and every data row, separators skipped.
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] std::vector<std::vector<std::string>> data_rows() const;
+
  private:
   struct Row {
     std::vector<std::string> cells;

@@ -1,0 +1,187 @@
+// Differential oracle: the timing-free ReferenceModel and the real
+// System/CoherenceEngine must agree on every coherence-visible fact after
+// every step of a randomized trace, in every protocol configuration.  The
+// injectable reference faults validate that the comparator catches real
+// divergences and that the ddmin minimizer shrinks them to tiny repros.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/differential.h"
+#include "support/test_seed.h"
+
+namespace hsw::check {
+namespace {
+
+struct OracleScenario {
+  const char* name;
+  SnoopMode mode;
+  bool das;
+  std::uint64_t seed;
+};
+
+std::string oracle_name(const ::testing::TestParamInfo<OracleScenario>& info) {
+  return std::string(info.param.name) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+class DifferentialOracle : public ::testing::TestWithParam<OracleScenario> {};
+
+TEST_P(DifferentialOracle, EngineMatchesReferenceOverRandomTrace) {
+  const OracleScenario scenario = GetParam();
+  SCOPED_TRACE(hswtest::seed_note(scenario.seed));
+
+  DiffConfig config;
+  config.mode = scenario.mode;
+  config.das = scenario.das;
+  config.seed = hswtest::effective_seed(scenario.seed);
+  config.steps = 1200;  // acceptance floor: >= 1000 steps per configuration
+
+  const std::vector<DiffOp> trace = random_trace(config);
+  const std::optional<Divergence> divergence = run_differential(config, trace);
+  if (divergence) {
+    const std::vector<DiffOp> repro = minimize(config, trace);
+    FAIL() << divergence->description << "\nminimized to " << repro.size()
+           << " ops:\n"
+           << format_replay(config, repro);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, DifferentialOracle,
+    ::testing::Values(
+        OracleScenario{"source", SnoopMode::kSourceSnoop, false, 1},
+        OracleScenario{"source", SnoopMode::kSourceSnoop, false, 2},
+        OracleScenario{"home", SnoopMode::kHomeSnoop, false, 1},
+        OracleScenario{"home", SnoopMode::kHomeSnoop, false, 2},
+        OracleScenario{"home_dir", SnoopMode::kHomeSnoop, true, 1},
+        OracleScenario{"cod", SnoopMode::kCod, false, 1},
+        OracleScenario{"cod", SnoopMode::kCod, false, 2},
+        OracleScenario{"cod_das", SnoopMode::kCod, true, 1}),
+    oracle_name);
+
+// --- testing the tester ----------------------------------------------------
+
+struct FaultScenario {
+  const char* name;
+  ReferenceFault fault;
+  SnoopMode mode;
+};
+
+std::string fault_name(const ::testing::TestParamInfo<FaultScenario>& info) {
+  return info.param.name;
+}
+
+class InjectedFault : public ::testing::TestWithParam<FaultScenario> {
+ protected:
+  // Some faults only fire on rarer protocol shapes (e.g. a Shared copy
+  // surviving its Forward peer's eviction), so scan a few seeds for a
+  // diverging trace rather than betting on one.
+  static constexpr int kSeedScan = 10;
+
+  static DiffConfig config_for(const FaultScenario& scenario,
+                               std::uint64_t seed) {
+    DiffConfig config;
+    config.mode = scenario.mode;
+    config.fault = scenario.fault;
+    config.seed = seed;
+    config.steps = 1500;
+    return config;
+  }
+
+  static std::optional<DiffConfig> find_diverging_config(
+      const FaultScenario& scenario) {
+    for (int s = 1; s <= kSeedScan; ++s) {
+      DiffConfig config =
+          config_for(scenario, static_cast<std::uint64_t>(s));
+      if (run_differential(config, random_trace(config))) return config;
+    }
+    return std::nullopt;
+  }
+};
+
+TEST_P(InjectedFault, ComparatorDetectsDivergence) {
+  const std::optional<DiffConfig> config = find_diverging_config(GetParam());
+  ASSERT_TRUE(config.has_value())
+      << "injected fault " << GetParam().name << " went undetected over "
+      << kSeedScan << " seeds";
+  const std::optional<Divergence> divergence =
+      run_differential(*config, random_trace(*config));
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_FALSE(divergence->description.empty());
+}
+
+TEST_P(InjectedFault, MinimizerShrinksToTinyOneMinimalRepro) {
+  const std::optional<DiffConfig> found = find_diverging_config(GetParam());
+  ASSERT_TRUE(found.has_value());
+  const DiffConfig config = *found;
+  const std::vector<DiffOp> trace = random_trace(config);
+  ASSERT_TRUE(run_differential(config, trace).has_value());
+
+  const std::vector<DiffOp> repro = minimize(config, trace);
+  ASSERT_FALSE(repro.empty());
+  // Acceptance criterion: an injected divergence shrinks to <= 10 steps.
+  EXPECT_LE(repro.size(), 10u) << format_replay(config, repro);
+  // Still a repro ...
+  EXPECT_TRUE(run_differential(config, repro).has_value());
+  // ... and 1-minimal: removing any single op loses the divergence.
+  for (std::size_t skip = 0; skip < repro.size(); ++skip) {
+    std::vector<DiffOp> reduced;
+    for (std::size_t i = 0; i < repro.size(); ++i) {
+      if (i != skip) reduced.push_back(repro[i]);
+    }
+    if (reduced.empty()) continue;
+    EXPECT_FALSE(run_differential(config, reduced).has_value())
+        << "op " << skip << " is removable from the 'minimal' repro:\n"
+        << format_replay(config, repro);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaults, InjectedFault,
+    ::testing::Values(FaultScenario{"flush_drops_writeback",
+                                    ReferenceFault::kFlushDropsWriteback,
+                                    SnoopMode::kSourceSnoop},
+                      FaultScenario{"write_skips_directory",
+                                    ReferenceFault::kWriteSkipsDirectoryUpdate,
+                                    SnoopMode::kCod},
+                      FaultScenario{"read_always_exclusive",
+                                    ReferenceFault::kReadAlwaysExclusive,
+                                    SnoopMode::kSourceSnoop}),
+    fault_name);
+
+TEST(DifferentialTrace, ReplayFormatIsCompilableLiteral) {
+  DiffConfig config;
+  config.mode = SnoopMode::kCod;
+  config.das = true;
+  const std::vector<DiffOp> ops = {
+      {DiffOp::Kind::kWrite, 3, 0x40ull},
+      {DiffOp::Kind::kFlush, 0, 0x40ull},
+  };
+  const std::string replay = format_replay(config, ops);
+  EXPECT_NE(replay.find("SnoopMode::kCod"), std::string::npos);
+  EXPECT_NE(replay.find("config.das = true"), std::string::npos);
+  EXPECT_NE(replay.find("Kind::kWrite, 3, 0x40ull"), std::string::npos);
+  EXPECT_NE(replay.find("Kind::kFlush, 0, 0x40ull"), std::string::npos);
+}
+
+TEST(DifferentialTrace, TraceIsDeterministicPerSeedAndCoversAllOps) {
+  DiffConfig config;
+  config.steps = 2000;
+  const std::vector<DiffOp> trace = random_trace(config);
+  EXPECT_EQ(trace, random_trace(config));
+  DiffConfig other = config;
+  other.seed = 99;
+  EXPECT_NE(trace, random_trace(other));
+
+  bool seen[5] = {};
+  for (const DiffOp& op : trace) {
+    seen[static_cast<std::size_t>(op.kind)] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace hsw::check

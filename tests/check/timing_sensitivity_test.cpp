@@ -1,0 +1,149 @@
+// Every TimingParams constant must be observable: perturbing it by 10% has
+// to move at least one latency probe.  A constant no probe can see is either
+// dead (the engine never reads it) or the probe battery has a coverage hole —
+// both are bugs worth failing on, because the golden-figure regression can
+// only pin constants that reach an output.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "coh/timing.h"
+#include "core/latency.h"
+#include "core/placement.h"
+#include "machine/system.h"
+#include "util/units.h"
+
+namespace hsw {
+namespace {
+
+double probe_latency(const SystemConfig& config, int reader, int owner,
+                     int node, Mesif state, CacheLevel level,
+                     std::uint64_t buffer, std::vector<int> sharers = {}) {
+  System sys(config);
+  LatencyConfig lc;
+  lc.reader_core = reader;
+  lc.placement.owner_core = owner;
+  lc.placement.memory_node = node;
+  lc.placement.state = state;
+  lc.placement.level = level;
+  lc.placement.sharers = std::move(sharers);
+  lc.buffer_bytes = buffer;
+  lc.max_measured_lines = 512;
+  lc.seed = 1;
+  return measure_latency(sys, lc).mean_ns;
+}
+
+// Sixty-four consecutive lines in one DRAM page: the first access opens the
+// row, the rest are guaranteed page hits (the random chase above almost
+// never produces two same-row accesses in a row).
+double sequential_page_probe(const SystemConfig& config) {
+  System sys(config);
+  const MemRegion region = sys.alloc_on_node(0, kib(4));
+  double total = 0.0;
+  for (std::uint64_t i = 0; i < region.line_count(); ++i) {
+    total += sys.read(0, region.addr_at(i * kLineSize)).ns;
+  }
+  return total;
+}
+
+// The battery: one probe per distinct protocol path the timing model prices.
+std::vector<double> probe_battery(const TimingParams& timing) {
+  SystemConfig source = SystemConfig::source_snoop();
+  SystemConfig home = SystemConfig::home_snoop();
+  SystemConfig cod = SystemConfig::cluster_on_die();
+  source.timing = timing;
+  home.timing = timing;
+  cod.timing = timing;
+
+  System topo_probe(cod);
+  const SystemTopology& topo = topo_probe.topology();
+  const int remote_core = topo.node(1).cores[1];
+  const auto E = Mesif::kExclusive;
+  const auto M = Mesif::kModified;
+  const auto S = Mesif::kShared;
+
+  std::vector<double> probes;
+  // Core-local hierarchy.
+  probes.push_back(probe_latency(source, 0, 0, 0, E, CacheLevel::kL1L2, kib(16)));
+  probes.push_back(probe_latency(source, 0, 0, 0, E, CacheLevel::kL1L2, kib(128)));
+  // Local L3, clean-exclusive and dirty in another core (L1-sized and
+  // L2-sized working sets move the dirty data out of L1 or L2).
+  probes.push_back(probe_latency(source, 0, 1, 0, E, CacheLevel::kL3, kib(512)));
+  probes.push_back(probe_latency(source, 0, 1, 0, E, CacheLevel::kL1L2, kib(16)));
+  probes.push_back(probe_latency(source, 0, 1, 0, M, CacheLevel::kL1L2, kib(16)));
+  probes.push_back(probe_latency(source, 0, 1, 0, M, CacheLevel::kL1L2, kib(128)));
+  // Remote L3 over QPI, clean and dirty.
+  probes.push_back(probe_latency(source, 0, 12, 1, E, CacheLevel::kL3, kib(512)));
+  probes.push_back(probe_latency(source, 0, 12, 1, M, CacheLevel::kL1L2, kib(16)));
+  // Memory, local and remote, in all three BIOS modes.
+  probes.push_back(probe_latency(source, 0, 0, 0, M, CacheLevel::kMemory, mib(1)));
+  probes.push_back(probe_latency(source, 0, 0, 1, M, CacheLevel::kMemory, mib(1)));
+  probes.push_back(probe_latency(home, 0, 0, 0, M, CacheLevel::kMemory, mib(1)));
+  probes.push_back(probe_latency(home, 0, 0, 1, M, CacheLevel::kMemory, mib(1)));
+  probes.push_back(probe_latency(cod, 0, 0, 0, M, CacheLevel::kMemory, mib(1)));
+  probes.push_back(probe_latency(cod, 0, remote_core, 1, M,
+                                 CacheLevel::kMemory, mib(1)));
+  // COD shared-line matrix points (three-node L3 forward; stale-directory
+  // memory broadcast; HitME-covered migratory set).
+  probes.push_back(probe_latency(cod, 0, topo.node(1).cores[1], 1, S,
+                                 CacheLevel::kL3, mib(2),
+                                 {topo.node(2).cores[1]}));
+  probes.push_back(probe_latency(cod, 0, topo.node(1).cores[1], 1, S,
+                                 CacheLevel::kMemory, mib(2),
+                                 {topo.node(2).cores[1]}));
+  probes.push_back(probe_latency(cod, 0, topo.node(1).cores[1], 1, S,
+                                 CacheLevel::kMemory, kib(64),
+                                 {topo.node(2).cores[1]}));
+  // Guaranteed DRAM page hits.
+  probes.push_back(sequential_page_probe(source));
+  // core_ghz only converts ns to cycles for display.
+  probes.push_back(timing.cycles(100.0));
+  return probes;
+}
+
+TEST(TimingSensitivity, VisitorCoversEveryField) {
+  TimingParams timing;
+  std::size_t fields = 0;
+  for_each_timing_field(timing, [&](const char*, double&) { ++fields; });
+  // TimingParams is doubles only; a new field that is not added to
+  // for_each_timing_field would make these diverge.
+  EXPECT_EQ(fields * sizeof(double), sizeof(TimingParams));
+}
+
+TEST(TimingSensitivity, EveryConstantMovesAtLeastOneProbe) {
+  const TimingParams baseline_params = TimingParams::haswell_ep();
+  const std::vector<double> baseline = probe_battery(baseline_params);
+
+  std::vector<const char*> names;
+  {
+    TimingParams t;
+    for_each_timing_field(t, [&](const char* name, double&) {
+      names.push_back(name);
+    });
+  }
+
+  for (std::size_t field = 0; field < names.size(); ++field) {
+    TimingParams perturbed = baseline_params;
+    std::size_t i = 0;
+    for_each_timing_field(perturbed, [&](const char*, double& value) {
+      if (i++ == field) value *= 1.1;
+    });
+    const std::vector<double> probes = probe_battery(perturbed);
+    ASSERT_EQ(probes.size(), baseline.size());
+    bool moved = false;
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      if (probes[p] != baseline[p]) {
+        moved = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(moved) << "timing constant '" << names[field]
+                       << "' x1.1 moved no probe: it is dead or the battery "
+                          "has a coverage hole";
+  }
+}
+
+}  // namespace
+}  // namespace hsw

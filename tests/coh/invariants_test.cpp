@@ -9,6 +9,7 @@
 
 #include "coh/engine.h"
 #include "machine/system.h"
+#include "support/test_seed.h"
 #include "util/rng.h"
 
 namespace hsw {
@@ -131,8 +132,9 @@ class CoherenceInvariants : public ::testing::TestWithParam<Scenario> {
 
 TEST_P(CoherenceInvariants, RandomOperationFuzz) {
   const Scenario scenario = GetParam();
+  SCOPED_TRACE(hswtest::seed_note(scenario.seed));
   System sys(config_for(scenario.mode, scenario.variant));
-  Xoshiro256 rng(scenario.seed);
+  Xoshiro256 rng(hswtest::effective_seed(scenario.seed));
 
   // A small region so lines collide in interesting ways, spread over the
   // first two nodes' memory.
@@ -170,8 +172,9 @@ TEST_P(CoherenceInvariants, RandomOperationFuzz) {
 
 TEST_P(CoherenceInvariants, LatenciesAreAlwaysPositiveAndBounded) {
   const Scenario scenario = GetParam();
+  SCOPED_TRACE(hswtest::seed_note(scenario.seed));
   System sys(config_for(scenario.mode, scenario.variant));
-  Xoshiro256 rng(scenario.seed ^ 0xabcdef);
+  Xoshiro256 rng(hswtest::effective_seed(scenario.seed) ^ 0xabcdef);
   const MemRegion region = sys.alloc_on_node(0, 64 * 256);
   for (int step = 0; step < 2000; ++step) {
     const PhysAddr addr =

@@ -1,0 +1,35 @@
+# Asserts a bench's CSV output is byte-identical regardless of the worker
+# thread count: the parallel sweep writes pre-assigned slots, so --jobs must
+# never change a single byte of the result.
+#
+# Usage: cmake -DBENCH=<bench-binary> -DOUT_DIR=<dir> -P jobs_determinism.cmake
+
+foreach(var BENCH OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "jobs_determinism.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+get_filename_component(bench_name "${BENCH}" NAME)
+
+foreach(jobs 1 8)
+  execute_process(
+    COMMAND "${BENCH}" --quick --seed 1 --jobs ${jobs}
+            --csv "${OUT_DIR}/${bench_name}.jobs${jobs}.csv"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench --jobs ${jobs} failed (rc=${rc}):\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${OUT_DIR}/${bench_name}.jobs1.csv"
+          "${OUT_DIR}/${bench_name}.jobs8.csv"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "${bench_name}: --jobs 1 and --jobs 8 produced different CSV bytes")
+endif()

@@ -1,0 +1,42 @@
+# Runs one bench binary in its deterministic quick configuration and diffs
+# the CSV it writes against the checked-in golden.
+#
+# Usage (see hswsim_golden_test in tests/CMakeLists.txt):
+#   cmake -DBENCH=<bench-binary> -DGOLDEN=<golden.csv> -DOUT=<actual.csv>
+#         -DDIFF=<golden_diff-binary> -P run_golden.cmake
+#
+# To refresh the goldens after an intentional model change, run
+# scripts/update_goldens.sh and review the diff like any other code change.
+
+foreach(var BENCH GOLDEN OUT DIFF)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_golden.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+get_filename_component(out_dir "${OUT}" DIRECTORY)
+file(MAKE_DIRECTORY "${out_dir}")
+
+execute_process(
+  COMMAND "${BENCH}" --quick --seed 1 --jobs 2 --csv "${OUT}"
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench failed (rc=${bench_rc}):\n${bench_out}${bench_err}")
+endif()
+
+if(NOT EXISTS "${GOLDEN}")
+  message(FATAL_ERROR
+    "golden file missing: ${GOLDEN}\n"
+    "Generate it with scripts/update_goldens.sh and commit the result.")
+endif()
+
+execute_process(
+  COMMAND "${DIFF}" "${GOLDEN}" "${OUT}"
+  RESULT_VARIABLE diff_rc
+  OUTPUT_VARIABLE diff_out
+  ERROR_VARIABLE diff_err)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR "golden mismatch:\n${diff_out}${diff_err}")
+endif()

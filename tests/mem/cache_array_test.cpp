@@ -129,6 +129,103 @@ TEST(CacheArrayPlru, BehavesSanelyUnderRandomWorkload) {
   EXPECT_GT(hits, 19000u);
 }
 
+TEST(CacheArray, DirectMappedEvictsResidentOnEveryConflict) {
+  CacheArray cache(4 * 64, 1);  // 4 sets, 1 way: fully direct-mapped
+  EXPECT_EQ(cache.associativity(), 1u);
+  auto first = cache.insert(0, Mesif::kExclusive);
+  EXPECT_FALSE(first.victim.has_value());
+  // Same set, different tag: the resident line must always be the victim.
+  for (LineAddr line = 4; line <= 40; line += 4) {
+    auto ins = cache.insert(line, Mesif::kShared);
+    ASSERT_TRUE(ins.victim.has_value());
+    EXPECT_EQ(ins.victim->line, line - 4);
+    EXPECT_FALSE(cache.contains(line - 4));
+    EXPECT_TRUE(cache.contains(line));
+    EXPECT_EQ(cache.valid_count(), 1u);
+  }
+  // A different set is untouched by the conflict churn.
+  cache.insert(1, Mesif::kModified);
+  EXPECT_EQ(cache.valid_count(), 2u);
+}
+
+TEST(CacheArray, FullSetEvictionCyclesKeepExactlyOneVictimPerInsert) {
+  CacheArray cache = tiny();  // 4 sets, 2 ways
+  cache.insert(0, Mesif::kExclusive);
+  cache.insert(4, Mesif::kExclusive);
+  // 50 conflicting inserts into the full set: each one must evict exactly
+  // the LRU resident, never an invalid way, never more than one line.
+  LineAddr expected_victim = 0;
+  for (LineAddr line = 8; line < 8 + 50 * 4; line += 4) {
+    auto ins = cache.insert(line, Mesif::kExclusive);
+    ASSERT_TRUE(ins.victim.has_value()) << "line " << line;
+    EXPECT_EQ(ins.victim->line, expected_victim);
+    EXPECT_EQ(cache.valid_count(), 2u);
+    expected_victim = line - 4;  // the other resident becomes LRU
+  }
+}
+
+TEST(CacheArray, EraseFreesTheWayForTheNextInsert) {
+  CacheArray cache = tiny();
+  cache.insert(0, Mesif::kExclusive);
+  cache.insert(4, Mesif::kExclusive);  // set 0 full
+  ASSERT_TRUE(cache.erase(0).has_value());
+  // With a free way the set must not report a replacement victim, and the
+  // next insert must use the freed way instead of evicting line 4.
+  EXPECT_EQ(cache.replacement_victim(0), nullptr);
+  auto ins = cache.insert(8, Mesif::kExclusive);
+  EXPECT_FALSE(ins.victim.has_value());
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_TRUE(cache.contains(8));
+}
+
+TEST(CacheArray, FlushInterleavedWithLookupsAndReinserts) {
+  CacheArray cache = tiny();
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    // Repopulate every set fully, with lookups refreshing half the lines.
+    for (LineAddr line = 0; line < 8; ++line) {
+      EXPECT_EQ(cache.lookup(line), nullptr) << "cycle " << cycle;
+      auto ins = cache.insert(line, Mesif::kModified);
+      EXPECT_FALSE(ins.victim.has_value()) << "cycle " << cycle;
+      if (line % 2 == 0) {
+        EXPECT_NE(cache.lookup(line), nullptr);
+      }
+    }
+    EXPECT_EQ(cache.valid_count(), 8u);
+    std::size_t flushed = 0;
+    cache.flush([&](const CacheEntry& e) {
+      ++flushed;
+      EXPECT_EQ(e.state, Mesif::kModified);
+    });
+    EXPECT_EQ(flushed, 8u);
+    EXPECT_EQ(cache.valid_count(), 0u);
+  }
+}
+
+TEST(CacheArray, ValidWayMaskStaysCoherentAcrossInsertFlushCycles) {
+  // If the per-set valid-way bitmask went stale, an insert after a flush
+  // would either evict a phantom resident or silently overwrite a valid
+  // way.  Exercise full fill -> flush -> refill with disjoint tags.
+  CacheArray cache = tiny();
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    const LineAddr tag_base = static_cast<LineAddr>(cycle) * 64;
+    for (LineAddr i = 0; i < 8; ++i) {
+      auto ins = cache.insert(tag_base + i, Mesif::kExclusive);
+      EXPECT_FALSE(ins.victim.has_value())
+          << "phantom victim in cycle " << cycle << ", line " << i;
+    }
+    // Now every set is full again: one more insert per set must evict.
+    for (LineAddr set = 0; set < 4; ++set) {
+      auto ins = cache.insert(tag_base + 32 + set, Mesif::kExclusive);
+      EXPECT_TRUE(ins.victim.has_value());
+    }
+    cache.flush([](const CacheEntry&) {});
+    EXPECT_EQ(cache.valid_count(), 0u);
+    for (LineAddr i = 0; i < 8; ++i) {
+      EXPECT_FALSE(cache.contains(tag_base + i));
+    }
+  }
+}
+
 TEST(CacheArray, PayloadAndCoreValidPersist) {
   CacheArray cache = tiny();
   auto ins = cache.insert(3, Mesif::kExclusive);
