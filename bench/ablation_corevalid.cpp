@@ -12,7 +12,8 @@
 
 namespace {
 
-double e_state_latency(bool core_valid_bits, std::uint64_t seed) {
+double e_state_latency(hswbench::BenchTrace& trace, bool core_valid_bits,
+                       std::uint64_t seed) {
   hsw::SystemConfig config = hsw::SystemConfig::source_snoop();
   hsw::ProtocolFeatures features;
   features.core_valid_bits = core_valid_bits;
@@ -28,7 +29,10 @@ double e_state_latency(bool core_valid_bits, std::uint64_t seed) {
   lc.buffer_bytes = hsw::kib(512);
   lc.max_measured_lines = 2048;
   lc.seed = seed;
-  return hsw::measure_latency(sys, lc).mean_ns;
+  return trace
+      .measure(sys, lc, core_valid_bits ? "E-in-L3, core-valid bits on"
+                                        : "E-in-L3, core-valid bits off")
+      .mean_ns;
 }
 
 }  // namespace
@@ -37,8 +41,9 @@ int main(int argc, char** argv) {
   const hswbench::BenchArgs args = hswbench::parse_args(
       argc, argv, "Ablation: core-valid bits and the E-state snoop penalty");
 
-  const double with_cv = e_state_latency(true, args.seed);
-  const double without_cv = e_state_latency(false, args.seed);
+  hswbench::BenchTrace trace(args);
+  const double with_cv = e_state_latency(trace, true, args.seed);
+  const double without_cv = e_state_latency(trace, false, args.seed);
 
   hsw::Table table({"configuration", "E-in-L3 latency (other core placed)"});
   table.add_row({"core-valid bits on (hardware)", hsw::format_ns(with_cv)});
@@ -48,5 +53,6 @@ int main(int argc, char** argv) {
       "\nsnoop penalty attributable to silently evicted exclusive lines: "
       "%.1f ns (paper: 44.4 - 21.2 = 23.2 ns)\n",
       with_cv - without_cv);
+  trace.finish();
   return 0;
 }

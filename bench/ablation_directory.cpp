@@ -12,7 +12,8 @@
 
 namespace {
 
-double local_memory_latency(const hsw::SystemConfig& config,
+double local_memory_latency(hswbench::BenchTrace& trace, const char* label,
+                            const hsw::SystemConfig& config,
                             std::uint64_t seed) {
   hsw::System sys(config);
   hsw::LatencyConfig lc;
@@ -24,7 +25,7 @@ double local_memory_latency(const hsw::SystemConfig& config,
   lc.buffer_bytes = hsw::mib(4);
   lc.max_measured_lines = 4096;
   lc.seed = seed;
-  return hsw::measure_latency(sys, lc).mean_ns;
+  return trace.measure(sys, lc, label).mean_ns;
 }
 
 }  // namespace
@@ -41,13 +42,17 @@ int main(int argc, char** argv) {
   features.hitme = false;
   home_dir.feature_override = features;
 
+  hswbench::BenchTrace trace(args);
   hsw::Table table({"configuration", "local memory latency"});
   table.add_row({"source snoop (default)",
-                 hsw::format_ns(local_memory_latency(source, args.seed))});
+                 hsw::format_ns(local_memory_latency(
+                     trace, "source snoop", source, args.seed))});
   table.add_row({"home snoop, no directory (hardware)",
-                 hsw::format_ns(local_memory_latency(home, args.seed))});
+                 hsw::format_ns(local_memory_latency(
+                     trace, "home snoop, no directory", home, args.seed))});
   table.add_row({"home snoop + directory (ablation)",
-                 hsw::format_ns(local_memory_latency(home_dir, args.seed))});
+                 hsw::format_ns(local_memory_latency(
+                     trace, "home snoop + directory", home_dir, args.seed))});
   hswbench::print_table(
       "Ablation: would a directory have saved the home-snoop local latency?",
       table, args.csv);
@@ -56,5 +61,6 @@ int main(int argc, char** argv) {
       "the remote-invalid fast path would have kept local memory at "
       "~source-snoop latency, which is how the paper concludes the "
       "directory is disabled on two-socket systems");
+  trace.finish();
   return 0;
 }

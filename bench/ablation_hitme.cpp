@@ -20,7 +20,8 @@ hsw::SystemConfig variant(bool directory, bool hitme) {
   return config;
 }
 
-double shared_latency(const hsw::SystemConfig& config, std::uint64_t bytes,
+double shared_latency(hswbench::BenchTrace& trace, const std::string& label,
+                      const hsw::SystemConfig& config, std::uint64_t bytes,
                       std::uint64_t seed) {
   hsw::System sys(config);
   const hsw::SystemTopology& topo = sys.topology();
@@ -34,7 +35,7 @@ double shared_latency(const hsw::SystemConfig& config, std::uint64_t bytes,
   lc.buffer_bytes = bytes;
   lc.max_measured_lines = 4096;
   lc.seed = seed;
-  return hsw::measure_latency(sys, lc).mean_ns;
+  return trace.measure(sys, lc, label).mean_ns;
 }
 
 }  // namespace
@@ -42,6 +43,7 @@ double shared_latency(const hsw::SystemConfig& config, std::uint64_t bytes,
 int main(int argc, char** argv) {
   const hswbench::BenchArgs args =
       hswbench::parse_args(argc, argv, "Ablation: HitME directory cache");
+  hswbench::BenchTrace trace(args);
 
   hsw::Table table({"variant", "128 KiB shared set", "4 MiB shared set"});
   struct Variant {
@@ -54,9 +56,12 @@ int main(int argc, char** argv) {
       {"no directory (snoop always)", variant(false, false)},
   };
   for (const Variant& v : variants) {
-    table.add_row({v.name,
-                   hsw::format_ns(shared_latency(v.config, hsw::kib(128), args.seed)),
-                   hsw::format_ns(shared_latency(v.config, hsw::mib(4), args.seed))});
+    table.add_row(
+        {v.name,
+         hsw::format_ns(shared_latency(trace, std::string(v.name) + " @ 128 KiB",
+                                       v.config, hsw::kib(128), args.seed)),
+         hsw::format_ns(shared_latency(trace, std::string(v.name) + " @ 4 MiB",
+                                       v.config, hsw::mib(4), args.seed))});
   }
   hswbench::print_table("Ablation: HitME directory cache on the Fig. 7 workload",
                         table, args.csv);
@@ -66,5 +71,6 @@ int main(int argc, char** argv) {
       "\nDAS keeps the memory fast-path at every size (its `shared` state is"
       "\nprecise) but gives up the migratory-line acceleration the HitME"
       "\ncache was built for; no directory broadcasts from the HA always.\n");
+  trace.finish();
   return 0;
 }

@@ -11,6 +11,7 @@
 // job count; --jobs 1 is the fully serial path.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +23,7 @@
 
 #include "core/hswbench.h"
 #include "sim/thread_pool.h"
+#include "trace/sink.h"
 #include "util/cli.h"
 #include "util/csv.h"
 
@@ -29,6 +31,8 @@ namespace hswbench {
 
 struct BenchArgs {
   std::string csv;        // empty = no CSV output
+  std::string trace;      // --trace FILE: export span trees (.csv or JSON)
+  bool attribution = false;  // print per-component latency attribution
   bool quick = false;     // trim sweep sizes for smoke runs
   std::uint64_t seed = 1;
   unsigned jobs = 0;      // sweep-point worker threads; 0 = hardware_concurrency
@@ -40,6 +44,12 @@ inline BenchArgs parse_args(int argc, char** argv, const char* summary) {
   BenchArgs args;
   hsw::CommandLine cli(summary);
   cli.add_string("csv", &args.csv, "write the series to this CSV file");
+  cli.add_string("trace", &args.trace,
+                 "export per-access protocol span trees to this file "
+                 "(.csv = one row per span; anything else = Chrome-trace "
+                 "JSON for https://ui.perfetto.dev)");
+  cli.add_bool("attribution", &args.attribution,
+               "print the per-component latency attribution summary");
   cli.add_bool("quick", &args.quick, "reduced sweep for smoke testing");
   std::int64_t seed = 1;
   cli.add_int("seed", &seed, "placement/chase RNG seed");
@@ -62,6 +72,176 @@ inline BenchArgs parse_args(int argc, char** argv, const char* summary) {
   args.jobs = static_cast<unsigned>(jobs);
   return args;
 }
+
+// --- tracing / attribution -----------------------------------------------
+// Shared wiring behind the benches' --trace / --attribution flags.  A bench
+// creates one BenchTrace, routes its measurements through it (sweep plans
+// via *_plan_options, direct measure_latency calls via measure), and calls
+// finish() last: finish writes the trace file and prints the per-component
+// attribution table.  Stream ids are assigned from configuration / call
+// order, never from scheduling, so exported traces are byte-identical for
+// any --jobs value.
+
+// Records retained per stream when exporting: enough protocol transactions
+// to inspect every phase of a sweep point without the export growing with
+// the measured line count (the tracer keeps the newest records).
+inline constexpr std::size_t kBenchTraceCapacity = 192;
+
+class BenchTrace {
+ public:
+  explicit BenchTrace(const BenchArgs& args)
+      : path_(args.trace), attribution_(args.attribution) {}
+
+  [[nodiscard]] bool enabled() const { return attribution_ || !path_.empty(); }
+  [[nodiscard]] bool tracing() const { return !path_.empty(); }
+  [[nodiscard]] bool attribution() const { return attribution_; }
+
+  // Sweep wiring for latency plans: attribution aggregates arrive through
+  // LatencyResult::component_ns, so span trees are retained only when a
+  // trace file was requested.
+  [[nodiscard]] hsw::SweepTraceOptions latency_plan_options(std::size_t plan) {
+    hsw::SweepTraceOptions t = base_options(plan);
+    t.attribution = attribution_;
+    if (tracing()) t.sink = &sink_;
+    return t;
+  }
+
+  // Bandwidth plans carry no per-access results, so --attribution derives
+  // the breakdown from retained records instead (finish() falls back to
+  // walking the sink).
+  [[nodiscard]] hsw::SweepTraceOptions bandwidth_plan_options(std::size_t plan) {
+    hsw::SweepTraceOptions t = base_options(plan);
+    if (enabled()) t.sink = &sink_;
+    return t;
+  }
+
+  // Wraps a direct measure_latency call (the serial table/ablation benches):
+  // one tracer per call, stream ids in call order, the breakdown accumulated
+  // under `label`.
+  hsw::LatencyResult measure(hsw::System& system, hsw::LatencyConfig config,
+                             std::string label) {
+    if (!enabled()) return hsw::measure_latency(system, config);
+    hsw::trace::Tracer tracer(tracing()
+                                  ? hsw::trace::Tracer::Mode::kFull
+                                  : hsw::trace::Tracer::Mode::kAttribution,
+                              next_stream_++, kBenchTraceCapacity);
+    config.tracer = &tracer;
+    const hsw::LatencyResult result = hsw::measure_latency(system, config);
+    if (attribution_) note(std::move(label), result);
+    sink_.absorb(std::move(tracer));
+    return result;
+  }
+
+  // Direct measure_bandwidth calls: spans are retained and the attribution
+  // table is derived from them in finish() (bandwidth results carry no
+  // per-access breakdown).
+  hsw::BandwidthResult measure_bw(hsw::System& system,
+                                  hsw::BandwidthConfig config) {
+    if (!enabled()) return hsw::measure_bandwidth(system, config);
+    hsw::trace::Tracer tracer(hsw::trace::Tracer::Mode::kFull, next_stream_++,
+                              kBenchTraceCapacity);
+    config.tracer = &tracer;
+    const hsw::BandwidthResult result = hsw::measure_bandwidth(system, config);
+    sink_.absorb(std::move(tracer));
+    return result;
+  }
+
+  // Accumulates a measured point's component breakdown under `label`
+  // (labels merge; insertion order is display order).
+  void note(std::string label, const hsw::LatencyResult& result) {
+    if (!result.has_attribution) return;
+    Row& row = row_for(std::move(label));
+    for (std::size_t c = 0; c < hsw::trace::kComponentCount; ++c) {
+      row.ns[c] += result.component_ns[c];
+    }
+    row.accesses += static_cast<double>(result.lines_measured);
+  }
+
+  // Writes the trace file and prints the attribution table.  Call after the
+  // bench's own tables so the regular output (and the golden CSVs) stay
+  // untouched.
+  void finish() {
+    if (attribution_) {
+      if (rows_.empty()) note_from_records();
+      print_attribution();
+    }
+    if (tracing() && sink_.write(path_)) {
+      std::printf("wrote %s (%zu protocol transactions",
+                  path_.c_str(), sink_.record_count());
+      if (sink_.dropped() > 0) {
+        std::printf("; %llu older ones dropped per stream cap",
+                    static_cast<unsigned long long>(sink_.dropped()));
+      }
+      std::printf(")\n");
+    }
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::array<double, hsw::trace::kComponentCount> ns{};
+    double accesses = 0.0;
+  };
+
+  [[nodiscard]] hsw::SweepTraceOptions base_options(std::size_t plan) const {
+    hsw::SweepTraceOptions t;
+    t.stream_base = static_cast<std::uint32_t>(plan) * hsw::kStreamsPerPlan;
+    t.capacity = kBenchTraceCapacity;
+    return t;
+  }
+
+  Row& row_for(std::string label) {
+    for (Row& row : rows_) {
+      if (row.label == label) return row;
+    }
+    rows_.push_back(Row{std::move(label), {}, 0.0});
+    return rows_.back();
+  }
+
+  // Fallback for benches without LatencyResults (bandwidth): attribute the
+  // retained span trees directly.
+  void note_from_records() {
+    Row& row = row_for("all traced accesses");
+    for (const hsw::trace::TraceRecord& record : sink_.merged()) {
+      const hsw::trace::AccessAttribution a =
+          hsw::trace::attribute(record.spans);
+      for (std::size_t c = 0; c < hsw::trace::kComponentCount; ++c) {
+        row.ns[c] += a.component_ns[c];
+      }
+      row.accesses += 1.0;
+    }
+  }
+
+  void print_attribution() {
+    std::vector<std::string> header{"measurement", "ns/access"};
+    for (std::size_t c = 0; c < hsw::trace::kComponentCount; ++c) {
+      header.push_back(
+          hsw::trace::to_string(static_cast<hsw::trace::Component>(c)));
+    }
+    hsw::Table table(header);
+    for (const Row& row : rows_) {
+      if (row.accesses <= 0.0) continue;
+      double total = 0.0;
+      for (const double ns : row.ns) total += ns;
+      std::vector<std::string> cells{row.label,
+                                     hsw::cell(total / row.accesses, 1)};
+      for (const double ns : row.ns) {
+        cells.push_back(hsw::cell(ns / row.accesses, 1));
+      }
+      table.add_row(std::move(cells));
+    }
+    std::printf(
+        "latency attribution: mean ns per access on the critical path, by "
+        "protocol component\n%s\n",
+        table.to_string().c_str());
+  }
+
+  std::string path_;
+  bool attribution_;
+  hsw::trace::TraceSink sink_;
+  std::uint32_t next_stream_ = 0;
+  std::vector<Row> rows_;
+};
 
 // One named series over a shared size axis.
 struct Series {
@@ -137,15 +317,15 @@ struct BandwidthSeriesPlan {
 };
 
 // Runs every (series, size) sweep point of `plans` over one shared pool and
-// returns the mean-latency series in plan order.  Each point writes its own
-// pre-assigned slot, so the result is identical for any job count.
-inline std::vector<Series> run_latency_series(
+// returns the full LatencyResult grid in (plan, size) order.  Each point
+// writes its own pre-assigned slot, so the result is identical for any job
+// count.
+inline std::vector<std::vector<hsw::LatencyResult>> run_latency_grid(
     const std::vector<LatencySeriesPlan>& plans, unsigned jobs) {
-  std::vector<Series> series(plans.size());
+  std::vector<std::vector<hsw::LatencyResult>> grid(plans.size());
   std::vector<std::pair<std::size_t, std::size_t>> work;  // (plan, size index)
   for (std::size_t p = 0; p < plans.size(); ++p) {
-    series[p].name = plans[p].name;
-    series[p].values.resize(plans[p].config.sizes.size());
+    grid[p].resize(plans[p].config.sizes.size());
     for (std::size_t i = 0; i < plans[p].config.sizes.size(); ++i) {
       work.emplace_back(p, i);
     }
@@ -153,11 +333,85 @@ inline std::vector<Series> run_latency_series(
   hsw::ThreadPool pool(jobs);
   hsw::parallel_for_indexed(pool, work.size(), [&](std::size_t w) {
     const auto [p, i] = work[w];
-    const hsw::LatencySweepPoint point =
+    hsw::LatencySweepPoint point =
         hsw::latency_sweep_point(plans[p].config, plans[p].config.sizes[i]);
-    series[p].values[i] = point.result.mean_ns;
+    grid[p][i] = std::move(point.result);
   });
+  return grid;
+}
+
+// Mean-latency series (the figures' y-values) from a result grid.
+inline std::vector<Series> mean_series(
+    const std::vector<LatencySeriesPlan>& plans,
+    const std::vector<std::vector<hsw::LatencyResult>>& grid) {
+  std::vector<Series> series(plans.size());
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    series[p].name = plans[p].name;
+    for (const hsw::LatencyResult& r : grid[p]) {
+      series[p].values.push_back(r.mean_ns);
+    }
+  }
   return series;
+}
+
+// Per-series tail-latency summary at the largest sweep size (the memory
+// regime, where the distribution is widest: DRAM page outcomes and snoop
+// races spread the per-access latencies the mean hides).  Printed output
+// only — the CSV schema the golden files compare stays untouched.
+inline void print_latency_percentiles(
+    const std::vector<LatencySeriesPlan>& plans,
+    const std::vector<std::uint64_t>& sizes,
+    const std::vector<std::vector<hsw::LatencyResult>>& grid) {
+  if (sizes.empty() || plans.empty()) return;
+  hsw::Table table({"series", "mean", "p50", "p95", "p99", "max"});
+  const std::size_t last = sizes.size() - 1;  // ignore trace-only extra points
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    if (grid[p].size() <= last) continue;
+    const hsw::LatencyResult& r = grid[p][last];
+    table.add_row({plans[p].name, hsw::cell(r.mean_ns, 1),
+                   hsw::cell(r.p50_ns, 1), hsw::cell(r.p95_ns, 1),
+                   hsw::cell(r.p99_ns, 1), hsw::cell(r.max_ns, 1)});
+  }
+  std::printf("latency percentiles at %s (ns)\n%s\n",
+              hsw::format_bytes(sizes.back()).c_str(),
+              table.to_string().c_str());
+}
+
+// Feeds the largest-size point of every plan into the attribution table.
+inline void note_largest_size(BenchTrace& trace,
+                              const std::vector<LatencySeriesPlan>& plans,
+                              const std::vector<std::uint64_t>& sizes,
+                              const std::vector<std::vector<hsw::LatencyResult>>& grid) {
+  if (!trace.attribution() || sizes.empty()) return;
+  const std::size_t last = sizes.size() - 1;  // ignore trace-only extra points
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    if (grid[p].size() <= last) continue;
+    trace.note(plans[p].name + " @ " + hsw::format_bytes(sizes[last]),
+               grid[p][last]);
+  }
+}
+
+// When a trace export was requested, appends one beyond-L3 size to every
+// plan so the span trees cover the memory anatomy (home agent, DRAM read
+// with its page outcome, and — under COD — directory/HitME probes) even in
+// --quick runs, whose size axis stops inside the L3.  The extra point is
+// trace-only: the printed tables, CSVs, and percentile/attribution rows all
+// iterate the original `sizes` axis and never see it.
+inline void extend_plans_for_trace(const BenchTrace& trace,
+                                   std::vector<LatencySeriesPlan>& plans) {
+  if (!trace.tracing()) return;
+  const std::uint64_t beyond_l3 = hsw::mib(40);  // node L3 is 12 x 2.5 MiB
+  for (LatencySeriesPlan& plan : plans) {
+    if (plan.config.sizes.empty() || plan.config.sizes.back() < beyond_l3) {
+      plan.config.sizes.push_back(beyond_l3);
+    }
+  }
+}
+
+// Mean-latency-only fan-out (benches that need nothing else).
+inline std::vector<Series> run_latency_series(
+    const std::vector<LatencySeriesPlan>& plans, unsigned jobs) {
+  return mean_series(plans, run_latency_grid(plans, jobs));
 }
 
 // Same fan-out for bandwidth sweeps; series values are GB/s.
@@ -194,6 +448,17 @@ inline Series latency_series(std::string name, hsw::LatencySweepConfig config) {
 
 inline void print_paper_note(const char* note) {
   std::printf("paper reference: %s\n\n", note);
+}
+
+// For the few benches whose measurement path does not go through the
+// coherence engine (model validation, application kernels): say so instead
+// of silently ignoring the flags.
+inline void warn_untraced(const BenchArgs& args) {
+  if (args.attribution || !args.trace.empty()) {
+    std::fprintf(stderr,
+                 "note: this bench does not issue per-line engine accesses; "
+                 "--trace/--attribution produce no output here\n");
+  }
 }
 
 }  // namespace hswbench

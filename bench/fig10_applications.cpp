@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   hswbench::BenchArgs args = hswbench::parse_args(
       argc, argv, "Fig. 10: application performance vs coherence mode");
+  hswbench::warn_untraced(args);
 
   const hsw::SystemConfig source = hsw::SystemConfig::source_snoop();
   const hsw::SystemConfig home = hsw::SystemConfig::home_snoop();

@@ -43,14 +43,23 @@ int main(int argc, char** argv) {
   sweep("socket2 E", 0, 12, -1, hsw::Mesif::kExclusive);
   sweep("socket2 S", 0, 12, 13, hsw::Mesif::kShared);
 
-  const std::vector<hswbench::Series> series =
-      hswbench::run_latency_series(plans, args.jobs);
+  hswbench::BenchTrace trace(args);
+  hswbench::extend_plans_for_trace(trace, plans);
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    plans[p].config.trace = trace.latency_plan_options(p);
+  }
+
+  const std::vector<std::vector<hsw::LatencyResult>> grid =
+      hswbench::run_latency_grid(plans, args.jobs);
   hswbench::print_sized_series(
       "Fig. 4: memory read latency, default configuration (source snoop)",
-      sizes, series, args.csv, "ns");
+      sizes, hswbench::mean_series(plans, grid), args.csv, "ns");
+  hswbench::print_latency_percentiles(plans, sizes, grid);
   hswbench::print_paper_note(
       "L1 1.6 / L2 4.8 / L3 21.2 ns; node: M-in-cache 53 (L1) and 49 (L2), "
       "E-in-L3 44.4, S 21.2; socket2: M 113/109 (cache) 86 (L3), E 104, "
       "S 86; local memory 96.4, remote memory 146 ns");
+  hswbench::note_largest_size(trace, plans, sizes, grid);
+  trace.finish();
   return 0;
 }

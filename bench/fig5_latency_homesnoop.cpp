@@ -30,14 +30,22 @@ int main(int argc, char** argv) {
       plans.push_back({std::string(prefix) + " " + where, std::move(sc)});
     }
   }
-  const std::vector<hswbench::Series> series =
-      hswbench::run_latency_series(plans, args.jobs);
+  hswbench::BenchTrace trace(args);
+  hswbench::extend_plans_for_trace(trace, plans);
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    plans[p].config.trace = trace.latency_plan_options(p);
+  }
 
+  const std::vector<std::vector<hsw::LatencyResult>> grid =
+      hswbench::run_latency_grid(plans, args.jobs);
   hswbench::print_sized_series(
       "Fig. 5: read latency, source vs home snoop (state exclusive)", sizes,
-      series, args.csv, "ns");
+      hswbench::mean_series(plans, grid), args.csv, "ns");
+  hswbench::print_latency_percentiles(plans, sizes, grid);
   hswbench::print_paper_note(
       "remote L3: 104 -> 115 ns (+10.5%); local memory: 96.4 -> 108 ns "
       "(+12%); local caches and remote memory unchanged (146 ns)");
+  hswbench::note_largest_size(trace, plans, sizes, grid);
+  trace.finish();
   return 0;
 }

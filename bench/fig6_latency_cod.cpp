@@ -47,13 +47,23 @@ int main(int argc, char** argv) {
     sweep(title("3hops"), topo.node(1).cores[0], 3, state);  // node1 -> node3
   }
 
-  const std::vector<hswbench::Series> series =
-      hswbench::run_latency_series(plans, args.jobs);
+  hswbench::BenchTrace trace(args);
+  hswbench::extend_plans_for_trace(trace, plans);
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    plans[p].config.trace = trace.latency_plan_options(p);
+  }
+
+  const std::vector<std::vector<hsw::LatencyResult>> grid =
+      hswbench::run_latency_grid(plans, args.jobs);
   hswbench::print_sized_series("Fig. 6: read latency in COD mode", sizes,
-                               series, args.csv, "ns");
+                               hswbench::mean_series(plans, grid), args.csv,
+                               "ns");
+  hswbench::print_latency_percentiles(plans, sizes, grid);
   hswbench::print_paper_note(
       "local L3 18.0 (M) / 37.2 (E); L3 of the 2nd on-chip node 57.2 / 73.6; "
       "remote L3 90/104 (1 hop), 96/111 (2 hops), 103/118 (3 hops); memory "
       "89.6 local, 96 on-chip, 141/147/153 ns remote by hop count");
+  hswbench::note_largest_size(trace, plans, sizes, grid);
+  trace.finish();
   return 0;
 }

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
       {"H:n2 F:n1", 2, 1},
   };
 
+  hswbench::BenchTrace trace(args);
   std::vector<hswbench::Series> latency;
   std::vector<hswbench::Series> dram_fraction;
   for (const Case& c : cases) {
@@ -52,7 +53,8 @@ int main(int argc, char** argv) {
       lc.buffer_bytes = bytes;
       lc.max_measured_lines = 8192;
       lc.seed = args.seed;
-      const hsw::LatencyResult r = hsw::measure_latency(sys, lc);
+      const hsw::LatencyResult r = trace.measure(
+          sys, lc, std::string(c.name) + " @ " + hsw::format_bytes(bytes));
       lat.values.push_back(r.mean_ns);
       const double total = static_cast<double>(r.lines_measured);
       dram.values.push_back(
@@ -79,5 +81,6 @@ int main(int argc, char** argv) {
       "the memory copy (DRAM fraction ~100%, latency near the memory "
       "latency); above ~2.5 MiB broadcasts dominate and the F-holder "
       "forwards (162-177 ns for three-node cases)");
+  trace.finish();
   return 0;
 }

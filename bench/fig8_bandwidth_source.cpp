@@ -34,6 +34,11 @@ int main(int argc, char** argv) {
   sweep("socket2 M", 12, hsw::Mesif::kModified, hsw::bw::LoadWidth::kAvx256);
   sweep("socket2 E", 12, hsw::Mesif::kExclusive, hsw::bw::LoadWidth::kAvx256);
 
+  hswbench::BenchTrace trace(args);
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    plans[p].config.trace = trace.bandwidth_plan_options(p);
+  }
+
   const std::vector<hswbench::Series> series =
       hswbench::run_bandwidth_series(plans, args.jobs);
   hswbench::print_sized_series(
@@ -44,5 +49,6 @@ int main(int argc, char** argv) {
       "core-to-core M: 7.8 (L1) 10.6 (L2) on-chip, 6.7/8.1 cross-socket; "
       "M in L3: 26.2 local / 9.1 remote; E with core snoop: 15.0 local / "
       "8.7 remote; local memory 10.3, remote memory 8.0 GB/s");
+  trace.finish();
   return 0;
 }

@@ -36,6 +36,11 @@ int main(int argc, char** argv) {
   // Data shared only within the other socket; reader 0 holds nothing.
   sweep("S in remote L3", 12, 1, {13});
 
+  hswbench::BenchTrace trace(args);
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    plans[p].config.trace = trace.bandwidth_plan_options(p);
+  }
+
   const std::vector<hswbench::Series> series =
       hswbench::run_bandwidth_series(plans, args.jobs);
   hswbench::print_sized_series(
@@ -45,5 +50,6 @@ int main(int argc, char** argv) {
       "with F in the own node: full L1/L2 speed (127.2 / 69.1 GB/s); with F "
       "on the other socket: limited to the 26.2 GB/s L3 bandwidth even for "
       "L1-resident sets; shared remote L3: 9.1 GB/s");
+  trace.finish();
   return 0;
 }

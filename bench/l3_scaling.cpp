@@ -7,7 +7,8 @@
 
 namespace {
 
-double l3_aggregate(const hsw::SystemConfig& config,
+double l3_aggregate(hswbench::BenchTrace& trace,
+                    const hsw::SystemConfig& config,
                     const std::vector<int>& cores, bool write,
                     std::uint64_t seed) {
   hsw::System sys(config);
@@ -25,7 +26,7 @@ double l3_aggregate(const hsw::SystemConfig& config,
   }
   bc.buffer_bytes = hsw::kib(512);
   bc.seed = seed;
-  return hsw::measure_bandwidth(sys, bc).total_gbps;
+  return trace.measure_bw(sys, bc).total_gbps;
 }
 
 }  // namespace
@@ -33,6 +34,7 @@ double l3_aggregate(const hsw::SystemConfig& config,
 int main(int argc, char** argv) {
   const hswbench::BenchArgs args = hswbench::parse_args(
       argc, argv, "L3 aggregate bandwidth scaling (paper section VII-B)");
+  hswbench::BenchTrace trace(args);
   const int max_cores = args.quick ? 4 : 12;
 
   std::vector<std::string> header{"cores"};
@@ -45,7 +47,7 @@ int main(int argc, char** argv) {
       std::vector<int> cores;
       for (int i = 0; i < c; ++i) cores.push_back(i);
       row.push_back(hsw::cell(
-          l3_aggregate(hsw::SystemConfig::source_snoop(), cores, write,
+          l3_aggregate(trace, hsw::SystemConfig::source_snoop(), cores, write,
                        args.seed), 0));
     }
     table.add_row(std::move(row));
@@ -61,7 +63,7 @@ int main(int argc, char** argv) {
       std::vector<int> cores;
       for (int i = 0; i < c; ++i) cores.push_back(i);
       row.push_back(hsw::cell(
-          l3_aggregate(hsw::SystemConfig::cluster_on_die(), cores, write,
+          l3_aggregate(trace, hsw::SystemConfig::cluster_on_die(), cores, write,
                        args.seed), 0));
     }
     table.add_row(std::move(row));
@@ -73,5 +75,6 @@ int main(int argc, char** argv) {
       "read 26.2 -> 278 GB/s over 12 cores (23.2/core, occasional boosts to "
       "343 from uncore frequency scaling); write 15 -> 161 GB/s; COD: "
       "154 read / 94 write per node");
+  trace.finish();
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "core/hswbench.h"
 #include "mem/cache_array.h"
+#include "trace/tracer.h"
 
 namespace {
 
@@ -93,6 +94,80 @@ void BM_Placement64KiB(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Placement64KiB);
+
+// --- Tracing overhead ----------------------------------------------------
+//
+// BM_L1Hit / BM_MemoryRead above ARE the disabled-tracing hot path: with no
+// tracer attached every instrumentation site in the engine reduces to one
+// null-pointer test.  The variants below attach a tracer so the cost of
+// turning observability on is a recorded number, and the *TracingOff pair
+// re-measures the null-tracer path in the same process so the off/on delta
+// is visible in one BENCH_simcore.json.  scripts/check.sh guards the
+// off-state lookup/insert numbers against the checked-in baseline.
+
+void BM_L1HitTracingOff(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  sys.set_tracer(nullptr);  // explicit: the default, and the guarded path
+  const hsw::PhysAddr addr = sys.alloc_on_node(0, 64).base;
+  sys.write(0, addr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.read(0, addr).ns);
+  }
+}
+BENCHMARK(BM_L1HitTracingOff);
+
+void BM_L1HitAttribution(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  hsw::trace::Tracer tracer(hsw::trace::Tracer::Mode::kAttribution, 0, 0);
+  sys.set_tracer(&tracer);
+  const hsw::PhysAddr addr = sys.alloc_on_node(0, 64).base;
+  sys.write(0, addr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.read(0, addr).ns);
+  }
+}
+BENCHMARK(BM_L1HitAttribution);
+
+void BM_MemoryReadTracingOff(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  sys.set_tracer(nullptr);
+  const hsw::MemRegion region = sys.alloc_on_node(0, hsw::mib(64));
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sys.read(0, region.addr_at((line * 64) % region.bytes)).ns);
+    line += 97;
+  }
+}
+BENCHMARK(BM_MemoryReadTracingOff);
+
+void BM_MemoryReadAttribution(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  hsw::trace::Tracer tracer(hsw::trace::Tracer::Mode::kAttribution, 0, 0);
+  sys.set_tracer(&tracer);
+  const hsw::MemRegion region = sys.alloc_on_node(0, hsw::mib(64));
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sys.read(0, region.addr_at((line * 64) % region.bytes)).ns);
+    line += 97;
+  }
+}
+BENCHMARK(BM_MemoryReadAttribution);
+
+void BM_MemoryReadFullTrace(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  hsw::trace::Tracer tracer(hsw::trace::Tracer::Mode::kFull, 0, 4096);
+  sys.set_tracer(&tracer);
+  const hsw::MemRegion region = sys.alloc_on_node(0, hsw::mib(64));
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sys.read(0, region.addr_at((line * 64) % region.bytes)).ns);
+    line += 97;
+  }
+}
+BENCHMARK(BM_MemoryReadFullTrace);
 
 // --- CacheArray hot path (the inner loop of every simulated access) ------
 

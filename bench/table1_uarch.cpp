@@ -8,6 +8,7 @@
 int main(int argc, char** argv) {
   const hswbench::BenchArgs args =
       hswbench::parse_args(argc, argv, "Table I: Sandy Bridge vs Haswell");
+  hswbench::warn_untraced(args);
   const hsw::UarchSpec& snb = hsw::sandy_bridge_spec();
   const hsw::UarchSpec& hsx = hsw::haswell_spec();
 

@@ -8,6 +8,7 @@
 int main(int argc, char** argv) {
   const hswbench::BenchArgs args = hswbench::parse_args(
       argc, argv, "Table II: test system configuration");
+  hswbench::warn_untraced(args);
   const hsw::TestSystemSpec& spec = hsw::test_system_spec();
 
   hsw::Table table({"component", "configuration"});

@@ -11,7 +11,8 @@
 
 namespace {
 
-double l3_latency(const hsw::SystemConfig& config, int reader, int owner,
+double l3_latency(hswbench::BenchTrace& trace, const std::string& label,
+                  const hsw::SystemConfig& config, int reader, int owner,
                   int node, std::uint64_t seed) {
   hsw::System sys(config);
   hsw::LatencyConfig lc;
@@ -23,10 +24,11 @@ double l3_latency(const hsw::SystemConfig& config, int reader, int owner,
   lc.buffer_bytes = hsw::kib(512);
   lc.max_measured_lines = 2048;
   lc.seed = seed;
-  return hsw::measure_latency(sys, lc).mean_ns;
+  return trace.measure(sys, lc, "L3 " + label).mean_ns;
 }
 
-double mem_latency(const hsw::SystemConfig& config, int reader, int node,
+double mem_latency(hswbench::BenchTrace& trace, const std::string& label,
+                   const hsw::SystemConfig& config, int reader, int node,
                    std::uint64_t seed) {
   hsw::System sys(config);
   hsw::LatencyConfig lc;
@@ -38,7 +40,7 @@ double mem_latency(const hsw::SystemConfig& config, int reader, int node,
   lc.buffer_bytes = hsw::mib(4);
   lc.max_measured_lines = 4096;
   lc.seed = seed;
-  return hsw::measure_latency(sys, lc).mean_ns;
+  return trace.measure(sys, lc, "memory " + label).mean_ns;
 }
 
 }  // namespace
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
   const hswbench::BenchArgs args =
       hswbench::parse_args(argc, argv, "Table III: latency summary");
   const std::uint64_t seed = args.seed;
+  hswbench::BenchTrace trace(args);
 
   const hsw::SystemConfig source = hsw::SystemConfig::source_snoop();
   const hsw::SystemConfig home = hsw::SystemConfig::home_snoop();
@@ -73,28 +76,31 @@ int main(int argc, char** argv) {
   // --- L3 rows -------------------------------------------------------------
   {
     std::vector<std::string> row{"L3", "local"};
-    row.push_back(fmt(l3_latency(source, 0, 0, 0, seed)));
-    row.push_back(fmt(l3_latency(home, 0, 0, 0, seed)));
+    row.push_back(fmt(l3_latency(trace, "local/source", source, 0, 0, 0, seed)));
+    row.push_back(fmt(l3_latency(trace, "local/home", home, 0, 0, 0, seed)));
     for (const Group& g : groups) {
-      row.push_back(fmt(l3_latency(cod, g.reader, g.reader, g.local_node, seed)));
+      row.push_back(fmt(l3_latency(trace, std::string("local/") + g.name, cod,
+                                   g.reader, g.reader, g.local_node, seed)));
     }
     table.add_row(std::move(row));
   }
   {
     std::vector<std::string> row{"L3", "remote 1st node"};
-    row.push_back(fmt(l3_latency(source, 0, 12, 1, seed)));
-    row.push_back(fmt(l3_latency(home, 0, 12, 1, seed)));
+    row.push_back(fmt(l3_latency(trace, "remote1/source", source, 0, 12, 1, seed)));
+    row.push_back(fmt(l3_latency(trace, "remote1/home", home, 0, 12, 1, seed)));
     for (const Group& g : groups) {
-      row.push_back(fmt(
-          l3_latency(cod, g.reader, topo.node(2).cores[0], 2, seed)));
+      row.push_back(fmt(l3_latency(trace, std::string("remote1/") + g.name,
+                                   cod, g.reader, topo.node(2).cores[0], 2,
+                                   seed)));
     }
     table.add_row(std::move(row));
   }
   {
     std::vector<std::string> row{"L3", "remote 2nd node", "", ""};
     for (const Group& g : groups) {
-      row.push_back(fmt(
-          l3_latency(cod, g.reader, topo.node(3).cores[0], 3, seed)));
+      row.push_back(fmt(l3_latency(trace, std::string("remote2/") + g.name,
+                                   cod, g.reader, topo.node(3).cores[0], 3,
+                                   seed)));
     }
     table.add_row(std::move(row));
   }
@@ -103,26 +109,29 @@ int main(int argc, char** argv) {
   // --- memory rows -----------------------------------------------------------
   {
     std::vector<std::string> row{"memory", "local"};
-    row.push_back(fmt(mem_latency(source, 0, 0, seed)));
-    row.push_back(fmt(mem_latency(home, 0, 0, seed)));
+    row.push_back(fmt(mem_latency(trace, "local/source", source, 0, 0, seed)));
+    row.push_back(fmt(mem_latency(trace, "local/home", home, 0, 0, seed)));
     for (const Group& g : groups) {
-      row.push_back(fmt(mem_latency(cod, g.reader, g.local_node, seed)));
+      row.push_back(fmt(mem_latency(trace, std::string("local/") + g.name,
+                                    cod, g.reader, g.local_node, seed)));
     }
     table.add_row(std::move(row));
   }
   {
     std::vector<std::string> row{"memory", "remote 1st node"};
-    row.push_back(fmt(mem_latency(source, 0, 1, seed)));
-    row.push_back(fmt(mem_latency(home, 0, 1, seed)));
+    row.push_back(fmt(mem_latency(trace, "remote1/source", source, 0, 1, seed)));
+    row.push_back(fmt(mem_latency(trace, "remote1/home", home, 0, 1, seed)));
     for (const Group& g : groups) {
-      row.push_back(fmt(mem_latency(cod, g.reader, 2, seed)));
+      row.push_back(fmt(mem_latency(trace, std::string("remote1/") + g.name,
+                                    cod, g.reader, 2, seed)));
     }
     table.add_row(std::move(row));
   }
   {
     std::vector<std::string> row{"memory", "remote 2nd node", "", ""};
     for (const Group& g : groups) {
-      row.push_back(fmt(mem_latency(cod, g.reader, 3, seed)));
+      row.push_back(fmt(mem_latency(trace, std::string("remote2/") + g.name,
+                                    cod, g.reader, 3, seed)));
     }
     table.add_row(std::move(row));
   }
@@ -133,5 +142,6 @@ int main(int argc, char** argv) {
       "L3 local 21.2 | 21.2 | 18.0 | 20.0 | 18.4;  L3 remote 104 | 115 | "
       "104/113 | 108/118 | 111/120;  memory local 96.4 | 108 | 89.6 | 94.0 | "
       "90.4;  memory remote 146 | 148 | 141/147 | 145/151 | 148/153");
+  trace.finish();
   return 0;
 }

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const std::uint64_t buffer =
       args.quick ? hsw::mib(2) : hsw::mib(4);  // > 2.5 MiB regime
 
+  hswbench::BenchTrace trace(args);
   hsw::Table table(
       {"forward copy", "H:node0", "H:node1", "H:node2", "H:node3"});
   for (int f = 0; f < 4; ++f) {
@@ -35,7 +36,9 @@ int main(int argc, char** argv) {
       lc.buffer_bytes = buffer;
       lc.max_measured_lines = 4096;
       lc.seed = args.seed;
-      row.push_back(hsw::cell(hsw::measure_latency(sys, lc).mean_ns, 1));
+      const hsw::LatencyResult r = trace.measure(
+          sys, lc, "F:node" + std::to_string(f) + " H:node" + std::to_string(h));
+      row.push_back(hsw::cell(r.mean_ns, 1));
     }
     table.add_row(std::move(row));
   }
@@ -50,5 +53,6 @@ int main(int argc, char** argv) {
       "  [18.0 57.2 170  177 ]\n"
       "  [18.0 166  90.0 166 ]\n"
       "  [18.0 169  162  96.0]");
+  trace.finish();
   return 0;
 }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   // flush placement level plus a buffer well above the HitME coverage.
   const std::uint64_t buffer = args.quick ? hsw::mib(2) : hsw::mib(6);
 
+  hswbench::BenchTrace trace(args);
   hsw::Table table(
       {"had forward copy", "H:node0", "H:node1", "H:node2", "H:node3"});
   for (int f = 0; f < 4; ++f) {
@@ -37,7 +38,9 @@ int main(int argc, char** argv) {
       lc.buffer_bytes = buffer;
       lc.max_measured_lines = 4096;
       lc.seed = args.seed;
-      row.push_back(hsw::cell(hsw::measure_latency(sys, lc).mean_ns, 1));
+      const hsw::LatencyResult r = trace.measure(
+          sys, lc, "F:node" + std::to_string(f) + " H:node" + std::to_string(h));
+      row.push_back(hsw::cell(r.mean_ns, 1));
     }
     table.add_row(std::move(row));
   }
@@ -55,5 +58,6 @@ int main(int argc, char** argv) {
       "diagonal: sharing stayed inside the home node, directory still "
       "remote-invalid; everywhere else the stale snoop-all state adds the "
       "broadcast round trip");
+  trace.finish();
   return 0;
 }

@@ -6,9 +6,10 @@
 
 namespace {
 
-double stream_bw(const hsw::SystemConfig& config, int reader, int owner,
-                 int node, hsw::Mesif state, hsw::CacheLevel level,
-                 std::uint64_t bytes, std::uint64_t seed) {
+double stream_bw(hswbench::BenchTrace& trace, const hsw::SystemConfig& config,
+                 int reader, int owner, int node, hsw::Mesif state,
+                 hsw::CacheLevel level, std::uint64_t bytes,
+                 std::uint64_t seed) {
   hsw::System sys(config);
   hsw::BandwidthConfig bc;
   hsw::StreamConfig stream;
@@ -23,7 +24,7 @@ double stream_bw(const hsw::SystemConfig& config, int reader, int owner,
   // Table VI measures fresh buffers (clean directory state), unlike the
   // streaming loops of Tables VII/VIII.
   bc.steady_state = false;
-  return hsw::measure_bandwidth(sys, bc).total_gbps;
+  return trace.measure_bw(sys, bc).total_gbps;
 }
 
 }  // namespace
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   const hswbench::BenchArgs args = hswbench::parse_args(
       argc, argv, "Table VI: single-threaded read bandwidth summary");
   const std::uint64_t seed = args.seed;
+  hswbench::BenchTrace trace(args);
 
   const hsw::SystemConfig source = hsw::SystemConfig::source_snoop();
   const hsw::SystemConfig home = hsw::SystemConfig::home_snoop();
@@ -46,11 +48,11 @@ int main(int argc, char** argv) {
   const Group groups[] = {{0, 0}, {6, 1}, {8, 1}};
 
   auto l3 = [&](const hsw::SystemConfig& c, int reader, int owner, int node) {
-    return stream_bw(c, reader, owner, node, hsw::Mesif::kExclusive,
+    return stream_bw(trace, c, reader, owner, node, hsw::Mesif::kExclusive,
                      hsw::CacheLevel::kL3, hsw::kib(512), seed);
   };
   auto mem = [&](const hsw::SystemConfig& c, int reader, int node) {
-    return stream_bw(c, reader, reader, node, hsw::Mesif::kModified,
+    return stream_bw(trace, c, reader, reader, node, hsw::Mesif::kModified,
                      hsw::CacheLevel::kMemory, hsw::mib(4), seed);
   };
   auto fmt = [](double v) { return hsw::cell(v, 1); };
@@ -114,5 +116,6 @@ int main(int argc, char** argv) {
       "L3 local 26.2 | 26.2 | 29.0 | 27.2 | 27.6;  L3 remote 8.8 | 8.9 | "
       "8.7/8.3 | 8.3/8.0 | 8.4/8.1;  memory local 10.3 | 9.5 | 12.6 | 12.4 | "
       "12.6;  memory remote 8.0 | 8.2 | 8.3/8.0 | 7.8/7.4 | 8.1/7.5");
+  trace.finish();
   return 0;
 }

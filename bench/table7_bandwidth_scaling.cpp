@@ -10,7 +10,8 @@
 
 namespace {
 
-double scaling_point(const hsw::SystemConfig& config, int cores, int node,
+double scaling_point(hswbench::BenchTrace& trace,
+                     const hsw::SystemConfig& config, int cores, int node,
                      bool write, std::uint64_t seed) {
   hsw::System sys(config);
   hsw::BandwidthConfig bc;
@@ -26,7 +27,7 @@ double scaling_point(const hsw::SystemConfig& config, int cores, int node,
   }
   bc.buffer_bytes = hsw::mib(2);
   bc.seed = seed;
-  return hsw::measure_bandwidth(sys, bc).total_gbps;
+  return trace.measure_bw(sys, bc).total_gbps;
 }
 
 }  // namespace
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
   const hswbench::BenchArgs args = hswbench::parse_args(
       argc, argv, "Table VII: memory bandwidth scaling, source vs home snoop");
 
+  hswbench::BenchTrace trace(args);
   const int max_cores = args.quick ? 4 : 12;
   std::vector<std::string> header{"source"};
   for (int c = 1; c <= max_cores; ++c) header.push_back(std::to_string(c));
@@ -57,7 +59,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells{row.name};
     for (int c = 1; c <= max_cores; ++c) {
       cells.push_back(hsw::cell(
-          scaling_point(row.config, c, row.node, row.write, args.seed), 1));
+          scaling_point(trace, row.config, c, row.node, row.write, args.seed), 1));
     }
     table.add_row(std::move(cells));
   }
@@ -69,5 +71,6 @@ int main(int argc, char** argv) {
       "local read saturates at ~63 GB/s (both modes; home snoop slower for "
       "<= 7 cores); write peaks at 26.5 GB/s (5 cores) and ends at 25.8; "
       "remote read: 16.8 GB/s source snoop vs 30.6 GB/s home snoop");
+  trace.finish();
   return 0;
 }

@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   const hswbench::BenchArgs args = hswbench::parse_args(
       argc, argv, "Table VIII: COD memory bandwidth scaling");
+  hswbench::BenchTrace trace(args);
   const hsw::SystemConfig config = hsw::SystemConfig::cluster_on_die();
   hsw::System probe(config);
   const hsw::SystemTopology& topo = probe.topology();
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
       }
       bc.buffer_bytes = hsw::mib(2);
       bc.seed = args.seed;
-      cells.push_back(hsw::cell(hsw::measure_bandwidth(sys, bc).total_gbps, 1));
+      cells.push_back(hsw::cell(trace.measure_bw(sys, bc).total_gbps, 1));
     }
     table.add_row(std::move(cells));
   }
@@ -55,5 +56,6 @@ int main(int argc, char** argv) {
       "local 12.6 -> 32.5 GB/s; node0->node1 7.0 -> 18.8 (inter-ring queue); "
       "node0->node2 5.9 -> 15.6; node0->node3 / node1->node3 5.5 -> 14.7 "
       "(stale-directory broadcasts keep QPI busy)");
+  trace.finish();
   return 0;
 }

@@ -21,9 +21,11 @@ struct Scenario {
 }  // namespace
 
 int main(int argc, char** argv) {
-  hswbench::parse_args(argc, argv,
-                       "Cross-check: fluid max-min model vs event-driven "
-                       "queueing simulation");
+  const hswbench::BenchArgs args =
+      hswbench::parse_args(argc, argv,
+                           "Cross-check: fluid max-min model vs event-driven "
+                           "queueing simulation");
+  hswbench::warn_untraced(args);
 
   const Scenario scenarios[] = {
       {"12 local readers vs DRAM (Table VII)", 12, 11.2, 96.4, 62.8, 1.0},

@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   const hswbench::BenchArgs args = hswbench::parse_args(
       argc, argv, "Frequency variability of the L3 bandwidth measurements");
+  hswbench::warn_untraced(args);
 
   const hsw::FrequencyModel model;
   hsw::Xoshiro256 rng(args.seed);

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # One-shot verification: configure + build + full ctest in the default
-# configuration, then again under AddressSanitizer.
+# configuration, a trace-export smoke test, a tracing-overhead guard, then
+# the whole ctest suite again under AddressSanitizer.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 #   HSWSIM_CHECK_SANITIZER=undefined|thread|address  (default: address)
 #   HSWSIM_CHECK_SKIP_SANITIZER=1                    (default build only)
+#   HSWSIM_CHECK_SKIP_PERF=1                         (skip overhead guard)
+#   HSWSIM_PERF_TOLERANCE=<percent>                  (default: 2)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,6 +25,67 @@ ctest_args=("$@")
 
 echo "== default configuration =="
 run_config "$repo_root/build"
+
+echo "== trace smoke =="
+# One traced run of the attribution bench must export a Perfetto JSON that
+# names every protocol component the span taxonomy promises (the COD rows
+# exercise directory, HitME, QPI, and DRAM in a single quick run), and a
+# CSV export must carry the same spans row-wise.
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+"$repo_root/build/bench/attribution_breakdown" --quick --seed 1 \
+  --trace "$trace_dir/attribution.json" > /dev/null
+for span in dir_remote_invalid hitme_lookup qpi_link dram_page; do
+  grep -q "$span" "$trace_dir/attribution.json" \
+    || { echo "trace smoke: span '$span' missing from JSON export"; exit 1; }
+done
+"$repo_root/build/bench/attribution_breakdown" --quick --seed 1 \
+  --trace "$trace_dir/attribution.csv" > /dev/null
+grep -q "hitme_lookup" "$trace_dir/attribution.csv" \
+  || { echo "trace smoke: CSV export missing spans"; exit 1; }
+echo "trace smoke: ok"
+
+if [[ "${HSWSIM_CHECK_SKIP_PERF:-0}" != "1" ]]; then
+  echo "== tracing-overhead guard =="
+  # The disabled-tracing engine hot path (a null-pointer test per
+  # instrumentation site) must stay within HSWSIM_PERF_TOLERANCE percent of
+  # the lookup/insert numbers recorded in BENCH_simcore.json.  Best-of-3
+  # repetitions against a one-sided bound keeps machine noise out; slower
+  # machines can raise the tolerance or skip with HSWSIM_CHECK_SKIP_PERF=1.
+  "$repo_root/build/bench/simbench" \
+    --benchmark_filter='BM_L1HitTracingOff|BM_MemoryReadTracingOff|BM_CacheLookupHit|BM_CacheInsertEvict' \
+    --benchmark_repetitions=3 --benchmark_min_time=0.1 \
+    --benchmark_out="$trace_dir/perf.json" --benchmark_out_format=json \
+    > /dev/null 2>&1
+  python3 - "$repo_root/BENCH_simcore.json" "$trace_dir/perf.json" \
+      "${HSWSIM_PERF_TOLERANCE:-2}" <<'PY'
+import json, sys
+
+baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+def times(path):
+    out = {}
+    for b in json.load(open(path))["benchmarks"]:
+        if b.get("run_type", "iteration") == "iteration":
+            out.setdefault(b["name"].split("/")[0], []).append(b["cpu_time"])
+    return out
+
+baseline, fresh = times(baseline_path), times(fresh_path)
+failed = False
+for name, samples in sorted(fresh.items()):
+    if name not in baseline:
+        print(f"  {name}: no baseline in BENCH_simcore.json "
+              "(regenerate via build/bench/simbench)")
+        failed = True
+        continue
+    best, ref = min(samples), min(baseline[name])
+    delta = (best / ref - 1.0) * 100.0
+    verdict = "ok" if delta <= tol else "REGRESSION"
+    print(f"  {name}: {best:.1f} ns vs baseline {ref:.1f} ns "
+          f"({delta:+.1f}%, limit +{tol:.0f}%) {verdict}")
+    failed |= delta > tol
+sys.exit(1 if failed else 0)
+PY
+fi
 
 if [[ "${HSWSIM_CHECK_SKIP_SANITIZER:-0}" != "1" ]]; then
   echo "== ${sanitizer} sanitizer configuration =="

@@ -14,6 +14,13 @@ namespace {
 constexpr std::uint32_t bit_of(int socket_local_core) {
   return 1u << static_cast<unsigned>(socket_local_core);
 }
+
+constexpr const char* kNodeName[kMaxNodes] = {"node0", "node1", "node2",
+                                              "node3", "node4", "node5",
+                                              "node6", "node7"};
+
+using TComp = trace::Component;
+using TJoin = trace::Tracer::Join;
 }  // namespace
 
 const char* to_string(ServiceSource source) {
@@ -62,23 +69,65 @@ double CoherenceEngine::request_to_ha(int req_node, int home_node) const {
          m_.topo.mean_qpi_to_imc_hops(home_node) * m_.timing.ring_hop;
 }
 
+// --- tracing helpers ---------------------------------------------------------
+// Every emitted leaf carries the exact double the surrounding arithmetic
+// adds, and emissions follow the order of the additions, so folding the span
+// tree (trace/span.h) replays the engine's own FP operation sequence and
+// recomposes each access's ns bit-for-bit.
+
+void CoherenceEngine::trace_l3_path(int core) {
+  if (tracer_ == nullptr) return;
+  tracer_->leaf(TComp::kCbo, "cbo_pipeline", m_.timing.l3_base);
+  tracer_->leaf(TComp::kRing, "ring_round_trip",
+                2.0 * m_.core_to_ca_hops(core) * m_.timing.ring_hop);
+}
+
+void CoherenceEngine::trace_link(const char* name, int from, int to) {
+  if (tracer_ == nullptr) return;
+  const bool qpi = from != to && m_.topo.crosses_qpi(from, to);
+  tracer_->leaf(qpi ? TComp::kQpi : TComp::kRing, name, link_ns(from, to));
+}
+
+void CoherenceEngine::trace_request_to_ha(int req_node, int home_node) {
+  if (tracer_ == nullptr) return;
+  tracer_->open_group(TComp::kRing, "request_to_ha");
+  if (req_node == home_node) {
+    tracer_->leaf(TComp::kRing, "ca_to_ha_ring", ca_to_ha(home_node));
+  } else if (!m_.topo.crosses_qpi(req_node, home_node)) {
+    trace_link("cluster_link", req_node, home_node);
+    tracer_->leaf(TComp::kRing, "ca_to_ha_ring", ca_to_ha(home_node));
+  } else {
+    trace_link("qpi_link", req_node, home_node);
+    tracer_->leaf(TComp::kRing, "qpi_to_imc_ring",
+                  m_.topo.mean_qpi_to_imc_hops(home_node) * m_.timing.ring_hop);
+  }
+  tracer_->close_group(request_to_ha(req_node, home_node));
+}
+
 // --- DRAM --------------------------------------------------------------------
 
 double CoherenceEngine::dram_read(MachineState::HomeRef& home) {
   m_.counters.bump(Ctr::kDramReads);
   auto& channel = home.ha->channels[static_cast<std::size_t>(home.channel)];
+  double ns = m_.timing.dram_page_conflict;
+  const char* outcome = "dram_page_conflict";
   switch (channel.access(home.channel_line)) {
     case RowBufferOutcome::kHit:
       m_.counters.bump(Ctr::kDramPageHit);
-      return m_.timing.dram_page_hit;
+      ns = m_.timing.dram_page_hit;
+      outcome = "dram_page_hit";
+      break;
     case RowBufferOutcome::kEmpty:
       m_.counters.bump(Ctr::kDramPageMiss);
-      return m_.timing.dram_page_empty;
+      ns = m_.timing.dram_page_empty;
+      outcome = "dram_page_empty";
+      break;
     case RowBufferOutcome::kConflict:
       m_.counters.bump(Ctr::kDramPageMiss);
-      return m_.timing.dram_page_conflict;
+      break;
   }
-  return m_.timing.dram_page_conflict;
+  if (tracer_ != nullptr) tracer_->leaf(TComp::kDram, outcome, ns);
+  return ns;
 }
 
 void CoherenceEngine::dram_write(MachineState::HomeRef& home) {
@@ -88,6 +137,8 @@ void CoherenceEngine::dram_write(MachineState::HomeRef& home) {
 }
 
 void CoherenceEngine::writeback(LineAddr line, bool clears_directory) {
+  // Off the requester's critical path: a zero-cost marker in the trace.
+  if (tracer_ != nullptr) tracer_->leaf(TComp::kDram, "writeback", 0.0);
   auto home = m_.home_of(line);
   dram_write(home);
   m_.counters.bump(Ctr::kL3WritebacksToMem);
@@ -137,6 +188,8 @@ bool CoherenceEngine::invalidate_core(int global_core, LineAddr line) {
 }
 
 // --- peer CA snoops ------------------------------------------------------------
+// Callers wrap each call in an open_group/close_group pair; the leaves
+// emitted here are the group's children and sum to handling_ns exactly.
 
 CoherenceEngine::PeerSnoop CoherenceEngine::snoop_peer_read(int peer_node,
                                                             LineAddr line) {
@@ -147,6 +200,9 @@ CoherenceEngine::PeerSnoop CoherenceEngine::snoop_peer_read(int peer_node,
 
   PeerSnoop result;
   result.handling_ns = m_.timing.snoop_ca_lookup;
+  if (tracer_ != nullptr) {
+    tracer_->leaf(TComp::kCbo, "snoop_ca_lookup", m_.timing.snoop_ca_lookup);
+  }
   CacheEntry* entry = l3.lookup(line, /*touch=*/false);
   if (!entry) return result;
 
@@ -167,9 +223,16 @@ CoherenceEngine::PeerSnoop CoherenceEngine::snoop_peer_read(int peer_node,
         const int owner_local = std::countr_zero(cv);
         const int owner = m_.topo.global_core(node.socket, owner_local);
         result.handling_ns += m_.timing.core_snoop_external;
+        if (tracer_ != nullptr) {
+          tracer_->leaf(TComp::kCoreSnoop, "core_valid_snoop",
+                        m_.timing.core_snoop_external);
+        }
         CoreSnoop cs = snoop_core(owner, line, Mesif::kShared);
         if (cs.dirty) {
           result.handling_ns += cs.data_ns;
+          if (tracer_ != nullptr) {
+            tracer_->leaf(TComp::kCore, "core_data_extract", cs.data_ns);
+          }
           entry->state = Mesif::kModified;  // refreshed with the dirty data
         }
       }
@@ -195,6 +258,9 @@ double CoherenceEngine::snoop_peer_invalidate(int peer_node, LineAddr line) {
   CacheArray& l3 = m_.l3_slice(node.socket, slice);
 
   double handling = m_.timing.snoop_ca_lookup;
+  if (tracer_ != nullptr) {
+    tracer_->leaf(TComp::kCbo, "snoop_ca_lookup", m_.timing.snoop_ca_lookup);
+  }
   CacheEntry* entry = l3.lookup(line, /*touch=*/false);
   if (!entry) return handling;
 
@@ -205,11 +271,20 @@ double CoherenceEngine::snoop_peer_invalidate(int peer_node, LineAddr line) {
     cv &= cv - 1;
     dirty |= invalidate_core(m_.topo.global_core(node.socket, owner_local), line);
   }
-  if (entry->core_valid != 0) handling += m_.timing.core_snoop_external;
+  if (entry->core_valid != 0) {
+    handling += m_.timing.core_snoop_external;
+    if (tracer_ != nullptr) {
+      tracer_->leaf(TComp::kCoreSnoop, "core_valid_snoop",
+                    m_.timing.core_snoop_external);
+    }
+  }
   if (dirty) {
     // The dirty data migrates to the requester (M transfer); account the
     // extraction cost but leave memory untouched.
     handling += m_.timing.core_data_l2;
+    if (tracer_ != nullptr) {
+      tracer_->leaf(TComp::kCore, "dirty_transfer", m_.timing.core_data_l2);
+    }
   }
   l3.erase(line);
   return handling;
@@ -309,6 +384,14 @@ void CoherenceEngine::fill_caches(int core, LineAddr line, const Fill& fill) {
 // --- read ----------------------------------------------------------------------
 
 AccessResult CoherenceEngine::read(int core, PhysAddr addr) {
+  if (tracer_ == nullptr) return read_impl(core, addr);
+  tracer_->begin_access('R', core, line_of(addr));
+  AccessResult result = read_impl(core, addr);
+  result.attribution = tracer_->end_access(result.ns, to_string(result.source));
+  return result;
+}
+
+AccessResult CoherenceEngine::read_impl(int core, PhysAddr addr) {
   const LineAddr line = line_of(addr);
   const int req_node = m_.topo.node_of_core(core);
   CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
@@ -329,20 +412,28 @@ AccessResult CoherenceEngine::read(int core, PhysAddr addr) {
   if (CacheEntry* e1 = cc.l1.lookup(line)) {
     if (shared_hit_needs_l3(e1->state)) {
       m_.counters.bump(Ctr::kLoadsL3Hit);
-      return {l3_path(core), ServiceSource::kL3, req_node};
+      trace_l3_path(core);
+      return {l3_path(core), ServiceSource::kL3, req_node, nullptr};
     }
     m_.counters.bump(Ctr::kLoadsL1Hit);
-    return {m_.timing.l1_hit, ServiceSource::kL1, req_node};
+    if (tracer_ != nullptr) {
+      tracer_->leaf(TComp::kCore, "l1_hit", m_.timing.l1_hit);
+    }
+    return {m_.timing.l1_hit, ServiceSource::kL1, req_node, nullptr};
   }
   if (CacheEntry* e2 = cc.l2.lookup(line)) {
     if (shared_hit_needs_l3(e2->state)) {
       m_.counters.bump(Ctr::kLoadsL3Hit);
-      return {l3_path(core), ServiceSource::kL3, req_node};
+      trace_l3_path(core);
+      return {l3_path(core), ServiceSource::kL3, req_node, nullptr};
     }
     auto ins = cc.l1.insert(line, e2->state);
     if (ins.victim) handle_l1_victim(core, *ins.victim);
     m_.counters.bump(Ctr::kLoadsL2Hit);
-    return {m_.timing.l2_hit, ServiceSource::kL2, req_node};
+    if (tracer_ != nullptr) {
+      tracer_->leaf(TComp::kCore, "l2_hit", m_.timing.l2_hit);
+    }
+    return {m_.timing.l2_hit, ServiceSource::kL2, req_node, nullptr};
   }
 
   Fill fill = ca_read(core, line);
@@ -364,7 +455,7 @@ AccessResult CoherenceEngine::read(int core, PhysAddr addr) {
     default:
       break;
   }
-  return {fill.ns, fill.source, fill.source_node};
+  return {fill.ns, fill.source, fill.source_node, nullptr};
 }
 
 CoherenceEngine::Fill CoherenceEngine::ca_read(int core, LineAddr line) {
@@ -380,6 +471,7 @@ CoherenceEngine::Fill CoherenceEngine::ca_read(int core, LineAddr line) {
   fill.core_state = Mesif::kShared;
 
   if (CacheEntry* entry = l3.lookup(line)) {
+    trace_l3_path(core);
     const std::uint32_t owners = entry->core_valid & ~bit_of(local);
     const bool multi = std::popcount(entry->core_valid) > 1;
     if ((entry->state == Mesif::kExclusive || entry->state == Mesif::kModified) &&
@@ -390,9 +482,16 @@ CoherenceEngine::Fill CoherenceEngine::ca_read(int core, LineAddr line) {
       const int owner_local = std::countr_zero(owners);
       const int owner = m_.topo.global_core(socket, owner_local);
       fill.ns += m_.timing.core_snoop_local;
+      if (tracer_ != nullptr) {
+        tracer_->leaf(TComp::kCoreSnoop, "core_snoop_local",
+                      m_.timing.core_snoop_local);
+      }
       CoreSnoop cs = snoop_core(owner, line, Mesif::kShared);
       if (cs.dirty) {
         fill.ns += cs.data_ns;
+        if (tracer_ != nullptr) {
+          tracer_->leaf(TComp::kCore, "core_data_extract", cs.data_ns);
+        }
         entry->state = Mesif::kModified;  // L3 refreshed with dirty data
         fill.source = ServiceSource::kCoreFwd;
       }
@@ -410,6 +509,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
   auto home = m_.home_of(line);
   const int h = home.node;
   const double lat0 = l3_path(core);
+  trace_l3_path(core);
 
   Fill fill;
   fill.core_state = Mesif::kShared;
@@ -426,12 +526,20 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
 
   // Completion helpers.
   auto served_by_memory = [&](double ready_ns) {
+    if (tracer_ != nullptr) {
+      trace_link("data_return", h, req_node);
+      tracer_->leaf(TComp::kCbo, "response_return", t.response_return);
+    }
     fill.ns = ready_ns + link_ns(h, req_node) + t.response_return;
     fill.source = h == req_node ? ServiceSource::kLocalDram
                                 : ServiceSource::kRemoteDram;
     fill.source_node = h;
   };
   auto served_by_forward = [&](double data_sent_ns, int from_node) {
+    if (tracer_ != nullptr) {
+      trace_link("cache_fwd", from_node, req_node);
+      tracer_->leaf(TComp::kCbo, "cache_fwd_return", t.cache_fwd_return);
+    }
     fill.ns = data_sent_ns + link_ns(from_node, req_node) + t.cache_fwd_return;
     fill.source = from_node == req_node ? ServiceSource::kL3
                                         : ServiceSource::kRemoteFwd;
@@ -455,17 +563,24 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
           }
           m_.counters.bump(Ctr::kHitmeAlloc);
         }
+        if (tracer_ != nullptr) tracer_->leaf(TComp::kHitme, "hitme_track", 0.0);
         // The directory ECC write happens in the background here: the data
         // comes cache-to-cache from the forwarder, so the HA's state update
         // is not on the requester's critical path (unlike memory grants).
         if (home.ha->directory.set(line, DirState::kSnoopAll)) {
           m_.counters.bump(Ctr::kDirectoryUpdates);
+          if (tracer_ != nullptr) {
+            tracer_->leaf(TComp::kDirectory, "dir_update_background", 0.0);
+          }
         }
       } else {
         // Classic DAS without a directory cache: clean forwards record the
         // `shared` state, which keeps the memory copy authoritative.
         if (home.ha->directory.set(line, DirState::kShared)) {
           m_.counters.bump(Ctr::kDirectoryUpdates);
+          if (tracer_ != nullptr) {
+            tracer_->leaf(TComp::kDirectory, "dir_update_background", 0.0);
+          }
         }
       }
     }
@@ -476,6 +591,9 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
     if (directory_on() && req_node != h) {
       if (home.ha->directory.set(line, DirState::kSnoopAll)) {
         m_.counters.bump(Ctr::kDirectoryUpdates);
+        if (tracer_ != nullptr) {
+          tracer_->leaf(TComp::kDirectory, "dir_update_ecc", t.dir_update);
+        }
         fill.ns += t.dir_update;
       }
     }
@@ -489,6 +607,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
 
     if (source_snoop()) {
       // The requester CA broadcasts at lat0; responses race the DRAM read.
+      if (tracer_ != nullptr) tracer_->open_parallel("source_snoop_race");
       double slowest_response_at_ha = t_req_at_ha;
       bool any_shared = false;
       for (int p : snooped) {
@@ -496,18 +615,42 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
         if (m_.topo.crosses_qpi(req_node, p)) {
           m_.counters.bump(Ctr::kQpiSnoopFlits);
         }
+        if (tracer_ != nullptr) {
+          tracer_->open_leg(kNodeName[p]);
+          trace_link("snoop_out", req_node, p);
+          tracer_->open_group(TComp::kCbo, "peer_ca_handling");
+        }
         PeerSnoop snoop = snoop_peer_read(p, line);
+        if (tracer_ != nullptr) tracer_->close_group(snoop.handling_ns);
         const double response_at_peer = lat0 + link_ns(req_node, p) + snoop.handling_ns;
         if (snoop.forwarded) {
+          if (tracer_ != nullptr) {
+            tracer_->close_leg();
+            tracer_->close_parallel(TJoin::kWinner);
+          }
           served_by_forward(response_at_peer, p);
           record_forward_state(p, any_shared);
           return fill;
         }
         any_shared |= snoop.had_shared;
+        if (tracer_ != nullptr) {
+          trace_link("response_to_ha", p, h);
+          tracer_->close_leg();
+        }
         slowest_response_at_ha =
             std::max(slowest_response_at_ha, response_at_peer + link_ns(p, h));
       }
+      if (tracer_ != nullptr) {
+        tracer_->open_leg("memory");
+        trace_request_to_ha(req_node, h);
+        tracer_->leaf(TComp::kHa, "ca_to_ha_fixed", t.ca_to_ha_fixed);
+        tracer_->leaf(TComp::kHa, "ha_processing", t.ha_processing);
+      }
       const double dram_ready = t_req_at_ha + t.ha_processing + dram_read(home);
+      if (tracer_ != nullptr) {
+        tracer_->close_leg();
+        tracer_->close_parallel(TJoin::kAll);
+      }
       served_by_memory(std::max(dram_ready, slowest_response_at_ha));
       record_memory_grant(/*exclusive=*/!any_shared);
       if (any_shared) fill.node_state = Mesif::kForward;
@@ -516,6 +659,12 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
 
     // Home snoop: the HA broadcasts after receiving and processing the
     // request — the paper's "delayed snoop broadcast".
+    if (tracer_ != nullptr) {
+      trace_request_to_ha(req_node, h);
+      tracer_->leaf(TComp::kHa, "ca_to_ha_fixed", t.ca_to_ha_fixed);
+      tracer_->leaf(TComp::kHa, "ha_processing", t.ha_processing);
+      tracer_->open_parallel("home_snoop_race");
+    }
     const double snoop_base = t_req_at_ha + t.ha_processing;
     double slowest_response = snoop_base;
     bool any_shared = false;
@@ -523,18 +672,39 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
     for (int p : snooped) {
       m_.counters.bump(Ctr::kSnoopBroadcasts);
       if (m_.topo.crosses_qpi(h, p)) m_.counters.bump(Ctr::kQpiSnoopFlits);
+      const double stagger = t.broadcast_fanout * fanout++;
+      if (tracer_ != nullptr) {
+        tracer_->open_leg(kNodeName[p]);
+        tracer_->leaf(TComp::kHa, "broadcast_fanout", stagger);
+        trace_link("snoop_out", h, p);
+        tracer_->open_group(TComp::kCbo, "peer_ca_handling");
+      }
       PeerSnoop snoop = snoop_peer_read(p, line);
-      const double launch = snoop_base + t.broadcast_fanout * fanout++;
+      if (tracer_ != nullptr) tracer_->close_group(snoop.handling_ns);
+      const double launch = snoop_base + stagger;
       const double handled_at_peer = launch + link_ns(h, p) + snoop.handling_ns;
       if (snoop.forwarded) {
+        if (tracer_ != nullptr) {
+          tracer_->close_leg();
+          tracer_->close_parallel(TJoin::kWinner);
+        }
         served_by_forward(handled_at_peer, p);
         record_forward_state(p, any_shared);
         return fill;
       }
       any_shared |= snoop.had_shared;
+      if (tracer_ != nullptr) {
+        trace_link("response_to_ha", p, h);
+        tracer_->close_leg();
+      }
       slowest_response = std::max(slowest_response, handled_at_peer + link_ns(p, h));
     }
+    if (tracer_ != nullptr) tracer_->open_leg("memory");
     const double dram_ready = t_req_at_ha + t.ha_processing + dram_read(home);
+    if (tracer_ != nullptr) {
+      tracer_->close_leg();
+      tracer_->close_parallel(TJoin::kAll);
+    }
     served_by_memory(std::max(dram_ready, slowest_response));
     record_memory_grant(/*exclusive=*/!any_shared);
     if (any_shared) fill.node_state = Mesif::kForward;
@@ -542,31 +712,62 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
   }
 
   // ---- directory-assisted home snoop (COD) ---------------------------------
+  if (tracer_ != nullptr) {
+    trace_request_to_ha(req_node, h);
+    tracer_->leaf(TComp::kHa, "ca_to_ha_fixed", t.ca_to_ha_fixed);
+    tracer_->leaf(TComp::kHa, "ha_processing", t.ha_processing);
+  }
   // 1. The home node's CA is snooped locally, independent of the directory
   //    state (Moga et al.; paper §VI-C).  The in-memory directory only
   //    tracks copies *outside* the home node, so a Shared copy found here
   //    must veto any exclusive grant below.
   bool home_had_shared = false;
   if (h != req_node) {
+    if (tracer_ != nullptr) {
+      tracer_->open_parallel("home_node_ca_snoop");
+      tracer_->open_leg(kNodeName[h]);
+      tracer_->open_group(TComp::kCbo, "peer_ca_handling");
+    }
     PeerSnoop local_snoop = snoop_peer_read(h, line);
+    if (tracer_ != nullptr) {
+      tracer_->close_group(local_snoop.handling_ns);
+      tracer_->close_leg();
+    }
     if (local_snoop.forwarded) {
+      if (tracer_ != nullptr) tracer_->close_parallel(TJoin::kWinner);
       const double data_at =
           t_req_at_ha + t.ha_processing + local_snoop.handling_ns;
       served_by_forward(data_at, h);
       record_forward_state(h, false);
       return fill;
     }
+    // The local CA had nothing to forward: its lookup ran in the HA's
+    // shadow, off the critical path.
+    if (tracer_ != nullptr) tracer_->close_parallel(TJoin::kNone);
     home_had_shared = local_snoop.had_shared;
   }
 
   // 2. HitME probe.
+  if (tracer_ != nullptr) {
+    tracer_->leaf(TComp::kHitme, "hitme_lookup", t.hitme_lookup);
+  }
   const double probe_done = t_req_at_ha + t.ha_processing + t.hitme_lookup;
   if (hitme_on()) {
     if (auto entry = home.ha->hitme.lookup(line)) {
       // Clean-shared migratory line: the memory copy is valid; forward it
       // without waiting for snoop responses.
       m_.counters.bump(Ctr::kHitmeHit);
+      if (tracer_ != nullptr) {
+        tracer_->leaf(TComp::kHitme, "hitme_hit", 0.0);
+        tracer_->open_parallel("hitme_shortcut");
+        tracer_->open_leg("memory");
+      }
       const double dram_ready = probe_done + dram_read(home) - t.ha_bypass_savings;
+      if (tracer_ != nullptr) {
+        tracer_->leaf(TComp::kHa, "ha_bypass_savings", -t.ha_bypass_savings);
+        tracer_->close_leg();
+        tracer_->close_parallel(TJoin::kAll);
+      }
       served_by_memory(std::max(dram_ready, probe_done));
       home.ha->hitme.put(
           line, static_cast<std::uint8_t>(
@@ -583,6 +784,10 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
   const double dram_ready = probe_done + dram_read(home);
   const DirState dir = home.ha->directory.get(line);
   if (dir == DirState::kRemoteInvalid) {
+    if (tracer_ != nullptr) {
+      tracer_->leaf(TComp::kDirectory, "dir_remote_invalid", 0.0);
+      tracer_->leaf(TComp::kHa, "ha_bypass_savings", -t.ha_bypass_savings);
+    }
     served_by_memory(dram_ready - t.ha_bypass_savings);
     record_memory_grant(/*exclusive=*/!home_had_shared);
     if (home_had_shared) fill.node_state = Mesif::kForward;
@@ -590,6 +795,10 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
   }
   if (dir == DirState::kShared) {
     // Classic DAS shared state (no-HitME ablation): memory copy valid.
+    if (tracer_ != nullptr) {
+      tracer_->leaf(TComp::kDirectory, "dir_shared", 0.0);
+      tracer_->leaf(TComp::kHa, "ha_bypass_savings", -t.ha_bypass_savings);
+    }
     served_by_memory(dram_ready - t.ha_bypass_savings);
     record_memory_grant(/*exclusive=*/false);
     return fill;
@@ -597,27 +806,53 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
 
   // snoop-all: broadcast to the remaining peers, *after* the directory
   // lookup completed (this is the Table V stale-directory penalty).
+  if (tracer_ != nullptr) {
+    tracer_->leaf(TComp::kDirectory, "dir_snoop_all", 0.0);
+    tracer_->open_parallel("stale_directory_broadcast");
+  }
   double slowest_response = dram_ready;
   bool any_shared = home_had_shared;
   int fanout = 0;
   for (int p : peers) {
     m_.counters.bump(Ctr::kSnoopBroadcasts);
     if (m_.topo.crosses_qpi(h, p)) m_.counters.bump(Ctr::kQpiSnoopFlits);
+    const double stagger = t.broadcast_fanout * fanout++;
+    if (tracer_ != nullptr) {
+      tracer_->open_leg(kNodeName[p]);
+      tracer_->leaf(TComp::kHa, "broadcast_fanout", stagger);
+      trace_link("snoop_out", h, p);
+      tracer_->open_group(TComp::kCbo, "peer_ca_handling");
+    }
     PeerSnoop snoop = snoop_peer_read(p, line);
-    const double launch = dram_ready + t.broadcast_fanout * fanout++;
+    if (tracer_ != nullptr) tracer_->close_group(snoop.handling_ns);
+    const double launch = dram_ready + stagger;
     const double handled_at_peer = launch + link_ns(h, p) + snoop.handling_ns;
     if (snoop.forwarded) {
       // A third node supplies the data: the HA still has to collect the
       // response and complete the transaction before the load can retire.
+      if (tracer_ != nullptr) {
+        tracer_->leaf(TComp::kHa, "three_node_penalty", t.three_node_penalty);
+        tracer_->close_leg();
+        tracer_->close_parallel(TJoin::kWinner);
+      }
       served_by_forward(handled_at_peer + t.three_node_penalty, p);
       record_forward_state(p, any_shared);
       return fill;
     }
     any_shared |= snoop.had_shared;
+    if (tracer_ != nullptr) {
+      trace_link("response_to_ha", p, h);
+      tracer_->close_leg();
+    }
     slowest_response = std::max(slowest_response, handled_at_peer + link_ns(p, h));
   }
   // Nobody answered: the directory was stale (silent L3 evictions).  Serve
   // from memory after the HA has collected and processed all responses.
+  if (tracer_ != nullptr) {
+    tracer_->close_parallel(TJoin::kAll);
+    tracer_->leaf(TComp::kHa, "broadcast_collect",
+                  t.broadcast_collect * static_cast<double>(peers.size()));
+  }
   slowest_response += t.broadcast_collect * static_cast<double>(peers.size());
   served_by_memory(slowest_response);
   record_memory_grant(/*exclusive=*/!any_shared);
@@ -628,6 +863,14 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
 // --- write ---------------------------------------------------------------------
 
 AccessResult CoherenceEngine::write(int core, PhysAddr addr) {
+  if (tracer_ == nullptr) return write_impl(core, addr);
+  tracer_->begin_access('W', core, line_of(addr));
+  AccessResult result = write_impl(core, addr);
+  result.attribution = tracer_->end_access(result.ns, to_string(result.source));
+  return result;
+}
+
+AccessResult CoherenceEngine::write_impl(int core, PhysAddr addr) {
   const LineAddr line = line_of(addr);
   const int req_node = m_.topo.node_of_core(core);
   CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
@@ -637,7 +880,10 @@ AccessResult CoherenceEngine::write(int core, PhysAddr addr) {
       // Silent E->M upgrade: the L3 still believes the line is Exclusive.
       e1->state = Mesif::kModified;
       m_.counters.bump(Ctr::kLoadsL1Hit);
-      return {m_.timing.l1_hit, ServiceSource::kL1, req_node};
+      if (tracer_ != nullptr) {
+        tracer_->leaf(TComp::kCore, "l1_store_upgrade", m_.timing.l1_hit);
+      }
+      return {m_.timing.l1_hit, ServiceSource::kL1, req_node, nullptr};
     }
   } else if (CacheEntry* e2 = cc.l2.lookup(line)) {
     if (e2->state == Mesif::kModified || e2->state == Mesif::kExclusive) {
@@ -646,7 +892,10 @@ AccessResult CoherenceEngine::write(int core, PhysAddr addr) {
       if (ins.victim) handle_l1_victim(core, *ins.victim);
       cc.l2.lookup(line)->state = Mesif::kShared;  // newest copy now in L1
       m_.counters.bump(Ctr::kLoadsL2Hit);
-      return {m_.timing.l2_hit, ServiceSource::kL2, req_node};
+      if (tracer_ != nullptr) {
+        tracer_->leaf(TComp::kCore, "l2_store_upgrade", m_.timing.l2_hit);
+      }
+      return {m_.timing.l2_hit, ServiceSource::kL2, req_node, nullptr};
     }
   }
 
@@ -654,7 +903,7 @@ AccessResult CoherenceEngine::write(int core, PhysAddr addr) {
   Fill fill = ca_write(core, line);
   fill.core_state = Mesif::kModified;
   fill_caches(core, line, fill);
-  return {fill.ns, fill.source, fill.source_node};
+  return {fill.ns, fill.source, fill.source_node, nullptr};
 }
 
 CoherenceEngine::Fill CoherenceEngine::ca_write(int core, LineAddr line) {
@@ -672,9 +921,14 @@ CoherenceEngine::Fill CoherenceEngine::ca_write(int core, LineAddr line) {
   if (CacheEntry* entry = l3.lookup(line)) {
     if (entry->state == Mesif::kExclusive || entry->state == Mesif::kModified) {
       // Node already owns the line: invalidate other in-node core copies.
+      trace_l3_path(core);
       std::uint32_t others = entry->core_valid & ~bit_of(local);
       if (others != 0) {
         fill.ns += m_.timing.core_snoop_local;
+        if (tracer_ != nullptr) {
+          tracer_->leaf(TComp::kCoreSnoop, "core_snoop_local",
+                        m_.timing.core_snoop_local);
+        }
         bool dirty = false;
         while (others != 0) {
           const int owner_local = std::countr_zero(others);
@@ -712,6 +966,7 @@ CoherenceEngine::Fill CoherenceEngine::home_write(int core, int req_node,
   auto home = m_.home_of(line);
   const int h = home.node;
   const double lat0 = l3_path(core);
+  trace_l3_path(core);
 
   Fill fill;
   fill.core_state = Mesif::kModified;
@@ -732,6 +987,15 @@ CoherenceEngine::Fill CoherenceEngine::home_write(int core, int req_node,
   const double snoop_base =
       from_requester ? lat0 : t_req_at_ha + t.ha_processing;
 
+  if (tracer_ != nullptr) {
+    if (!from_requester) {
+      trace_request_to_ha(req_node, h);
+      tracer_->leaf(TComp::kHa, "ca_to_ha_fixed", t.ca_to_ha_fixed);
+      tracer_->leaf(TComp::kHa, "ha_processing", t.ha_processing);
+    }
+    tracer_->open_parallel("ownership_race");
+  }
+
   double slowest_ack = t_req_at_ha;
   int fanout = 0;
   bool dirty_transfer = false;
@@ -739,14 +1003,40 @@ CoherenceEngine::Fill CoherenceEngine::home_write(int core, int req_node,
     m_.counters.bump(Ctr::kSnoopBroadcasts);
     const int from = from_requester ? req_node : h;
     if (m_.topo.crosses_qpi(from, p)) m_.counters.bump(Ctr::kQpiSnoopFlits);
+    const double stagger = t.broadcast_fanout * fanout++;
+    if (tracer_ != nullptr) {
+      tracer_->open_leg(kNodeName[p]);
+      tracer_->leaf(TComp::kHa, "broadcast_fanout", stagger);
+      trace_link("invalidate_out", from, p);
+      tracer_->open_group(TComp::kCbo, "peer_invalidate");
+    }
     const double handling = snoop_peer_invalidate(p, line);
+    if (tracer_ != nullptr) {
+      tracer_->close_group(handling);
+      trace_link("ack_to_ha", p, h);
+      tracer_->close_leg();
+    }
     dirty_transfer |= handling > t.snoop_ca_lookup + t.core_snoop_external;
-    const double launch = snoop_base + t.broadcast_fanout * fanout++;
+    const double launch = snoop_base + stagger;
     slowest_ack =
         std::max(slowest_ack, launch + link_ns(from, p) + handling + link_ns(p, h));
   }
 
+  if (tracer_ != nullptr) {
+    tracer_->open_leg("memory");
+    if (from_requester) {
+      trace_request_to_ha(req_node, h);
+      tracer_->leaf(TComp::kHa, "ca_to_ha_fixed", t.ca_to_ha_fixed);
+      tracer_->leaf(TComp::kHa, "ha_processing", t.ha_processing);
+    }
+  }
   const double dram_ready = t_req_at_ha + t.ha_processing + dram_read(home);
+  if (tracer_ != nullptr) {
+    tracer_->close_leg();
+    tracer_->close_parallel(TJoin::kAll);
+    trace_link("data_return", h, req_node);
+    tracer_->leaf(TComp::kCbo, "response_return", t.response_return);
+  }
   fill.ns = std::max(dram_ready, slowest_ack) + link_ns(h, req_node) +
             t.response_return;
   fill.source = h == req_node ? ServiceSource::kLocalDram
@@ -761,6 +1051,9 @@ CoherenceEngine::Fill CoherenceEngine::home_write(int core, int req_node,
       m_.counters.bump(Ctr::kDirectoryUpdates);
       // The in-memory directory lives in the line's ECC bits: the HA must
       // schedule the state write before completing the ownership grant.
+      if (tracer_ != nullptr) {
+        tracer_->leaf(TComp::kDirectory, "dir_update_ecc", t.dir_update);
+      }
       fill.ns += t.dir_update;
     }
     if (hitme_on()) home.ha->hitme.erase(line);
@@ -771,6 +1064,14 @@ CoherenceEngine::Fill CoherenceEngine::home_write(int core, int req_node,
 // --- flush / placement helpers ---------------------------------------------------
 
 double CoherenceEngine::flush_line(PhysAddr addr) {
+  if (tracer_ == nullptr) return flush_impl(addr);
+  tracer_->begin_access('F', /*core=*/-1, line_of(addr));
+  const double ns = flush_impl(addr);
+  tracer_->end_access(ns, "flush");
+  return ns;
+}
+
+double CoherenceEngine::flush_impl(PhysAddr addr) {
   const LineAddr line = line_of(addr);
   bool dirty = false;
   for (const NumaNode& node : m_.topo.nodes()) {
@@ -792,6 +1093,12 @@ double CoherenceEngine::flush_line(PhysAddr addr) {
       m_.counters.bump(Ctr::kDirectoryUpdates);
     }
     if (hitme_on()) home.ha->hitme.erase(line);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->leaf(TComp::kCbo, "flush_l3", m_.timing.l3_base);
+    if (dirty) {
+      tracer_->leaf(TComp::kDram, "flush_dram_write", m_.timing.dram_page_empty);
+    }
   }
   return m_.timing.l3_base + (dirty ? m_.timing.dram_page_empty : 0.0);
 }

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "coh/state.h"
+#include "trace/tracer.h"
 
 namespace hsw {
 
@@ -36,6 +37,11 @@ struct AccessResult {
   double ns = 0.0;
   ServiceSource source = ServiceSource::kL1;
   int source_node = 0;  // node that supplied the data
+  // Per-component latency breakdown of this access.  nullptr unless a tracer
+  // is attached to the engine; points into the tracer and stays valid until
+  // its next access.  Serial span costs sum, parallel legs max: the breakdown
+  // recomposes to `ns` exactly (see trace/span.h).
+  const trace::AccessAttribution* attribution = nullptr;
 };
 
 class CoherenceEngine {
@@ -60,7 +66,16 @@ class CoherenceEngine {
   // snoop-all directory state behind (the paper's Table V effect).
   void flush_node_l3(int node);
 
+  // Attaches a tracer (nullptr detaches).  With a tracer the engine emits a
+  // span tree per access naming the protocol components on the critical path;
+  // without one the only added cost per flow is a null-pointer check.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
+
  private:
+  AccessResult read_impl(int core, PhysAddr addr);
+  AccessResult write_impl(int core, PhysAddr addr);
+  double flush_impl(PhysAddr addr);
   struct Fill {
     double ns = 0.0;             // from the start of the CA transaction
     Mesif core_state = Mesif::kShared;
@@ -132,6 +147,14 @@ class CoherenceEngine {
   // local ring for in-node requests, or link + home-side ring ingress.
   [[nodiscard]] double request_to_ha(int req_node, int home_node) const;
 
+  // Tracing helpers (no-ops when no tracer is attached) ----------------------
+  void trace_l3_path(int core);
+  // One leaf for the transport between two nodes' agents (kQpi across
+  // sockets, kRing inside one).
+  void trace_link(const char* name, int from, int to);
+  // The request_to_ha() sum as a group span with per-segment children.
+  void trace_request_to_ha(int req_node, int home_node);
+
   [[nodiscard]] bool directory_on() const { return m_.features.directory; }
   [[nodiscard]] bool hitme_on() const {
     return m_.features.directory && m_.features.hitme;
@@ -141,6 +164,7 @@ class CoherenceEngine {
   }
 
   MachineState& m_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace hsw

@@ -14,7 +14,9 @@ struct Probe {
 };
 
 Probe run_probe(System& system, const StreamConfig& stream,
-                const std::vector<LineAddr>& order, std::uint64_t lines) {
+                const std::vector<LineAddr>& order, std::uint64_t lines,
+                trace::Tracer* tracer) {
+  system.set_tracer(tracer);
   Probe probe;
   std::array<std::uint64_t, 7> counts{};
   std::array<int, 7> nodes{};
@@ -28,6 +30,7 @@ Probe run_probe(System& system, const StreamConfig& stream,
     ++counts[static_cast<std::size_t>(access.source)];
     nodes[static_cast<std::size_t>(access.source)] = access.source_node;
   }
+  system.set_tracer(nullptr);
   const CounterSet::Snapshot delta = system.counters().diff(before);
   probe.broadcasts = delta[static_cast<std::size_t>(Ctr::kSnoopBroadcasts)];
   probe.mean_ns = lines ? total / static_cast<double>(lines) : 0.0;
@@ -58,7 +61,7 @@ BandwidthResult measure_bandwidth(System& system,
     const std::uint64_t lines =
         std::min<std::uint64_t>(order.size(), config.probe_lines);
 
-    Probe probe = run_probe(system, stream, order, lines);
+    Probe probe = run_probe(system, stream, order, lines, config.tracer);
     if (config.steady_state &&
         (stream.placement.level == CacheLevel::kMemory ||
          probe.source == ServiceSource::kLocalDram ||
@@ -69,7 +72,7 @@ BandwidthResult measure_bandwidth(System& system,
       // the second pass.
       system.evict_core_caches(stream.core);
       system.flush_node_l3(system.topology().node_of_core(stream.core));
-      probe = run_probe(system, stream, order, lines);
+      probe = run_probe(system, stream, order, lines, config.tracer);
     }
 
     bw::StreamSpec spec;

@@ -35,6 +35,9 @@ struct BandwidthConfig {
   // Disable to measure the first pass over freshly placed data.
   bool steady_state = true;
   bw::BwParams model;
+  // Attached to the engine around the probe passes only (placement and
+  // drain traffic is not traced).
+  trace::Tracer* tracer = nullptr;
 };
 
 struct StreamResult {

@@ -16,7 +16,9 @@ LatencyResult measure_latency(System& system, const LatencyConfig& config) {
   LatencyResult result;
   result.lines_measured = measured;
   const CounterSet::Snapshot before = system.counters().snapshot();
+  system.set_tracer(config.tracer);
 
+  Accumulator samples;
   double total = 0.0;
   double min_ns = 0.0;
   double max_ns = 0.0;
@@ -29,13 +31,27 @@ LatencyResult measure_latency(System& system, const LatencyConfig& config) {
       min_ns = std::min(min_ns, access.ns);
       max_ns = std::max(max_ns, access.ns);
     }
+    samples.add(access.ns);
+    result.histogram.add(access.ns);
     ++result.source_counts[static_cast<std::size_t>(access.source)];
+    if (access.attribution != nullptr) {
+      result.has_attribution = true;
+      for (std::size_t c = 0; c < trace::kComponentCount; ++c) {
+        result.component_ns[c] += access.attribution->component_ns[c];
+      }
+    }
   }
+  system.set_tracer(nullptr);
 
   result.counters = system.counters().diff(before);
   result.mean_ns = measured ? total / static_cast<double>(measured) : 0.0;
   result.min_ns = min_ns;
   result.max_ns = max_ns;
+  if (!samples.empty()) {
+    result.p50_ns = samples.p50();
+    result.p95_ns = samples.p95();
+    result.p99_ns = samples.p99();
+  }
 
   std::size_t best = 0;
   for (std::size_t s = 1; s < result.source_counts.size(); ++s) {

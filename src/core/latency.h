@@ -12,6 +12,8 @@
 
 #include "core/placement.h"
 #include "machine/system.h"
+#include "trace/span.h"
+#include "util/stats.h"
 
 namespace hsw {
 
@@ -22,22 +24,41 @@ struct LatencyConfig {
   // Upper bound on measured loads (placement always covers the full buffer).
   std::uint64_t max_measured_lines = 32768;
   std::uint64_t seed = 1;
+  // Attached to the engine for the measured section only (placement traffic
+  // is not traced).  Enables per-component attribution in the result.
+  trace::Tracer* tracer = nullptr;
 };
 
 struct LatencyResult {
   double mean_ns = 0.0;
   double min_ns = 0.0;
   double max_ns = 0.0;
+  // Order statistics over the measured loads (exact, not histogram-derived).
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
   std::uint64_t lines_measured = 0;
+  // Log-bucketed latency distribution of the measured loads.
+  LogHistogram histogram;
   // Distribution of accesses over service sources, indexed by ServiceSource.
   std::array<std::uint64_t, 7> source_counts{};
   ServiceSource dominant_source = ServiceSource::kL1;
   // Perf-counter deltas over the measured section only.
   CounterSet::Snapshot counters{};
+  // Summed per-component critical-path latency over all measured loads;
+  // filled only when a tracer was attached (has_attribution).  Divide by
+  // lines_measured for the per-load mean.
+  bool has_attribution = false;
+  std::array<double, trace::kComponentCount> component_ns{};
 
   [[nodiscard]] double source_fraction(ServiceSource s) const {
     if (lines_measured == 0) return 0.0;
     return static_cast<double>(source_counts[static_cast<std::size_t>(s)]) /
+           static_cast<double>(lines_measured);
+  }
+  [[nodiscard]] double mean_component_ns(trace::Component c) const {
+    if (lines_measured == 0) return 0.0;
+    return component_ns[static_cast<std::size_t>(c)] /
            static_cast<double>(lines_measured);
   }
 };

@@ -1,5 +1,6 @@
 #include "core/sweep.h"
 
+#include <optional>
 #include <stdexcept>
 
 #include "sim/thread_pool.h"
@@ -15,6 +16,31 @@ void check_level_unset(const Placement& placement) {
         "sweep placements must leave `level` at its default: the data-set "
         "size decides the level (see sweep.h)");
   }
+}
+
+// Stream id for the point measuring `bytes`: base + position in the size
+// axis.  Derived from configuration alone — never from worker scheduling —
+// so traces merge identically for any job count.
+std::uint32_t stream_for(const SweepTraceOptions& trace,
+                         const std::vector<std::uint64_t>& sizes,
+                         std::uint64_t bytes) {
+  std::uint32_t stream = trace.stream_base;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (sizes[i] == bytes) {
+      stream += static_cast<std::uint32_t>(i);
+      break;
+    }
+  }
+  return stream;
+}
+
+std::optional<trace::Tracer> make_tracer(const SweepTraceOptions& trace,
+                                         const std::vector<std::uint64_t>& sizes,
+                                         std::uint64_t bytes) {
+  if (!trace.enabled()) return std::nullopt;
+  return trace::Tracer(trace.sink != nullptr ? trace::Tracer::Mode::kFull
+                                             : trace::Tracer::Mode::kAttribution,
+                       stream_for(trace, sizes, bytes), trace.capacity);
 }
 
 }  // namespace
@@ -33,6 +59,8 @@ std::vector<std::uint64_t> sweep_sizes(std::uint64_t min_bytes,
 LatencySweepPoint latency_sweep_point(const LatencySweepConfig& config,
                                       std::uint64_t bytes) {
   System system(config.system);
+  std::optional<trace::Tracer> tracer =
+      make_tracer(config.trace, config.sizes, bytes);
   LatencyConfig lc;
   lc.reader_core = config.reader_core;
   lc.placement = config.placement;
@@ -40,7 +68,12 @@ LatencySweepPoint latency_sweep_point(const LatencySweepConfig& config,
   lc.buffer_bytes = bytes;
   lc.max_measured_lines = config.max_measured_lines;
   lc.seed = config.seed;
-  return {bytes, measure_latency(system, lc)};
+  lc.tracer = tracer ? &*tracer : nullptr;
+  LatencySweepPoint point{bytes, measure_latency(system, lc)};
+  if (config.trace.sink != nullptr && tracer) {
+    config.trace.sink->absorb(std::move(*tracer));
+  }
+  return point;
 }
 
 std::vector<LatencySweepPoint> latency_sweep(const LatencySweepConfig& config) {
@@ -56,6 +89,8 @@ std::vector<LatencySweepPoint> latency_sweep(const LatencySweepConfig& config) {
 BandwidthSweepPoint bandwidth_sweep_point(const BandwidthSweepConfig& config,
                                           std::uint64_t bytes) {
   System system(config.system);
+  std::optional<trace::Tracer> tracer =
+      make_tracer(config.trace, config.sizes, bytes);
   BandwidthConfig bc;
   StreamConfig stream = config.stream;
   stream.placement.level = CacheLevel::kL1L2;
@@ -63,7 +98,11 @@ BandwidthSweepPoint bandwidth_sweep_point(const BandwidthSweepConfig& config,
   bc.buffer_bytes = bytes;
   bc.seed = config.seed;
   bc.model = config.model;
+  bc.tracer = tracer ? &*tracer : nullptr;
   const BandwidthResult result = measure_bandwidth(system, bc);
+  if (config.trace.sink != nullptr && tracer) {
+    config.trace.sink->absorb(std::move(*tracer));
+  }
   return {bytes, result.total_gbps, result.streams.front().source};
 }
 

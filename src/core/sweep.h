@@ -18,8 +18,29 @@
 #include "core/bandwidth.h"
 #include "core/latency.h"
 #include "machine/system.h"
+#include "trace/sink.h"
 
 namespace hsw {
+
+// Tracing options shared by the sweep drivers.  Each sweep point gets its
+// own Tracer with stream id `stream_base + size_index`; ids are derived from
+// the point's position in `sizes`, never from scheduling, so the merged
+// trace is byte-identical for any `jobs` value.  Benches give each plan a
+// disjoint stream_base (plan_index * kStreamsPerPlan).
+struct SweepTraceOptions {
+  // When set, full span trees are retained and absorbed into the sink
+  // (thread-safe) as each point finishes.
+  trace::TraceSink* sink = nullptr;
+  // Attribution-only mode: per-access component breakdowns are aggregated
+  // into LatencyResult::component_ns without retaining records.
+  bool attribution = false;
+  std::uint32_t stream_base = 0;
+  std::size_t capacity = trace::Tracer::kDefaultCapacity;
+
+  [[nodiscard]] bool enabled() const { return sink != nullptr || attribution; }
+};
+
+inline constexpr std::uint32_t kStreamsPerPlan = 4096;
 
 // Log-spaced sizes between min and max (inclusive): {1, 1.5}x powers of two,
 // e.g. 16K, 24K, 32K, 48K, 64K ...
@@ -45,6 +66,7 @@ struct LatencySweepConfig {
   std::uint64_t seed = 1;
   // Worker threads for the size axis; 1 = serial, 0 = hardware_concurrency.
   unsigned jobs = 1;
+  SweepTraceOptions trace;
 };
 
 // Measures a single size on a fresh System (the unit of work the parallel
@@ -70,6 +92,7 @@ struct BandwidthSweepConfig {
   bw::BwParams model;
   // Worker threads for the size axis; 1 = serial, 0 = hardware_concurrency.
   unsigned jobs = 1;
+  SweepTraceOptions trace;
 };
 
 BandwidthSweepPoint bandwidth_sweep_point(const BandwidthSweepConfig& config,

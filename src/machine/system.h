@@ -75,6 +75,11 @@ class System {
   // Aggregate DRAM bandwidth per node in GB/s (4x DDR4-2133 per socket).
   [[nodiscard]] double node_dram_bandwidth_gbps(int node) const;
 
+  // Attach a tracer to the coherence engine (nullptr detaches).  Every
+  // subsequent access emits a span tree / component attribution.
+  void set_tracer(trace::Tracer* tracer) { engine_.set_tracer(tracer); }
+  [[nodiscard]] trace::Tracer* tracer() const { return engine_.tracer(); }
+
   // Direct engine/state access for white-box tests and the bandwidth model.
   MachineState& state() { return state_; }
   [[nodiscard]] const MachineState& state() const { return state_; }

@@ -35,11 +35,11 @@ std::string_view ctr_name(Ctr c) {
   return kNames[static_cast<std::size_t>(c)];
 }
 
-std::uint64_t CounterSet::value(std::string_view name) const {
+std::optional<std::uint64_t> CounterSet::value(std::string_view name) const {
   for (std::size_t i = 0; i < kCtrCount; ++i) {
     if (kNames[i] == name) return values_[i];
   }
-  return 0;
+  return std::nullopt;
 }
 
 CounterSet::Snapshot CounterSet::diff(const Snapshot& before) const {

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -58,8 +59,9 @@ class CounterSet {
   [[nodiscard]] std::uint64_t value(Ctr c) const {
     return values_[static_cast<std::size_t>(c)];
   }
-  // Lookup by perf-style name; returns 0 for unknown names.
-  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+  // Lookup by perf-style name.  Returns nullopt for unknown names so typos
+  // fail loudly instead of reading as a plausible zero.
+  [[nodiscard]] std::optional<std::uint64_t> value(std::string_view name) const;
   void reset() { values_.fill(0); }
 
   // Snapshot/diff support, mirroring how perf-counter deltas are taken

@@ -1,0 +1,124 @@
+#include "trace/span.h"
+
+#include <algorithm>
+
+namespace hsw::trace {
+
+const char* to_string(Component c) {
+  switch (c) {
+    case Component::kCore: return "core";
+    case Component::kCbo: return "cbo";
+    case Component::kRing: return "ring";
+    case Component::kQpi: return "qpi";
+    case Component::kHa: return "ha";
+    case Component::kDirectory: return "directory";
+    case Component::kHitme: return "hitme";
+    case Component::kDram: return "dram";
+    case Component::kCoreSnoop: return "core-snoop";
+    case Component::kCount: break;
+  }
+  return "?";
+}
+
+double fold(double t, const Span& span) {
+  switch (span.kind) {
+    case Span::Kind::kLeaf:
+    case Span::Kind::kGroup:
+      // A group's cost was pre-summed by the engine and added as one term;
+      // its children are validated separately (recomposes_exactly).
+      return t + span.cost;
+    case Span::Kind::kParallel: {
+      // Legs fork at `t`; the join is the max over gating legs.  `t` itself
+      // is the floor: the engine's running max always starts at the fork
+      // time (an empty parallel node, or one with only non-gating legs,
+      // leaves the clock unchanged).
+      double join = t;
+      for (const Span& leg : span.children) {
+        if (leg.gating) join = std::max(join, fold(t, leg.children));
+      }
+      return join;
+    }
+    case Span::Kind::kLeg:
+      return fold(t, span.children);
+  }
+  return t;
+}
+
+double fold(double t, const std::vector<Span>& spans) {
+  for (const Span& span : spans) t = fold(t, span);
+  return t;
+}
+
+namespace {
+
+bool groups_consistent(const std::vector<Span>& spans) {
+  for (const Span& span : spans) {
+    if (span.kind == Span::Kind::kGroup &&
+        fold(0.0, span.children) != span.cost) {
+      return false;
+    }
+    if (!groups_consistent(span.children)) return false;
+  }
+  return true;
+}
+
+// Walks the spans with the running absolute time `t`, adding every
+// critical-path leaf cost to its component bucket.  Returns the new time
+// (identical to fold()).
+double attribute_walk(double t, const std::vector<Span>& spans,
+                      AccessAttribution& out);
+
+double attribute_walk(double t, const Span& span, AccessAttribution& out) {
+  switch (span.kind) {
+    case Span::Kind::kLeaf:
+      out.component_ns[static_cast<std::size_t>(span.comp)] += span.cost;
+      return t + span.cost;
+    case Span::Kind::kGroup:
+      // Attribute through the children: a peer CBo's handling time splits
+      // into its slice lookup, core snoop, and data-extraction parts.
+      attribute_walk(0.0, span.children, out);
+      return t + span.cost;
+    case Span::Kind::kParallel: {
+      // Only the winning gating leg is on the critical path; the fork time
+      // itself is the floor (if no leg outlasts it, the access never waited
+      // on the race).  Ties keep the first leg reaching the max, matching
+      // the engine's std::max accumulation.
+      const Span* winner = nullptr;
+      double join = t;
+      for (const Span& leg : span.children) {
+        if (!leg.gating) continue;
+        const double end = fold(t, leg.children);
+        if (end > join) {
+          winner = &leg;
+          join = end;
+        }
+      }
+      if (winner != nullptr) attribute_walk(t, winner->children, out);
+      return join;
+    }
+    case Span::Kind::kLeg:
+      return attribute_walk(t, span.children, out);
+  }
+  return t;
+}
+
+double attribute_walk(double t, const std::vector<Span>& spans,
+                      AccessAttribution& out) {
+  for (const Span& span : spans) t = attribute_walk(t, span, out);
+  return t;
+}
+
+}  // namespace
+
+bool recomposes_exactly(const TraceRecord& record) {
+  if (!groups_consistent(record.spans)) return false;
+  return fold(0.0, record.spans) == record.ns;
+}
+
+AccessAttribution attribute(const std::vector<Span>& spans) {
+  AccessAttribution attribution;
+  attribution.total = attribute_walk(0.0, spans, attribution);
+  return attribution;
+}
+
+}  // namespace hsw::trace

@@ -1,0 +1,109 @@
+// Transaction-level protocol spans.
+//
+// Every simulated memory access composes its latency from ~25 timing
+// constants (coh/timing.h): costs are summed along the serial protocol path
+// and max()-ed across parallel legs (a DRAM read racing snoop responses).
+// The engine used to throw that composition away and return only a scalar
+// `ns`; a Span tree preserves it, naming each leg of the protocol —
+// which ring segment, which QPI crossing, which directory or HitME probe,
+// which DRAM read (and its page outcome) an access actually paid for.
+//
+// The tree replays the engine's arithmetic *exactly*:
+//
+//   * a kLeaf holds the very double the engine added to its running total;
+//   * a kGroup holds a pre-summed quantity the engine added as one term
+//     (e.g. a peer CBo's handling time); its children fold from zero and
+//     must reproduce the group's cost bit for bit;
+//   * a kParallel node holds racing kLeg children that fork at the current
+//     time; the join is the max over the *gating* legs (legs that lost the
+//     race to a cache-to-cache forward are kept for visibility but marked
+//     non-gating and excluded from the join).
+//
+// fold() re-runs the same left-associated additions and the same max() the
+// engine ran, so `fold(record) == AccessResult.ns` holds with exact double
+// equality — the attribution invariant tests/trace/ enforces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hsw::trace {
+
+// Protocol component a span's cost is attributed to.
+enum class Component : std::uint8_t {
+  kCore,       // L1/L2 hits and dirty-data extraction out of a core
+  kCbo,        // CBo pipeline / CA slice tag lookups
+  kRing,       // on-die ring segments (core->CBo, CA->HA, cluster bridge)
+  kQpi,        // QPI link crossings
+  kHa,         // home-agent ingress, processing, completion, broadcasts
+  kDirectory,  // in-memory directory lookups / ECC-bit updates
+  kHitme,      // HitME directory-cache probes
+  kDram,       // DRAM reads and writebacks
+  kCoreSnoop,  // core-valid-bit snoops (CBo -> core round trips)
+  kCount,
+};
+
+inline constexpr std::size_t kComponentCount =
+    static_cast<std::size_t>(Component::kCount);
+
+[[nodiscard]] const char* to_string(Component c);
+
+struct Span {
+  enum class Kind : std::uint8_t {
+    kLeaf,      // one cost term, added serially
+    kGroup,     // pre-summed cost added as one term; children fold from 0
+    kParallel,  // racing legs forking at the current time; join = max
+    kLeg,       // one leg of a kParallel parent
+  };
+
+  Kind kind = Kind::kLeaf;
+  Component comp = Component::kCore;
+  const char* name = "";  // static string supplied by the engine
+  double cost = 0.0;      // kLeaf: term added; kGroup: pre-summed total
+  bool gating = true;     // kLeg only: participates in the join max
+  std::vector<Span> children;
+};
+
+// One traced memory transaction.  (stream, seq) is the transaction id: the
+// stream is assigned deterministically by the dispatcher (e.g. sweep-point
+// index), the sequence number counts accesses within the stream — so merged
+// traces are stable for any `--jobs` value.
+struct TraceRecord {
+  std::uint32_t stream = 0;
+  std::uint64_t seq = 0;
+  char op = 'R';  // 'R' read, 'W' write, 'F' flush
+  int core = -1;
+  std::uint64_t line = 0;       // line address (addr >> 6)
+  double ns = 0.0;              // the engine's reported latency
+  const char* source = "";      // ServiceSource name
+  std::vector<Span> spans;      // top-level serial chain; fold(0, spans) == ns
+};
+
+// Replays the engine's arithmetic over a span (sequence): left-associated
+// additions for serial terms, max over gating legs for parallel joins.
+[[nodiscard]] double fold(double t, const Span& span);
+[[nodiscard]] double fold(double t, const std::vector<Span>& spans);
+
+// True iff every kGroup's children fold (from zero) to exactly its cost and
+// fold(0, record.spans) == record.ns with exact double equality.
+[[nodiscard]] bool recomposes_exactly(const TraceRecord& record);
+
+// Critical-path latency attribution: per-component buckets over the spans
+// the access actually waited for (losing parallel legs excluded; a kGroup's
+// cost is attributed through its children).  `total` replays the fold and
+// equals the access's `ns` exactly; the per-component buckets are display
+// aggregations and may differ from `total` by floating-point reassociation
+// (a few ulps).
+struct AccessAttribution {
+  std::array<double, kComponentCount> component_ns{};
+  double total = 0.0;
+
+  [[nodiscard]] double component(Component c) const {
+    return component_ns[static_cast<std::size_t>(c)];
+  }
+};
+
+[[nodiscard]] AccessAttribution attribute(const std::vector<Span>& spans);
+
+}  // namespace hsw::trace

@@ -56,6 +56,62 @@ double Accumulator::percentile(double q) const {
   return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
 }
 
+int LogHistogram::bucket_of(double x) {
+  if (!(x > 0.0)) return std::numeric_limits<int>::min();  // underflow bucket
+  int exp = 0;
+  const double frac = std::frexp(x, &exp);  // frac in [0.5, 1)
+  auto sub = static_cast<int>((frac - 0.5) * (2 * kSubBuckets));
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return exp * kSubBuckets + sub;
+}
+
+double LogHistogram::bucket_lower(int key) {
+  if (key == std::numeric_limits<int>::min()) return 0.0;
+  // Floor division so negative exponents (sub-nanosecond values) map back
+  // to the right octave.
+  int exp = key / kSubBuckets;
+  int sub = key % kSubBuckets;
+  if (sub < 0) {
+    sub += kSubBuckets;
+    exp -= 1;
+  }
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, exp - 1);
+}
+
+double LogHistogram::bucket_upper(int key) {
+  if (key == std::numeric_limits<int>::min()) return 0.0;
+  return bucket_lower(key + 1);
+}
+
+void LogHistogram::add(double x, std::uint64_t weight) {
+  buckets_[bucket_of(x)] += weight;
+  total_ += weight;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  for (const auto& [key, count] : other.buckets_) buckets_[key] += count;
+  total_ += other.total_;
+}
+
+double LogHistogram::quantile(double q) const {
+  assert(total_ > 0);
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (const auto& [key, count] : buckets_) {
+    const double next = cumulative + static_cast<double>(count);
+    if (next >= target) {
+      const double lo = bucket_lower(key);
+      const double hi = bucket_upper(key);
+      const double frac =
+          count == 0 ? 0.0 : (target - cumulative) / static_cast<double>(count);
+      return lo + (hi - lo) * frac;
+    }
+    cumulative = next;
+  }
+  return bucket_upper(buckets_.rbegin()->first);
+}
+
 void Welford::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

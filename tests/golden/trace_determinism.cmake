@@ -1,0 +1,40 @@
+# Asserts a bench's exported trace is byte-identical regardless of the
+# worker thread count: stream ids come from the sweep configuration (plan x
+# size index), sequence numbers are per-stream, and the sink merges by
+# (stream, seq) — so --jobs must never change a single byte of the trace,
+# in either export format.
+#
+# Usage: cmake -DBENCH=<bench-binary> -DOUT_DIR=<dir> -P trace_determinism.cmake
+
+foreach(var BENCH OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "trace_determinism.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+get_filename_component(bench_name "${BENCH}" NAME)
+
+foreach(ext json csv)
+  foreach(jobs 1 8)
+    execute_process(
+      COMMAND "${BENCH}" --quick --seed 1 --jobs ${jobs}
+              --trace "${OUT_DIR}/${bench_name}.jobs${jobs}.trace.${ext}"
+      RESULT_VARIABLE rc
+      OUTPUT_QUIET ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "bench --jobs ${jobs} failed (rc=${rc}):\n${err}")
+    endif()
+  endforeach()
+
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_DIR}/${bench_name}.jobs1.trace.${ext}"
+            "${OUT_DIR}/${bench_name}.jobs8.trace.${ext}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${bench_name}: --jobs 1 and --jobs 8 produced different "
+      "trace bytes (.${ext})")
+  endif()
+endforeach()

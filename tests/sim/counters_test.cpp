@@ -19,8 +19,20 @@ TEST(Counters, BumpAndRead) {
 TEST(Counters, LookupByPerfName) {
   CounterSet counters;
   counters.bump(Ctr::kLoadsRemoteFwd, 3);
-  EXPECT_EQ(counters.value("mem_load_uops_l3_miss_retired.remote_fwd"), 3u);
-  EXPECT_EQ(counters.value("not.a.counter"), 0u);
+  const auto found = counters.value("mem_load_uops_l3_miss_retired.remote_fwd");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, 3u);
+}
+
+TEST(Counters, LookupByUnknownNameIsDistinguishableFromZero) {
+  CounterSet counters;
+  // A typo'd event name must not read as a plausible zero: a zeroed valid
+  // counter and an unknown name give different results.
+  EXPECT_EQ(counters.value("mem_load_uops_retired.l1_hit"),
+            std::optional<std::uint64_t>(0));
+  EXPECT_EQ(counters.value("mem_load_uops_retired.l1_hti"), std::nullopt);
+  EXPECT_EQ(counters.value("not.a.counter"), std::nullopt);
+  EXPECT_EQ(counters.value(""), std::nullopt);
 }
 
 TEST(Counters, EveryCounterHasAUniqueName) {
