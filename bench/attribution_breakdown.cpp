@@ -94,6 +94,7 @@ int main(int argc, char** argv) {
   hsw::Table table(header);
 
   hsw::trace::TraceSink sink;
+  hsw::metrics::MetricsHub hub;
   std::uint32_t stream = 0;
   for (const Config& cfg : configs) {
     hsw::System probe(cfg.config);
@@ -148,10 +149,19 @@ int main(int argc, char** argv) {
       hsw::trace::Tracer tracer(args.trace.empty()
                                     ? hsw::trace::Tracer::Mode::kAttribution
                                     : hsw::trace::Tracer::Mode::kFull,
-                                stream++, hswbench::kBenchTraceCapacity);
+                                stream, hswbench::kBenchTraceCapacity);
       lc.tracer = &tracer;
+      // The metrics registry shares the tracer's stream id so the report's
+      // per-stream samples line up with the attribution rows.
+      std::optional<hsw::metrics::MetricsRegistry> registry;
+      if (!args.metrics.empty()) {
+        registry.emplace(stream);
+        lc.metrics = &*registry;
+      }
+      ++stream;
       const hsw::LatencyResult r = hsw::measure_latency(sys, lc);
       sink.absorb(std::move(tracer));
+      if (registry) hub.absorb(std::move(*registry));
 
       const double n = static_cast<double>(r.lines_measured);
       std::vector<std::string> row{cfg.name, c.name,
@@ -179,5 +189,6 @@ int main(int argc, char** argv) {
     std::printf("wrote %s (%zu protocol transactions)\n", args.trace.c_str(),
                 sink.record_count());
   }
+  hswbench::write_metrics_report(args, hub);
   return 0;
 }

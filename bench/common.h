@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/hswbench.h"
+#include "metrics/report.h"
 #include "sim/thread_pool.h"
 #include "trace/sink.h"
 #include "util/cli.h"
@@ -32,11 +33,32 @@ namespace hswbench {
 struct BenchArgs {
   std::string csv;        // empty = no CSV output
   std::string trace;      // --trace FILE: export span trees (.csv or JSON)
+  std::string metrics;    // --metrics FILE: write the uncore-metrics report
   bool attribution = false;  // print per-component latency attribution
   bool quick = false;     // trim sweep sizes for smoke runs
   std::uint64_t seed = 1;
   unsigned jobs = 0;      // sweep-point worker threads; 0 = hardware_concurrency
+  std::string tool;       // bench binary name (report manifest)
+  std::string summary;    // bench one-liner (report manifest)
 };
+
+// Output flags fail fast: a typo'd directory should kill the run before the
+// sweeps burn minutes, not after.  Probes with O_APPEND so an existing file
+// is left untouched; a newly created probe file is removed again.
+inline void require_writable_path(const std::string& path, const char* flag) {
+  if (path.empty()) return;
+  std::FILE* pre = std::fopen(path.c_str(), "r");
+  const bool existed = pre != nullptr;
+  if (pre != nullptr) std::fclose(pre);
+  std::FILE* probe = std::fopen(path.c_str(), "a");
+  if (probe == nullptr) {
+    std::fprintf(stderr, "%s: cannot open %s for writing\n", flag,
+                 path.c_str());
+    std::exit(1);
+  }
+  std::fclose(probe);
+  if (!existed) std::remove(path.c_str());
+}
 
 // Parses the standard bench flags.  Exits 0 on --help, 1 on bad flags (CI
 // must see a failure when an invocation has a typo).
@@ -48,6 +70,9 @@ inline BenchArgs parse_args(int argc, char** argv, const char* summary) {
                  "export per-access protocol span trees to this file "
                  "(.csv = one row per span; anything else = Chrome-trace "
                  "JSON for https://ui.perfetto.dev)");
+  cli.add_string("metrics", &args.metrics,
+                 "write an uncore-PMU-style metrics run report (JSON) to "
+                 "this file; diff reports with hswsim-report");
   cli.add_bool("attribution", &args.attribution,
                "print the per-component latency attribution summary");
   cli.add_bool("quick", &args.quick, "reduced sweep for smoke testing");
@@ -70,7 +95,40 @@ inline BenchArgs parse_args(int argc, char** argv, const char* summary) {
   }
   args.seed = static_cast<std::uint64_t>(seed);
   args.jobs = static_cast<unsigned>(jobs);
+  require_writable_path(args.trace, "--trace");
+  require_writable_path(args.metrics, "--metrics");
+  if (argc > 0 && argv != nullptr) {
+    const std::string path = argv[0];
+    const std::size_t slash = path.find_last_of('/');
+    args.tool = slash == std::string::npos ? path : path.substr(slash + 1);
+  }
+  args.summary = summary;
   return args;
+}
+
+// Writes the --metrics run report: a versioned JSON document with the run
+// manifest (tool, config, timing-constant fingerprint, seed, jobs, git),
+// the merged final counters/gauges/families/histograms, and the gauge time
+// series.  Exits 1 on write failure so CI never mistakes a truncated report
+// for a clean run.
+inline void write_metrics_report(const BenchArgs& args,
+                                 const hsw::metrics::MetricsHub& hub) {
+  if (args.metrics.empty()) return;
+  hsw::metrics::ReportManifest manifest;
+  manifest.tool = args.tool;
+  manifest.config = args.summary;
+  manifest.timing_hash =
+      hsw::timing_fingerprint(hsw::TimingParams::haswell_ep());
+  manifest.seed = args.seed;
+  manifest.jobs = args.jobs;
+  manifest.quick = args.quick;
+  manifest.git = hsw::metrics::git_describe();
+  if (!hsw::metrics::write_report(args.metrics, manifest, hub.merged())) {
+    std::fprintf(stderr, "failed to write metrics report %s\n",
+                 args.metrics.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", args.metrics.c_str());
 }
 
 // --- tracing / attribution -----------------------------------------------
@@ -90,11 +148,12 @@ inline constexpr std::size_t kBenchTraceCapacity = 192;
 class BenchTrace {
  public:
   explicit BenchTrace(const BenchArgs& args)
-      : path_(args.trace), attribution_(args.attribution) {}
+      : args_(args), path_(args.trace), attribution_(args.attribution) {}
 
   [[nodiscard]] bool enabled() const { return attribution_ || !path_.empty(); }
   [[nodiscard]] bool tracing() const { return !path_.empty(); }
   [[nodiscard]] bool attribution() const { return attribution_; }
+  [[nodiscard]] bool metrics() const { return !args_.metrics.empty(); }
 
   // Sweep wiring for latency plans: attribution aggregates arrive through
   // LatencyResult::component_ns, so span trees are retained only when a
@@ -103,6 +162,7 @@ class BenchTrace {
     hsw::SweepTraceOptions t = base_options(plan);
     t.attribution = attribution_;
     if (tracing()) t.sink = &sink_;
+    if (metrics()) t.metrics = &hub_;
     return t;
   }
 
@@ -112,23 +172,34 @@ class BenchTrace {
   [[nodiscard]] hsw::SweepTraceOptions bandwidth_plan_options(std::size_t plan) {
     hsw::SweepTraceOptions t = base_options(plan);
     if (enabled()) t.sink = &sink_;
+    if (metrics()) t.metrics = &hub_;
     return t;
   }
 
   // Wraps a direct measure_latency call (the serial table/ablation benches):
   // one tracer per call, stream ids in call order, the breakdown accumulated
-  // under `label`.
+  // under `label`.  The metrics registry shares the tracer's stream id, so
+  // the report's per-stream samples line up with the exported trace.
   hsw::LatencyResult measure(hsw::System& system, hsw::LatencyConfig config,
                              std::string label) {
-    if (!enabled()) return hsw::measure_latency(system, config);
-    hsw::trace::Tracer tracer(tracing()
-                                  ? hsw::trace::Tracer::Mode::kFull
-                                  : hsw::trace::Tracer::Mode::kAttribution,
-                              next_stream_++, kBenchTraceCapacity);
-    config.tracer = &tracer;
+    if (!enabled() && !metrics()) return hsw::measure_latency(system, config);
+    const std::uint32_t stream = next_stream_++;
+    std::optional<hsw::trace::Tracer> tracer;
+    if (enabled()) {
+      tracer.emplace(tracing() ? hsw::trace::Tracer::Mode::kFull
+                               : hsw::trace::Tracer::Mode::kAttribution,
+                     stream, kBenchTraceCapacity);
+      config.tracer = &*tracer;
+    }
+    std::optional<hsw::metrics::MetricsRegistry> registry;
+    if (metrics()) {
+      registry.emplace(stream);
+      config.metrics = &*registry;
+    }
     const hsw::LatencyResult result = hsw::measure_latency(system, config);
     if (attribution_) note(std::move(label), result);
-    sink_.absorb(std::move(tracer));
+    if (tracer) sink_.absorb(std::move(*tracer));
+    if (registry) hub_.absorb(std::move(*registry));
     return result;
   }
 
@@ -137,12 +208,22 @@ class BenchTrace {
   // per-access breakdown).
   hsw::BandwidthResult measure_bw(hsw::System& system,
                                   hsw::BandwidthConfig config) {
-    if (!enabled()) return hsw::measure_bandwidth(system, config);
-    hsw::trace::Tracer tracer(hsw::trace::Tracer::Mode::kFull, next_stream_++,
-                              kBenchTraceCapacity);
-    config.tracer = &tracer;
+    if (!enabled() && !metrics()) return hsw::measure_bandwidth(system, config);
+    const std::uint32_t stream = next_stream_++;
+    std::optional<hsw::trace::Tracer> tracer;
+    if (enabled()) {
+      tracer.emplace(hsw::trace::Tracer::Mode::kFull, stream,
+                     kBenchTraceCapacity);
+      config.tracer = &*tracer;
+    }
+    std::optional<hsw::metrics::MetricsRegistry> registry;
+    if (metrics()) {
+      registry.emplace(stream);
+      config.metrics = &*registry;
+    }
     const hsw::BandwidthResult result = hsw::measure_bandwidth(system, config);
-    sink_.absorb(std::move(tracer));
+    if (tracer) sink_.absorb(std::move(*tracer));
+    if (registry) hub_.absorb(std::move(*registry));
     return result;
   }
 
@@ -174,6 +255,7 @@ class BenchTrace {
       }
       std::printf(")\n");
     }
+    if (metrics()) write_metrics_report(args_, hub_);
   }
 
  private:
@@ -236,9 +318,11 @@ class BenchTrace {
         table.to_string().c_str());
   }
 
+  BenchArgs args_;
   std::string path_;
   bool attribution_;
   hsw::trace::TraceSink sink_;
+  hsw::metrics::MetricsHub hub_;
   std::uint32_t next_stream_ = 0;
   std::vector<Row> rows_;
 };
@@ -399,7 +483,7 @@ inline void note_largest_size(BenchTrace& trace,
 // iterate the original `sizes` axis and never see it.
 inline void extend_plans_for_trace(const BenchTrace& trace,
                                    std::vector<LatencySeriesPlan>& plans) {
-  if (!trace.tracing()) return;
+  if (!trace.tracing() && !trace.metrics()) return;
   const std::uint64_t beyond_l3 = hsw::mib(40);  // node L3 is 12 x 2.5 MiB
   for (LatencySeriesPlan& plan : plans) {
     if (plan.config.sizes.empty() || plan.config.sizes.back() < beyond_l3) {
@@ -454,10 +538,10 @@ inline void print_paper_note(const char* note) {
 // coherence engine (model validation, application kernels): say so instead
 // of silently ignoring the flags.
 inline void warn_untraced(const BenchArgs& args) {
-  if (args.attribution || !args.trace.empty()) {
+  if (args.attribution || !args.trace.empty() || !args.metrics.empty()) {
     std::fprintf(stderr,
                  "note: this bench does not issue per-line engine accesses; "
-                 "--trace/--attribution produce no output here\n");
+                 "--trace/--attribution/--metrics produce no output here\n");
   }
 }
 

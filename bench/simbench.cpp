@@ -169,6 +169,65 @@ void BM_MemoryReadFullTrace(benchmark::State& state) {
 }
 BENCHMARK(BM_MemoryReadFullTrace);
 
+// --- Metrics overhead ----------------------------------------------------
+//
+// Same story as the tracing pairs above, for the uncore-metrics registry:
+// the *MetricsOff variants re-measure the detached path (one null-pointer
+// test per instrumentation site) in the same process as the *MetricsOn
+// variants, so the off/on delta lands in one BENCH_simcore.json.
+// scripts/check.sh guards the off numbers against the checked-in baseline
+// (the detached path must stay within noise of the pre-metrics engine).
+
+void BM_L1HitMetricsOff(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  const hsw::PhysAddr addr = sys.alloc_on_node(0, 64).base;
+  sys.write(0, addr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.read(0, addr).ns);
+  }
+}
+BENCHMARK(BM_L1HitMetricsOff);
+
+void BM_L1HitMetricsOn(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  hsw::metrics::MetricsRegistry registry(0, 0);  // no sampling: counter cost
+  sys.attach_metrics(registry);
+  const hsw::PhysAddr addr = sys.alloc_on_node(0, 64).base;
+  sys.write(0, addr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.read(0, addr).ns);
+  }
+  sys.detach_metrics();
+}
+BENCHMARK(BM_L1HitMetricsOn);
+
+void BM_MemoryReadMetricsOff(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  const hsw::MemRegion region = sys.alloc_on_node(0, hsw::mib(64));
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sys.read(0, region.addr_at((line * 64) % region.bytes)).ns);
+    line += 97;
+  }
+}
+BENCHMARK(BM_MemoryReadMetricsOff);
+
+void BM_MemoryReadMetricsOn(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  hsw::metrics::MetricsRegistry registry(0, 0);
+  sys.attach_metrics(registry);
+  const hsw::MemRegion region = sys.alloc_on_node(0, hsw::mib(64));
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sys.read(0, region.addr_at((line * 64) % region.bytes)).ns);
+    line += 97;
+  }
+  sys.detach_metrics();
+}
+BENCHMARK(BM_MemoryReadMetricsOn);
+
 // --- CacheArray hot path (the inner loop of every simulated access) ------
 
 // 256 KiB, 8-way: 512 sets x 8 ways = 4096 lines, filled completely so

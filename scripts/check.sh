@@ -45,15 +45,32 @@ grep -q "hitme_lookup" "$trace_dir/attribution.csv" \
   || { echo "trace smoke: CSV export missing spans"; exit 1; }
 echo "trace smoke: ok"
 
+echo "== metrics smoke =="
+# A --metrics run of the same bench must emit a report whose uncore
+# counters capture the paper's two signature COD effects with nonzero
+# counts (Table V stale broadcasts, Fig. 7 HitME hits), and
+# hswsim-report must call a report equal to itself.
+"$repo_root/build/bench/attribution_breakdown" --quick --seed 1 \
+  --metrics "$trace_dir/attribution.metrics.json" > /dev/null
+grep -Eq '"HA_DIRECTORY_STALE_BCAST": [1-9]' "$trace_dir/attribution.metrics.json" \
+  || { echo "metrics smoke: HA_DIRECTORY_STALE_BCAST is zero or missing"; exit 1; }
+grep -Eq '"HA_HITME_HIT": [1-9]' "$trace_dir/attribution.metrics.json" \
+  || { echo "metrics smoke: HA_HITME_HIT is zero or missing"; exit 1; }
+"$repo_root/build/src/metrics/hswsim-report" diff \
+  "$trace_dir/attribution.metrics.json" "$trace_dir/attribution.metrics.json" \
+  > /dev/null \
+  || { echo "metrics smoke: hswsim-report diff report vs itself failed"; exit 1; }
+echo "metrics smoke: ok"
+
 if [[ "${HSWSIM_CHECK_SKIP_PERF:-0}" != "1" ]]; then
   echo "== tracing-overhead guard =="
-  # The disabled-tracing engine hot path (a null-pointer test per
-  # instrumentation site) must stay within HSWSIM_PERF_TOLERANCE percent of
-  # the lookup/insert numbers recorded in BENCH_simcore.json.  Best-of-3
+  # The disabled-tracing and disabled-metrics engine hot paths (a
+  # null-pointer test per instrumentation site each) must stay within
+  # HSWSIM_PERF_TOLERANCE percent of the numbers in BENCH_simcore.json.  Best-of-3
   # repetitions against a one-sided bound keeps machine noise out; slower
   # machines can raise the tolerance or skip with HSWSIM_CHECK_SKIP_PERF=1.
   "$repo_root/build/bench/simbench" \
-    --benchmark_filter='BM_L1HitTracingOff|BM_MemoryReadTracingOff|BM_CacheLookupHit|BM_CacheInsertEvict' \
+    --benchmark_filter='BM_L1HitTracingOff|BM_MemoryReadTracingOff|BM_L1HitMetricsOff|BM_MemoryReadMetricsOff|BM_CacheLookupHit|BM_CacheInsertEvict' \
     --benchmark_repetitions=3 --benchmark_min_time=0.1 \
     --benchmark_out="$trace_dir/perf.json" --benchmark_out_format=json \
     > /dev/null 2>&1

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "mem/address.h"
+#include "metrics/registry.h"
 #include "util/rng.h"
 
 namespace hsw::check {
@@ -39,6 +40,65 @@ LineAddr region_base_line(int node) {
 
 int last_node(const DiffConfig& config) {
   return config.mode == SnoopMode::kCod ? 3 : 1;
+}
+
+// Occupancy invariant of the metrics subsystem: the per-level MESIF
+// occupancy gauges — refreshed by a census walk over every cache array's
+// valid-way bitmask — must sum to the valid-line count each array maintains
+// incrementally.  A mismatch means the bitmask, the entry states, and the
+// counter have desynchronized (exactly the kind of structural drift the
+// uncore gauges exist to expose).
+std::optional<std::string> check_occupancy_gauges(
+    System& sys, metrics::MetricsRegistry& registry) {
+  using MG = metrics::MGauge;
+  sys.state().update_structural_gauges(registry);
+  const auto& gauges = registry.gauges();
+  const auto occ_sum = [&](MG m, MG e, MG s, MG f) {
+    return gauges[static_cast<std::size_t>(m)] +
+           gauges[static_cast<std::size_t>(e)] +
+           gauges[static_cast<std::size_t>(s)] +
+           gauges[static_cast<std::size_t>(f)];
+  };
+  std::int64_t l1 = 0;
+  std::int64_t l2 = 0;
+  std::int64_t l3 = 0;
+  for (const CoreCaches& cc : sys.state().cores) {
+    l1 += static_cast<std::int64_t>(cc.l1.valid_count());
+    l2 += static_cast<std::int64_t>(cc.l2.valid_count());
+  }
+  for (const auto& socket : sys.state().l3) {
+    for (const CacheArray& slice : socket) {
+      l3 += static_cast<std::int64_t>(slice.valid_count());
+    }
+  }
+  const struct {
+    const char* level;
+    std::int64_t gauge_sum;
+    std::int64_t valid;
+  } checks[] = {
+      {"L1",
+       occ_sum(MG::kL1OccModified, MG::kL1OccExclusive, MG::kL1OccShared,
+               MG::kL1OccForward),
+       l1},
+      {"L2",
+       occ_sum(MG::kL2OccModified, MG::kL2OccExclusive, MG::kL2OccShared,
+               MG::kL2OccForward),
+       l2},
+      {"L3",
+       occ_sum(MG::kL3OccModified, MG::kL3OccExclusive, MG::kL3OccShared,
+               MG::kL3OccForward),
+       l3},
+  };
+  for (const auto& check : checks) {
+    if (check.gauge_sum != check.valid) {
+      std::ostringstream out;
+      out << check.level << " MESIF occupancy gauges sum to "
+          << check.gauge_sum << " but the arrays hold " << check.valid
+          << " valid lines";
+      return out.str();
+    }
+  }
+  return std::nullopt;
 }
 
 // Per-step comparison of every coherence-visible fact the two models share.
@@ -214,6 +274,10 @@ std::optional<Divergence> run_differential(const DiffConfig& config,
                                            const std::vector<DiffOp>& ops) {
   System sys(system_config_for(config));
   ReferenceModel ref(sys.topology(), sys.state().features, config.fault);
+  // Sampling interval 0: counters only, no time series.  Attaching here also
+  // drags every engine metric site through the randomized op stream.
+  metrics::MetricsRegistry registry(0, 0);
+  sys.attach_metrics(registry);
 
   std::vector<LineAddr> lines = tracked_lines(config);
   for (const DiffOp& op : ops) {
@@ -224,6 +288,13 @@ std::optional<Divergence> run_differential(const DiffConfig& config,
 
   for (std::size_t step = 0; step < ops.size(); ++step) {
     apply_op(sys, ref, ops[step]);
+    if (auto occupancy = check_occupancy_gauges(sys, registry)) {
+      std::ostringstream desc;
+      desc << "step " << step << " (" << to_string(ops[step].kind) << " core "
+           << ops[step].core << " line 0x" << std::hex << ops[step].line
+           << std::dec << "): " << *occupancy;
+      return Divergence{step, desc.str()};
+    }
     if (auto mismatch = compare_states(sys, ref, lines)) {
       std::ostringstream desc;
       desc << "step " << step << " (" << to_string(ops[step].kind) << " core "

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <utility>
 #include <vector>
 
 #include "coh/slice_hash.h"
@@ -21,6 +22,7 @@ constexpr const char* kNodeName[kMaxNodes] = {"node0", "node1", "node2",
 
 using TComp = trace::Component;
 using TJoin = trace::Tracer::Join;
+using MC = metrics::MCtr;
 }  // namespace
 
 const char* to_string(ServiceSource source) {
@@ -76,6 +78,13 @@ double CoherenceEngine::request_to_ha(int req_node, int home_node) const {
 // recomposes each access's ns bit-for-bit.
 
 void CoherenceEngine::trace_l3_path(int core) {
+  // CBo / ring utilization metrics ride the same call sites as the trace
+  // (every L3-path transaction passes through here exactly once).
+  if (metrics::MetricsRegistry* const mm = m_.metrics) {
+    mm->meter(metrics::MMeter::kRingHops, 2.0 * m_.core_to_ca_hops(core));
+    mm->bump_family(metrics::MFamily::kRingStopCbo,
+                    static_cast<std::size_t>(m_.topo.node_of_core(core)));
+  }
   if (tracer_ == nullptr) return;
   tracer_->leaf(TComp::kCbo, "cbo_pipeline", m_.timing.l3_base);
   tracer_->leaf(TComp::kRing, "ring_round_trip",
@@ -104,6 +113,52 @@ void CoherenceEngine::trace_request_to_ha(int req_node, int home_node) {
   tracer_->close_group(request_to_ha(req_node, home_node));
 }
 
+// --- metrics helpers ---------------------------------------------------------
+// The uncore-PMU counterpart of the tracing helpers above: each site costs
+// one null-pointer test when no registry is attached (System::attach_metrics).
+
+void CoherenceEngine::metrics_access(double ns) {
+  metrics::MetricsRegistry& mm = *m_.metrics;
+  mm.observe(metrics::MHist::kAccessNs, ns);
+  if (mm.access_tick()) {
+    m_.update_structural_gauges(mm);
+    mm.take_sample();
+  }
+}
+
+void CoherenceEngine::metric_request_to_ha(int req_node, int home_node) {
+  metrics::MetricsRegistry* const mm = m_.metrics;
+  if (mm == nullptr) return;
+  mm->bump(req_node == home_node ? MC::kSadLocalHome : MC::kSadRemoteHome);
+  mm->bump_family(metrics::MFamily::kRingStopHa,
+                  static_cast<std::size_t>(home_node));
+  if (req_node == home_node || !m_.topo.crosses_qpi(req_node, home_node)) {
+    mm->meter(metrics::MMeter::kRingHops, m_.ca_to_imc_hops(home_node));
+  } else {
+    mm->meter(metrics::MMeter::kRingHops,
+              m_.topo.mean_qpi_to_imc_hops(home_node));
+    metric_qpi(req_node, home_node, metrics::kQpiHeaderBytes);
+  }
+}
+
+void CoherenceEngine::metric_qpi(int from_node, int to_node,
+                                 std::uint64_t bytes) {
+  metrics::MetricsRegistry* const mm = m_.metrics;
+  if (mm == nullptr || from_node == to_node ||
+      !m_.topo.crosses_qpi(from_node, to_node)) {
+    return;
+  }
+  int a = m_.topo.node(from_node).socket;
+  int b = m_.topo.node(to_node).socket;
+  if (a > b) std::swap(a, b);
+  // Upper-triangle socket-pair index: one logical link per socket pair.
+  const int sockets = m_.topo.socket_count();
+  const auto link = static_cast<std::size_t>(a * (2 * sockets - a - 1) / 2 +
+                                             (b - a - 1));
+  mm->bump_family(metrics::MFamily::kQpiLinkCrossings, link);
+  mm->bump_family(metrics::MFamily::kQpiLinkBytes, link, bytes);
+}
+
 // --- DRAM --------------------------------------------------------------------
 
 double CoherenceEngine::dram_read(MachineState::HomeRef& home) {
@@ -111,7 +166,8 @@ double CoherenceEngine::dram_read(MachineState::HomeRef& home) {
   auto& channel = home.ha->channels[static_cast<std::size_t>(home.channel)];
   double ns = m_.timing.dram_page_conflict;
   const char* outcome = "dram_page_conflict";
-  switch (channel.access(home.channel_line)) {
+  const RowBufferOutcome rb = channel.access(home.channel_line);
+  switch (rb) {
     case RowBufferOutcome::kHit:
       m_.counters.bump(Ctr::kDramPageHit);
       ns = m_.timing.dram_page_hit;
@@ -126,6 +182,13 @@ double CoherenceEngine::dram_read(MachineState::HomeRef& home) {
       m_.counters.bump(Ctr::kDramPageMiss);
       break;
   }
+  if (metrics::MetricsRegistry* const mm = m_.metrics) {
+    constexpr MC kPageCtr[] = {MC::kImcPageHit, MC::kImcPageEmpty,
+                               MC::kImcPageConflict};
+    mm->bump(kPageCtr[static_cast<std::size_t>(rb)]);
+    mm->bump_family(metrics::MFamily::kImcChannelReadBytes,
+                    m_.channel_index(home), kLineSize);
+  }
   if (tracer_ != nullptr) tracer_->leaf(TComp::kDram, outcome, ns);
   return ns;
 }
@@ -134,6 +197,10 @@ void CoherenceEngine::dram_write(MachineState::HomeRef& home) {
   m_.counters.bump(Ctr::kDramWrites);
   auto& channel = home.ha->channels[static_cast<std::size_t>(home.channel)];
   (void)channel.access(home.channel_line);
+  if (m_.metrics != nullptr) {
+    m_.metrics->bump_family(metrics::MFamily::kImcChannelWriteBytes,
+                            m_.channel_index(home), kLineSize);
+  }
 }
 
 void CoherenceEngine::writeback(LineAddr line, bool clears_directory) {
@@ -145,6 +212,7 @@ void CoherenceEngine::writeback(LineAddr line, bool clears_directory) {
   if (directory_on() && clears_directory) {
     if (home.ha->directory.set(line, DirState::kRemoteInvalid)) {
       m_.counters.bump(Ctr::kDirectoryUpdates);
+      metric(MC::kHaDirectoryUpdate);
     }
   }
 }
@@ -194,6 +262,10 @@ bool CoherenceEngine::invalidate_core(int global_core, LineAddr line) {
 CoherenceEngine::PeerSnoop CoherenceEngine::snoop_peer_read(int peer_node,
                                                             LineAddr line) {
   m_.counters.bump(Ctr::kSnoopsSent);
+  if (m_.metrics != nullptr) {
+    m_.metrics->bump_family(metrics::MFamily::kRingStopCbo,
+                            static_cast<std::size_t>(peer_node));
+  }
   const NumaNode& node = m_.topo.node(peer_node);
   const int slice = m_.slice_for(peer_node, line);
   CacheArray& l3 = m_.l3_slice(node.socket, slice);
@@ -253,6 +325,10 @@ CoherenceEngine::PeerSnoop CoherenceEngine::snoop_peer_read(int peer_node,
 
 double CoherenceEngine::snoop_peer_invalidate(int peer_node, LineAddr line) {
   m_.counters.bump(Ctr::kSnoopsSent);
+  if (m_.metrics != nullptr) {
+    m_.metrics->bump_family(metrics::MFamily::kRingStopCbo,
+                            static_cast<std::size_t>(peer_node));
+  }
   const NumaNode& node = m_.topo.node(peer_node);
   const int slice = m_.slice_for(peer_node, line);
   CacheArray& l3 = m_.l3_slice(node.socket, slice);
@@ -293,6 +369,7 @@ double CoherenceEngine::snoop_peer_invalidate(int peer_node, LineAddr line) {
 // --- victim / fill plumbing -----------------------------------------------------
 
 void CoherenceEngine::handle_l1_victim(int core, const CacheEntry& victim) {
+  metric(is_dirty(victim.state) ? MC::kL1VictimDirty : MC::kL1VictimCleanSilent);
   CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
   if (CacheEntry* in_l2 = cc.l2.lookup(victim.line, /*touch=*/false)) {
     if (is_dirty(victim.state)) in_l2->state = Mesif::kModified;
@@ -306,6 +383,7 @@ void CoherenceEngine::handle_l1_victim(int core, const CacheEntry& victim) {
 }
 
 void CoherenceEngine::handle_l2_victim(int core, const CacheEntry& victim) {
+  metric(is_dirty(victim.state) ? MC::kL2VictimDirty : MC::kL2VictimCleanSilent);
   const int node = m_.topo.node_of_core(core);
   const int socket = m_.topo.socket_of_core(core);
   const int local = m_.topo.local_core(core);
@@ -343,6 +421,7 @@ void CoherenceEngine::handle_l3_victim(int socket, int /*node*/,
     cv &= cv - 1;
     dirty |= invalidate_core(m_.topo.global_core(socket, owner_local), victim.line);
   }
+  metric(dirty ? MC::kL3VictimDirty : MC::kL3VictimCleanSilent);
   if (dirty) {
     // Explicit writeback: the home agent learns the exclusive copy is gone.
     writeback(victim.line, /*clears_directory=*/true);
@@ -384,10 +463,15 @@ void CoherenceEngine::fill_caches(int core, LineAddr line, const Fill& fill) {
 // --- read ----------------------------------------------------------------------
 
 AccessResult CoherenceEngine::read(int core, PhysAddr addr) {
-  if (tracer_ == nullptr) return read_impl(core, addr);
-  tracer_->begin_access('R', core, line_of(addr));
-  AccessResult result = read_impl(core, addr);
-  result.attribution = tracer_->end_access(result.ns, to_string(result.source));
+  AccessResult result;
+  if (tracer_ == nullptr) {
+    result = read_impl(core, addr);
+  } else {
+    tracer_->begin_access('R', core, line_of(addr));
+    result = read_impl(core, addr);
+    result.attribution = tracer_->end_access(result.ns, to_string(result.source));
+  }
+  if (m_.metrics != nullptr) metrics_access(result.ns);
   return result;
 }
 
@@ -523,6 +607,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
 
   const double t_req_at_ha =
       lat0 + request_to_ha(req_node, h) + t.ca_to_ha_fixed;
+  metric_request_to_ha(req_node, h);
 
   // Completion helpers.
   auto served_by_memory = [&](double ready_ns) {
@@ -530,6 +615,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
       trace_link("data_return", h, req_node);
       tracer_->leaf(TComp::kCbo, "response_return", t.response_return);
     }
+    metric_qpi(h, req_node, metrics::kQpiDataBytes);
     fill.ns = ready_ns + link_ns(h, req_node) + t.response_return;
     fill.source = h == req_node ? ServiceSource::kLocalDram
                                 : ServiceSource::kRemoteDram;
@@ -540,6 +626,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
       trace_link("cache_fwd", from_node, req_node);
       tracer_->leaf(TComp::kCbo, "cache_fwd_return", t.cache_fwd_return);
     }
+    metric_qpi(from_node, req_node, metrics::kQpiDataBytes);
     fill.ns = data_sent_ns + link_ns(from_node, req_node) + t.cache_fwd_return;
     fill.source = from_node == req_node ? ServiceSource::kL3
                                         : ServiceSource::kRemoteFwd;
@@ -560,8 +647,10 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
         } else {
           if (home.ha->hitme.put(line, presence)) {
             m_.counters.bump(Ctr::kHitmeEvict);
+            metric(MC::kHaHitmeEvict);
           }
           m_.counters.bump(Ctr::kHitmeAlloc);
+          metric(MC::kHaHitmeAllocShared);
         }
         if (tracer_ != nullptr) tracer_->leaf(TComp::kHitme, "hitme_track", 0.0);
         // The directory ECC write happens in the background here: the data
@@ -569,6 +658,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
         // is not on the requester's critical path (unlike memory grants).
         if (home.ha->directory.set(line, DirState::kSnoopAll)) {
           m_.counters.bump(Ctr::kDirectoryUpdates);
+          metric(MC::kHaDirectoryUpdate);
           if (tracer_ != nullptr) {
             tracer_->leaf(TComp::kDirectory, "dir_update_background", 0.0);
           }
@@ -578,6 +668,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
         // `shared` state, which keeps the memory copy authoritative.
         if (home.ha->directory.set(line, DirState::kShared)) {
           m_.counters.bump(Ctr::kDirectoryUpdates);
+          metric(MC::kHaDirectoryUpdate);
           if (tracer_ != nullptr) {
             tracer_->leaf(TComp::kDirectory, "dir_update_background", 0.0);
           }
@@ -591,6 +682,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
     if (directory_on() && req_node != h) {
       if (home.ha->directory.set(line, DirState::kSnoopAll)) {
         m_.counters.bump(Ctr::kDirectoryUpdates);
+        metric(MC::kHaDirectoryUpdate);
         if (tracer_ != nullptr) {
           tracer_->leaf(TComp::kDirectory, "dir_update_ecc", t.dir_update);
         }
@@ -615,6 +707,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
         if (m_.topo.crosses_qpi(req_node, p)) {
           m_.counters.bump(Ctr::kQpiSnoopFlits);
         }
+        metric_qpi(req_node, p, metrics::kQpiHeaderBytes);
         if (tracer_ != nullptr) {
           tracer_->open_leg(kNodeName[p]);
           trace_link("snoop_out", req_node, p);
@@ -672,6 +765,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
     for (int p : snooped) {
       m_.counters.bump(Ctr::kSnoopBroadcasts);
       if (m_.topo.crosses_qpi(h, p)) m_.counters.bump(Ctr::kQpiSnoopFlits);
+      metric_qpi(h, p, metrics::kQpiHeaderBytes);
       const double stagger = t.broadcast_fanout * fanout++;
       if (tracer_ != nullptr) {
         tracer_->open_leg(kNodeName[p]);
@@ -757,6 +851,8 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
       // Clean-shared migratory line: the memory copy is valid; forward it
       // without waiting for snoop responses.
       m_.counters.bump(Ctr::kHitmeHit);
+      metric(MC::kHaHitmeHit);
+      metric(MC::kHaBypass);
       if (tracer_ != nullptr) {
         tracer_->leaf(TComp::kHitme, "hitme_hit", 0.0);
         tracer_->open_parallel("hitme_shortcut");
@@ -776,14 +872,17 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
       return fill;
     }
     m_.counters.bump(Ctr::kHitmeMiss);
+    metric(MC::kHaHitmeMiss);
   }
 
   // 3. In-memory directory: available only once the DRAM read returns
   //    (the 2-bit state lives in the ECC bits of the data).
   m_.counters.bump(Ctr::kDirectoryLookups);
+  metric(MC::kHaDirectoryLookup);
   const double dram_ready = probe_done + dram_read(home);
   const DirState dir = home.ha->directory.get(line);
   if (dir == DirState::kRemoteInvalid) {
+    metric(MC::kHaBypass);
     if (tracer_ != nullptr) {
       tracer_->leaf(TComp::kDirectory, "dir_remote_invalid", 0.0);
       tracer_->leaf(TComp::kHa, "ha_bypass_savings", -t.ha_bypass_savings);
@@ -795,6 +894,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
   }
   if (dir == DirState::kShared) {
     // Classic DAS shared state (no-HitME ablation): memory copy valid.
+    metric(MC::kHaBypass);
     if (tracer_ != nullptr) {
       tracer_->leaf(TComp::kDirectory, "dir_shared", 0.0);
       tracer_->leaf(TComp::kHa, "ha_bypass_savings", -t.ha_bypass_savings);
@@ -806,6 +906,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
 
   // snoop-all: broadcast to the remaining peers, *after* the directory
   // lookup completed (this is the Table V stale-directory penalty).
+  metric(MC::kHaSnoopAllBroadcast);
   if (tracer_ != nullptr) {
     tracer_->leaf(TComp::kDirectory, "dir_snoop_all", 0.0);
     tracer_->open_parallel("stale_directory_broadcast");
@@ -848,6 +949,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
   }
   // Nobody answered: the directory was stale (silent L3 evictions).  Serve
   // from memory after the HA has collected and processed all responses.
+  metric(MC::kHaStaleBroadcast);
   if (tracer_ != nullptr) {
     tracer_->close_parallel(TJoin::kAll);
     tracer_->leaf(TComp::kHa, "broadcast_collect",
@@ -863,10 +965,15 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
 // --- write ---------------------------------------------------------------------
 
 AccessResult CoherenceEngine::write(int core, PhysAddr addr) {
-  if (tracer_ == nullptr) return write_impl(core, addr);
-  tracer_->begin_access('W', core, line_of(addr));
-  AccessResult result = write_impl(core, addr);
-  result.attribution = tracer_->end_access(result.ns, to_string(result.source));
+  AccessResult result;
+  if (tracer_ == nullptr) {
+    result = write_impl(core, addr);
+  } else {
+    tracer_->begin_access('W', core, line_of(addr));
+    result = write_impl(core, addr);
+    result.attribution = tracer_->end_access(result.ns, to_string(result.source));
+  }
+  if (m_.metrics != nullptr) metrics_access(result.ns);
   return result;
 }
 
@@ -979,6 +1086,7 @@ CoherenceEngine::Fill CoherenceEngine::home_write(int core, int req_node,
 
   const double t_req_at_ha =
       lat0 + request_to_ha(req_node, h) + t.ca_to_ha_fixed;
+  metric_request_to_ha(req_node, h);
 
   // Invalidate every other node's copies; the slowest acknowledgement and
   // the DRAM read (for the data) gate completion.  In source snoop the
@@ -1003,6 +1111,7 @@ CoherenceEngine::Fill CoherenceEngine::home_write(int core, int req_node,
     m_.counters.bump(Ctr::kSnoopBroadcasts);
     const int from = from_requester ? req_node : h;
     if (m_.topo.crosses_qpi(from, p)) m_.counters.bump(Ctr::kQpiSnoopFlits);
+    metric_qpi(from, p, metrics::kQpiHeaderBytes);
     const double stagger = t.broadcast_fanout * fanout++;
     if (tracer_ != nullptr) {
       tracer_->open_leg(kNodeName[p]);
@@ -1037,6 +1146,7 @@ CoherenceEngine::Fill CoherenceEngine::home_write(int core, int req_node,
     trace_link("data_return", h, req_node);
     tracer_->leaf(TComp::kCbo, "response_return", t.response_return);
   }
+  metric_qpi(h, req_node, metrics::kQpiDataBytes);
   fill.ns = std::max(dram_ready, slowest_ack) + link_ns(h, req_node) +
             t.response_return;
   fill.source = h == req_node ? ServiceSource::kLocalDram
@@ -1049,6 +1159,7 @@ CoherenceEngine::Fill CoherenceEngine::home_write(int core, int req_node,
         req_node == h ? DirState::kRemoteInvalid : DirState::kSnoopAll;
     if (home.ha->directory.set(line, next)) {
       m_.counters.bump(Ctr::kDirectoryUpdates);
+      metric(MC::kHaDirectoryUpdate);
       // The in-memory directory lives in the line's ECC bits: the HA must
       // schedule the state write before completing the ownership grant.
       if (tracer_ != nullptr) {
@@ -1091,6 +1202,7 @@ double CoherenceEngine::flush_impl(PhysAddr addr) {
     auto home = m_.home_of(line);
     if (home.ha->directory.set(line, DirState::kRemoteInvalid)) {
       m_.counters.bump(Ctr::kDirectoryUpdates);
+      metric(MC::kHaDirectoryUpdate);
     }
     if (hitme_on()) home.ha->hitme.erase(line);
   }

@@ -155,6 +155,19 @@ class CoherenceEngine {
   // The request_to_ha() sum as a group span with per-segment children.
   void trace_request_to_ha(int req_node, int home_node);
 
+  // Metrics helpers (no-ops when no registry is attached) --------------------
+  // One counter bump behind the null check; keeps call sites one-liners.
+  void metric(metrics::MCtr c) {
+    if (m_.metrics != nullptr) m_.metrics->bump(c);
+  }
+  // Access epilogue: latency histogram + periodic structural census.
+  void metrics_access(double ns);
+  // SAD decode + HA ring-stop accounting at the home agent, mirroring the
+  // request_to_ha() transport composition.
+  void metric_request_to_ha(int req_node, int home_node);
+  // One message crossing the socket link (no-op for same-socket pairs).
+  void metric_qpi(int from_node, int to_node, std::uint64_t bytes);
+
   [[nodiscard]] bool directory_on() const { return m_.features.directory; }
   [[nodiscard]] bool hitme_on() const {
     return m_.features.directory && m_.features.hitme;

@@ -71,6 +71,54 @@ MachineState::HomeRef MachineState::home_of(LineAddr line) {
   return ref;
 }
 
+void MachineState::update_structural_gauges(
+    metrics::MetricsRegistry& registry) const {
+  using metrics::MGauge;
+  CacheArray::Census l1;
+  CacheArray::Census l2;
+  CacheArray::Census l3c;
+  for (const CoreCaches& core : cores) {
+    l1 += core.l1.census();
+    l2 += core.l2.census();
+  }
+  for (const auto& socket : l3) {
+    for (const CacheArray& slice : socket) l3c += slice.census();
+  }
+
+  const auto occ = [&](const CacheArray::Census& census, MGauge modified,
+                       MGauge exclusive, MGauge shared, MGauge forward) {
+    const auto count = [&](Mesif s) {
+      return static_cast<std::int64_t>(
+          census.by_state[static_cast<std::size_t>(s)]);
+    };
+    registry.set_gauge(modified, count(Mesif::kModified));
+    registry.set_gauge(exclusive, count(Mesif::kExclusive));
+    registry.set_gauge(shared, count(Mesif::kShared));
+    registry.set_gauge(forward, count(Mesif::kForward));
+  };
+  occ(l1, MGauge::kL1OccModified, MGauge::kL1OccExclusive, MGauge::kL1OccShared,
+      MGauge::kL1OccForward);
+  occ(l2, MGauge::kL2OccModified, MGauge::kL2OccExclusive, MGauge::kL2OccShared,
+      MGauge::kL2OccForward);
+  occ(l3c, MGauge::kL3OccModified, MGauge::kL3OccExclusive,
+      MGauge::kL3OccShared, MGauge::kL3OccForward);
+  registry.set_gauge(MGauge::kL3CoreValidBits,
+                     static_cast<std::int64_t>(l3c.core_valid_bits));
+
+  std::size_t hitme_entries = 0;
+  std::size_t directory_tracked = 0;
+  for (const auto& socket : agents) {
+    for (const HomeAgentState& agent : socket) {
+      hitme_entries += agent.hitme.valid_entries();
+      directory_tracked += agent.directory.tracked_lines();
+    }
+  }
+  registry.set_gauge(MGauge::kHitmeEntries,
+                     static_cast<std::int64_t>(hitme_entries));
+  registry.set_gauge(MGauge::kDirectoryTracked,
+                     static_cast<std::int64_t>(directory_tracked));
+}
+
 void MachineState::drop_all_caches() {
   auto drop = [](CacheArray& array) {
     array.flush([](const CacheEntry&) {});

@@ -15,6 +15,7 @@
 #include "mem/address.h"
 #include "mem/cache_array.h"
 #include "mem/dram.h"
+#include "metrics/registry.h"
 #include "sim/counters.h"
 #include "topo/topology.h"
 
@@ -87,6 +88,10 @@ class MachineState {
   std::vector<std::vector<HomeAgentState>> agents;  // [socket][local imc]
   AddressSpace address_space;
   CounterSet counters;
+  // Uncore-PMU-style metrics registry (nullptr = detached; the engine's
+  // instrumentation sites then cost one null-pointer test, same contract
+  // as the tracer).  Attached via System::attach_metrics.
+  metrics::MetricsRegistry* metrics = nullptr;
 
   // --- lookups --------------------------------------------------------------
   // Local slice id of the CA responsible for `line` within `node`.
@@ -102,6 +107,25 @@ class MachineState {
     std::uint64_t channel_line;  // line index within that channel
   };
   [[nodiscard]] HomeRef home_of(LineAddr line);
+
+  // Machine-wide flat channel index (socket-major, then imc, then channel)
+  // for the per-channel metric families.
+  [[nodiscard]] std::size_t channel_index(const HomeRef& home) const {
+    const std::size_t imcs = agents.empty() ? 0 : agents[0].size();
+    return (static_cast<std::size_t>(home.socket) * imcs +
+            static_cast<std::size_t>(home.imc)) *
+               geometry.channels_per_imc +
+           static_cast<std::size_t>(home.channel);
+  }
+  [[nodiscard]] std::size_t channel_count() const {
+    const std::size_t imcs = agents.empty() ? 0 : agents[0].size();
+    return agents.size() * imcs * geometry.channels_per_imc;
+  }
+
+  // Runs one structural census (every cache array's valid-way bitmask, the
+  // HitME caches, the directories) and refreshes the registry's occupancy
+  // gauges.  Called by the engine at sampling ticks and at detach.
+  void update_structural_gauges(metrics::MetricsRegistry& registry) const;
 
   // Precomputed mean ring distances (hops), used by the timing composition.
   [[nodiscard]] double core_to_ca_hops(int global_core) const {

@@ -10,6 +10,10 @@
 // Units: nanoseconds (1 core cycle @2.5 GHz = 0.4 ns).
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
 namespace hsw {
 
 struct TimingParams {
@@ -119,6 +123,28 @@ void for_each_timing_field(Params& t, Fn&& fn) {
   fn("broadcast_collect", t.broadcast_collect);
   fn("three_node_penalty", t.three_node_penalty);
   fn("core_ghz", t.core_ghz);
+}
+
+// Stable 64-bit FNV-1a hash over every timing constant (round-trip-exact
+// %.17g text).  Stamped into metrics run reports so two reports can only
+// compare clean when they came from identical timing calibrations.
+[[nodiscard]] inline std::string timing_fingerprint(const TimingParams& t) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&](const char* data, int len) {
+    for (int i = 0; i < len; ++i) {
+      h ^= static_cast<unsigned char>(data[i]);
+      h *= 0x100000001b3ull;
+    }
+  };
+  for_each_timing_field(t, [&](const char* name, double value) {
+    char buf[64];
+    const int n = std::snprintf(buf, sizeof buf, "%s=%.17g;", name, value);
+    mix(buf, n);
+  });
+  char hex[32];
+  const int n = std::snprintf(hex, sizeof hex, "%016llx",
+                              static_cast<unsigned long long>(h));
+  return std::string(hex, static_cast<std::size_t>(n));
 }
 
 }  // namespace hsw

@@ -15,8 +15,9 @@ struct Probe {
 
 Probe run_probe(System& system, const StreamConfig& stream,
                 const std::vector<LineAddr>& order, std::uint64_t lines,
-                trace::Tracer* tracer) {
+                trace::Tracer* tracer, metrics::MetricsRegistry* metrics) {
   system.set_tracer(tracer);
+  if (metrics != nullptr) system.attach_metrics(*metrics);
   Probe probe;
   std::array<std::uint64_t, 7> counts{};
   std::array<int, 7> nodes{};
@@ -31,7 +32,9 @@ Probe run_probe(System& system, const StreamConfig& stream,
     nodes[static_cast<std::size_t>(access.source)] = access.source_node;
   }
   system.set_tracer(nullptr);
+  system.detach_metrics();
   const CounterSet::Snapshot delta = system.counters().diff(before);
+  if (metrics != nullptr) metrics->capture_engine_counters(delta);
   probe.broadcasts = delta[static_cast<std::size_t>(Ctr::kSnoopBroadcasts)];
   probe.mean_ns = lines ? total / static_cast<double>(lines) : 0.0;
   std::size_t best = 0;
@@ -61,7 +64,8 @@ BandwidthResult measure_bandwidth(System& system,
     const std::uint64_t lines =
         std::min<std::uint64_t>(order.size(), config.probe_lines);
 
-    Probe probe = run_probe(system, stream, order, lines, config.tracer);
+    Probe probe =
+        run_probe(system, stream, order, lines, config.tracer, config.metrics);
     if (config.steady_state &&
         (stream.placement.level == CacheLevel::kMemory ||
          probe.source == ServiceSource::kLocalDram ||
@@ -72,7 +76,8 @@ BandwidthResult measure_bandwidth(System& system,
       // the second pass.
       system.evict_core_caches(stream.core);
       system.flush_node_l3(system.topology().node_of_core(stream.core));
-      probe = run_probe(system, stream, order, lines, config.tracer);
+      probe =
+          run_probe(system, stream, order, lines, config.tracer, config.metrics);
     }
 
     bw::StreamSpec spec;

@@ -38,6 +38,9 @@ struct BandwidthConfig {
   // Attached to the engine around the probe passes only (placement and
   // drain traffic is not traced).
   trace::Tracer* tracer = nullptr;
+  // Metrics registry covering the probe passes (same scope as the tracer);
+  // also receives the engine-counter delta of every probe.
+  metrics::MetricsRegistry* metrics = nullptr;
 };
 
 struct StreamResult {

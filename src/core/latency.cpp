@@ -17,6 +17,7 @@ LatencyResult measure_latency(System& system, const LatencyConfig& config) {
   result.lines_measured = measured;
   const CounterSet::Snapshot before = system.counters().snapshot();
   system.set_tracer(config.tracer);
+  if (config.metrics != nullptr) system.attach_metrics(*config.metrics);
 
   Accumulator samples;
   double total = 0.0;
@@ -42,8 +43,12 @@ LatencyResult measure_latency(System& system, const LatencyConfig& config) {
     }
   }
   system.set_tracer(nullptr);
+  system.detach_metrics();
 
   result.counters = system.counters().diff(before);
+  if (config.metrics != nullptr) {
+    config.metrics->capture_engine_counters(result.counters);
+  }
   result.mean_ns = measured ? total / static_cast<double>(measured) : 0.0;
   result.min_ns = min_ns;
   result.max_ns = max_ns;

@@ -27,6 +27,9 @@ struct LatencyConfig {
   // Attached to the engine for the measured section only (placement traffic
   // is not traced).  Enables per-component attribution in the result.
   trace::Tracer* tracer = nullptr;
+  // Metrics registry covering the measured section (same scope as the
+  // tracer); also receives the engine-counter delta at the end.
+  metrics::MetricsRegistry* metrics = nullptr;
 };
 
 struct LatencyResult {

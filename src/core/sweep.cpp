@@ -43,6 +43,16 @@ std::optional<trace::Tracer> make_tracer(const SweepTraceOptions& trace,
                        stream_for(trace, sizes, bytes), trace.capacity);
 }
 
+// Per-point metrics registry sharing the tracer's stream id, so the merged
+// report lines up with the merged trace point-for-point.
+std::optional<metrics::MetricsRegistry> make_registry(
+    const SweepTraceOptions& trace, const std::vector<std::uint64_t>& sizes,
+    std::uint64_t bytes) {
+  if (!trace.metrics_enabled()) return std::nullopt;
+  return metrics::MetricsRegistry(stream_for(trace, sizes, bytes),
+                                  trace.metrics_interval);
+}
+
 }  // namespace
 
 std::vector<std::uint64_t> sweep_sizes(std::uint64_t min_bytes,
@@ -69,10 +79,14 @@ LatencySweepPoint latency_sweep_point(const LatencySweepConfig& config,
   lc.max_measured_lines = config.max_measured_lines;
   lc.seed = config.seed;
   lc.tracer = tracer ? &*tracer : nullptr;
+  std::optional<metrics::MetricsRegistry> registry =
+      make_registry(config.trace, config.sizes, bytes);
+  lc.metrics = registry ? &*registry : nullptr;
   LatencySweepPoint point{bytes, measure_latency(system, lc)};
   if (config.trace.sink != nullptr && tracer) {
     config.trace.sink->absorb(std::move(*tracer));
   }
+  if (registry) config.trace.metrics->absorb(std::move(*registry));
   return point;
 }
 
@@ -99,10 +113,14 @@ BandwidthSweepPoint bandwidth_sweep_point(const BandwidthSweepConfig& config,
   bc.seed = config.seed;
   bc.model = config.model;
   bc.tracer = tracer ? &*tracer : nullptr;
+  std::optional<metrics::MetricsRegistry> registry =
+      make_registry(config.trace, config.sizes, bytes);
+  bc.metrics = registry ? &*registry : nullptr;
   const BandwidthResult result = measure_bandwidth(system, bc);
   if (config.trace.sink != nullptr && tracer) {
     config.trace.sink->absorb(std::move(*tracer));
   }
+  if (registry) config.trace.metrics->absorb(std::move(*registry));
   return {bytes, result.total_gbps, result.streams.front().source};
 }
 

@@ -18,6 +18,7 @@
 #include "core/bandwidth.h"
 #include "core/latency.h"
 #include "machine/system.h"
+#include "metrics/hub.h"
 #include "trace/sink.h"
 
 namespace hsw {
@@ -36,8 +37,15 @@ struct SweepTraceOptions {
   bool attribution = false;
   std::uint32_t stream_base = 0;
   std::size_t capacity = trace::Tracer::kDefaultCapacity;
+  // When set, each sweep point also runs an uncore-metrics registry (stream
+  // id shared with the tracer) absorbed into the hub as the point finishes;
+  // the hub's merge is keyed by stream id, so the merged report is
+  // byte-identical for any job count.
+  metrics::MetricsHub* metrics = nullptr;
+  std::uint64_t metrics_interval = metrics::kDefaultSampleInterval;
 
   [[nodiscard]] bool enabled() const { return sink != nullptr || attribution; }
+  [[nodiscard]] bool metrics_enabled() const { return metrics != nullptr; }
 };
 
 inline constexpr std::uint32_t kStreamsPerPlan = 4096;

@@ -50,6 +50,30 @@ System::System(const SystemConfig& config)
              features_of(config)),
       engine_(state_) {}
 
+void System::attach_metrics(metrics::MetricsRegistry& registry) {
+  using metrics::MFamily;
+  const int sockets = state_.topo.socket_count();
+  const std::size_t qpi_links =
+      sockets < 2 ? 1
+                  : static_cast<std::size_t>(sockets) *
+                        static_cast<std::size_t>(sockets - 1) / 2;
+  registry.size_family(MFamily::kQpiLinkCrossings, qpi_links);
+  registry.size_family(MFamily::kQpiLinkBytes, qpi_links);
+  registry.size_family(MFamily::kImcChannelReadBytes, state_.channel_count());
+  registry.size_family(MFamily::kImcChannelWriteBytes, state_.channel_count());
+  const auto nodes = static_cast<std::size_t>(state_.topo.node_count());
+  registry.size_family(MFamily::kRingStopCbo, nodes);
+  registry.size_family(MFamily::kRingStopHa, nodes);
+  state_.metrics = &registry;
+}
+
+void System::detach_metrics() {
+  if (state_.metrics == nullptr) return;
+  state_.update_structural_gauges(*state_.metrics);
+  state_.metrics->take_final_sample();
+  state_.metrics = nullptr;
+}
+
 std::uint64_t System::node_l3_bytes(int node) const {
   const NumaNode& n = state_.topo.node(node);
   return static_cast<std::uint64_t>(n.local_slices.size()) *

@@ -80,6 +80,17 @@ class System {
   void set_tracer(trace::Tracer* tracer) { engine_.set_tracer(tracer); }
   [[nodiscard]] trace::Tracer* tracer() const { return engine_.tracer(); }
 
+  // Attach an uncore-PMU-style metrics registry.  Sizes the per-link /
+  // per-channel / per-ring-stop families from this machine's topology, so
+  // every report carries the full index space even for untouched resources.
+  // Detach runs a final structural census and records a closing sample
+  // before clearing the engine's pointer.
+  void attach_metrics(metrics::MetricsRegistry& registry);
+  void detach_metrics();
+  [[nodiscard]] metrics::MetricsRegistry* metrics() const {
+    return state_.metrics;
+  }
+
   // Direct engine/state access for white-box tests and the bandwidth model.
   MachineState& state() { return state_; }
   [[nodiscard]] const MachineState& state() const { return state_; }

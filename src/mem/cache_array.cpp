@@ -80,6 +80,24 @@ std::size_t CacheArray::valid_count() const {
   return n;
 }
 
+CacheArray::Census CacheArray::census() const {
+  Census census;
+  for (std::size_t idx = 0; idx < set_count_; ++idx) {
+    std::uint64_t mask = valid_mask_[idx];
+    const Way* const set = ways_.data() + idx * assoc_;
+    while (mask != 0) {
+      const unsigned w = static_cast<unsigned>(std::countr_zero(mask));
+      mask &= mask - 1;
+      const CacheEntry& entry = set[w].entry;
+      ++census.by_state[static_cast<std::size_t>(entry.state)];
+      ++census.valid;
+      census.core_valid_bits +=
+          static_cast<std::size_t>(std::popcount(entry.core_valid));
+    }
+  }
+  return census;
+}
+
 const CacheEntry* CacheArray::replacement_victim(LineAddr line_in_set) const {
   const std::size_t idx = set_index(line_in_set);
   if (valid_mask_[idx] != full_mask_) return nullptr;

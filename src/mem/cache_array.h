@@ -16,6 +16,7 @@
 // are header-inline because they dominate the whole simulator's profile.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <utility>
@@ -101,6 +102,25 @@ class CacheArray {
   }
 
   [[nodiscard]] std::size_t valid_count() const;
+
+  // One structural-census pass: per-MESIF-state line counts plus the
+  // core-valid-filter population, walking only the valid-way bitmasks
+  // (O(sets + valid lines)).  Feeds the metrics occupancy gauges.
+  struct Census {
+    std::array<std::size_t, 5> by_state{};  // indexed by Mesif value
+    std::size_t valid = 0;
+    std::size_t core_valid_bits = 0;
+
+    Census& operator+=(const Census& other) {
+      for (std::size_t i = 0; i < by_state.size(); ++i) {
+        by_state[i] += other.by_state[i];
+      }
+      valid += other.valid;
+      core_valid_bits += other.core_valid_bits;
+      return *this;
+    }
+  };
+  [[nodiscard]] Census census() const;
 
   // Victim the true-LRU / PLRU way would choose for this set right now, or
   // nullptr if the set still has an invalid way.  Exposed for tests.

@@ -12,10 +12,18 @@ RowBufferOutcome DramChannel::access(std::uint64_t channel_line) {
   const auto bank = static_cast<std::size_t>(global_row % geometry_.banks);
   const auto row = static_cast<std::int64_t>(global_row / geometry_.banks);
 
-  if (open_row_[bank] == row) return RowBufferOutcome::kHit;
+  if (open_row_[bank] == row) {
+    ++stats_.page_hits;
+    return RowBufferOutcome::kHit;
+  }
   const bool was_open = open_row_[bank] >= 0;
   open_row_[bank] = row;
-  return was_open ? RowBufferOutcome::kConflict : RowBufferOutcome::kEmpty;
+  if (was_open) {
+    ++stats_.page_conflicts;
+    return RowBufferOutcome::kConflict;
+  }
+  ++stats_.page_empties;
+  return RowBufferOutcome::kEmpty;
 }
 
 void DramChannel::close_all() {

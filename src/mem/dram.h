@@ -35,6 +35,22 @@ class DramChannel {
  public:
   explicit DramChannel(const DramGeometry& geometry = {});
 
+  // Lifetime row-buffer outcome counts (reads and writes alike; every
+  // directed access goes through access()).
+  struct Stats {
+    std::uint64_t page_hits = 0;
+    std::uint64_t page_empties = 0;
+    std::uint64_t page_conflicts = 0;
+
+    [[nodiscard]] std::uint64_t accesses() const {
+      return page_hits + page_empties + page_conflicts;
+    }
+    [[nodiscard]] double hit_rate() const {
+      const std::uint64_t n = accesses();
+      return n == 0 ? 0.0 : static_cast<double>(page_hits) / static_cast<double>(n);
+    }
+  };
+
   // `channel_line` is the line index within this channel's address space
   // (i.e. the node-relative line index divided by the channel count).
   RowBufferOutcome access(std::uint64_t channel_line);
@@ -43,10 +59,13 @@ class DramChannel {
   void close_all();
 
   [[nodiscard]] const DramGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
 
  private:
   DramGeometry geometry_;
   std::vector<std::int64_t> open_row_;  // -1 == precharged
+  Stats stats_;
 };
 
 // Sparse in-memory directory: 2 bits per line, default remote-invalid.

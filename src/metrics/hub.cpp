@@ -1,0 +1,65 @@
+#include "metrics/hub.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hsw::metrics {
+
+void MetricsHub::absorb(MetricsRegistry&& registry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  registries_.push_back(std::move(registry));
+}
+
+std::size_t MetricsHub::stream_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return registries_.size();
+}
+
+MergedMetrics MetricsHub::merged() const {
+  std::vector<const MetricsRegistry*> order;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    order.reserve(registries_.size());
+    for (const MetricsRegistry& r : registries_) order.push_back(&r);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const MetricsRegistry* a, const MetricsRegistry* b) {
+              return a->stream() < b->stream();
+            });
+
+  MergedMetrics out;
+  out.streams = order.size();
+  for (const MetricsRegistry* r : order) {
+    out.accesses += r->accesses();
+    for (std::size_t i = 0; i < kMCtrCount; ++i) {
+      out.counters[i] += r->counters()[i];
+    }
+    for (std::size_t i = 0; i < kMGaugeCount; ++i) {
+      out.gauges[i] += r->gauges()[i];
+    }
+    for (std::size_t i = 0; i < kMMeterCount; ++i) {
+      out.meters[i] += r->meters()[i];
+    }
+    for (std::size_t i = 0; i < kMHistCount; ++i) {
+      out.histograms[i].merge(r->histograms()[i]);
+    }
+    for (std::size_t i = 0; i < kMFamilyCount; ++i) {
+      const auto& src = r->families()[i];
+      auto& dst = out.families[i];
+      if (dst.size() < src.size()) dst.resize(src.size(), 0);
+      for (std::size_t j = 0; j < src.size(); ++j) dst[j] += src[j];
+    }
+    for (std::size_t i = 0; i < out.engine.size(); ++i) {
+      out.engine[i] += r->engine_counters()[i];
+    }
+    for (MetricsSample sample : r->samples()) {
+      sample.stream = r->stream();
+      out.samples.push_back(sample);
+    }
+  }
+  // Per-registry samples are already seq-ordered; registries were folded in
+  // stream order, so the series is sorted by (stream, seq) by construction.
+  return out;
+}
+
+}  // namespace hsw::metrics

@@ -1,0 +1,41 @@
+// Deterministic multi-stream merge, the metrics counterpart of
+// trace::TraceSink.  Sweep workers absorb their finished per-point
+// registries from any thread; merged() folds them in stream-id order, so
+// the merged counters, meters (double summation order included), and the
+// (stream, seq)-sorted sample series are byte-identical for any --jobs.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "metrics/registry.h"
+
+namespace hsw::metrics {
+
+struct MergedMetrics {
+  std::uint64_t accesses = 0;
+  std::size_t streams = 0;
+  std::array<std::uint64_t, kMCtrCount> counters{};
+  // Element-wise sum of the final per-stream censuses (for a single-stream
+  // run: the machine's final structural state).
+  std::array<std::int64_t, kMGaugeCount> gauges{};
+  std::array<double, kMMeterCount> meters{};
+  std::array<LogHistogram, kMHistCount> histograms{};
+  std::array<std::vector<std::uint64_t>, kMFamilyCount> families{};
+  CounterSet::Snapshot engine{};
+  std::vector<MetricsSample> samples;  // sorted by (stream, seq)
+};
+
+class MetricsHub {
+ public:
+  void absorb(MetricsRegistry&& registry);
+
+  [[nodiscard]] MergedMetrics merged() const;
+  [[nodiscard]] std::size_t stream_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<MetricsRegistry> registries_;
+};
+
+}  // namespace hsw::metrics

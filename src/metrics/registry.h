@@ -1,0 +1,112 @@
+// The per-stream metrics registry — the uncore-PMU counterpart of the
+// tracer.  One registry is attached to one System at a time (one sweep
+// point = one stream, mirroring trace::Tracer); a MetricsHub merges
+// finished registries deterministically by stream id.
+//
+// Hot-path contract: with no registry attached, every instrumentation
+// site in the engine reduces to a single null-pointer test (the same
+// discipline trace::Tracer established).  All registry methods are plain
+// array bumps — no allocation except family auto-sizing and sampling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "metrics/events.h"
+#include "metrics/sampler.h"
+#include "sim/counters.h"
+#include "util/stats.h"
+
+namespace hsw::metrics {
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::uint32_t stream = 0,
+                           std::uint64_t sample_interval = kDefaultSampleInterval)
+      : stream_(stream), sampler_(sample_interval) {}
+
+  [[nodiscard]] std::uint32_t stream() const { return stream_; }
+
+  // --- hot path -----------------------------------------------------------
+  void bump(MCtr c, std::uint64_t delta = 1) {
+    counters_[static_cast<std::size_t>(c)] += delta;
+  }
+  void meter(MMeter m, double delta) {
+    meters_[static_cast<std::size_t>(m)] += delta;
+  }
+  void set_gauge(MGauge g, std::int64_t value) {
+    gauges_[static_cast<std::size_t>(g)] = value;
+  }
+  void observe(MHist h, double value) {
+    hists_[static_cast<std::size_t>(h)].add(value);
+  }
+  void bump_family(MFamily f, std::size_t index, std::uint64_t delta = 1) {
+    auto& v = families_[static_cast<std::size_t>(f)];
+    if (index >= v.size()) v.resize(index + 1, 0);
+    v[index] += delta;
+  }
+
+  // Pre-sizes a family from the topology (attach time) so reports always
+  // carry every link/channel/stop, including the never-touched ones.
+  void size_family(MFamily f, std::size_t size) {
+    auto& v = families_[static_cast<std::size_t>(f)];
+    if (v.size() < size) v.resize(size, 0);
+  }
+
+  // --- sampling -----------------------------------------------------------
+  // Counts one access; true when the caller should run a census + sample.
+  [[nodiscard]] bool access_tick() { return sampler_.tick(); }
+  void take_sample() { sampler_.snapshot(gauges_); }
+  // Detach-time census (skipped for sampling-disabled or idle registries).
+  void take_final_sample() {
+    if (sampler_.interval() != 0 && sampler_.accesses() != 0) {
+      sampler_.snapshot(gauges_);
+    }
+  }
+
+  // Folds a measured section's engine counter delta into the report (the
+  // engine's CounterSet is global, so the measurement harness hands the
+  // registry exactly the slice it attributed to this stream).
+  void capture_engine_counters(const CounterSet::Snapshot& delta) {
+    for (std::size_t i = 0; i < delta.size(); ++i) engine_[i] += delta[i];
+  }
+
+  // --- merge access (MetricsHub / report writer) --------------------------
+  [[nodiscard]] std::uint64_t accesses() const { return sampler_.accesses(); }
+  [[nodiscard]] const std::array<std::uint64_t, kMCtrCount>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::array<std::int64_t, kMGaugeCount>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::array<double, kMMeterCount>& meters() const {
+    return meters_;
+  }
+  [[nodiscard]] const std::array<LogHistogram, kMHistCount>& histograms()
+      const {
+    return hists_;
+  }
+  [[nodiscard]] const std::array<std::vector<std::uint64_t>, kMFamilyCount>&
+  families() const {
+    return families_;
+  }
+  [[nodiscard]] const CounterSet::Snapshot& engine_counters() const {
+    return engine_;
+  }
+  [[nodiscard]] const std::vector<MetricsSample>& samples() const {
+    return sampler_.samples();
+  }
+
+ private:
+  std::uint32_t stream_;
+  std::array<std::uint64_t, kMCtrCount> counters_{};
+  std::array<std::int64_t, kMGaugeCount> gauges_{};
+  std::array<double, kMMeterCount> meters_{};
+  std::array<LogHistogram, kMHistCount> hists_{};
+  std::array<std::vector<std::uint64_t>, kMFamilyCount> families_{};
+  CounterSet::Snapshot engine_{};
+  MetricsSampler sampler_;
+};
+
+}  // namespace hsw::metrics

@@ -1,0 +1,317 @@
+#include "metrics/report.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace hsw::metrics {
+namespace {
+
+// Fixed float formatting (same discipline as the trace exporters): %.6f is
+// deterministic across platforms for the magnitudes we emit.
+std::string fmt(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", value);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string git_describe() {
+  std::FILE* pipe = popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[256] = {};
+  std::string out;
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+  pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+bool write_report(const std::string& path, const ReportManifest& manifest,
+                  const MergedMetrics& m) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics report: cannot open '%s' for writing\n",
+                 path.c_str());
+    return false;
+  }
+
+  std::fprintf(f, "{\n  \"hswsim_metrics_version\": %d,\n", kReportVersion);
+  std::fprintf(f,
+               "  \"manifest\": {\n"
+               "    \"tool\": \"%s\",\n"
+               "    \"config\": \"%s\",\n"
+               "    \"timing_hash\": \"%s\",\n"
+               "    \"seed\": %llu,\n"
+               "    \"jobs\": %u,\n"
+               "    \"quick\": %s,\n"
+               "    \"git\": \"%s\"\n"
+               "  },\n",
+               escape(manifest.tool).c_str(), escape(manifest.config).c_str(),
+               escape(manifest.timing_hash).c_str(),
+               static_cast<unsigned long long>(manifest.seed), manifest.jobs,
+               manifest.quick ? "true" : "false",
+               escape(manifest.git).c_str());
+  std::fprintf(f, "  \"accesses\": %llu,\n",
+               static_cast<unsigned long long>(m.accesses));
+  std::fprintf(f, "  \"streams\": %zu,\n", m.streams);
+
+  // Every counter, zeros included: a report's schema must not depend on
+  // which paths a run happened to exercise.
+  std::fprintf(f, "  \"counters\": {\n");
+  for (std::size_t i = 0; i < kMCtrCount; ++i) {
+    std::fprintf(f, "    \"%.*s\": %llu%s\n",
+                 static_cast<int>(to_string(static_cast<MCtr>(i)).size()),
+                 to_string(static_cast<MCtr>(i)).data(),
+                 static_cast<unsigned long long>(m.counters[i]),
+                 i + 1 < kMCtrCount ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+
+  std::fprintf(f, "  \"engine_counters\": {\n");
+  for (std::size_t i = 0; i < kCtrCount; ++i) {
+    const std::string_view name = ctr_name(static_cast<Ctr>(i));
+    std::fprintf(f, "    \"%.*s\": %llu%s\n", static_cast<int>(name.size()),
+                 name.data(), static_cast<unsigned long long>(m.engine[i]),
+                 i + 1 < kCtrCount ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+
+  std::fprintf(f, "  \"meters\": {\n");
+  for (std::size_t i = 0; i < kMMeterCount; ++i) {
+    const std::string_view name = to_string(static_cast<MMeter>(i));
+    std::fprintf(f, "    \"%.*s\": %s%s\n", static_cast<int>(name.size()),
+                 name.data(), fmt(m.meters[i]).c_str(),
+                 i + 1 < kMMeterCount ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+
+  std::fprintf(f, "  \"families\": {\n");
+  for (std::size_t i = 0; i < kMFamilyCount; ++i) {
+    const std::string_view name = to_string(static_cast<MFamily>(i));
+    std::fprintf(f, "    \"%.*s\": [", static_cast<int>(name.size()),
+                 name.data());
+    const auto& v = m.families[i];
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      std::fprintf(f, "%s%llu", j == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(v[j]));
+    }
+    std::fprintf(f, "]%s\n", i + 1 < kMFamilyCount ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+
+  std::fprintf(f, "  \"histograms\": {\n");
+  for (std::size_t i = 0; i < kMHistCount; ++i) {
+    const std::string_view name = to_string(static_cast<MHist>(i));
+    const LogHistogram& hist = m.histograms[i];
+    std::fprintf(f, "    \"%.*s\": {\n      \"total\": %llu,\n"
+                 "      \"buckets\": [",
+                 static_cast<int>(name.size()), name.data(),
+                 static_cast<unsigned long long>(hist.total()));
+    bool first = true;
+    for (const auto& [key, count] : hist.buckets()) {
+      std::fprintf(f, "%s\n        {\"lo\": %s, \"hi\": %s, \"count\": %llu}",
+                   first ? "" : ",", fmt(LogHistogram::bucket_lower(key)).c_str(),
+                   fmt(LogHistogram::bucket_upper(key)).c_str(),
+                   static_cast<unsigned long long>(count));
+      first = false;
+    }
+    std::fprintf(f, "%s]\n    }%s\n", first ? "" : "\n      ",
+                 i + 1 < kMHistCount ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+
+  std::fprintf(f, "  \"gauges\": {\n");
+  for (std::size_t i = 0; i < kMGaugeCount; ++i) {
+    const std::string_view name = to_string(static_cast<MGauge>(i));
+    std::fprintf(f, "    \"%.*s\": %lld%s\n", static_cast<int>(name.size()),
+                 name.data(), static_cast<long long>(m.gauges[i]),
+                 i + 1 < kMGaugeCount ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+
+  // The time series: a compact gauge-name legend once, then per-sample
+  // value rows aligned with it.
+  std::fprintf(f, "  \"sample_gauges\": [");
+  for (std::size_t i = 0; i < kMGaugeCount; ++i) {
+    const std::string_view name = to_string(static_cast<MGauge>(i));
+    std::fprintf(f, "%s\"%.*s\"", i == 0 ? "" : ", ",
+                 static_cast<int>(name.size()), name.data());
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"samples\": [");
+  for (std::size_t s = 0; s < m.samples.size(); ++s) {
+    const MetricsSample& sample = m.samples[s];
+    std::fprintf(f, "%s\n    {\"stream\": %u, \"seq\": %llu, \"access\": %llu, \"g\": [",
+                 s == 0 ? "" : ",", sample.stream,
+                 static_cast<unsigned long long>(sample.seq),
+                 static_cast<unsigned long long>(sample.access));
+    for (std::size_t i = 0; i < kMGaugeCount; ++i) {
+      std::fprintf(f, "%s%lld", i == 0 ? "" : ", ",
+                   static_cast<long long>(sample.gauges[i]));
+    }
+    std::fprintf(f, "]}");
+  }
+  std::fprintf(f, "%s]\n}\n", m.samples.empty() ? "" : "\n  ");
+
+  const bool io_error = std::ferror(f) != 0;
+  if (std::fclose(f) != 0 || io_error) {
+    std::fprintf(stderr, "metrics report: write to '%s' failed\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Minimal recursive-descent JSON reader for the documents write_report
+// produces (it is not a general-purpose parser).  Scalars land in `out`
+// keyed by their dotted path; array elements use numeric path segments.
+class FlatParser {
+ public:
+  FlatParser(const std::string& text, std::map<std::string, std::string>& out)
+      : text_(text), out_(out) {}
+
+  bool parse() {
+    skip_ws();
+    if (!value("")) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value(const std::string& path) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object(path);
+    if (c == '[') return array(path);
+    if (c == '"') {
+      std::string s;
+      if (!string(&s)) return false;
+      out_[path] = s;
+      return true;
+    }
+    return scalar(path);
+  }
+
+  bool object(const std::string& path) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      if (!value(path.empty() ? key : path + "." + key)) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array(const std::string& path) {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    std::size_t index = 0;
+    while (true) {
+      if (!value(path + "." + std::to_string(index++))) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string(std::string* out) {
+    if (peek() != '"') return false;
+    ++pos_;
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char e = text_[pos_++];
+        c = e == 'n' ? '\n' : e == 't' ? '\t' : e;
+      }
+      s += c;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    *out = std::move(s);
+    return true;
+  }
+
+  bool scalar(const std::string& path) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out_[path] = text_.substr(start, pos_ - start);
+    return true;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::map<std::string, std::string>& out_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<std::map<std::string, std::string>> parse_report_flat(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return std::nullopt;
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  std::map<std::string, std::string> out;
+  FlatParser parser(text, out);
+  if (!parser.parse() || !out.contains("hswsim_metrics_version")) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace hsw::metrics

@@ -1,0 +1,53 @@
+// Versioned machine-readable run reports.
+//
+// write_report() emits one JSON document per bench run: a manifest
+// (invocation + environment provenance), the merged uncore counters,
+// engine protocol counters, per-link/channel/stop families, the access
+// latency histogram, final gauges, and the sampled gauge time series.
+// Field order and float formatting are fixed, so a report is
+// byte-identical for any --jobs value — the metrics-determinism CTests
+// compare them with `cmake -E compare_files` (manifest jobs line masked).
+//
+// parse_report_flat() reads a report back as a flat "dotted.path" -> raw
+// token map — enough for the hswsim-report differ and the tests, without
+// a JSON dependency.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "metrics/hub.h"
+
+namespace hsw::metrics {
+
+inline constexpr int kReportVersion = 1;
+
+struct ReportManifest {
+  std::string tool;         // bench binary name
+  std::string config;       // bench summary line
+  std::string timing_hash;  // fingerprint over all TimingParams constants
+  std::uint64_t seed = 1;
+  unsigned jobs = 0;
+  bool quick = false;
+  std::string git;  // `git describe` of the build tree, or "unknown"
+};
+
+// Best-effort `git describe --always --dirty` (reports must stay writable
+// outside a work tree: falls back to "unknown").
+[[nodiscard]] std::string git_describe();
+
+// Writes the report; false (with a stderr message) when the file cannot
+// be opened or written.
+[[nodiscard]] bool write_report(const std::string& path,
+                                const ReportManifest& manifest,
+                                const MergedMetrics& merged);
+
+// Flattens a report produced by write_report into dotted-path keys
+// ("manifest.seed", "counters.HA_HITME_HIT", "families.QPI_LINK_BYTES.0",
+// ...).  Values are raw JSON scalars: numbers verbatim, strings unescaped.
+// nullopt when the file is missing or not a report we wrote.
+[[nodiscard]] std::optional<std::map<std::string, std::string>>
+parse_report_flat(const std::string& path);
+
+}  // namespace hsw::metrics

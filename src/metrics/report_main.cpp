@@ -1,0 +1,160 @@
+// hswsim-report: inspect and diff the --metrics JSON run reports.
+//
+//   hswsim-report show FILE              summary table of one report
+//   hswsim-report diff A B [--rel R] [--abs A]
+//
+// diff compares every metric key tolerance-aware with the same cell
+// machinery the golden-figure regression uses (src/check/golden.h):
+// numeric values within rel/abs epsilon pass, everything else must match
+// exactly.  Manifest fields are provenance, not metrics — differences are
+// printed but do not fail the diff.  Exit 0 = reports match, 1 = metric
+// mismatch, 2 = usage or unreadable/invalid report.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/golden.h"
+#include "metrics/report.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using FlatReport = std::map<std::string, std::string>;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hswsim-report show FILE\n"
+               "       hswsim-report diff A B [--rel R] [--abs A]\n");
+  return 2;
+}
+
+bool load(const std::string& path, FlatReport* out) {
+  auto parsed = hsw::metrics::parse_report_flat(path);
+  if (!parsed) {
+    std::fprintf(stderr, "hswsim-report: '%s' is not a readable metrics report\n",
+                 path.c_str());
+    return false;
+  }
+  *out = std::move(*parsed);
+  return true;
+}
+
+[[nodiscard]] std::string lookup(const FlatReport& report,
+                                 const std::string& key) {
+  const auto it = report.find(key);
+  return it == report.end() ? std::string{} : it->second;
+}
+
+int show(const FlatReport& report, const std::string& path) {
+  std::printf("metrics report %s (version %s)\n", path.c_str(),
+              lookup(report, "hswsim_metrics_version").c_str());
+  hsw::Table manifest({"manifest", "value"});
+  for (const auto& [key, value] : report) {
+    if (key.starts_with("manifest.")) {
+      manifest.add_row({key.substr(sizeof("manifest.") - 1), value});
+    }
+  }
+  manifest.add_row({"accesses", lookup(report, "accesses")});
+  manifest.add_row({"streams", lookup(report, "streams")});
+  std::printf("%s\n", manifest.to_string().c_str());
+
+  hsw::Table counters({"counter", "value"});
+  for (const auto& [key, value] : report) {
+    const bool counter_like = key.starts_with("counters.") ||
+                              key.starts_with("engine_counters.") ||
+                              key.starts_with("meters.") ||
+                              key.starts_with("gauges.");
+    if (counter_like && value != "0" && value != "0.000000") {
+      counters.add_row({key, value});
+    }
+  }
+  std::printf("nonzero counters, meters, and final gauges\n%s\n",
+              counters.to_string().c_str());
+  return 0;
+}
+
+int diff(const FlatReport& a, const FlatReport& b, const std::string& path_a,
+         const std::string& path_b, const hsw::check::GoldenTolerance& tol) {
+  if (lookup(a, "hswsim_metrics_version") !=
+      lookup(b, "hswsim_metrics_version")) {
+    std::fprintf(stderr, "hswsim-report: version mismatch (%s vs %s)\n",
+                 lookup(a, "hswsim_metrics_version").c_str(),
+                 lookup(b, "hswsim_metrics_version").c_str());
+    return 1;
+  }
+
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : a) keys.push_back(key);
+  for (const auto& [key, value] : b) {
+    if (!a.contains(key)) keys.push_back(key);
+  }
+
+  hsw::Table table({"key", path_a, path_b});
+  std::size_t mismatches = 0;
+  std::size_t manifest_diffs = 0;
+  constexpr std::size_t kMaxRows = 40;
+  for (const std::string& key : keys) {
+    const bool in_a = a.contains(key);
+    const bool in_b = b.contains(key);
+    const std::string va = in_a ? a.at(key) : "<missing>";
+    const std::string vb = in_b ? b.at(key) : "<missing>";
+    const bool match =
+        in_a && in_b && hsw::check::cells_match(va, vb, tol);
+    if (match) continue;
+    if (key.starts_with("manifest.")) {
+      ++manifest_diffs;
+      continue;
+    }
+    ++mismatches;
+    if (mismatches <= kMaxRows) table.add_row({key, va, vb});
+  }
+
+  if (manifest_diffs > 0) {
+    std::printf("note: %zu manifest field(s) differ (provenance only)\n",
+                manifest_diffs);
+  }
+  if (mismatches == 0) {
+    std::printf("reports match (rel %g, abs %g)\n", tol.rel, tol.abs);
+    return 0;
+  }
+  std::printf("%zu metric key(s) differ (rel %g, abs %g)%s\n%s", mismatches,
+              tol.rel, tol.abs,
+              mismatches > kMaxRows ? ", first 40 shown" : "",
+              table.to_string().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hsw::CommandLine cli(
+      "inspect (show) or tolerance-diff (diff) hswsim --metrics reports");
+  hsw::check::GoldenTolerance tol;
+  cli.add_double("rel", &tol.rel, "relative tolerance for numeric values");
+  cli.add_double("abs", &tol.abs, "absolute tolerance for numeric values");
+  switch (cli.parse_status(argc, argv)) {
+    case hsw::CommandLine::ParseStatus::kHelp:
+      return 0;
+    case hsw::CommandLine::ParseStatus::kError:
+      return 2;
+    case hsw::CommandLine::ParseStatus::kOk:
+      break;
+  }
+  const std::vector<std::string>& pos = cli.positional();
+  if (pos.empty()) return usage();
+
+  if (pos[0] == "show" && pos.size() == 2) {
+    FlatReport report;
+    if (!load(pos[1], &report)) return 2;
+    return show(report, pos[1]);
+  }
+  if (pos[0] == "diff" && pos.size() == 3) {
+    FlatReport a;
+    FlatReport b;
+    if (!load(pos[1], &a) || !load(pos[2], &b)) return 2;
+    return diff(a, b, pos[1], pos[2], tol);
+  }
+  return usage();
+}

@@ -1,0 +1,60 @@
+// Periodic gauge sampling: every N simulated accesses the registry asks
+// the machine for a structural census and the sampler appends it to a
+// time series.  Samples are keyed (stream, seq) like trace records, so a
+// multi-stream merge is deterministic for any worker-thread schedule.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "metrics/events.h"
+
+namespace hsw::metrics {
+
+// Default census cadence.  A census walks the valid-way bitmasks of every
+// cache array (O(sets + valid lines)); once per ~1k accesses keeps the
+// overhead well under the cost of the accesses themselves while still
+// resolving L3 fill curves in sweep-sized runs.
+inline constexpr std::uint64_t kDefaultSampleInterval = 1024;
+
+struct MetricsSample {
+  std::uint32_t stream = 0;  // filled in when a hub merges registries
+  std::uint64_t seq = 0;     // per-stream sample index
+  std::uint64_t access = 0;  // accesses completed when the census ran
+  std::array<std::int64_t, kMGaugeCount> gauges{};
+};
+
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(std::uint64_t interval) : interval_(interval) {}
+
+  // Counts one access; true when a census is due (never for interval 0).
+  [[nodiscard]] bool tick() {
+    ++accesses_;
+    return interval_ != 0 && accesses_ % interval_ == 0;
+  }
+
+  void snapshot(const std::array<std::int64_t, kMGaugeCount>& gauges) {
+    // Skip duplicates (a final census landing exactly on the interval).
+    if (!samples_.empty() && samples_.back().access == accesses_) return;
+    MetricsSample s;
+    s.seq = samples_.size();
+    s.access = accesses_;
+    s.gauges = gauges;
+    samples_.push_back(s);
+  }
+
+  [[nodiscard]] std::uint64_t interval() const { return interval_; }
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+  [[nodiscard]] const std::vector<MetricsSample>& samples() const {
+    return samples_;
+  }
+
+ private:
+  std::uint64_t interval_;
+  std::uint64_t accesses_ = 0;
+  std::vector<MetricsSample> samples_;
+};
+
+}  // namespace hsw::metrics

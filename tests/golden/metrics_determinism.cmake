@@ -1,0 +1,41 @@
+# Asserts a bench's --metrics run report is byte-identical regardless of
+# the worker thread count: registry stream ids come from the sweep
+# configuration, the hub folds them in stream-id order, and samples sort
+# by (stream, seq).  Only the manifest's own "jobs" line legitimately
+# differs between the two runs, so it is masked before the comparison.
+#
+# Usage: cmake -DBENCH=<bench-binary> -DOUT_DIR=<dir> -P metrics_determinism.cmake
+
+foreach(var BENCH OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "metrics_determinism.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+get_filename_component(bench_name "${BENCH}" NAME)
+
+foreach(jobs 1 8)
+  set(report "${OUT_DIR}/${bench_name}.jobs${jobs}.metrics.json")
+  execute_process(
+    COMMAND "${BENCH}" --quick --seed 1 --jobs ${jobs} --metrics "${report}"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench --jobs ${jobs} failed (rc=${rc}):\n${err}")
+  endif()
+  file(READ "${report}" text)
+  string(REGEX REPLACE "\"jobs\": *[0-9]+" "\"jobs\": MASKED" text "${text}")
+  file(WRITE "${report}.masked" "${text}")
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${OUT_DIR}/${bench_name}.jobs1.metrics.json.masked"
+          "${OUT_DIR}/${bench_name}.jobs8.metrics.json.masked"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "${bench_name}: --jobs 1 and --jobs 8 produced different metrics "
+    "report bytes (beyond the masked manifest jobs line)")
+endif()

@@ -1,0 +1,137 @@
+// MetricsRegistry / MetricsHub unit tests: hot-path semantics, family
+// auto-sizing, sampling cadence, and — the property the jobs-determinism
+// CTests rely on — absorb-order independence of the merged result.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "metrics/hub.h"
+#include "metrics/registry.h"
+
+namespace hsw::metrics {
+namespace {
+
+TEST(MetricsRegistry, BumpsAccumulateAcrossEveryKind) {
+  MetricsRegistry reg(7, 0);
+  reg.bump(MCtr::kHaHitmeHit);
+  reg.bump(MCtr::kHaHitmeHit, 4);
+  reg.meter(MMeter::kRingHops, 2.5);
+  reg.meter(MMeter::kRingHops, 1.5);
+  reg.set_gauge(MGauge::kHitmeEntries, 42);
+  reg.observe(MHist::kAccessNs, 100.0);
+  reg.observe(MHist::kAccessNs, 250.0);
+
+  EXPECT_EQ(reg.stream(), 7u);
+  EXPECT_EQ(reg.counters()[static_cast<std::size_t>(MCtr::kHaHitmeHit)], 5u);
+  EXPECT_DOUBLE_EQ(reg.meters()[static_cast<std::size_t>(MMeter::kRingHops)],
+                   4.0);
+  EXPECT_EQ(reg.gauges()[static_cast<std::size_t>(MGauge::kHitmeEntries)], 42);
+  EXPECT_EQ(
+      reg.histograms()[static_cast<std::size_t>(MHist::kAccessNs)].total(),
+      2u);
+}
+
+TEST(MetricsRegistry, FamiliesAutoSizeAndPreSize) {
+  MetricsRegistry reg(0, 0);
+  // bump_family grows the vector on demand...
+  reg.bump_family(MFamily::kQpiLinkBytes, 3, 72);
+  const auto& bytes =
+      reg.families()[static_cast<std::size_t>(MFamily::kQpiLinkBytes)];
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[3], 72u);
+  EXPECT_EQ(bytes[0], 0u);
+
+  // ...size_family pre-sizes from the topology but never truncates.
+  reg.size_family(MFamily::kQpiLinkBytes, 6);
+  EXPECT_EQ(bytes.size(), 6u);
+  reg.size_family(MFamily::kQpiLinkBytes, 2);
+  EXPECT_EQ(bytes.size(), 6u);
+  EXPECT_EQ(bytes[3], 72u);
+}
+
+TEST(MetricsRegistry, SamplerFiresOnIntervalAndNeverForZero) {
+  MetricsRegistry off(0, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(off.access_tick());
+  off.take_final_sample();  // interval 0: must stay empty
+  EXPECT_TRUE(off.samples().empty());
+
+  MetricsRegistry on(0, 4);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (on.access_tick()) {
+      on.set_gauge(MGauge::kHitmeEntries, fired);
+      on.take_sample();
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 2);  // accesses 4 and 8
+  ASSERT_EQ(on.samples().size(), 2u);
+  EXPECT_EQ(on.samples()[0].access, 4u);
+  EXPECT_EQ(on.samples()[1].access, 8u);
+  EXPECT_EQ(on.samples()[1].seq, 1u);
+
+  // The detach-time census appends the tail...
+  on.take_final_sample();
+  ASSERT_EQ(on.samples().size(), 3u);
+  EXPECT_EQ(on.samples()[2].access, 10u);
+  // ...but not twice when the run ended exactly on the interval.
+  MetricsRegistry exact(0, 5);
+  for (int i = 0; i < 5; ++i) {
+    if (exact.access_tick()) exact.take_sample();
+  }
+  exact.take_final_sample();
+  EXPECT_EQ(exact.samples().size(), 1u);
+}
+
+MetricsRegistry make_registry(std::uint32_t stream) {
+  MetricsRegistry reg(stream, 2);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    reg.bump(MCtr::kImcPageHit, stream + 1);
+    reg.meter(MMeter::kRingHops, 0.25 * static_cast<double>(stream + 1));
+    reg.bump_family(MFamily::kRingStopCbo, stream % 3);
+    reg.observe(MHist::kAccessNs, 50.0 * static_cast<double>(stream + 1));
+    if (reg.access_tick()) {
+      reg.set_gauge(MGauge::kDirectoryTracked,
+                    static_cast<std::int64_t>(stream * 10 + i));
+      reg.take_sample();
+    }
+  }
+  return reg;
+}
+
+TEST(MetricsHub, MergeIsIndependentOfAbsorbOrder) {
+  MetricsHub forward;
+  MetricsHub reverse;
+  for (std::uint32_t s = 0; s < 5; ++s) forward.absorb(make_registry(s));
+  for (std::uint32_t s = 5; s-- > 0;) reverse.absorb(make_registry(s));
+
+  const MergedMetrics a = forward.merged();
+  const MergedMetrics b = reverse.merged();
+  EXPECT_EQ(a.streams, 5u);
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.gauges, b.gauges);
+  // Double summation order is part of the determinism contract: the hub
+  // folds registries in stream-id order, so the bit patterns must match.
+  EXPECT_EQ(a.meters, b.meters);
+  EXPECT_EQ(a.families, b.families);
+  EXPECT_EQ(a.histograms[0].buckets(), b.histograms[0].buckets());
+
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].stream, b.samples[i].stream);
+    EXPECT_EQ(a.samples[i].seq, b.samples[i].seq);
+    EXPECT_EQ(a.samples[i].gauges, b.samples[i].gauges);
+    if (i > 0) {
+      // Sorted by (stream, seq): the series is monotone in that key.
+      const bool ordered =
+          a.samples[i - 1].stream < a.samples[i].stream ||
+          (a.samples[i - 1].stream == a.samples[i].stream &&
+           a.samples[i - 1].seq < a.samples[i].seq);
+      EXPECT_TRUE(ordered) << "sample " << i << " out of (stream, seq) order";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsw::metrics
