@@ -150,13 +150,13 @@ int main(int argc, char** argv) {
                                     ? hsw::trace::Tracer::Mode::kAttribution
                                     : hsw::trace::Tracer::Mode::kFull,
                                 stream, hswbench::kBenchTraceCapacity);
-      lc.tracer = &tracer;
+      lc.instrumentation.tracer = &tracer;
       // The metrics registry shares the tracer's stream id so the report's
       // per-stream samples line up with the attribution rows.
       std::optional<hsw::metrics::MetricsRegistry> registry;
       if (!args.metrics.empty()) {
         registry.emplace(stream);
-        lc.metrics = &*registry;
+        lc.instrumentation.metrics = &*registry;
       }
       ++stream;
       const hsw::LatencyResult r = hsw::measure_latency(sys, lc);

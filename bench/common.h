@@ -38,9 +38,24 @@ struct BenchArgs {
   bool quick = false;     // trim sweep sizes for smoke runs
   std::uint64_t seed = 1;
   unsigned jobs = 0;      // sweep-point worker threads; 0 = hardware_concurrency
+  // Bandwidth-rate engine (--engine analytic|simulated); latency-only
+  // benches ignore it.
+  hsw::BandwidthEngine engine = hsw::BandwidthEngine::kAnalytic;
   std::string tool;       // bench binary name (report manifest)
   std::string summary;    // bench one-liner (report manifest)
 };
+
+// CLI-edge wrapper around hsw::parse_snoop_mode: exits 1 with a usage
+// message on an unknown name (the library helper never exits).
+inline hsw::SystemConfig config_for_mode(const std::string& mode) {
+  const std::optional<hsw::SnoopMode> parsed = hsw::parse_snoop_mode(mode);
+  if (!parsed) {
+    std::fprintf(stderr, "unknown --mode '%s' (source|home|cod)\n",
+                 mode.c_str());
+    std::exit(1);
+  }
+  return hsw::SystemConfig::for_mode(*parsed);
+}
 
 // Output flags fail fast: a typo'd directory should kill the run before the
 // sweeps burn minutes, not after.  Probes with O_APPEND so an existing file
@@ -81,6 +96,10 @@ inline BenchArgs parse_args(int argc, char** argv, const char* summary) {
   std::int64_t jobs = 0;
   cli.add_int("jobs", &jobs,
               "worker threads for sweep points (1 = serial, 0 = all cores)");
+  std::string engine = "analytic";
+  cli.add_string("engine", &engine,
+                 "bandwidth-rate engine: analytic (max-min model) or "
+                 "simulated (event-driven queueing)");
   switch (cli.parse_status(argc, argv)) {
     case hsw::CommandLine::ParseStatus::kHelp:
       std::exit(0);
@@ -95,6 +114,14 @@ inline BenchArgs parse_args(int argc, char** argv, const char* summary) {
   }
   args.seed = static_cast<std::uint64_t>(seed);
   args.jobs = static_cast<unsigned>(jobs);
+  const std::optional<hsw::BandwidthEngine> parsed_engine =
+      hsw::parse_bandwidth_engine(engine);
+  if (!parsed_engine) {
+    std::fprintf(stderr, "--engine must be analytic or simulated, got '%s'\n",
+                 engine.c_str());
+    std::exit(1);
+  }
+  args.engine = *parsed_engine;
   require_writable_path(args.trace, "--trace");
   require_writable_path(args.metrics, "--metrics");
   if (argc > 0 && argv != nullptr) {
@@ -189,12 +216,12 @@ class BenchTrace {
       tracer.emplace(tracing() ? hsw::trace::Tracer::Mode::kFull
                                : hsw::trace::Tracer::Mode::kAttribution,
                      stream, kBenchTraceCapacity);
-      config.tracer = &*tracer;
+      config.instrumentation.tracer = &*tracer;
     }
     std::optional<hsw::metrics::MetricsRegistry> registry;
     if (metrics()) {
       registry.emplace(stream);
-      config.metrics = &*registry;
+      config.instrumentation.metrics = &*registry;
     }
     const hsw::LatencyResult result = hsw::measure_latency(system, config);
     if (attribution_) note(std::move(label), result);
@@ -214,12 +241,12 @@ class BenchTrace {
     if (enabled()) {
       tracer.emplace(hsw::trace::Tracer::Mode::kFull, stream,
                      kBenchTraceCapacity);
-      config.tracer = &*tracer;
+      config.instrumentation.tracer = &*tracer;
     }
     std::optional<hsw::metrics::MetricsRegistry> registry;
     if (metrics()) {
       registry.emplace(stream);
-      config.metrics = &*registry;
+      config.instrumentation.metrics = &*registry;
     }
     const hsw::BandwidthResult result = hsw::measure_bandwidth(system, config);
     if (tracer) sink_.absorb(std::move(*tracer));

@@ -14,6 +14,7 @@
 #include "core/hswbench.h"
 #include "mem/cache_array.h"
 #include "trace/tracer.h"
+#include "workload/trace.h"
 
 namespace {
 
@@ -294,6 +295,71 @@ void BM_CacheFillFlush(benchmark::State& state) {
                           static_cast<std::int64_t>(kArrayLines));
 }
 BENCHMARK(BM_CacheFillFlush);
+
+// --- Exec engine: the simulated bandwidth path and concurrent replay -----
+//
+// Analytic/simulated and serial/concurrent pairs, so BENCH_simcore.json
+// records what switching a bandwidth point to the event-driven engine (or
+// a replay to MLP-window interleaving) costs in simulator wall clock.
+
+hsw::BandwidthConfig exec_bandwidth_point(hsw::BandwidthEngine engine) {
+  hsw::BandwidthConfig bc;
+  for (int c = 0; c < 4; ++c) {
+    hsw::StreamConfig stream;
+    stream.core = c;
+    stream.placement.owner_core = c;
+    stream.placement.memory_node = 0;
+    stream.placement.state = hsw::Mesif::kModified;
+    stream.placement.level = hsw::CacheLevel::kMemory;
+    bc.streams.push_back(stream);
+  }
+  bc.buffer_bytes = hsw::mib(2);
+  bc.engine = engine;
+  return bc;
+}
+
+void BM_ExecEngineBandwidthAnalytic(benchmark::State& state) {
+  const hsw::BandwidthConfig bc =
+      exec_bandwidth_point(hsw::BandwidthEngine::kAnalytic);
+  for (auto _ : state) {
+    hsw::System system(hsw::SystemConfig::source_snoop());
+    benchmark::DoNotOptimize(hsw::measure_bandwidth(system, bc).total_gbps);
+  }
+}
+BENCHMARK(BM_ExecEngineBandwidthAnalytic)->Unit(benchmark::kMillisecond);
+
+void BM_ExecEngineBandwidthSimulated(benchmark::State& state) {
+  const hsw::BandwidthConfig bc =
+      exec_bandwidth_point(hsw::BandwidthEngine::kSimulated);
+  for (auto _ : state) {
+    hsw::System system(hsw::SystemConfig::source_snoop());
+    benchmark::DoNotOptimize(hsw::measure_bandwidth(system, bc).total_gbps);
+  }
+}
+BENCHMARK(BM_ExecEngineBandwidthSimulated)->Unit(benchmark::kMillisecond);
+
+hsw::Trace exec_replay_trace(hsw::System& system) {
+  return hsw::make_hotset_trace(system, {0, 1, 12, 13}, 64, 20000, 0.3, 1);
+}
+
+void BM_ExecEngineReplaySerial(benchmark::State& state) {
+  for (auto _ : state) {
+    hsw::System system(hsw::SystemConfig::source_snoop());
+    const hsw::Trace trace = exec_replay_trace(system);
+    benchmark::DoNotOptimize(hsw::replay(system, trace).events);
+  }
+}
+BENCHMARK(BM_ExecEngineReplaySerial)->Unit(benchmark::kMillisecond);
+
+void BM_ExecEngineReplayConcurrent(benchmark::State& state) {
+  for (auto _ : state) {
+    hsw::System system(hsw::SystemConfig::source_snoop());
+    const hsw::Trace trace = exec_replay_trace(system);
+    benchmark::DoNotOptimize(
+        hsw::replay_concurrent(system, trace).accesses);
+  }
+}
+BENCHMARK(BM_ExecEngineReplayConcurrent)->Unit(benchmark::kMillisecond);
 
 // --- Whole-sweep wall clock (the harness's end-to-end unit of work) ------
 

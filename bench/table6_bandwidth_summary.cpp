@@ -9,7 +9,7 @@ namespace {
 double stream_bw(hswbench::BenchTrace& trace, const hsw::SystemConfig& config,
                  int reader, int owner, int node, hsw::Mesif state,
                  hsw::CacheLevel level, std::uint64_t bytes,
-                 std::uint64_t seed) {
+                 std::uint64_t seed, hsw::BandwidthEngine engine) {
   hsw::System sys(config);
   hsw::BandwidthConfig bc;
   hsw::StreamConfig stream;
@@ -21,6 +21,7 @@ double stream_bw(hswbench::BenchTrace& trace, const hsw::SystemConfig& config,
   bc.streams = {stream};
   bc.buffer_bytes = bytes;
   bc.seed = seed;
+  bc.engine = engine;
   // Table VI measures fresh buffers (clean directory state), unlike the
   // streaming loops of Tables VII/VIII.
   bc.steady_state = false;
@@ -49,11 +50,11 @@ int main(int argc, char** argv) {
 
   auto l3 = [&](const hsw::SystemConfig& c, int reader, int owner, int node) {
     return stream_bw(trace, c, reader, owner, node, hsw::Mesif::kExclusive,
-                     hsw::CacheLevel::kL3, hsw::kib(512), seed);
+                     hsw::CacheLevel::kL3, hsw::kib(512), seed, args.engine);
   };
   auto mem = [&](const hsw::SystemConfig& c, int reader, int node) {
     return stream_bw(trace, c, reader, reader, node, hsw::Mesif::kModified,
-                     hsw::CacheLevel::kMemory, hsw::mib(4), seed);
+                     hsw::CacheLevel::kMemory, hsw::mib(4), seed, args.engine);
   };
   auto fmt = [](double v) { return hsw::cell(v, 1); };
 

@@ -12,7 +12,8 @@ namespace {
 
 double scaling_point(hswbench::BenchTrace& trace,
                      const hsw::SystemConfig& config, int cores, int node,
-                     bool write, std::uint64_t seed) {
+                     bool write, std::uint64_t seed,
+                     hsw::BandwidthEngine engine) {
   hsw::System sys(config);
   hsw::BandwidthConfig bc;
   for (int c = 0; c < cores; ++c) {
@@ -27,6 +28,7 @@ double scaling_point(hswbench::BenchTrace& trace,
   }
   bc.buffer_bytes = hsw::mib(2);
   bc.seed = seed;
+  bc.engine = engine;
   return trace.measure_bw(sys, bc).total_gbps;
 }
 
@@ -59,7 +61,9 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells{row.name};
     for (int c = 1; c <= max_cores; ++c) {
       cells.push_back(hsw::cell(
-          scaling_point(trace, row.config, c, row.node, row.write, args.seed), 1));
+          scaling_point(trace, row.config, c, row.node, row.write, args.seed,
+                        args.engine),
+          1));
     }
     table.add_row(std::move(cells));
   }

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
       }
       bc.buffer_bytes = hsw::mib(2);
       bc.seed = args.seed;
+      bc.engine = args.engine;
       cells.push_back(hsw::cell(trace.measure_bw(sys, bc).total_gbps, 1));
     }
     table.add_row(std::move(cells));

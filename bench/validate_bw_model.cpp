@@ -1,7 +1,20 @@
 // Cross-validation of the analytic (max-min fluid) bandwidth model against
-// the event-driven queueing simulator for the paper's aggregate-bandwidth
-// scenarios (Tables VII/VIII).  Two independent formalisms agreeing is the
-// evidence that the fluid model's saturation shapes are not artefacts.
+// the event-driven engines.  Three layers:
+//
+//  1. Hand-built scenarios: fluid solver vs the bw/queueing simulator on
+//     single-bottleneck flows (the original sanity check).
+//  2. Fig. 8 quick sweep: measure_bandwidth with engine=analytic vs
+//     engine=simulated on every (stream class, size) point.  The exec
+//     engine's closed loops run the *same* flows over the *same* resource
+//     capacities, so any divergence > 10% is a modelling bug — the bench
+//     exits 1 so CI catches it.
+//  3. Table VII core scaling under engine=simulated: aggregate bandwidth
+//     must grow monotonically with the core count until the saturation
+//     knee (queueing artefacts would show up as dips).  Also exits 1.
+//
+// Two independent formalisms agreeing is the evidence that the fluid
+// model's saturation shapes are not artefacts.
+#include <cmath>
 #include <cstdio>
 
 #include "bw/queueing.h"
@@ -17,6 +30,82 @@ struct Scenario {
   double capacity;           // shared bottleneck (GB/s)
   double weight;             // protocol bytes per payload byte
 };
+
+// One Fig. 8 sweep point measured under both engines.
+struct EnginePoint {
+  std::string series;
+  std::uint64_t bytes = 0;
+  double analytic = 0.0;
+  double simulated = 0.0;
+
+  [[nodiscard]] double divergence() const {
+    return analytic > 0.0 ? simulated / analytic - 1.0 : 0.0;
+  }
+};
+
+// Measures every (series, size) point of the Fig. 8 quick sweep under one
+// engine.  Same plans as fig8_bandwidth_source --quick.
+std::vector<EnginePoint> fig8_quick_sweep(hsw::BandwidthEngine engine,
+                                          std::uint64_t seed, unsigned jobs) {
+  const std::vector<std::uint64_t> sizes =
+      hsw::sweep_sizes(hsw::kib(16), hsw::mib(4));
+  std::vector<hswbench::BandwidthSeriesPlan> plans;
+  auto sweep = [&](std::string name, int owner, hsw::Mesif state,
+                   hsw::bw::LoadWidth width) {
+    hsw::BandwidthSweepConfig sc;
+    sc.system = hsw::SystemConfig::source_snoop();
+    sc.stream.core = 0;
+    sc.stream.width = width;
+    sc.stream.placement.owner_core = owner;
+    sc.stream.placement.memory_node = owner >= 12 ? 1 : 0;
+    sc.stream.placement.state = state;
+    sc.sizes = sizes;
+    sc.seed = seed;
+    sc.engine = engine;
+    plans.push_back({std::move(name), std::move(sc)});
+  };
+  sweep("local M avx", 0, hsw::Mesif::kModified, hsw::bw::LoadWidth::kAvx256);
+  sweep("local M sse", 0, hsw::Mesif::kModified, hsw::bw::LoadWidth::kSse128);
+  sweep("node M", 1, hsw::Mesif::kModified, hsw::bw::LoadWidth::kAvx256);
+  sweep("node E", 1, hsw::Mesif::kExclusive, hsw::bw::LoadWidth::kAvx256);
+  sweep("socket2 M", 12, hsw::Mesif::kModified, hsw::bw::LoadWidth::kAvx256);
+  sweep("socket2 E", 12, hsw::Mesif::kExclusive, hsw::bw::LoadWidth::kAvx256);
+
+  const std::vector<hswbench::Series> series =
+      hswbench::run_bandwidth_series(plans, jobs);
+  std::vector<EnginePoint> points;
+  for (std::size_t p = 0; p < series.size(); ++p) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      EnginePoint point;
+      point.series = series[p].name;
+      point.bytes = sizes[i];
+      (engine == hsw::BandwidthEngine::kAnalytic ? point.analytic
+                                                 : point.simulated) =
+          series[p].values[i];
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+// Table VII local-read scaling point under the simulated engine.
+double simulated_scaling_point(int cores, std::uint64_t seed) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  hsw::BandwidthConfig bc;
+  for (int c = 0; c < cores; ++c) {
+    hsw::StreamConfig stream;
+    stream.core = c;
+    stream.placement.owner_core = c;
+    stream.placement.memory_node = 0;
+    stream.placement.state = hsw::Mesif::kModified;
+    stream.placement.level = hsw::CacheLevel::kMemory;
+    bc.streams.push_back(stream);
+  }
+  bc.buffer_bytes = hsw::mib(2);
+  bc.seed = seed;
+  bc.engine = hsw::BandwidthEngine::kSimulated;
+  return hsw::measure_bandwidth(sys, bc).total_gbps;
+}
 
 }  // namespace
 
@@ -69,5 +158,74 @@ int main(int argc, char** argv) {
       "\nThe two estimates should agree within a few percent: the fluid\n"
       "model is exact for saturated deterministic servers, and the closed-\n"
       "loop MLP limit reproduces the demand caps.\n");
+
+  // --- engine=analytic vs engine=simulated on the Fig. 8 quick sweep -------
+  constexpr double kTolerance = 0.10;
+  std::vector<EnginePoint> points =
+      fig8_quick_sweep(hsw::BandwidthEngine::kAnalytic, args.seed, args.jobs);
+  const std::vector<EnginePoint> sim_points =
+      fig8_quick_sweep(hsw::BandwidthEngine::kSimulated, args.seed, args.jobs);
+  double worst = 0.0;
+  const EnginePoint* worst_point = nullptr;
+  int failures = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].simulated = sim_points[i].simulated;
+    const double d = points[i].divergence();
+    if (std::abs(d) > std::abs(worst)) {
+      worst = d;
+      worst_point = &points[i];
+    }
+    if (std::abs(d) > kTolerance) {
+      std::printf("DIVERGED %-14s @ %-8s analytic %7.2f GB/s, simulated "
+                  "%7.2f GB/s (%+.1f%%)\n",
+                  points[i].series.c_str(),
+                  hsw::format_bytes(points[i].bytes).c_str(),
+                  points[i].analytic, points[i].simulated, 100.0 * d);
+      ++failures;
+    }
+  }
+  std::printf(
+      "\nFig. 8 quick sweep, engine=analytic vs engine=simulated: %zu points, "
+      "worst divergence %+.2f%%%s%s\n",
+      points.size(), 100.0 * worst,
+      worst_point != nullptr ? " at " : "",
+      worst_point != nullptr
+          ? (worst_point->series + " @ " + hsw::format_bytes(worst_point->bytes))
+                .c_str()
+          : "");
+  if (failures > 0) {
+    std::fprintf(stderr, "FAIL: %d points diverged beyond %.0f%%\n", failures,
+                 100.0 * kTolerance);
+    return 1;
+  }
+  std::printf("all points within %.0f%%\n", 100.0 * kTolerance);
+
+  // --- simulated Table VII scaling: monotone until the saturation knee -----
+  const int max_cores = args.quick ? 6 : 12;
+  std::vector<double> scaling;
+  for (int c = 1; c <= max_cores; ++c) {
+    scaling.push_back(simulated_scaling_point(c, args.seed));
+  }
+  double peak = 0.0;
+  for (double v : scaling) peak = std::max(peak, v);
+  bool monotone = true;
+  std::printf("\nsimulated local-read scaling (GB/s):");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    std::printf(" %.1f", scaling[i]);
+    // Before the knee (here: until within 2% of the peak) every added core
+    // must raise the aggregate; past it, small queueing wiggle is fine.
+    if (i > 0 && scaling[i - 1] < 0.98 * peak &&
+        scaling[i] < scaling[i - 1] * (1.0 - 1e-9)) {
+      monotone = false;
+    }
+  }
+  std::printf("\n");
+  if (!monotone) {
+    std::fprintf(stderr,
+                 "FAIL: simulated scaling is not monotone before the knee\n");
+    return 1;
+  }
+  std::printf("scaling is monotone up to the saturation knee (peak %.1f GB/s)\n",
+              peak);
   return 0;
 }

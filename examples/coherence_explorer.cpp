@@ -16,9 +16,9 @@
 namespace {
 
 hsw::SystemConfig config_for(const std::string& mode) {
-  if (mode == "source") return hsw::SystemConfig::source_snoop();
-  if (mode == "home") return hsw::SystemConfig::home_snoop();
-  if (mode == "cod") return hsw::SystemConfig::cluster_on_die();
+  if (const auto parsed = hsw::parse_snoop_mode(mode)) {
+    return hsw::SystemConfig::for_mode(*parsed);
+  }
   std::fprintf(stderr, "unknown --mode '%s' (source|home|cod)\n", mode.c_str());
   std::exit(1);
 }

@@ -20,19 +20,26 @@
 
 namespace {
 
+// CLI-edge wrappers over the library parsers (hsw::parse_snoop_mode /
+// hsw::parse_mesif return std::optional; only the CLI exits).
 hsw::SystemConfig config_for(const std::string& mode) {
-  if (mode == "source") return hsw::SystemConfig::source_snoop();
-  if (mode == "home") return hsw::SystemConfig::home_snoop();
-  if (mode == "cod") return hsw::SystemConfig::cluster_on_die();
+  if (const auto parsed = hsw::parse_snoop_mode(mode)) {
+    return hsw::SystemConfig::for_mode(*parsed);
+  }
   std::fprintf(stderr, "unknown --mode '%s' (source|home|cod)\n", mode.c_str());
   std::exit(1);
 }
 
 hsw::Mesif state_for(const std::string& state) {
-  if (state == "M") return hsw::Mesif::kModified;
-  if (state == "E") return hsw::Mesif::kExclusive;
-  if (state == "S") return hsw::Mesif::kShared;
-  std::fprintf(stderr, "unknown --state '%s' (M|E|S)\n", state.c_str());
+  if (const auto parsed = hsw::parse_mesif(state)) return *parsed;
+  std::fprintf(stderr, "unknown --state '%s' (M|E|S|I|F)\n", state.c_str());
+  std::exit(1);
+}
+
+hsw::BandwidthEngine engine_for(const std::string& engine) {
+  if (const auto parsed = hsw::parse_bandwidth_engine(engine)) return *parsed;
+  std::fprintf(stderr, "unknown --engine '%s' (analytic|simulated)\n",
+               engine.c_str());
   std::exit(1);
 }
 
@@ -89,12 +96,16 @@ int cmd_latency(int argc, char** argv) {
 
 int cmd_bandwidth(int argc, char** argv) {
   std::string mode = "source";
+  std::string engine = "analytic";
   std::int64_t cores = 1;
   std::int64_t node = 0;
   std::uint64_t size = hsw::mib(2);
   bool write = false;
   hsw::CommandLine cli("hswsim_cli bandwidth: concurrent memory streams");
   cli.add_string("mode", &mode, "source | home | cod");
+  cli.add_string("engine", &engine,
+                 "rate engine: analytic (max-min model) | simulated "
+                 "(event-driven queueing)");
   cli.add_int("cores", &cores, "number of concurrently streaming cores (0..n-1)");
   cli.add_int("node", &node, "memory NUMA node the streams target");
   cli.add_bytes("size", &size, "buffer bytes per stream");
@@ -114,8 +125,10 @@ int cmd_bandwidth(int argc, char** argv) {
     bc.streams.push_back(stream);
   }
   bc.buffer_bytes = size;
+  bc.engine = engine_for(engine);
   const hsw::BandwidthResult r = hsw::measure_bandwidth(system, bc);
   std::printf("machine   : %s\n", system.config().describe().c_str());
+  std::printf("engine    : %s\n", hsw::to_string(bc.engine));
   std::printf("aggregate : %s\n", hsw::format_gbps(r.total_gbps).c_str());
   for (std::size_t i = 0; i < r.streams.size(); ++i) {
     std::printf("  core %-2zu : %s  (probe %s, %s%s)\n", i,
@@ -167,17 +180,28 @@ int cmd_trace(int argc, char** argv) {
   std::string pattern = "hotset";
   std::int64_t cores = 4;
   std::int64_t accesses = 20000;
+  bool concurrent = false;
+  std::int64_t window = 10;
   hsw::CommandLine cli("hswsim_cli trace: synthetic trace replay");
   cli.add_string("mode", &mode, "source | home | cod");
   cli.add_string("pattern", &pattern,
-                 "stream | chase | producer-consumer | hotset");
+                 "stream | chase | producer-consumer | hotset | pingpong | "
+                 "lock | false-sharing | false-sharing-padded");
   cli.add_int("cores", &cores, "participating cores");
   cli.add_int("accesses", &accesses, "approximate trace length");
+  cli.add_bool("concurrent", &concurrent,
+               "interleave per-core programs through the exec engine "
+               "(MLP windows + resource back-pressure) instead of the "
+               "serial replayer");
+  cli.add_int("window", &window,
+              "outstanding misses per core for --concurrent");
   if (!cli.parse(argc, argv)) return 1;
 
   hsw::System system(config_for(mode));
   std::vector<int> core_list;
   for (int c = 0; c < cores; ++c) core_list.push_back(c);
+  // Contention partner on the other socket when there is one.
+  const int far_core = system.core_count() / 2;
 
   hsw::Trace trace;
   if (pattern == "stream") {
@@ -190,27 +214,65 @@ int cmd_trace(int argc, char** argv) {
                                   1);
   } else if (pattern == "producer-consumer") {
     trace = hsw::make_producer_consumer_trace(
-        system, 0, system.core_count() / 2, hsw::kib(16),
+        system, 0, far_core, hsw::kib(16),
         static_cast<int>(accesses / 512), 1);
   } else if (pattern == "hotset") {
     trace = hsw::make_hotset_trace(system, core_list, 64,
                                    static_cast<std::uint64_t>(accesses), 0.3, 1);
+  } else if (pattern == "pingpong") {
+    trace = hsw::make_pingpong_trace(system, 0, far_core,
+                                     static_cast<int>(accesses / 2));
+  } else if (pattern == "lock") {
+    trace = hsw::make_lock_trace(system, core_list, 4,
+                                 static_cast<int>(accesses / 7), 1);
+  } else if (pattern == "false-sharing" ||
+             pattern == "false-sharing-padded") {
+    trace = hsw::make_false_sharing_trace(
+        system, core_list, static_cast<int>(accesses / cores),
+        pattern == "false-sharing-padded");
   } else {
     std::fprintf(stderr, "unknown --pattern '%s'\n", pattern.c_str());
     return 1;
   }
 
-  const hsw::ReplayStats stats = hsw::replay(system, trace);
   std::printf("machine : %s\n", system.config().describe().c_str());
-  std::printf("events  : %llu, mean %s per access\n",
-              static_cast<unsigned long long>(stats.events),
-              hsw::format_ns(stats.mean_ns()).c_str());
+
+  hsw::ReplayStats stats;
+  if (concurrent) {
+    hsw::ConcurrentReplayConfig rc;
+    rc.window = static_cast<int>(window);
+    const hsw::exec::ProgramExecStats r =
+        hsw::replay_concurrent(system, trace, rc);
+    std::printf(
+        "events  : %llu accesses + %llu flushes, mean %s per access\n"
+        "timing  : makespan %s, aggregate %s, mean queue wait %s\n",
+        static_cast<unsigned long long>(r.accesses),
+        static_cast<unsigned long long>(r.flushes),
+        hsw::format_ns(r.mean_access_ns()).c_str(),
+        hsw::format_ns(r.makespan_ns).c_str(),
+        hsw::format_gbps(r.aggregate_gbps).c_str(),
+        hsw::format_ns(r.accesses ? r.queue_ns /
+                                        static_cast<double>(r.accesses)
+                                  : 0.0)
+            .c_str());
+    stats.events = r.accesses;  // flushes carry no service source
+    stats.total_ns = r.access_ns;
+    stats.by_source = r.by_source;
+    stats.counters = r.counters;
+  } else {
+    stats = hsw::replay(system, trace);
+    std::printf("events  : %llu, mean %s per access\n",
+                static_cast<unsigned long long>(stats.events),
+                hsw::format_ns(stats.mean_ns()).c_str());
+  }
+  const std::uint64_t accessed = stats.events;
   std::printf("sources :");
   for (std::size_t s = 0; s < stats.by_source.size(); ++s) {
     if (stats.by_source[s] == 0) continue;
     std::printf(" %s=%.1f%%",
                 hsw::to_string(static_cast<hsw::ServiceSource>(s)),
-                100.0 * stats.source_fraction(static_cast<hsw::ServiceSource>(s)));
+                100.0 * static_cast<double>(stats.by_source[s]) /
+                    static_cast<double>(accessed));
   }
   std::printf("\ncounters:\n");
   for (std::size_t i = 0; i < hsw::kCtrCount; ++i) {

@@ -62,6 +62,22 @@ grep -Eq '"HA_HITME_HIT": [1-9]' "$trace_dir/attribution.metrics.json" \
   || { echo "metrics smoke: hswsim-report diff report vs itself failed"; exit 1; }
 echo "metrics smoke: ok"
 
+echo "== simulated-engine smoke =="
+# The event-driven bandwidth engine must (a) run the Fig. 8 quick sweep
+# end to end under --engine simulated with byte-identical CSVs for any
+# --jobs value, and (b) agree with the analytic solver point-for-point:
+# validate_bw_model exits nonzero if any quick-sweep point diverges more
+# than 10% or the simulated Table VII scaling dips before the knee.
+"$repo_root/build/bench/fig8_bandwidth_source" --quick --seed 1 --jobs 1 \
+  --engine simulated --csv "$trace_dir/fig8.sim.jobs1.csv" > /dev/null
+"$repo_root/build/bench/fig8_bandwidth_source" --quick --seed 1 --jobs 8 \
+  --engine simulated --csv "$trace_dir/fig8.sim.jobs8.csv" > /dev/null
+cmp -s "$trace_dir/fig8.sim.jobs1.csv" "$trace_dir/fig8.sim.jobs8.csv" \
+  || { echo "simulated smoke: --jobs 1 vs 8 CSVs differ"; exit 1; }
+"$repo_root/build/bench/validate_bw_model" --quick > /dev/null \
+  || { echo "simulated smoke: analytic-vs-simulated agreement gate failed"; exit 1; }
+echo "simulated smoke: ok"
+
 if [[ "${HSWSIM_CHECK_SKIP_PERF:-0}" != "1" ]]; then
   echo "== tracing-overhead guard =="
   # The disabled-tracing and disabled-metrics engine hot paths (a

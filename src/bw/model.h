@@ -96,9 +96,19 @@ class BandwidthModel {
 
   [[nodiscard]] const BwParams& params() const { return params_; }
 
+  // The stream's demand (MLP-limited standalone rate) plus the shared
+  // resources on its path, as fed to the max-min solver.  Public so the
+  // event-driven exec engine simulates the *same* flows over the *same*
+  // resources — agreement between the two formalisms is then a statement
+  // about contention modelling, not about divergent path decompositions.
+  [[nodiscard]] Flow flow_for(const StreamSpec& spec) const;
+  // Per-resource capacities (GB/s), indexed like Flow::Use::resource.
+  [[nodiscard]] const std::vector<double>& capacities() const {
+    return capacities_;
+  }
+
  private:
   [[nodiscard]] double demand(const StreamSpec& spec) const;
-  [[nodiscard]] Flow flow_for(const StreamSpec& spec) const;
 
   // Resource indices.
   [[nodiscard]] int res_l3_ring(int node) const { return node; }

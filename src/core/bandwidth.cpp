@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "exec/engine.h"
+
 namespace hsw {
 namespace {
 
@@ -15,13 +17,11 @@ struct Probe {
 
 Probe run_probe(System& system, const StreamConfig& stream,
                 const std::vector<LineAddr>& order, std::uint64_t lines,
-                trace::Tracer* tracer, metrics::MetricsRegistry* metrics) {
-  system.set_tracer(tracer);
-  if (metrics != nullptr) system.attach_metrics(*metrics);
+                const InstrumentationScope& scope) {
+  ScopedInstrumentation attached(system, scope);
   Probe probe;
   std::array<std::uint64_t, 7> counts{};
   std::array<int, 7> nodes{};
-  const CounterSet::Snapshot before = system.counters().snapshot();
   double total = 0.0;
   for (std::uint64_t i = 0; i < lines; ++i) {
     const AccessResult access =
@@ -31,10 +31,7 @@ Probe run_probe(System& system, const StreamConfig& stream,
     ++counts[static_cast<std::size_t>(access.source)];
     nodes[static_cast<std::size_t>(access.source)] = access.source_node;
   }
-  system.set_tracer(nullptr);
-  system.detach_metrics();
-  const CounterSet::Snapshot delta = system.counters().diff(before);
-  if (metrics != nullptr) metrics->capture_engine_counters(delta);
+  const CounterSet::Snapshot delta = attached.release();
   probe.broadcasts = delta[static_cast<std::size_t>(Ctr::kSnoopBroadcasts)];
   probe.mean_ns = lines ? total / static_cast<double>(lines) : 0.0;
   std::size_t best = 0;
@@ -46,7 +43,40 @@ Probe run_probe(System& system, const StreamConfig& stream,
   return probe;
 }
 
+// Simulated engine: the same flows the analytic solver would see, run as
+// calibrated closed loops over the same resource capacities.
+std::vector<double> simulate_rates(const bw::BandwidthModel& model,
+                                   const std::vector<bw::StreamSpec>& specs,
+                                   double window_ns,
+                                   std::vector<double>* queue_ns) {
+  std::vector<exec::StreamTask> tasks;
+  tasks.reserve(specs.size());
+  for (const bw::StreamSpec& spec : specs) {
+    const bw::Flow flow = model.flow_for(spec);
+    exec::StreamTask task;
+    task.core = spec.core;
+    task.demand_gbps = flow.demand;
+    task.latency_ns = spec.latency_ns;
+    task.path = flow.uses;
+    tasks.push_back(std::move(task));
+  }
+  const exec::ClosedLoopResult sim =
+      exec::run_closed_loop(tasks, model.capacities(), {window_ns});
+  *queue_ns = sim.mean_queue_ns;
+  return sim.gbps;
+}
+
 }  // namespace
+
+std::optional<BandwidthEngine> parse_bandwidth_engine(std::string_view name) {
+  if (name == "analytic" || name == "a") return BandwidthEngine::kAnalytic;
+  if (name == "simulated" || name == "sim") return BandwidthEngine::kSimulated;
+  return std::nullopt;
+}
+
+const char* to_string(BandwidthEngine engine) {
+  return engine == BandwidthEngine::kAnalytic ? "analytic" : "simulated";
+}
 
 BandwidthResult measure_bandwidth(System& system,
                                   const BandwidthConfig& config) {
@@ -65,7 +95,7 @@ BandwidthResult measure_bandwidth(System& system,
         std::min<std::uint64_t>(order.size(), config.probe_lines);
 
     Probe probe =
-        run_probe(system, stream, order, lines, config.tracer, config.metrics);
+        run_probe(system, stream, order, lines, config.instrumentation);
     if (config.steady_state &&
         (stream.placement.level == CacheLevel::kMemory ||
          probe.source == ServiceSource::kLocalDram ||
@@ -77,7 +107,7 @@ BandwidthResult measure_bandwidth(System& system,
       system.evict_core_caches(stream.core);
       system.flush_node_l3(system.topology().node_of_core(stream.core));
       probe =
-          run_probe(system, stream, order, lines, config.tracer, config.metrics);
+          run_probe(system, stream, order, lines, config.instrumentation);
     }
 
     bw::StreamSpec spec;
@@ -106,9 +136,14 @@ BandwidthResult measure_bandwidth(System& system,
   }
 
   const bw::BandwidthModel model(system, config.model);
-  const std::vector<double> rates = model.concurrent(specs);
+  std::vector<double> queue_ns(specs.size(), 0.0);
+  const std::vector<double> rates =
+      config.engine == BandwidthEngine::kSimulated
+          ? simulate_rates(model, specs, config.window_ns, &queue_ns)
+          : model.concurrent(specs);
   for (std::size_t i = 0; i < rates.size(); ++i) {
     result.streams[i].gbps = rates[i];
+    result.streams[i].queue_ns = queue_ns[i];
     result.total_gbps += rates[i];
   }
   return result;

@@ -2,21 +2,47 @@
 //
 // Each stream is (a) placed like a latency experiment, (b) probed with a
 // short chase to classify where its data is serviced and at what latency,
-// then (c) the streams' sustained rates are computed by the MLP +
-// max-min-contention model (bw/model.h).  Memory-resident streams are probed
-// in steady state: the probe pass runs, the reader's caches are drained the
-// silent way, and a second pass is measured — this is what exposes the COD
-// stale-directory broadcasts that throttle remote streams (Table VIII).
+// then (c) the streams' sustained rates are computed by the selected engine.
+// Memory-resident streams are probed in steady state: the probe pass runs,
+// the reader's caches are drained the silent way, and a second pass is
+// measured — this is what exposes the COD stale-directory broadcasts that
+// throttle remote streams (Table VIII).
+//
+// Two engines share the public API:
+//
+//  * kAnalytic (default) — MLP demand + max-min contention (bw/model.h).
+//    Closed-form, instant, and what every golden figure was recorded with.
+//  * kSimulated — event-driven closed loops over the same flows and resource
+//    capacities (exec/engine.h): contention emerges from FIFO queueing at
+//    ring stops, iMC channels, QPI links, and bridges instead of from the
+//    fluid solver.  Deterministic, so sweep outputs stay byte-identical for
+//    any job count.  validate_bw_model cross-checks the two engines.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "bw/model.h"
+#include "core/instrumentation.h"
 #include "core/placement.h"
 #include "machine/system.h"
 
 namespace hsw {
+
+// How measure_bandwidth turns per-stream probes into sustained rates.
+enum class BandwidthEngine : std::uint8_t {
+  kAnalytic,   // fluid max-min model (bw/solver.h)
+  kSimulated,  // event-driven queueing (exec/engine.h)
+};
+
+// "analytic" | "simulated" (also accepts the shorthands "a" | "sim").
+// Returns nullopt on anything else — no exit() in library paths.
+[[nodiscard]] std::optional<BandwidthEngine> parse_bandwidth_engine(
+    std::string_view name);
+[[nodiscard]] const char* to_string(BandwidthEngine engine);
 
 struct StreamConfig {
   int core = 0;
@@ -35,12 +61,13 @@ struct BandwidthConfig {
   // Disable to measure the first pass over freshly placed data.
   bool steady_state = true;
   bw::BwParams model;
-  // Attached to the engine around the probe passes only (placement and
-  // drain traffic is not traced).
-  trace::Tracer* tracer = nullptr;
-  // Metrics registry covering the probe passes (same scope as the tracer);
-  // also receives the engine-counter delta of every probe.
-  metrics::MetricsRegistry* metrics = nullptr;
+  BandwidthEngine engine = BandwidthEngine::kAnalytic;
+  // kSimulated only: measurement window per point (exec::ClosedLoopConfig).
+  double window_ns = 100'000.0;
+  // Attached to the coherence engine around the probe passes only
+  // (placement and drain traffic is not traced); also receives the
+  // engine-counter delta of every probe.
+  InstrumentationScope instrumentation;
 };
 
 struct StreamResult {
@@ -49,6 +76,9 @@ struct StreamResult {
   ServiceSource source = ServiceSource::kL1;
   int source_node = 0;
   bool stale_directory = false;
+  // kSimulated only: mean per-line delay spent queued at saturated
+  // resources (0 when uncontended, or under kAnalytic).
+  double queue_ns = 0.0;
 };
 
 struct BandwidthResult {

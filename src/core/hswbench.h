@@ -1,6 +1,26 @@
 // Umbrella header: the public API of the hswsim benchmark kit.
 //
-// Quickstart:
+// One include gives you the whole experiment surface:
+//
+//   machine      System, SystemConfig (source_snoop / home_snoop /
+//                cluster_on_die presets, for_mode), parse_snoop_mode,
+//                parse_mesif, topology and timing introspection
+//   experiments  measure_latency (LatencyConfig), measure_bandwidth
+//                (BandwidthConfig; engine = kAnalytic | kSimulated,
+//                parse_bandwidth_engine), latency_sweep / bandwidth_sweep
+//   model        bw::BandwidthModel (MLP demand + max-min contention),
+//                bw::max_min_rates
+//   exec         exec::run_closed_loop / exec::run_programs — the
+//                event-driven concurrent engine behind kSimulated and
+//                replay_concurrent
+//   workloads    Trace generators + replay / replay_concurrent
+//                (link hswsim_workload for these)
+//   observability InstrumentationScope {tracer, metrics} — one struct wired
+//                through every config above; trace::TraceSink and
+//                metrics::MetricsHub collect across sweep points
+//   output       Table, format_ns / format_gbps / format_bytes, kib/mib/gib
+//
+// Quickstart (examples/quickstart.cpp is the runnable version):
 //
 //   #include "core/hswbench.h"
 //   hsw::System system(hsw::SystemConfig::source_snoop());
@@ -11,16 +31,37 @@
 //   cfg.buffer_bytes = hsw::kib(64);
 //   auto r = hsw::measure_latency(system, cfg);   // ~53 ns: core-to-core
 //
-// See examples/ for complete programs and DESIGN.md for the architecture.
+// To observe an experiment, attach an InstrumentationScope:
+//
+//   trace::Tracer tracer(trace::Tracer::Mode::kFull, /*stream=*/0);
+//   metrics::MetricsRegistry registry(/*stream=*/0);
+//   cfg.instrumentation = {&tracer, &registry};
+//   // after the run: tracer holds span trees, registry the PMU-style
+//   // samples plus the engine-counter delta of the measured section.
+//
+// To cross-check the analytic bandwidth model against the event-driven
+// engine on the same streams:
+//
+//   hsw::BandwidthConfig bc;            // ... add streams ...
+//   bc.engine = hsw::BandwidthEngine::kSimulated;
+//   auto sim = hsw::measure_bandwidth(system, bc);
+//
+// See examples/ for complete programs, EXPERIMENTS.md for the experiment
+// catalogue, and DESIGN.md for the architecture.
 #pragma once
 
 #include "bw/model.h"
 #include "bw/solver.h"
 #include "core/bandwidth.h"
+#include "core/instrumentation.h"
 #include "core/latency.h"
 #include "core/placement.h"
 #include "core/sweep.h"
+#include "exec/engine.h"
 #include "machine/specs.h"
 #include "machine/system.h"
+#include "metrics/hub.h"
+#include "metrics/report.h"
+#include "trace/sink.h"
 #include "util/table.h"
 #include "util/units.h"

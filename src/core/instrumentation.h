@@ -1,0 +1,81 @@
+// Shared instrumentation wiring for every measurement path.
+//
+// Before this header existed, LatencyConfig, BandwidthConfig, and the replay
+// helpers each carried their own `trace::Tracer*` / `metrics::MetricsRegistry*`
+// pair and hand-rolled the attach / run / detach / capture-counters dance.
+// InstrumentationScope is that pair as one value, and ScopedInstrumentation
+// is the dance as one RAII object: construct it around a measured section
+// and the tracer and registry are attached to the engine; destruction (or an
+// explicit release()) detaches both and captures the engine-counter delta
+// into the registry.  Every subsystem — latency, bandwidth, replay, and the
+// concurrent exec engine — takes the same scope, so observability is wired
+// once, not re-implemented per measurement kind.
+#pragma once
+
+#include "machine/system.h"
+
+namespace hsw {
+
+// A (possibly empty) set of observers for a measured section.  Both fields
+// are optional and non-owning; a default-constructed scope is "run dark"
+// and costs the engine one null-pointer test per instrumentation site.
+struct InstrumentationScope {
+  // Receives a span tree / component attribution per access.
+  trace::Tracer* tracer = nullptr;
+  // Receives uncore-PMU-style events, and the engine-counter delta of the
+  // section when the scope is released.
+  metrics::MetricsRegistry* metrics = nullptr;
+
+  [[nodiscard]] bool any() const {
+    return tracer != nullptr || metrics != nullptr;
+  }
+};
+
+// RAII attach/detach around a measured section:
+//
+//   CounterSet::Snapshot delta;
+//   {
+//     ScopedInstrumentation attached(system, scope);
+//     ... issue accesses ...
+//     delta = attached.release();   // or let the destructor detach
+//   }
+//
+// release() detaches the tracer and registry, captures the engine-counter
+// delta over the section into the registry (if one is attached), and
+// returns that delta; it is idempotent, and the destructor calls it.
+class ScopedInstrumentation {
+ public:
+  ScopedInstrumentation(System& system, const InstrumentationScope& scope)
+      : system_(system),
+        scope_(scope),
+        before_(system.counters().snapshot()) {
+    system_.set_tracer(scope_.tracer);
+    if (scope_.metrics != nullptr) system_.attach_metrics(*scope_.metrics);
+  }
+  ~ScopedInstrumentation() { release(); }
+
+  ScopedInstrumentation(const ScopedInstrumentation&) = delete;
+  ScopedInstrumentation& operator=(const ScopedInstrumentation&) = delete;
+
+  CounterSet::Snapshot release() {
+    if (!released_) {
+      released_ = true;
+      system_.set_tracer(nullptr);
+      if (scope_.metrics != nullptr) system_.detach_metrics();
+      delta_ = system_.counters().diff(before_);
+      if (scope_.metrics != nullptr) {
+        scope_.metrics->capture_engine_counters(delta_);
+      }
+    }
+    return delta_;
+  }
+
+ private:
+  System& system_;
+  InstrumentationScope scope_;
+  CounterSet::Snapshot before_;
+  CounterSet::Snapshot delta_{};
+  bool released_ = false;
+};
+
+}  // namespace hsw

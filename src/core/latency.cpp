@@ -15,9 +15,7 @@ LatencyResult measure_latency(System& system, const LatencyConfig& config) {
 
   LatencyResult result;
   result.lines_measured = measured;
-  const CounterSet::Snapshot before = system.counters().snapshot();
-  system.set_tracer(config.tracer);
-  if (config.metrics != nullptr) system.attach_metrics(*config.metrics);
+  ScopedInstrumentation attached(system, config.instrumentation);
 
   Accumulator samples;
   double total = 0.0;
@@ -42,13 +40,7 @@ LatencyResult measure_latency(System& system, const LatencyConfig& config) {
       }
     }
   }
-  system.set_tracer(nullptr);
-  system.detach_metrics();
-
-  result.counters = system.counters().diff(before);
-  if (config.metrics != nullptr) {
-    config.metrics->capture_engine_counters(result.counters);
-  }
+  result.counters = attached.release();
   result.mean_ns = measured ? total / static_cast<double>(measured) : 0.0;
   result.min_ns = min_ns;
   result.max_ns = max_ns;

@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 
+#include "core/instrumentation.h"
 #include "core/placement.h"
 #include "machine/system.h"
 #include "trace/span.h"
@@ -25,11 +26,9 @@ struct LatencyConfig {
   std::uint64_t max_measured_lines = 32768;
   std::uint64_t seed = 1;
   // Attached to the engine for the measured section only (placement traffic
-  // is not traced).  Enables per-component attribution in the result.
-  trace::Tracer* tracer = nullptr;
-  // Metrics registry covering the measured section (same scope as the
-  // tracer); also receives the engine-counter delta at the end.
-  metrics::MetricsRegistry* metrics = nullptr;
+  // is not traced).  The tracer enables per-component attribution in the
+  // result; the registry also receives the engine-counter delta at the end.
+  InstrumentationScope instrumentation;
 };
 
 struct LatencyResult {

@@ -78,10 +78,10 @@ LatencySweepPoint latency_sweep_point(const LatencySweepConfig& config,
   lc.buffer_bytes = bytes;
   lc.max_measured_lines = config.max_measured_lines;
   lc.seed = config.seed;
-  lc.tracer = tracer ? &*tracer : nullptr;
+  lc.instrumentation.tracer = tracer ? &*tracer : nullptr;
   std::optional<metrics::MetricsRegistry> registry =
       make_registry(config.trace, config.sizes, bytes);
-  lc.metrics = registry ? &*registry : nullptr;
+  lc.instrumentation.metrics = registry ? &*registry : nullptr;
   LatencySweepPoint point{bytes, measure_latency(system, lc)};
   if (config.trace.sink != nullptr && tracer) {
     config.trace.sink->absorb(std::move(*tracer));
@@ -112,10 +112,11 @@ BandwidthSweepPoint bandwidth_sweep_point(const BandwidthSweepConfig& config,
   bc.buffer_bytes = bytes;
   bc.seed = config.seed;
   bc.model = config.model;
-  bc.tracer = tracer ? &*tracer : nullptr;
+  bc.engine = config.engine;
+  bc.instrumentation.tracer = tracer ? &*tracer : nullptr;
   std::optional<metrics::MetricsRegistry> registry =
       make_registry(config.trace, config.sizes, bytes);
-  bc.metrics = registry ? &*registry : nullptr;
+  bc.instrumentation.metrics = registry ? &*registry : nullptr;
   const BandwidthResult result = measure_bandwidth(system, bc);
   if (config.trace.sink != nullptr && tracer) {
     config.trace.sink->absorb(std::move(*tracer));

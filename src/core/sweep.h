@@ -98,6 +98,9 @@ struct BandwidthSweepConfig {
   std::vector<std::uint64_t> sizes;
   std::uint64_t seed = 1;
   bw::BwParams model;
+  // Analytic (default) or event-driven simulated rates; see bandwidth.h.
+  // Simulated points are deterministic too, so the jobs guarantee holds.
+  BandwidthEngine engine = BandwidthEngine::kAnalytic;
   // Worker threads for the size axis; 1 = serial, 0 = hardware_concurrency.
   unsigned jobs = 1;
   SweepTraceOptions trace;

@@ -1,0 +1,247 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "mem/address.h"
+#include "sim/event_queue.h"
+
+namespace hsw::exec {
+namespace {
+
+std::vector<double> service_times(const std::vector<double>& capacities_gbps) {
+  std::vector<double> service_ns;
+  service_ns.reserve(capacities_gbps.size());
+  for (double gbps : capacities_gbps) {
+    service_ns.push_back(gbps > 0.0 ? 64.0 / gbps : 0.0);
+  }
+  return service_ns;
+}
+
+}  // namespace
+
+ClosedLoopResult run_closed_loop(const std::vector<StreamTask>& tasks,
+                                 const std::vector<double>& capacities_gbps,
+                                 const ClosedLoopConfig& config) {
+  const std::vector<double> service_ns = service_times(capacities_gbps);
+
+  // Calibrate each closed loop so that, uncontended, it retires exactly its
+  // demand: a slot's cycle is (service visits + base latency + pad), there
+  // are ceil(demand * cycle / 64) slots, and the pad stretches the cycle to
+  // slots * 64 / demand — whole-slot quantization goes into idle time
+  // instead of excess rate.
+  struct Loop {
+    int slots = 0;
+    double tail_ns = 0.0;  // base latency + calibration pad
+  };
+  std::vector<Loop> loops(tasks.size());
+  for (std::size_t f = 0; f < tasks.size(); ++f) {
+    const StreamTask& task = tasks[f];
+    if (task.demand_gbps <= 0.0) continue;
+    double service_sum = 0.0;
+    for (const bw::Flow::Use& use : task.path) {
+      service_sum +=
+          service_ns[static_cast<std::size_t>(use.resource)] * use.weight;
+    }
+    const double base = std::max(0.0, task.latency_ns - service_sum);
+    const double cycle = base + service_sum;
+    const int slots = std::max(
+        1, static_cast<int>(std::ceil(task.demand_gbps * cycle / 64.0 - 1e-9)));
+    const double pad =
+        std::max(0.0, static_cast<double>(slots) * 64.0 / task.demand_gbps -
+                          cycle);
+    loops[f] = {slots, base + pad};
+  }
+
+  EventQueue queue;
+  std::vector<double> free_at(service_ns.size(), 0.0);
+  const double warmup_ns = config.window_ns / 4.0;
+  const double end_ns = warmup_ns + config.window_ns;
+  std::vector<std::uint64_t> retired(tasks.size(), 0);
+  std::vector<double> queued(tasks.size(), 0.0);
+
+  // Advances one request slot of task `f` through path stage `stage`;
+  // stage == path.size() means the request pays its tail and reissues.
+  std::function<void(std::size_t, std::size_t)> advance =
+      [&](std::size_t f, std::size_t stage) {
+        const StreamTask& task = tasks[f];
+        if (stage < task.path.size()) {
+          const bw::Flow::Use& use = task.path[stage];
+          const auto r = static_cast<std::size_t>(use.resource);
+          const double start = std::max(queue.now(), free_at[r]);
+          if (queue.now() > warmup_ns && queue.now() <= end_ns) {
+            queued[f] += start - queue.now();
+          }
+          const double done = start + service_ns[r] * use.weight;
+          free_at[r] = done;
+          queue.schedule_at(done, task.core,
+                            [&, f, stage] { advance(f, stage + 1); });
+          return;
+        }
+        queue.schedule_after(loops[f].tail_ns, task.core, [&, f] {
+          if (queue.now() > warmup_ns && queue.now() <= end_ns) ++retired[f];
+          if (queue.now() < end_ns) advance(f, 0);
+        });
+      };
+
+  for (std::size_t f = 0; f < tasks.size(); ++f) {
+    for (int s = 0; s < loops[f].slots; ++s) {
+      // Stagger initial issues so the warmup is not synchronized.
+      queue.schedule_at(static_cast<double>(s) * 0.7 +
+                            static_cast<double>(f) * 0.3,
+                        tasks[f].core, [&, f] { advance(f, 0); });
+    }
+  }
+  queue.run_until(end_ns + 1e6);
+
+  ClosedLoopResult result;
+  result.gbps.resize(tasks.size());
+  result.mean_queue_ns.resize(tasks.size());
+  for (std::size_t f = 0; f < tasks.size(); ++f) {
+    result.gbps[f] = static_cast<double>(retired[f]) * 64.0 / config.window_ns;
+    result.total_gbps += result.gbps[f];
+    result.lines_retired += retired[f];
+    result.mean_queue_ns[f] =
+        retired[f] ? queued[f] / static_cast<double>(retired[f]) : 0.0;
+  }
+  return result;
+}
+
+ProgramExecStats run_programs(System& system,
+                              const std::vector<Program>& programs,
+                              const ProgramExecConfig& config) {
+  const bw::BandwidthModel model(system, config.model);
+  const std::vector<double> service_ns = service_times(model.capacities());
+
+  ProgramExecStats stats;
+  stats.per_core.resize(programs.size());
+
+  struct CoreState {
+    std::size_t next = 0;        // next op index
+    int outstanding = 0;         // in-flight accesses (window occupancy)
+    bool issue_scheduled = false;
+  };
+  std::vector<CoreState> cores(programs.size());
+
+  EventQueue queue;
+  std::vector<double> free_at(service_ns.size(), 0.0);
+
+  ScopedInstrumentation attached(system, config.instrumentation);
+
+  // Forward declarations so issue and completion can call each other.
+  std::function<void(std::size_t)> try_issue;
+  std::function<void(std::size_t, const bw::Flow&, double, std::size_t)>
+      advance;
+
+  auto request_issue = [&](std::size_t p, double at) {
+    CoreState& cs = cores[p];
+    if (cs.issue_scheduled || cs.next >= programs[p].ops.size()) return;
+    cs.issue_scheduled = true;
+    queue.schedule_at(std::max(at, queue.now()), programs[p].core,
+                      [&, p] { try_issue(p); });
+  };
+
+  // Drives one in-flight access of program `p` through the resource path its
+  // service point implies; the final stage pays the remaining (uncontended)
+  // latency and frees the window slot.
+  advance = [&](std::size_t p, const bw::Flow& flow, double base_ns,
+                std::size_t stage) {
+    const Program& prog = programs[p];
+    CoreExecStats& cstats = stats.per_core[p];
+    if (stage < flow.uses.size()) {
+      const bw::Flow::Use& use = flow.uses[stage];
+      const auto r = static_cast<std::size_t>(use.resource);
+      const double start = std::max(queue.now(), free_at[r]);
+      cstats.queue_ns += start - queue.now();
+      const double done = start + service_ns[r] * use.weight;
+      free_at[r] = done;
+      queue.schedule_at(done, prog.core, [&, p, flow, base_ns, stage] {
+        advance(p, flow, base_ns, stage + 1);
+      });
+      return;
+    }
+    queue.schedule_after(base_ns, prog.core, [&, p] {
+      CoreState& cs = cores[p];
+      --cs.outstanding;
+      stats.per_core[p].finish_ns =
+          std::max(stats.per_core[p].finish_ns, queue.now());
+      request_issue(p, queue.now());
+    });
+  };
+
+  try_issue = [&](std::size_t p) {
+    const Program& prog = programs[p];
+    CoreState& cs = cores[p];
+    CoreExecStats& cstats = stats.per_core[p];
+    cs.issue_scheduled = false;
+
+    // Flushes are bookkeeping: execute in place, no latency, no slot.
+    while (cs.next < prog.ops.size() &&
+           prog.ops[cs.next].kind == OpKind::kFlush) {
+      system.flush_line(prog.ops[cs.next].addr);
+      ++cs.next;
+      ++cstats.flushes;
+      cstats.finish_ns = std::max(cstats.finish_ns, queue.now());
+    }
+    if (cs.next >= prog.ops.size() || cs.outstanding >= config.window) return;
+
+    const Op op = prog.ops[cs.next++];
+    // The engine access (and thus all coherence state mutation) happens at
+    // issue time, in event order — this is what makes ownership migration
+    // and invalidation patterns deterministic.
+    const AccessResult access = op.kind == OpKind::kWrite
+                                    ? system.write(prog.core, op.addr)
+                                    : system.read(prog.core, op.addr);
+    ++cstats.accesses;
+    cstats.access_ns += access.ns;
+    ++cstats.by_source[static_cast<std::size_t>(access.source)];
+
+    // The shared boxes this access occupies follow from where the engine
+    // actually serviced it — the same path decomposition the analytic model
+    // uses for a stream of this class.
+    bw::StreamSpec spec;
+    spec.core = prog.core;
+    spec.write = op.kind == OpKind::kWrite;
+    spec.source = access.source;
+    spec.source_node = access.source_node;
+    spec.home_node = home_node_of(op.addr);
+    spec.latency_ns = access.ns;
+    const bw::Flow flow = model.flow_for(spec);
+    double service_sum = 0.0;
+    for (const bw::Flow::Use& use : flow.uses) {
+      service_sum +=
+          service_ns[static_cast<std::size_t>(use.resource)] * use.weight;
+    }
+    const double base_ns = std::max(0.0, access.ns - service_sum);
+
+    ++cs.outstanding;
+    advance(p, flow, base_ns, 0);
+    request_issue(p, queue.now() + config.issue_ns);
+  };
+
+  for (std::size_t p = 0; p < programs.size(); ++p) {
+    stats.per_core[p].core = programs[p].core;
+    request_issue(p, 0.0);
+  }
+  queue.run();
+
+  stats.counters = attached.release();
+  for (const CoreExecStats& cstats : stats.per_core) {
+    stats.accesses += cstats.accesses;
+    stats.flushes += cstats.flushes;
+    stats.access_ns += cstats.access_ns;
+    stats.queue_ns += cstats.queue_ns;
+    stats.makespan_ns = std::max(stats.makespan_ns, cstats.finish_ns);
+    for (std::size_t s = 0; s < cstats.by_source.size(); ++s) {
+      stats.by_source[s] += cstats.by_source[s];
+    }
+  }
+  if (stats.makespan_ns > 0.0) {
+    stats.aggregate_gbps =
+        static_cast<double>(stats.accesses) * 64.0 / stats.makespan_ns;
+  }
+  return stats;
+}
+
+}  // namespace hsw::exec

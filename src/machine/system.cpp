@@ -36,6 +36,31 @@ SystemConfig SystemConfig::cluster_on_die() {
   return c;
 }
 
+SystemConfig SystemConfig::for_mode(SnoopMode mode) {
+  switch (mode) {
+    case SnoopMode::kSourceSnoop: return source_snoop();
+    case SnoopMode::kHomeSnoop: return home_snoop();
+    case SnoopMode::kCod: return cluster_on_die();
+  }
+  return source_snoop();
+}
+
+std::optional<SnoopMode> parse_snoop_mode(std::string_view name) {
+  if (name == "source") return SnoopMode::kSourceSnoop;
+  if (name == "home") return SnoopMode::kHomeSnoop;
+  if (name == "cod") return SnoopMode::kCod;
+  return std::nullopt;
+}
+
+std::optional<Mesif> parse_mesif(std::string_view name) {
+  if (name == "M") return Mesif::kModified;
+  if (name == "E") return Mesif::kExclusive;
+  if (name == "S") return Mesif::kShared;
+  if (name == "I") return Mesif::kInvalid;
+  if (name == "F") return Mesif::kForward;
+  return std::nullopt;
+}
+
 std::string SystemConfig::describe() const {
   std::ostringstream out;
   out << sockets << "x " << to_string(sku) << ", " << to_string(snoop_mode)

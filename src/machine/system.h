@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "coh/engine.h"
 #include "coh/state.h"
@@ -33,9 +34,20 @@ struct SystemConfig {
   static SystemConfig source_snoop();   // default: Early Snoop enabled
   static SystemConfig home_snoop();     // Early Snoop disabled
   static SystemConfig cluster_on_die(); // COD enabled
+  // The preset for a given snoop mode (the three above, by enum).
+  static SystemConfig for_mode(SnoopMode mode);
 
   [[nodiscard]] std::string describe() const;
 };
+
+// --- name parsing ------------------------------------------------------------
+// Shared by the CLI, the benches, and the examples; returns nullopt on
+// unknown names instead of exiting — callers own the error policy.
+
+// "source" | "home" | "cod" (the paper's three BIOS configurations).
+[[nodiscard]] std::optional<SnoopMode> parse_snoop_mode(std::string_view name);
+// Single-letter MESIF state names "M" | "E" | "S" | "I" | "F".
+[[nodiscard]] std::optional<Mesif> parse_mesif(std::string_view name);
 
 class System {
  public:

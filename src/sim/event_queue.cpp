@@ -5,14 +5,14 @@
 
 namespace hsw {
 
-void EventQueue::schedule_at(SimTime when, Action action) {
+void EventQueue::schedule_at(SimTime when, std::int32_t key, Action action) {
   assert(when >= now_ && "cannot schedule into the past");
-  heap_.push(Event{when, next_seq_++, std::move(action)});
+  heap_.push(Event{when, key, next_seq_++, std::move(action)});
 }
 
-void EventQueue::schedule_after(SimTime delay, Action action) {
+void EventQueue::schedule_after(SimTime delay, std::int32_t key, Action action) {
   assert(delay >= 0.0);
-  schedule_at(now_ + delay, std::move(action));
+  schedule_at(now_ + delay, key, std::move(action));
 }
 
 std::uint64_t EventQueue::run(std::uint64_t max_events) {

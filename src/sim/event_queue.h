@@ -2,10 +2,14 @@
 //
 // The latency microbenchmarks are sequential (one outstanding access), but
 // the aggregate-bandwidth experiments model many cores with overlapping
-// transactions.  The kernel is a classic calendar: events are (time, seq,
-// action) triples popped in time order; ties break by insertion order so the
-// simulation is deterministic.  Time is carried in nanoseconds as `double`,
-// matching the paper's reporting unit (one core cycle @2.5 GHz = 0.4 ns).
+// transactions.  The kernel is a classic calendar: events are (time, key,
+// seq, action) tuples popped in time order; ties break first by the caller's
+// `key` (the exec engine passes the issuing core id, so same-timestamp
+// bursts from multiple cores interleave in core order, independent of the
+// order the events happened to be scheduled in), then by insertion order —
+// the simulation is deterministic either way.  Time is carried in
+// nanoseconds as `double`, matching the paper's reporting unit (one core
+// cycle @2.5 GHz = 0.4 ns).
 #pragma once
 
 #include <cstdint>
@@ -21,10 +25,18 @@ class EventQueue {
  public:
   using Action = std::function<void()>;
 
-  // Schedules `action` at absolute time `when` (must be >= now()).
-  void schedule_at(SimTime when, Action action);
+  // Schedules `action` at absolute time `when` (must be >= now()).  `key`
+  // orders same-timestamp events (smaller first); events with equal keys
+  // keep insertion order.
+  void schedule_at(SimTime when, Action action) {
+    schedule_at(when, 0, std::move(action));
+  }
+  void schedule_at(SimTime when, std::int32_t key, Action action);
   // Schedules `action` `delay` nanoseconds from now.
-  void schedule_after(SimTime delay, Action action);
+  void schedule_after(SimTime delay, Action action) {
+    schedule_after(delay, 0, std::move(action));
+  }
+  void schedule_after(SimTime delay, std::int32_t key, Action action);
 
   // Runs events until the queue drains or `max_events` is hit.  Returns the
   // number of events executed.
@@ -40,12 +52,14 @@ class EventQueue {
  private:
   struct Event {
     SimTime when;
+    std::int32_t key;
     std::uint64_t seq;
     Action action;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
+      if (a.key != b.key) return a.key > b.key;
       return a.seq > b.seq;
     }
   };

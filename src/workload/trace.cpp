@@ -6,9 +6,10 @@
 
 namespace hsw {
 
-ReplayStats replay(System& system, const Trace& trace) {
+ReplayStats replay(System& system, const Trace& trace,
+                   const InstrumentationScope& scope) {
   ReplayStats stats;
-  const CounterSet::Snapshot before = system.counters().snapshot();
+  ScopedInstrumentation attached(system, scope);
   for (const TraceEvent& event : trace) {
     switch (event.op) {
       case TraceOp::kRead: {
@@ -29,8 +30,37 @@ ReplayStats replay(System& system, const Trace& trace) {
     }
     ++stats.events;
   }
-  stats.counters = system.counters().diff(before);
+  stats.counters = attached.release();
   return stats;
+}
+
+exec::ProgramExecStats replay_concurrent(System& system, const Trace& trace,
+                                         const ConcurrentReplayConfig& config) {
+  // Split into per-core programs, preserving each core's program order.
+  // Program slots are indexed by first appearance, but exec's event-time
+  // interleaving is keyed by core id, so the split order does not matter.
+  std::vector<exec::Program> programs;
+  std::vector<std::size_t> slot_of(
+      static_cast<std::size_t>(system.core_count()), SIZE_MAX);
+  for (const TraceEvent& event : trace) {
+    const auto core = static_cast<std::size_t>(event.core);
+    if (slot_of[core] == SIZE_MAX) {
+      slot_of[core] = programs.size();
+      programs.push_back({event.core, {}});
+    }
+    exec::Op op;
+    op.kind = event.op == TraceOp::kRead    ? exec::OpKind::kRead
+              : event.op == TraceOp::kWrite ? exec::OpKind::kWrite
+                                            : exec::OpKind::kFlush;
+    op.addr = event.addr;
+    programs[slot_of[core]].ops.push_back(op);
+  }
+
+  exec::ProgramExecConfig ec;
+  ec.window = config.window;
+  ec.model = config.model;
+  ec.instrumentation = config.instrumentation;
+  return exec::run_programs(system, programs, ec);
 }
 
 void write_trace(std::ostream& out, const Trace& trace) {
@@ -126,6 +156,62 @@ Trace make_producer_consumer_trace(System& system, int producer, int consumer,
     for (std::uint64_t l = 0; l < lines; ++l) {
       trace.push_back(
           {consumer, TraceOp::kRead, region.addr_at(l * kLineSize)});
+    }
+  }
+  return trace;
+}
+
+Trace make_pingpong_trace(System& system, int producer, int consumer,
+                          int rounds) {
+  Trace trace;
+  const MemRegion region = system.alloc_on_node(
+      system.topology().node_of_core(producer), kLineSize);
+  const PhysAddr mailbox = region.addr_at(0);
+  for (int round = 0; round < rounds; ++round) {
+    trace.push_back({producer, TraceOp::kWrite, mailbox});
+    trace.push_back({consumer, TraceOp::kRead, mailbox});
+  }
+  return trace;
+}
+
+Trace make_lock_trace(System& system, const std::vector<int>& cores,
+                      std::uint64_t payload_lines, int acquisitions,
+                      std::uint64_t seed) {
+  Trace trace;
+  Xoshiro256 rng(seed);
+  const MemRegion lock = system.alloc_on_node(0, kLineSize);
+  const MemRegion payload =
+      system.alloc_on_node(0, std::max<std::uint64_t>(payload_lines, 1) *
+                                  kLineSize);
+  const PhysAddr lock_addr = lock.addr_at(0);
+  for (int a = 0; a < acquisitions; ++a) {
+    const int core = cores[rng.bounded(cores.size())];
+    // Acquire: the CAS is a read + write on the lock line (the RMW brings
+    // the line in M state to this core, invalidating the previous holder).
+    trace.push_back({core, TraceOp::kRead, lock_addr});
+    trace.push_back({core, TraceOp::kWrite, lock_addr});
+    // Critical section over the protected block.
+    for (std::uint64_t l = 0; l < payload_lines; ++l) {
+      trace.push_back({core, TraceOp::kWrite, payload.addr_at(l * kLineSize)});
+    }
+    // Release store.
+    trace.push_back({core, TraceOp::kWrite, lock_addr});
+  }
+  return trace;
+}
+
+Trace make_false_sharing_trace(System& system, const std::vector<int>& cores,
+                               int writes_per_core, bool padded) {
+  Trace trace;
+  // One counter per core: packed into a single line (false sharing) or one
+  // line each (padded).  Line granularity stands in for byte offsets — the
+  // protocol traffic is identical.
+  const MemRegion region = system.alloc_on_node(
+      0, padded ? cores.size() * kLineSize : kLineSize);
+  for (int w = 0; w < writes_per_core; ++w) {
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+      trace.push_back({cores[c], TraceOp::kWrite,
+                       region.addr_at(padded ? c * kLineSize : 0)});
     }
   }
   return trace;

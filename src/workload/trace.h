@@ -3,10 +3,18 @@
 // A trace is a flat sequence of (core, op, address) events.  Traces close
 // the loop between the microbenchmarks and application-style evaluation:
 // synthetic generators produce the canonical HPC access patterns (streams,
-// pointer chases, producer-consumer sharing, hot-set contention), the
-// replayer drives them through a System under any coherence configuration,
-// and the statistics expose exactly the per-source breakdown the paper's
-// perf-counter analysis uses.
+// pointer chases, producer-consumer sharing, hot-set contention, lock and
+// false-sharing ping-pong), the replayers drive them through a System under
+// any coherence configuration, and the statistics expose exactly the
+// per-source breakdown the paper's perf-counter analysis uses.
+//
+// Two replayers: `replay` walks the flat event list in order (one access at
+// a time, like a single load-to-use chain), `replay_concurrent` splits the
+// trace into per-core programs and interleaves them through the exec engine
+// — per-core order is preserved, cross-core order emerges from event time
+// under MLP windows and resource back-pressure, which is what makes
+// ping-pong, lock contention, and false sharing behave like the protocol
+// phenomena they are.
 #pragma once
 
 #include <array>
@@ -15,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "core/instrumentation.h"
+#include "exec/engine.h"
 #include "machine/system.h"
 #include "util/rng.h"
 
@@ -50,8 +60,28 @@ struct ReplayStats {
 };
 
 // Replays every event in order; flushes count toward `events` but not the
-// latency sum (clflush retires asynchronously on real hardware).
-ReplayStats replay(System& system, const Trace& trace);
+// latency sum (clflush retires asynchronously on real hardware).  The scope
+// is attached for the whole replay (`ReplayStats::counters` is its delta).
+ReplayStats replay(System& system, const Trace& trace,
+                   const InstrumentationScope& scope = {});
+
+// --- concurrent replay -------------------------------------------------------
+
+struct ConcurrentReplayConfig {
+  // Outstanding misses per core; 1 degenerates to per-core serial issue.
+  int window = 10;
+  // Resource capacities / protocol weights for the queueing layer.
+  bw::BwParams model;
+  // Attached around the whole interleaved run.
+  InstrumentationScope instrumentation;
+};
+
+// Splits the trace into per-core programs (preserving each core's order) and
+// interleaves them through exec::run_programs.  Deterministic: same trace,
+// same stats, regardless of caller threading.
+exec::ProgramExecStats replay_concurrent(
+    System& system, const Trace& trace,
+    const ConcurrentReplayConfig& config = {});
 
 // --- serialization -------------------------------------------------------------
 
@@ -86,5 +116,31 @@ Trace make_producer_consumer_trace(System& system, int producer, int consumer,
 Trace make_hotset_trace(System& system, const std::vector<int>& cores,
                         std::uint64_t hot_lines, std::uint64_t accesses,
                         double write_fraction, std::uint64_t seed);
+
+// The patterns below only make sense interleaved (replay_concurrent): their
+// cost comes from cross-core timing, not from any single core's stream.
+
+// Fine-grained producer-consumer ping-pong: the two cores alternate
+// write/read on the *same* line every round (a mailbox word), the migratory
+// pattern at its sharpest — each round is an ownership transfer.
+Trace make_pingpong_trace(System& system, int producer, int consumer,
+                          int rounds);
+
+// Lock/atomics hot-line contention: every critical section is an RMW pair
+// (read + write) on the lock line, `payload_lines` accesses to the protected
+// block, then the release store.  All cores target one lock word, so the
+// lock line ping-pongs in M state between nodes (Schweizer et al.'s
+// contended-atomics regime).
+Trace make_lock_trace(System& system, const std::vector<int>& cores,
+                      std::uint64_t payload_lines, int acquisitions,
+                      std::uint64_t seed);
+
+// False sharing: each core repeatedly writes "its own" counter.  Unpadded
+// (padded = false), all counters land in one cache line and every write
+// invalidates the other writers; padded, each counter gets a private line
+// and the writes are independent.  Replay both and diff the mean latencies
+// to price the false sharing.
+Trace make_false_sharing_trace(System& system, const std::vector<int>& cores,
+                               int writes_per_core, bool padded);
 
 }  // namespace hsw

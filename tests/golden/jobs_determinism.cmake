@@ -2,20 +2,31 @@
 # thread count: the parallel sweep writes pre-assigned slots, so --jobs must
 # never change a single byte of the result.
 #
-# Usage: cmake -DBENCH=<bench-binary> -DOUT_DIR=<dir> -P jobs_determinism.cmake
+# Usage: cmake -DBENCH=<bench-binary> -DOUT_DIR=<dir>
+#              [-DEXTRA_ARGS=<space-separated flags>] [-DTAG=<suffix>]
+#              -P jobs_determinism.cmake
+# EXTRA_ARGS is appended to every bench invocation (e.g. "--engine simulated");
+# TAG keeps the output files of parameterized variants apart.
 
 foreach(var BENCH OUT_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "jobs_determinism.cmake: missing -D${var}=...")
   endif()
 endforeach()
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
+separate_arguments(EXTRA_ARGS)
 
 file(MAKE_DIRECTORY "${OUT_DIR}")
 get_filename_component(bench_name "${BENCH}" NAME)
+if(DEFINED TAG)
+  set(bench_name "${bench_name}.${TAG}")
+endif()
 
 foreach(jobs 1 8)
   execute_process(
-    COMMAND "${BENCH}" --quick --seed 1 --jobs ${jobs}
+    COMMAND "${BENCH}" --quick --seed 1 --jobs ${jobs} ${EXTRA_ARGS}
             --csv "${OUT_DIR}/${bench_name}.jobs${jobs}.csv"
     RESULT_VARIABLE rc
     OUTPUT_QUIET ERROR_VARIABLE err)

@@ -4,21 +4,33 @@
 # by (stream, seq).  Only the manifest's own "jobs" line legitimately
 # differs between the two runs, so it is masked before the comparison.
 #
-# Usage: cmake -DBENCH=<bench-binary> -DOUT_DIR=<dir> -P metrics_determinism.cmake
+# Usage: cmake -DBENCH=<bench-binary> -DOUT_DIR=<dir>
+#              [-DEXTRA_ARGS=<space-separated flags>] [-DTAG=<suffix>]
+#              -P metrics_determinism.cmake
+# EXTRA_ARGS is appended to every bench invocation (e.g. "--engine simulated");
+# TAG keeps the output files of parameterized variants apart.
 
 foreach(var BENCH OUT_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "metrics_determinism.cmake: missing -D${var}=...")
   endif()
 endforeach()
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
+separate_arguments(EXTRA_ARGS)
 
 file(MAKE_DIRECTORY "${OUT_DIR}")
 get_filename_component(bench_name "${BENCH}" NAME)
+if(DEFINED TAG)
+  set(bench_name "${bench_name}.${TAG}")
+endif()
 
 foreach(jobs 1 8)
   set(report "${OUT_DIR}/${bench_name}.jobs${jobs}.metrics.json")
   execute_process(
-    COMMAND "${BENCH}" --quick --seed 1 --jobs ${jobs} --metrics "${report}"
+    COMMAND "${BENCH}" --quick --seed 1 --jobs ${jobs} ${EXTRA_ARGS}
+            --metrics "${report}"
     RESULT_VARIABLE rc
     OUTPUT_QUIET ERROR_VARIABLE err)
   if(NOT rc EQUAL 0)

@@ -30,7 +30,7 @@ metrics::MetricsRegistry measure_cod(const LatencyConfig& lc) {
   System sys(SystemConfig::cluster_on_die());
   metrics::MetricsRegistry registry(0, 0);
   LatencyConfig config = lc;
-  config.metrics = &registry;
+  config.instrumentation.metrics = &registry;
   const LatencyResult r = measure_latency(sys, config);
   EXPECT_GT(r.lines_measured, 0u);
   return registry;
