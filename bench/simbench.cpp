@@ -11,8 +11,14 @@
 #include <string_view>
 #include <vector>
 
+#include <functional>
+#include <queue>
+
+#include "coh/protocol.h"
 #include "core/hswbench.h"
 #include "mem/cache_array.h"
+#include "sim/event_kernel.h"
+#include "support/legacy_cache_array.h"
 #include "trace/tracer.h"
 #include "workload/trace.h"
 
@@ -281,6 +287,305 @@ void BM_CacheInsertPlru(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheInsertPlru);
 
+// --- Fast-path pairs: current implementation vs the PR 5 one --------------
+//
+// The committed BENCH_simcore.json numbers move with the build host, so
+// each optimized subsystem carries a frozen copy of its predecessor in the
+// same binary: the AoS CacheArray (tests/support/legacy_cache_array.h), a
+// replica of the std::function priority-queue event kernel, and the MESIF
+// switch ladders.  Every *Legacy row divided by its partner row is a
+// machine-independent speedup measurement — that is the number the
+// EXPERIMENTS.md speedup table quotes.
+
+hswtest::LegacyCacheArray filled_legacy_array(hsw::Replacement replacement) {
+  hswtest::LegacyCacheArray array(hsw::kib(256), 8, replacement);
+  for (std::uint64_t line = 0; line < kArrayLines; ++line) {
+    array.insert(line, hsw::Mesif::kExclusive);
+  }
+  return array;
+}
+
+void BM_CacheLookupHitLegacy(benchmark::State& state) {
+  hswtest::LegacyCacheArray array = filled_legacy_array(hsw::Replacement::kLru);
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.lookup(line));
+    line = (line + 97) % kArrayLines;
+  }
+}
+BENCHMARK(BM_CacheLookupHitLegacy);
+
+void BM_CacheLookupMissLegacy(benchmark::State& state) {
+  hswtest::LegacyCacheArray array = filled_legacy_array(hsw::Replacement::kLru);
+  std::uint64_t line = kArrayLines;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.lookup(line));
+    line = kArrayLines + (line + 97) % kArrayLines;
+  }
+}
+BENCHMARK(BM_CacheLookupMissLegacy);
+
+void BM_CacheInsertEvictLegacy(benchmark::State& state) {
+  hswtest::LegacyCacheArray array = filled_legacy_array(hsw::Replacement::kLru);
+  std::uint64_t line = kArrayLines;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.insert(line++, hsw::Mesif::kModified));
+  }
+}
+BENCHMARK(BM_CacheInsertEvictLegacy);
+
+void BM_CacheInsertPlruLegacy(benchmark::State& state) {
+  hswtest::LegacyCacheArray array =
+      filled_legacy_array(hsw::Replacement::kTreePlru);
+  std::uint64_t line = kArrayLines;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.insert(line++, hsw::Mesif::kModified));
+  }
+}
+BENCHMARK(BM_CacheInsertPlruLegacy);
+
+// The PR 5 event kernel, frozen: std::function actions in a
+// std::priority_queue, top() copied out per pop.
+class LegacyEventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void schedule_at(double when, std::int32_t key, Action action) {
+    heap_.push(Event{when, key, next_seq_++, std::move(action)});
+  }
+  void schedule_after(double delay, std::int32_t key, Action action) {
+    schedule_at(now_ + delay, key, std::move(action));
+  }
+  std::uint64_t run(std::uint64_t max_events) {
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && executed < max_events) {
+      Event event = heap_.top();  // the copy the rewrite removed
+      heap_.pop();
+      now_ = event.when;
+      event.action();
+      ++executed;
+    }
+    return executed;
+  }
+  [[nodiscard]] double now() const { return now_; }
+
+ private:
+  struct Event {
+    double when;
+    std::int32_t key;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      if (a.key != b.key) return a.key > b.key;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+// The exec engine's steady-state pattern: a fixed population of flows, each
+// completion advancing its resource stage and rescheduling; every third
+// completion re-issues at now() (the same-timestamp bursts epoch batching
+// exists for).
+constexpr int kChurnFlows = 32;
+constexpr std::size_t kChurnStages = 3;
+
+double churn_delay(std::uint32_t flow) {
+  return (flow % 3 == 0) ? 0.0 : 0.7 * static_cast<double>(flow % 5);
+}
+
+// What the PR 5 engine's advance() captured per scheduled event
+// (exec/engine.cpp: `[&, p, flow, base_ns, stage]` with bw::Flow by value,
+// uses-vector included).  Far over std::function's inline buffer, so every
+// schedule allocated — and the priority_queue top() copy allocated again.
+struct LegacyFlowCtx {
+  std::vector<double> uses;
+  std::uint32_t flow = 0;
+  double base_ns = 0.0;
+  std::size_t stage = 0;
+};
+
+void BM_EventKernelChurn(benchmark::State& state) {
+  // Same simulated workload as the legacy pair below, restructured the way
+  // the rewrite did: flow context lives in an indexed side table and the
+  // event payload is a POD index into it.
+  struct Ev {
+    std::uint32_t flow;
+  };
+  std::vector<std::size_t> stage(kChurnFlows, 0);
+  hsw::EventKernel<Ev> kernel;
+  kernel.reserve(kChurnFlows * 2);
+  for (std::uint32_t f = 0; f < kChurnFlows; ++f) {
+    kernel.schedule_at(0.1 * f, static_cast<std::int32_t>(f), Ev{f});
+  }
+  auto dispatch = [&](const Ev& ev) {
+    stage[ev.flow] = (stage[ev.flow] + 1) % kChurnStages;
+    kernel.schedule_after(churn_delay(ev.flow),
+                          static_cast<std::int32_t>(ev.flow), Ev{ev.flow});
+  };
+  for (auto _ : state) {
+    kernel.run(dispatch, 64);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_EventKernelChurn);
+
+void BM_EventKernelChurnLegacy(benchmark::State& state) {
+  LegacyEventQueue queue;
+  std::function<void(const LegacyFlowCtx&)> advance =
+      [&](const LegacyFlowCtx& ctx) {
+        LegacyFlowCtx next = ctx;
+        next.stage = (next.stage + 1) % next.uses.size();
+        queue.schedule_after(churn_delay(ctx.flow),
+                             static_cast<std::int32_t>(ctx.flow),
+                             [&advance, next] { advance(next); });
+      };
+  for (std::uint32_t f = 0; f < kChurnFlows; ++f) {
+    queue.schedule_at(
+        0.1 * f, static_cast<std::int32_t>(f),
+        [&advance, ctx = LegacyFlowCtx{{1.0, 0.7, 0.4}, f, 1.0, 0}] {
+          advance(ctx);
+        });
+  }
+  for (auto _ : state) {
+    queue.run(64);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_EventKernelChurnLegacy);
+
+// MESIF transition: the indexed tables vs a replica of the PR 5 switch
+// ladder (coh/protocol.h vs the branches it replaced).
+hsw::Mesif ladder_next_state(hsw::Mesif state, hsw::protocol::Op op) {
+  using hsw::Mesif;
+  using hsw::protocol::Op;
+  switch (op) {
+    case Op::kLocalRead:
+      return state;
+    case Op::kLocalStore:
+      switch (state) {
+        case Mesif::kExclusive:
+        case Mesif::kModified:
+          return Mesif::kModified;
+        default:
+          return state;
+      }
+    case Op::kSnoopRead:
+      switch (state) {
+        case Mesif::kInvalid:
+          return Mesif::kInvalid;
+        default:
+          return Mesif::kShared;
+      }
+    case Op::kSnoopInvalidate:
+      return Mesif::kInvalid;
+  }
+  return state;
+}
+
+// A deterministic pseudo-random (state, op) stream shared by both variants.
+std::vector<std::pair<hsw::Mesif, hsw::protocol::Op>> transition_stream() {
+  std::vector<std::pair<hsw::Mesif, hsw::protocol::Op>> stream;
+  stream.reserve(4096);
+  std::uint64_t x = 0x243f6a8885a308d3ull;
+  for (int i = 0; i < 4096; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    stream.emplace_back(static_cast<hsw::Mesif>(x % 5),
+                        static_cast<hsw::protocol::Op>((x >> 8) % 4));
+  }
+  return stream;
+}
+
+void BM_MesifTransitionTable(benchmark::State& state) {
+  const auto stream = transition_stream();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, op] = stream[i];
+    benchmark::DoNotOptimize(hsw::protocol::next_state(s, op));
+    i = (i + 1) % stream.size();
+  }
+}
+BENCHMARK(BM_MesifTransitionTable);
+
+void BM_MesifTransitionLadder(benchmark::State& state) {
+  const auto stream = transition_stream();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, op] = stream[i];
+    benchmark::DoNotOptimize(ladder_next_state(s, op));
+    i = (i + 1) % stream.size();
+  }
+}
+BENCHMARK(BM_MesifTransitionLadder);
+
+// Aggregate access path: one simulated access touches all three rewritten
+// subsystems — a tag lookup, a MESIF transition on the hit, and an event
+// pop + reschedule.  The pair measures the compounded speedup the tentpole
+// claims; divide the Legacy row by this one.
+void BM_AccessThroughput(benchmark::State& state) {
+  hsw::CacheArray array = filled_array(hsw::Replacement::kLru);
+  struct Ev {
+    std::uint32_t flow;
+  };
+  std::vector<std::size_t> stage(kChurnFlows, 0);
+  hsw::EventKernel<Ev> kernel;
+  kernel.reserve(kChurnFlows * 2);
+  for (std::uint32_t f = 0; f < kChurnFlows; ++f) {
+    kernel.schedule_at(0.1 * f, static_cast<std::int32_t>(f), Ev{f});
+  }
+  auto dispatch = [&](const Ev& ev) {
+    stage[ev.flow] = (stage[ev.flow] + 1) % kChurnStages;
+    kernel.schedule_after(churn_delay(ev.flow),
+                          static_cast<std::int32_t>(ev.flow), Ev{ev.flow});
+  };
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    hsw::CacheArray::Ref ref = array.lookup(line);
+    ref.state() =
+        hsw::protocol::next_state(ref.state(), hsw::protocol::Op::kLocalRead);
+    kernel.run(dispatch, 1);
+    line = (line + 97) % kArrayLines;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AccessThroughput);
+
+void BM_AccessThroughputLegacy(benchmark::State& state) {
+  hswtest::LegacyCacheArray array = filled_legacy_array(hsw::Replacement::kLru);
+  LegacyEventQueue queue;
+  std::function<void(const LegacyFlowCtx&)> advance =
+      [&](const LegacyFlowCtx& ctx) {
+        LegacyFlowCtx next = ctx;
+        next.stage = (next.stage + 1) % next.uses.size();
+        queue.schedule_after(churn_delay(ctx.flow),
+                             static_cast<std::int32_t>(ctx.flow),
+                             [&advance, next] { advance(next); });
+      };
+  for (std::uint32_t f = 0; f < kChurnFlows; ++f) {
+    queue.schedule_at(
+        0.1 * f, static_cast<std::int32_t>(f),
+        [&advance, ctx = LegacyFlowCtx{{1.0, 0.7, 0.4}, f, 1.0, 0}] {
+          advance(ctx);
+        });
+  }
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    hsw::CacheEntry* entry = array.lookup(line);
+    entry->state = ladder_next_state(entry->state, hsw::protocol::Op::kLocalRead);
+    queue.run(1);
+    line = (line + 97) % kArrayLines;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AccessThroughputLegacy);
+
 void BM_CacheFillFlush(benchmark::State& state) {
   hsw::CacheArray array(hsw::kib(256), 8);
   for (auto _ : state) {
@@ -295,6 +600,24 @@ void BM_CacheFillFlush(benchmark::State& state) {
                           static_cast<std::int64_t>(kArrayLines));
 }
 BENCHMARK(BM_CacheFillFlush);
+
+// The one pattern where the striped layout pays instead of wins: a cold
+// streaming fill writes six stripes where the AoS record wrote one or two
+// cache lines.  Recorded so the tradeoff stays visible in the baseline.
+void BM_CacheFillFlushLegacy(benchmark::State& state) {
+  hswtest::LegacyCacheArray array(hsw::kib(256), 8);
+  for (auto _ : state) {
+    for (std::uint64_t line = 0; line < kArrayLines; ++line) {
+      array.insert(line, hsw::Mesif::kModified);
+    }
+    std::uint64_t evicted = 0;
+    array.flush([&](const hsw::CacheEntry&) { ++evicted; });
+    benchmark::DoNotOptimize(evicted);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kArrayLines));
+}
+BENCHMARK(BM_CacheFillFlushLegacy);
 
 // --- Exec engine: the simulated bandwidth path and concurrent replay -----
 //

@@ -6,8 +6,8 @@
 # Usage: scripts/check.sh [extra ctest args...]
 #   HSWSIM_CHECK_SANITIZER=undefined|thread|address  (default: address)
 #   HSWSIM_CHECK_SKIP_SANITIZER=1                    (default build only)
-#   HSWSIM_CHECK_SKIP_PERF=1                         (skip overhead guard)
-#   HSWSIM_PERF_TOLERANCE=<percent>                  (default: 2)
+#   HSWSIM_CHECK_SKIP_PERF=1                         (skip perf-ratio guard)
+#   HSWSIM_PERF_TOLERANCE=<percent>                  (default: 50)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -79,22 +79,51 @@ cmp -s "$trace_dir/fig8.sim.jobs1.csv" "$trace_dir/fig8.sim.jobs8.csv" \
 echo "simulated smoke: ok"
 
 if [[ "${HSWSIM_CHECK_SKIP_PERF:-0}" != "1" ]]; then
-  echo "== tracing-overhead guard =="
-  # The disabled-tracing and disabled-metrics engine hot paths (a
-  # null-pointer test per instrumentation site each) must stay within
-  # HSWSIM_PERF_TOLERANCE percent of the numbers in BENCH_simcore.json.  Best-of-3
-  # repetitions against a one-sided bound keeps machine noise out; slower
-  # machines can raise the tolerance or skip with HSWSIM_CHECK_SKIP_PERF=1.
+  echo "== perf-ratio guard =="
+  # Absolute ns/op is not gateable on shared/virtualized hardware: identical
+  # code measures +-30% run to run (steal time, frequency, layout), so a
+  # tight bound against BENCH_simcore.json flaps no matter the tolerance.
+  # What IS stable is a same-run ratio — both sides of each pair run in one
+  # process seconds apart, so machine state cancels.  The guard therefore
+  # compares pair ratios against the same ratios in the committed
+  # BENCH_simcore.json:
+  #  * fast-path vs frozen-legacy pairs (BM_X / BM_XLegacy: cache array,
+  #    event kernel, MESIF tables, aggregate access path) — catches a
+  #    reintroduced per-event allocation or a broken tag-scan fast path,
+  #    which show up as 2x+ ratio jumps;
+  #  * instrumentation on/off pairs (attribution vs null tracer, metrics
+  #    attached vs detached) — catches overhead creep on the observability
+  #    hot paths.
+  # A genuine regression moves a ratio by 2x+; run-to-run ratio noise on
+  # the ns-scale rows is up to ~25%, hence the generous default
+  # HSWSIM_PERF_TOLERANCE (50%).  Raise it or set HSWSIM_CHECK_SKIP_PERF=1
+  # on very noisy machines.
   "$repo_root/build/bench/simbench" \
-    --benchmark_filter='BM_L1HitTracingOff|BM_MemoryReadTracingOff|BM_L1HitMetricsOff|BM_MemoryReadMetricsOff|BM_CacheLookupHit|BM_CacheInsertEvict' \
+    --benchmark_filter='TracingOff|Attribution|MetricsOn|MetricsOff|BM_Cache|BM_EventKernelChurn|BM_MesifTransition|BM_AccessThroughput' \
     --benchmark_repetitions=3 --benchmark_min_time=0.1 \
     --benchmark_out="$trace_dir/perf.json" --benchmark_out_format=json \
     > /dev/null 2>&1
   python3 - "$repo_root/BENCH_simcore.json" "$trace_dir/perf.json" \
-      "${HSWSIM_PERF_TOLERANCE:-2}" <<'PY'
-import json, sys
+      "${HSWSIM_PERF_TOLERANCE:-50}" <<'PY'
+import json, statistics, sys
 
-baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+tol = float(sys.argv[3])
+PAIRS = [  # (numerator, denominator): gated on numerator/denominator growth
+    ("BM_CacheLookupHit", "BM_CacheLookupHitLegacy"),
+    ("BM_CacheLookupMiss", "BM_CacheLookupMissLegacy"),
+    ("BM_CacheInsertEvict", "BM_CacheInsertEvictLegacy"),
+    ("BM_CacheInsertPlru", "BM_CacheInsertPlruLegacy"),
+    ("BM_CacheFillFlush", "BM_CacheFillFlushLegacy"),
+    ("BM_EventKernelChurn", "BM_EventKernelChurnLegacy"),
+    ("BM_AccessThroughput", "BM_AccessThroughputLegacy"),
+    ("BM_MesifTransitionTable", "BM_MesifTransitionLadder"),
+    ("BM_L1HitAttribution", "BM_L1HitTracingOff"),
+    ("BM_MemoryReadAttribution", "BM_MemoryReadTracingOff"),
+    ("BM_L1HitMetricsOn", "BM_L1HitMetricsOff"),
+    ("BM_MemoryReadMetricsOn", "BM_MemoryReadMetricsOff"),
+]
+
 def times(path):
     out = {}
     for b in json.load(open(path))["benchmarks"]:
@@ -102,23 +131,41 @@ def times(path):
             out.setdefault(b["name"].split("/")[0], []).append(b["cpu_time"])
     return out
 
+def ratio(table, num, den):
+    if num not in table or den not in table:
+        return None
+    return statistics.median(table[num]) / statistics.median(table[den])
+
 baseline, fresh = times(baseline_path), times(fresh_path)
 failed = False
-for name, samples in sorted(fresh.items()):
-    if name not in baseline:
-        print(f"  {name}: no baseline in BENCH_simcore.json "
+for num, den in PAIRS:
+    base_r, fresh_r = ratio(baseline, num, den), ratio(fresh, num, den)
+    if base_r is None:
+        print(f"  {num}/{den}: missing from BENCH_simcore.json "
               "(regenerate via build/bench/simbench)")
         failed = True
         continue
-    best, ref = min(samples), min(baseline[name])
-    delta = (best / ref - 1.0) * 100.0
+    if fresh_r is None:
+        print(f"  {num}/{den}: missing from the fresh run")
+        failed = True
+        continue
+    delta = (fresh_r / base_r - 1.0) * 100.0
     verdict = "ok" if delta <= tol else "REGRESSION"
-    print(f"  {name}: {best:.1f} ns vs baseline {ref:.1f} ns "
+    print(f"  {num}/{den}: ratio {fresh_r:.2f} vs baseline {base_r:.2f} "
           f"({delta:+.1f}%, limit +{tol:.0f}%) {verdict}")
     failed |= delta > tol
 sys.exit(1 if failed else 0)
 PY
 fi
+
+echo "== sampling agreement smoke =="
+# Sampled sweeps must track exact runs within 2% on the quick Fig. 4/8
+# grids, reproduce bit-identically per (ratio, seed), and leave
+# under-floor points exact; the full-size sweep runs in CI via
+# bench_validate_sampling_quick and here end to end.
+"$repo_root/build/bench/validate_sampling" --quick > /dev/null \
+  || { echo "sampling smoke: sampled-vs-full divergence gate failed"; exit 1; }
+echo "sampling smoke: ok"
 
 if [[ "${HSWSIM_CHECK_SKIP_SANITIZER:-0}" != "1" ]]; then
   echo "== ${sanitizer} sanitizer configuration =="

@@ -87,6 +87,12 @@ double BandwidthModel::demand(const StreamSpec& spec) const {
 
 Flow BandwidthModel::flow_for(const StreamSpec& spec) const {
   Flow flow;
+  flow_into(spec, flow);
+  return flow;
+}
+
+void BandwidthModel::flow_into(const StreamSpec& spec, Flow& flow) const {
+  flow.uses.clear();
   flow.demand = demand(spec);
 
   const SystemTopology& topo = system_.topology();
@@ -95,7 +101,7 @@ Flow BandwidthModel::flow_for(const StreamSpec& spec) const {
 
   // Core-private levels use no shared resources.
   if (spec.source == ServiceSource::kL1 || spec.source == ServiceSource::kL2) {
-    return flow;
+    return;
   }
 
   // Every CA transaction rides the requester node's ring.
@@ -129,7 +135,6 @@ Flow BandwidthModel::flow_for(const StreamSpec& spec) const {
       flow.uses.push_back({res_bridge(requester.socket), 1.0});
     }
   }
-  return flow;
 }
 
 double BandwidthModel::single_stream(const StreamSpec& spec) const {

@@ -102,6 +102,10 @@ class BandwidthModel {
   // resources — agreement between the two formalisms is then a statement
   // about contention modelling, not about divergent path decompositions.
   [[nodiscard]] Flow flow_for(const StreamSpec& spec) const;
+  // Allocation-free variant: rewrites `flow` in place (the uses vector
+  // keeps its capacity across calls), for the exec engine's pooled
+  // requests.
+  void flow_into(const StreamSpec& spec, Flow& flow) const;
   // Per-resource capacities (GB/s), indexed like Flow::Use::resource.
   [[nodiscard]] const std::vector<double>& capacities() const {
     return capacities_;

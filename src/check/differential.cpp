@@ -112,7 +112,7 @@ std::optional<std::string> compare_states(System& sys, ReferenceModel& ref,
   for (const LineAddr line : lines) {
     const ReferenceLine& ls = ref.line_state(line);
     for (const NumaNode& node : topo.nodes()) {
-      const CacheEntry* entry =
+      const std::optional<CacheEntry> entry =
           m.l3[static_cast<std::size_t>(node.socket)]
               [static_cast<std::size_t>(m.slice_for(node.id, line))]
                   .peek(line);
@@ -129,8 +129,8 @@ std::optional<std::string> compare_states(System& sys, ReferenceModel& ref,
     }
     for (int core = 0; core < topo.core_count(); ++core) {
       const CoreCaches& cc = m.cores[static_cast<std::size_t>(core)];
-      const CacheEntry* e1 = cc.l1.peek(line);
-      const CacheEntry* e2 = cc.l2.peek(line);
+      const std::optional<CacheEntry> e1 = cc.l1.peek(line);
+      const std::optional<CacheEntry> e2 = cc.l2.peek(line);
       const Mesif real1 = e1 ? e1->state : Mesif::kInvalid;
       const Mesif real2 = e2 ? e2->state : Mesif::kInvalid;
       const auto c = static_cast<std::size_t>(core);

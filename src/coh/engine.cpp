@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "coh/protocol.h"
 #include "coh/slice_hash.h"
 #include "mem/address.h"
 
@@ -229,16 +230,16 @@ CoherenceEngine::CoreSnoop CoherenceEngine::snoop_core(int global_core,
   // L2, and a snoop that only downgraded one of them would leave a stale
   // Modified copy behind.
   auto handle = [&](CacheArray& cache, double data_ns) {
-    CacheEntry* entry = cache.lookup(line, /*touch=*/false);
+    const CacheArray::Ref entry = cache.lookup(line, /*touch=*/false);
     if (!entry) return false;
-    if (entry->state == Mesif::kModified && !result.dirty) {
+    if (entry.state() == Mesif::kModified && !result.dirty) {
       result.dirty = true;
       result.data_ns = data_ns;
     }
     if (demote_to == Mesif::kInvalid) {
       cache.erase(line);
     } else {
-      entry->state = demote_to;
+      entry.state() = demote_to;
     }
     return true;
   };
@@ -275,51 +276,43 @@ CoherenceEngine::PeerSnoop CoherenceEngine::snoop_peer_read(int peer_node,
   if (tracer_ != nullptr) {
     tracer_->leaf(TComp::kCbo, "snoop_ca_lookup", m_.timing.snoop_ca_lookup);
   }
-  CacheEntry* entry = l3.lookup(line, /*touch=*/false);
+  const CacheArray::Ref entry = l3.lookup(line, /*touch=*/false);
   if (!entry) return result;
 
-  switch (entry->state) {
-    case Mesif::kShared:
-      result.had_shared = true;
-      return result;
-    case Mesif::kForward:
-      entry->state = Mesif::kShared;
-      result.forwarded = true;
-      return result;
-    case Mesif::kExclusive:
-    case Mesif::kModified: {
-      const std::uint32_t cv = entry->core_valid;
-      const bool multi = std::popcount(cv) > 1;
-      if (m_.features.core_valid_bits && cv != 0 && !multi) {
-        // Exactly one core may hold a newer copy: chase the core-valid bit.
-        const int owner_local = std::countr_zero(cv);
-        const int owner = m_.topo.global_core(node.socket, owner_local);
-        result.handling_ns += m_.timing.core_snoop_external;
+  const Mesif found = entry.state();
+  const protocol::SnoopReadReaction& rx = protocol::snoop_read_reaction(found);
+  result.had_shared = rx.responds_shared;
+  if (!rx.forwards) return result;  // Shared answers without data; I misses.
+
+  if (rx.may_hold_newer) {
+    const std::uint32_t cv = entry.core_valid();
+    const bool multi = std::popcount(cv) > 1;
+    if (m_.features.core_valid_bits && cv != 0 && !multi) {
+      // Exactly one core may hold a newer copy: chase the core-valid bit.
+      const int owner_local = std::countr_zero(cv);
+      const int owner = m_.topo.global_core(node.socket, owner_local);
+      result.handling_ns += m_.timing.core_snoop_external;
+      if (tracer_ != nullptr) {
+        tracer_->leaf(TComp::kCoreSnoop, "core_valid_snoop",
+                      m_.timing.core_snoop_external);
+      }
+      CoreSnoop cs = snoop_core(owner, line, Mesif::kShared);
+      if (cs.dirty) {
+        result.handling_ns += cs.data_ns;
         if (tracer_ != nullptr) {
-          tracer_->leaf(TComp::kCoreSnoop, "core_valid_snoop",
-                        m_.timing.core_snoop_external);
+          tracer_->leaf(TComp::kCore, "core_data_extract", cs.data_ns);
         }
-        CoreSnoop cs = snoop_core(owner, line, Mesif::kShared);
-        if (cs.dirty) {
-          result.handling_ns += cs.data_ns;
-          if (tracer_ != nullptr) {
-            tracer_->leaf(TComp::kCore, "core_data_extract", cs.data_ns);
-          }
-          entry->state = Mesif::kModified;  // refreshed with the dirty data
-        }
+        entry.state() = Mesif::kModified;  // refreshed with the dirty data
       }
-      // The peer's copy was possibly dirty; forwarding a Modified line
-      // writes it back to the home memory and demotes the copy to Shared.
-      if (entry->state == Mesif::kModified) {
-        writeback(line, /*clears_directory=*/false);
-      }
-      entry->state = Mesif::kShared;
-      result.forwarded = true;
-      return result;
     }
-    case Mesif::kInvalid:
-      break;
   }
+  // The peer's copy was possibly dirty; forwarding a Modified line writes
+  // it back to the home memory before the demotion to Shared.
+  if (entry.state() == Mesif::kModified) {
+    writeback(line, /*clears_directory=*/false);
+  }
+  entry.state() = protocol::next_state(found, protocol::Op::kSnoopRead);
+  result.forwarded = true;
   return result;
 }
 
@@ -337,17 +330,17 @@ double CoherenceEngine::snoop_peer_invalidate(int peer_node, LineAddr line) {
   if (tracer_ != nullptr) {
     tracer_->leaf(TComp::kCbo, "snoop_ca_lookup", m_.timing.snoop_ca_lookup);
   }
-  CacheEntry* entry = l3.lookup(line, /*touch=*/false);
+  const CacheArray::Ref entry = l3.lookup(line, /*touch=*/false);
   if (!entry) return handling;
 
-  std::uint32_t cv = entry->core_valid;
-  bool dirty = entry->state == Mesif::kModified;
+  std::uint32_t cv = entry.core_valid();
+  bool dirty = is_dirty(entry.state());
   while (cv != 0) {
     const int owner_local = std::countr_zero(cv);
     cv &= cv - 1;
     dirty |= invalidate_core(m_.topo.global_core(node.socket, owner_local), line);
   }
-  if (entry->core_valid != 0) {
+  if (entry.core_valid() != 0) {
     handling += m_.timing.core_snoop_external;
     if (tracer_ != nullptr) {
       tracer_->leaf(TComp::kCoreSnoop, "core_valid_snoop",
@@ -371,8 +364,8 @@ double CoherenceEngine::snoop_peer_invalidate(int peer_node, LineAddr line) {
 void CoherenceEngine::handle_l1_victim(int core, const CacheEntry& victim) {
   metric(is_dirty(victim.state) ? MC::kL1VictimDirty : MC::kL1VictimCleanSilent);
   CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
-  if (CacheEntry* in_l2 = cc.l2.lookup(victim.line, /*touch=*/false)) {
-    if (is_dirty(victim.state)) in_l2->state = Mesif::kModified;
+  if (const CacheArray::Ref in_l2 = cc.l2.lookup(victim.line, /*touch=*/false)) {
+    if (is_dirty(victim.state)) in_l2.state() = Mesif::kModified;
     return;
   }
   if (is_dirty(victim.state)) {
@@ -388,7 +381,7 @@ void CoherenceEngine::handle_l2_victim(int core, const CacheEntry& victim) {
   const int socket = m_.topo.socket_of_core(core);
   const int local = m_.topo.local_core(core);
   CacheArray& l3 = m_.l3_slice(socket, m_.slice_for(node, victim.line));
-  CacheEntry* entry = l3.lookup(victim.line, /*touch=*/false);
+  const CacheArray::Ref entry = l3.lookup(victim.line, /*touch=*/false);
   if (is_dirty(victim.state)) {
     // Write back to the L3: refreshes the data and clears the core-valid
     // bit (paper §VI-A: "the write back to the L3 also clears the core
@@ -396,9 +389,9 @@ void CoherenceEngine::handle_l2_victim(int core, const CacheEntry& victim) {
     // capacity victim of a non-inclusive L2), in which case the CBo must
     // keep tracking the core.
     if (entry) {
-      entry->state = Mesif::kModified;
+      entry.state() = Mesif::kModified;
       if (!m_.cores[static_cast<std::size_t>(core)].l1.contains(victim.line)) {
-        entry->core_valid &= ~bit_of(local);
+        entry.core_valid() &= ~bit_of(local);
       }
     } else {
       auto ins = l3.insert(victim.line, Mesif::kModified);
@@ -437,17 +430,17 @@ void CoherenceEngine::fill_caches(int core, LineAddr line, const Fill& fill) {
   const int local = m_.topo.local_core(core);
 
   CacheArray& l3 = m_.l3_slice(socket, m_.slice_for(node, line));
-  if (CacheEntry* entry = l3.lookup(line)) {
-    entry->core_valid |= bit_of(local);
+  if (const CacheArray::Ref entry = l3.lookup(line)) {
+    entry.core_valid() |= bit_of(local);
   } else {
     auto ins = l3.insert(line, fill.node_state);
     if (ins.victim) handle_l3_victim(socket, node, *ins.victim);
-    ins.entry->core_valid = bit_of(local);
+    ins.entry.core_valid() = bit_of(local);
   }
 
   CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
-  if (CacheEntry* in_l2 = cc.l2.lookup(line)) {
-    in_l2->state = fill.core_state;
+  if (const CacheArray::Ref in_l2 = cc.l2.lookup(line)) {
+    in_l2.state() = fill.core_state;
   } else {
     auto ins = cc.l2.insert(line, fill.core_state);
     if (ins.victim) handle_l2_victim(core, *ins.victim);
@@ -456,7 +449,7 @@ void CoherenceEngine::fill_caches(int core, LineAddr line, const Fill& fill) {
     auto ins = cc.l1.insert(line, fill.core_state);
     if (ins.victim) handle_l1_victim(core, *ins.victim);
   } else if (fill.core_state == Mesif::kModified) {
-    cc.l1.lookup(line)->state = Mesif::kModified;
+    cc.l1.lookup(line).state() = Mesif::kModified;
   }
 }
 
@@ -489,12 +482,12 @@ AccessResult CoherenceEngine::read_impl(int core, PhysAddr addr) {
     const CacheArray& l3 =
         m_.l3[static_cast<std::size_t>(socket)]
             [static_cast<std::size_t>(m_.slice_for(req_node, line))];
-    const CacheEntry* entry = l3.peek(line);
-    return entry != nullptr && entry->state == Mesif::kShared;
+    const std::optional<CacheEntry> entry = l3.peek(line);
+    return entry && entry->state == Mesif::kShared;
   };
 
-  if (CacheEntry* e1 = cc.l1.lookup(line)) {
-    if (shared_hit_needs_l3(e1->state)) {
+  if (const CacheArray::Ref e1 = cc.l1.lookup(line)) {
+    if (shared_hit_needs_l3(e1.state())) {
       m_.counters.bump(Ctr::kLoadsL3Hit);
       trace_l3_path(core);
       return {l3_path(core), ServiceSource::kL3, req_node, nullptr};
@@ -505,13 +498,13 @@ AccessResult CoherenceEngine::read_impl(int core, PhysAddr addr) {
     }
     return {m_.timing.l1_hit, ServiceSource::kL1, req_node, nullptr};
   }
-  if (CacheEntry* e2 = cc.l2.lookup(line)) {
-    if (shared_hit_needs_l3(e2->state)) {
+  if (const CacheArray::Ref e2 = cc.l2.lookup(line)) {
+    if (shared_hit_needs_l3(e2.state())) {
       m_.counters.bump(Ctr::kLoadsL3Hit);
       trace_l3_path(core);
       return {l3_path(core), ServiceSource::kL3, req_node, nullptr};
     }
-    auto ins = cc.l1.insert(line, e2->state);
+    auto ins = cc.l1.insert(line, e2.state());
     if (ins.victim) handle_l1_victim(core, *ins.victim);
     m_.counters.bump(Ctr::kLoadsL2Hit);
     if (tracer_ != nullptr) {
@@ -554,11 +547,11 @@ CoherenceEngine::Fill CoherenceEngine::ca_read(int core, LineAddr line) {
   fill.source_node = req_node;
   fill.core_state = Mesif::kShared;
 
-  if (CacheEntry* entry = l3.lookup(line)) {
+  if (const CacheArray::Ref entry = l3.lookup(line)) {
     trace_l3_path(core);
-    const std::uint32_t owners = entry->core_valid & ~bit_of(local);
-    const bool multi = std::popcount(entry->core_valid) > 1;
-    if ((entry->state == Mesif::kExclusive || entry->state == Mesif::kModified) &&
+    const std::uint32_t owners = entry.core_valid() & ~bit_of(local);
+    const bool multi = std::popcount(entry.core_valid()) > 1;
+    if (protocol::snoop_read_reaction(entry.state()).may_hold_newer &&
         m_.features.core_valid_bits && owners != 0 && !multi) {
       // A single other core may hold the line Modified (stores upgrade E->M
       // silently) — and exclusive lines are evicted silently, so the bit may
@@ -576,12 +569,12 @@ CoherenceEngine::Fill CoherenceEngine::ca_read(int core, LineAddr line) {
         if (tracer_ != nullptr) {
           tracer_->leaf(TComp::kCore, "core_data_extract", cs.data_ns);
         }
-        entry->state = Mesif::kModified;  // L3 refreshed with dirty data
+        entry.state() = Mesif::kModified;  // L3 refreshed with dirty data
         fill.source = ServiceSource::kCoreFwd;
       }
     }
-    entry->core_valid |= bit_of(local);
-    fill.node_state = entry->state;
+    entry.core_valid() |= bit_of(local);
+    fill.node_state = entry.state();
     return fill;
   }
   return home_read(core, req_node, line);
@@ -982,22 +975,22 @@ AccessResult CoherenceEngine::write_impl(int core, PhysAddr addr) {
   const int req_node = m_.topo.node_of_core(core);
   CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
 
-  if (CacheEntry* e1 = cc.l1.lookup(line)) {
-    if (e1->state == Mesif::kModified || e1->state == Mesif::kExclusive) {
+  if (const CacheArray::Ref e1 = cc.l1.lookup(line)) {
+    if (protocol::store_hit_is_silent(e1.state())) {
       // Silent E->M upgrade: the L3 still believes the line is Exclusive.
-      e1->state = Mesif::kModified;
+      e1.state() = protocol::next_state(e1.state(), protocol::Op::kLocalStore);
       m_.counters.bump(Ctr::kLoadsL1Hit);
       if (tracer_ != nullptr) {
         tracer_->leaf(TComp::kCore, "l1_store_upgrade", m_.timing.l1_hit);
       }
       return {m_.timing.l1_hit, ServiceSource::kL1, req_node, nullptr};
     }
-  } else if (CacheEntry* e2 = cc.l2.lookup(line)) {
-    if (e2->state == Mesif::kModified || e2->state == Mesif::kExclusive) {
-      e2->state = Mesif::kModified;
+  } else if (const CacheArray::Ref e2 = cc.l2.lookup(line)) {
+    if (protocol::store_hit_is_silent(e2.state())) {
+      e2.state() = protocol::next_state(e2.state(), protocol::Op::kLocalStore);
       auto ins = cc.l1.insert(line, Mesif::kModified);
       if (ins.victim) handle_l1_victim(core, *ins.victim);
-      cc.l2.lookup(line)->state = Mesif::kShared;  // newest copy now in L1
+      cc.l2.lookup(line).state() = Mesif::kShared;  // newest copy now in L1
       m_.counters.bump(Ctr::kLoadsL2Hit);
       if (tracer_ != nullptr) {
         tracer_->leaf(TComp::kCore, "l2_store_upgrade", m_.timing.l2_hit);
@@ -1025,11 +1018,11 @@ CoherenceEngine::Fill CoherenceEngine::ca_write(int core, LineAddr line) {
   fill.source_node = req_node;
   fill.node_state = Mesif::kExclusive;
 
-  if (CacheEntry* entry = l3.lookup(line)) {
-    if (entry->state == Mesif::kExclusive || entry->state == Mesif::kModified) {
+  if (const CacheArray::Ref entry = l3.lookup(line)) {
+    if (protocol::node_owns(entry.state())) {
       // Node already owns the line: invalidate other in-node core copies.
       trace_l3_path(core);
-      std::uint32_t others = entry->core_valid & ~bit_of(local);
+      std::uint32_t others = entry.core_valid() & ~bit_of(local);
       if (others != 0) {
         fill.ns += m_.timing.core_snoop_local;
         if (tracer_ != nullptr) {
@@ -1042,24 +1035,24 @@ CoherenceEngine::Fill CoherenceEngine::ca_write(int core, LineAddr line) {
           others &= others - 1;
           dirty |= invalidate_core(m_.topo.global_core(socket, owner_local), line);
         }
-        if (dirty) entry->state = Mesif::kModified;
+        if (dirty) entry.state() = Mesif::kModified;
       }
-      entry->core_valid = bit_of(local);
-      fill.node_state = entry->state;
+      entry.core_valid() = bit_of(local);
+      fill.node_state = entry.state();
       return fill;
     }
     // Shared/Forward at node level: other nodes may hold copies — obtain
     // global ownership through the home agent, then upgrade in place.
-    std::uint32_t local_sharers = entry->core_valid & ~bit_of(local);
+    std::uint32_t local_sharers = entry.core_valid() & ~bit_of(local);
     while (local_sharers != 0) {
       const int owner_local = std::countr_zero(local_sharers);
       local_sharers &= local_sharers - 1;
       invalidate_core(m_.topo.global_core(socket, owner_local), line);
     }
     Fill upgrade = home_write(core, req_node, line);
-    if (CacheEntry* still = l3.lookup(line)) {
-      still->state = Mesif::kExclusive;
-      still->core_valid = bit_of(local);
+    if (const CacheArray::Ref still = l3.lookup(line)) {
+      still.state() = Mesif::kExclusive;
+      still.core_valid() = bit_of(local);
     }
     upgrade.node_state = Mesif::kExclusive;
     return upgrade;

@@ -9,24 +9,24 @@ HitmeCache::HitmeCache(const HitmeConfig& config)
              config.associativity) {}
 
 std::optional<HitmeCache::Entry> HitmeCache::lookup(LineAddr line) {
-  CacheEntry* entry = array_.lookup(line);
+  const CacheArray::Ref entry = array_.lookup(line);
   if (!entry) return std::nullopt;
-  return Entry{entry->payload};
+  return Entry{entry.payload()};
 }
 
 std::optional<HitmeCache::Entry> HitmeCache::peek(LineAddr line) const {
-  const CacheEntry* entry = array_.peek(line);
+  const std::optional<CacheEntry> entry = array_.peek(line);
   if (!entry) return std::nullopt;
   return Entry{entry->payload};
 }
 
 bool HitmeCache::put(LineAddr line, std::uint8_t presence) {
-  if (CacheEntry* existing = array_.lookup(line)) {
-    existing->payload = presence;
+  if (const CacheArray::Ref existing = array_.lookup(line)) {
+    existing.payload() = presence;
     return false;
   }
   auto result = array_.insert(line, Mesif::kShared);
-  result.entry->payload = presence;
+  result.entry.payload() = presence;
   return result.victim.has_value();
 }
 

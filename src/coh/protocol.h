@@ -1,0 +1,99 @@
+// MESIF transition tables.
+//
+// The coherence engine's hot paths used to classify states with if/switch
+// ladders (`state == kExclusive || state == kModified`, a five-way switch in
+// the read-snoop handler).  This header freezes those decisions into small
+// constexpr arrays indexed by state — one load instead of a compare chain —
+// and gives the protocol a single authoritative definition that a different
+// protocol (plain MESI, MOESI) could swap out without touching the engine's
+// timing or directory plumbing.
+//
+// The tables encode *state transitions and response classes* only.  Side
+// effects that depend on machine context (core-valid chasing, writebacks,
+// directory updates) stay in the engine; the tables tell it which class of
+// handling a state requires.
+//
+// Semantics (paper §II-B, Table I):
+//   - A read snoop demotes every valid supplier state to Shared; F/E/M
+//     respond with data (F is the designated forwarder; E/M own the line),
+//     S answers "shared" without data, I misses.
+//   - An invalidating snoop (RFO) kills every state.
+//   - A store hit completes silently only in E/M (E->M is the silent
+//     upgrade the L3 cannot observe); S/F must issue an RFO through the CA.
+//   - A load hit never changes the holder's state.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "mem/line.h"
+
+namespace hsw::protocol {
+
+// Protocol-relevant operations observed by a cache holding a line.
+enum class Op : std::uint8_t {
+  kLocalRead,        // own core load hit
+  kLocalStore,       // own core store hit
+  kSnoopRead,        // peer read snoop (data request, demote to Shared)
+  kSnoopInvalidate,  // peer RFO / invalidating snoop
+};
+
+inline constexpr std::size_t kStateCount = 5;
+inline constexpr std::size_t kOpCount = 4;
+
+constexpr std::size_t idx(Mesif s) { return static_cast<std::size_t>(s); }
+constexpr std::size_t idx(Op op) { return static_cast<std::size_t>(op); }
+
+// next_state[state][op].  Rows follow Mesif declaration order (I,S,F,E,M),
+// columns follow Op order (local read, local store, snoop read, snoop inv).
+// A kLocalStore column entry equal to the row's state means the store does
+// NOT complete silently in that state (ownership must come from the CA);
+// the engine consults store_hit_is_silent() before applying it.
+inline constexpr std::array<std::array<Mesif, kOpCount>, kStateCount>
+    kNextState = {{
+        // load               store              snoop-read        snoop-inv
+        {Mesif::kInvalid, Mesif::kInvalid, Mesif::kInvalid, Mesif::kInvalid},
+        {Mesif::kShared, Mesif::kShared, Mesif::kShared, Mesif::kInvalid},
+        {Mesif::kForward, Mesif::kForward, Mesif::kShared, Mesif::kInvalid},
+        {Mesif::kExclusive, Mesif::kModified, Mesif::kShared, Mesif::kInvalid},
+        {Mesif::kModified, Mesif::kModified, Mesif::kShared, Mesif::kInvalid},
+    }};
+
+constexpr Mesif next_state(Mesif s, Op op) { return kNextState[idx(s)][idx(op)]; }
+
+// How a valid entry reacts to a peer read snoop.
+struct SnoopReadReaction {
+  bool forwards = false;        // supplies the data (F designated, E/M owner)
+  bool responds_shared = false; // "I have a clean copy" without data
+  bool may_hold_newer = false;  // a core above may hold a silently upgraded
+                                // Modified copy: chase the core-valid bit
+};
+
+inline constexpr std::array<SnoopReadReaction, kStateCount> kSnoopRead = {{
+    /* I */ {false, false, false},
+    /* S */ {false, true, false},
+    /* F */ {true, false, false},
+    /* E */ {true, false, true},
+    /* M */ {true, false, true},
+}};
+
+constexpr const SnoopReadReaction& snoop_read_reaction(Mesif s) {
+  return kSnoopRead[idx(s)];
+}
+
+// Store hits complete without a CA transaction only when the node already
+// owns the line.  E->M is the silent upgrade; M stays M.
+inline constexpr std::array<bool, kStateCount> kStoreHitSilent = {
+    false, false, false, true, true};
+
+constexpr bool store_hit_is_silent(Mesif s) { return kStoreHitSilent[idx(s)]; }
+
+// Node-level ownership: states in which the L3 entry guarantees no other
+// node holds a copy, so a write needs only in-node invalidations.
+inline constexpr std::array<bool, kStateCount> kNodeOwns = {
+    false, false, false, true, true};
+
+constexpr bool node_owns(Mesif s) { return kNodeOwns[idx(s)]; }
+
+}  // namespace hsw::protocol

@@ -88,9 +88,9 @@ BandwidthResult measure_bandwidth(System& system,
   for (const StreamConfig& stream : config.streams) {
     const MemRegion region =
         system.alloc_on_node(stream.placement.memory_node, config.buffer_bytes);
-    place(system, region, stream.placement, seed);
 
     const std::vector<LineAddr> order = chase_order(region, seed);
+    place_lines(system, order, stream.placement);
     const std::uint64_t lines =
         std::min<std::uint64_t>(order.size(), config.probe_lines);
 

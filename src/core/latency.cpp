@@ -7,9 +7,12 @@ namespace hsw {
 LatencyResult measure_latency(System& system, const LatencyConfig& config) {
   const MemRegion region =
       system.alloc_on_node(config.placement.memory_node, config.buffer_bytes);
-  place(system, region, config.placement, config.seed);
 
+  // Placement and measurement chase the same deterministic order (computed
+  // once — it used to be derived twice from the same seed).
   const std::vector<LineAddr> order = chase_order(region, config.seed);
+  place_lines(system, order, config.placement);
+
   const std::uint64_t measured =
       std::min<std::uint64_t>(order.size(), config.max_measured_lines);
 

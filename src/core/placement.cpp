@@ -31,7 +31,11 @@ std::vector<LineAddr> chase_order(const MemRegion& region, std::uint64_t seed) {
 void place(System& system, const MemRegion& region, const Placement& placement,
            std::uint64_t seed) {
   const std::vector<LineAddr> order = chase_order(region, seed);
+  place_lines(system, order, placement);
+}
 
+void place_lines(System& system, std::span<const LineAddr> order,
+                 const Placement& placement) {
   // 1. Establish the owner's copy in the requested state.
   for (LineAddr line : order) system.write(placement.owner_core, addr_of(line));
   if (placement.state == Mesif::kExclusive ||

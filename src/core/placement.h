@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "machine/system.h"
@@ -48,6 +49,12 @@ struct Placement {
 // deterministic shuffled order so DRAM row-buffer state is realistic.
 void place(System& system, const MemRegion& region, const Placement& placement,
            std::uint64_t seed = 1);
+
+// Applies `placement` to exactly the given lines, in the given order.  The
+// experiments use this with their already-computed chase order so the
+// permutation is derived once per measurement instead of once per pass.
+void place_lines(System& system, std::span<const LineAddr> order,
+                 const Placement& placement);
 
 // Builds the paper's pointer-chase order: a pseudo-random permutation of the
 // region's lines (each line visited exactly once per pass).

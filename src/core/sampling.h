@@ -1,0 +1,154 @@
+// Set-sampling: simulate a fraction of every cache's sets.
+//
+// Sweep cost is linear in the lines placed per point, and the figures'
+// multi-MiB tails spend most of that time re-simulating statistically
+// interchangeable cache sets.  Set sampling simulates a 1/2^k slice of
+// the machine: every cache level keeps its associativity and line size
+// but holds sets/2^k sets, and the sweep point's buffer is scaled by the
+// same factor.  Because victim selection, core-valid tracking, and
+// directory state are all per-set, each surviving set sees a load process
+// distributionally identical to a full-machine set — the estimate's error
+// comes from drawing fewer sets, not from distorted per-set behaviour
+// (the property set-dueling monitors on real chips rely on).  Latencies
+// and rates are means over sets, so they need no rescaling; PMU-style
+// counter totals are scaled by 2^k.
+//
+// Sampling error grows as per-set populations shrink, and is worst at
+// sharp capacity transitions (a set is all-hits or all-misses, and few
+// sampled sets estimate the mix badly).  The guard rail is a floor on the
+// sampled working set: a point's denominator is reduced — down to 1, i.e.
+// exact simulation — until the scaled buffer is at least
+// `min_sampled_bytes`.  Small points are cheap to simulate exactly; the
+// expensive tail gets the full reduction.
+//
+// The requested ratio is rounded to the nearest power-of-two reciprocal
+// (1/2 .. 1/32) so every cache keeps a power-of-two set count; 1/32 still
+// leaves the 64-set L1 with two sets.  `seed` re-randomizes the
+// placement/chase realization the sampled machine draws — estimates are a
+// pure function of (ratio, seed).
+//
+// ratio = 1 (default) is not an approximation: no geometry or seed is
+// touched and sweeps are byte-identical to an unsampled build (pinned by
+// the golden suites).  bench/validate_sampling.cpp checks sampled sweeps
+// stay within 2% of the full run across the L3/memory transition.
+//
+// Known approximations under sampling: the HitME directory cache and the
+// timing parameters are not scaled, so sampled runs are least exact where
+// HitME capacity effects dominate.  (DRAM rows *are* scaled with the sets;
+// see SamplingPlan::scaled.)  Don't use sampling to study HitME sizing;
+// see EXPERIMENTS.md "Performance".
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "coh/state.h"
+#include "sim/counters.h"
+
+namespace hsw {
+
+// The sampling decision for one sweep point: how much the machine and the
+// buffer shrink.  Derived from SamplingConfig::plan(bytes).
+struct SamplingPlan {
+  std::uint64_t denominator = 1;  // power of two; 1 = exact
+
+  [[nodiscard]] bool active() const { return denominator > 1; }
+
+  // Multiplier that turns sampled event counts into full-population
+  // estimates.
+  [[nodiscard]] double scale() const {
+    return static_cast<double>(denominator);
+  }
+
+  // The sampled machine: same associativity and line size, 1/denominator
+  // of the sets at every cache level.  DRAM rows shrink by the same factor
+  // so the chase's (bank, row) visit process matches the full machine —
+  // with full-size rows the smaller buffer would see inflated open-page
+  // hit rates, which shows up as a systematic low bias that grows with the
+  // denominator (~0.6% per doubling on the remote-memory latency curves).
+  [[nodiscard]] CacheGeometry scaled(CacheGeometry g) const {
+    g.l1_bytes /= denominator;
+    g.l2_bytes /= denominator;
+    g.l3_slice_bytes /= denominator;
+    g.dram.row_bytes = std::max<std::uint64_t>(
+        g.dram.row_bytes / denominator, kLineSize);
+    return g;
+  }
+
+  // The sampled working set: the same fraction of lines.
+  [[nodiscard]] std::uint64_t scaled_bytes(std::uint64_t bytes) const {
+    return std::max<std::uint64_t>(bytes / denominator, 64);
+  }
+
+  // The sampled measurement window.  Latency measures the first N lines of
+  // the chase order — the same order placement walked, so the prefix is
+  // the oldest-placed (most conflict-evicted) sub-population.  Keeping the
+  // measured *fraction* constant keeps that position bias identical to the
+  // full run; measuring the full-run line count against the smaller buffer
+  // would average over a broader (younger, more resident) slice and bias
+  // the estimate low.
+  [[nodiscard]] std::uint64_t scaled_measured_lines(std::uint64_t lines) const {
+    if (!active()) return lines;
+    return std::max<std::uint64_t>(lines / denominator, 256);
+  }
+
+  // Scales a perf-counter delta to estimate the full-population counts.
+  // No-op on an exact plan so snapshots stay exact integers.
+  void scale_counters(CounterSet::Snapshot& counters) const {
+    if (!active()) return;
+    const double s = scale();
+    for (std::uint64_t& v : counters) {
+      v = static_cast<std::uint64_t>(std::llround(static_cast<double>(v) * s));
+    }
+  }
+};
+
+struct SamplingConfig {
+  // Requested fraction of sets to simulate, in (0, 1].  1 disables
+  // sampling; anything else is rounded to the nearest 1/2^k, k in 1..5.
+  double ratio = 1.0;
+  // Re-randomizes which per-set realization the sampled machine draws.
+  std::uint64_t seed = 0;
+  // Floor on the sampled working set: a point's denominator is halved
+  // until scaled buffer >= this, so small points (where few sampled sets
+  // would estimate capacity transitions badly) run exactly.
+  std::uint64_t min_sampled_bytes = 4 * 1024 * 1024;
+
+  [[nodiscard]] bool active() const { return ratio < 1.0; }
+
+  // Rounded denominator before the per-point floor: a power of two, 2..32.
+  [[nodiscard]] std::uint64_t requested_denominator() const {
+    if (!active()) return 1;
+    const double k = std::round(std::log2(1.0 / ratio));
+    return 1ull << static_cast<unsigned>(std::clamp(k, 1.0, 5.0));
+  }
+
+  // The sampling decision for a point measuring `bytes`.
+  [[nodiscard]] SamplingPlan plan(std::uint64_t bytes) const {
+    std::uint64_t d = requested_denominator();
+    while (d > 1 && bytes / d < min_sampled_bytes) d /= 2;
+    return SamplingPlan{d};
+  }
+
+  // Folds the sampling seed into an experiment seed so distinct sampling
+  // seeds draw independent realizations (SplitMix64 finalizer — full
+  // avalanche, so seeds 0 and 1 are as unrelated as any other pair).
+  [[nodiscard]] std::uint64_t mix_seed(std::uint64_t experiment_seed) const {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return experiment_seed ^ (z ^ (z >> 31));
+  }
+
+  // Ratio outside (0, 1] is a configuration error; throws so a CLI typo
+  // (e.g. --sample-ratio 3) cannot silently produce nonsense.
+  void validate() const {
+    if (!(ratio > 0.0) || ratio > 1.0) {
+      throw std::invalid_argument("sampling ratio must be in (0, 1]");
+    }
+  }
+};
+
+}  // namespace hsw

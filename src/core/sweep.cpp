@@ -68,21 +68,31 @@ std::vector<std::uint64_t> sweep_sizes(std::uint64_t min_bytes,
 
 LatencySweepPoint latency_sweep_point(const LatencySweepConfig& config,
                                       std::uint64_t bytes) {
-  System system(config.system);
+  config.sampling.validate();
+  // Under set-sampling the point runs on the scaled machine (every cache
+  // keeps 1/2^k of its sets) against the equally scaled buffer; the means
+  // estimate the full point, counters are scaled back to full-population
+  // estimates below.  An inactive plan (ratio = 1, or a point below the
+  // sampled-bytes floor) leaves everything untouched.
+  const SamplingPlan plan = config.sampling.plan(bytes);
+  SystemConfig machine = config.system;
+  machine.geometry = plan.scaled(machine.geometry);
+  System system(machine);
   std::optional<trace::Tracer> tracer =
       make_tracer(config.trace, config.sizes, bytes);
   LatencyConfig lc;
   lc.reader_core = config.reader_core;
   lc.placement = config.placement;
   lc.placement.level = CacheLevel::kL1L2;  // natural level by capacity
-  lc.buffer_bytes = bytes;
-  lc.max_measured_lines = config.max_measured_lines;
-  lc.seed = config.seed;
+  lc.buffer_bytes = plan.scaled_bytes(bytes);
+  lc.max_measured_lines = plan.scaled_measured_lines(config.max_measured_lines);
+  lc.seed = plan.active() ? config.sampling.mix_seed(config.seed) : config.seed;
   lc.instrumentation.tracer = tracer ? &*tracer : nullptr;
   std::optional<metrics::MetricsRegistry> registry =
       make_registry(config.trace, config.sizes, bytes);
   lc.instrumentation.metrics = registry ? &*registry : nullptr;
   LatencySweepPoint point{bytes, measure_latency(system, lc)};
+  plan.scale_counters(point.result.counters);
   if (config.trace.sink != nullptr && tracer) {
     config.trace.sink->absorb(std::move(*tracer));
   }
@@ -102,15 +112,22 @@ std::vector<LatencySweepPoint> latency_sweep(const LatencySweepConfig& config) {
 
 BandwidthSweepPoint bandwidth_sweep_point(const BandwidthSweepConfig& config,
                                           std::uint64_t bytes) {
-  System system(config.system);
+  config.sampling.validate();
+  // Same scaled-machine scheme as latency_sweep_point; rates derive from
+  // probe means and the unscaled bandwidth model, so they need no
+  // rescaling.
+  const SamplingPlan plan = config.sampling.plan(bytes);
+  SystemConfig machine = config.system;
+  machine.geometry = plan.scaled(machine.geometry);
+  System system(machine);
   std::optional<trace::Tracer> tracer =
       make_tracer(config.trace, config.sizes, bytes);
   BandwidthConfig bc;
   StreamConfig stream = config.stream;
   stream.placement.level = CacheLevel::kL1L2;
   bc.streams = {stream};
-  bc.buffer_bytes = bytes;
-  bc.seed = config.seed;
+  bc.buffer_bytes = plan.scaled_bytes(bytes);
+  bc.seed = plan.active() ? config.sampling.mix_seed(config.seed) : config.seed;
   bc.model = config.model;
   bc.engine = config.engine;
   bc.instrumentation.tracer = tracer ? &*tracer : nullptr;

@@ -17,6 +17,7 @@
 
 #include "core/bandwidth.h"
 #include "core/latency.h"
+#include "core/sampling.h"
 #include "machine/system.h"
 #include "metrics/hub.h"
 #include "trace/sink.h"
@@ -75,6 +76,8 @@ struct LatencySweepConfig {
   // Worker threads for the size axis; 1 = serial, 0 = hardware_concurrency.
   unsigned jobs = 1;
   SweepTraceOptions trace;
+  // Set-sampling applied to every point (core/sampling.h); default exact.
+  SamplingConfig sampling;
 };
 
 // Measures a single size on a fresh System (the unit of work the parallel
@@ -104,6 +107,8 @@ struct BandwidthSweepConfig {
   // Worker threads for the size axis; 1 = serial, 0 = hardware_concurrency.
   unsigned jobs = 1;
   SweepTraceOptions trace;
+  // Set-sampling applied to every point (core/sampling.h); default exact.
+  SamplingConfig sampling;
 };
 
 BandwidthSweepPoint bandwidth_sweep_point(const BandwidthSweepConfig& config,

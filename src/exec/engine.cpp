@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
+#include <limits>
 
 #include "mem/address.h"
-#include "sim/event_queue.h"
+#include "sim/event_kernel.h"
 
 namespace hsw::exec {
 namespace {
@@ -18,6 +18,17 @@ std::vector<double> service_times(const std::vector<double>& capacities_gbps) {
   }
   return service_ns;
 }
+
+// Fixed event vocabulary for the closed loops: a request slot of task
+// `task` entering path stage `stage`, or (stage == kTailStage) the slot's
+// tail — retire accounting plus reissue.  Trivially copyable, so the event
+// kernel never allocates while scheduling.
+struct LoopEvent {
+  std::uint32_t task = 0;
+  std::uint32_t stage = 0;
+};
+inline constexpr std::uint32_t kTailStage =
+    std::numeric_limits<std::uint32_t>::max();
 
 }  // namespace
 
@@ -36,6 +47,7 @@ ClosedLoopResult run_closed_loop(const std::vector<StreamTask>& tasks,
     double tail_ns = 0.0;  // base latency + calibration pad
   };
   std::vector<Loop> loops(tasks.size());
+  std::size_t total_slots = 0;
   for (std::size_t f = 0; f < tasks.size(); ++f) {
     const StreamTask& task = tasks[f];
     if (task.demand_gbps <= 0.0) continue;
@@ -52,9 +64,13 @@ ClosedLoopResult run_closed_loop(const std::vector<StreamTask>& tasks,
         std::max(0.0, static_cast<double>(slots) * 64.0 / task.demand_gbps -
                           cycle);
     loops[f] = {slots, base + pad};
+    total_slots += static_cast<std::size_t>(slots);
   }
 
-  EventQueue queue;
+  EventKernel<LoopEvent> queue;
+  // Each in-flight slot owns at most one pending event; a little slack
+  // covers the staggered warmup burst.
+  queue.reserve(total_slots + 16);
   std::vector<double> free_at(service_ns.size(), 0.0);
   const double warmup_ns = config.window_ns / 4.0;
   const double end_ns = warmup_ns + config.window_ns;
@@ -63,37 +79,44 @@ ClosedLoopResult run_closed_loop(const std::vector<StreamTask>& tasks,
 
   // Advances one request slot of task `f` through path stage `stage`;
   // stage == path.size() means the request pays its tail and reissues.
-  std::function<void(std::size_t, std::size_t)> advance =
-      [&](std::size_t f, std::size_t stage) {
-        const StreamTask& task = tasks[f];
-        if (stage < task.path.size()) {
-          const bw::Flow::Use& use = task.path[stage];
-          const auto r = static_cast<std::size_t>(use.resource);
-          const double start = std::max(queue.now(), free_at[r]);
-          if (queue.now() > warmup_ns && queue.now() <= end_ns) {
-            queued[f] += start - queue.now();
-          }
-          const double done = start + service_ns[r] * use.weight;
-          free_at[r] = done;
-          queue.schedule_at(done, task.core,
-                            [&, f, stage] { advance(f, stage + 1); });
-          return;
-        }
-        queue.schedule_after(loops[f].tail_ns, task.core, [&, f] {
-          if (queue.now() > warmup_ns && queue.now() <= end_ns) ++retired[f];
-          if (queue.now() < end_ns) advance(f, 0);
-        });
-      };
+  auto advance = [&](std::size_t f, std::size_t stage) {
+    const StreamTask& task = tasks[f];
+    if (stage < task.path.size()) {
+      const bw::Flow::Use& use = task.path[stage];
+      const auto r = static_cast<std::size_t>(use.resource);
+      const double start = std::max(queue.now(), free_at[r]);
+      if (queue.now() > warmup_ns && queue.now() <= end_ns) {
+        queued[f] += start - queue.now();
+      }
+      const double done = start + service_ns[r] * use.weight;
+      free_at[r] = done;
+      queue.schedule_at(done, task.core,
+                        LoopEvent{static_cast<std::uint32_t>(f),
+                                  static_cast<std::uint32_t>(stage + 1)});
+      return;
+    }
+    queue.schedule_after(loops[f].tail_ns, task.core,
+                         LoopEvent{static_cast<std::uint32_t>(f), kTailStage});
+  };
 
   for (std::size_t f = 0; f < tasks.size(); ++f) {
     for (int s = 0; s < loops[f].slots; ++s) {
       // Stagger initial issues so the warmup is not synchronized.
       queue.schedule_at(static_cast<double>(s) * 0.7 +
                             static_cast<double>(f) * 0.3,
-                        tasks[f].core, [&, f] { advance(f, 0); });
+                        tasks[f].core,
+                        LoopEvent{static_cast<std::uint32_t>(f), 0});
     }
   }
-  queue.run_until(end_ns + 1e6);
+  queue.run_until(end_ns + 1e6, [&](const LoopEvent& event) {
+    const std::size_t f = event.task;
+    if (event.stage == kTailStage) {
+      if (queue.now() > warmup_ns && queue.now() <= end_ns) ++retired[f];
+      if (queue.now() < end_ns) advance(f, 0);
+      return;
+    }
+    advance(f, event.stage);
+  });
 
   ClosedLoopResult result;
   result.gbps.resize(tasks.size());
@@ -107,6 +130,20 @@ ClosedLoopResult run_closed_loop(const std::vector<StreamTask>& tasks,
   }
   return result;
 }
+
+namespace {
+
+// Fixed event vocabulary for program execution.  `a` is the program index
+// for kIssue and the request-pool slot for kStage/kComplete; `b` is the
+// path stage for kStage.
+struct ProgEvent {
+  enum class Type : std::uint8_t { kIssue, kStage, kComplete };
+  Type type = Type::kIssue;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+}  // namespace
 
 ProgramExecStats run_programs(System& system,
                               const std::vector<Program>& programs,
@@ -124,53 +161,72 @@ ProgramExecStats run_programs(System& system,
   };
   std::vector<CoreState> cores(programs.size());
 
-  EventQueue queue;
+  // One in-flight access: its resource path and residual latency.  Slots
+  // recycle through a free list, so the flow's uses vector keeps its
+  // capacity — steady-state execution performs no per-access allocation
+  // (the old std::function design copied the flow vector into every stage
+  // continuation, twice per event).
+  struct Request {
+    std::uint32_t program = 0;
+    bw::Flow flow;
+    double base_ns = 0.0;
+  };
+  std::vector<Request> requests;
+  std::vector<std::uint32_t> free_requests;
+  requests.reserve(programs.size() *
+                   static_cast<std::size_t>(std::max(1, config.window)));
+  const auto acquire_request = [&]() -> std::uint32_t {
+    if (!free_requests.empty()) {
+      const std::uint32_t id = free_requests.back();
+      free_requests.pop_back();
+      return id;
+    }
+    requests.emplace_back();
+    return static_cast<std::uint32_t>(requests.size() - 1);
+  };
+
+  EventKernel<ProgEvent> queue;
+  // Per program: at most `window` in-flight stage/complete events plus one
+  // pending issue event.
+  queue.reserve(programs.size() *
+                (static_cast<std::size_t>(std::max(1, config.window)) + 1));
   std::vector<double> free_at(service_ns.size(), 0.0);
 
   ScopedInstrumentation attached(system, config.instrumentation);
-
-  // Forward declarations so issue and completion can call each other.
-  std::function<void(std::size_t)> try_issue;
-  std::function<void(std::size_t, const bw::Flow&, double, std::size_t)>
-      advance;
 
   auto request_issue = [&](std::size_t p, double at) {
     CoreState& cs = cores[p];
     if (cs.issue_scheduled || cs.next >= programs[p].ops.size()) return;
     cs.issue_scheduled = true;
     queue.schedule_at(std::max(at, queue.now()), programs[p].core,
-                      [&, p] { try_issue(p); });
+                      ProgEvent{ProgEvent::Type::kIssue,
+                                static_cast<std::uint32_t>(p), 0});
   };
 
-  // Drives one in-flight access of program `p` through the resource path its
-  // service point implies; the final stage pays the remaining (uncontended)
-  // latency and frees the window slot.
-  advance = [&](std::size_t p, const bw::Flow& flow, double base_ns,
-                std::size_t stage) {
-    const Program& prog = programs[p];
-    CoreExecStats& cstats = stats.per_core[p];
-    if (stage < flow.uses.size()) {
-      const bw::Flow::Use& use = flow.uses[stage];
+  // Drives one in-flight access through the resource path its service point
+  // implies; the final stage pays the remaining (uncontended) latency and
+  // frees the window slot.
+  auto advance = [&](std::uint32_t req_id, std::size_t stage) {
+    const Request& req = requests[req_id];
+    const Program& prog = programs[req.program];
+    CoreExecStats& cstats = stats.per_core[req.program];
+    if (stage < req.flow.uses.size()) {
+      const bw::Flow::Use& use = req.flow.uses[stage];
       const auto r = static_cast<std::size_t>(use.resource);
       const double start = std::max(queue.now(), free_at[r]);
       cstats.queue_ns += start - queue.now();
       const double done = start + service_ns[r] * use.weight;
       free_at[r] = done;
-      queue.schedule_at(done, prog.core, [&, p, flow, base_ns, stage] {
-        advance(p, flow, base_ns, stage + 1);
-      });
+      queue.schedule_at(done, prog.core,
+                        ProgEvent{ProgEvent::Type::kStage, req_id,
+                                  static_cast<std::uint32_t>(stage + 1)});
       return;
     }
-    queue.schedule_after(base_ns, prog.core, [&, p] {
-      CoreState& cs = cores[p];
-      --cs.outstanding;
-      stats.per_core[p].finish_ns =
-          std::max(stats.per_core[p].finish_ns, queue.now());
-      request_issue(p, queue.now());
-    });
+    queue.schedule_after(req.base_ns, prog.core,
+                         ProgEvent{ProgEvent::Type::kComplete, req_id, 0});
   };
 
-  try_issue = [&](std::size_t p) {
+  auto try_issue = [&](std::size_t p) {
     const Program& prog = programs[p];
     CoreState& cs = cores[p];
     CoreExecStats& cstats = stats.per_core[p];
@@ -207,16 +263,19 @@ ProgramExecStats run_programs(System& system,
     spec.source_node = access.source_node;
     spec.home_node = home_node_of(op.addr);
     spec.latency_ns = access.ns;
-    const bw::Flow flow = model.flow_for(spec);
+    const std::uint32_t req_id = acquire_request();
+    Request& req = requests[req_id];
+    req.program = static_cast<std::uint32_t>(p);
+    model.flow_into(spec, req.flow);
     double service_sum = 0.0;
-    for (const bw::Flow::Use& use : flow.uses) {
+    for (const bw::Flow::Use& use : req.flow.uses) {
       service_sum +=
           service_ns[static_cast<std::size_t>(use.resource)] * use.weight;
     }
-    const double base_ns = std::max(0.0, access.ns - service_sum);
+    req.base_ns = std::max(0.0, access.ns - service_sum);
 
     ++cs.outstanding;
-    advance(p, flow, base_ns, 0);
+    advance(req_id, 0);
     request_issue(p, queue.now() + config.issue_ns);
   };
 
@@ -224,7 +283,26 @@ ProgramExecStats run_programs(System& system,
     stats.per_core[p].core = programs[p].core;
     request_issue(p, 0.0);
   }
-  queue.run();
+  queue.run([&](const ProgEvent& event) {
+    switch (event.type) {
+      case ProgEvent::Type::kIssue:
+        try_issue(event.a);
+        break;
+      case ProgEvent::Type::kStage:
+        advance(event.a, event.b);
+        break;
+      case ProgEvent::Type::kComplete: {
+        const std::size_t p = requests[event.a].program;
+        CoreState& cs = cores[p];
+        --cs.outstanding;
+        stats.per_core[p].finish_ns =
+            std::max(stats.per_core[p].finish_ns, queue.now());
+        free_requests.push_back(event.a);
+        request_issue(p, queue.now());
+        break;
+      }
+    }
+  });
 
   stats.counters = attached.release();
   for (const CoreExecStats& cstats : stats.per_core) {

@@ -26,9 +26,18 @@ CacheArray::CacheArray(std::uint64_t capacity_bytes, unsigned associativity,
   }
   set_count_ = static_cast<std::size_t>(set_count);
   set_mask_ = set_count_ - 1;
+  set_shift_ = static_cast<unsigned>(std::countr_zero(set_count));
   full_mask_ = assoc_ == 64 ? ~std::uint64_t{0}
                             : (std::uint64_t{1} << assoc_) - 1;
-  ways_.resize(set_count_ * assoc_);
+  pwords_ = (assoc_ + 7) / 8;
+  pstride_ = static_cast<std::size_t>(pwords_) * 8;
+  ptags_.assign(set_count_ * pstride_, 0);
+  const std::size_t slots = set_count_ * assoc_;
+  tags_.assign(slots, 0);
+  states_.assign(slots, Mesif::kInvalid);
+  core_valid_.assign(slots, 0);
+  payload_.assign(slots, 0);
+  lru_.assign(slots, 0);
   valid_mask_.assign(set_count_, 0);
   plru_.assign(set_count_, 0);
 }
@@ -37,7 +46,6 @@ CacheArray::InsertResult CacheArray::insert(LineAddr line, Mesif state) {
   assert(is_valid(state));
   assert(!contains(line) && "insert of an already-present line");
   const std::size_t idx = set_index(line);
-  Way* const set = ways_.data() + idx * assoc_;
 
   InsertResult result;
   std::size_t target;
@@ -47,35 +55,39 @@ CacheArray::InsertResult CacheArray::insert(LineAddr line, Mesif state) {
     // no victim scan (the first invalid way, matching a serial search).
     target = static_cast<std::size_t>(std::countr_one(valid));
   } else {
-    target = victim_way(set, idx);
-    result.victim = set[target].entry;
+    target = victim_way(idx);
+    const std::size_t slot = idx * assoc_ + target;
+    result.victim = CacheEntry{tags_[slot], states_[slot], core_valid_[slot],
+                               payload_[slot]};
   }
-  set[target].entry = CacheEntry{line, state, 0, 0};
+  const std::size_t slot = idx * assoc_ + target;
+  tags_[slot] = line;
+  ptags_[idx * pstride_ + target] = ptag_of(line);
+  states_[slot] = state;
+  core_valid_[slot] = 0;
+  payload_[slot] = 0;
   valid_mask_[idx] = valid | (std::uint64_t{1} << target);
   touch_way(idx, target);
-  result.entry = &set[target].entry;
+  result.entry = ref_at(slot, line);
   return result;
 }
 
 std::optional<CacheEntry> CacheArray::erase(LineAddr line) {
   const std::size_t idx = set_index(line);
-  Way* const set = ways_.data() + idx * assoc_;
-  for (std::size_t w = 0; w < assoc_; ++w) {
-    CacheEntry& entry = set[w].entry;
-    if (entry.line == line && is_valid(entry.state)) {
-      CacheEntry prior = entry;
-      entry = CacheEntry{};
-      valid_mask_[idx] &= ~(std::uint64_t{1} << w);
-      return prior;
-    }
-  }
-  return std::nullopt;
+  const std::uint64_t match = match_mask(idx, line);
+  if (match == 0) return std::nullopt;
+  const auto w = static_cast<std::size_t>(std::countr_zero(match));
+  const std::size_t slot = idx * assoc_ + w;
+  CacheEntry prior{tags_[slot], states_[slot], core_valid_[slot],
+                   payload_[slot]};
+  valid_mask_[idx] &= ~(std::uint64_t{1} << w);
+  return prior;
 }
 
 std::size_t CacheArray::valid_count() const {
   std::size_t n = 0;
-  for (const Way& way : ways_) {
-    if (is_valid(way.entry.state)) ++n;
+  for (const std::uint64_t mask : valid_mask_) {
+    n += static_cast<std::size_t>(std::popcount(mask));
   }
   return n;
 }
@@ -84,32 +96,34 @@ CacheArray::Census CacheArray::census() const {
   Census census;
   for (std::size_t idx = 0; idx < set_count_; ++idx) {
     std::uint64_t mask = valid_mask_[idx];
-    const Way* const set = ways_.data() + idx * assoc_;
     while (mask != 0) {
-      const unsigned w = static_cast<unsigned>(std::countr_zero(mask));
+      const auto w = static_cast<std::size_t>(std::countr_zero(mask));
       mask &= mask - 1;
-      const CacheEntry& entry = set[w].entry;
-      ++census.by_state[static_cast<std::size_t>(entry.state)];
+      const std::size_t slot = idx * assoc_ + w;
+      ++census.by_state[static_cast<std::size_t>(states_[slot])];
       ++census.valid;
       census.core_valid_bits +=
-          static_cast<std::size_t>(std::popcount(entry.core_valid));
+          static_cast<std::size_t>(std::popcount(core_valid_[slot]));
     }
   }
   return census;
 }
 
-const CacheEntry* CacheArray::replacement_victim(LineAddr line_in_set) const {
+std::optional<CacheEntry> CacheArray::replacement_victim(
+    LineAddr line_in_set) const {
   const std::size_t idx = set_index(line_in_set);
-  if (valid_mask_[idx] != full_mask_) return nullptr;
-  const Way* const set = ways_.data() + idx * assoc_;
-  return &set[victim_way(set, idx)].entry;
+  if (valid_mask_[idx] != full_mask_) return std::nullopt;
+  const std::size_t slot = idx * assoc_ + victim_way(idx);
+  return CacheEntry{tags_[slot], states_[slot], core_valid_[slot],
+                    payload_[slot]};
 }
 
-std::size_t CacheArray::victim_way(const Way* set, std::size_t set_idx) const {
+std::size_t CacheArray::victim_way(std::size_t set_idx) const {
   if (replacement_ == Replacement::kLru) {
+    const std::uint64_t* const recency = lru_.data() + set_idx * assoc_;
     std::size_t victim = 0;
     for (std::size_t w = 1; w < assoc_; ++w) {
-      if (set[w].lru < set[victim].lru) victim = w;
+      if (recency[w] < recency[victim]) victim = w;
     }
     return victim;
   }

@@ -10,24 +10,48 @@
 // far the approximation changes eviction patterns (the L3 uses an
 // approximation on real silicon).
 //
-// Layout: ways live in one flat array indexed `set * assoc + way` — every
-// simulated access walks exactly one contiguous stripe of it, so lookup is
-// a linear scan with no per-set indirection.  lookup() and the scan helpers
-// are header-inline because they dominate the whole simulator's profile.
+// Layout: structure-of-arrays.  Tags, MESIF states, core-valid vectors,
+// payload bytes and recency counters live in parallel flat stripes indexed
+// `set * assoc + way`.  The scan itself runs over a packed stripe of 8-bit
+// partial tags (one byte per way, eight ways per 64-bit word): a lookup
+// XORs the set's packed word against the probe's splatted partial tag and
+// uses the SWAR zero-byte trick to produce a candidate-way bitmask in a
+// handful of ALU ops, with no per-way loop.  Candidates (usually exactly
+// one) are verified against the full 8-byte tag stripe, so partial-tag
+// collisions cost one extra compare and can never produce a wrong hit.
+// The per-set valid-way bitmask rejects empty sets before any tag is read
+// and gates stale bytes left by erase.  The cold metadata stripes (state,
+// core-valid, payload, LRU) are only dereferenced on a hit.  lookup() and
+// the scan helpers are header-inline because they dominate the whole
+// simulator's profile.
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <optional>
-#include <utility>
 #include <vector>
 
 #include "mem/line.h"
+
+// The tag-scan dispatch below is deliberately bigger than GCC's -O2
+// inlining budget (one unrolled body per supported associativity); without
+// the hint every lookup pays an out-of-line call on its hottest path.
+#if defined(__GNUC__) || defined(__clang__)
+#define HSW_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define HSW_ALWAYS_INLINE inline
+#endif
 
 namespace hsw {
 
 enum class Replacement : std::uint8_t { kLru, kTreePlru };
 
+// Value snapshot of one cached line's metadata.  The array itself stores
+// the fields striped (see the layout note above); CacheEntry is the
+// materialized form handed to callers that keep copies (victims, flush
+// callbacks, peeks).
 struct CacheEntry {
   LineAddr line = 0;
   Mesif state = Mesif::kInvalid;
@@ -37,6 +61,34 @@ struct CacheEntry {
 
 class CacheArray {
  public:
+  // Mutable handle to one resident line: direct pointers into the metadata
+  // stripes.  Invalidated by any subsequent insert/erase/flush on the array
+  // (same lifetime rule the old CacheEntry* had).  A default-constructed
+  // Ref is "miss" and converts to false.
+  class Ref {
+   public:
+    Ref() = default;
+    explicit operator bool() const { return state_ != nullptr; }
+    [[nodiscard]] LineAddr line() const { return line_; }
+    [[nodiscard]] Mesif& state() const { return *state_; }
+    [[nodiscard]] std::uint32_t& core_valid() const { return *core_valid_; }
+    [[nodiscard]] std::uint8_t& payload() const { return *payload_; }
+    [[nodiscard]] CacheEntry entry() const {
+      return CacheEntry{line_, *state_, *core_valid_, *payload_};
+    }
+
+   private:
+    friend class CacheArray;
+    Ref(LineAddr line, Mesif* state, std::uint32_t* core_valid,
+        std::uint8_t* payload)
+        : line_(line), state_(state), core_valid_(core_valid),
+          payload_(payload) {}
+    LineAddr line_ = 0;
+    Mesif* state_ = nullptr;
+    std::uint32_t* core_valid_ = nullptr;
+    std::uint8_t* payload_ = nullptr;
+  };
+
   // `capacity_bytes` must be a multiple of `associativity * kLineSize` and
   // yield a power-of-two set count.
   CacheArray(std::uint64_t capacity_bytes, unsigned associativity,
@@ -48,38 +100,34 @@ class CacheArray {
   [[nodiscard]] unsigned associativity() const { return assoc_; }
   [[nodiscard]] std::size_t set_count() const { return set_count_; }
 
-  // Looks up a line; touch=true refreshes recency.  Returns nullptr on miss.
-  CacheEntry* lookup(LineAddr line, bool touch = true) {
+  // Looks up a line; touch=true refreshes recency.  Returns a false Ref on
+  // miss.
+  Ref lookup(LineAddr line, bool touch = true) {
     const std::size_t idx = set_index(line);
-    Way* const base = ways_.data() + idx * assoc_;
-    for (unsigned w = 0; w < assoc_; ++w) {
-      Way& way = base[w];
-      if (way.entry.line == line && is_valid(way.entry.state)) {
-        if (touch) touch_way(idx, w);
-        return &way.entry;
-      }
-    }
-    return nullptr;
+    const std::uint64_t match = match_mask(idx, line);
+    if (match == 0) return Ref{};
+    const auto w = static_cast<std::size_t>(std::countr_zero(match));
+    if (touch) touch_way(idx, w);
+    return ref_at(idx * assoc_ + w, line);
   }
 
-  [[nodiscard]] const CacheEntry* peek(LineAddr line) const {
+  [[nodiscard]] std::optional<CacheEntry> peek(LineAddr line) const {
     const std::size_t idx = set_index(line);
-    const Way* const base = ways_.data() + idx * assoc_;
-    for (unsigned w = 0; w < assoc_; ++w) {
-      const Way& way = base[w];
-      if (way.entry.line == line && is_valid(way.entry.state)) {
-        return &way.entry;
-      }
-    }
-    return nullptr;
+    const std::uint64_t match = match_mask(idx, line);
+    if (match == 0) return std::nullopt;
+    const auto slot =
+        idx * assoc_ + static_cast<std::size_t>(std::countr_zero(match));
+    return CacheEntry{line, states_[slot], core_valid_[slot], payload_[slot]};
   }
-  [[nodiscard]] bool contains(LineAddr line) const { return peek(line) != nullptr; }
+  [[nodiscard]] bool contains(LineAddr line) const {
+    return match_mask(set_index(line), line) != 0;
+  }
 
   // Inserts `line` (must not be present), evicting the replacement victim if
   // the set is full.  The victim (if any, and if it was valid) is returned so
   // the caller can handle writebacks / inclusive back-invalidations.
   struct InsertResult {
-    CacheEntry* entry = nullptr;
+    Ref entry;
     std::optional<CacheEntry> victim;
   };
   InsertResult insert(LineAddr line, Mesif state);
@@ -92,13 +140,17 @@ class CacheArray {
   // callable so per-flush std::function allocation never happens.
   template <typename OnEvict>
   void flush(OnEvict&& on_evict) {
-    for (Way& way : ways_) {
-      if (is_valid(way.entry.state)) {
-        on_evict(std::as_const(way.entry));
-        way.entry = CacheEntry{};
+    for (std::size_t idx = 0; idx < set_count_; ++idx) {
+      std::uint64_t mask = valid_mask_[idx];
+      while (mask != 0) {
+        const auto w = static_cast<std::size_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        const std::size_t slot = idx * assoc_ + w;
+        on_evict(CacheEntry{tags_[slot], states_[slot], core_valid_[slot],
+                            payload_[slot]});
       }
+      valid_mask_[idx] = 0;
     }
-    valid_mask_.assign(set_count_, 0);
   }
 
   [[nodiscard]] std::size_t valid_count() const;
@@ -123,22 +175,58 @@ class CacheArray {
   [[nodiscard]] Census census() const;
 
   // Victim the true-LRU / PLRU way would choose for this set right now, or
-  // nullptr if the set still has an invalid way.  Exposed for tests.
-  [[nodiscard]] const CacheEntry* replacement_victim(LineAddr line_in_set) const;
+  // nullopt if the set still has an invalid way.  Exposed for tests.
+  [[nodiscard]] std::optional<CacheEntry> replacement_victim(
+      LineAddr line_in_set) const;
 
  private:
-  struct Way {
-    CacheEntry entry;
-    std::uint64_t lru = 0;  // larger == more recent
-  };
-
   [[nodiscard]] std::size_t set_index(LineAddr line) const {
     return static_cast<std::size_t>(line) & set_mask_;
   }
+  // The partial tag folds the line bits above the set index (the bits that
+  // actually distinguish lines within one set) into one byte.
+  [[nodiscard]] std::uint8_t ptag_of(LineAddr line) const {
+    return static_cast<std::uint8_t>(line >> set_shift_);
+  }
+  // Bitmask of ways in set `idx` holding `line` (0 or a single bit: insert
+  // rejects duplicates).  The valid mask front-door makes the empty-set
+  // case one load; the candidate scan is the SWAR zero-byte trick over the
+  // packed partial-tag words — the borrow-propagation false positives it
+  // can produce (and genuine partial-tag collisions) are filtered by the
+  // full-tag verification of each candidate, so the result is exact.
+  [[nodiscard]] HSW_ALWAYS_INLINE std::uint64_t match_mask(
+      std::size_t idx, LineAddr line) const {
+    constexpr std::uint64_t kLanes = 0x0101010101010101ull;
+    constexpr std::uint64_t kHighBits = 0x8080808080808080ull;
+    const std::uint64_t valid = valid_mask_[idx];
+    if (valid == 0) return 0;
+    const std::uint64_t splat = kLanes * ptag_of(line);
+    const std::uint8_t* const pt = ptags_.data() + idx * pstride_;
+    const LineAddr* const tags = tags_.data() + idx * assoc_;
+    for (unsigned k = 0; k < pwords_; ++k) {  // one iteration for assoc <= 8
+      std::uint64_t v;
+      std::memcpy(&v, pt + 8 * k, 8);
+      const std::uint64_t x = v ^ splat;  // zero byte == candidate lane
+      std::uint64_t z = (x - kLanes) & ~x & kHighBits;
+      while (z != 0) {  // candidate lanes, almost always exactly one
+        const auto w =
+            8 * k + (static_cast<unsigned>(std::countr_zero(z)) >> 3);
+        z &= z - 1;
+        if (((valid >> w) & 1) != 0 && tags[w] == line) {
+          return std::uint64_t{1} << w;
+        }
+      }
+    }
+    return 0;
+  }
+  [[nodiscard]] Ref ref_at(std::size_t slot, LineAddr line) {
+    return Ref{line, states_.data() + slot, core_valid_.data() + slot,
+               payload_.data() + slot};
+  }
   // Index of the way to replace in the set (all ways valid).
-  [[nodiscard]] std::size_t victim_way(const Way* set, std::size_t set_idx) const;
+  [[nodiscard]] std::size_t victim_way(std::size_t set_idx) const;
   void touch_way(std::size_t set_idx, std::size_t way) {
-    ways_[set_idx * assoc_ + way].lru = ++clock_;
+    lru_[set_idx * assoc_ + way] = ++clock_;
     if (replacement_ == Replacement::kTreePlru) touch_plru(set_idx, way);
   }
   void touch_plru(std::size_t set_idx, std::size_t way);
@@ -148,11 +236,24 @@ class CacheArray {
   std::size_t set_mask_;
   std::uint64_t full_mask_;  // all `assoc_` way bits set
   Replacement replacement_;
-  // Flat `set * assoc + way` array (see the layout note above).
-  std::vector<Way> ways_;
-  // Per-set bitmask of valid ways: insert finds a free way with one bit
-  // scan instead of walking the tags (the short-circuit past the victim
-  // scan whenever an invalid way exists).
+  // Packed partial-tag stripe: one byte per way, `pstride_` bytes per set
+  // (assoc rounded up to whole 64-bit words; pad lanes are gated off by the
+  // valid mask).  This is the only stripe the scan reads on a miss.
+  std::vector<std::uint8_t> ptags_;
+  std::size_t pstride_ = 8;
+  unsigned pwords_ = 1;     // pstride_ / 8
+  unsigned set_shift_ = 0;  // log2(set_count_), for ptag_of
+  // Parallel `set * assoc + way` stripes (see the layout note above).  The
+  // scan dereferences tags_ only to verify partial-tag candidates; the
+  // others are hit-path-only.
+  std::vector<LineAddr> tags_;
+  std::vector<Mesif> states_;
+  std::vector<std::uint32_t> core_valid_;
+  std::vector<std::uint8_t> payload_;
+  std::vector<std::uint64_t> lru_;  // larger == more recent
+  // Per-set bitmask of valid ways: the miss fast path for lookup/peek/
+  // contains, and insert's free-way scan (one countr_one instead of a tag
+  // walk).
   std::vector<std::uint64_t> valid_mask_;
   // Tree-PLRU state: one bit-tree per set, stored as an integer of
   // (assoc-1) bits (assoc must be a power of two for PLRU).

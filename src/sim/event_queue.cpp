@@ -1,51 +1,13 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
-#include <utility>
-
 namespace hsw {
 
-void EventQueue::schedule_at(SimTime when, std::int32_t key, Action action) {
-  assert(when >= now_ && "cannot schedule into the past");
-  heap_.push(Event{when, key, next_seq_++, std::move(action)});
-}
-
-void EventQueue::schedule_after(SimTime delay, std::int32_t key, Action action) {
-  assert(delay >= 0.0);
-  schedule_at(now_ + delay, key, std::move(action));
-}
-
 std::uint64_t EventQueue::run(std::uint64_t max_events) {
-  std::uint64_t executed = 0;
-  while (!heap_.empty() && executed < max_events) {
-    // priority_queue::top() is const&; move out via const_cast is UB-adjacent,
-    // so copy the action handle (std::function) instead.
-    Event event = heap_.top();
-    heap_.pop();
-    now_ = event.when;
-    event.action();
-    ++executed;
-  }
-  return executed;
+  return kernel_.run([](Action& action) { action(); }, max_events);
 }
 
 std::uint64_t EventQueue::run_until(SimTime until) {
-  std::uint64_t executed = 0;
-  while (!heap_.empty() && heap_.top().when <= until) {
-    Event event = heap_.top();
-    heap_.pop();
-    now_ = event.when;
-    event.action();
-    ++executed;
-  }
-  if (now_ < until) now_ = until;
-  return executed;
-}
-
-void EventQueue::clear() {
-  heap_ = {};
-  now_ = 0.0;
-  next_seq_ = 0;
+  return kernel_.run_until(until, [](Action& action) { action(); });
 }
 
 }  // namespace hsw

@@ -1,4 +1,4 @@
-// Discrete-event simulation kernel.
+// Discrete-event simulation kernel (type-erased front end).
 //
 // The latency microbenchmarks are sequential (one outstanding access), but
 // the aggregate-bandwidth experiments model many cores with overlapping
@@ -10,16 +10,20 @@
 // the simulation is deterministic either way.  Time is carried in
 // nanoseconds as `double`, matching the paper's reporting unit (one core
 // cycle @2.5 GHz = 0.4 ns).
+//
+// EventQueue is the std::function convenience wrapper over
+// sim/event_kernel.h's EventKernel; hot loops that schedule millions of
+// events (the exec engine) use EventKernel directly with a POD payload so
+// scheduling never heap-allocates.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
+
+#include "sim/event_kernel.h"
 
 namespace hsw {
-
-using SimTime = double;  // nanoseconds since simulation start
 
 class EventQueue {
  public:
@@ -31,12 +35,19 @@ class EventQueue {
   void schedule_at(SimTime when, Action action) {
     schedule_at(when, 0, std::move(action));
   }
-  void schedule_at(SimTime when, std::int32_t key, Action action);
+  void schedule_at(SimTime when, std::int32_t key, Action action) {
+    kernel_.schedule_at(when, key, std::move(action));
+  }
   // Schedules `action` `delay` nanoseconds from now.
   void schedule_after(SimTime delay, Action action) {
     schedule_after(delay, 0, std::move(action));
   }
-  void schedule_after(SimTime delay, std::int32_t key, Action action);
+  void schedule_after(SimTime delay, std::int32_t key, Action action) {
+    kernel_.schedule_after(delay, key, std::move(action));
+  }
+
+  // Pre-sizes the calendar so steady-state scheduling never reallocates.
+  void reserve(std::size_t events) { kernel_.reserve(events); }
 
   // Runs events until the queue drains or `max_events` is hit.  Returns the
   // number of events executed.
@@ -44,29 +55,15 @@ class EventQueue {
   // Runs events with time <= `until`.
   std::uint64_t run_until(SimTime until);
 
-  [[nodiscard]] SimTime now() const { return now_; }
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
-  void clear();
+  [[nodiscard]] SimTime now() const { return kernel_.now(); }
+  [[nodiscard]] bool empty() const { return kernel_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return kernel_.pending(); }
+  // Resets the queue to a fresh state: pending events dropped, now() back
+  // to 0, insertion-order tie-breaking restarted.
+  void clear() { kernel_.clear(); }
 
  private:
-  struct Event {
-    SimTime when;
-    std::int32_t key;
-    std::uint64_t seq;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      if (a.key != b.key) return a.key > b.key;
-      return a.seq > b.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  SimTime now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
+  EventKernel<Action> kernel_;
 };
 
 }  // namespace hsw

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "coh/slice_hash.h"
 #include "machine/system.h"
 
@@ -17,7 +19,7 @@ class EngineTest : public ::testing::Test {
 
   PhysAddr alloc(int node = 0) { return sys_.alloc_on_node(node, 64).base; }
 
-  const CacheEntry* l3_entry(int node, PhysAddr addr) {
+  std::optional<CacheEntry> l3_entry(int node, PhysAddr addr) {
     const LineAddr line = line_of(addr);
     MachineState& m = sys_.state();
     const NumaNode& n = m.topo.node(node);
@@ -25,11 +27,11 @@ class EngineTest : public ::testing::Test {
                [static_cast<std::size_t>(m.slice_for(node, line))]
         .peek(line);
   }
-  const CacheEntry* l1_entry(int core, PhysAddr addr) {
+  std::optional<CacheEntry> l1_entry(int core, PhysAddr addr) {
     return sys_.state().cores[static_cast<std::size_t>(core)].l1.peek(
         line_of(addr));
   }
-  const CacheEntry* l2_entry(int core, PhysAddr addr) {
+  std::optional<CacheEntry> l2_entry(int core, PhysAddr addr) {
     return sys_.state().cores[static_cast<std::size_t>(core)].l2.peek(
         line_of(addr));
   }
@@ -39,10 +41,10 @@ TEST_F(EngineTest, WriteInstallsModifiedInL1AndExclusiveInL3) {
   const PhysAddr a = alloc();
   const AccessResult r = sys_.write(0, a);
   EXPECT_GT(r.ns, 0.0);
-  ASSERT_NE(l1_entry(0, a), nullptr);
+  ASSERT_TRUE(l1_entry(0, a).has_value());
   EXPECT_EQ(l1_entry(0, a)->state, Mesif::kModified);
-  const CacheEntry* l3 = l3_entry(0, a);
-  ASSERT_NE(l3, nullptr);
+  const std::optional<CacheEntry> l3 = l3_entry(0, a);
+  ASSERT_TRUE(l3.has_value());
   // The L3 believes the line is Exclusive; the M upgrade happened silently
   // in the core — this is why the CA must snoop on E hits.
   EXPECT_EQ(l3->state, Mesif::kExclusive);
@@ -53,7 +55,7 @@ TEST_F(EngineTest, ReadAfterFlushGrantsExclusive) {
   const PhysAddr a = alloc();
   sys_.write(0, a);
   sys_.flush_line(a);
-  EXPECT_EQ(l1_entry(0, a), nullptr);
+  EXPECT_FALSE(l1_entry(0, a).has_value());
   const AccessResult r = sys_.read(0, a);
   EXPECT_EQ(r.source, ServiceSource::kLocalDram);
   EXPECT_EQ(l1_entry(0, a)->state, Mesif::kExclusive);
@@ -99,10 +101,10 @@ TEST_F(EngineTest, DirtyL2EvictionClearsCoreValidBit) {
   const PhysAddr a = alloc();
   sys_.write(0, a);
   sys_.evict_core_caches(0);
-  EXPECT_EQ(l1_entry(0, a), nullptr);
-  EXPECT_EQ(l2_entry(0, a), nullptr);
-  const CacheEntry* l3 = l3_entry(0, a);
-  ASSERT_NE(l3, nullptr);
+  EXPECT_FALSE(l1_entry(0, a).has_value());
+  EXPECT_FALSE(l2_entry(0, a).has_value());
+  const std::optional<CacheEntry> l3 = l3_entry(0, a);
+  ASSERT_TRUE(l3.has_value());
   EXPECT_EQ(l3->state, Mesif::kModified);
   EXPECT_EQ(l3->core_valid, 0u);  // write-back clears the bit (paper §VI-A)
 }
@@ -113,8 +115,8 @@ TEST_F(EngineTest, CleanEvictionIsSilentAndLeavesStaleCoreValidBit) {
   sys_.flush_line(a);
   sys_.read(0, a);  // Exclusive in core 0
   sys_.evict_core_caches(0);
-  const CacheEntry* l3 = l3_entry(0, a);
-  ASSERT_NE(l3, nullptr);
+  const std::optional<CacheEntry> l3 = l3_entry(0, a);
+  ASSERT_TRUE(l3.has_value());
   EXPECT_EQ(l3->state, Mesif::kExclusive);
   EXPECT_EQ(l3->core_valid, 1u);  // silent eviction: bit still set
 
@@ -199,13 +201,13 @@ TEST_F(EngineTest, RfoInvalidatesAllOtherCopies) {
   sys_.read(1, a);
   sys_.read(12, a);  // copies in both sockets
   sys_.write(5, a);  // core 5 takes ownership
-  EXPECT_EQ(l1_entry(0, a), nullptr);
-  EXPECT_EQ(l1_entry(1, a), nullptr);
-  EXPECT_EQ(l1_entry(12, a), nullptr);
-  EXPECT_EQ(l3_entry(1, a), nullptr);  // peer node fully invalidated
+  EXPECT_FALSE(l1_entry(0, a).has_value());
+  EXPECT_FALSE(l1_entry(1, a).has_value());
+  EXPECT_FALSE(l1_entry(12, a).has_value());
+  EXPECT_FALSE(l3_entry(1, a).has_value());  // peer node fully invalidated
   EXPECT_EQ(l1_entry(5, a)->state, Mesif::kModified);
-  const CacheEntry* l3 = l3_entry(0, a);
-  ASSERT_NE(l3, nullptr);
+  const std::optional<CacheEntry> l3 = l3_entry(0, a);
+  ASSERT_TRUE(l3.has_value());
   EXPECT_EQ(l3->core_valid, 1u << 5);
 }
 
@@ -227,8 +229,8 @@ TEST_F(EngineTest, FlushLineWritesBackDirtyData) {
   const std::uint64_t writes_before = sys_.counters().value(Ctr::kDramWrites);
   sys_.flush_line(a);
   EXPECT_EQ(sys_.counters().value(Ctr::kDramWrites), writes_before + 1);
-  EXPECT_EQ(l3_entry(0, a), nullptr);
-  EXPECT_EQ(l1_entry(0, a), nullptr);
+  EXPECT_FALSE(l3_entry(0, a).has_value());
+  EXPECT_FALSE(l1_entry(0, a).has_value());
 }
 
 TEST_F(EngineTest, InclusiveL3BackInvalidatesCores) {
@@ -255,11 +257,11 @@ TEST_F(EngineTest, InclusiveL3BackInvalidatesCores) {
   // written back to memory.
   std::size_t l3_resident = 0;
   for (PhysAddr addr : lines) {
-    if (l3_entry(0, addr) != nullptr) {
+    if (l3_entry(0, addr).has_value()) {
       ++l3_resident;
     } else {
-      EXPECT_EQ(l1_entry(0, addr), nullptr);
-      EXPECT_EQ(l2_entry(0, addr), nullptr);
+      EXPECT_FALSE(l1_entry(0, addr).has_value());
+      EXPECT_FALSE(l2_entry(0, addr).has_value());
     }
   }
   EXPECT_EQ(l3_resident, assoc);

@@ -64,11 +64,11 @@ class CoherenceInvariants : public ::testing::TestWithParam<Scenario> {
       LineView view;
       const int home = home_node_of_line(line);
       for (const NumaNode& node : topo.nodes()) {
-        const CacheEntry* entry =
+        const std::optional<CacheEntry> entry =
             m.l3[static_cast<std::size_t>(node.socket)]
                 [static_cast<std::size_t>(m.slice_for(node.id, line))]
                     .peek(line);
-        if (entry != nullptr) {
+        if (entry.has_value()) {
           ++view.valid_nodes;
           if (entry->state == Mesif::kForward) ++view.f_nodes;
           if (entry->state == Mesif::kExclusive ||
@@ -79,15 +79,15 @@ class CoherenceInvariants : public ::testing::TestWithParam<Scenario> {
         }
         for (int core : node.cores) {
           const CoreCaches& cc = m.cores[static_cast<std::size_t>(core)];
-          const CacheEntry* l1 = cc.l1.peek(line);
-          const CacheEntry* l2 = cc.l2.peek(line);
+          const std::optional<CacheEntry> l1 = cc.l1.peek(line);
+          const std::optional<CacheEntry> l2 = cc.l2.peek(line);
           const bool dirty = (l1 && l1->state == Mesif::kModified) ||
                              (l2 && l2->state == Mesif::kModified);
           if (dirty) ++view.m_holders;
           if (l1 || l2) {
             // Inclusivity: a core copy requires the node L3 entry with the
             // core's valid bit.
-            ASSERT_NE(entry, nullptr)
+            ASSERT_TRUE(entry.has_value())
                 << "core " << core << " holds line " << line
                 << " without an L3 entry in its node";
             ASSERT_TRUE(entry->core_valid &

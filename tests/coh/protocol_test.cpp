@@ -1,0 +1,119 @@
+// Exhaustive check of the MESIF transition tables (coh/protocol.h) against
+// an independent straight-line reference written from the paper's protocol
+// description (§II-B, Table I).  The engine's hot paths index the tables;
+// this test is what keeps them honest when someone edits an entry.
+#include "coh/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "mem/line.h"
+
+namespace hsw::protocol {
+namespace {
+
+constexpr std::array<Mesif, kStateCount> kAllStates = {
+    Mesif::kInvalid, Mesif::kShared, Mesif::kForward, Mesif::kExclusive,
+    Mesif::kModified};
+constexpr std::array<Op, kOpCount> kAllOps = {
+    Op::kLocalRead, Op::kLocalStore, Op::kSnoopRead, Op::kSnoopInvalidate};
+
+// Reference semantics, written as explicit control flow (no tables) so a
+// typo in kNextState cannot also hide here.
+Mesif reference_next_state(Mesif s, Op op) {
+  if (s == Mesif::kInvalid) return Mesif::kInvalid;
+  switch (op) {
+    case Op::kLocalRead:
+      return s;  // a load hit never changes the holder's state
+    case Op::kLocalStore:
+      // Only an owner upgrades silently (E->M, M->M).  S/F must fetch
+      // ownership through the CA first — the table records "no change".
+      if (s == Mesif::kExclusive || s == Mesif::kModified) {
+        return Mesif::kModified;
+      }
+      return s;
+    case Op::kSnoopRead:
+      // Read snoops demote every valid state to Shared (the forwarder hands
+      // over F; an owner writes back and keeps a Shared copy).
+      return Mesif::kShared;
+    case Op::kSnoopInvalidate:
+      return Mesif::kInvalid;
+  }
+  return Mesif::kInvalid;
+}
+
+TEST(ProtocolTable, NextStateMatchesReferenceForAllStateOpPairs) {
+  for (Mesif s : kAllStates) {
+    for (Op op : kAllOps) {
+      EXPECT_EQ(next_state(s, op), reference_next_state(s, op))
+          << "state=" << to_string(s) << " op=" << static_cast<int>(op);
+    }
+  }
+}
+
+TEST(ProtocolTable, SnoopReadReactionMatchesForwardObligation) {
+  // Exactly the can_forward() states supply data; Shared answers without
+  // data; Invalid does neither.
+  for (Mesif s : kAllStates) {
+    const SnoopReadReaction& rx = snoop_read_reaction(s);
+    EXPECT_EQ(rx.forwards, can_forward(s)) << to_string(s);
+    EXPECT_EQ(rx.responds_shared, s == Mesif::kShared) << to_string(s);
+    // A data response and a shared response are mutually exclusive.
+    EXPECT_FALSE(rx.forwards && rx.responds_shared) << to_string(s);
+  }
+}
+
+TEST(ProtocolTable, OnlyOwnersMayHideNewerCoreCopies) {
+  // The core-valid chase only applies where a core above could have
+  // silently upgraded: node-owner states.  F/S copies are clean by
+  // construction, so chasing them would be wasted snoops.
+  for (Mesif s : kAllStates) {
+    EXPECT_EQ(snoop_read_reaction(s).may_hold_newer, node_owns(s))
+        << to_string(s);
+  }
+}
+
+TEST(ProtocolTable, StoreHitSilentExactlyInOwnerStates) {
+  for (Mesif s : kAllStates) {
+    EXPECT_EQ(store_hit_is_silent(s),
+              s == Mesif::kExclusive || s == Mesif::kModified)
+        << to_string(s);
+    if (store_hit_is_silent(s)) {
+      // A silent store must land in Modified — nothing else would make the
+      // dirty data reach a writeback later.
+      EXPECT_EQ(next_state(s, Op::kLocalStore), Mesif::kModified)
+          << to_string(s);
+    } else {
+      // Non-silent states leave the upgrade to the CA: no table transition.
+      EXPECT_EQ(next_state(s, Op::kLocalStore), s) << to_string(s);
+    }
+  }
+}
+
+TEST(ProtocolTable, InvalidatingSnoopAlwaysLandsInInvalid) {
+  for (Mesif s : kAllStates) {
+    EXPECT_EQ(next_state(s, Op::kSnoopInvalidate), Mesif::kInvalid)
+        << to_string(s);
+  }
+}
+
+TEST(ProtocolTable, InvalidIsAbsorbing) {
+  for (Op op : kAllOps) {
+    EXPECT_EQ(next_state(Mesif::kInvalid, op), Mesif::kInvalid);
+  }
+  EXPECT_FALSE(node_owns(Mesif::kInvalid));
+  EXPECT_FALSE(store_hit_is_silent(Mesif::kInvalid));
+}
+
+TEST(ProtocolTable, DirtyStatesAreExactlyModified) {
+  // The engine keys writebacks off is_dirty(); the tables must never route
+  // a dirty line into a state that drops that obligation silently except
+  // via the explicit snoop-read demotion (which writes back first).
+  for (Mesif s : kAllStates) {
+    EXPECT_EQ(is_dirty(s), s == Mesif::kModified) << to_string(s);
+  }
+}
+
+}  // namespace
+}  // namespace hsw::protocol

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "coh/slice_hash.h"
@@ -14,7 +15,7 @@ class PlacementTest : public ::testing::Test {
  protected:
   System sys_{SystemConfig::source_snoop()};
 
-  const CacheEntry* l3_entry(int node, LineAddr line) {
+  std::optional<CacheEntry> l3_entry(int node, LineAddr line) {
     MachineState& m = sys_.state();
     const NumaNode& n = m.topo.node(node);
     return m.l3[static_cast<std::size_t>(n.socket)]
@@ -49,8 +50,8 @@ TEST_F(PlacementTest, ModifiedPlacementLeavesDirtyCoreCopies) {
   const CoreCaches& cc = sys_.state().cores[1];
   for (LineAddr line = region.first_line();
        line < region.first_line() + region.line_count(); ++line) {
-    const CacheEntry* entry = cc.l1.peek(line);
-    ASSERT_NE(entry, nullptr);
+    const std::optional<CacheEntry> entry = cc.l1.peek(line);
+    ASSERT_TRUE(entry.has_value());
     EXPECT_EQ(entry->state, Mesif::kModified);
   }
 }
@@ -63,8 +64,8 @@ TEST_F(PlacementTest, ExclusivePlacementLeavesCleanExclusive) {
   const CoreCaches& cc = sys_.state().cores[1];
   for (LineAddr line = region.first_line();
        line < region.first_line() + region.line_count(); ++line) {
-    const CacheEntry* entry = cc.l1.peek(line);
-    ASSERT_NE(entry, nullptr);
+    const std::optional<CacheEntry> entry = cc.l1.peek(line);
+    ASSERT_TRUE(entry.has_value());
     EXPECT_EQ(entry->state, Mesif::kExclusive);
     EXPECT_EQ(l3_entry(0, line)->state, Mesif::kExclusive);
   }
@@ -80,8 +81,8 @@ TEST_F(PlacementTest, SharedPlacementPutsForwardInLastReadersNode) {
   place(sys_, region, placement);
   for (LineAddr line = region.first_line();
        line < region.first_line() + region.line_count(); ++line) {
-    ASSERT_NE(l3_entry(0, line), nullptr);
-    ASSERT_NE(l3_entry(1, line), nullptr);
+    ASSERT_TRUE(l3_entry(0, line).has_value());
+    ASSERT_TRUE(l3_entry(1, line).has_value());
     EXPECT_EQ(l3_entry(0, line)->state, Mesif::kShared);
     EXPECT_EQ(l3_entry(1, line)->state, Mesif::kForward);
   }
@@ -95,10 +96,10 @@ TEST_F(PlacementTest, L3LevelEvictsCoreCachesOnly) {
   const CoreCaches& cc = sys_.state().cores[1];
   for (LineAddr line = region.first_line();
        line < region.first_line() + region.line_count(); ++line) {
-    EXPECT_EQ(cc.l1.peek(line), nullptr);
-    EXPECT_EQ(cc.l2.peek(line), nullptr);
-    const CacheEntry* entry = l3_entry(0, line);
-    ASSERT_NE(entry, nullptr);
+    EXPECT_FALSE(cc.l1.peek(line).has_value());
+    EXPECT_FALSE(cc.l2.peek(line).has_value());
+    const std::optional<CacheEntry> entry = l3_entry(0, line);
+    ASSERT_TRUE(entry.has_value());
     EXPECT_EQ(entry->state, Mesif::kModified);  // written back
     EXPECT_EQ(entry->core_valid, 0u);
   }
@@ -111,8 +112,8 @@ TEST_F(PlacementTest, MemoryLevelLeavesNothingCached) {
                                 .level = CacheLevel::kMemory});
   for (LineAddr line = region.first_line();
        line < region.first_line() + region.line_count(); ++line) {
-    EXPECT_EQ(l3_entry(0, line), nullptr);
-    EXPECT_EQ(sys_.state().cores[1].l1.peek(line), nullptr);
+    EXPECT_FALSE(l3_entry(0, line).has_value());
+    EXPECT_FALSE(sys_.state().cores[1].l1.peek(line).has_value());
   }
 }
 

@@ -1,0 +1,148 @@
+// Unit tests for the set-sampling primitives (core/sampling.h): denominator
+// rounding, the min-sampled-bytes floor, geometry/counter/measured-lines
+// scaling, seed mixing, and configuration validation.  The end-to-end
+// accuracy bound lives in bench/validate_sampling.cpp; sweep_test.cpp pins
+// full-mode byte-identity.
+#include "core/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "machine/system.h"
+#include "util/units.h"
+
+namespace hsw {
+namespace {
+
+TEST(SamplingConfigTest, DefaultIsExact) {
+  const SamplingConfig config;
+  EXPECT_FALSE(config.active());
+  EXPECT_EQ(config.requested_denominator(), 1u);
+  EXPECT_FALSE(config.plan(mib(64)).active());
+}
+
+TEST(SamplingConfigTest, RatioRoundsToNearestPowerOfTwoReciprocal) {
+  SamplingConfig config;
+  const struct {
+    double ratio;
+    std::uint64_t denominator;
+  } cases[] = {
+      {0.5, 2},     {0.25, 4},      {0.125, 8},  {0.0625, 16},
+      {0.03125, 32}, {0.1, 8},      {0.06, 16},  {0.3, 4},
+      {0.9, 2},      {0.001, 32},  // clamped at 1/32: the L1 keeps >= 2 sets
+  };
+  for (const auto& c : cases) {
+    config.ratio = c.ratio;
+    EXPECT_EQ(config.requested_denominator(), c.denominator)
+        << "ratio " << c.ratio;
+  }
+}
+
+TEST(SamplingConfigTest, FloorReducesDenominatorForSmallPoints) {
+  SamplingConfig config;
+  config.ratio = 1.0 / 16.0;
+  config.min_sampled_bytes = 4 * 1024 * 1024;
+  // 64 MiB / 16 = 4 MiB: exactly at the floor, full reduction.
+  EXPECT_EQ(config.plan(mib(64)).denominator, 16u);
+  // 32 MiB / 16 = 2 MiB < floor; halve until 32 MiB / d >= 4 MiB.
+  EXPECT_EQ(config.plan(mib(32)).denominator, 8u);
+  EXPECT_EQ(config.plan(mib(16)).denominator, 4u);
+  EXPECT_EQ(config.plan(mib(8)).denominator, 2u);
+  // At or below the floor the point runs exact.
+  EXPECT_FALSE(config.plan(mib(4)).active());
+  EXPECT_FALSE(config.plan(kib(64)).active());
+}
+
+TEST(SamplingPlanTest, ScaledGeometryDividesCachesAndDramRows) {
+  const CacheGeometry full;
+  const SamplingPlan plan{8};
+  const CacheGeometry scaled = plan.scaled(full);
+  EXPECT_EQ(scaled.l1_bytes, full.l1_bytes / 8);
+  EXPECT_EQ(scaled.l2_bytes, full.l2_bytes / 8);
+  EXPECT_EQ(scaled.l3_slice_bytes, full.l3_slice_bytes / 8);
+  // Associativity and line size are untouched: per-set behaviour must be
+  // identical to a full-machine set.
+  EXPECT_EQ(scaled.l1_assoc, full.l1_assoc);
+  EXPECT_EQ(scaled.l2_assoc, full.l2_assoc);
+  EXPECT_EQ(scaled.l3_assoc, full.l3_assoc);
+  // DRAM rows shrink with the sets so open-page hit rates match.
+  EXPECT_EQ(scaled.dram.row_bytes, full.dram.row_bytes / 8);
+  EXPECT_EQ(scaled.dram.banks, full.dram.banks);
+}
+
+TEST(SamplingPlanTest, DramRowsNeverShrinkBelowOneLine) {
+  CacheGeometry g;
+  g.dram.row_bytes = 2 * kLineSize;
+  const SamplingPlan plan{32};
+  EXPECT_EQ(plan.scaled(g).dram.row_bytes, kLineSize);
+}
+
+TEST(SamplingPlanTest, InactivePlanIsIdentity) {
+  const SamplingPlan plan{1};
+  const CacheGeometry g;
+  const CacheGeometry scaled = plan.scaled(g);
+  EXPECT_EQ(scaled.l1_bytes, g.l1_bytes);
+  EXPECT_EQ(scaled.dram.row_bytes, g.dram.row_bytes);
+  EXPECT_EQ(plan.scaled_bytes(12345), 12345u);
+  EXPECT_EQ(plan.scaled_measured_lines(100), 100u);  // no 256-line clamp
+  CounterSet::Snapshot counters{};
+  counters[0] = 7;
+  plan.scale_counters(counters);
+  EXPECT_EQ(counters[0], 7u);  // exact integers stay exact
+}
+
+TEST(SamplingPlanTest, ScaledMeasuredLinesKeepsFractionWithFloor) {
+  const SamplingPlan plan{16};
+  EXPECT_EQ(plan.scaled_measured_lines(8192), 512u);
+  // The statistical floor: never fewer than 256 measured lines.
+  EXPECT_EQ(plan.scaled_measured_lines(1024), 256u);
+}
+
+TEST(SamplingPlanTest, ScaleCountersMultipliesByDenominator) {
+  const SamplingPlan plan{4};
+  CounterSet::Snapshot counters{};
+  counters[0] = 100;
+  counters[1] = 3;
+  plan.scale_counters(counters);
+  EXPECT_EQ(counters[0], 400u);
+  EXPECT_EQ(counters[1], 12u);
+}
+
+TEST(SamplingConfigTest, MixSeedIsDeterministicAndSpreadsSeeds) {
+  SamplingConfig a;
+  a.ratio = 0.0625;
+  a.seed = 1;
+  SamplingConfig b = a;
+  EXPECT_EQ(a.mix_seed(42), b.mix_seed(42));
+  b.seed = 2;
+  // Adjacent sampling seeds must draw unrelated realizations.
+  EXPECT_NE(a.mix_seed(42), b.mix_seed(42));
+  EXPECT_NE(a.mix_seed(42), a.mix_seed(43));
+}
+
+TEST(SamplingConfigTest, ValidateRejectsRatiosOutsideUnitInterval) {
+  SamplingConfig config;
+  config.ratio = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.ratio = -0.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.ratio = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.ratio = 1.0;
+  EXPECT_NO_THROW(config.validate());
+  config.ratio = 0.03;
+  EXPECT_NO_THROW(config.validate());
+}
+
+// Power-of-two set counts survive scaling: the scaled machine must
+// construct (System asserts geometry invariants) at every denominator.
+TEST(SamplingPlanTest, ScaledMachineConstructsAtEveryDenominator) {
+  for (std::uint64_t d : {2u, 4u, 8u, 16u, 32u}) {
+    const SamplingPlan plan{d};
+    SystemConfig config = SystemConfig::source_snoop();
+    config.geometry = plan.scaled(config.geometry);
+    EXPECT_NO_THROW({ System system(config); }) << "denominator " << d;
+  }
+}
+
+}  // namespace
+}  // namespace hsw

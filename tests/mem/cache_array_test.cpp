@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -26,11 +27,11 @@ TEST(CacheArray, RejectsBadGeometry) {
 
 TEST(CacheArray, InsertAndLookup) {
   CacheArray cache = tiny();
-  EXPECT_EQ(cache.lookup(7), nullptr);
+  EXPECT_FALSE(cache.lookup(7));
   auto ins = cache.insert(7, Mesif::kExclusive);
   EXPECT_FALSE(ins.victim.has_value());
-  ASSERT_NE(cache.lookup(7), nullptr);
-  EXPECT_EQ(cache.lookup(7)->state, Mesif::kExclusive);
+  ASSERT_TRUE(cache.lookup(7));
+  EXPECT_EQ(cache.lookup(7).state(), Mesif::kExclusive);
   EXPECT_EQ(cache.valid_count(), 1u);
 }
 
@@ -68,11 +69,11 @@ TEST(CacheArray, UntouchedLookupDoesNotRefresh) {
 
 TEST(CacheArray, VictimPreviewMatchesEviction) {
   CacheArray cache = tiny();
-  EXPECT_EQ(cache.replacement_victim(0), nullptr);  // set not full
+  EXPECT_FALSE(cache.replacement_victim(0).has_value());  // set not full
   cache.insert(0, Mesif::kExclusive);
   cache.insert(4, Mesif::kExclusive);
-  const CacheEntry* victim = cache.replacement_victim(0);
-  ASSERT_NE(victim, nullptr);
+  const std::optional<CacheEntry> victim = cache.replacement_victim(0);
+  ASSERT_TRUE(victim.has_value());
   const LineAddr predicted = victim->line;
   auto ins = cache.insert(8, Mesif::kExclusive);
   ASSERT_TRUE(ins.victim.has_value());
@@ -171,7 +172,7 @@ TEST(CacheArray, EraseFreesTheWayForTheNextInsert) {
   ASSERT_TRUE(cache.erase(0).has_value());
   // With a free way the set must not report a replacement victim, and the
   // next insert must use the freed way instead of evicting line 4.
-  EXPECT_EQ(cache.replacement_victim(0), nullptr);
+  EXPECT_FALSE(cache.replacement_victim(0).has_value());
   auto ins = cache.insert(8, Mesif::kExclusive);
   EXPECT_FALSE(ins.victim.has_value());
   EXPECT_TRUE(cache.contains(4));
@@ -183,11 +184,11 @@ TEST(CacheArray, FlushInterleavedWithLookupsAndReinserts) {
   for (int cycle = 0; cycle < 4; ++cycle) {
     // Repopulate every set fully, with lookups refreshing half the lines.
     for (LineAddr line = 0; line < 8; ++line) {
-      EXPECT_EQ(cache.lookup(line), nullptr) << "cycle " << cycle;
+      EXPECT_FALSE(cache.lookup(line)) << "cycle " << cycle;
       auto ins = cache.insert(line, Mesif::kModified);
       EXPECT_FALSE(ins.victim.has_value()) << "cycle " << cycle;
       if (line % 2 == 0) {
-        EXPECT_NE(cache.lookup(line), nullptr);
+        EXPECT_TRUE(cache.lookup(line));
       }
     }
     EXPECT_EQ(cache.valid_count(), 8u);
@@ -226,13 +227,44 @@ TEST(CacheArray, ValidWayMaskStaysCoherentAcrossInsertFlushCycles) {
   }
 }
 
+// The valid-mask front door: peek/contains/lookup on an empty set must
+// miss from the mask alone, and a stale tag left in the tag stripe by
+// erase/flush must never match (the mask, not the tag, is the authority).
+TEST(CacheArray, EmptySetFastPathMissesAndIgnoresStaleTags) {
+  CacheArray cache = tiny();
+  // Entirely empty array: every probe misses.
+  for (LineAddr line = 0; line < 16; ++line) {
+    EXPECT_FALSE(cache.contains(line));
+    EXPECT_FALSE(cache.peek(line).has_value());
+    EXPECT_FALSE(cache.lookup(line));
+  }
+  // Erase leaves the tag bytes in the stripe; the probe must still miss.
+  cache.insert(5, Mesif::kModified);
+  ASSERT_TRUE(cache.contains(5));
+  cache.erase(5);
+  EXPECT_FALSE(cache.contains(5));
+  EXPECT_FALSE(cache.peek(5).has_value());
+  EXPECT_FALSE(cache.lookup(5));
+  // Same through flush, including sets that were full.
+  cache.insert(1, Mesif::kExclusive);
+  cache.insert(1 + 4, Mesif::kShared);  // same set, second way
+  cache.flush([](const CacheEntry&) {});
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(1 + 4));
+  EXPECT_EQ(cache.valid_count(), 0u);
+  // And the array is fully usable afterwards.
+  cache.insert(1, Mesif::kForward);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.peek(1)->state, Mesif::kForward);
+}
+
 TEST(CacheArray, PayloadAndCoreValidPersist) {
   CacheArray cache = tiny();
   auto ins = cache.insert(3, Mesif::kExclusive);
-  ins.entry->core_valid = 0b1010;
-  ins.entry->payload = 0x5a;
-  EXPECT_EQ(cache.lookup(3)->core_valid, 0b1010u);
-  EXPECT_EQ(cache.lookup(3)->payload, 0x5a);
+  ins.entry.core_valid() = 0b1010;
+  ins.entry.payload() = 0x5a;
+  EXPECT_EQ(cache.lookup(3).core_valid(), 0b1010u);
+  EXPECT_EQ(cache.lookup(3).payload(), 0x5a);
 }
 
 }  // namespace

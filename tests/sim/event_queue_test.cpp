@@ -151,5 +151,49 @@ TEST(EventQueue, ClearResets) {
   EXPECT_DOUBLE_EQ(queue.now(), 0.0);
 }
 
+// clear() must drop *pending* events without running them — including the
+// remainder of a live epoch when a bounded run() stopped mid-timestamp —
+// and rewind the clock so earlier times are schedulable again.
+TEST(EventQueue, ClearDropsPendingEventsWithoutRunningThem) {
+  EventQueue queue;
+  int ran = 0;
+  for (int i = 0; i < 3; ++i) queue.schedule_at(1.0, [&] { ++ran; });
+  queue.schedule_at(9.0, [&] { ++ran; });
+  queue.run(1);  // stops mid-epoch: two 1.0 events + the 9.0 event pending
+  EXPECT_EQ(queue.pending(), 3u);
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(ran, 1);
+  // The clock rewound: times before the old now() are valid again.
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+  queue.schedule_at(0.5, [&] { ++ran; });
+  queue.run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_DOUBLE_EQ(queue.now(), 0.5);
+}
+
+// A cleared queue must behave exactly like a freshly constructed one: the
+// insertion-order tie-break restarts, so re-running the same schedule
+// reproduces the same dispatch order (the reuse pattern the exec engine
+// relies on between measurement windows).
+TEST(EventQueue, ClearRestartsInsertionOrderTieBreak) {
+  EventQueue queue;
+  auto run_schedule = [&] {
+    std::vector<int> order;
+    // Same (time, key) for all: only insertion order distinguishes them.
+    for (int i = 0; i < 4; ++i) {
+      queue.schedule_at(1.0, 7, [&order, i] { order.push_back(i); });
+    }
+    queue.run();
+    return order;
+  };
+  const std::vector<int> fresh = run_schedule();
+  queue.clear();
+  const std::vector<int> reused = run_schedule();
+  EXPECT_EQ(fresh, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(reused, fresh);
+}
+
 }  // namespace
 }  // namespace hsw
