@@ -41,6 +41,11 @@ struct BenchArgs {
   // Bandwidth-rate engine (--engine analytic|simulated); latency-only
   // benches ignore it.
   hsw::BandwidthEngine engine = hsw::BandwidthEngine::kAnalytic;
+  // Coherence-protocol family (--protocol mesif|mesi|moesi|dragon).  The
+  // golden figure/table benches pin MESIF configs (the paper's machine) and
+  // reject anything else at the parse edge — a run must never record a
+  // protocol in its manifest that its SystemConfigs did not actually use.
+  hsw::Protocol protocol = hsw::Protocol::kMesif;
   // Set-sampling (--sample-ratio/--sample-seed): sweep points simulate only
   // the sampled fraction of cache-set granules.  1.0 (default) is exact and
   // byte-identical to the goldens; see EXPERIMENTS.md "Performance".
@@ -79,9 +84,18 @@ inline void require_writable_path(const std::string& path, const char* flag) {
   if (!existed) std::remove(path.c_str());
 }
 
+// How a bench relates to the --protocol axis.  kPinnedMesif (the default,
+// every paper figure/table) refuses a non-MESIF request instead of silently
+// running MESIF under a mislabeled manifest; kAllFamilies (protocol_matrix)
+// sweeps every family itself, so a --protocol selection is meaningless and
+// only warned about.
+enum class ProtocolFlagPolicy { kPinnedMesif, kAllFamilies };
+
 // Parses the standard bench flags.  Exits 0 on --help, 1 on bad flags (CI
 // must see a failure when an invocation has a typo).
-inline BenchArgs parse_args(int argc, char** argv, const char* summary) {
+inline BenchArgs parse_args(
+    int argc, char** argv, const char* summary,
+    ProtocolFlagPolicy protocol_policy = ProtocolFlagPolicy::kPinnedMesif) {
   BenchArgs args;
   hsw::CommandLine cli(summary);
   cli.add_string("csv", &args.csv, "write the series to this CSV file");
@@ -104,6 +118,10 @@ inline BenchArgs parse_args(int argc, char** argv, const char* summary) {
   cli.add_string("engine", &engine,
                  "bandwidth-rate engine: analytic (max-min model) or "
                  "simulated (event-driven queueing)");
+  std::string protocol = "mesif";
+  cli.add_string("protocol", &protocol,
+                 "coherence-protocol family: mesif (Haswell-EP) | mesi | "
+                 "moesi | dragon (update-based)");
   cli.add_double("sample-ratio", &args.sampling.ratio,
                  "fraction of cache sets to simulate, in (0, 1], rounded to "
                  "1/2^k; 1 = exact (default), ~0.06 trades <2% error on the "
@@ -140,6 +158,32 @@ inline BenchArgs parse_args(int argc, char** argv, const char* summary) {
     std::exit(1);
   }
   args.engine = *parsed_engine;
+  const std::optional<hsw::Protocol> parsed_protocol =
+      hsw::parse_protocol(protocol);
+  if (!parsed_protocol) {
+    std::fprintf(stderr,
+                 "--protocol must be mesif, mesi, moesi, or dragon, got "
+                 "'%s'\n",
+                 protocol.c_str());
+    std::exit(1);
+  }
+  args.protocol = *parsed_protocol;
+  if (args.protocol != hsw::Protocol::kMesif) {
+    switch (protocol_policy) {
+      case ProtocolFlagPolicy::kPinnedMesif:
+        std::fprintf(stderr,
+                     "this bench reproduces the paper's MESIF machine and "
+                     "pins its configs; for the --protocol axis use "
+                     "bench/protocol_matrix or hswsim_cli\n");
+        std::exit(1);
+      case ProtocolFlagPolicy::kAllFamilies:
+        std::fprintf(stderr,
+                     "note: this bench sweeps every protocol family itself; "
+                     "--protocol %s is ignored\n",
+                     protocol.c_str());
+        break;
+    }
+  }
   require_writable_path(args.trace, "--trace");
   require_writable_path(args.metrics, "--metrics");
   if (argc > 0 && argv != nullptr) {
@@ -162,8 +206,9 @@ inline void write_metrics_report(const BenchArgs& args,
   hsw::metrics::ReportManifest manifest;
   manifest.tool = args.tool;
   manifest.config = args.summary;
-  manifest.timing_hash =
-      hsw::timing_fingerprint(hsw::TimingParams::haswell_ep());
+  manifest.protocol = std::string(hsw::to_string(args.protocol));
+  manifest.timing_hash = hsw::timing_fingerprint(
+      hsw::TimingParams::haswell_ep(), hsw::to_string(args.protocol));
   manifest.seed = args.seed;
   manifest.jobs = args.jobs;
   manifest.quick = args.quick;

@@ -484,6 +484,10 @@ hsw::Mesif ladder_next_state(hsw::Mesif state, hsw::protocol::Op op) {
       }
     case Op::kSnoopInvalidate:
       return Mesif::kInvalid;
+    case Op::kSnoopUpdate:
+      // Not part of the frozen PR 5 ladder (update-based protocols came
+      // later); the stream never generates it.
+      return state;
   }
   return state;
 }

@@ -21,18 +21,31 @@
 namespace {
 
 // CLI-edge wrappers over the library parsers (hsw::parse_snoop_mode /
-// hsw::parse_mesif return std::optional; only the CLI exits).
-hsw::SystemConfig config_for(const std::string& mode) {
-  if (const auto parsed = hsw::parse_snoop_mode(mode)) {
-    return hsw::SystemConfig::for_mode(*parsed);
+// hsw::parse_protocol / hsw::parse_mesif return std::optional; only the
+// CLI exits).
+hsw::SystemConfig config_for(const std::string& mode,
+                             const std::string& protocol) {
+  const auto parsed_mode = hsw::parse_snoop_mode(mode);
+  if (!parsed_mode) {
+    std::fprintf(stderr, "unknown --mode '%s' (source|home|cod)\n",
+                 mode.c_str());
+    std::exit(1);
   }
-  std::fprintf(stderr, "unknown --mode '%s' (source|home|cod)\n", mode.c_str());
-  std::exit(1);
+  const auto parsed_protocol = hsw::parse_protocol(protocol);
+  if (!parsed_protocol) {
+    std::fprintf(stderr,
+                 "unknown --protocol '%s' (mesif|mesi|moesi|dragon)\n",
+                 protocol.c_str());
+    std::exit(1);
+  }
+  hsw::SystemConfig config = hsw::SystemConfig::for_mode(*parsed_mode);
+  config.protocol = *parsed_protocol;
+  return config;
 }
 
 hsw::Mesif state_for(const std::string& state) {
   if (const auto parsed = hsw::parse_mesif(state)) return *parsed;
-  std::fprintf(stderr, "unknown --state '%s' (M|E|S|I|F)\n", state.c_str());
+  std::fprintf(stderr, "unknown --state '%s' (M|O|E|S|I|F)\n", state.c_str());
   std::exit(1);
 }
 
@@ -52,8 +65,10 @@ int cmd_latency(int argc, char** argv) {
   std::int64_t sharer = -1;
   std::int64_t node = -1;
   std::uint64_t size = hsw::kib(64);
+  std::string protocol = "mesif";
   hsw::CommandLine cli("hswsim_cli latency: placement-controlled latency");
   cli.add_string("mode", &mode, "source | home | cod");
+  cli.add_string("protocol", &protocol, "mesif | mesi | moesi | dragon");
   cli.add_string("state", &state, "coherence state: M | E | S");
   cli.add_string("level", &level, "auto | l3 | memory");
   cli.add_int("reader", &reader, "measuring core");
@@ -63,7 +78,7 @@ int cmd_latency(int argc, char** argv) {
   cli.add_bytes("size", &size, "data-set size");
   if (!cli.parse(argc, argv)) return 1;
 
-  hsw::System system(config_for(mode));
+  hsw::System system(config_for(mode, protocol));
   hsw::LatencyConfig lc;
   lc.reader_core = static_cast<int>(reader);
   lc.placement.owner_core = static_cast<int>(owner);
@@ -101,8 +116,10 @@ int cmd_bandwidth(int argc, char** argv) {
   std::int64_t node = 0;
   std::uint64_t size = hsw::mib(2);
   bool write = false;
+  std::string protocol = "mesif";
   hsw::CommandLine cli("hswsim_cli bandwidth: concurrent memory streams");
   cli.add_string("mode", &mode, "source | home | cod");
+  cli.add_string("protocol", &protocol, "mesif | mesi | moesi | dragon");
   cli.add_string("engine", &engine,
                  "rate engine: analytic (max-min model) | simulated "
                  "(event-driven queueing)");
@@ -112,7 +129,7 @@ int cmd_bandwidth(int argc, char** argv) {
   cli.add_bool("write", &write, "store streams instead of loads");
   if (!cli.parse(argc, argv)) return 1;
 
-  hsw::System system(config_for(mode));
+  hsw::System system(config_for(mode, protocol));
   hsw::BandwidthConfig bc;
   for (int c = 0; c < cores; ++c) {
     hsw::StreamConfig stream;
@@ -146,7 +163,7 @@ int cmd_topo(int argc, char** argv) {
   cli.add_string("mode", &mode, "source | home | cod");
   if (!cli.parse(argc, argv)) return 1;
 
-  hsw::System system(config_for(mode));
+  hsw::System system(config_for(mode, "mesif"));
   const hsw::SystemTopology& topo = system.topology();
   std::printf("%s\n\n", system.config().describe().c_str());
   for (const hsw::NumaNode& n : topo.nodes()) {
@@ -182,8 +199,10 @@ int cmd_trace(int argc, char** argv) {
   std::int64_t accesses = 20000;
   bool concurrent = false;
   std::int64_t window = 10;
+  std::string protocol = "mesif";
   hsw::CommandLine cli("hswsim_cli trace: synthetic trace replay");
   cli.add_string("mode", &mode, "source | home | cod");
+  cli.add_string("protocol", &protocol, "mesif | mesi | moesi | dragon");
   cli.add_string("pattern", &pattern,
                  "stream | chase | producer-consumer | hotset | pingpong | "
                  "lock | false-sharing | false-sharing-padded");
@@ -197,7 +216,7 @@ int cmd_trace(int argc, char** argv) {
               "outstanding misses per core for --concurrent");
   if (!cli.parse(argc, argv)) return 1;
 
-  hsw::System system(config_for(mode));
+  hsw::System system(config_for(mode, protocol));
   std::vector<int> core_list;
   for (int c = 0; c < cores; ++c) core_list.push_back(c);
   // Contention partner on the other socket when there is one.

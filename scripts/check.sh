@@ -62,6 +62,16 @@ grep -Eq '"HA_HITME_HIT": [1-9]' "$trace_dir/attribution.metrics.json" \
   || { echo "metrics smoke: hswsim-report diff report vs itself failed"; exit 1; }
 echo "metrics smoke: ok"
 
+echo "== protocol differential smoke =="
+# Every coherence-protocol family (MESIF/MESI/MOESI/Dragon) replays a short
+# seeded trace through the engine and its timing-free reference with
+# full-state diffing after every step; any divergence fails the run with a
+# minimized repro.  The full protocol x snoop-mode grid runs in check_tests
+# (ctest -L protocol); this is the seconds-scale shell gate.
+"$repo_root/build/src/check/protocol_diff" --steps 500 \
+  || { echo "protocol smoke: engine diverged from a protocol reference"; exit 1; }
+echo "protocol smoke: ok"
+
 echo "== simulated-engine smoke =="
 # The event-driven bandwidth engine must (a) run the Fig. 8 quick sweep
 # end to end under --engine simulated with byte-identical CSVs for any

@@ -23,6 +23,7 @@ const char* to_string(DiffOp::Kind kind) {
 SystemConfig system_config_for(const DiffConfig& config) {
   SystemConfig sc;
   sc.snoop_mode = config.mode;
+  sc.protocol = config.protocol;
   if (config.das) {
     ProtocolFeatures features = ProtocolFeatures::for_mode(config.mode);
     features.directory = true;
@@ -53,11 +54,12 @@ std::optional<std::string> check_occupancy_gauges(
   using MG = metrics::MGauge;
   sys.state().update_structural_gauges(registry);
   const auto& gauges = registry.gauges();
-  const auto occ_sum = [&](MG m, MG e, MG s, MG f) {
+  const auto occ_sum = [&](MG m, MG e, MG s, MG f, MG o) {
     return gauges[static_cast<std::size_t>(m)] +
            gauges[static_cast<std::size_t>(e)] +
            gauges[static_cast<std::size_t>(s)] +
-           gauges[static_cast<std::size_t>(f)];
+           gauges[static_cast<std::size_t>(f)] +
+           gauges[static_cast<std::size_t>(o)];
   };
   std::int64_t l1 = 0;
   std::int64_t l2 = 0;
@@ -78,15 +80,15 @@ std::optional<std::string> check_occupancy_gauges(
   } checks[] = {
       {"L1",
        occ_sum(MG::kL1OccModified, MG::kL1OccExclusive, MG::kL1OccShared,
-               MG::kL1OccForward),
+               MG::kL1OccForward, MG::kL1OccOwned),
        l1},
       {"L2",
        occ_sum(MG::kL2OccModified, MG::kL2OccExclusive, MG::kL2OccShared,
-               MG::kL2OccForward),
+               MG::kL2OccForward, MG::kL2OccOwned),
        l2},
       {"L3",
        occ_sum(MG::kL3OccModified, MG::kL3OccExclusive, MG::kL3OccShared,
-               MG::kL3OccForward),
+               MG::kL3OccForward, MG::kL3OccOwned),
        l3},
   };
   for (const auto& check : checks) {
@@ -183,6 +185,7 @@ std::optional<std::string> compare_states(System& sys, ReferenceModel& ref,
       {Ctr::kSnoopsSent, rc.snoops_sent},
       {Ctr::kSnoopBroadcasts, rc.snoop_broadcasts},
       {Ctr::kQpiSnoopFlits, rc.qpi_snoop_flits},
+      {Ctr::kUpdatesSent, rc.updates_sent},
       {Ctr::kHitmeHit, rc.hitme_hits},
       {Ctr::kHitmeMiss, rc.hitme_misses},
       {Ctr::kHitmeAlloc, rc.hitme_allocs},
@@ -358,6 +361,13 @@ std::string format_replay(const DiffConfig& config,
           : config.mode == SnoopMode::kHomeSnoop ? "kHomeSnoop"
                                                  : "kCod")
       << ";\n";
+  if (config.protocol != Protocol::kMesif) {
+    out << "config.protocol = hsw::Protocol::"
+        << (config.protocol == Protocol::kMesi    ? "kMesi"
+            : config.protocol == Protocol::kMoesi ? "kMoesi"
+                                                  : "kDragon")
+        << ";\n";
+  }
   if (config.das) out << "config.das = true;\n";
   out << "std::vector<hsw::check::DiffOp> ops = {\n";
   for (const DiffOp& op : ops) {

@@ -34,6 +34,9 @@ struct DiffOp {
 
 struct DiffConfig {
   SnoopMode mode = SnoopMode::kSourceSnoop;
+  // Coherence-protocol family both models run (every protocol × snoop-mode
+  // cell is a valid differential configuration).
+  Protocol protocol = Protocol::kMesif;
   // Directory-assisted snoop without the HitME cache (classic DAS ablation;
   // exercises the DirState::kShared paths).
   bool das = false;

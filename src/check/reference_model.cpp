@@ -1,5 +1,6 @@
 #include "check/reference_model.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "mem/address.h"
@@ -9,7 +10,10 @@ namespace hsw::check {
 ReferenceModel::ReferenceModel(const SystemTopology& topo,
                                const ProtocolFeatures& features,
                                ReferenceFault fault)
-    : topo_(topo), features_(features), fault_(fault) {}
+    : topo_(topo),
+      features_(features),
+      pol_(protocol::policy(features.protocol)),
+      fault_(fault) {}
 
 ReferenceLine& ReferenceModel::at(LineAddr line) {
   auto [it, inserted] = lines_.try_emplace(line);
@@ -27,6 +31,13 @@ const ReferenceLine& ReferenceModel::line_state(LineAddr line) {
   return at(line);
 }
 
+bool ReferenceModel::sees_dirty(Mesif s) const {
+  if (fault_ == ReferenceFault::kMoesiLostOwnedWriteback && s == Mesif::kOwned) {
+    return false;  // the injected bug: Owned pretends to be clean
+  }
+  return is_dirty(s);
+}
+
 bool ReferenceModel::dir_set(ReferenceLine& ls, DirState next) {
   if (next == DirState::kRemoteInvalid) {
     const bool changed = ls.dir != DirState::kRemoteInvalid;
@@ -42,8 +53,11 @@ bool ReferenceModel::dir_set(ReferenceLine& ls, DirState next) {
 void ReferenceModel::writeback(LineAddr line, bool clears_directory) {
   ++ctr_.dram_writes;
   ++ctr_.l3_writebacks;
+  ReferenceLine& ls = at(line);
+  // The dirty copy carries the line's newest version home.
+  ls.mem_value = ls.newest_value;
   if (directory_on() && clears_directory) {
-    if (dir_set(at(line), DirState::kRemoteInvalid)) ++ctr_.directory_updates;
+    if (dir_set(ls, DirState::kRemoteInvalid)) ++ctr_.directory_updates;
   }
 }
 
@@ -55,7 +69,7 @@ bool ReferenceModel::snoop_core(int global_core, LineAddr line,
   bool dirty = false;
   for (Mesif* level : {&ls.l1[c], &ls.l2[c]}) {
     if (*level == Mesif::kInvalid) continue;
-    dirty |= *level == Mesif::kModified;
+    dirty |= is_dirty(*level);
     *level = demote_to;
   }
   return dirty;
@@ -64,8 +78,7 @@ bool ReferenceModel::snoop_core(int global_core, LineAddr line,
 bool ReferenceModel::invalidate_core(int global_core, LineAddr line) {
   ReferenceLine& ls = at(line);
   const auto c = static_cast<std::size_t>(global_core);
-  const bool dirty =
-      ls.l1[c] == Mesif::kModified || ls.l2[c] == Mesif::kModified;
+  const bool dirty = is_dirty(ls.l1[c]) || is_dirty(ls.l2[c]);
   ls.l1[c] = Mesif::kInvalid;
   ls.l2[c] = Mesif::kInvalid;
   return dirty;
@@ -77,36 +90,33 @@ ReferenceModel::PeerSnoop ReferenceModel::snoop_peer_read(int peer_node,
   ReferenceLine& ls = at(line);
   const auto n = static_cast<std::size_t>(peer_node);
   PeerSnoop result;
-  switch (ls.l3[n]) {
-    case Mesif::kInvalid:
-      return result;
-    case Mesif::kShared:
-      result.had_shared = true;
-      return result;
-    case Mesif::kForward:
-      ls.l3[n] = Mesif::kShared;
-      result.forwarded = true;
-      return result;
-    case Mesif::kExclusive:
-    case Mesif::kModified: {
-      const std::uint32_t cv = ls.cv[n];
-      const bool multi = std::popcount(cv) > 1;
-      if (features_.core_valid_bits && cv != 0 && !multi) {
-        const int owner_local = std::countr_zero(cv);
-        const int owner =
-            topo_.global_core(topo_.node(peer_node).socket, owner_local);
-        if (snoop_core(owner, line, Mesif::kShared)) {
-          ls.l3[n] = Mesif::kModified;  // refreshed with the dirty data
-        }
+  if (ls.l3[n] == Mesif::kInvalid) return result;
+
+  const protocol::SnoopReadReaction& rx = pol_.snoop_read(ls.l3[n]);
+  result.had_shared = rx.responds_shared;
+  if (!rx.forwards) return result;  // Shared answers without data
+
+  if (rx.may_hold_newer) {
+    const std::uint32_t cv = ls.cv[n];
+    const bool multi = std::popcount(cv) > 1;
+    if (features_.core_valid_bits && cv != 0 && !multi) {
+      const int owner_local = std::countr_zero(cv);
+      const int owner =
+          topo_.global_core(topo_.node(peer_node).socket, owner_local);
+      if (snoop_core(owner, line, Mesif::kShared)) {
+        ls.l3[n] = Mesif::kModified;  // refreshed with the dirty data
       }
-      if (ls.l3[n] == Mesif::kModified) {
-        writeback(line, /*clears_directory=*/false);
-      }
-      ls.l3[n] = Mesif::kShared;
-      result.forwarded = true;
-      return result;
     }
   }
+  if (is_dirty(ls.l3[n])) {
+    if (pol_.writeback_on_read_snoop) {
+      writeback(line, /*clears_directory=*/false);
+    } else {
+      result.dirty_forward = true;  // MOESI/Dragon: memory copy goes stale
+    }
+  }
+  ls.l3[n] = pol_.next(ls.l3[n], protocol::Op::kSnoopRead);
+  result.forwarded = true;
   return result;
 }
 
@@ -126,16 +136,42 @@ void ReferenceModel::snoop_peer_invalidate(int peer_node, LineAddr line) {
   ls.cv[n] = 0;
 }
 
+bool ReferenceModel::snoop_peer_update(int peer_node, LineAddr line) {
+  ++ctr_.snoops_sent;
+  ReferenceLine& ls = at(line);
+  const auto n = static_cast<std::size_t>(peer_node);
+  if (ls.l3[n] == Mesif::kInvalid) return false;
+
+  ++ctr_.updates_sent;
+  std::uint32_t cv = ls.cv[n];
+  while (cv != 0) {
+    const int owner_local = std::countr_zero(cv);
+    cv &= cv - 1;
+    const int owner =
+        topo_.global_core(topo_.node(peer_node).socket, owner_local);
+    if (fault_ == ReferenceFault::kDragonDroppedUpdate) {
+      ++ctr_.core_snoops;  // the injected bug: snooped but never demoted
+    } else {
+      snoop_core(owner, line, Mesif::kShared);
+    }
+  }
+  if (fault_ != ReferenceFault::kDragonDroppedUpdate) {
+    ls.l3[n] = pol_.next(ls.l3[n], protocol::Op::kSnoopUpdate);
+  }
+  return true;
+}
+
 void ReferenceModel::handle_l2_victim(int core, LineAddr line,
                                       Mesif victim_state, bool l1_still_holds) {
   if (!is_dirty(victim_state)) return;  // clean evictions are silent
   ReferenceLine& ls = at(line);
   const auto node = static_cast<std::size_t>(topo_.node_of_core(core));
   if (ls.l3[node] != Mesif::kInvalid) {
-    ls.l3[node] = Mesif::kModified;
+    // An already-dirty-shared (Owned) L3 entry keeps its sharing state.
+    if (!is_dirty(ls.l3[node])) ls.l3[node] = victim_state;
     if (!l1_still_holds) ls.cv[node] &= ~bit_of_core(core);
   } else {
-    ls.l3[node] = Mesif::kModified;
+    ls.l3[node] = victim_state;
     ls.cv[node] = 0;  // fresh L3 entry: no core-valid bits
   }
 }
@@ -144,7 +180,7 @@ void ReferenceModel::handle_l3_victim(int node, LineAddr line) {
   ++ctr_.l3_evictions;
   ReferenceLine& ls = at(line);
   const auto n = static_cast<std::size_t>(node);
-  bool dirty = ls.l3[n] == Mesif::kModified;
+  bool dirty = sees_dirty(ls.l3[n]);
   std::uint32_t cv = ls.cv[n];
   while (cv != 0) {
     const int owner_local = std::countr_zero(cv);
@@ -168,7 +204,7 @@ void ReferenceModel::fill_caches(int core, LineAddr line, const Fill& fill) {
     ls.cv[node] = bit_of_core(core);
   }
   ls.l2[c] = fill.core_state;
-  if (ls.l1[c] == Mesif::kInvalid || fill.core_state == Mesif::kModified) {
+  if (ls.l1[c] == Mesif::kInvalid || is_dirty(fill.core_state)) {
     ls.l1[c] = fill.core_state;
   }
 }
@@ -180,9 +216,10 @@ void ReferenceModel::read(int core, LineAddr line) {
   const auto c = static_cast<std::size_t>(core);
   const auto node = static_cast<std::size_t>(topo_.node_of_core(core));
   // Reading a Shared line whose node L3 copy is also Shared costs an L3
-  // round trip but changes no state.
+  // round trip but changes no state (the MESIF forward-reclaim path).
   auto shared_hit = [&](Mesif state) {
-    return state == Mesif::kShared && ls.l3[node] == Mesif::kShared;
+    return pol_.has_forward && state == Mesif::kShared &&
+           ls.l3[node] == Mesif::kShared;
   };
   if (ls.l1[c] != Mesif::kInvalid) {
     (void)shared_hit(ls.l1[c]);
@@ -207,7 +244,7 @@ ReferenceModel::Fill ReferenceModel::ca_read(int core, LineAddr line) {
   if (ls.l3[n] != Mesif::kInvalid) {
     const std::uint32_t owners = ls.cv[n] & ~bit_of_core(core);
     const bool multi = std::popcount(ls.cv[n]) > 1;
-    if ((ls.l3[n] == Mesif::kExclusive || ls.l3[n] == Mesif::kModified) &&
+    if (pol_.snoop_read(ls.l3[n]).may_hold_newer &&
         features_.core_valid_bits && owners != 0 && !multi) {
       const int owner_local = std::countr_zero(owners);
       const int owner =
@@ -231,17 +268,20 @@ ReferenceModel::Fill ReferenceModel::home_read(int core, int req_node,
 
   Fill fill;
   fill.core_state = Mesif::kShared;
-  fill.node_state = Mesif::kForward;
+  fill.node_state = pol_.clean_shared_grant;
 
   std::vector<int> peers;
   for (int n = 0; n < topo_.node_count(); ++n) {
     if (n != req_node && n != h) peers.push_back(n);
   }
 
-  auto record_forward_state = [&](int forwarder_node) {
-    fill.node_state = Mesif::kForward;
+  // `memory_valid` mirrors the engine: false for an Owned dirty forward
+  // (MOESI/Dragon), which bars the HitME allocation and the directory's
+  // `shared` state — both claim the memory copy is authoritative.
+  auto record_forward_state = [&](int forwarder_node, bool memory_valid) {
+    fill.node_state = pol_.clean_shared_grant;
     if (directory_on() && req_node != h) {
-      if (hitme_on()) {
+      if (hitme_on() && memory_valid) {
         const auto presence = static_cast<std::uint8_t>(
             (1u << static_cast<unsigned>(req_node)) |
             (1u << static_cast<unsigned>(forwarder_node)));
@@ -254,7 +294,10 @@ ReferenceModel::Fill ReferenceModel::home_read(int core, int req_node,
         }
         if (dir_set(ls, DirState::kSnoopAll)) ++ctr_.directory_updates;
       } else {
-        if (dir_set(ls, DirState::kShared)) ++ctr_.directory_updates;
+        const DirState next = (!hitme_on() && memory_valid)
+                                  ? DirState::kShared
+                                  : DirState::kSnoopAll;
+        if (dir_set(ls, next)) ++ctr_.directory_updates;
       }
     }
   };
@@ -279,14 +322,14 @@ ReferenceModel::Fill ReferenceModel::home_read(int core, int req_node,
       if (topo_.crosses_qpi(snoop_origin, p)) ++ctr_.qpi_snoop_flits;
       const PeerSnoop snoop = snoop_peer_read(p, line);
       if (snoop.forwarded) {
-        record_forward_state(p);
+        record_forward_state(p, !snoop.dirty_forward);
         return fill;
       }
       any_shared |= snoop.had_shared;
     }
     ++ctr_.dram_reads;
     record_memory_grant(!any_shared);
-    if (any_shared) fill.node_state = Mesif::kForward;
+    if (any_shared) fill.node_state = pol_.clean_shared_grant;
     return fill;
   }
 
@@ -295,7 +338,7 @@ ReferenceModel::Fill ReferenceModel::home_read(int core, int req_node,
   if (h != req_node) {
     const PeerSnoop local_snoop = snoop_peer_read(h, line);
     if (local_snoop.forwarded) {
-      record_forward_state(h);
+      record_forward_state(h, !local_snoop.dirty_forward);
       return fill;
     }
     home_had_shared = local_snoop.had_shared;
@@ -317,7 +360,7 @@ ReferenceModel::Fill ReferenceModel::home_read(int core, int req_node,
   ++ctr_.dram_reads;
   if (ls.dir == DirState::kRemoteInvalid) {
     record_memory_grant(!home_had_shared);
-    if (home_had_shared) fill.node_state = Mesif::kForward;
+    if (home_had_shared) fill.node_state = pol_.clean_shared_grant;
     return fill;
   }
   if (ls.dir == DirState::kShared) {
@@ -332,13 +375,13 @@ ReferenceModel::Fill ReferenceModel::home_read(int core, int req_node,
     if (topo_.crosses_qpi(h, p)) ++ctr_.qpi_snoop_flits;
     const PeerSnoop snoop = snoop_peer_read(p, line);
     if (snoop.forwarded) {
-      record_forward_state(p);
+      record_forward_state(p, !snoop.dirty_forward);
       return fill;
     }
     any_shared |= snoop.had_shared;
   }
   record_memory_grant(!any_shared);
-  if (any_shared) fill.node_state = Mesif::kForward;
+  if (any_shared) fill.node_state = pol_.clean_shared_grant;
   return fill;
 }
 
@@ -346,18 +389,27 @@ ReferenceModel::Fill ReferenceModel::home_read(int core, int req_node,
 
 void ReferenceModel::write(int core, LineAddr line) {
   ReferenceLine& ls = at(line);
+  // Value oracle: every store produces a fresh version, regardless of which
+  // protocol path carries it.
+  ls.newest_value = ++op_serial_;
+  ls.last_writer = core;
   const auto c = static_cast<std::size_t>(core);
   if (ls.l1[c] != Mesif::kInvalid) {
-    if (ls.l1[c] == Mesif::kModified || ls.l1[c] == Mesif::kExclusive) {
-      ls.l1[c] = Mesif::kModified;  // silent E->M upgrade
-      return;
+    if (pol_.store_silent(ls.l1[c])) {
+      ls.l1[c] = pol_.next(ls.l1[c], protocol::Op::kLocalStore);
+      return;  // silent E->M upgrade
     }
   } else if (ls.l2[c] != Mesif::kInvalid) {
-    if (ls.l2[c] == Mesif::kModified || ls.l2[c] == Mesif::kExclusive) {
+    if (pol_.store_silent(ls.l2[c])) {
       ls.l1[c] = Mesif::kModified;
       ls.l2[c] = Mesif::kShared;  // newest copy now in L1
       return;
     }
+  }
+  if (pol_.update_based) {
+    const Fill fill = ca_update(core, line);
+    fill_caches(core, line, fill);
+    return;
   }
   Fill fill = ca_write(core, line);
   fill.core_state = Mesif::kModified;
@@ -372,7 +424,7 @@ ReferenceModel::Fill ReferenceModel::ca_write(int core, LineAddr line) {
   Fill fill;
   fill.node_state = Mesif::kExclusive;
   if (ls.l3[n] != Mesif::kInvalid) {
-    if (ls.l3[n] == Mesif::kExclusive || ls.l3[n] == Mesif::kModified) {
+    if (pol_.owns(ls.l3[n])) {
       std::uint32_t others = ls.cv[n] & ~bit_of_core(core);
       if (others != 0) {
         bool dirty = false;
@@ -389,7 +441,7 @@ ReferenceModel::Fill ReferenceModel::ca_write(int core, LineAddr line) {
       fill.node_state = ls.l3[n];
       return fill;
     }
-    // Shared/Forward at node level: upgrade through the home agent.
+    // Shared/Forward/Owned at node level: upgrade through the home agent.
     std::uint32_t local_sharers = ls.cv[n] & ~bit_of_core(core);
     while (local_sharers != 0) {
       const int owner_local = std::countr_zero(local_sharers);
@@ -440,6 +492,91 @@ ReferenceModel::Fill ReferenceModel::home_write(int core, int req_node,
   return fill;
 }
 
+// --- update-based store (Dragon) ---------------------------------------------
+
+ReferenceModel::Fill ReferenceModel::ca_update(int core, LineAddr line) {
+  ReferenceLine& ls = at(line);
+  const int req_node = topo_.node_of_core(core);
+  const auto n = static_cast<std::size_t>(req_node);
+
+  // Write-allocate: a store miss first fills the line like a read.
+  if (ls.l3[n] == Mesif::kInvalid) {
+    const Fill read_fill = ca_read(core, line);
+    fill_caches(core, line, read_fill);
+  }
+
+  const std::uint32_t others = ls.cv[n] & ~bit_of_core(core);
+  if (pol_.owns(ls.l3[n])) {
+    // Node-exclusive: the update never leaves the node; in-node sharers
+    // keep their (refreshed, Shared) copies.
+    std::uint32_t sharers = others;
+    while (sharers != 0) {
+      const int owner_local = std::countr_zero(sharers);
+      sharers &= sharers - 1;
+      snoop_core(topo_.global_core(topo_.node(req_node).socket, owner_local),
+                 line, Mesif::kShared);
+      ++ctr_.updates_sent;
+    }
+    ls.l3[n] = Mesif::kModified;
+    ls.cv[n] |= bit_of_core(core);
+    Fill fill;
+    fill.node_state = ls.l3[n];
+    fill.core_state = others != 0 ? Mesif::kOwned : Mesif::kModified;
+    return fill;
+  }
+  return home_update(core, req_node, line);
+}
+
+ReferenceModel::Fill ReferenceModel::home_update(int core, int req_node,
+                                                 LineAddr line) {
+  ReferenceLine& ls = at(line);
+  const int h = home_node_of_line(line);
+  const auto n = static_cast<std::size_t>(req_node);
+
+  const bool from_requester = source_snoop() && !directory_on();
+  bool remote_copy = false;
+  for (int p = 0; p < topo_.node_count(); ++p) {
+    if (p == req_node) continue;
+    ++ctr_.snoop_broadcasts;
+    const int from = from_requester ? req_node : h;
+    if (topo_.crosses_qpi(from, p)) ++ctr_.qpi_snoop_flits;
+    remote_copy |= snoop_peer_update(p, line);
+  }
+
+  // In-node sharers are refreshed in place.
+  std::uint32_t others = ls.cv[n] & ~bit_of_core(core);
+  const bool local_sharers = others != 0;
+  while (others != 0) {
+    const int owner_local = std::countr_zero(others);
+    others &= others - 1;
+    snoop_core(topo_.global_core(topo_.node(req_node).socket, owner_local),
+               line, Mesif::kShared);
+    ++ctr_.updates_sent;
+  }
+  // The writer owns the newest data; surviving remote copies make the node
+  // state Owned (dirty-shared) rather than Modified.
+  ls.l3[n] = remote_copy ? Mesif::kOwned : Mesif::kModified;
+  ls.cv[n] |= bit_of_core(core);
+
+  Fill fill;
+  fill.node_state = ls.l3[n];
+  fill.core_state =
+      (remote_copy || local_sharers) ? Mesif::kOwned : Mesif::kModified;
+
+  if (directory_on()) {
+    // Memory is stale after an update: `shared` is never recorded.
+    const DirState next = (req_node == h && !remote_copy)
+                              ? DirState::kRemoteInvalid
+                              : DirState::kSnoopAll;
+    if (dir_set(ls, next)) ++ctr_.directory_updates;
+    if (hitme_on()) {
+      ls.hitme = false;
+      ls.presence = 0;
+    }
+  }
+  return fill;
+}
+
 // --- flush / placement helpers ----------------------------------------------
 
 void ReferenceModel::flush_line(LineAddr line) {
@@ -448,7 +585,7 @@ void ReferenceModel::flush_line(LineAddr line) {
   for (int node = 0; node < topo_.node_count(); ++node) {
     const auto n = static_cast<std::size_t>(node);
     if (ls.l3[n] == Mesif::kInvalid) continue;
-    dirty |= ls.l3[n] == Mesif::kModified;
+    dirty |= sees_dirty(ls.l3[n]);
     std::uint32_t cv = ls.cv[n];
     while (cv != 0) {
       const int owner_local = std::countr_zero(cv);
@@ -494,6 +631,23 @@ void ReferenceModel::flush_node_l3(int node) {
     if (ls.l3[n] == Mesif::kInvalid) continue;
     handle_l3_victim(node, line);
   }
+}
+
+void ReferenceModel::flush_all() {
+  std::vector<LineAddr> touched;
+  touched.reserve(lines_.size());
+  for (const auto& [line, ls] : lines_) touched.push_back(line);
+  std::sort(touched.begin(), touched.end());
+  for (const LineAddr line : touched) flush_line(line);
+}
+
+std::map<LineAddr, ReferenceModel::MemoryCell> ReferenceModel::memory_image()
+    const {
+  std::map<LineAddr, MemoryCell> image;
+  for (const auto& [line, ls] : lines_) {
+    image[line] = MemoryCell{ls.mem_value, ls.last_writer};
+  }
+  return image;
 }
 
 }  // namespace hsw::check

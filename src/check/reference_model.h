@@ -1,4 +1,4 @@
-// Timing-free reference MESIF model for differential testing.
+// Timing-free reference coherence models for differential testing.
 //
 // A deliberately naive re-implementation of the protocol semantics in
 // coh/engine.cpp: one flat map of line -> (per-core L1/L2 state, per-node L3
@@ -7,6 +7,16 @@
 // transitions and the counter semantics, written straight from the paper's
 // protocol description so that a bug in the engine's cache plumbing and a
 // bug in this model are unlikely to coincide.
+//
+// Since PR 7 the model is a *family*: it binds the same ProtocolPolicy
+// tables the engine does (MESIF / MESI / MOESI / Dragon, coh/protocol.h)
+// and mirrors each protocol's flows — the Owned dirty-shared demotions of
+// MOESI and the update broadcasts of Dragon included.  On top of the state
+// machine it carries a value oracle the engine does not have: every store
+// stamps the line with a fresh serial, and only modeled writebacks copy the
+// newest serial into the memory image.  After flush_all(), a correct
+// protocol leaves memory holding every line's newest value; a protocol (or
+// an injected fault) that loses a dirty copy leaves a stale serial behind.
 //
 // The model is only exact when the operation mix cannot cause capacity
 // evictions (the differential driver keeps its working set far below every
@@ -18,9 +28,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
+#include "coh/protocol.h"
 #include "coh/state.h"
 #include "mem/line.h"
 #include "topo/topology.h"
@@ -37,6 +49,12 @@ enum class ReferenceFault : std::uint8_t {
   kWriteSkipsDirectoryUpdate,
   // Memory grants are always Exclusive, ignoring shared copies.
   kReadAlwaysExclusive,
+  // Owned lines are treated as clean on eviction/flush: the deferred MOESI
+  // writeback is lost (counters and the memory image diverge).
+  kMoesiLostOwnedWriteback,
+  // A peer receiving a Dragon update broadcast keeps its stale states
+  // instead of demoting to Shared (L3/core state diverges).
+  kDragonDroppedUpdate,
 };
 
 // Counter semantics the reference predicts (subset of hsw::Ctr tracked by
@@ -53,6 +71,7 @@ struct ReferenceCounters {
   std::uint64_t snoops_sent = 0;
   std::uint64_t snoop_broadcasts = 0;
   std::uint64_t qpi_snoop_flits = 0;
+  std::uint64_t updates_sent = 0;
   std::uint64_t hitme_hits = 0;
   std::uint64_t hitme_misses = 0;
   std::uint64_t hitme_allocs = 0;
@@ -67,6 +86,13 @@ struct ReferenceLine {
   DirState dir = DirState::kRemoteInvalid;
   bool hitme = false;                 // home HitME cache holds the line
   std::uint8_t presence = 0;          // HitME node-presence vector
+  // Value oracle (serial tokens, not bytes): `newest` is stamped by every
+  // store, `mem` only advances when a modeled writeback carries the dirty
+  // copy home.  The differential comparator ignores these; the cross-
+  // protocol equivalence test reads them through memory_image().
+  std::uint64_t mem_value = 0;
+  std::uint64_t newest_value = 0;
+  int last_writer = -1;
 };
 
 class ReferenceModel {
@@ -85,6 +111,19 @@ class ReferenceModel {
   [[nodiscard]] const ReferenceLine& line_state(LineAddr line);
   [[nodiscard]] const ReferenceCounters& counters() const { return ctr_; }
 
+  // Value-oracle API (cross-protocol equivalence) ----------------------------
+  // Flushes every line the model has ever touched (deterministic order).
+  void flush_all();
+  struct MemoryCell {
+    std::uint64_t value = 0;  // serial of the version memory holds
+    int last_writer = -1;     // core that produced the line's newest version
+
+    friend bool operator==(const MemoryCell&, const MemoryCell&) = default;
+  };
+  // The home-memory image of every touched line.  After flush_all() a
+  // correct protocol reports value == the line's newest serial.
+  [[nodiscard]] std::map<LineAddr, MemoryCell> memory_image() const;
+
  private:
   struct Fill {
     Mesif core_state = Mesif::kShared;
@@ -97,21 +136,31 @@ class ReferenceModel {
   Fill home_read(int core, int req_node, LineAddr line);
   Fill ca_write(int core, LineAddr line);
   Fill home_write(int core, int req_node, LineAddr line);
+  Fill ca_update(int core, LineAddr line);
+  Fill home_update(int core, int req_node, LineAddr line);
   void fill_caches(int core, LineAddr line, const Fill& fill);
 
   struct PeerSnoop {
     bool forwarded = false;
     bool had_shared = false;
+    bool dirty_forward = false;  // Owned forward: memory copy goes stale
   };
   PeerSnoop snoop_peer_read(int peer_node, LineAddr line);
   void snoop_peer_invalidate(int peer_node, LineAddr line);
-  // Demotes/erases a core's copy; returns true if it was Modified.
+  // Update snoop (Dragon): peer keeps its copies demoted to Shared.
+  // Returns whether the peer held the line.
+  bool snoop_peer_update(int peer_node, LineAddr line);
+  // Demotes/erases a core's copy; returns true if it was dirty.
   bool snoop_core(int global_core, LineAddr line, Mesif demote_to);
   bool invalidate_core(int global_core, LineAddr line);
   void handle_l2_victim(int core, LineAddr line, Mesif victim_state,
                         bool l1_still_holds);
   void handle_l3_victim(int node, LineAddr line);
   void writeback(LineAddr line, bool clears_directory);
+
+  // Dirtiness as the (possibly faulted) model sees it: Owned reads as clean
+  // under kMoesiLostOwnedWriteback.
+  [[nodiscard]] bool sees_dirty(Mesif s) const;
 
   // DirectoryStore::set() semantics: returns whether the home agent pays a
   // directory write (always true for non-remote-invalid states).
@@ -130,8 +179,10 @@ class ReferenceModel {
 
   const SystemTopology& topo_;
   ProtocolFeatures features_;
+  const protocol::ProtocolPolicy& pol_;
   ReferenceFault fault_;
   ReferenceCounters ctr_;
+  std::uint64_t op_serial_ = 0;
   std::unordered_map<LineAddr, ReferenceLine> lines_;
 };
 

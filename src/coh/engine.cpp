@@ -232,7 +232,7 @@ CoherenceEngine::CoreSnoop CoherenceEngine::snoop_core(int global_core,
   auto handle = [&](CacheArray& cache, double data_ns) {
     const CacheArray::Ref entry = cache.lookup(line, /*touch=*/false);
     if (!entry) return false;
-    if (entry.state() == Mesif::kModified && !result.dirty) {
+    if (is_dirty(entry.state()) && !result.dirty) {
       result.dirty = true;
       result.data_ns = data_ns;
     }
@@ -280,7 +280,7 @@ CoherenceEngine::PeerSnoop CoherenceEngine::snoop_peer_read(int peer_node,
   if (!entry) return result;
 
   const Mesif found = entry.state();
-  const protocol::SnoopReadReaction& rx = protocol::snoop_read_reaction(found);
+  const protocol::SnoopReadReaction& rx = pol_.snoop_read(found);
   result.had_shared = rx.responds_shared;
   if (!rx.forwards) return result;  // Shared answers without data; I misses.
 
@@ -306,12 +306,18 @@ CoherenceEngine::PeerSnoop CoherenceEngine::snoop_peer_read(int peer_node,
       }
     }
   }
-  // The peer's copy was possibly dirty; forwarding a Modified line writes
-  // it back to the home memory before the demotion to Shared.
-  if (entry.state() == Mesif::kModified) {
-    writeback(line, /*clears_directory=*/false);
+  // The peer's copy was possibly dirty.  Under a writeback-on-demote policy
+  // (MESIF/MESI) forwarding a Modified line writes it back to the home
+  // memory before the demotion to Shared; under MOESI/Dragon the supplier
+  // keeps the only valid copy in Owned and the memory copy goes stale.
+  if (is_dirty(entry.state())) {
+    if (pol_.writeback_on_read_snoop) {
+      writeback(line, /*clears_directory=*/false);
+    } else {
+      result.dirty_forward = true;
+    }
   }
-  entry.state() = protocol::next_state(found, protocol::Op::kSnoopRead);
+  entry.state() = pol_.next(entry.state(), protocol::Op::kSnoopRead);
   result.forwarded = true;
   return result;
 }
@@ -359,17 +365,61 @@ double CoherenceEngine::snoop_peer_invalidate(int peer_node, LineAddr line) {
   return handling;
 }
 
+double CoherenceEngine::snoop_peer_update(int peer_node, LineAddr line,
+                                          bool* had_copy) {
+  m_.counters.bump(Ctr::kSnoopsSent);
+  if (m_.metrics != nullptr) {
+    m_.metrics->bump_family(metrics::MFamily::kRingStopCbo,
+                            static_cast<std::size_t>(peer_node));
+  }
+  const NumaNode& node = m_.topo.node(peer_node);
+  const int slice = m_.slice_for(peer_node, line);
+  CacheArray& l3 = m_.l3_slice(node.socket, slice);
+
+  double handling = m_.timing.snoop_ca_lookup;
+  if (tracer_ != nullptr) {
+    tracer_->leaf(TComp::kCbo, "snoop_ca_lookup", m_.timing.snoop_ca_lookup);
+  }
+  const CacheArray::Ref entry = l3.lookup(line, /*touch=*/false);
+  if (!entry) return handling;
+
+  *had_copy = true;
+  m_.counters.bump(Ctr::kUpdatesSent);
+  metric(MC::kCboUpdateSent);
+  // Every core copy is refreshed in place and demoted to Shared: the peers
+  // keep reading their (now clean w.r.t. the new owner) copies without a
+  // miss — the whole point of the update protocol.
+  std::uint32_t cv = entry.core_valid();
+  if (cv != 0) {
+    handling += m_.timing.core_snoop_external;
+    if (tracer_ != nullptr) {
+      tracer_->leaf(TComp::kCoreSnoop, "core_valid_snoop",
+                    m_.timing.core_snoop_external);
+    }
+    while (cv != 0) {
+      const int owner_local = std::countr_zero(cv);
+      cv &= cv - 1;
+      snoop_core(m_.topo.global_core(node.socket, owner_local), line,
+                 Mesif::kShared);
+    }
+  }
+  entry.state() = pol_.next(entry.state(), protocol::Op::kSnoopUpdate);
+  return handling;
+}
+
 // --- victim / fill plumbing -----------------------------------------------------
 
 void CoherenceEngine::handle_l1_victim(int core, const CacheEntry& victim) {
   metric(is_dirty(victim.state) ? MC::kL1VictimDirty : MC::kL1VictimCleanSilent);
   CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
   if (const CacheArray::Ref in_l2 = cc.l2.lookup(victim.line, /*touch=*/false)) {
-    if (is_dirty(victim.state)) in_l2.state() = Mesif::kModified;
+    // The dirty state travels down as-is: a MESIF/MESI victim is Modified,
+    // a Dragon Owned victim must stay Owned (sharers still exist).
+    if (is_dirty(victim.state)) in_l2.state() = victim.state;
     return;
   }
   if (is_dirty(victim.state)) {
-    auto ins = cc.l2.insert(victim.line, Mesif::kModified);
+    auto ins = cc.l2.insert(victim.line, victim.state);
     if (ins.victim) handle_l2_victim(core, *ins.victim);
   }
   // Clean lines not present in L2 are dropped: the inclusive L3 has a copy.
@@ -389,12 +439,15 @@ void CoherenceEngine::handle_l2_victim(int core, const CacheEntry& victim) {
     // capacity victim of a non-inclusive L2), in which case the CBo must
     // keep tracking the core.
     if (entry) {
-      entry.state() = Mesif::kModified;
+      // An already-dirty-shared L3 entry (Owned) keeps its sharing state;
+      // a clean entry takes the victim's dirty state (Modified, or Owned
+      // under MOESI/Dragon where sharers survive).
+      if (!is_dirty(entry.state())) entry.state() = victim.state;
       if (!m_.cores[static_cast<std::size_t>(core)].l1.contains(victim.line)) {
         entry.core_valid() &= ~bit_of(local);
       }
     } else {
-      auto ins = l3.insert(victim.line, Mesif::kModified);
+      auto ins = l3.insert(victim.line, victim.state);
       if (ins.victim) handle_l3_victim(socket, node, *ins.victim);
     }
   }
@@ -406,8 +459,9 @@ void CoherenceEngine::handle_l2_victim(int core, const CacheEntry& victim) {
 void CoherenceEngine::handle_l3_victim(int socket, int /*node*/,
                                        const CacheEntry& victim) {
   m_.counters.bump(Ctr::kL3Evictions);
-  // Inclusive L3: back-invalidate every core copy in this node.
-  bool dirty = victim.state == Mesif::kModified;
+  // Inclusive L3: back-invalidate every core copy in this node.  Owned
+  // victims (MOESI/Dragon) pay their deferred writeback here.
+  bool dirty = is_dirty(victim.state);
   std::uint32_t cv = victim.core_valid;
   while (cv != 0) {
     const int owner_local = std::countr_zero(cv);
@@ -448,8 +502,8 @@ void CoherenceEngine::fill_caches(int core, LineAddr line, const Fill& fill) {
   if (!cc.l1.contains(line)) {
     auto ins = cc.l1.insert(line, fill.core_state);
     if (ins.victim) handle_l1_victim(core, *ins.victim);
-  } else if (fill.core_state == Mesif::kModified) {
-    cc.l1.lookup(line).state() = Mesif::kModified;
+  } else if (is_dirty(fill.core_state)) {
+    cc.l1.lookup(line).state() = fill.core_state;
   }
 }
 
@@ -474,10 +528,11 @@ AccessResult CoherenceEngine::read_impl(int core, PhysAddr addr) {
   CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
 
   auto shared_hit_needs_l3 = [&](Mesif state) {
-    if (state != Mesif::kShared) return false;
+    if (!pol_.has_forward || state != Mesif::kShared) return false;
     // Reading a Shared line whose Forward copy lives in another node
     // notifies the responsible CA to reclaim the forward state (paper
-    // Table IV / Fig. 9): the access costs a full L3 round trip.
+    // Table IV / Fig. 9): the access costs a full L3 round trip.  Only
+    // MESIF has a forward state to reclaim.
     const int socket = m_.topo.socket_of_core(core);
     const CacheArray& l3 =
         m_.l3[static_cast<std::size_t>(socket)]
@@ -551,7 +606,7 @@ CoherenceEngine::Fill CoherenceEngine::ca_read(int core, LineAddr line) {
     trace_l3_path(core);
     const std::uint32_t owners = entry.core_valid() & ~bit_of(local);
     const bool multi = std::popcount(entry.core_valid()) > 1;
-    if (protocol::snoop_read_reaction(entry.state()).may_hold_newer &&
+    if (pol_.snoop_read(entry.state()).may_hold_newer &&
         m_.features.core_valid_bits && owners != 0 && !multi) {
       // A single other core may hold the line Modified (stores upgrade E->M
       // silently) — and exclusive lines are evicted silently, so the bit may
@@ -590,7 +645,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
 
   Fill fill;
   fill.core_state = Mesif::kShared;
-  fill.node_state = Mesif::kForward;
+  fill.node_state = pol_.clean_shared_grant;
 
   // Peer nodes other than requester and home.
   std::vector<int> peers;
@@ -625,13 +680,17 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
                                         : ServiceSource::kRemoteFwd;
     fill.source_node = from_node;
   };
-  auto record_forward_state = [&](int forwarder_node, bool any_shared) {
-    (void)any_shared;
-    fill.node_state = Mesif::kForward;
+  // `memory_valid` says whether the home memory copy is authoritative after
+  // the forward: true when the supplier was clean or wrote back while
+  // demoting (always, under MESIF/MESI), false for an Owned dirty forward
+  // (MOESI/Dragon) — then neither the HitME cache (whose hit path serves
+  // from memory) nor the directory's `shared` state may claim validity.
+  auto record_forward_state = [&](int forwarder_node, bool memory_valid) {
+    fill.node_state = pol_.clean_shared_grant;
     if (directory_on() && req_node != h) {
-      // AllocateShared: a line handed to a remote node in Forward state
-      // enters the HitME cache; the in-memory directory goes snoop-all.
-      if (hitme_on()) {
+      // AllocateShared: a line handed to a remote node in forward/shared
+      // state enters the HitME cache; the in-memory directory goes snoop-all.
+      if (hitme_on() && memory_valid) {
         const auto presence = static_cast<std::uint8_t>(
             (1u << static_cast<unsigned>(req_node)) |
             (1u << static_cast<unsigned>(forwarder_node)));
@@ -658,8 +717,12 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
         }
       } else {
         // Classic DAS without a directory cache: clean forwards record the
-        // `shared` state, which keeps the memory copy authoritative.
-        if (home.ha->directory.set(line, DirState::kShared)) {
+        // `shared` state, which keeps the memory copy authoritative.  A
+        // dirty Owned forward must keep snoop-all instead (stale memory).
+        const DirState next = (!hitme_on() && memory_valid)
+                                  ? DirState::kShared
+                                  : DirState::kSnoopAll;
+        if (home.ha->directory.set(line, next)) {
           m_.counters.bump(Ctr::kDirectoryUpdates);
           metric(MC::kHaDirectoryUpdate);
           if (tracer_ != nullptr) {
@@ -715,7 +778,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
             tracer_->close_parallel(TJoin::kWinner);
           }
           served_by_forward(response_at_peer, p);
-          record_forward_state(p, any_shared);
+          record_forward_state(p, !snoop.dirty_forward);
           return fill;
         }
         any_shared |= snoop.had_shared;
@@ -739,7 +802,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
       }
       served_by_memory(std::max(dram_ready, slowest_response_at_ha));
       record_memory_grant(/*exclusive=*/!any_shared);
-      if (any_shared) fill.node_state = Mesif::kForward;
+      if (any_shared) fill.node_state = pol_.clean_shared_grant;
       return fill;
     }
 
@@ -776,7 +839,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
           tracer_->close_parallel(TJoin::kWinner);
         }
         served_by_forward(handled_at_peer, p);
-        record_forward_state(p, any_shared);
+        record_forward_state(p, !snoop.dirty_forward);
         return fill;
       }
       any_shared |= snoop.had_shared;
@@ -794,7 +857,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
     }
     served_by_memory(std::max(dram_ready, slowest_response));
     record_memory_grant(/*exclusive=*/!any_shared);
-    if (any_shared) fill.node_state = Mesif::kForward;
+    if (any_shared) fill.node_state = pol_.clean_shared_grant;
     return fill;
   }
 
@@ -825,7 +888,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
       const double data_at =
           t_req_at_ha + t.ha_processing + local_snoop.handling_ns;
       served_by_forward(data_at, h);
-      record_forward_state(h, false);
+      record_forward_state(h, !local_snoop.dirty_forward);
       return fill;
     }
     // The local CA had nothing to forward: its lookup ran in the HA's
@@ -882,7 +945,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
     }
     served_by_memory(dram_ready - t.ha_bypass_savings);
     record_memory_grant(/*exclusive=*/!home_had_shared);
-    if (home_had_shared) fill.node_state = Mesif::kForward;
+    if (home_had_shared) fill.node_state = pol_.clean_shared_grant;
     return fill;
   }
   if (dir == DirState::kShared) {
@@ -930,7 +993,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
         tracer_->close_parallel(TJoin::kWinner);
       }
       served_by_forward(handled_at_peer + t.three_node_penalty, p);
-      record_forward_state(p, any_shared);
+      record_forward_state(p, !snoop.dirty_forward);
       return fill;
     }
     any_shared |= snoop.had_shared;
@@ -951,7 +1014,7 @@ CoherenceEngine::Fill CoherenceEngine::home_read(int core, int req_node,
   slowest_response += t.broadcast_collect * static_cast<double>(peers.size());
   served_by_memory(slowest_response);
   record_memory_grant(/*exclusive=*/!any_shared);
-  if (any_shared) fill.node_state = Mesif::kForward;
+  if (any_shared) fill.node_state = pol_.clean_shared_grant;
   return fill;
 }
 
@@ -976,9 +1039,9 @@ AccessResult CoherenceEngine::write_impl(int core, PhysAddr addr) {
   CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
 
   if (const CacheArray::Ref e1 = cc.l1.lookup(line)) {
-    if (protocol::store_hit_is_silent(e1.state())) {
+    if (pol_.store_silent(e1.state())) {
       // Silent E->M upgrade: the L3 still believes the line is Exclusive.
-      e1.state() = protocol::next_state(e1.state(), protocol::Op::kLocalStore);
+      e1.state() = pol_.next(e1.state(), protocol::Op::kLocalStore);
       m_.counters.bump(Ctr::kLoadsL1Hit);
       if (tracer_ != nullptr) {
         tracer_->leaf(TComp::kCore, "l1_store_upgrade", m_.timing.l1_hit);
@@ -986,8 +1049,8 @@ AccessResult CoherenceEngine::write_impl(int core, PhysAddr addr) {
       return {m_.timing.l1_hit, ServiceSource::kL1, req_node, nullptr};
     }
   } else if (const CacheArray::Ref e2 = cc.l2.lookup(line)) {
-    if (protocol::store_hit_is_silent(e2.state())) {
-      e2.state() = protocol::next_state(e2.state(), protocol::Op::kLocalStore);
+    if (pol_.store_silent(e2.state())) {
+      e2.state() = pol_.next(e2.state(), protocol::Op::kLocalStore);
       auto ins = cc.l1.insert(line, Mesif::kModified);
       if (ins.victim) handle_l1_victim(core, *ins.victim);
       cc.l2.lookup(line).state() = Mesif::kShared;  // newest copy now in L1
@@ -999,7 +1062,14 @@ AccessResult CoherenceEngine::write_impl(int core, PhysAddr addr) {
     }
   }
 
-  // Shared or missing: read-for-ownership through the CA.
+  // Shared or missing: read-for-ownership through the CA — or, under an
+  // update-based protocol (Dragon), an update broadcast that leaves every
+  // sharer's copy in place.
+  if (pol_.update_based) {
+    Fill fill = ca_update(core, line);
+    fill_caches(core, line, fill);
+    return {fill.ns, fill.source, fill.source_node, nullptr};
+  }
   Fill fill = ca_write(core, line);
   fill.core_state = Mesif::kModified;
   fill_caches(core, line, fill);
@@ -1019,7 +1089,7 @@ CoherenceEngine::Fill CoherenceEngine::ca_write(int core, LineAddr line) {
   fill.node_state = Mesif::kExclusive;
 
   if (const CacheArray::Ref entry = l3.lookup(line)) {
-    if (protocol::node_owns(entry.state())) {
+    if (pol_.owns(entry.state())) {
       // Node already owns the line: invalidate other in-node core copies.
       trace_l3_path(core);
       std::uint32_t others = entry.core_valid() & ~bit_of(local);
@@ -1165,6 +1235,204 @@ CoherenceEngine::Fill CoherenceEngine::home_write(int core, int req_node,
   return fill;
 }
 
+// --- update-based store (Dragon) -------------------------------------------------
+
+CoherenceEngine::Fill CoherenceEngine::ca_update(int core, LineAddr line) {
+  const int req_node = m_.topo.node_of_core(core);
+  const int socket = m_.topo.socket_of_core(core);
+  const int local = m_.topo.local_core(core);
+  CacheArray& l3 = m_.l3_slice(socket, m_.slice_for(req_node, line));
+
+  // Dragon write-allocates: a store miss first fills the line like a read,
+  // then runs the update against the now-present copy.
+  double miss_ns = 0.0;
+  ServiceSource miss_source = ServiceSource::kL3;
+  int miss_source_node = req_node;
+  bool missed = false;
+  if (!l3.lookup(line, /*touch=*/false)) {
+    Fill read_fill = ca_read(core, line);
+    fill_caches(core, line, read_fill);
+    miss_ns = read_fill.ns;
+    miss_source = read_fill.source;
+    miss_source_node = read_fill.source_node;
+    missed = true;
+  }
+
+  const CacheArray::Ref entry = l3.lookup(line);
+  assert(entry && "write-allocate must leave an L3 entry behind");
+  std::uint32_t others = entry.core_valid() & ~bit_of(local);
+
+  if (pol_.owns(entry.state())) {
+    // Node-exclusive: no other node holds a copy, so the update never
+    // leaves the node.  Mirrors the owned path of ca_write, except in-node
+    // sharers keep their (refreshed, Shared) copies instead of dying.
+    trace_l3_path(core);
+    Fill fill;
+    fill.ns = miss_ns + l3_path(core);
+    fill.source = missed ? miss_source : ServiceSource::kL3;
+    fill.source_node = missed ? miss_source_node : req_node;
+    if (others != 0) {
+      fill.ns += m_.timing.core_snoop_local;
+      if (tracer_ != nullptr) {
+        tracer_->leaf(TComp::kCoreSnoop, "core_snoop_local",
+                      m_.timing.core_snoop_local);
+      }
+      std::uint32_t sharers = others;
+      while (sharers != 0) {
+        const int owner_local = std::countr_zero(sharers);
+        sharers &= sharers - 1;
+        snoop_core(m_.topo.global_core(socket, owner_local), line,
+                   Mesif::kShared);
+        m_.counters.bump(Ctr::kUpdatesSent);
+        metric(MC::kCboUpdateSent);
+      }
+    }
+    entry.state() = Mesif::kModified;
+    entry.core_valid() |= bit_of(local);
+    fill.node_state = entry.state();
+    fill.core_state = others != 0 ? Mesif::kOwned : Mesif::kModified;
+    return fill;
+  }
+
+  // Copies may exist in other nodes: broadcast the update through the HA.
+  Fill fill = home_update(core, req_node, line);
+  fill.ns += miss_ns;
+  if (missed) {
+    fill.source = miss_source;
+    fill.source_node = miss_source_node;
+  }
+  return fill;
+}
+
+CoherenceEngine::Fill CoherenceEngine::home_update(int core, int req_node,
+                                                   LineAddr line) {
+  const TimingParams& t = m_.timing;
+  auto home = m_.home_of(line);
+  const int h = home.node;
+  const double lat0 = l3_path(core);
+  trace_l3_path(core);
+
+  const int socket = m_.topo.socket_of_core(core);
+  const int local = m_.topo.local_core(core);
+  CacheArray& l3 = m_.l3_slice(socket, m_.slice_for(req_node, line));
+
+  Fill fill;
+  fill.source = ServiceSource::kL3;
+  fill.source_node = req_node;
+
+  std::vector<int> snooped;
+  for (int n = 0; n < m_.topo.node_count(); ++n) {
+    if (n != req_node) snooped.push_back(n);
+  }
+
+  const double t_req_at_ha =
+      lat0 + request_to_ha(req_node, h) + t.ca_to_ha_fixed;
+  metric_request_to_ha(req_node, h);
+
+  // The update rides the same transport as an invalidation broadcast — but
+  // it carries the line's data, peers keep their copies, and no DRAM data
+  // read gates completion (the writer supplies the data).
+  const bool from_requester = source_snoop() && !directory_on();
+  const double snoop_base =
+      from_requester ? lat0 : t_req_at_ha + t.ha_processing;
+
+  if (tracer_ != nullptr) {
+    if (!from_requester) {
+      trace_request_to_ha(req_node, h);
+      tracer_->leaf(TComp::kHa, "ca_to_ha_fixed", t.ca_to_ha_fixed);
+      tracer_->leaf(TComp::kHa, "ha_processing", t.ha_processing);
+    }
+    tracer_->open_parallel("update_race");
+  }
+
+  double slowest_ack = t_req_at_ha;
+  int fanout = 0;
+  bool remote_copy = false;
+  for (int p : snooped) {
+    m_.counters.bump(Ctr::kSnoopBroadcasts);
+    const int from = from_requester ? req_node : h;
+    if (m_.topo.crosses_qpi(from, p)) m_.counters.bump(Ctr::kQpiSnoopFlits);
+    metric_qpi(from, p, metrics::kQpiDataBytes);
+    const double stagger = t.broadcast_fanout * fanout++;
+    if (tracer_ != nullptr) {
+      tracer_->open_leg(kNodeName[p]);
+      tracer_->leaf(TComp::kHa, "broadcast_fanout", stagger);
+      trace_link("update_out", from, p);
+      tracer_->open_group(TComp::kCbo, "peer_update");
+    }
+    bool had_copy = false;
+    const double handling = snoop_peer_update(p, line, &had_copy);
+    remote_copy |= had_copy;
+    if (tracer_ != nullptr) {
+      tracer_->close_group(handling);
+      trace_link("ack_to_ha", p, h);
+      tracer_->close_leg();
+    }
+    const double launch = snoop_base + stagger;
+    slowest_ack =
+        std::max(slowest_ack, launch + link_ns(from, p) + handling + link_ns(p, h));
+  }
+
+  if (tracer_ != nullptr) {
+    tracer_->open_leg("memory");
+    if (from_requester) {
+      trace_request_to_ha(req_node, h);
+      tracer_->leaf(TComp::kHa, "ca_to_ha_fixed", t.ca_to_ha_fixed);
+      tracer_->leaf(TComp::kHa, "ha_processing", t.ha_processing);
+    }
+  }
+  const double ha_ready = t_req_at_ha + t.ha_processing;
+  if (tracer_ != nullptr) {
+    tracer_->close_leg();
+    tracer_->close_parallel(TJoin::kAll);
+    trace_link("ack_return", h, req_node);
+    tracer_->leaf(TComp::kCbo, "response_return", t.response_return);
+  }
+  metric_qpi(h, req_node, metrics::kQpiHeaderBytes);
+  fill.ns = std::max(ha_ready, slowest_ack) + link_ns(h, req_node) +
+            t.response_return;
+
+  // In-node sharers are refreshed in place like ca_write's local pass
+  // (which invalidates them at no extra accounted cost).
+  const CacheArray::Ref entry = l3.lookup(line);
+  assert(entry && "home_update requires a present L3 entry");
+  std::uint32_t others = entry.core_valid() & ~bit_of(local);
+  const bool local_sharers = others != 0;
+  while (others != 0) {
+    const int owner_local = std::countr_zero(others);
+    others &= others - 1;
+    snoop_core(m_.topo.global_core(socket, owner_local), line, Mesif::kShared);
+    m_.counters.bump(Ctr::kUpdatesSent);
+    metric(MC::kCboUpdateSent);
+  }
+  // The writer owns the newest data.  Remote copies survive the update, so
+  // the node state is Owned (dirty-shared) rather than Modified.
+  entry.state() = remote_copy ? Mesif::kOwned : Mesif::kModified;
+  entry.core_valid() |= bit_of(local);
+  fill.node_state = entry.state();
+  fill.core_state =
+      (remote_copy || local_sharers) ? Mesif::kOwned : Mesif::kModified;
+
+  if (directory_on()) {
+    // Memory is stale after an update, so `shared` is never recorded: the
+    // only safe states are remote-invalid (everything lives at home) and
+    // snoop-all.
+    const DirState next = (req_node == h && !remote_copy)
+                              ? DirState::kRemoteInvalid
+                              : DirState::kSnoopAll;
+    if (home.ha->directory.set(line, next)) {
+      m_.counters.bump(Ctr::kDirectoryUpdates);
+      metric(MC::kHaDirectoryUpdate);
+      if (tracer_ != nullptr) {
+        tracer_->leaf(TComp::kDirectory, "dir_update_ecc", t.dir_update);
+      }
+      fill.ns += t.dir_update;
+    }
+    if (hitme_on()) home.ha->hitme.erase(line);
+  }
+  return fill;
+}
+
 // --- flush / placement helpers ---------------------------------------------------
 
 double CoherenceEngine::flush_line(PhysAddr addr) {
@@ -1181,7 +1449,7 @@ double CoherenceEngine::flush_impl(PhysAddr addr) {
   for (const NumaNode& node : m_.topo.nodes()) {
     CacheArray& l3 = m_.l3_slice(node.socket, m_.slice_for(node.id, line));
     if (auto entry = l3.erase(line)) {
-      dirty |= entry->state == Mesif::kModified;
+      dirty |= is_dirty(entry->state);
       std::uint32_t cv = entry->core_valid;
       while (cv != 0) {
         const int owner_local = std::countr_zero(cv);

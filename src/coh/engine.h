@@ -1,4 +1,4 @@
-// MESIF transaction engine.
+// Coherence transaction engine.
 //
 // Implements the protocol flows of paper §IV on top of MachineState:
 //   * requester-side CA handling (L3 hit paths, core-valid-bit snoops),
@@ -12,10 +12,18 @@
 // Each access returns the composed latency: component costs are summed along
 // the serial path and max()-ed across parallel legs (e.g. a DRAM read racing
 // the snoop responses the home agent must collect).
+//
+// The engine is protocol-polymorphic: state transitions and response classes
+// come from the ProtocolPolicy bound at construction (coh/protocol.h, chosen
+// by ProtocolFeatures::protocol).  MESIF is the default and reproduces the
+// original hard-coded flows bit for bit; MESI drops the Forward state, MOESI
+// suppresses clean-sharer writebacks via Owned, and Dragon replaces the
+// invalidation broadcast with an update broadcast.
 #pragma once
 
 #include <cstdint>
 
+#include "coh/protocol.h"
 #include "coh/state.h"
 #include "trace/tracer.h"
 
@@ -46,7 +54,8 @@ struct AccessResult {
 
 class CoherenceEngine {
  public:
-  explicit CoherenceEngine(MachineState& machine) : m_(machine) {}
+  explicit CoherenceEngine(MachineState& machine)
+      : m_(machine), pol_(protocol::policy(machine.features.protocol)) {}
 
   // A demand load of one cache line by `core`.
   AccessResult read(int core, PhysAddr addr);
@@ -87,11 +96,17 @@ class CoherenceEngine {
   // Requester-node CA transaction (after L1/L2 missed).
   Fill ca_read(int core, LineAddr line);
   Fill ca_write(int core, LineAddr line);
+  // Update-based store (Dragon): write-allocates via a read fill if needed,
+  // then updates every sharer in place instead of invalidating it.
+  Fill ca_update(int core, LineAddr line);
   // Miss at the requester CA: go to the home agent / broadcast.
   Fill home_read(int core, int req_node, LineAddr line);
   // Read-for-ownership through the home agent: fetches data (if needed) and
   // invalidates every other node's copies.
   Fill home_write(int core, int req_node, LineAddr line);
+  // Update broadcast through the home agent (Dragon): peers keep their
+  // copies demoted to Shared; no DRAM data read is needed.
+  Fill home_update(int core, int req_node, LineAddr line);
 
   // Snoop of one peer node's CA for a read.  Applies state transitions
   // (owner demotes to S, dirty data scheduled for writeback).  Returns
@@ -100,12 +115,18 @@ class CoherenceEngine {
   struct PeerSnoop {
     bool forwarded = false;  // peer supplies the data
     bool had_shared = false; // peer holds a non-forwardable S copy
+    bool dirty_forward = false;  // data forwarded without a memory writeback
+                                 // (MOESI/Dragon Owned): memory copy stale
     double handling_ns = 0.0;
   };
   PeerSnoop snoop_peer_read(int peer_node, LineAddr line);
   // Invalidating snoop (RFO): removes the peer's copies; dirty data is
   // written back to memory.  Returns handling time.
   double snoop_peer_invalidate(int peer_node, LineAddr line);
+  // Update snoop (Dragon): refreshes the peer's copies in place, demoting
+  // them to Shared.  Returns handling time; sets `had_copy` when the peer
+  // held the line.
+  double snoop_peer_update(int peer_node, LineAddr line, bool* had_copy);
 
   // Snoops a single core's L1/L2 (core-valid bit chase).  If the core holds
   // the line Modified, the copy is demoted to `demote_to` and the L3 entry
@@ -177,6 +198,7 @@ class CoherenceEngine {
   }
 
   MachineState& m_;
+  const protocol::ProtocolPolicy& pol_;
   trace::Tracer* tracer_ = nullptr;
 };
 

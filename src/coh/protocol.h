@@ -1,99 +1,286 @@
-// MESIF transition tables.
+// Coherence-protocol policy tables (MESIF / MESI / MOESI / Dragon).
 //
 // The coherence engine's hot paths used to classify states with if/switch
 // ladders (`state == kExclusive || state == kModified`, a five-way switch in
 // the read-snoop handler).  This header freezes those decisions into small
 // constexpr arrays indexed by state — one load instead of a compare chain —
-// and gives the protocol a single authoritative definition that a different
-// protocol (plain MESI, MOESI) could swap out without touching the engine's
-// timing or directory plumbing.
+// and, since PR 7, generalises them into a `ProtocolPolicy`: one table set
+// per protocol over a shared six-state vocabulary (I/S/F/E/M/O, mem/line.h)
+// and a five-op bus/mesh vocabulary covering both invalidate-based actions
+// (read snoop, RFO) and the update broadcast Dragon uses instead of
+// invalidations.  The engine binds one policy per System and consults it for
+// every transition; swapping protocols touches no timing or directory
+// plumbing.
 //
 // The tables encode *state transitions and response classes* only.  Side
 // effects that depend on machine context (core-valid chasing, writebacks,
-// directory updates) stay in the engine; the tables tell it which class of
-// handling a state requires.
+// directory updates, update broadcasts) stay in the engine; the tables tell
+// it which class of handling a state requires.
 //
-// Semantics (paper §II-B, Table I):
-//   - A read snoop demotes every valid supplier state to Shared; F/E/M
-//     respond with data (F is the designated forwarder; E/M own the line),
-//     S answers "shared" without data, I misses.
-//   - An invalidating snoop (RFO) kills every state.
-//   - A store hit completes silently only in E/M (E->M is the silent
-//     upgrade the L3 cannot observe); S/F must issue an RFO through the CA.
-//   - A load hit never changes the holder's state.
+// Per-protocol semantics:
+//   - MESIF (paper §II-B, Table I): a read snoop demotes every valid
+//     supplier state to Shared; F/E/M respond with data (F is the designated
+//     forwarder; E/M own the line), S answers "shared" without data, I
+//     misses.  A dirty supplier writes memory back when demoting.  An
+//     invalidating snoop (RFO) kills every state.  A store hit completes
+//     silently only in E/M (E->M is the silent upgrade the L3 cannot
+//     observe); S/F must issue an RFO through the CA.  A load hit never
+//     changes the holder's state.  Clean shared fills grant Forward.
+//   - MESI: MESIF minus the Forward state — clean shared fills grant plain
+//     Shared and shared hits never reclaim a forwarder, everything else
+//     identical.
+//   - MOESI: a dirty supplier demotes to Owned instead of writing memory
+//     back; Owned keeps forwarding (staying Owned) and defers its writeback
+//     to eviction or flush.  Owned is dirty-shared: stores in O are NOT
+//     silent (sharers exist) and O is not node-owning.
+//   - Dragon (update-based): stores to shared lines broadcast updates
+//     instead of invalidations; peers keep their copies (demoted to Shared)
+//     and the writer becomes Owned (sharers remain) or Modified (exclusive).
+//     kSnoopUpdate is the op a holder observes when a peer broadcasts such
+//     an update.
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 #include "mem/line.h"
 
-namespace hsw::protocol {
+namespace hsw {
+
+// Selectable coherence protocol, wired through SystemConfig exactly like
+// SnoopMode (`--protocol mesif|mesi|moesi|dragon`).
+enum class Protocol : std::uint8_t {
+  kMesif,
+  kMesi,
+  kMoesi,
+  kDragon,
+};
+
+inline constexpr std::size_t kProtocolCount = 4;
+
+constexpr std::string_view to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kMesif: return "mesif";
+    case Protocol::kMesi: return "mesi";
+    case Protocol::kMoesi: return "moesi";
+    case Protocol::kDragon: return "dragon";
+  }
+  return "?";
+}
+
+namespace protocol {
 
 // Protocol-relevant operations observed by a cache holding a line.
 enum class Op : std::uint8_t {
   kLocalRead,        // own core load hit
   kLocalStore,       // own core store hit
-  kSnoopRead,        // peer read snoop (data request, demote to Shared)
+  kSnoopRead,        // peer read snoop (data request, demote the supplier)
   kSnoopInvalidate,  // peer RFO / invalidating snoop
+  kSnoopUpdate,      // peer update broadcast (Dragon): keep a Shared copy
 };
 
-inline constexpr std::size_t kStateCount = 5;
-inline constexpr std::size_t kOpCount = 4;
+inline constexpr std::size_t kStateCount = 6;
+inline constexpr std::size_t kOpCount = 5;
 
 constexpr std::size_t idx(Mesif s) { return static_cast<std::size_t>(s); }
 constexpr std::size_t idx(Op op) { return static_cast<std::size_t>(op); }
 
-// next_state[state][op].  Rows follow Mesif declaration order (I,S,F,E,M),
-// columns follow Op order (local read, local store, snoop read, snoop inv).
-// A kLocalStore column entry equal to the row's state means the store does
-// NOT complete silently in that state (ownership must come from the CA);
-// the engine consults store_hit_is_silent() before applying it.
-inline constexpr std::array<std::array<Mesif, kOpCount>, kStateCount>
-    kNextState = {{
-        // load               store              snoop-read        snoop-inv
-        {Mesif::kInvalid, Mesif::kInvalid, Mesif::kInvalid, Mesif::kInvalid},
-        {Mesif::kShared, Mesif::kShared, Mesif::kShared, Mesif::kInvalid},
-        {Mesif::kForward, Mesif::kForward, Mesif::kShared, Mesif::kInvalid},
-        {Mesif::kExclusive, Mesif::kModified, Mesif::kShared, Mesif::kInvalid},
-        {Mesif::kModified, Mesif::kModified, Mesif::kShared, Mesif::kInvalid},
-    }};
-
-constexpr Mesif next_state(Mesif s, Op op) { return kNextState[idx(s)][idx(op)]; }
-
 // How a valid entry reacts to a peer read snoop.
 struct SnoopReadReaction {
-  bool forwards = false;        // supplies the data (F designated, E/M owner)
+  bool forwards = false;        // supplies the data (F designated, E/M/O owner)
   bool responds_shared = false; // "I have a clean copy" without data
   bool may_hold_newer = false;  // a core above may hold a silently upgraded
                                 // Modified copy: chase the core-valid bit
 };
 
-inline constexpr std::array<SnoopReadReaction, kStateCount> kSnoopRead = {{
-    /* I */ {false, false, false},
-    /* S */ {false, true, false},
-    /* F */ {true, false, false},
-    /* E */ {true, false, true},
-    /* M */ {true, false, true},
-}};
+// One protocol = one set of indexed tables plus the flow-class flags the
+// engine needs where transitions alone cannot decide (writeback policy,
+// update broadcasts, the state a clean shared fill grants).
+//
+// Table layout: rows follow Mesif declaration order (I,S,F,E,M,O), columns
+// follow Op order.  A kLocalStore column entry equal to the row's state
+// means the store does NOT complete silently in that state (ownership must
+// come from the CA); the engine consults store_silent() before applying it.
+// Rows for states a protocol never produces (O under MESIF/MESI, F outside
+// MESIF) are filled with the family-wide conventional transitions so an
+// out-of-protocol state still behaves sanely instead of corrupting the
+// index.
+struct ProtocolPolicy {
+  Protocol id = Protocol::kMesif;
+  std::string_view name = "mesif";
+  // Clean shared fills grant the Forward state and shared hits may reclaim
+  // a forwarder through the L3 (MESIF only).
+  bool has_forward = false;
+  // A dirty supplier demoting on a read snoop writes memory back (MESIF,
+  // MESI).  When false (MOESI, Dragon) the supplier keeps the only valid
+  // copy in state Owned and the writeback happens on eviction/flush.
+  bool writeback_on_read_snoop = false;
+  // Stores to shared lines broadcast updates instead of invalidations
+  // (Dragon).
+  bool update_based = false;
+  // State granted by a fill that observed other sharers, and by a shared
+  // memory grant: kForward for MESIF, kShared otherwise.
+  Mesif clean_shared_grant = Mesif::kShared;
 
-constexpr const SnoopReadReaction& snoop_read_reaction(Mesif s) {
-  return kSnoopRead[idx(s)];
+  std::array<std::array<Mesif, kOpCount>, kStateCount> next_state_table{};
+  std::array<SnoopReadReaction, kStateCount> snoop_read_table{};
+  std::array<bool, kStateCount> store_silent_table{};
+  std::array<bool, kStateCount> node_owns_table{};
+
+  constexpr Mesif next(Mesif s, Op op) const {
+    return next_state_table[idx(s)][idx(op)];
+  }
+  constexpr const SnoopReadReaction& snoop_read(Mesif s) const {
+    return snoop_read_table[idx(s)];
+  }
+  // Store hits complete without a CA transaction only when the holder
+  // already owns the line exclusively.  E->M is the silent upgrade; M stays
+  // M; O always negotiates (invalidate- or update-broadcast) with the CA.
+  constexpr bool store_silent(Mesif s) const { return store_silent_table[idx(s)]; }
+  // Node-level ownership: states in which the L3 entry guarantees no other
+  // node holds a copy, so a write needs only in-node invalidations.
+  constexpr bool owns(Mesif s) const { return node_owns_table[idx(s)]; }
+};
+
+// Shared row fragments.  All four protocols agree on I/S/F/E behaviour for
+// the invalidate ops and on the responder classes; they differ in what a
+// dirty supplier becomes on a read snoop (S vs O) and in the flow flags.
+
+inline constexpr ProtocolPolicy kMesifPolicy = {
+    Protocol::kMesif,
+    "mesif",
+    /*has_forward=*/true,
+    /*writeback_on_read_snoop=*/true,
+    /*update_based=*/false,
+    /*clean_shared_grant=*/Mesif::kForward,
+    // load               store              snoop-read        snoop-inv
+    //                                                         snoop-update
+    {{
+        {Mesif::kInvalid, Mesif::kInvalid, Mesif::kInvalid, Mesif::kInvalid,
+         Mesif::kInvalid},
+        {Mesif::kShared, Mesif::kShared, Mesif::kShared, Mesif::kInvalid,
+         Mesif::kShared},
+        {Mesif::kForward, Mesif::kForward, Mesif::kShared, Mesif::kInvalid,
+         Mesif::kShared},
+        {Mesif::kExclusive, Mesif::kModified, Mesif::kShared, Mesif::kInvalid,
+         Mesif::kShared},
+        {Mesif::kModified, Mesif::kModified, Mesif::kShared, Mesif::kInvalid,
+         Mesif::kShared},
+        {Mesif::kOwned, Mesif::kOwned, Mesif::kShared, Mesif::kInvalid,
+         Mesif::kShared},
+    }},
+    {{
+        /* I */ {false, false, false},
+        /* S */ {false, true, false},
+        /* F */ {true, false, false},
+        /* E */ {true, false, true},
+        /* M */ {true, false, true},
+        /* O */ {true, false, false},
+    }},
+    /*store_silent=*/{false, false, false, true, true, false},
+    /*node_owns=*/{false, false, false, true, true, false},
+};
+
+inline constexpr ProtocolPolicy kMesiPolicy = {
+    Protocol::kMesi,
+    "mesi",
+    /*has_forward=*/false,
+    /*writeback_on_read_snoop=*/true,
+    /*update_based=*/false,
+    /*clean_shared_grant=*/Mesif::kShared,
+    kMesifPolicy.next_state_table,
+    kMesifPolicy.snoop_read_table,
+    kMesifPolicy.store_silent_table,
+    kMesifPolicy.node_owns_table,
+};
+
+inline constexpr ProtocolPolicy kMoesiPolicy = {
+    Protocol::kMoesi,
+    "moesi",
+    /*has_forward=*/false,
+    /*writeback_on_read_snoop=*/false,
+    /*update_based=*/false,
+    /*clean_shared_grant=*/Mesif::kShared,
+    // M demotes to Owned on a read snoop (no writeback); Owned keeps
+    // forwarding and stays Owned.
+    {{
+        {Mesif::kInvalid, Mesif::kInvalid, Mesif::kInvalid, Mesif::kInvalid,
+         Mesif::kInvalid},
+        {Mesif::kShared, Mesif::kShared, Mesif::kShared, Mesif::kInvalid,
+         Mesif::kShared},
+        {Mesif::kForward, Mesif::kForward, Mesif::kShared, Mesif::kInvalid,
+         Mesif::kShared},
+        {Mesif::kExclusive, Mesif::kModified, Mesif::kShared, Mesif::kInvalid,
+         Mesif::kShared},
+        {Mesif::kModified, Mesif::kModified, Mesif::kOwned, Mesif::kInvalid,
+         Mesif::kShared},
+        {Mesif::kOwned, Mesif::kOwned, Mesif::kOwned, Mesif::kInvalid,
+         Mesif::kShared},
+    }},
+    kMesifPolicy.snoop_read_table,
+    kMesifPolicy.store_silent_table,
+    kMesifPolicy.node_owns_table,
+};
+
+inline constexpr ProtocolPolicy kDragonPolicy = {
+    Protocol::kDragon,
+    "dragon",
+    /*has_forward=*/false,
+    /*writeback_on_read_snoop=*/false,
+    /*update_based=*/true,
+    /*clean_shared_grant=*/Mesif::kShared,
+    // Dragon's Sc/Sm map onto S/O.  A read snoop demotes M to Owned (the
+    // supplier keeps the dirty copy, Sm); an update broadcast demotes the
+    // previous owner to Shared — the updating writer is the new owner.
+    {{
+        {Mesif::kInvalid, Mesif::kInvalid, Mesif::kInvalid, Mesif::kInvalid,
+         Mesif::kInvalid},
+        {Mesif::kShared, Mesif::kShared, Mesif::kShared, Mesif::kInvalid,
+         Mesif::kShared},
+        {Mesif::kForward, Mesif::kForward, Mesif::kShared, Mesif::kInvalid,
+         Mesif::kShared},
+        {Mesif::kExclusive, Mesif::kModified, Mesif::kShared, Mesif::kInvalid,
+         Mesif::kShared},
+        {Mesif::kModified, Mesif::kModified, Mesif::kOwned, Mesif::kInvalid,
+         Mesif::kShared},
+        {Mesif::kOwned, Mesif::kOwned, Mesif::kOwned, Mesif::kInvalid,
+         Mesif::kShared},
+    }},
+    kMesifPolicy.snoop_read_table,
+    kMesifPolicy.store_silent_table,
+    kMesifPolicy.node_owns_table,
+};
+
+inline constexpr std::array<const ProtocolPolicy*, kProtocolCount> kPolicies =
+    {&kMesifPolicy, &kMesiPolicy, &kMoesiPolicy, &kDragonPolicy};
+
+constexpr const ProtocolPolicy& policy(Protocol p) {
+  return *kPolicies[static_cast<std::size_t>(p)];
 }
 
-// Store hits complete without a CA transaction only when the node already
-// owns the line.  E->M is the silent upgrade; M stays M.
-inline constexpr std::array<bool, kStateCount> kStoreHitSilent = {
-    false, false, false, true, true};
+// --- MESIF free functions ---------------------------------------------------
+// The original PR 6 API, kept as thin views over the MESIF policy: the
+// engine's default path, the protocol unit tests, and the frozen-legacy
+// `BM_MesifTransitionTable` benchmark all read these.
 
-constexpr bool store_hit_is_silent(Mesif s) { return kStoreHitSilent[idx(s)]; }
+inline constexpr auto& kNextState = kMesifPolicy.next_state_table;
+inline constexpr auto& kSnoopRead = kMesifPolicy.snoop_read_table;
+inline constexpr auto& kStoreHitSilent = kMesifPolicy.store_silent_table;
+inline constexpr auto& kNodeOwns = kMesifPolicy.node_owns_table;
 
-// Node-level ownership: states in which the L3 entry guarantees no other
-// node holds a copy, so a write needs only in-node invalidations.
-inline constexpr std::array<bool, kStateCount> kNodeOwns = {
-    false, false, false, true, true};
+constexpr Mesif next_state(Mesif s, Op op) { return kMesifPolicy.next(s, op); }
 
-constexpr bool node_owns(Mesif s) { return kNodeOwns[idx(s)]; }
+constexpr const SnoopReadReaction& snoop_read_reaction(Mesif s) {
+  return kMesifPolicy.snoop_read(s);
+}
 
-}  // namespace hsw::protocol
+constexpr bool store_hit_is_silent(Mesif s) {
+  return kMesifPolicy.store_silent(s);
+}
+
+constexpr bool node_owns(Mesif s) { return kMesifPolicy.owns(s); }
+
+}  // namespace protocol
+}  // namespace hsw

@@ -86,7 +86,8 @@ void MachineState::update_structural_gauges(
   }
 
   const auto occ = [&](const CacheArray::Census& census, MGauge modified,
-                       MGauge exclusive, MGauge shared, MGauge forward) {
+                       MGauge exclusive, MGauge shared, MGauge forward,
+                       MGauge owned) {
     const auto count = [&](Mesif s) {
       return static_cast<std::int64_t>(
           census.by_state[static_cast<std::size_t>(s)]);
@@ -95,13 +96,14 @@ void MachineState::update_structural_gauges(
     registry.set_gauge(exclusive, count(Mesif::kExclusive));
     registry.set_gauge(shared, count(Mesif::kShared));
     registry.set_gauge(forward, count(Mesif::kForward));
+    registry.set_gauge(owned, count(Mesif::kOwned));
   };
   occ(l1, MGauge::kL1OccModified, MGauge::kL1OccExclusive, MGauge::kL1OccShared,
-      MGauge::kL1OccForward);
+      MGauge::kL1OccForward, MGauge::kL1OccOwned);
   occ(l2, MGauge::kL2OccModified, MGauge::kL2OccExclusive, MGauge::kL2OccShared,
-      MGauge::kL2OccForward);
+      MGauge::kL2OccForward, MGauge::kL2OccOwned);
   occ(l3c, MGauge::kL3OccModified, MGauge::kL3OccExclusive,
-      MGauge::kL3OccShared, MGauge::kL3OccForward);
+      MGauge::kL3OccShared, MGauge::kL3OccForward, MGauge::kL3OccOwned);
   registry.set_gauge(MGauge::kL3CoreValidBits,
                      static_cast<std::int64_t>(l3c.core_valid_bits));
 

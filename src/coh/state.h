@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "coh/hitme.h"
+#include "coh/protocol.h"
 #include "coh/timing.h"
 #include "mem/address.h"
 #include "mem/cache_array.h"
@@ -44,6 +45,9 @@ struct ProtocolFeatures {
   // Core-valid bits in the L3 (the E-state snoop penalty).  Always on in
   // real hardware; exposed for the ablation study.
   bool core_valid_bits = true;
+  // Coherence protocol the engine runs (coh/protocol.h).  Orthogonal to the
+  // snoop mode: every (protocol x snoop-config) cell is a valid machine.
+  Protocol protocol = Protocol::kMesif;
 
   static ProtocolFeatures for_mode(SnoopMode mode) {
     ProtocolFeatures f;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 namespace hsw {
 
@@ -127,11 +128,15 @@ void for_each_timing_field(Params& t, Fn&& fn) {
 
 // Stable 64-bit FNV-1a hash over every timing constant (round-trip-exact
 // %.17g text).  Stamped into metrics run reports so two reports can only
-// compare clean when they came from identical timing calibrations.
-[[nodiscard]] inline std::string timing_fingerprint(const TimingParams& t) {
+// compare clean when they came from identical timing calibrations.  The
+// optional `protocol` tag is mixed in as well: two runs that compose the
+// same constants under different coherence-protocol families produce
+// different event mixes, so their reports must not fingerprint-match.
+[[nodiscard]] inline std::string timing_fingerprint(
+    const TimingParams& t, std::string_view protocol = {}) {
   std::uint64_t h = 0xcbf29ce484222325ull;
-  auto mix = [&](const char* data, int len) {
-    for (int i = 0; i < len; ++i) {
+  auto mix = [&](const char* data, std::size_t len) {
+    for (std::size_t i = 0; i < len; ++i) {
       h ^= static_cast<unsigned char>(data[i]);
       h *= 0x100000001b3ull;
     }
@@ -139,8 +144,13 @@ void for_each_timing_field(Params& t, Fn&& fn) {
   for_each_timing_field(t, [&](const char* name, double value) {
     char buf[64];
     const int n = std::snprintf(buf, sizeof buf, "%s=%.17g;", name, value);
-    mix(buf, n);
+    mix(buf, static_cast<std::size_t>(n));
   });
+  if (!protocol.empty()) {
+    mix("protocol=", 9);
+    mix(protocol.data(), protocol.size());
+    mix(";", 1);
+  }
   char hex[32];
   const int n = std::snprintf(hex, sizeof hex, "%016llx",
                               static_cast<unsigned long long>(h));

@@ -16,8 +16,11 @@ TopologyConfig topo_config(const SystemConfig& c) {
 }
 
 ProtocolFeatures features_of(const SystemConfig& c) {
-  return c.feature_override ? *c.feature_override
-                            : ProtocolFeatures::for_mode(c.snoop_mode);
+  ProtocolFeatures f = c.feature_override
+                           ? *c.feature_override
+                           : ProtocolFeatures::for_mode(c.snoop_mode);
+  f.protocol = c.protocol;
+  return f;
 }
 
 }  // namespace
@@ -52,8 +55,17 @@ std::optional<SnoopMode> parse_snoop_mode(std::string_view name) {
   return std::nullopt;
 }
 
+std::optional<Protocol> parse_protocol(std::string_view name) {
+  if (name == "mesif") return Protocol::kMesif;
+  if (name == "mesi") return Protocol::kMesi;
+  if (name == "moesi") return Protocol::kMoesi;
+  if (name == "dragon") return Protocol::kDragon;
+  return std::nullopt;
+}
+
 std::optional<Mesif> parse_mesif(std::string_view name) {
   if (name == "M") return Mesif::kModified;
+  if (name == "O") return Mesif::kOwned;
   if (name == "E") return Mesif::kExclusive;
   if (name == "S") return Mesif::kShared;
   if (name == "I") return Mesif::kInvalid;
@@ -63,8 +75,11 @@ std::optional<Mesif> parse_mesif(std::string_view name) {
 
 std::string SystemConfig::describe() const {
   std::ostringstream out;
-  out << sockets << "x " << to_string(sku) << ", " << to_string(snoop_mode)
-      << ", L3 " << format_bytes(geometry.l3_slice_bytes) << "/slice, "
+  out << sockets << "x " << to_string(sku) << ", " << to_string(snoop_mode);
+  // MESIF is the hardware protocol; only the what-if families are called out
+  // (keeps the default description — and the goldens embedding it — stable).
+  if (protocol != Protocol::kMesif) out << ", " << to_string(protocol);
+  out << ", L3 " << format_bytes(geometry.l3_slice_bytes) << "/slice, "
       << timing.core_ghz << " GHz";
   return out.str();
 }

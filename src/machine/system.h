@@ -24,6 +24,9 @@ struct SystemConfig {
   DieSku sku = DieSku::kTwelveCore;
   int sockets = 2;
   SnoopMode snoop_mode = SnoopMode::kSourceSnoop;
+  // Coherence-protocol family the engine runs (orthogonal to the snoop
+  // mode, which picks who launches the snoops).  MESIF is the hardware.
+  Protocol protocol = Protocol::kMesif;
   TimingParams timing = TimingParams::haswell_ep();
   CacheGeometry geometry;
   // When set, overrides the feature flags derived from `snoop_mode`
@@ -46,7 +49,9 @@ struct SystemConfig {
 
 // "source" | "home" | "cod" (the paper's three BIOS configurations).
 [[nodiscard]] std::optional<SnoopMode> parse_snoop_mode(std::string_view name);
-// Single-letter MESIF state names "M" | "E" | "S" | "I" | "F".
+// "mesif" | "mesi" | "moesi" | "dragon" (the protocol family).
+[[nodiscard]] std::optional<Protocol> parse_protocol(std::string_view name);
+// Single-letter line-state names "M" | "O" | "E" | "S" | "I" | "F".
 [[nodiscard]] std::optional<Mesif> parse_mesif(std::string_view name);
 
 class System {

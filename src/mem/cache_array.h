@@ -155,11 +155,11 @@ class CacheArray {
 
   [[nodiscard]] std::size_t valid_count() const;
 
-  // One structural-census pass: per-MESIF-state line counts plus the
+  // One structural-census pass: per-line-state counts plus the
   // core-valid-filter population, walking only the valid-way bitmasks
   // (O(sets + valid lines)).  Feeds the metrics occupancy gauges.
   struct Census {
-    std::array<std::size_t, 5> by_state{};  // indexed by Mesif value
+    std::array<std::size_t, 6> by_state{};  // indexed by Mesif value
     std::size_t valid = 0;
     std::size_t core_valid_bits = 0;
 

@@ -19,21 +19,30 @@ using LineAddr = std::uint64_t;
 constexpr LineAddr line_of(PhysAddr addr) { return addr >> kLineBits; }
 constexpr PhysAddr addr_of(LineAddr line) { return line << kLineBits; }
 
-// MESIF coherence states (paper §IV-A).  `forward` designates the single
-// shared copy responsible for cache-to-cache forwarding.
+// Coherence line states (paper §IV-A).  The vocabulary is the union over
+// the protocol family (see coh/protocol.h): MESIF uses I/S/F/E/M (`forward`
+// designates the single shared copy responsible for cache-to-cache
+// forwarding); MOESI and Dragon add `owned` — a dirty-shared state whose
+// holder forwards data without writing memory back until eviction.  kOwned
+// is appended after kModified so the MESIF encoding (and everything keyed
+// on it: goldens, censuses, the differential oracle) is unchanged.
 enum class Mesif : std::uint8_t {
   kInvalid,
   kShared,
   kForward,
   kExclusive,
   kModified,
+  kOwned,
 };
 
 constexpr bool is_valid(Mesif s) { return s != Mesif::kInvalid; }
-constexpr bool is_dirty(Mesif s) { return s == Mesif::kModified; }
+constexpr bool is_dirty(Mesif s) {
+  return s == Mesif::kModified || s == Mesif::kOwned;
+}
 // States that obligate the holder to respond with data to a snoop.
 constexpr bool can_forward(Mesif s) {
-  return s == Mesif::kModified || s == Mesif::kExclusive || s == Mesif::kForward;
+  return s == Mesif::kModified || s == Mesif::kExclusive ||
+         s == Mesif::kForward || s == Mesif::kOwned;
 }
 
 constexpr std::string_view to_string(Mesif s) {
@@ -43,6 +52,7 @@ constexpr std::string_view to_string(Mesif s) {
     case Mesif::kForward: return "F";
     case Mesif::kExclusive: return "E";
     case Mesif::kModified: return "M";
+    case Mesif::kOwned: return "O";
   }
   return "?";
 }

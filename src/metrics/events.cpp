@@ -10,6 +10,7 @@ std::string_view to_string(MCtr c) {
     case MCtr::kL2VictimCleanSilent: return "CBO_L2_VICTIM_CLEAN_SILENT";
     case MCtr::kL3VictimDirty: return "CBO_LLC_VICTIM_M_WRITEBACK";
     case MCtr::kL3VictimCleanSilent: return "CBO_LLC_VICTIM_CLEAN_SILENT";
+    case MCtr::kCboUpdateSent: return "CBO_UPDATE_SENT";
     case MCtr::kSadLocalHome: return "SAD_REQ_LOCAL_HOME";
     case MCtr::kSadRemoteHome: return "SAD_REQ_REMOTE_HOME";
     case MCtr::kHaDirectoryLookup: return "HA_DIRECTORY_LOOKUP";
@@ -35,14 +36,17 @@ std::string_view to_string(MGauge g) {
     case MGauge::kL1OccExclusive: return "CBO_L1_OCC_E";
     case MGauge::kL1OccShared: return "CBO_L1_OCC_S";
     case MGauge::kL1OccForward: return "CBO_L1_OCC_F";
+    case MGauge::kL1OccOwned: return "CBO_L1_OCC_O";
     case MGauge::kL2OccModified: return "CBO_L2_OCC_M";
     case MGauge::kL2OccExclusive: return "CBO_L2_OCC_E";
     case MGauge::kL2OccShared: return "CBO_L2_OCC_S";
     case MGauge::kL2OccForward: return "CBO_L2_OCC_F";
+    case MGauge::kL2OccOwned: return "CBO_L2_OCC_O";
     case MGauge::kL3OccModified: return "CBO_LLC_OCC_M";
     case MGauge::kL3OccExclusive: return "CBO_LLC_OCC_E";
     case MGauge::kL3OccShared: return "CBO_LLC_OCC_S";
     case MGauge::kL3OccForward: return "CBO_LLC_OCC_F";
+    case MGauge::kL3OccOwned: return "CBO_LLC_OCC_O";
     case MGauge::kL3CoreValidBits: return "CBO_LLC_CORE_VALID_BITS";
     case MGauge::kHitmeEntries: return "HA_HITME_ENTRIES";
     case MGauge::kDirectoryTracked: return "HA_DIRECTORY_TRACKED_LINES";

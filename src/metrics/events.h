@@ -31,6 +31,9 @@ enum class MCtr : std::uint8_t {
   kL2VictimCleanSilent,
   kL3VictimDirty,
   kL3VictimCleanSilent,
+  // CBo: update broadcasts sent on stores to shared lines (Dragon; zero
+  // under the invalidate-based protocols).
+  kCboUpdateSent,
   // SAD: who decoded the request's home — the local or a remote node.
   kSadLocalHome,
   kSadRemoteHome,
@@ -53,19 +56,23 @@ enum class MCtr : std::uint8_t {
 inline constexpr std::size_t kMCtrCount = static_cast<std::size_t>(MCtr::kCount);
 
 enum class MGauge : std::uint8_t {
-  // Per-level MESIF occupancy (valid lines per state, machine-wide).
+  // Per-level line-state occupancy (valid lines per state, machine-wide).
+  // Owned is populated only under MOESI/Dragon.
   kL1OccModified,
   kL1OccExclusive,
   kL1OccShared,
   kL1OccForward,
+  kL1OccOwned,
   kL2OccModified,
   kL2OccExclusive,
   kL2OccShared,
   kL2OccForward,
+  kL2OccOwned,
   kL3OccModified,
   kL3OccExclusive,
   kL3OccShared,
   kL3OccForward,
+  kL3OccOwned,
   // Population of the L3 core-valid filters (set bits across all slices).
   kL3CoreValidBits,
   // HitME directory-cache and in-memory directory population.

@@ -61,6 +61,7 @@ bool write_report(const std::string& path, const ReportManifest& manifest,
                "  \"manifest\": {\n"
                "    \"tool\": \"%s\",\n"
                "    \"config\": \"%s\",\n"
+               "    \"protocol\": \"%s\",\n"
                "    \"timing_hash\": \"%s\",\n"
                "    \"seed\": %llu,\n"
                "    \"jobs\": %u,\n"
@@ -68,6 +69,7 @@ bool write_report(const std::string& path, const ReportManifest& manifest,
                "    \"git\": \"%s\"\n"
                "  },\n",
                escape(manifest.tool).c_str(), escape(manifest.config).c_str(),
+               escape(manifest.protocol).c_str(),
                escape(manifest.timing_hash).c_str(),
                static_cast<unsigned long long>(manifest.seed), manifest.jobs,
                manifest.quick ? "true" : "false",

@@ -26,6 +26,10 @@ inline constexpr int kReportVersion = 1;
 struct ReportManifest {
   std::string tool;         // bench binary name
   std::string config;       // bench summary line
+  // Coherence-protocol family the run simulated (mesif|mesi|moesi|dragon).
+  // The differ refuses to compare reports across protocols without --force:
+  // every engine counter changes meaning when the transition tables change.
+  std::string protocol = "mesif";
   std::string timing_hash;  // fingerprint over all TimingParams constants
   std::uint64_t seed = 1;
   unsigned jobs = 0;

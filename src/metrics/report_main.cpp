@@ -1,14 +1,17 @@
 // hswsim-report: inspect and diff the --metrics JSON run reports.
 //
 //   hswsim-report show FILE              summary table of one report
-//   hswsim-report diff A B [--rel R] [--abs A]
+//   hswsim-report diff A B [--rel R] [--abs A] [--force]
 //
 // diff compares every metric key tolerance-aware with the same cell
 // machinery the golden-figure regression uses (src/check/golden.h):
 // numeric values within rel/abs epsilon pass, everything else must match
 // exactly.  Manifest fields are provenance, not metrics — differences are
-// printed but do not fail the diff.  Exit 0 = reports match, 1 = metric
-// mismatch, 2 = usage or unreadable/invalid report.
+// printed but do not fail the diff, with one exception: reports from
+// different coherence-protocol families are refused outright (the engine
+// counters change meaning across transition tables) unless --force is
+// given.  Exit 0 = reports match, 1 = metric mismatch or refused
+// cross-protocol diff, 2 = usage or unreadable/invalid report.
 #include <cstdio>
 #include <map>
 #include <string>
@@ -26,8 +29,15 @@ using FlatReport = std::map<std::string, std::string>;
 int usage() {
   std::fprintf(stderr,
                "usage: hswsim-report show FILE\n"
-               "       hswsim-report diff A B [--rel R] [--abs A]\n");
+               "       hswsim-report diff A B [--rel R] [--abs A] [--force]\n");
   return 2;
+}
+
+// Reports written before the protocol axis existed carry no manifest
+// protocol; they could only have simulated MESIF.
+[[nodiscard]] std::string protocol_of(const FlatReport& report) {
+  const auto it = report.find("manifest.protocol");
+  return it == report.end() ? std::string{"mesif"} : it->second;
 }
 
 bool load(const std::string& path, FlatReport* out) {
@@ -76,13 +86,27 @@ int show(const FlatReport& report, const std::string& path) {
 }
 
 int diff(const FlatReport& a, const FlatReport& b, const std::string& path_a,
-         const std::string& path_b, const hsw::check::GoldenTolerance& tol) {
+         const std::string& path_b, const hsw::check::GoldenTolerance& tol,
+         bool force) {
   if (lookup(a, "hswsim_metrics_version") !=
       lookup(b, "hswsim_metrics_version")) {
     std::fprintf(stderr, "hswsim-report: version mismatch (%s vs %s)\n",
                  lookup(a, "hswsim_metrics_version").c_str(),
                  lookup(b, "hswsim_metrics_version").c_str());
     return 1;
+  }
+  if (protocol_of(a) != protocol_of(b)) {
+    if (!force) {
+      std::fprintf(stderr,
+                   "hswsim-report: refusing to diff across coherence "
+                   "protocols (%s ran %s, %s ran %s); the engine counters "
+                   "are not comparable — pass --force to diff anyway\n",
+                   path_a.c_str(), protocol_of(a).c_str(), path_b.c_str(),
+                   protocol_of(b).c_str());
+      return 1;
+    }
+    std::printf("note: cross-protocol diff forced (%s vs %s)\n",
+                protocol_of(a).c_str(), protocol_of(b).c_str());
   }
 
   std::vector<std::string> keys;
@@ -132,8 +156,11 @@ int main(int argc, char** argv) {
   hsw::CommandLine cli(
       "inspect (show) or tolerance-diff (diff) hswsim --metrics reports");
   hsw::check::GoldenTolerance tol;
+  bool force = false;
   cli.add_double("rel", &tol.rel, "relative tolerance for numeric values");
   cli.add_double("abs", &tol.abs, "absolute tolerance for numeric values");
+  cli.add_bool("force", &force,
+               "diff reports even when their coherence protocols differ");
   switch (cli.parse_status(argc, argv)) {
     case hsw::CommandLine::ParseStatus::kHelp:
       return 0;
@@ -154,7 +181,7 @@ int main(int argc, char** argv) {
     FlatReport a;
     FlatReport b;
     if (!load(pos[1], &a) || !load(pos[2], &b)) return 2;
-    return diff(a, b, pos[1], pos[2], tol);
+    return diff(a, b, pos[1], pos[2], tol, force);
   }
   return usage();
 }

@@ -27,6 +27,7 @@ constexpr std::array<std::string_view, kCtrCount> kNames = {
     "uncore_cbo.l3_evictions",
     "uncore_cbo.l3_writebacks",
     "uncore_cbo.core_snoops",
+    "uncore_cbo.updates_sent",
 };
 
 }  // namespace

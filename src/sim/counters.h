@@ -43,6 +43,7 @@ enum class Ctr : std::uint8_t {
   kL3Evictions,
   kL3WritebacksToMem,
   kCoreSnoops,
+  kUpdatesSent,
   kCount,
 };
 

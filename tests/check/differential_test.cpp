@@ -20,6 +20,7 @@ struct OracleScenario {
   SnoopMode mode;
   bool das;
   std::uint64_t seed;
+  Protocol protocol = Protocol::kMesif;
 };
 
 std::string oracle_name(const ::testing::TestParamInfo<OracleScenario>& info) {
@@ -35,6 +36,7 @@ TEST_P(DifferentialOracle, EngineMatchesReferenceOverRandomTrace) {
 
   DiffConfig config;
   config.mode = scenario.mode;
+  config.protocol = scenario.protocol;
   config.das = scenario.das;
   config.seed = hswtest::effective_seed(scenario.seed);
   config.steps = 1200;  // acceptance floor: >= 1000 steps per configuration
@@ -62,12 +64,50 @@ INSTANTIATE_TEST_SUITE_P(
         OracleScenario{"cod_das", SnoopMode::kCod, true, 1}),
     oracle_name);
 
+// Every protocol family runs against its reference across the snoop-mode
+// grid: the engine's policy gates and the reference's mirrored tables must
+// agree cell by cell, not just under MESIF.
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, DifferentialOracle,
+    ::testing::Values(
+        OracleScenario{"mesi_source", SnoopMode::kSourceSnoop, false, 1,
+                       Protocol::kMesi},
+        OracleScenario{"mesi_home", SnoopMode::kHomeSnoop, false, 1,
+                       Protocol::kMesi},
+        OracleScenario{"mesi_cod", SnoopMode::kCod, false, 1, Protocol::kMesi},
+        OracleScenario{"mesi_cod_das", SnoopMode::kCod, true, 1,
+                       Protocol::kMesi},
+        OracleScenario{"mesi_home_dir", SnoopMode::kHomeSnoop, true, 1,
+                       Protocol::kMesi},
+        OracleScenario{"moesi_source", SnoopMode::kSourceSnoop, false, 1,
+                       Protocol::kMoesi},
+        OracleScenario{"moesi_home", SnoopMode::kHomeSnoop, false, 1,
+                       Protocol::kMoesi},
+        OracleScenario{"moesi_cod", SnoopMode::kCod, false, 1,
+                       Protocol::kMoesi},
+        OracleScenario{"moesi_cod_das", SnoopMode::kCod, true, 1,
+                       Protocol::kMoesi},
+        OracleScenario{"moesi_home_dir", SnoopMode::kHomeSnoop, true, 1,
+                       Protocol::kMoesi},
+        OracleScenario{"dragon_source", SnoopMode::kSourceSnoop, false, 1,
+                       Protocol::kDragon},
+        OracleScenario{"dragon_home", SnoopMode::kHomeSnoop, false, 1,
+                       Protocol::kDragon},
+        OracleScenario{"dragon_cod", SnoopMode::kCod, false, 1,
+                       Protocol::kDragon},
+        OracleScenario{"dragon_cod_das", SnoopMode::kCod, true, 1,
+                       Protocol::kDragon},
+        OracleScenario{"dragon_home_dir", SnoopMode::kHomeSnoop, true, 1,
+                       Protocol::kDragon}),
+    oracle_name);
+
 // --- testing the tester ----------------------------------------------------
 
 struct FaultScenario {
   const char* name;
   ReferenceFault fault;
   SnoopMode mode;
+  Protocol protocol = Protocol::kMesif;
 };
 
 std::string fault_name(const ::testing::TestParamInfo<FaultScenario>& info) {
@@ -85,6 +125,7 @@ class InjectedFault : public ::testing::TestWithParam<FaultScenario> {
                                std::uint64_t seed) {
     DiffConfig config;
     config.mode = scenario.mode;
+    config.protocol = scenario.protocol;
     config.fault = scenario.fault;
     config.seed = seed;
     config.steps = 1500;
@@ -149,7 +190,19 @@ INSTANTIATE_TEST_SUITE_P(
                                     SnoopMode::kCod},
                       FaultScenario{"read_always_exclusive",
                                     ReferenceFault::kReadAlwaysExclusive,
-                                    SnoopMode::kSourceSnoop}),
+                                    SnoopMode::kSourceSnoop},
+                      // The protocol-specific failure modes: an Owned line
+                      // that forgets its deferred writeback (the MOESI
+                      // hazard MESIF cannot express), and a dropped Dragon
+                      // update broadcast (peers keep stale copies).
+                      FaultScenario{"moesi_lost_owned_writeback",
+                                    ReferenceFault::kMoesiLostOwnedWriteback,
+                                    SnoopMode::kSourceSnoop,
+                                    Protocol::kMoesi},
+                      FaultScenario{"dragon_dropped_update",
+                                    ReferenceFault::kDragonDroppedUpdate,
+                                    SnoopMode::kSourceSnoop,
+                                    Protocol::kDragon}),
     fault_name);
 
 TEST(DifferentialTrace, ReplayFormatIsCompilableLiteral) {
@@ -165,6 +218,13 @@ TEST(DifferentialTrace, ReplayFormatIsCompilableLiteral) {
   EXPECT_NE(replay.find("config.das = true"), std::string::npos);
   EXPECT_NE(replay.find("Kind::kWrite, 3, 0x40ull"), std::string::npos);
   EXPECT_NE(replay.find("Kind::kFlush, 0, 0x40ull"), std::string::npos);
+  // MESIF is the default: the replay literal stays minimal.
+  EXPECT_EQ(replay.find("config.protocol"), std::string::npos);
+
+  config.protocol = Protocol::kDragon;
+  const std::string dragon_replay = format_replay(config, ops);
+  EXPECT_NE(dragon_replay.find("config.protocol = hsw::Protocol::kDragon;"),
+            std::string::npos);
 }
 
 TEST(DifferentialTrace, TraceIsDeterministicPerSeedAndCoversAllOps) {

@@ -1,0 +1,167 @@
+// Cross-protocol equivalence: four protocol families, one functional
+// contract.  MESIF, MESI, MOESI, and Dragon trade *when* data moves
+// (demotions, deferred writebacks, update broadcasts), never *what* value a
+// line ends up holding.  The reference family's value oracle makes that
+// checkable: every store stamps a fresh serial, only modeled writebacks
+// advance the memory image, and after flush_all() a correct protocol has
+// pushed every line's newest serial home.  The engine itself is covered
+// transitively — the differential oracle (differential_test.cpp) proves
+// engine == reference per protocol, and this suite proves the references
+// agree with each other.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "check/differential.h"
+#include "check/reference_model.h"
+#include "machine/system.h"
+#include "support/test_seed.h"
+
+namespace hsw::check {
+namespace {
+
+constexpr Protocol kInvalidating[] = {Protocol::kMesif, Protocol::kMesi,
+                                      Protocol::kMoesi};
+constexpr Protocol kAll[] = {Protocol::kMesif, Protocol::kMesi,
+                             Protocol::kMoesi, Protocol::kDragon};
+
+// One reference model run: replay `ops` on a fresh model for `protocol`,
+// then flush everything so deferred writebacks (MOESI Owned, Dragon's
+// dirty-shared lines) reach memory.
+struct ProtocolRun {
+  // The System exists to derive topology + features exactly the way the
+  // differential driver does; the replay itself only drives the reference.
+  System sys;
+  ReferenceModel ref;
+
+  ProtocolRun(const DiffConfig& config, Protocol protocol)
+      : sys([&] {
+          DiffConfig c = config;
+          c.protocol = protocol;
+          return system_config_for(c);
+        }()),
+        ref(sys.topology(), sys.state().features) {}
+
+  void replay(const std::vector<DiffOp>& ops) {
+    for (const DiffOp& op : ops) {
+      switch (op.kind) {
+        case DiffOp::Kind::kRead:
+          ref.read(op.core, op.line);
+          break;
+        case DiffOp::Kind::kWrite:
+          ref.write(op.core, op.line);
+          break;
+        case DiffOp::Kind::kFlush:
+          ref.flush_line(op.line);
+          break;
+        case DiffOp::Kind::kEvictCore:
+          ref.evict_core_caches(op.core);
+          break;
+        case DiffOp::Kind::kFlushNode:
+          ref.flush_node_l3(sys.topology().node_of_core(op.core));
+          break;
+      }
+    }
+    ref.flush_all();
+  }
+};
+
+DiffConfig base_config(SnoopMode mode, std::uint64_t seed) {
+  DiffConfig config;
+  config.mode = mode;
+  config.seed = hswtest::effective_seed(seed);
+  config.steps = 1500;
+  return config;
+}
+
+TEST(ProtocolEquivalence, InvalidatingProtocolsAgreeOnFinalMemoryImages) {
+  for (const SnoopMode mode :
+       {SnoopMode::kSourceSnoop, SnoopMode::kHomeSnoop, SnoopMode::kCod}) {
+    const DiffConfig config = base_config(mode, 1);
+    // The trace only depends on topology/seed, so every protocol replays
+    // the exact same operation sequence.
+    const std::vector<DiffOp> ops = random_trace(config);
+
+    ProtocolRun mesif(config, Protocol::kMesif);
+    mesif.replay(ops);
+    const std::map<LineAddr, ReferenceModel::MemoryCell> golden =
+        mesif.ref.memory_image();
+    ASSERT_FALSE(golden.empty());
+
+    for (const Protocol p : kInvalidating) {
+      if (p == Protocol::kMesif) continue;
+      ProtocolRun run(config, p);
+      run.replay(ops);
+      EXPECT_EQ(run.ref.memory_image(), golden)
+          << to_string(p) << " diverged from mesif under mode "
+          << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(ProtocolEquivalence, DragonMatchesTheInvalidatingFinalValueOracle) {
+  // Dragon never invalidates on a store, yet the final values must be the
+  // ones the invalidate-based protocols settle on: same newest serial, same
+  // last writer, per line.
+  const DiffConfig config = base_config(SnoopMode::kSourceSnoop, 2);
+  const std::vector<DiffOp> ops = random_trace(config);
+
+  ProtocolRun mesif(config, Protocol::kMesif);
+  ProtocolRun dragon(config, Protocol::kDragon);
+  mesif.replay(ops);
+  dragon.replay(ops);
+  EXPECT_EQ(dragon.ref.memory_image(), mesif.ref.memory_image());
+}
+
+TEST(ProtocolEquivalence, FlushAllDrainsEveryDirtyCopyInEveryProtocol) {
+  // The conservation law behind the oracle: dirtiness is never dropped,
+  // only written back or migrated.  After flush_all() the memory image
+  // holds every line's newest serial — in particular MOESI's Owned lines,
+  // whose writeback was deferred past the demotion that created them.
+  const DiffConfig config = base_config(SnoopMode::kCod, 3);
+  const std::vector<DiffOp> ops = random_trace(config);
+
+  for (const Protocol p : kAll) {
+    ProtocolRun run(config, p);
+    run.replay(ops);
+    for (const LineAddr line : tracked_lines(config)) {
+      const ReferenceLine& ls = run.ref.line_state(line);
+      EXPECT_EQ(ls.mem_value, ls.newest_value)
+          << to_string(p) << " lost the newest version of line " << line;
+    }
+  }
+}
+
+TEST(ProtocolEquivalence, MoesiDefersWritebacksMesifPaysEagerly) {
+  // The MOESI headline on a sharing-heavy pattern: every MESIF read snoop
+  // that hits a dirty copy writes memory back; MOESI demotes M -> O and
+  // keeps the dirty data on-chip.  Writers keep re-dirtying the same lines,
+  // so MESIF pays per sharing round while MOESI pays once per line at the
+  // final flush — strictly fewer iMC writes, identical final values.
+  const DiffConfig config = base_config(SnoopMode::kSourceSnoop, 4);
+
+  std::vector<DiffOp> ops;
+  const std::vector<LineAddr> lines = tracked_lines(config);
+  const int rounds = 40;
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < 8; ++i) {
+      const LineAddr line = lines[static_cast<std::size_t>(i)];
+      ops.push_back({DiffOp::Kind::kWrite, 0, line});
+      ops.push_back({DiffOp::Kind::kRead, 12, line});   // cross-node reader
+      ops.push_back({DiffOp::Kind::kRead, 5, line});    // same-node reader
+    }
+  }
+
+  ProtocolRun mesif(config, Protocol::kMesif);
+  ProtocolRun moesi(config, Protocol::kMoesi);
+  mesif.replay(ops);
+  moesi.replay(ops);
+
+  EXPECT_LT(moesi.ref.counters().dram_writes, mesif.ref.counters().dram_writes)
+      << "MOESI's Owned state should suppress the per-demotion writebacks";
+  EXPECT_EQ(moesi.ref.memory_image(), mesif.ref.memory_image());
+}
+
+}  // namespace
+}  // namespace hsw::check

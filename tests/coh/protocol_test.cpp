@@ -1,7 +1,9 @@
-// Exhaustive check of the MESIF transition tables (coh/protocol.h) against
-// an independent straight-line reference written from the paper's protocol
-// description (§II-B, Table I).  The engine's hot paths index the tables;
-// this test is what keeps them honest when someone edits an entry.
+// Exhaustive check of the protocol policy tables (coh/protocol.h) against
+// independent straight-line references written from the protocol
+// descriptions (MESIF: paper §II-B, Table I; MOESI/Dragon: the classic
+// invalidate- and update-based formulations).  The engine's hot paths index
+// the tables; this test is what keeps them honest when someone edits an
+// entry.
 #include "coh/protocol.h"
 
 #include <gtest/gtest.h>
@@ -14,104 +16,200 @@ namespace hsw::protocol {
 namespace {
 
 constexpr std::array<Mesif, kStateCount> kAllStates = {
-    Mesif::kInvalid, Mesif::kShared, Mesif::kForward, Mesif::kExclusive,
-    Mesif::kModified};
+    Mesif::kInvalid,   Mesif::kShared,   Mesif::kForward,
+    Mesif::kExclusive, Mesif::kModified, Mesif::kOwned};
 constexpr std::array<Op, kOpCount> kAllOps = {
-    Op::kLocalRead, Op::kLocalStore, Op::kSnoopRead, Op::kSnoopInvalidate};
+    Op::kLocalRead, Op::kLocalStore, Op::kSnoopRead, Op::kSnoopInvalidate,
+    Op::kSnoopUpdate};
+constexpr std::array<Protocol, kProtocolCount> kAllProtocols = {
+    Protocol::kMesif, Protocol::kMesi, Protocol::kMoesi, Protocol::kDragon};
 
 // Reference semantics, written as explicit control flow (no tables) so a
-// typo in kNextState cannot also hide here.
-Mesif reference_next_state(Mesif s, Op op) {
+// typo in a policy table cannot also hide here.  `demotes_to_owned` covers
+// the one transition family the protocols disagree on: what a dirty
+// supplier becomes on a read snoop.
+Mesif reference_next_state(Mesif s, Op op, bool demotes_to_owned) {
   if (s == Mesif::kInvalid) return Mesif::kInvalid;
   switch (op) {
     case Op::kLocalRead:
       return s;  // a load hit never changes the holder's state
     case Op::kLocalStore:
-      // Only an owner upgrades silently (E->M, M->M).  S/F must fetch
-      // ownership through the CA first — the table records "no change".
+      // Only an exclusive owner upgrades silently (E->M, M->M).  S/F must
+      // fetch ownership through the CA first, and Owned implies sharers —
+      // the table records "no change" for all of them.
       if (s == Mesif::kExclusive || s == Mesif::kModified) {
         return Mesif::kModified;
       }
       return s;
     case Op::kSnoopRead:
-      // Read snoops demote every valid state to Shared (the forwarder hands
-      // over F; an owner writes back and keeps a Shared copy).
+      // Read snoops demote clean suppliers to Shared.  Dirty suppliers
+      // either write back and demote to Shared (MESIF/MESI) or keep the
+      // only valid copy as Owned (MOESI/Dragon).
+      if (demotes_to_owned && is_dirty(s)) return Mesif::kOwned;
       return Mesif::kShared;
     case Op::kSnoopInvalidate:
       return Mesif::kInvalid;
+    case Op::kSnoopUpdate:
+      // A peer's update broadcast refreshes the data in place: every valid
+      // holder ends up with a clean Shared copy of the new version.
+      return Mesif::kShared;
   }
   return Mesif::kInvalid;
 }
 
-TEST(ProtocolTable, NextStateMatchesReferenceForAllStateOpPairs) {
-  for (Mesif s : kAllStates) {
-    for (Op op : kAllOps) {
-      EXPECT_EQ(next_state(s, op), reference_next_state(s, op))
-          << "state=" << to_string(s) << " op=" << static_cast<int>(op);
+TEST(ProtocolTable, NextStateMatchesReferenceForAllProtocolStateOpTriples) {
+  for (Protocol p : kAllProtocols) {
+    const ProtocolPolicy& pol = policy(p);
+    const bool owned = !pol.writeback_on_read_snoop;
+    for (Mesif s : kAllStates) {
+      for (Op op : kAllOps) {
+        EXPECT_EQ(pol.next(s, op), reference_next_state(s, op, owned))
+            << pol.name << " state=" << to_string(s)
+            << " op=" << static_cast<int>(op);
+      }
     }
   }
 }
 
+TEST(ProtocolTable, PolicyRegistryRoundTrips) {
+  for (Protocol p : kAllProtocols) {
+    EXPECT_EQ(policy(p).id, p);
+    EXPECT_EQ(policy(p).name, to_string(p));
+  }
+}
+
+TEST(ProtocolTable, FlowFlagsMatchTheProtocolFamilies) {
+  EXPECT_TRUE(kMesifPolicy.has_forward);
+  EXPECT_EQ(kMesifPolicy.clean_shared_grant, Mesif::kForward);
+  for (Protocol p : {Protocol::kMesi, Protocol::kMoesi, Protocol::kDragon}) {
+    EXPECT_FALSE(policy(p).has_forward) << to_string(p);
+    EXPECT_EQ(policy(p).clean_shared_grant, Mesif::kShared) << to_string(p);
+  }
+  EXPECT_TRUE(kMesifPolicy.writeback_on_read_snoop);
+  EXPECT_TRUE(kMesiPolicy.writeback_on_read_snoop);
+  EXPECT_FALSE(kMoesiPolicy.writeback_on_read_snoop);
+  EXPECT_FALSE(kDragonPolicy.writeback_on_read_snoop);
+  for (Protocol p : {Protocol::kMesif, Protocol::kMesi, Protocol::kMoesi}) {
+    EXPECT_FALSE(policy(p).update_based) << to_string(p);
+  }
+  EXPECT_TRUE(kDragonPolicy.update_based);
+}
+
 TEST(ProtocolTable, SnoopReadReactionMatchesForwardObligation) {
   // Exactly the can_forward() states supply data; Shared answers without
-  // data; Invalid does neither.
-  for (Mesif s : kAllStates) {
-    const SnoopReadReaction& rx = snoop_read_reaction(s);
-    EXPECT_EQ(rx.forwards, can_forward(s)) << to_string(s);
-    EXPECT_EQ(rx.responds_shared, s == Mesif::kShared) << to_string(s);
-    // A data response and a shared response are mutually exclusive.
-    EXPECT_FALSE(rx.forwards && rx.responds_shared) << to_string(s);
+  // data; Invalid does neither.  Holds for the whole family.
+  for (Protocol p : kAllProtocols) {
+    for (Mesif s : kAllStates) {
+      const SnoopReadReaction& rx = policy(p).snoop_read(s);
+      EXPECT_EQ(rx.forwards, can_forward(s)) << to_string(p) << " "
+                                             << to_string(s);
+      EXPECT_EQ(rx.responds_shared, s == Mesif::kShared) << to_string(s);
+      // A data response and a shared response are mutually exclusive.
+      EXPECT_FALSE(rx.forwards && rx.responds_shared) << to_string(s);
+    }
   }
 }
 
-TEST(ProtocolTable, OnlyOwnersMayHideNewerCoreCopies) {
+TEST(ProtocolTable, OnlyNodeOwnersMayHideNewerCoreCopies) {
   // The core-valid chase only applies where a core above could have
-  // silently upgraded: node-owner states.  F/S copies are clean by
-  // construction, so chasing them would be wasted snoops.
-  for (Mesif s : kAllStates) {
-    EXPECT_EQ(snoop_read_reaction(s).may_hold_newer, node_owns(s))
-        << to_string(s);
+  // silently upgraded: node-owner states (E/M).  F/S copies are clean by
+  // construction, and under a node-level Owned entry the cores hold at
+  // most Shared — chasing any of them would be wasted snoops.
+  for (Protocol p : kAllProtocols) {
+    for (Mesif s : kAllStates) {
+      EXPECT_EQ(policy(p).snoop_read(s).may_hold_newer, policy(p).owns(s))
+          << to_string(p) << " " << to_string(s);
+    }
   }
 }
 
-TEST(ProtocolTable, StoreHitSilentExactlyInOwnerStates) {
-  for (Mesif s : kAllStates) {
-    EXPECT_EQ(store_hit_is_silent(s),
-              s == Mesif::kExclusive || s == Mesif::kModified)
-        << to_string(s);
-    if (store_hit_is_silent(s)) {
-      // A silent store must land in Modified — nothing else would make the
-      // dirty data reach a writeback later.
-      EXPECT_EQ(next_state(s, Op::kLocalStore), Mesif::kModified)
-          << to_string(s);
-    } else {
-      // Non-silent states leave the upgrade to the CA: no table transition.
-      EXPECT_EQ(next_state(s, Op::kLocalStore), s) << to_string(s);
+TEST(ProtocolTable, StoreHitSilentExactlyInExclusiveOwnerStates) {
+  for (Protocol p : kAllProtocols) {
+    const ProtocolPolicy& pol = policy(p);
+    for (Mesif s : kAllStates) {
+      EXPECT_EQ(pol.store_silent(s),
+                s == Mesif::kExclusive || s == Mesif::kModified)
+          << pol.name << " " << to_string(s);
+      if (pol.store_silent(s)) {
+        // A silent store must land in Modified — nothing else would make
+        // the dirty data reach a writeback later.
+        EXPECT_EQ(pol.next(s, Op::kLocalStore), Mesif::kModified)
+            << to_string(s);
+      } else {
+        // Non-silent states leave the upgrade to the CA: no table
+        // transition.
+        EXPECT_EQ(pol.next(s, Op::kLocalStore), s) << to_string(s);
+      }
     }
   }
 }
 
 TEST(ProtocolTable, InvalidatingSnoopAlwaysLandsInInvalid) {
-  for (Mesif s : kAllStates) {
-    EXPECT_EQ(next_state(s, Op::kSnoopInvalidate), Mesif::kInvalid)
-        << to_string(s);
+  for (Protocol p : kAllProtocols) {
+    for (Mesif s : kAllStates) {
+      EXPECT_EQ(policy(p).next(s, Op::kSnoopInvalidate), Mesif::kInvalid)
+          << to_string(p) << " " << to_string(s);
+    }
+  }
+}
+
+TEST(ProtocolTable, UpdateBroadcastLeavesCleanSharedCopies) {
+  // After absorbing a peer's update, every valid holder is a clean sharer:
+  // it must neither claim dirtiness nor node ownership, or the next local
+  // store would skip the broadcast and lose the sharers.
+  for (Protocol p : kAllProtocols) {
+    for (Mesif s : kAllStates) {
+      const Mesif next = policy(p).next(s, Op::kSnoopUpdate);
+      if (s == Mesif::kInvalid) {
+        EXPECT_EQ(next, Mesif::kInvalid);
+      } else {
+        EXPECT_EQ(next, Mesif::kShared) << to_string(p) << " " << to_string(s);
+        EXPECT_FALSE(is_dirty(next));
+        EXPECT_FALSE(policy(p).owns(next));
+      }
+    }
   }
 }
 
 TEST(ProtocolTable, InvalidIsAbsorbing) {
-  for (Op op : kAllOps) {
-    EXPECT_EQ(next_state(Mesif::kInvalid, op), Mesif::kInvalid);
+  for (Protocol p : kAllProtocols) {
+    for (Op op : kAllOps) {
+      EXPECT_EQ(policy(p).next(Mesif::kInvalid, op), Mesif::kInvalid);
+    }
+    EXPECT_FALSE(policy(p).owns(Mesif::kInvalid));
+    EXPECT_FALSE(policy(p).store_silent(Mesif::kInvalid));
   }
-  EXPECT_FALSE(node_owns(Mesif::kInvalid));
-  EXPECT_FALSE(store_hit_is_silent(Mesif::kInvalid));
 }
 
-TEST(ProtocolTable, DirtyStatesAreExactlyModified) {
+TEST(ProtocolTable, DirtyStatesAreExactlyModifiedAndOwned) {
   // The engine keys writebacks off is_dirty(); the tables must never route
   // a dirty line into a state that drops that obligation silently except
-  // via the explicit snoop-read demotion (which writes back first).
+  // via the explicit snoop-read demotion (which writes back first under
+  // MESIF/MESI, or keeps Owned under MOESI/Dragon).
   for (Mesif s : kAllStates) {
-    EXPECT_EQ(is_dirty(s), s == Mesif::kModified) << to_string(s);
+    EXPECT_EQ(is_dirty(s), s == Mesif::kModified || s == Mesif::kOwned)
+        << to_string(s);
+  }
+}
+
+TEST(ProtocolTable, MoesiOwnedKeepsForwardingWithoutWriteback) {
+  // The MOESI point: M demotes to O on a read snoop (no memory writeback),
+  // and O keeps supplying data while staying O.
+  EXPECT_EQ(kMoesiPolicy.next(Mesif::kModified, Op::kSnoopRead), Mesif::kOwned);
+  EXPECT_EQ(kMoesiPolicy.next(Mesif::kOwned, Op::kSnoopRead), Mesif::kOwned);
+  EXPECT_TRUE(kMoesiPolicy.snoop_read(Mesif::kOwned).forwards);
+  EXPECT_FALSE(kMoesiPolicy.owns(Mesif::kOwned));  // sharers exist elsewhere
+}
+
+TEST(ProtocolTable, LegacyMesifFreeFunctionsAliasTheMesifPolicy) {
+  for (Mesif s : kAllStates) {
+    for (Op op : kAllOps) {
+      EXPECT_EQ(next_state(s, op), kMesifPolicy.next(s, op));
+    }
+    EXPECT_EQ(snoop_read_reaction(s).forwards,
+              kMesifPolicy.snoop_read(s).forwards);
+    EXPECT_EQ(store_hit_is_silent(s), kMesifPolicy.store_silent(s));
+    EXPECT_EQ(node_owns(s), kMesifPolicy.owns(s));
   }
 }
 

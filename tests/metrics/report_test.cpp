@@ -42,7 +42,8 @@ ReportManifest sample_manifest() {
   ReportManifest m;
   m.tool = "report_test";
   m.config = "unit \"quoted\" summary";
-  m.timing_hash = timing_fingerprint(TimingParams::haswell_ep());
+  m.protocol = "moesi";
+  m.timing_hash = timing_fingerprint(TimingParams::haswell_ep(), m.protocol);
   m.seed = 9;
   m.jobs = 4;
   m.quick = true;
@@ -63,6 +64,7 @@ TEST_F(ReportTest, WriteThenParseRoundTrips) {
   EXPECT_EQ(map.at("manifest.seed"), "9");
   EXPECT_EQ(map.at("manifest.jobs"), "4");
   EXPECT_EQ(map.at("manifest.quick"), "true");
+  EXPECT_EQ(map.at("manifest.protocol"), "moesi");
   ASSERT_EQ(map.at("manifest.timing_hash").size(), 16u);
 
   EXPECT_EQ(map.at("counters.HA_HITME_HIT"), "17");
@@ -123,6 +125,15 @@ TEST_F(ReportTest, TimingFingerprintTracksConstants) {
   tweaked.dram_page_hit += 0.1;
   EXPECT_EQ(timing_fingerprint(base), timing_fingerprint(base));
   EXPECT_NE(timing_fingerprint(base), timing_fingerprint(tweaked));
+}
+
+TEST_F(ReportTest, TimingFingerprintTracksProtocolTag) {
+  // Same constants under different coherence protocols must not
+  // fingerprint-match: the counters the reports carry are not comparable.
+  const TimingParams base = TimingParams::haswell_ep();
+  EXPECT_EQ(timing_fingerprint(base, "mesif"), timing_fingerprint(base, "mesif"));
+  EXPECT_NE(timing_fingerprint(base, "mesif"), timing_fingerprint(base, "moesi"));
+  EXPECT_NE(timing_fingerprint(base, "mesif"), timing_fingerprint(base));
 }
 
 }  // namespace
