@@ -95,6 +95,7 @@ int main(int argc, char** argv) {
 
   hsw::trace::TraceSink sink;
   hsw::metrics::MetricsHub hub;
+  hsw::obs::LineStatsHub lhub;
   std::uint32_t stream = 0;
   for (const Config& cfg : configs) {
     hsw::System probe(cfg.config);
@@ -158,10 +159,19 @@ int main(int argc, char** argv) {
         registry.emplace(stream);
         lc.instrumentation.metrics = &*registry;
       }
+      // The flight recorder rides the same stream id: the linestats report's
+      // per-line rows name the (configuration, placement) case they came
+      // from via the stream column.
+      std::optional<hsw::obs::LineStatsRecorder> recorder;
+      if (!args.linestats.empty()) {
+        recorder.emplace(cfg.config.protocol, stream);
+        lc.instrumentation.linestats = &*recorder;
+      }
       ++stream;
       const hsw::LatencyResult r = hsw::measure_latency(sys, lc);
       sink.absorb(std::move(tracer));
       if (registry) hub.absorb(std::move(*registry));
+      if (recorder) lhub.absorb(std::move(*recorder));
 
       const double n = static_cast<double>(r.lines_measured);
       std::vector<std::string> row{cfg.name, c.name,
@@ -189,6 +199,13 @@ int main(int argc, char** argv) {
     std::printf("wrote %s (%zu protocol transactions)\n", args.trace.c_str(),
                 sink.record_count());
   }
-  hswbench::write_metrics_report(args, hub);
+  if (!args.linestats.empty()) {
+    const hsw::obs::MergedLineStats merged = lhub.merged();
+    hswbench::write_linestats_file(args, merged);
+    hswbench::write_metrics_report(
+        args, hub, hsw::obs::render_linestats_section(merged));
+  } else {
+    hswbench::write_metrics_report(args, hub);
+  }
   return 0;
 }

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +25,7 @@
 
 #include "core/hswbench.h"
 #include "metrics/report.h"
+#include "obs/line_stats.h"
 #include "sim/thread_pool.h"
 #include "trace/sink.h"
 #include "util/cli.h"
@@ -34,7 +37,9 @@ struct BenchArgs {
   std::string csv;        // empty = no CSV output
   std::string trace;      // --trace FILE: export span trees (.csv or JSON)
   std::string metrics;    // --metrics FILE: write the uncore-metrics report
+  std::string linestats;  // --linestats FILE: per-line flight-recorder report
   bool attribution = false;  // print per-component latency attribution
+  bool progress = false;  // --progress: sweep-point heartbeat on stderr
   bool quick = false;     // trim sweep sizes for smoke runs
   std::uint64_t seed = 1;
   unsigned jobs = 0;      // sweep-point worker threads; 0 = hardware_concurrency
@@ -106,8 +111,14 @@ inline BenchArgs parse_args(
   cli.add_string("metrics", &args.metrics,
                  "write an uncore-PMU-style metrics run report (JSON) to "
                  "this file; diff reports with hswsim-report");
+  cli.add_string("linestats", &args.linestats,
+                 "write the per-line coherence flight-recorder report (JSON): "
+                 "sharing-pattern classification, state residency, and the "
+                 "state-transition matrix; view with hswsim-report lines");
   cli.add_bool("attribution", &args.attribution,
                "print the per-component latency attribution summary");
+  cli.add_bool("progress", &args.progress,
+               "print a sweep-point heartbeat to stderr (stdout untouched)");
   cli.add_bool("quick", &args.quick, "reduced sweep for smoke testing");
   std::int64_t seed = 1;
   cli.add_int("seed", &seed, "placement/chase RNG seed");
@@ -150,6 +161,17 @@ inline BenchArgs parse_args(
                  args.sampling.ratio);
     std::exit(1);
   }
+  // The flight recorder classifies individual lines; a set-sampled run
+  // simulates only a fraction of them on a scaled machine, so the per-line
+  // report would silently describe a different population.  Refuse the
+  // combination instead of producing a misleading file.
+  if (!args.linestats.empty() && args.sampling.ratio < 1.0) {
+    std::fprintf(stderr,
+                 "--linestats requires an exact run: remove --sample-ratio "
+                 "(set-sampling simulates only a fraction of cache sets, so "
+                 "per-line sharing stats would describe a scaled machine)\n");
+    std::exit(1);
+  }
   const std::optional<hsw::BandwidthEngine> parsed_engine =
       hsw::parse_bandwidth_engine(engine);
   if (!parsed_engine) {
@@ -186,6 +208,7 @@ inline BenchArgs parse_args(
   }
   require_writable_path(args.trace, "--trace");
   require_writable_path(args.metrics, "--metrics");
+  require_writable_path(args.linestats, "--linestats");
   if (argc > 0 && argv != nullptr) {
     const std::string path = argv[0];
     const std::size_t slash = path.find_last_of('/');
@@ -195,14 +218,9 @@ inline BenchArgs parse_args(
   return args;
 }
 
-// Writes the --metrics run report: a versioned JSON document with the run
-// manifest (tool, config, timing-constant fingerprint, seed, jobs, git),
-// the merged final counters/gauges/families/histograms, and the gauge time
-// series.  Exits 1 on write failure so CI never mistakes a truncated report
-// for a clean run.
-inline void write_metrics_report(const BenchArgs& args,
-                                 const hsw::metrics::MetricsHub& hub) {
-  if (args.metrics.empty()) return;
+// The run manifest every report flavor embeds (tool, config, timing-constant
+// fingerprint, seed, jobs, git).
+inline hsw::metrics::ReportManifest make_manifest(const BenchArgs& args) {
   hsw::metrics::ReportManifest manifest;
   manifest.tool = args.tool;
   manifest.config = args.summary;
@@ -213,12 +231,39 @@ inline void write_metrics_report(const BenchArgs& args,
   manifest.jobs = args.jobs;
   manifest.quick = args.quick;
   manifest.git = hsw::metrics::git_describe();
-  if (!hsw::metrics::write_report(args.metrics, manifest, hub.merged())) {
+  return manifest;
+}
+
+// Writes the --metrics run report: a versioned JSON document with the run
+// manifest, the merged final counters/gauges/families/histograms, and the
+// gauge time series.  `extra_section` (already rendered JSON, e.g. the
+// flight recorder's "linestats" object) is embedded verbatim.  Exits 1 on
+// write failure so CI never mistakes a truncated report for a clean run.
+inline void write_metrics_report(const BenchArgs& args,
+                                 const hsw::metrics::MetricsHub& hub,
+                                 const std::string& extra_section = {}) {
+  if (args.metrics.empty()) return;
+  if (!hsw::metrics::write_report(args.metrics, make_manifest(args),
+                                  hub.merged(), extra_section)) {
     std::fprintf(stderr, "failed to write metrics report %s\n",
                  args.metrics.c_str());
     std::exit(1);
   }
   std::printf("wrote %s\n", args.metrics.c_str());
+}
+
+// Writes the --linestats flight-recorder report (same manifest, own version
+// key); exit-1-on-failure discipline as above.
+inline void write_linestats_file(const BenchArgs& args,
+                                 const hsw::obs::MergedLineStats& merged) {
+  if (args.linestats.empty()) return;
+  if (!hsw::obs::write_linestats_report(args.linestats, make_manifest(args),
+                                        merged)) {
+    std::fprintf(stderr, "failed to write linestats report %s\n",
+                 args.linestats.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", args.linestats.c_str());
 }
 
 // --- tracing / attribution -----------------------------------------------
@@ -244,6 +289,7 @@ class BenchTrace {
   [[nodiscard]] bool tracing() const { return !path_.empty(); }
   [[nodiscard]] bool attribution() const { return attribution_; }
   [[nodiscard]] bool metrics() const { return !args_.metrics.empty(); }
+  [[nodiscard]] bool linestats() const { return !args_.linestats.empty(); }
 
   // Sweep wiring for latency plans: attribution aggregates arrive through
   // LatencyResult::component_ns, so span trees are retained only when a
@@ -253,6 +299,7 @@ class BenchTrace {
     t.attribution = attribution_;
     if (tracing()) t.sink = &sink_;
     if (metrics()) t.metrics = &hub_;
+    if (linestats()) t.linestats = &lhub_;
     return t;
   }
 
@@ -263,6 +310,7 @@ class BenchTrace {
     hsw::SweepTraceOptions t = base_options(plan);
     if (enabled()) t.sink = &sink_;
     if (metrics()) t.metrics = &hub_;
+    if (linestats()) t.linestats = &lhub_;
     return t;
   }
 
@@ -272,7 +320,9 @@ class BenchTrace {
   // the report's per-stream samples line up with the exported trace.
   hsw::LatencyResult measure(hsw::System& system, hsw::LatencyConfig config,
                              std::string label) {
-    if (!enabled() && !metrics()) return hsw::measure_latency(system, config);
+    if (!enabled() && !metrics() && !linestats()) {
+      return hsw::measure_latency(system, config);
+    }
     const std::uint32_t stream = next_stream_++;
     std::optional<hsw::trace::Tracer> tracer;
     if (enabled()) {
@@ -286,10 +336,16 @@ class BenchTrace {
       registry.emplace(stream);
       config.instrumentation.metrics = &*registry;
     }
+    std::optional<hsw::obs::LineStatsRecorder> recorder;
+    if (linestats()) {
+      recorder.emplace(system.config().protocol, stream);
+      config.instrumentation.linestats = &*recorder;
+    }
     const hsw::LatencyResult result = hsw::measure_latency(system, config);
     if (attribution_) note(std::move(label), result);
     if (tracer) sink_.absorb(std::move(*tracer));
     if (registry) hub_.absorb(std::move(*registry));
+    if (recorder) lhub_.absorb(std::move(*recorder));
     return result;
   }
 
@@ -298,7 +354,9 @@ class BenchTrace {
   // per-access breakdown).
   hsw::BandwidthResult measure_bw(hsw::System& system,
                                   hsw::BandwidthConfig config) {
-    if (!enabled() && !metrics()) return hsw::measure_bandwidth(system, config);
+    if (!enabled() && !metrics() && !linestats()) {
+      return hsw::measure_bandwidth(system, config);
+    }
     const std::uint32_t stream = next_stream_++;
     std::optional<hsw::trace::Tracer> tracer;
     if (enabled()) {
@@ -311,9 +369,15 @@ class BenchTrace {
       registry.emplace(stream);
       config.instrumentation.metrics = &*registry;
     }
+    std::optional<hsw::obs::LineStatsRecorder> recorder;
+    if (linestats()) {
+      recorder.emplace(system.config().protocol, stream);
+      config.instrumentation.linestats = &*recorder;
+    }
     const hsw::BandwidthResult result = hsw::measure_bandwidth(system, config);
     if (tracer) sink_.absorb(std::move(*tracer));
     if (registry) hub_.absorb(std::move(*registry));
+    if (recorder) lhub_.absorb(std::move(*recorder));
     return result;
   }
 
@@ -345,7 +409,18 @@ class BenchTrace {
       }
       std::printf(")\n");
     }
-    if (metrics()) write_metrics_report(args_, hub_);
+    if (linestats()) {
+      const hsw::obs::MergedLineStats merged = lhub_.merged();
+      write_linestats_file(args_, merged);
+      // With both flags set the metrics report carries the linestats
+      // section too, so one file diffs the whole run.
+      if (metrics()) {
+        write_metrics_report(args_, hub_,
+                             hsw::obs::render_linestats_section(merged));
+      }
+    } else if (metrics()) {
+      write_metrics_report(args_, hub_);
+    }
   }
 
  private:
@@ -413,6 +488,7 @@ class BenchTrace {
   bool attribution_;
   hsw::trace::TraceSink sink_;
   hsw::metrics::MetricsHub hub_;
+  hsw::obs::LineStatsHub lhub_;
   std::uint32_t next_stream_ = 0;
   std::vector<Row> rows_;
 };
@@ -490,12 +566,60 @@ struct BandwidthSeriesPlan {
   hsw::BandwidthSweepConfig config;
 };
 
+// --progress heartbeat: one stderr line per finished sweep point (carriage-
+// return overwrite, newline only at the end), so long sweeps show liveness
+// without touching stdout — the printed tables and golden CSVs must stay
+// byte-identical whether the flag is set or not.  tick() is called from the
+// pool workers; the counters are atomic and each update is one fprintf.
+class ProgressMeter {
+ public:
+  ProgressMeter(bool enabled, std::string tool, std::size_t total_points)
+      : enabled_(enabled),
+        tool_(std::move(tool)),
+        total_(total_points),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void tick(std::uint64_t accesses) {
+    if (!enabled_) return;
+    const std::size_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::uint64_t acc =
+        accesses_.fetch_add(accesses, std::memory_order_relaxed) + accesses;
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const double rate = secs > 0.0 ? static_cast<double>(acc) / secs : 0.0;
+    std::fprintf(stderr,
+                 "\r[%s] sweep point %zu/%zu (%3.0f%%), %.2fM accesses, "
+                 "%.0fk accesses/s ",
+                 tool_.c_str(), done, total_,
+                 total_ > 0 ? 100.0 * static_cast<double>(done) /
+                                  static_cast<double>(total_)
+                            : 100.0,
+                 static_cast<double>(acc) / 1e6, rate / 1e3);
+  }
+
+  // Ends the overwrite line; call once after the fan-out drains.
+  void finish() const {
+    if (enabled_) std::fprintf(stderr, "\n");
+  }
+
+ private:
+  bool enabled_;
+  std::string tool_;
+  std::size_t total_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::size_t> done_{0};
+  std::atomic<std::uint64_t> accesses_{0};
+};
+
 // Runs every (series, size) sweep point of `plans` over one shared pool and
 // returns the full LatencyResult grid in (plan, size) order.  Each point
 // writes its own pre-assigned slot, so the result is identical for any job
 // count.
 inline std::vector<std::vector<hsw::LatencyResult>> run_latency_grid(
-    const std::vector<LatencySeriesPlan>& plans, unsigned jobs) {
+    const std::vector<LatencySeriesPlan>& plans, unsigned jobs,
+    ProgressMeter* progress = nullptr) {
   std::vector<std::vector<hsw::LatencyResult>> grid(plans.size());
   std::vector<std::pair<std::size_t, std::size_t>> work;  // (plan, size index)
   for (std::size_t p = 0; p < plans.size(); ++p) {
@@ -509,8 +633,24 @@ inline std::vector<std::vector<hsw::LatencyResult>> run_latency_grid(
     const auto [p, i] = work[w];
     hsw::LatencySweepPoint point =
         hsw::latency_sweep_point(plans[p].config, plans[p].config.sizes[i]);
+    if (progress != nullptr) progress->tick(point.result.lines_measured);
     grid[p][i] = std::move(point.result);
   });
+  return grid;
+}
+
+// BenchArgs-driven overload: wires the --progress heartbeat around the
+// fan-out (and closes its stderr line) before returning the grid.
+inline std::vector<std::vector<hsw::LatencyResult>> run_latency_grid(
+    const std::vector<LatencySeriesPlan>& plans, const BenchArgs& args) {
+  std::size_t total = 0;
+  for (const LatencySeriesPlan& plan : plans) {
+    total += plan.config.sizes.size();
+  }
+  ProgressMeter progress(args.progress, args.tool, total);
+  std::vector<std::vector<hsw::LatencyResult>> grid =
+      run_latency_grid(plans, args.jobs, &progress);
+  progress.finish();
   return grid;
 }
 
@@ -588,9 +728,12 @@ inline std::vector<Series> run_latency_series(
   return mean_series(plans, run_latency_grid(plans, jobs));
 }
 
-// Same fan-out for bandwidth sweeps; series values are GB/s.
+// Same fan-out for bandwidth sweeps; series values are GB/s.  Bandwidth
+// points carry no access count, so the heartbeat reports point progress
+// only.
 inline std::vector<Series> run_bandwidth_series(
-    const std::vector<BandwidthSeriesPlan>& plans, unsigned jobs) {
+    const std::vector<BandwidthSeriesPlan>& plans, unsigned jobs,
+    ProgressMeter* progress = nullptr) {
   std::vector<Series> series(plans.size());
   std::vector<std::pair<std::size_t, std::size_t>> work;
   for (std::size_t p = 0; p < plans.size(); ++p) {
@@ -605,8 +748,22 @@ inline std::vector<Series> run_bandwidth_series(
     const auto [p, i] = work[w];
     const hsw::BandwidthSweepPoint point = hsw::bandwidth_sweep_point(
         plans[p].config, plans[p].config.sizes[i]);
+    if (progress != nullptr) progress->tick(0);
     series[p].values[i] = point.gbps;
   });
+  return series;
+}
+
+inline std::vector<Series> run_bandwidth_series(
+    const std::vector<BandwidthSeriesPlan>& plans, const BenchArgs& args) {
+  std::size_t total = 0;
+  for (const BandwidthSeriesPlan& plan : plans) {
+    total += plan.config.sizes.size();
+  }
+  ProgressMeter progress(args.progress, args.tool, total);
+  std::vector<Series> series =
+      run_bandwidth_series(plans, args.jobs, &progress);
+  progress.finish();
   return series;
 }
 
@@ -628,10 +785,12 @@ inline void print_paper_note(const char* note) {
 // coherence engine (model validation, application kernels): say so instead
 // of silently ignoring the flags.
 inline void warn_untraced(const BenchArgs& args) {
-  if (args.attribution || !args.trace.empty() || !args.metrics.empty()) {
+  if (args.attribution || !args.trace.empty() || !args.metrics.empty() ||
+      !args.linestats.empty()) {
     std::fprintf(stderr,
                  "note: this bench does not issue per-line engine accesses; "
-                 "--trace/--attribution/--metrics produce no output here\n");
+                 "--trace/--attribution/--metrics/--linestats produce no "
+                 "output here\n");
   }
 }
 

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<std::vector<hsw::LatencyResult>> grid =
-      hswbench::run_latency_grid(plans, args.jobs);
+      hswbench::run_latency_grid(plans, args);
   hswbench::print_sized_series(
       "Fig. 5: read latency, source vs home snoop (state exclusive)", sizes,
       hswbench::mean_series(plans, grid), args.csv, "ns");

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<std::vector<hsw::LatencyResult>> grid =
-      hswbench::run_latency_grid(plans, args.jobs);
+      hswbench::run_latency_grid(plans, args);
   hswbench::print_sized_series("Fig. 6: read latency in COD mode", sizes,
                                hswbench::mean_series(plans, grid), args.csv,
                                "ns");

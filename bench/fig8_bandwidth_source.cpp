@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<hswbench::Series> series =
-      hswbench::run_bandwidth_series(plans, args.jobs);
+      hswbench::run_bandwidth_series(plans, args);
   hswbench::print_sized_series(
       "Fig. 8: single-threaded read bandwidth, default configuration", sizes,
       series, args.csv, "GB/s");

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<hswbench::Series> series =
-      hswbench::run_bandwidth_series(plans, args.jobs);
+      hswbench::run_bandwidth_series(plans, args);
   hswbench::print_sized_series(
       "Fig. 9: single-threaded read bandwidth, shared lines", sizes, series,
       args.csv, "GB/s");

@@ -17,6 +17,7 @@
 #include "coh/protocol.h"
 #include "core/hswbench.h"
 #include "mem/cache_array.h"
+#include "obs/line_stats.h"
 #include "sim/event_kernel.h"
 #include "support/legacy_cache_array.h"
 #include "trace/tracer.h"
@@ -234,6 +235,64 @@ void BM_MemoryReadMetricsOn(benchmark::State& state) {
   sys.detach_metrics();
 }
 BENCHMARK(BM_MemoryReadMetricsOn);
+
+// --- Flight-recorder overhead --------------------------------------------
+//
+// Third verse, same as the first two: the *LineStatsOff variants re-measure
+// the detached path (a null obs::LineStatsRecorder* per instrumentation
+// site) in the same process as the *LineStatsOn variants.  scripts/check.sh
+// guards the off numbers against the checked-in baseline and the on/off
+// ratio, so attaching the per-line recorder stays a choice, not a tax.
+
+void BM_L1HitLineStatsOff(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  const hsw::PhysAddr addr = sys.alloc_on_node(0, 64).base;
+  sys.write(0, addr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.read(0, addr).ns);
+  }
+}
+BENCHMARK(BM_L1HitLineStatsOff);
+
+void BM_L1HitLineStatsOn(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  hsw::obs::LineStatsRecorder recorder(sys.config().protocol, 0);
+  sys.attach_linestats(recorder);
+  const hsw::PhysAddr addr = sys.alloc_on_node(0, 64).base;
+  sys.write(0, addr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.read(0, addr).ns);
+  }
+  sys.detach_linestats();
+}
+BENCHMARK(BM_L1HitLineStatsOn);
+
+void BM_MemoryReadLineStatsOff(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  const hsw::MemRegion region = sys.alloc_on_node(0, hsw::mib(64));
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sys.read(0, region.addr_at((line * 64) % region.bytes)).ns);
+    line += 97;
+  }
+}
+BENCHMARK(BM_MemoryReadLineStatsOff);
+
+void BM_MemoryReadLineStatsOn(benchmark::State& state) {
+  hsw::System sys(hsw::SystemConfig::source_snoop());
+  hsw::obs::LineStatsRecorder recorder(sys.config().protocol, 0);
+  sys.attach_linestats(recorder);
+  const hsw::MemRegion region = sys.alloc_on_node(0, hsw::mib(64));
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sys.read(0, region.addr_at((line * 64) % region.bytes)).ns);
+    line += 97;
+  }
+  sys.detach_linestats();
+}
+BENCHMARK(BM_MemoryReadLineStatsOn);
 
 // --- CacheArray hot path (the inner loop of every simulated access) ------
 

@@ -12,9 +12,13 @@
 //   hswsim_cli topo --mode cod
 //   hswsim_cli trace --pattern hotset --cores 8
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "core/hswbench.h"
+#include "metrics/report.h"
+#include "obs/line_stats.h"
 #include "util/cli.h"
 #include "workload/trace.h"
 
@@ -200,9 +204,13 @@ int cmd_trace(int argc, char** argv) {
   bool concurrent = false;
   std::int64_t window = 10;
   std::string protocol = "mesif";
+  std::string linestats;
   hsw::CommandLine cli("hswsim_cli trace: synthetic trace replay");
   cli.add_string("mode", &mode, "source | home | cod");
   cli.add_string("protocol", &protocol, "mesif | mesi | moesi | dragon");
+  cli.add_string("linestats", &linestats,
+                 "write the per-line flight-recorder report (JSON) to this "
+                 "file; view with `hswsim-report lines` / `transitions`");
   cli.add_string("pattern", &pattern,
                  "stream | chase | producer-consumer | hotset | pingpong | "
                  "lock | false-sharing | false-sharing-padded");
@@ -256,10 +264,19 @@ int cmd_trace(int argc, char** argv) {
 
   std::printf("machine : %s\n", system.config().describe().c_str());
 
+  // Optional flight recorder; both replayers take the same scope.
+  std::optional<hsw::obs::LineStatsRecorder> recorder;
+  hsw::InstrumentationScope scope;
+  if (!linestats.empty()) {
+    recorder.emplace(system.config().protocol, /*stream=*/0);
+    scope.linestats = &*recorder;
+  }
+
   hsw::ReplayStats stats;
   if (concurrent) {
     hsw::ConcurrentReplayConfig rc;
     rc.window = static_cast<int>(window);
+    rc.instrumentation = scope;
     const hsw::exec::ProgramExecStats r =
         hsw::replay_concurrent(system, trace, rc);
     std::printf(
@@ -279,7 +296,7 @@ int cmd_trace(int argc, char** argv) {
     stats.by_source = r.by_source;
     stats.counters = r.counters;
   } else {
-    stats = hsw::replay(system, trace);
+    stats = hsw::replay(system, trace, scope);
     std::printf("events  : %llu, mean %s per access\n",
                 static_cast<unsigned long long>(stats.events),
                 hsw::format_ns(stats.mean_ns()).c_str());
@@ -299,6 +316,35 @@ int cmd_trace(int argc, char** argv) {
     std::printf("  %-45s %llu\n",
                 std::string(hsw::ctr_name(static_cast<hsw::Ctr>(i))).c_str(),
                 static_cast<unsigned long long>(stats.counters[i]));
+  }
+  if (recorder) {
+    hsw::obs::LineStatsHub hub;
+    hub.absorb(std::move(*recorder));
+    const hsw::obs::MergedLineStats merged = hub.merged();
+    std::printf("patterns:");
+    for (std::size_t p = 0; p < hsw::obs::kSharingPatternCount; ++p) {
+      if (merged.patterns[p] == 0) continue;
+      std::printf(" %s=%llu",
+                  hsw::obs::to_string(static_cast<hsw::obs::SharingPattern>(p)),
+                  static_cast<unsigned long long>(merged.patterns[p]));
+    }
+    std::printf("\n");
+    hsw::metrics::ReportManifest manifest;
+    manifest.tool = "hswsim_cli";
+    manifest.config =
+        "trace --pattern " + pattern + ", " + system.config().describe();
+    manifest.protocol =
+        std::string(hsw::to_string(system.config().protocol));
+    manifest.timing_hash = hsw::timing_fingerprint(
+        hsw::TimingParams::haswell_ep(),
+        hsw::to_string(system.config().protocol));
+    manifest.git = hsw::metrics::git_describe();
+    if (!hsw::obs::write_linestats_report(linestats, manifest, merged)) {
+      std::fprintf(stderr, "failed to write linestats report %s\n",
+                   linestats.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", linestats.c_str());
   }
   return 0;
 }

@@ -62,6 +62,33 @@ grep -Eq '"HA_HITME_HIT": [1-9]' "$trace_dir/attribution.metrics.json" \
   || { echo "metrics smoke: hswsim-report diff report vs itself failed"; exit 1; }
 echo "metrics smoke: ok"
 
+echo "== line-stats smoke =="
+# A --linestats run must emit a flight-recorder report hswsim-report can
+# render (lines + transitions views), the report bytes must not depend on
+# --jobs (beyond the masked manifest jobs line), and the sharing-pattern
+# matrix bench must hold its own protocol-contrast gates.
+"$repo_root/build/bench/fig4_latency_source" --quick --seed 1 --jobs 1 \
+  --linestats "$trace_dir/fig4.jobs1.linestats.json" > /dev/null
+"$repo_root/build/bench/fig4_latency_source" --quick --seed 1 --jobs 8 \
+  --linestats "$trace_dir/fig4.jobs8.linestats.json" > /dev/null
+for jobs in 1 8; do
+  sed 's/"jobs": [0-9]*/"jobs": MASKED/' \
+    "$trace_dir/fig4.jobs$jobs.linestats.json" \
+    > "$trace_dir/fig4.jobs$jobs.linestats.masked"
+done
+cmp -s "$trace_dir/fig4.jobs1.linestats.masked" \
+  "$trace_dir/fig4.jobs8.linestats.masked" \
+  || { echo "line-stats smoke: --jobs 1 vs 8 reports differ"; exit 1; }
+"$repo_root/build/src/metrics/hswsim-report" lines \
+  "$trace_dir/fig4.jobs1.linestats.json" > /dev/null \
+  || { echo "line-stats smoke: hswsim-report lines failed"; exit 1; }
+"$repo_root/build/src/metrics/hswsim-report" transitions \
+  "$trace_dir/fig4.jobs1.linestats.json" > /dev/null \
+  || { echo "line-stats smoke: hswsim-report transitions failed"; exit 1; }
+"$repo_root/build/bench/sharing_patterns" --quick --seed 1 > /dev/null \
+  || { echo "line-stats smoke: sharing_patterns protocol gates failed"; exit 1; }
+echo "line-stats smoke: ok"
+
 echo "== protocol differential smoke =="
 # Every coherence-protocol family (MESIF/MESI/MOESI/Dragon) replays a short
 # seeded trace through the engine and its timing-free reference with
@@ -102,14 +129,14 @@ if [[ "${HSWSIM_CHECK_SKIP_PERF:-0}" != "1" ]]; then
   #    reintroduced per-event allocation or a broken tag-scan fast path,
   #    which show up as 2x+ ratio jumps;
   #  * instrumentation on/off pairs (attribution vs null tracer, metrics
-  #    attached vs detached) — catches overhead creep on the observability
-  #    hot paths.
+  #    attached vs detached, flight recorder attached vs detached) — catches
+  #    overhead creep on the observability hot paths.
   # A genuine regression moves a ratio by 2x+; run-to-run ratio noise on
   # the ns-scale rows is up to ~25%, hence the generous default
   # HSWSIM_PERF_TOLERANCE (50%).  Raise it or set HSWSIM_CHECK_SKIP_PERF=1
   # on very noisy machines.
   "$repo_root/build/bench/simbench" \
-    --benchmark_filter='TracingOff|Attribution|MetricsOn|MetricsOff|BM_Cache|BM_EventKernelChurn|BM_MesifTransition|BM_AccessThroughput' \
+    --benchmark_filter='TracingOff|Attribution|MetricsOn|MetricsOff|LineStatsOn|LineStatsOff|BM_Cache|BM_EventKernelChurn|BM_MesifTransition|BM_AccessThroughput' \
     --benchmark_repetitions=3 --benchmark_min_time=0.1 \
     --benchmark_out="$trace_dir/perf.json" --benchmark_out_format=json \
     > /dev/null 2>&1
@@ -132,6 +159,8 @@ PAIRS = [  # (numerator, denominator): gated on numerator/denominator growth
     ("BM_MemoryReadAttribution", "BM_MemoryReadTracingOff"),
     ("BM_L1HitMetricsOn", "BM_L1HitMetricsOff"),
     ("BM_MemoryReadMetricsOn", "BM_MemoryReadMetricsOff"),
+    ("BM_L1HitLineStatsOn", "BM_L1HitLineStatsOff"),
+    ("BM_MemoryReadLineStatsOn", "BM_MemoryReadLineStatsOff"),
 ]
 
 def times(path):

@@ -26,7 +26,7 @@ benches=(
   table1_uarch table2_system table3_latency_summary
   table4_shared_l3_matrix table5_memory_directory
   table6_bandwidth_summary table7_bandwidth_scaling table8_bandwidth_cod
-  attribution_breakdown protocol_matrix
+  attribution_breakdown protocol_matrix sharing_patterns
 )
 
 for bench in "${benches[@]}"; do

@@ -222,20 +222,22 @@ void CoherenceEngine::writeback(LineAddr line, bool clears_directory) {
 
 CoherenceEngine::CoreSnoop CoherenceEngine::snoop_core(int global_core,
                                                        LineAddr line,
-                                                       Mesif demote_to) {
+                                                       Mesif demote_to,
+                                                       obs::LineOp op) {
   m_.counters.bump(Ctr::kCoreSnoops);
   CoreCaches& cc = m_.cores[static_cast<std::size_t>(global_core)];
   CoreSnoop result;
   // Both levels must be demoted: a store fill leaves the line in L1 *and*
   // L2, and a snoop that only downgraded one of them would leave a stale
   // Modified copy behind.
-  auto handle = [&](CacheArray& cache, double data_ns) {
+  auto handle = [&](obs::Level level, CacheArray& cache, double data_ns) {
     const CacheArray::Ref entry = cache.lookup(line, /*touch=*/false);
     if (!entry) return false;
     if (is_dirty(entry.state()) && !result.dirty) {
       result.dirty = true;
       result.data_ns = data_ns;
     }
+    obs_transition(level, global_core, line, entry.state(), op, demote_to);
     if (demote_to == Mesif::kInvalid) {
       cache.erase(line);
     } else {
@@ -243,16 +245,25 @@ CoherenceEngine::CoreSnoop CoherenceEngine::snoop_core(int global_core,
     }
     return true;
   };
-  handle(cc.l1, m_.timing.core_data_l1);
-  handle(cc.l2, m_.timing.core_data_l2);
+  handle(obs::Level::kL1, cc.l1, m_.timing.core_data_l1);
+  handle(obs::Level::kL2, cc.l2, m_.timing.core_data_l2);
   return result;  // not found anywhere: silently evicted, clean, no data
 }
 
-bool CoherenceEngine::invalidate_core(int global_core, LineAddr line) {
+bool CoherenceEngine::invalidate_core(int global_core, LineAddr line,
+                                      obs::LineOp op) {
   CoreCaches& cc = m_.cores[static_cast<std::size_t>(global_core)];
   bool dirty = false;
-  if (auto prior = cc.l1.erase(line)) dirty |= is_dirty(prior->state);
-  if (auto prior = cc.l2.erase(line)) dirty |= is_dirty(prior->state);
+  if (auto prior = cc.l1.erase(line)) {
+    dirty |= is_dirty(prior->state);
+    obs_transition(obs::Level::kL1, global_core, line, prior->state, op,
+                   Mesif::kInvalid);
+  }
+  if (auto prior = cc.l2.erase(line)) {
+    dirty |= is_dirty(prior->state);
+    obs_transition(obs::Level::kL2, global_core, line, prior->state, op,
+                   Mesif::kInvalid);
+  }
   return dirty;
 }
 
@@ -296,7 +307,8 @@ CoherenceEngine::PeerSnoop CoherenceEngine::snoop_peer_read(int peer_node,
         tracer_->leaf(TComp::kCoreSnoop, "core_valid_snoop",
                       m_.timing.core_snoop_external);
       }
-      CoreSnoop cs = snoop_core(owner, line, Mesif::kShared);
+      CoreSnoop cs = snoop_core(owner, line, Mesif::kShared,
+                                obs::LineOp::kSnoopRead);
       if (cs.dirty) {
         result.handling_ns += cs.data_ns;
         if (tracer_ != nullptr) {
@@ -318,6 +330,10 @@ CoherenceEngine::PeerSnoop CoherenceEngine::snoop_peer_read(int peer_node,
     }
   }
   entry.state() = pol_.next(entry.state(), protocol::Op::kSnoopRead);
+  // One transition for the whole snoop: the state the snoop found (before
+  // any core-valid refresh) to the state it left behind.
+  obs_transition(obs::Level::kL3, peer_node, line, found,
+                 obs::LineOp::kSnoopRead, entry.state());
   result.forwarded = true;
   return result;
 }
@@ -344,7 +360,8 @@ double CoherenceEngine::snoop_peer_invalidate(int peer_node, LineAddr line) {
   while (cv != 0) {
     const int owner_local = std::countr_zero(cv);
     cv &= cv - 1;
-    dirty |= invalidate_core(m_.topo.global_core(node.socket, owner_local), line);
+    dirty |= invalidate_core(m_.topo.global_core(node.socket, owner_local),
+                             line, obs::LineOp::kSnoopInvalidate);
   }
   if (entry.core_valid() != 0) {
     handling += m_.timing.core_snoop_external;
@@ -361,6 +378,8 @@ double CoherenceEngine::snoop_peer_invalidate(int peer_node, LineAddr line) {
       tracer_->leaf(TComp::kCore, "dirty_transfer", m_.timing.core_data_l2);
     }
   }
+  obs_transition(obs::Level::kL3, peer_node, line, entry.state(),
+                 obs::LineOp::kSnoopInvalidate, Mesif::kInvalid);
   l3.erase(line);
   return handling;
 }
@@ -400,10 +419,13 @@ double CoherenceEngine::snoop_peer_update(int peer_node, LineAddr line,
       const int owner_local = std::countr_zero(cv);
       cv &= cv - 1;
       snoop_core(m_.topo.global_core(node.socket, owner_local), line,
-                 Mesif::kShared);
+                 Mesif::kShared, obs::LineOp::kSnoopUpdate);
     }
   }
-  entry.state() = pol_.next(entry.state(), protocol::Op::kSnoopUpdate);
+  const Mesif found = entry.state();
+  entry.state() = pol_.next(found, protocol::Op::kSnoopUpdate);
+  obs_transition(obs::Level::kL3, peer_node, line, found,
+                 obs::LineOp::kSnoopUpdate, entry.state());
   return handling;
 }
 
@@ -411,14 +433,22 @@ double CoherenceEngine::snoop_peer_update(int peer_node, LineAddr line,
 
 void CoherenceEngine::handle_l1_victim(int core, const CacheEntry& victim) {
   metric(is_dirty(victim.state) ? MC::kL1VictimDirty : MC::kL1VictimCleanSilent);
+  obs_transition(obs::Level::kL1, core, victim.line, victim.state,
+                 obs::LineOp::kEvict, Mesif::kInvalid);
   CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
   if (const CacheArray::Ref in_l2 = cc.l2.lookup(victim.line, /*touch=*/false)) {
     // The dirty state travels down as-is: a MESIF/MESI victim is Modified,
     // a Dragon Owned victim must stay Owned (sharers still exist).
-    if (is_dirty(victim.state)) in_l2.state() = victim.state;
+    if (is_dirty(victim.state)) {
+      obs_transition(obs::Level::kL2, core, victim.line, in_l2.state(),
+                     obs::LineOp::kWriteback, victim.state);
+      in_l2.state() = victim.state;
+    }
     return;
   }
   if (is_dirty(victim.state)) {
+    obs_transition(obs::Level::kL2, core, victim.line, Mesif::kInvalid,
+                   obs::LineOp::kWriteback, victim.state);
     auto ins = cc.l2.insert(victim.line, victim.state);
     if (ins.victim) handle_l2_victim(core, *ins.victim);
   }
@@ -427,6 +457,8 @@ void CoherenceEngine::handle_l1_victim(int core, const CacheEntry& victim) {
 
 void CoherenceEngine::handle_l2_victim(int core, const CacheEntry& victim) {
   metric(is_dirty(victim.state) ? MC::kL2VictimDirty : MC::kL2VictimCleanSilent);
+  obs_transition(obs::Level::kL2, core, victim.line, victim.state,
+                 obs::LineOp::kEvict, Mesif::kInvalid);
   const int node = m_.topo.node_of_core(core);
   const int socket = m_.topo.socket_of_core(core);
   const int local = m_.topo.local_core(core);
@@ -442,11 +474,17 @@ void CoherenceEngine::handle_l2_victim(int core, const CacheEntry& victim) {
       // An already-dirty-shared L3 entry (Owned) keeps its sharing state;
       // a clean entry takes the victim's dirty state (Modified, or Owned
       // under MOESI/Dragon where sharers survive).
-      if (!is_dirty(entry.state())) entry.state() = victim.state;
+      if (!is_dirty(entry.state())) {
+        obs_transition(obs::Level::kL3, node, victim.line, entry.state(),
+                       obs::LineOp::kWriteback, victim.state);
+        entry.state() = victim.state;
+      }
       if (!m_.cores[static_cast<std::size_t>(core)].l1.contains(victim.line)) {
         entry.core_valid() &= ~bit_of(local);
       }
     } else {
+      obs_transition(obs::Level::kL3, node, victim.line, Mesif::kInvalid,
+                     obs::LineOp::kWriteback, victim.state);
       auto ins = l3.insert(victim.line, victim.state);
       if (ins.victim) handle_l3_victim(socket, node, *ins.victim);
     }
@@ -456,9 +494,11 @@ void CoherenceEngine::handle_l2_victim(int core, const CacheEntry& victim) {
   // E-state latency penalty).
 }
 
-void CoherenceEngine::handle_l3_victim(int socket, int /*node*/,
+void CoherenceEngine::handle_l3_victim(int socket, int node,
                                        const CacheEntry& victim) {
   m_.counters.bump(Ctr::kL3Evictions);
+  obs_transition(obs::Level::kL3, node, victim.line, victim.state,
+                 obs::LineOp::kEvict, Mesif::kInvalid);
   // Inclusive L3: back-invalidate every core copy in this node.  Owned
   // victims (MOESI/Dragon) pay their deferred writeback here.
   bool dirty = is_dirty(victim.state);
@@ -466,7 +506,8 @@ void CoherenceEngine::handle_l3_victim(int socket, int /*node*/,
   while (cv != 0) {
     const int owner_local = std::countr_zero(cv);
     cv &= cv - 1;
-    dirty |= invalidate_core(m_.topo.global_core(socket, owner_local), victim.line);
+    dirty |= invalidate_core(m_.topo.global_core(socket, owner_local),
+                             victim.line, obs::LineOp::kEvict);
   }
   metric(dirty ? MC::kL3VictimDirty : MC::kL3VictimCleanSilent);
   if (dirty) {
@@ -478,7 +519,8 @@ void CoherenceEngine::handle_l3_victim(int socket, int /*node*/,
   // broadcast penalty).
 }
 
-void CoherenceEngine::fill_caches(int core, LineAddr line, const Fill& fill) {
+void CoherenceEngine::fill_caches(int core, LineAddr line, const Fill& fill,
+                                  obs::LineOp op) {
   const int node = m_.topo.node_of_core(core);
   const int socket = m_.topo.socket_of_core(core);
   const int local = m_.topo.local_core(core);
@@ -487,6 +529,8 @@ void CoherenceEngine::fill_caches(int core, LineAddr line, const Fill& fill) {
   if (const CacheArray::Ref entry = l3.lookup(line)) {
     entry.core_valid() |= bit_of(local);
   } else {
+    obs_transition(obs::Level::kL3, node, line, Mesif::kInvalid, op,
+                   fill.node_state);
     auto ins = l3.insert(line, fill.node_state);
     if (ins.victim) handle_l3_victim(socket, node, *ins.victim);
     ins.entry.core_valid() = bit_of(local);
@@ -494,16 +538,25 @@ void CoherenceEngine::fill_caches(int core, LineAddr line, const Fill& fill) {
 
   CoreCaches& cc = m_.cores[static_cast<std::size_t>(core)];
   if (const CacheArray::Ref in_l2 = cc.l2.lookup(line)) {
+    obs_transition(obs::Level::kL2, core, line, in_l2.state(), op,
+                   fill.core_state);
     in_l2.state() = fill.core_state;
   } else {
+    obs_transition(obs::Level::kL2, core, line, Mesif::kInvalid, op,
+                   fill.core_state);
     auto ins = cc.l2.insert(line, fill.core_state);
     if (ins.victim) handle_l2_victim(core, *ins.victim);
   }
   if (!cc.l1.contains(line)) {
+    obs_transition(obs::Level::kL1, core, line, Mesif::kInvalid, op,
+                   fill.core_state);
     auto ins = cc.l1.insert(line, fill.core_state);
     if (ins.victim) handle_l1_victim(core, *ins.victim);
   } else if (is_dirty(fill.core_state)) {
-    cc.l1.lookup(line).state() = fill.core_state;
+    const CacheArray::Ref e1 = cc.l1.lookup(line);
+    obs_transition(obs::Level::kL1, core, line, e1.state(), op,
+                   fill.core_state);
+    e1.state() = fill.core_state;
   }
 }
 
@@ -519,6 +572,9 @@ AccessResult CoherenceEngine::read(int core, PhysAddr addr) {
     result.attribution = tracer_->end_access(result.ns, to_string(result.source));
   }
   if (m_.metrics != nullptr) metrics_access(result.ns);
+  if (m_.linestats != nullptr) {
+    m_.linestats->on_access(core, line_of(addr), /*is_write=*/false, result.ns);
+  }
   return result;
 }
 
@@ -559,6 +615,8 @@ AccessResult CoherenceEngine::read_impl(int core, PhysAddr addr) {
       trace_l3_path(core);
       return {l3_path(core), ServiceSource::kL3, req_node, nullptr};
     }
+    obs_transition(obs::Level::kL1, core, line, Mesif::kInvalid,
+                   obs::LineOp::kLocalRead, e2.state());
     auto ins = cc.l1.insert(line, e2.state());
     if (ins.victim) handle_l1_victim(core, *ins.victim);
     m_.counters.bump(Ctr::kLoadsL2Hit);
@@ -569,7 +627,7 @@ AccessResult CoherenceEngine::read_impl(int core, PhysAddr addr) {
   }
 
   Fill fill = ca_read(core, line);
-  fill_caches(core, line, fill);
+  fill_caches(core, line, fill, obs::LineOp::kLocalRead);
   switch (fill.source) {
     case ServiceSource::kL3:
     case ServiceSource::kCoreFwd:
@@ -618,12 +676,15 @@ CoherenceEngine::Fill CoherenceEngine::ca_read(int core, LineAddr line) {
         tracer_->leaf(TComp::kCoreSnoop, "core_snoop_local",
                       m_.timing.core_snoop_local);
       }
-      CoreSnoop cs = snoop_core(owner, line, Mesif::kShared);
+      CoreSnoop cs = snoop_core(owner, line, Mesif::kShared,
+                                obs::LineOp::kSnoopRead);
       if (cs.dirty) {
         fill.ns += cs.data_ns;
         if (tracer_ != nullptr) {
           tracer_->leaf(TComp::kCore, "core_data_extract", cs.data_ns);
         }
+        obs_transition(obs::Level::kL3, req_node, line, entry.state(),
+                       obs::LineOp::kLocalRead, Mesif::kModified);
         entry.state() = Mesif::kModified;  // L3 refreshed with dirty data
         fill.source = ServiceSource::kCoreFwd;
       }
@@ -1030,6 +1091,9 @@ AccessResult CoherenceEngine::write(int core, PhysAddr addr) {
     result.attribution = tracer_->end_access(result.ns, to_string(result.source));
   }
   if (m_.metrics != nullptr) metrics_access(result.ns);
+  if (m_.linestats != nullptr) {
+    m_.linestats->on_access(core, line_of(addr), /*is_write=*/true, result.ns);
+  }
   return result;
 }
 
@@ -1041,6 +1105,9 @@ AccessResult CoherenceEngine::write_impl(int core, PhysAddr addr) {
   if (const CacheArray::Ref e1 = cc.l1.lookup(line)) {
     if (pol_.store_silent(e1.state())) {
       // Silent E->M upgrade: the L3 still believes the line is Exclusive.
+      obs_transition(obs::Level::kL1, core, line, e1.state(),
+                     obs::LineOp::kLocalStore,
+                     pol_.next(e1.state(), protocol::Op::kLocalStore));
       e1.state() = pol_.next(e1.state(), protocol::Op::kLocalStore);
       m_.counters.bump(Ctr::kLoadsL1Hit);
       if (tracer_ != nullptr) {
@@ -1050,7 +1117,13 @@ AccessResult CoherenceEngine::write_impl(int core, PhysAddr addr) {
     }
   } else if (const CacheArray::Ref e2 = cc.l2.lookup(line)) {
     if (pol_.store_silent(e2.state())) {
+      // Net L2 effect of the upgrade: the newest copy moves to L1 and the
+      // L2 keeps a Shared shadow.
+      obs_transition(obs::Level::kL2, core, line, e2.state(),
+                     obs::LineOp::kLocalStore, Mesif::kShared);
       e2.state() = pol_.next(e2.state(), protocol::Op::kLocalStore);
+      obs_transition(obs::Level::kL1, core, line, Mesif::kInvalid,
+                     obs::LineOp::kLocalStore, Mesif::kModified);
       auto ins = cc.l1.insert(line, Mesif::kModified);
       if (ins.victim) handle_l1_victim(core, *ins.victim);
       cc.l2.lookup(line).state() = Mesif::kShared;  // newest copy now in L1
@@ -1067,12 +1140,12 @@ AccessResult CoherenceEngine::write_impl(int core, PhysAddr addr) {
   // sharer's copy in place.
   if (pol_.update_based) {
     Fill fill = ca_update(core, line);
-    fill_caches(core, line, fill);
+    fill_caches(core, line, fill, obs::LineOp::kLocalStore);
     return {fill.ns, fill.source, fill.source_node, nullptr};
   }
   Fill fill = ca_write(core, line);
   fill.core_state = Mesif::kModified;
-  fill_caches(core, line, fill);
+  fill_caches(core, line, fill, obs::LineOp::kLocalStore);
   return {fill.ns, fill.source, fill.source_node, nullptr};
 }
 
@@ -1103,9 +1176,14 @@ CoherenceEngine::Fill CoherenceEngine::ca_write(int core, LineAddr line) {
         while (others != 0) {
           const int owner_local = std::countr_zero(others);
           others &= others - 1;
-          dirty |= invalidate_core(m_.topo.global_core(socket, owner_local), line);
+          dirty |= invalidate_core(m_.topo.global_core(socket, owner_local),
+                                   line, obs::LineOp::kSnoopInvalidate);
         }
-        if (dirty) entry.state() = Mesif::kModified;
+        if (dirty) {
+          obs_transition(obs::Level::kL3, req_node, line, entry.state(),
+                         obs::LineOp::kLocalStore, Mesif::kModified);
+          entry.state() = Mesif::kModified;
+        }
       }
       entry.core_valid() = bit_of(local);
       fill.node_state = entry.state();
@@ -1117,10 +1195,13 @@ CoherenceEngine::Fill CoherenceEngine::ca_write(int core, LineAddr line) {
     while (local_sharers != 0) {
       const int owner_local = std::countr_zero(local_sharers);
       local_sharers &= local_sharers - 1;
-      invalidate_core(m_.topo.global_core(socket, owner_local), line);
+      invalidate_core(m_.topo.global_core(socket, owner_local), line,
+                      obs::LineOp::kSnoopInvalidate);
     }
     Fill upgrade = home_write(core, req_node, line);
     if (const CacheArray::Ref still = l3.lookup(line)) {
+      obs_transition(obs::Level::kL3, req_node, line, still.state(),
+                     obs::LineOp::kLocalStore, Mesif::kExclusive);
       still.state() = Mesif::kExclusive;
       still.core_valid() = bit_of(local);
     }
@@ -1251,7 +1332,7 @@ CoherenceEngine::Fill CoherenceEngine::ca_update(int core, LineAddr line) {
   bool missed = false;
   if (!l3.lookup(line, /*touch=*/false)) {
     Fill read_fill = ca_read(core, line);
-    fill_caches(core, line, read_fill);
+    fill_caches(core, line, read_fill, obs::LineOp::kLocalRead);
     miss_ns = read_fill.ns;
     miss_source = read_fill.source;
     miss_source_node = read_fill.source_node;
@@ -1282,11 +1363,13 @@ CoherenceEngine::Fill CoherenceEngine::ca_update(int core, LineAddr line) {
         const int owner_local = std::countr_zero(sharers);
         sharers &= sharers - 1;
         snoop_core(m_.topo.global_core(socket, owner_local), line,
-                   Mesif::kShared);
+                   Mesif::kShared, obs::LineOp::kSnoopUpdate);
         m_.counters.bump(Ctr::kUpdatesSent);
         metric(MC::kCboUpdateSent);
       }
     }
+    obs_transition(obs::Level::kL3, req_node, line, entry.state(),
+                   obs::LineOp::kLocalStore, Mesif::kModified);
     entry.state() = Mesif::kModified;
     entry.core_valid() |= bit_of(local);
     fill.node_state = entry.state();
@@ -1401,12 +1484,16 @@ CoherenceEngine::Fill CoherenceEngine::home_update(int core, int req_node,
   while (others != 0) {
     const int owner_local = std::countr_zero(others);
     others &= others - 1;
-    snoop_core(m_.topo.global_core(socket, owner_local), line, Mesif::kShared);
+    snoop_core(m_.topo.global_core(socket, owner_local), line, Mesif::kShared,
+               obs::LineOp::kSnoopUpdate);
     m_.counters.bump(Ctr::kUpdatesSent);
     metric(MC::kCboUpdateSent);
   }
   // The writer owns the newest data.  Remote copies survive the update, so
   // the node state is Owned (dirty-shared) rather than Modified.
+  obs_transition(obs::Level::kL3, req_node, line, entry.state(),
+                 obs::LineOp::kLocalStore,
+                 remote_copy ? Mesif::kOwned : Mesif::kModified);
   entry.state() = remote_copy ? Mesif::kOwned : Mesif::kModified;
   entry.core_valid() |= bit_of(local);
   fill.node_state = entry.state();
@@ -1450,11 +1537,14 @@ double CoherenceEngine::flush_impl(PhysAddr addr) {
     CacheArray& l3 = m_.l3_slice(node.socket, m_.slice_for(node.id, line));
     if (auto entry = l3.erase(line)) {
       dirty |= is_dirty(entry->state);
+      obs_transition(obs::Level::kL3, node.id, line, entry->state,
+                     obs::LineOp::kFlush, Mesif::kInvalid);
       std::uint32_t cv = entry->core_valid;
       while (cv != 0) {
         const int owner_local = std::countr_zero(cv);
         cv &= cv - 1;
-        dirty |= invalidate_core(m_.topo.global_core(node.socket, owner_local), line);
+        dirty |= invalidate_core(m_.topo.global_core(node.socket, owner_local),
+                                 line, obs::LineOp::kFlush);
       }
     }
   }

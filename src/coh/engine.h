@@ -25,6 +25,7 @@
 
 #include "coh/protocol.h"
 #include "coh/state.h"
+#include "obs/line_stats.h"
 #include "trace/tracer.h"
 
 namespace hsw {
@@ -137,9 +138,12 @@ class CoherenceEngine {
     bool dirty = false;
     double data_ns = 0.0;
   };
-  CoreSnoop snoop_core(int global_core, LineAddr line, Mesif demote_to);
+  // `op` names the bus-level cause for the flight recorder's transition
+  // matrix (kSnoopRead for read snoops, kSnoopUpdate for updates, ...).
+  CoreSnoop snoop_core(int global_core, LineAddr line, Mesif demote_to,
+                       obs::LineOp op);
   // Removes the line from a core's L1/L2.  Returns true if it was dirty.
-  bool invalidate_core(int global_core, LineAddr line);
+  bool invalidate_core(int global_core, LineAddr line, obs::LineOp op);
 
   // DRAM access for `line` at its home; returns latency and counts the
   // row-buffer outcome.
@@ -152,7 +156,8 @@ class CoherenceEngine {
   void writeback(LineAddr line, bool clears_directory);
 
   // Fill plumbing -------------------------------------------------------------
-  void fill_caches(int core, LineAddr line, const Fill& fill);
+  // `op` is the demand operation behind the fill (kLocalRead / kLocalStore).
+  void fill_caches(int core, LineAddr line, const Fill& fill, obs::LineOp op);
   void handle_l1_victim(int core, const CacheEntry& victim);
   void handle_l2_victim(int core, const CacheEntry& victim);
   void handle_l3_victim(int socket, int node, const CacheEntry& victim);
@@ -180,6 +185,15 @@ class CoherenceEngine {
   // One counter bump behind the null check; keeps call sites one-liners.
   void metric(metrics::MCtr c) {
     if (m_.metrics != nullptr) m_.metrics->bump(c);
+  }
+  // Flight-recorder helper (no-op when no recorder is attached): one
+  // observed state change of a cache entry.  `unit` is the node for kL3
+  // and the global core for kL1/kL2.
+  void obs_transition(obs::Level level, int unit, LineAddr line, Mesif from,
+                      obs::LineOp op, Mesif to) {
+    if (m_.linestats != nullptr) {
+      m_.linestats->on_transition(level, unit, line, from, op, to);
+    }
   }
   // Access epilogue: latency histogram + periodic structural census.
   void metrics_access(double ns);

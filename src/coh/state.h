@@ -20,6 +20,10 @@
 #include "sim/counters.h"
 #include "topo/topology.h"
 
+namespace hsw::obs {
+class LineStatsRecorder;
+}  // namespace hsw::obs
+
 namespace hsw {
 
 struct CacheGeometry {
@@ -96,6 +100,9 @@ class MachineState {
   // instrumentation sites then cost one null-pointer test, same contract
   // as the tracer).  Attached via System::attach_metrics.
   metrics::MetricsRegistry* metrics = nullptr;
+  // Per-line coherence flight recorder (nullptr = detached, same one-branch
+  // contract).  Attached via System::attach_linestats.
+  obs::LineStatsRecorder* linestats = nullptr;
 
   // --- lookups --------------------------------------------------------------
   // Local slice id of the CA responsible for `line` within `node`.

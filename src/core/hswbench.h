@@ -15,9 +15,12 @@
 //                replay_concurrent
 //   workloads    Trace generators + replay / replay_concurrent
 //                (link hswsim_workload for these)
-//   observability InstrumentationScope {tracer, metrics} — one struct wired
-//                through every config above; trace::TraceSink and
-//                metrics::MetricsHub collect across sweep points
+//   observability InstrumentationScope {tracer, metrics, linestats} — one
+//                struct wired through every config above; trace::TraceSink,
+//                metrics::MetricsHub, and obs::LineStatsHub collect across
+//                sweep points (the latter is the per-line coherence flight
+//                recorder: transition matrix, state residency, sharing-
+//                pattern classification — obs/line_stats.h)
 //   output       Table, format_ns / format_gbps / format_bytes, kib/mib/gib
 //
 // Quickstart (examples/quickstart.cpp is the runnable version):
@@ -62,6 +65,7 @@
 #include "machine/system.h"
 #include "metrics/hub.h"
 #include "metrics/report.h"
+#include "obs/line_stats.h"
 #include "trace/sink.h"
 #include "util/table.h"
 #include "util/units.h"

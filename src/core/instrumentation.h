@@ -25,9 +25,12 @@ struct InstrumentationScope {
   // Receives uncore-PMU-style events, and the engine-counter delta of the
   // section when the scope is released.
   metrics::MetricsRegistry* metrics = nullptr;
+  // Receives per-line state transitions, residency time, and accessor
+  // history (the coherence flight recorder, obs/line_stats.h).
+  obs::LineStatsRecorder* linestats = nullptr;
 
   [[nodiscard]] bool any() const {
-    return tracer != nullptr || metrics != nullptr;
+    return tracer != nullptr || metrics != nullptr || linestats != nullptr;
   }
 };
 
@@ -51,6 +54,9 @@ class ScopedInstrumentation {
         before_(system.counters().snapshot()) {
     system_.set_tracer(scope_.tracer);
     if (scope_.metrics != nullptr) system_.attach_metrics(*scope_.metrics);
+    if (scope_.linestats != nullptr) {
+      system_.attach_linestats(*scope_.linestats);
+    }
   }
   ~ScopedInstrumentation() { release(); }
 
@@ -62,6 +68,7 @@ class ScopedInstrumentation {
       released_ = true;
       system_.set_tracer(nullptr);
       if (scope_.metrics != nullptr) system_.detach_metrics();
+      if (scope_.linestats != nullptr) system_.detach_linestats();
       delta_ = system_.counters().diff(before_);
       if (scope_.metrics != nullptr) {
         scope_.metrics->capture_engine_counters(delta_);

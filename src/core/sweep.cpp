@@ -53,6 +53,15 @@ std::optional<metrics::MetricsRegistry> make_registry(
                                   trace.metrics_interval);
 }
 
+// Per-point flight recorder, again on the shared stream id: the hub folds
+// recorders by stream, keeping merged line stats independent of `jobs`.
+std::optional<obs::LineStatsRecorder> make_recorder(
+    const SweepTraceOptions& trace, Protocol protocol,
+    const std::vector<std::uint64_t>& sizes, std::uint64_t bytes) {
+  if (!trace.linestats_enabled()) return std::nullopt;
+  return obs::LineStatsRecorder(protocol, stream_for(trace, sizes, bytes));
+}
+
 }  // namespace
 
 std::vector<std::uint64_t> sweep_sizes(std::uint64_t min_bytes,
@@ -91,12 +100,16 @@ LatencySweepPoint latency_sweep_point(const LatencySweepConfig& config,
   std::optional<metrics::MetricsRegistry> registry =
       make_registry(config.trace, config.sizes, bytes);
   lc.instrumentation.metrics = registry ? &*registry : nullptr;
+  std::optional<obs::LineStatsRecorder> recorder = make_recorder(
+      config.trace, machine.protocol, config.sizes, bytes);
+  lc.instrumentation.linestats = recorder ? &*recorder : nullptr;
   LatencySweepPoint point{bytes, measure_latency(system, lc)};
   plan.scale_counters(point.result.counters);
   if (config.trace.sink != nullptr && tracer) {
     config.trace.sink->absorb(std::move(*tracer));
   }
   if (registry) config.trace.metrics->absorb(std::move(*registry));
+  if (recorder) config.trace.linestats->absorb(std::move(*recorder));
   return point;
 }
 
@@ -134,11 +147,15 @@ BandwidthSweepPoint bandwidth_sweep_point(const BandwidthSweepConfig& config,
   std::optional<metrics::MetricsRegistry> registry =
       make_registry(config.trace, config.sizes, bytes);
   bc.instrumentation.metrics = registry ? &*registry : nullptr;
+  std::optional<obs::LineStatsRecorder> recorder = make_recorder(
+      config.trace, machine.protocol, config.sizes, bytes);
+  bc.instrumentation.linestats = recorder ? &*recorder : nullptr;
   const BandwidthResult result = measure_bandwidth(system, bc);
   if (config.trace.sink != nullptr && tracer) {
     config.trace.sink->absorb(std::move(*tracer));
   }
   if (registry) config.trace.metrics->absorb(std::move(*registry));
+  if (recorder) config.trace.linestats->absorb(std::move(*recorder));
   return {bytes, result.total_gbps, result.streams.front().source};
 }
 

@@ -20,6 +20,7 @@
 #include "core/sampling.h"
 #include "machine/system.h"
 #include "metrics/hub.h"
+#include "obs/line_stats.h"
 #include "trace/sink.h"
 
 namespace hsw {
@@ -44,9 +45,15 @@ struct SweepTraceOptions {
   // byte-identical for any job count.
   metrics::MetricsHub* metrics = nullptr;
   std::uint64_t metrics_interval = metrics::kDefaultSampleInterval;
+  // When set, each sweep point also runs a per-line coherence flight
+  // recorder (stream id shared with the tracer) absorbed into the hub as
+  // the point finishes; the hub folds recorders in stream-id order, so the
+  // merged line stats are byte-identical for any job count.
+  obs::LineStatsHub* linestats = nullptr;
 
   [[nodiscard]] bool enabled() const { return sink != nullptr || attribution; }
   [[nodiscard]] bool metrics_enabled() const { return metrics != nullptr; }
+  [[nodiscard]] bool linestats_enabled() const { return linestats != nullptr; }
 };
 
 inline constexpr std::uint32_t kStreamsPerPlan = 4096;

@@ -235,6 +235,9 @@ ProgramExecStats run_programs(System& system,
     // Flushes are bookkeeping: execute in place, no latency, no slot.
     while (cs.next < prog.ops.size() &&
            prog.ops[cs.next].kind == OpKind::kFlush) {
+      if (config.instrumentation.linestats != nullptr) {
+        config.instrumentation.linestats->set_now(queue.now());
+      }
       system.flush_line(prog.ops[cs.next].addr);
       ++cs.next;
       ++cstats.flushes;
@@ -245,7 +248,12 @@ ProgramExecStats run_programs(System& system,
     const Op op = prog.ops[cs.next++];
     // The engine access (and thus all coherence state mutation) happens at
     // issue time, in event order — this is what makes ownership migration
-    // and invalidation patterns deterministic.
+    // and invalidation patterns deterministic.  The flight recorder clocks
+    // residency off the event queue, not the access latencies it would
+    // otherwise accumulate serially.
+    if (config.instrumentation.linestats != nullptr) {
+      config.instrumentation.linestats->set_now(queue.now());
+    }
     const AccessResult access = op.kind == OpKind::kWrite
                                     ? system.write(prog.core, op.addr)
                                     : system.read(prog.core, op.addr);

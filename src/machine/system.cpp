@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/line_stats.h"
 #include "util/units.h"
 
 namespace hsw {
@@ -112,6 +113,16 @@ void System::detach_metrics() {
   state_.update_structural_gauges(*state_.metrics);
   state_.metrics->take_final_sample();
   state_.metrics = nullptr;
+}
+
+void System::attach_linestats(obs::LineStatsRecorder& recorder) {
+  state_.linestats = &recorder;
+}
+
+void System::detach_linestats() {
+  if (state_.linestats == nullptr) return;
+  state_.linestats->finalize();
+  state_.linestats = nullptr;
 }
 
 std::uint64_t System::node_l3_bytes(int node) const {

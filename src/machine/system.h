@@ -108,6 +108,16 @@ class System {
     return state_.metrics;
   }
 
+  // Attach a per-line coherence flight recorder (obs/line_stats.h).  Same
+  // detached-hot-path contract as the tracer and the metrics registry.
+  // Detach finalizes the recorder (closes open episodes and residency
+  // intervals) before clearing the engine's pointer.
+  void attach_linestats(obs::LineStatsRecorder& recorder);
+  void detach_linestats();
+  [[nodiscard]] obs::LineStatsRecorder* linestats() const {
+    return state_.linestats;
+  }
+
   // Direct engine/state access for white-box tests and the bandwidth model.
   MachineState& state() { return state_; }
   [[nodiscard]] const MachineState& state() const { return state_; }

@@ -47,8 +47,30 @@ std::string git_describe() {
   return out.empty() ? "unknown" : out;
 }
 
+std::string render_manifest(const ReportManifest& manifest) {
+  char buf[1024];
+  std::snprintf(buf, sizeof buf,
+                "  \"manifest\": {\n"
+                "    \"tool\": \"%s\",\n"
+                "    \"config\": \"%s\",\n"
+                "    \"protocol\": \"%s\",\n"
+                "    \"timing_hash\": \"%s\",\n"
+                "    \"seed\": %llu,\n"
+                "    \"jobs\": %u,\n"
+                "    \"quick\": %s,\n"
+                "    \"git\": \"%s\"\n"
+                "  }",
+                escape(manifest.tool).c_str(), escape(manifest.config).c_str(),
+                escape(manifest.protocol).c_str(),
+                escape(manifest.timing_hash).c_str(),
+                static_cast<unsigned long long>(manifest.seed), manifest.jobs,
+                manifest.quick ? "true" : "false",
+                escape(manifest.git).c_str());
+  return buf;
+}
+
 bool write_report(const std::string& path, const ReportManifest& manifest,
-                  const MergedMetrics& m) {
+                  const MergedMetrics& m, const std::string& extra_section) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "metrics report: cannot open '%s' for writing\n",
@@ -57,23 +79,10 @@ bool write_report(const std::string& path, const ReportManifest& manifest,
   }
 
   std::fprintf(f, "{\n  \"hswsim_metrics_version\": %d,\n", kReportVersion);
-  std::fprintf(f,
-               "  \"manifest\": {\n"
-               "    \"tool\": \"%s\",\n"
-               "    \"config\": \"%s\",\n"
-               "    \"protocol\": \"%s\",\n"
-               "    \"timing_hash\": \"%s\",\n"
-               "    \"seed\": %llu,\n"
-               "    \"jobs\": %u,\n"
-               "    \"quick\": %s,\n"
-               "    \"git\": \"%s\"\n"
-               "  },\n",
-               escape(manifest.tool).c_str(), escape(manifest.config).c_str(),
-               escape(manifest.protocol).c_str(),
-               escape(manifest.timing_hash).c_str(),
-               static_cast<unsigned long long>(manifest.seed), manifest.jobs,
-               manifest.quick ? "true" : "false",
-               escape(manifest.git).c_str());
+  std::fprintf(f, "%s,\n", render_manifest(manifest).c_str());
+  if (!extra_section.empty()) {
+    std::fprintf(f, "%s,\n", extra_section.c_str());
+  }
   std::fprintf(f, "  \"accesses\": %llu,\n",
                static_cast<unsigned long long>(m.accesses));
   std::fprintf(f, "  \"streams\": %zu,\n", m.streams);
@@ -298,19 +307,36 @@ class FlatParser {
 
 }  // namespace
 
-std::optional<std::map<std::string, std::string>> parse_report_flat(
-    const std::string& path) {
+ReportLoadError load_report_flat(const std::string& path,
+                                 std::map<std::string, std::string>* out) {
   std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return std::nullopt;
+  if (f == nullptr) return ReportLoadError::kUnreadable;
   std::string text;
   char buf[4096];
   std::size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
   std::fclose(f);
 
+  out->clear();
+  FlatParser parser(text, *out);
+  if (!parser.parse()) return ReportLoadError::kMalformed;
+  // Either report flavour qualifies, but only at the schema version this
+  // binary understands: a future version must be refused, not misread.
+  const std::string expected = std::to_string(kReportVersion);
+  for (const char* key : {"hswsim_metrics_version", "hswsim_linestats_version"}) {
+    const auto it = out->find(key);
+    if (it != out->end()) {
+      return it->second == expected ? ReportLoadError::kOk
+                                    : ReportLoadError::kUnknownVersion;
+    }
+  }
+  return ReportLoadError::kUnknownVersion;
+}
+
+std::optional<std::map<std::string, std::string>> parse_report_flat(
+    const std::string& path) {
   std::map<std::string, std::string> out;
-  FlatParser parser(text, out);
-  if (!parser.parse() || !out.contains("hswsim_metrics_version")) {
+  if (load_report_flat(path, &out) != ReportLoadError::kOk) {
     return std::nullopt;
   }
   return out;

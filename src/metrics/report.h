@@ -41,16 +41,38 @@ struct ReportManifest {
 // outside a work tree: falls back to "unknown").
 [[nodiscard]] std::string git_describe();
 
+// The rendered `"manifest": {...}` block (two-space base indent, no
+// trailing comma/newline).  Shared with report writers outside this
+// module — the obs line-stats report carries the same provenance.
+[[nodiscard]] std::string render_manifest(const ReportManifest& manifest);
+
 // Writes the report; false (with a stderr message) when the file cannot
-// be opened or written.
+// be opened or written.  `extra_section` (if nonempty) is a pre-rendered
+// top-level JSON member — `  "name": {...}` without trailing comma —
+// spliced in after the manifest; rendering stays with the producing
+// module, so metrics never links against it.
 [[nodiscard]] bool write_report(const std::string& path,
                                 const ReportManifest& manifest,
-                                const MergedMetrics& merged);
+                                const MergedMetrics& merged,
+                                const std::string& extra_section = {});
 
-// Flattens a report produced by write_report into dotted-path keys
-// ("manifest.seed", "counters.HA_HITME_HIT", "families.QPI_LINK_BYTES.0",
-// ...).  Values are raw JSON scalars: numbers verbatim, strings unescaped.
-// nullopt when the file is missing or not a report we wrote.
+// Why a report failed to load — callers that face users (hswsim-report)
+// need to distinguish these; tests pin the exit codes.
+enum class ReportLoadError {
+  kOk,
+  kUnreadable,      // missing file / open failure
+  kMalformed,       // not JSON we can parse
+  kUnknownVersion,  // parsed, but no version-1 hswsim report marker
+};
+
+// Flattens a report produced by write_report (or obs::write_linestats_report)
+// into dotted-path keys ("manifest.seed", "counters.HA_HITME_HIT",
+// "linestats.patterns.ping_pong", ...).  Values are raw JSON scalars:
+// numbers verbatim, strings unescaped.
+[[nodiscard]] ReportLoadError load_report_flat(
+    const std::string& path, std::map<std::string, std::string>* out);
+
+// Convenience wrapper: nullopt on any load error.
 [[nodiscard]] std::optional<std::map<std::string, std::string>>
 parse_report_flat(const std::string& path);
 

@@ -1,17 +1,22 @@
-// hswsim-report: inspect and diff the --metrics JSON run reports.
+// hswsim-report: inspect and diff the --metrics / --linestats JSON reports.
 //
 //   hswsim-report show FILE              summary table of one report
+//   hswsim-report lines FILE             flight-recorder sharing summary +
+//                                        top contended lines
+//   hswsim-report transitions FILE       per-level state-transition matrix
 //   hswsim-report diff A B [--rel R] [--abs A] [--force]
 //
 // diff compares every metric key tolerance-aware with the same cell
 // machinery the golden-figure regression uses (src/check/golden.h):
 // numeric values within rel/abs epsilon pass, everything else must match
-// exactly.  Manifest fields are provenance, not metrics — differences are
-// printed but do not fail the diff, with one exception: reports from
-// different coherence-protocol families are refused outright (the engine
-// counters change meaning across transition tables) unless --force is
-// given.  Exit 0 = reports match, 1 = metric mismatch or refused
-// cross-protocol diff, 2 = usage or unreadable/invalid report.
+// exactly.  Linestats keys (patterns, residency, the transition matrix,
+// top lines) flatten to dotted keys and diff through the same path.
+// Manifest fields are provenance, not metrics — differences are printed
+// but do not fail the diff, with one exception: reports from different
+// coherence-protocol families are refused outright (the engine counters
+// change meaning across transition tables) unless --force is given.
+// Exit 0 = reports match, 1 = metric mismatch, refused cross-protocol
+// diff, or a missing/malformed/unknown-version report, 2 = usage.
 #include <cstdio>
 #include <map>
 #include <string>
@@ -29,6 +34,8 @@ using FlatReport = std::map<std::string, std::string>;
 int usage() {
   std::fprintf(stderr,
                "usage: hswsim-report show FILE\n"
+               "       hswsim-report lines FILE\n"
+               "       hswsim-report transitions FILE\n"
                "       hswsim-report diff A B [--rel R] [--abs A] [--force]\n");
   return 2;
 }
@@ -40,15 +47,35 @@ int usage() {
   return it == report.end() ? std::string{"mesif"} : it->second;
 }
 
-bool load(const std::string& path, FlatReport* out) {
-  auto parsed = hsw::metrics::parse_report_flat(path);
-  if (!parsed) {
-    std::fprintf(stderr, "hswsim-report: '%s' is not a readable metrics report\n",
-                 path.c_str());
-    return false;
+// Loads and validates one report; 0 on success, 1 with a cause-specific
+// message otherwise (CI greps these, so each failure mode names itself).
+int load(const std::string& path, FlatReport* out) {
+  using hsw::metrics::ReportLoadError;
+  switch (hsw::metrics::load_report_flat(path, out)) {
+    case ReportLoadError::kOk:
+      return 0;
+    case ReportLoadError::kUnreadable:
+      std::fprintf(stderr,
+                   "hswsim-report: cannot read '%s': no such file or not "
+                   "readable\n",
+                   path.c_str());
+      return 1;
+    case ReportLoadError::kMalformed:
+      std::fprintf(stderr,
+                   "hswsim-report: '%s' is not a valid report: malformed or "
+                   "truncated JSON\n",
+                   path.c_str());
+      return 1;
+    case ReportLoadError::kUnknownVersion:
+      std::fprintf(stderr,
+                   "hswsim-report: '%s' has an unknown report version "
+                   "(expected hswsim_metrics_version or "
+                   "hswsim_linestats_version = %d); regenerate the report "
+                   "with this build\n",
+                   path.c_str(), hsw::metrics::kReportVersion);
+      return 1;
   }
-  *out = std::move(*parsed);
-  return true;
+  return 1;
 }
 
 [[nodiscard]] std::string lookup(const FlatReport& report,
@@ -57,9 +84,106 @@ bool load(const std::string& path, FlatReport* out) {
   return it == report.end() ? std::string{} : it->second;
 }
 
+// Both report flavours share the version value; the key names the flavour.
+[[nodiscard]] std::string version_of(const FlatReport& report) {
+  const std::string metrics = lookup(report, "hswsim_metrics_version");
+  return metrics.empty() ? lookup(report, "hswsim_linestats_version")
+                         : metrics;
+}
+
+// The flight-recorder section is present in --linestats reports and in
+// --metrics reports from runs that also set --linestats.
+[[nodiscard]] bool has_linestats(const FlatReport& report) {
+  return !lookup(report, "linestats.hswsim_linestats_version").empty();
+}
+
+int require_linestats(const FlatReport& report, const std::string& path) {
+  if (has_linestats(report)) return 0;
+  std::fprintf(stderr,
+               "hswsim-report: %s has no linestats section; rerun the bench "
+               "with --linestats (or --metrics together with --linestats)\n",
+               path.c_str());
+  return 1;
+}
+
+// `lines` view: sharing-pattern census, per-state L3 residency, and the
+// top contended lines ranked by invalidations + forwards.
+int lines_view(const FlatReport& report, const std::string& path) {
+  if (require_linestats(report, path) != 0) return 1;
+  std::printf(
+      "line stats %s (protocol %s, %s streams, %s accesses, %s lines)\n",
+      path.c_str(), lookup(report, "linestats.protocol").c_str(),
+      lookup(report, "linestats.streams").c_str(),
+      lookup(report, "linestats.accesses").c_str(),
+      lookup(report, "linestats.lines_tracked").c_str());
+
+  hsw::Table patterns({"sharing pattern", "lines"});
+  for (const char* name : {"private", "read_shared", "migratory", "ping_pong",
+                           "false_shared", "mixed"}) {
+    patterns.add_row(
+        {name, lookup(report, std::string("linestats.patterns.") + name)});
+  }
+  std::printf("%s\n", patterns.to_string().c_str());
+
+  hsw::Table residency({"state", "L3 residency ns"});
+  for (const char* state : {"I", "S", "F", "E", "M", "O"}) {
+    residency.add_row(
+        {state, lookup(report, std::string("linestats.residency_ns.") + state)});
+  }
+  std::printf("%s\n", residency.to_string().c_str());
+
+  hsw::Table top({"line", "stream", "pattern", "cores", "reads", "writes",
+                  "inval", "fwd", "upd", "contention"});
+  for (int i = 0;; ++i) {
+    const std::string prefix =
+        "linestats.top_lines." + std::to_string(i) + ".";
+    const std::string line = lookup(report, prefix + "line");
+    if (line.empty()) break;
+    top.add_row({line, lookup(report, prefix + "stream"),
+                 lookup(report, prefix + "pattern"),
+                 lookup(report, prefix + "cores"),
+                 lookup(report, prefix + "reads"),
+                 lookup(report, prefix + "writes"),
+                 lookup(report, prefix + "invalidations"),
+                 lookup(report, prefix + "forwards"),
+                 lookup(report, prefix + "updates"),
+                 lookup(report, prefix + "contention")});
+  }
+  std::printf("top contended lines (by invalidations + forwards)\n%s\n",
+              top.to_string().c_str());
+  return 0;
+}
+
+// `transitions` view: every nonzero (level, from-state, bus-op, to-state)
+// cell of the transition matrix.  Keys sort lexicographically — stable
+// across runs, so the output diffs cleanly.
+int transitions_view(const FlatReport& report, const std::string& path) {
+  if (require_linestats(report, path) != 0) return 1;
+  std::printf("state transitions %s (protocol %s)\n", path.c_str(),
+              lookup(report, "linestats.protocol").c_str());
+  hsw::Table table({"level", "from", "op", "to", "count"});
+  const std::string prefix = "linestats.transitions.";
+  for (const auto& [key, value] : report) {
+    if (!key.starts_with(prefix)) continue;
+    // Key tail: LEVEL.FROM.OP.TO (e.g. "L3.M.SnoopRead.S").
+    std::vector<std::string> parts;
+    std::string rest = key.substr(prefix.size());
+    std::size_t pos = 0;
+    while ((pos = rest.find('.')) != std::string::npos) {
+      parts.push_back(rest.substr(0, pos));
+      rest.erase(0, pos + 1);
+    }
+    parts.push_back(rest);
+    if (parts.size() != 4) continue;
+    table.add_row({parts[0], parts[1], parts[2], parts[3], value});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}
+
 int show(const FlatReport& report, const std::string& path) {
   std::printf("metrics report %s (version %s)\n", path.c_str(),
-              lookup(report, "hswsim_metrics_version").c_str());
+              version_of(report).c_str());
   hsw::Table manifest({"manifest", "value"});
   for (const auto& [key, value] : report) {
     if (key.starts_with("manifest.")) {
@@ -88,11 +212,9 @@ int show(const FlatReport& report, const std::string& path) {
 int diff(const FlatReport& a, const FlatReport& b, const std::string& path_a,
          const std::string& path_b, const hsw::check::GoldenTolerance& tol,
          bool force) {
-  if (lookup(a, "hswsim_metrics_version") !=
-      lookup(b, "hswsim_metrics_version")) {
+  if (version_of(a) != version_of(b)) {
     std::fprintf(stderr, "hswsim-report: version mismatch (%s vs %s)\n",
-                 lookup(a, "hswsim_metrics_version").c_str(),
-                 lookup(b, "hswsim_metrics_version").c_str());
+                 version_of(a).c_str(), version_of(b).c_str());
     return 1;
   }
   if (protocol_of(a) != protocol_of(b)) {
@@ -174,13 +296,23 @@ int main(int argc, char** argv) {
 
   if (pos[0] == "show" && pos.size() == 2) {
     FlatReport report;
-    if (!load(pos[1], &report)) return 2;
+    if (load(pos[1], &report) != 0) return 1;
     return show(report, pos[1]);
+  }
+  if (pos[0] == "lines" && pos.size() == 2) {
+    FlatReport report;
+    if (load(pos[1], &report) != 0) return 1;
+    return lines_view(report, pos[1]);
+  }
+  if (pos[0] == "transitions" && pos.size() == 2) {
+    FlatReport report;
+    if (load(pos[1], &report) != 0) return 1;
+    return transitions_view(report, pos[1]);
   }
   if (pos[0] == "diff" && pos.size() == 3) {
     FlatReport a;
     FlatReport b;
-    if (!load(pos[1], &a) || !load(pos[2], &b)) return 2;
+    if (load(pos[1], &a) != 0 || load(pos[2], &b) != 0) return 1;
     return diff(a, b, pos[1], pos[2], tol, force);
   }
   return usage();

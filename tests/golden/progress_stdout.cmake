@@ -1,0 +1,52 @@
+# Asserts --progress leaves stdout untouched: the heartbeat is stderr-only,
+# so a run with the flag must produce byte-identical stdout AND an
+# identical CSV artifact to a run without it.  Anything else would let an
+# interactive convenience flag corrupt piped/golden output.
+#
+# Usage: cmake -DBENCH=<bench-binary> -DOUT_DIR=<dir> -P progress_stdout.cmake
+
+foreach(var BENCH OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "progress_stdout.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+get_filename_component(bench_name "${BENCH}" NAME)
+
+foreach(variant plain progress)
+  if(variant STREQUAL "progress")
+    set(flag "--progress")
+  else()
+    set(flag "")
+  endif()
+  separate_arguments(flag)
+  execute_process(
+    COMMAND "${BENCH}" --quick --seed 1 --jobs 2 ${flag}
+            --csv "${OUT_DIR}/${bench_name}.${variant}.csv"
+    RESULT_VARIABLE rc
+    OUTPUT_FILE "${OUT_DIR}/${bench_name}.${variant}.stdout"
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench (${variant}) failed (rc=${rc}):\n${err}")
+  endif()
+  # The two runs name different --csv files, so the trailing "wrote <path>"
+  # confirmation legitimately differs; neutralize it before comparing.
+  file(READ "${OUT_DIR}/${bench_name}.${variant}.stdout" text)
+  string(REPLACE "${bench_name}.${variant}.csv" "${bench_name}.csv"
+         text "${text}")
+  file(WRITE "${OUT_DIR}/${bench_name}.${variant}.stdout" "${text}")
+endforeach()
+
+foreach(artifact stdout csv)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_DIR}/${bench_name}.plain.${artifact}"
+            "${OUT_DIR}/${bench_name}.progress.${artifact}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${bench_name}: --progress changed the ${artifact} bytes beyond the "
+      "--csv filename echo (the heartbeat must write to stderr only)")
+  endif()
+endforeach()
