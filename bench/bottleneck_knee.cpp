@@ -1,0 +1,145 @@
+// Bottleneck knee: where bandwidth stops scaling, and *why*.
+//
+// Sweeps the number of concurrently reading cores at a fixed placement
+// (memory-resident buffers on the remote node — the QPI-bound stream class
+// of Table VII) under the simulated engine, with the per-resource queueing
+// telemetry attached.  The claim being demonstrated: the core count where
+// aggregate throughput stops growing (the knee) is exactly the core count
+// where the first shared resource crosses saturation — bandwidth flattens
+// *because* a FIFO server hit 100% busy, not by coincidence.  Checked for
+// both snoop modes, which move the knee: source snoop's broadcast weight
+// saturates QPI at ~half the core count home snoop needs.
+//
+// The bench gates itself: if the throughput knee and the first-saturation
+// core count disagree in either mode, it exits 1 so CI catches the
+// regression.  (validate_bw_model separately checks that the measured busy
+// fractions agree with the analytic max-min utilization.)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "obs/resource_stats.h"
+
+namespace {
+
+struct KneePoint {
+  double total_gbps = 0.0;
+  std::string top_resource;
+  double top_utilization = 0.0;
+};
+
+// One (mode, cores) measurement: remote memory readers through
+// measure_bandwidth with a fresh per-resource recorder on the closed loops.
+KneePoint knee_point(const hsw::SystemConfig& config, int cores,
+                     std::uint64_t seed) {
+  hsw::System sys(config);
+  hsw::obs::ResourceStatsRecorder recorder;
+  hsw::BandwidthConfig bc;
+  for (int c = 0; c < cores; ++c) {
+    hsw::StreamConfig stream;
+    stream.core = c;
+    stream.placement.owner_core = c;
+    stream.placement.memory_node = 1;  // fixed placement: remote memory
+    stream.placement.state = hsw::Mesif::kModified;
+    stream.placement.level = hsw::CacheLevel::kMemory;
+    bc.streams.push_back(stream);
+  }
+  bc.buffer_bytes = hsw::mib(2);
+  bc.seed = seed;
+  bc.engine = hsw::BandwidthEngine::kSimulated;
+  bc.instrumentation.resstats = &recorder;
+  const double total = hsw::measure_bandwidth(sys, bc).total_gbps;
+
+  hsw::obs::ResourceStatsHub hub;
+  hub.absorb(std::move(recorder));
+  const hsw::obs::MergedResourceStats merged = hub.merged();
+  KneePoint point;
+  point.total_gbps = total;
+  for (std::size_t r = 0; r < merged.usage.size(); ++r) {
+    if (merged.utilization(r) > point.top_utilization) {
+      point.top_utilization = merged.utilization(r);
+      point.top_resource = merged.names[r];
+    }
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hswbench::BenchArgs args = hswbench::parse_args(
+      argc, argv,
+      "Bottleneck knee: throughput scaling vs first resource saturation");
+  hswbench::warn_untraced(args);
+
+  // The knee must sit strictly inside the swept range for the gate to mean
+  // anything; both modes' knees (QPI-bound: ~2 and ~4 cores) do.
+  const int max_cores = args.quick ? 6 : 12;
+  // A resource counts as saturated once its busy fraction reaches 95%; the
+  // throughput knee is the first core count within 5% of the peak.  The
+  // margins absorb closed-loop ramp/drain transients (~1% of the window).
+  constexpr double kSaturated = 0.95;
+  constexpr double kPeakFraction = 0.95;
+
+  struct Mode {
+    const char* name;
+    hsw::SystemConfig config;
+  };
+  const Mode modes[] = {
+      {"source snoop", hsw::SystemConfig::source_snoop()},
+      {"home snoop", hsw::SystemConfig::home_snoop()},
+  };
+
+  hsw::Table table({"mode", "cores", "total GB/s", "bottleneck",
+                    "utilization"});
+  int failures = 0;
+  for (const Mode& mode : modes) {
+    std::vector<KneePoint> points;
+    for (int c = 1; c <= max_cores; ++c) {
+      points.push_back(knee_point(mode.config, c, args.seed));
+      const KneePoint& p = points.back();
+      table.add_row({mode.name, std::to_string(c), hsw::cell(p.total_gbps, 1),
+                     p.top_resource, hsw::cell(p.top_utilization, 3)});
+    }
+
+    double peak = 0.0;
+    for (const KneePoint& p : points) peak = std::max(peak, p.total_gbps);
+    int knee_tp = 0;
+    int knee_sat = 0;
+    for (int c = 1; c <= max_cores; ++c) {
+      const KneePoint& p = points[static_cast<std::size_t>(c - 1)];
+      if (knee_tp == 0 && p.total_gbps >= kPeakFraction * peak) knee_tp = c;
+      if (knee_sat == 0 && p.top_utilization >= kSaturated) knee_sat = c;
+    }
+    std::printf(
+        "%s: throughput knee at %d cores, first saturated resource (%s) at "
+        "%d cores\n",
+        mode.name, knee_tp,
+        knee_sat > 0
+            ? points[static_cast<std::size_t>(knee_sat - 1)].top_resource
+                  .c_str()
+            : "none",
+        knee_sat);
+    if (knee_tp != knee_sat || knee_sat == 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s knee (%d cores) does not coincide with first "
+                   "saturation (%d cores)\n",
+                   mode.name, knee_tp, knee_sat);
+      ++failures;
+    }
+  }
+
+  hswbench::print_table(
+      "Bottleneck knee: remote-read scaling vs resource saturation", table,
+      args.csv);
+  hswbench::print_paper_note(
+      "remote read saturates QPI: 16.8 GB/s under source snoop (broadcast "
+      "weight 2.29) vs 30.6 GB/s under home snoop (weight 1.25) — the knee "
+      "halves because the same link carries twice the protocol bytes");
+  if (failures > 0) return 1;
+  std::printf(
+      "throughput knee coincides with first resource saturation in both "
+      "modes\n");
+  return 0;
+}

@@ -26,6 +26,7 @@
 #include "core/hswbench.h"
 #include "metrics/report.h"
 #include "obs/line_stats.h"
+#include "obs/resource_stats.h"
 #include "sim/thread_pool.h"
 #include "trace/sink.h"
 #include "util/cli.h"
@@ -38,6 +39,7 @@ struct BenchArgs {
   std::string trace;      // --trace FILE: export span trees (.csv or JSON)
   std::string metrics;    // --metrics FILE: write the uncore-metrics report
   std::string linestats;  // --linestats FILE: per-line flight-recorder report
+  std::string resstats;   // --resstats FILE: per-resource queueing report
   bool attribution = false;  // print per-component latency attribution
   bool progress = false;  // --progress: sweep-point heartbeat on stderr
   bool quick = false;     // trim sweep sizes for smoke runs
@@ -115,6 +117,11 @@ inline BenchArgs parse_args(
                  "write the per-line coherence flight-recorder report (JSON): "
                  "sharing-pattern classification, state residency, and the "
                  "state-transition matrix; view with hswsim-report lines");
+  cli.add_string("resstats", &args.resstats,
+                 "write the per-resource queueing report (JSON): busy/idle "
+                 "residency, waits, and queue depths at every ring stop, iMC "
+                 "channel, QPI link, and bridge (simulated engine only); "
+                 "view with hswsim-report bottlenecks");
   cli.add_bool("attribution", &args.attribution,
                "print the per-component latency attribution summary");
   cli.add_bool("progress", &args.progress,
@@ -180,6 +187,18 @@ inline BenchArgs parse_args(
     std::exit(1);
   }
   args.engine = *parsed_engine;
+  // The per-resource recorder watches the simulated engine's FIFO servers;
+  // the analytic solver (and every latency bench) has no queues to observe,
+  // so the report would be all zeros.  Refuse the combination instead of
+  // writing a misleading file — same policy as --linestats + --sample-ratio.
+  if (!args.resstats.empty() &&
+      args.engine != hsw::BandwidthEngine::kSimulated) {
+    std::fprintf(stderr,
+                 "--resstats requires --engine simulated: only the "
+                 "event-driven engine has FIFO servers to observe, so the "
+                 "resources report would be all zeros\n");
+    std::exit(1);
+  }
   const std::optional<hsw::Protocol> parsed_protocol =
       hsw::parse_protocol(protocol);
   if (!parsed_protocol) {
@@ -209,6 +228,7 @@ inline BenchArgs parse_args(
   require_writable_path(args.trace, "--trace");
   require_writable_path(args.metrics, "--metrics");
   require_writable_path(args.linestats, "--linestats");
+  require_writable_path(args.resstats, "--resstats");
   if (argc > 0 && argv != nullptr) {
     const std::string path = argv[0];
     const std::size_t slash = path.find_last_of('/');
@@ -266,6 +286,20 @@ inline void write_linestats_file(const BenchArgs& args,
   std::printf("wrote %s\n", args.linestats.c_str());
 }
 
+// Writes the --resstats per-resource queueing report (same manifest, own
+// version key); exit-1-on-failure discipline as above.
+inline void write_resstats_file(const BenchArgs& args,
+                                const hsw::obs::MergedResourceStats& merged) {
+  if (args.resstats.empty()) return;
+  if (!hsw::obs::write_resources_report(args.resstats, make_manifest(args),
+                                        merged)) {
+    std::fprintf(stderr, "failed to write resources report %s\n",
+                 args.resstats.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", args.resstats.c_str());
+}
+
 // --- tracing / attribution -----------------------------------------------
 // Shared wiring behind the benches' --trace / --attribution flags.  A bench
 // creates one BenchTrace, routes its measurements through it (sweep plans
@@ -290,6 +324,7 @@ class BenchTrace {
   [[nodiscard]] bool attribution() const { return attribution_; }
   [[nodiscard]] bool metrics() const { return !args_.metrics.empty(); }
   [[nodiscard]] bool linestats() const { return !args_.linestats.empty(); }
+  [[nodiscard]] bool resstats() const { return !args_.resstats.empty(); }
 
   // Sweep wiring for latency plans: attribution aggregates arrive through
   // LatencyResult::component_ns, so span trees are retained only when a
@@ -311,6 +346,7 @@ class BenchTrace {
     if (enabled()) t.sink = &sink_;
     if (metrics()) t.metrics = &hub_;
     if (linestats()) t.linestats = &lhub_;
+    if (resstats()) t.resstats = &rhub_;
     return t;
   }
 
@@ -354,7 +390,7 @@ class BenchTrace {
   // per-access breakdown).
   hsw::BandwidthResult measure_bw(hsw::System& system,
                                   hsw::BandwidthConfig config) {
-    if (!enabled() && !metrics() && !linestats()) {
+    if (!enabled() && !metrics() && !linestats() && !resstats()) {
       return hsw::measure_bandwidth(system, config);
     }
     const std::uint32_t stream = next_stream_++;
@@ -374,10 +410,16 @@ class BenchTrace {
       recorder.emplace(system.config().protocol, stream);
       config.instrumentation.linestats = &*recorder;
     }
+    std::optional<hsw::obs::ResourceStatsRecorder> resources;
+    if (resstats()) {
+      resources.emplace(stream);
+      config.instrumentation.resstats = &*resources;
+    }
     const hsw::BandwidthResult result = hsw::measure_bandwidth(system, config);
     if (tracer) sink_.absorb(std::move(*tracer));
     if (registry) hub_.absorb(std::move(*registry));
     if (recorder) lhub_.absorb(std::move(*recorder));
+    if (resources) rhub_.absorb(std::move(*resources));
     return result;
   }
 
@@ -409,18 +451,22 @@ class BenchTrace {
       }
       std::printf(")\n");
     }
+    // The metrics report embeds whichever obs sections the run recorded, so
+    // one file diffs the whole run; each section also writes its own
+    // standalone file when its flag named one.
+    std::string extra_sections;
     if (linestats()) {
       const hsw::obs::MergedLineStats merged = lhub_.merged();
       write_linestats_file(args_, merged);
-      // With both flags set the metrics report carries the linestats
-      // section too, so one file diffs the whole run.
-      if (metrics()) {
-        write_metrics_report(args_, hub_,
-                             hsw::obs::render_linestats_section(merged));
-      }
-    } else if (metrics()) {
-      write_metrics_report(args_, hub_);
+      extra_sections = hsw::obs::render_linestats_section(merged);
     }
+    if (resstats()) {
+      const hsw::obs::MergedResourceStats merged = rhub_.merged();
+      write_resstats_file(args_, merged);
+      if (!extra_sections.empty()) extra_sections += ",\n";
+      extra_sections += hsw::obs::render_resources_section(merged);
+    }
+    if (metrics()) write_metrics_report(args_, hub_, extra_sections);
   }
 
  private:
@@ -489,14 +535,22 @@ class BenchTrace {
   hsw::trace::TraceSink sink_;
   hsw::metrics::MetricsHub hub_;
   hsw::obs::LineStatsHub lhub_;
+  hsw::obs::ResourceStatsHub rhub_;
   std::uint32_t next_stream_ = 0;
   std::vector<Row> rows_;
 };
 
-// One named series over a shared size axis.
+// One named series over a shared size axis.  The queueing columns are
+// filled by the simulated bandwidth engine only; when empty (the analytic
+// engine, and every latency bench) the printed table and CSV schema are
+// exactly the historical ones, so the golden figures never change.
 struct Series {
   std::string name;
   std::vector<double> values;  // aligned with the size axis
+  std::vector<double> queue_ns = {};         // mean per-line queueing delay
+  std::vector<std::string> bottleneck = {};  // busiest resource on the path
+
+  [[nodiscard]] bool has_queueing() const { return !queue_ns.empty(); }
 };
 
 inline void print_sized_series(const char* title,
@@ -507,12 +561,24 @@ inline void print_sized_series(const char* title,
   std::printf("%s\n", title);
   std::vector<std::string> header{"data set size"};
   for (const Series& s : series) header.push_back(s.name);
+  for (const Series& s : series) {
+    if (!s.has_queueing()) continue;
+    header.push_back(s.name + " queue ns");
+    header.push_back(s.name + " bottleneck");
+  }
   hsw::Table table(header);
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     std::vector<std::string> row{hsw::format_bytes(sizes[i])};
     for (const Series& s : series) {
       row.push_back(i < s.values.size() ? hsw::cell(s.values[i], 1)
                                         : std::string{});
+    }
+    for (const Series& s : series) {
+      if (!s.has_queueing()) continue;
+      row.push_back(i < s.queue_ns.size() ? hsw::cell(s.queue_ns[i], 1)
+                                          : std::string{});
+      row.push_back(i < s.bottleneck.size() ? s.bottleneck[i]
+                                            : std::string{});
     }
     table.add_row(std::move(row));
   }
@@ -521,12 +587,24 @@ inline void print_sized_series(const char* title,
   if (!csv_path.empty()) {
     std::vector<std::string> csv_header{"bytes"};
     for (const Series& s : series) csv_header.push_back(s.name);
+    for (const Series& s : series) {
+      if (!s.has_queueing()) continue;
+      csv_header.push_back(s.name + " queue_ns");
+      csv_header.push_back(s.name + " bottleneck");
+    }
     hsw::CsvWriter csv(csv_path, csv_header);
     for (std::size_t i = 0; i < sizes.size(); ++i) {
       std::vector<std::string> row{std::to_string(sizes[i])};
       for (const Series& s : series) {
         row.push_back(i < s.values.size() ? hsw::cell(s.values[i], 3)
                                           : std::string{});
+      }
+      for (const Series& s : series) {
+        if (!s.has_queueing()) continue;
+        row.push_back(i < s.queue_ns.size() ? hsw::cell(s.queue_ns[i], 3)
+                                            : std::string{});
+        row.push_back(i < s.bottleneck.size() ? s.bottleneck[i]
+                                              : std::string{});
       }
       csv.add_row(row);
     }
@@ -739,6 +817,13 @@ inline std::vector<Series> run_bandwidth_series(
   for (std::size_t p = 0; p < plans.size(); ++p) {
     series[p].name = plans[p].name;
     series[p].values.resize(plans[p].config.sizes.size());
+    // The simulated engine reports per-point queueing; surface it as extra
+    // columns (the analytic engine leaves these empty and the schema
+    // unchanged).
+    if (plans[p].config.engine == hsw::BandwidthEngine::kSimulated) {
+      series[p].queue_ns.resize(plans[p].config.sizes.size());
+      series[p].bottleneck.resize(plans[p].config.sizes.size());
+    }
     for (std::size_t i = 0; i < plans[p].config.sizes.size(); ++i) {
       work.emplace_back(p, i);
     }
@@ -746,10 +831,14 @@ inline std::vector<Series> run_bandwidth_series(
   hsw::ThreadPool pool(jobs);
   hsw::parallel_for_indexed(pool, work.size(), [&](std::size_t w) {
     const auto [p, i] = work[w];
-    const hsw::BandwidthSweepPoint point = hsw::bandwidth_sweep_point(
+    hsw::BandwidthSweepPoint point = hsw::bandwidth_sweep_point(
         plans[p].config, plans[p].config.sizes[i]);
     if (progress != nullptr) progress->tick(0);
     series[p].values[i] = point.gbps;
+    if (series[p].has_queueing()) {
+      series[p].queue_ns[i] = point.mean_queue_ns;
+      series[p].bottleneck[i] = std::move(point.bottleneck);
+    }
   });
   return series;
 }
@@ -786,11 +875,11 @@ inline void print_paper_note(const char* note) {
 // of silently ignoring the flags.
 inline void warn_untraced(const BenchArgs& args) {
   if (args.attribution || !args.trace.empty() || !args.metrics.empty() ||
-      !args.linestats.empty()) {
+      !args.linestats.empty() || !args.resstats.empty()) {
     std::fprintf(stderr,
                  "note: this bench does not issue per-line engine accesses; "
-                 "--trace/--attribution/--metrics/--linestats produce no "
-                 "output here\n");
+                 "--trace/--attribution/--metrics/--linestats/--resstats "
+                 "produce no output here\n");
   }
 }
 

@@ -16,8 +16,10 @@
 
 #include "coh/protocol.h"
 #include "core/hswbench.h"
+#include "exec/engine.h"
 #include "mem/cache_array.h"
 #include "obs/line_stats.h"
+#include "obs/resource_stats.h"
 #include "sim/event_kernel.h"
 #include "support/legacy_cache_array.h"
 #include "trace/tracer.h"
@@ -723,6 +725,46 @@ void BM_ExecEngineBandwidthSimulated(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExecEngineBandwidthSimulated)->Unit(benchmark::kMillisecond);
+
+// Fourth verse: the *ResStatsOff variant re-measures the detached path (a
+// null obs::ResourceStatsRecorder* per closed-loop event) in the same
+// process as the *ResStatsOn variant.  scripts/check.sh guards the off
+// number against the checked-in baseline and the on/off ratio, so the
+// per-resource queueing telemetry stays a choice, not a tax.
+
+std::vector<hsw::exec::StreamTask> resstats_tasks() {
+  std::vector<hsw::exec::StreamTask> tasks(4);
+  for (std::size_t f = 0; f < tasks.size(); ++f) {
+    tasks[f].core = static_cast<int>(f);
+    tasks[f].demand_gbps = 8.0;
+    tasks[f].latency_ns = 50.0;
+    tasks[f].path = {{0, 1.0}};
+  }
+  return tasks;
+}
+
+void BM_ClosedLoopResStatsOff(benchmark::State& state) {
+  const std::vector<hsw::exec::StreamTask> tasks = resstats_tasks();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hsw::exec::run_closed_loop(tasks, {10.0}).total_gbps);
+  }
+}
+BENCHMARK(BM_ClosedLoopResStatsOff)->Unit(benchmark::kMillisecond);
+
+void BM_ClosedLoopResStatsOn(benchmark::State& state) {
+  const std::vector<hsw::exec::StreamTask> tasks = resstats_tasks();
+  for (auto _ : state) {
+    // One recorder serves one run, so it is (deliberately) rebuilt per
+    // iteration: the attach cost is part of what the pair measures.
+    hsw::obs::ResourceStatsRecorder recorder;
+    hsw::exec::ClosedLoopConfig config;
+    config.resstats = &recorder;
+    benchmark::DoNotOptimize(
+        hsw::exec::run_closed_loop(tasks, {10.0}, config).total_gbps);
+  }
+}
+BENCHMARK(BM_ClosedLoopResStatsOn)->Unit(benchmark::kMillisecond);
 
 hsw::Trace exec_replay_trace(hsw::System& system) {
   return hsw::make_hotset_trace(system, {0, 1, 12, 13}, 64, 20000, 0.3, 1);

@@ -10,10 +10,18 @@
 
 namespace {
 
-double scaling_point(hswbench::BenchTrace& trace,
-                     const hsw::SystemConfig& config, int cores, int node,
-                     bool write, std::uint64_t seed,
-                     hsw::BandwidthEngine engine) {
+struct ScalingPoint {
+  double total_gbps = 0.0;
+  // Simulated engine only: mean per-line queueing delay across the streams
+  // and the bottleneck named by the most-queued stream (empty otherwise).
+  double mean_queue_ns = 0.0;
+  std::string bottleneck;
+};
+
+ScalingPoint scaling_point(hswbench::BenchTrace& trace,
+                           const hsw::SystemConfig& config, int cores,
+                           int node, bool write, std::uint64_t seed,
+                           hsw::BandwidthEngine engine) {
   hsw::System sys(config);
   hsw::BandwidthConfig bc;
   for (int c = 0; c < cores; ++c) {
@@ -29,7 +37,18 @@ double scaling_point(hswbench::BenchTrace& trace,
   bc.buffer_bytes = hsw::mib(2);
   bc.seed = seed;
   bc.engine = engine;
-  return trace.measure_bw(sys, bc).total_gbps;
+  const hsw::BandwidthResult result = trace.measure_bw(sys, bc);
+  ScalingPoint point;
+  point.total_gbps = result.total_gbps;
+  double worst = -1.0;
+  for (const hsw::StreamResult& sr : result.streams) {
+    point.mean_queue_ns += sr.queue_ns / static_cast<double>(cores);
+    if (sr.queue_ns > worst) {
+      worst = sr.queue_ns;
+      point.bottleneck = sr.bottleneck;
+    }
+  }
+  return point;
 }
 
 }  // namespace
@@ -40,8 +59,15 @@ int main(int argc, char** argv) {
 
   hswbench::BenchTrace trace(args);
   const int max_cores = args.quick ? 4 : 12;
+  const bool simulated = args.engine == hsw::BandwidthEngine::kSimulated;
   std::vector<std::string> header{"source"};
   for (int c = 1; c <= max_cores; ++c) header.push_back(std::to_string(c));
+  if (simulated) {
+    // Queueing columns (simulated engine only) describe the fully loaded
+    // point — the max-cores measurement, where the bottleneck is visible.
+    header.push_back("queue_ns");
+    header.push_back("bottleneck");
+  }
   hsw::Table table(header);
 
   struct Row {
@@ -59,11 +85,15 @@ int main(int argc, char** argv) {
   };
   for (const Row& row : rows) {
     std::vector<std::string> cells{row.name};
+    ScalingPoint last;
     for (int c = 1; c <= max_cores; ++c) {
-      cells.push_back(hsw::cell(
-          scaling_point(trace, row.config, c, row.node, row.write, args.seed,
-                        args.engine),
-          1));
+      last = scaling_point(trace, row.config, c, row.node, row.write,
+                           args.seed, args.engine);
+      cells.push_back(hsw::cell(last.total_gbps, 1));
+    }
+    if (simulated) {
+      cells.push_back(hsw::cell(last.mean_queue_ns, 3));
+      cells.push_back(last.bottleneck);
     }
     table.add_row(std::move(cells));
   }

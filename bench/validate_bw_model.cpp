@@ -19,6 +19,8 @@
 
 #include "bw/queueing.h"
 #include "common.h"
+#include "exec/engine.h"
+#include "obs/resource_stats.h"
 
 namespace {
 
@@ -227,5 +229,84 @@ int main(int argc, char** argv) {
   }
   std::printf("scaling is monotone up to the saturation knee (peak %.1f GB/s)\n",
               peak);
+
+  // --- measured busy fraction vs analytic max-min utilization --------------
+  // The same flows once more, judged at the *resource* level: the analytic
+  // utilization of every shared box (sum over flows of rate x weight,
+  // divided by the box's capacity) must match the busy fraction the
+  // per-resource telemetry measures on the closed loops.  This calibration
+  // is what the bottleneck attribution and the bottleneck_knee golden rest
+  // on: "measured utilization ~ 1.0" must mean the same thing in both
+  // formalisms.
+  constexpr double kUtilTolerance = 0.05;
+  struct UtilCase {
+    const char* name;
+    int readers;
+  };
+  const UtilCase util_cases[] = {
+      {"2 local readers (unsaturated)", 2},
+      {"8 local readers (DRAM saturated)", 8},
+  };
+  hsw::System util_sys(hsw::SystemConfig::source_snoop());
+  const hsw::bw::BandwidthModel util_model(util_sys);
+  const std::vector<double>& caps = util_model.capacities();
+  const std::vector<std::string> res_names =
+      hsw::bw::resource_names(caps.size());
+  int util_failures = 0;
+  std::printf("\nper-resource utilization, analytic vs measured busy fraction\n");
+  for (const UtilCase& uc : util_cases) {
+    std::vector<hsw::bw::Flow> flows;
+    std::vector<hsw::exec::StreamTask> tasks;
+    for (int c = 0; c < uc.readers; ++c) {
+      hsw::bw::StreamSpec spec;
+      spec.core = c;
+      spec.source = hsw::ServiceSource::kLocalDram;
+      spec.source_node = 0;
+      spec.home_node = 0;
+      spec.latency_ns = 96.4;
+      flows.push_back(util_model.flow_for(spec));
+      hsw::exec::StreamTask task;
+      task.core = c;
+      task.demand_gbps = flows.back().demand;
+      task.latency_ns = spec.latency_ns;
+      task.path = flows.back().uses;
+      tasks.push_back(std::move(task));
+    }
+    const std::vector<double> rates = hsw::bw::max_min_rates(flows, caps);
+    std::vector<double> analytic_util(caps.size(), 0.0);
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      for (const hsw::bw::Flow::Use& use : flows[f].uses) {
+        const auto r = static_cast<std::size_t>(use.resource);
+        analytic_util[r] += rates[f] * use.weight / caps[r];
+      }
+    }
+
+    hsw::obs::ResourceStatsRecorder recorder;
+    hsw::exec::ClosedLoopConfig loop;
+    loop.resstats = &recorder;
+    hsw::exec::run_closed_loop(tasks, caps, loop);
+    hsw::obs::ResourceStatsHub hub;
+    hub.absorb(std::move(recorder));
+    const hsw::obs::MergedResourceStats merged = hub.merged();
+
+    for (std::size_t r = 0; r < caps.size(); ++r) {
+      const double measured = merged.utilization(r);
+      if (analytic_util[r] < 0.01 && measured < 0.01) continue;
+      const double delta = measured - analytic_util[r];
+      std::printf("  %-32s %-9s analytic %.3f  measured %.3f  (%+.3f)\n",
+                  uc.name, res_names[r].c_str(), analytic_util[r], measured,
+                  delta);
+      if (std::abs(delta) > kUtilTolerance) ++util_failures;
+    }
+  }
+  if (util_failures > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d resource(s) diverge beyond %.2f absolute "
+                 "utilization\n",
+                 util_failures, kUtilTolerance);
+    return 1;
+  }
+  std::printf("all active resources within %.2f absolute utilization\n",
+              kUtilTolerance);
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "core/hswbench.h"
 #include "metrics/report.h"
 #include "obs/line_stats.h"
+#include "obs/resource_stats.h"
 #include "util/cli.h"
 #include "workload/trace.h"
 
@@ -121,6 +122,7 @@ int cmd_bandwidth(int argc, char** argv) {
   std::uint64_t size = hsw::mib(2);
   bool write = false;
   std::string protocol = "mesif";
+  std::string resstats;
   hsw::CommandLine cli("hswsim_cli bandwidth: concurrent memory streams");
   cli.add_string("mode", &mode, "source | home | cod");
   cli.add_string("protocol", &protocol, "mesif | mesi | moesi | dragon");
@@ -131,9 +133,22 @@ int cmd_bandwidth(int argc, char** argv) {
   cli.add_int("node", &node, "memory NUMA node the streams target");
   cli.add_bytes("size", &size, "buffer bytes per stream");
   cli.add_bool("write", &write, "store streams instead of loads");
+  cli.add_string("resstats", &resstats,
+                 "write per-resource queueing telemetry (JSON, simulated "
+                 "engine only; view with hswsim-report bottlenecks)");
   if (!cli.parse(argc, argv)) return 1;
 
   hsw::System system(config_for(mode, protocol));
+  std::optional<hsw::obs::ResourceStatsRecorder> recorder;
+  if (!resstats.empty()) {
+    // Only the event-driven engine has FIFO servers to observe; an analytic
+    // run would write an all-zero resources report.
+    if (engine_for(engine) != hsw::BandwidthEngine::kSimulated) {
+      std::fprintf(stderr, "--resstats requires --engine simulated\n");
+      return 1;
+    }
+    recorder.emplace();
+  }
   hsw::BandwidthConfig bc;
   for (int c = 0; c < cores; ++c) {
     hsw::StreamConfig stream;
@@ -147,16 +162,39 @@ int cmd_bandwidth(int argc, char** argv) {
   }
   bc.buffer_bytes = size;
   bc.engine = engine_for(engine);
+  if (recorder) bc.instrumentation.resstats = &*recorder;
   const hsw::BandwidthResult r = hsw::measure_bandwidth(system, bc);
   std::printf("machine   : %s\n", system.config().describe().c_str());
   std::printf("engine    : %s\n", hsw::to_string(bc.engine));
   std::printf("aggregate : %s\n", hsw::format_gbps(r.total_gbps).c_str());
   for (std::size_t i = 0; i < r.streams.size(); ++i) {
-    std::printf("  core %-2zu : %s  (probe %s, %s%s)\n", i,
+    std::printf("  core %-2zu : %s  (probe %s, %s%s%s%s)\n", i,
                 hsw::format_gbps(r.streams[i].gbps).c_str(),
                 hsw::format_ns(r.streams[i].probe_latency_ns).c_str(),
                 hsw::to_string(r.streams[i].source),
-                r.streams[i].stale_directory ? ", stale directory" : "");
+                r.streams[i].stale_directory ? ", stale directory" : "",
+                r.streams[i].bottleneck.empty() ? "" : ", bottleneck ",
+                r.streams[i].bottleneck.c_str());
+  }
+  if (recorder) {
+    hsw::obs::ResourceStatsHub hub;
+    hub.absorb(std::move(*recorder));
+    hsw::metrics::ReportManifest manifest;
+    manifest.tool = "hswsim_cli";
+    manifest.config = "bandwidth --mode " + mode + " --cores " +
+                      std::to_string(cores) + ", " +
+                      system.config().describe();
+    manifest.protocol = std::string(hsw::to_string(system.config().protocol));
+    manifest.timing_hash = hsw::timing_fingerprint(
+        hsw::TimingParams::haswell_ep(),
+        hsw::to_string(system.config().protocol));
+    manifest.git = hsw::metrics::git_describe();
+    if (!hsw::obs::write_resources_report(resstats, manifest, hub.merged())) {
+      std::fprintf(stderr, "failed to write resources report %s\n",
+                   resstats.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", resstats.c_str());
   }
   return 0;
 }

@@ -113,6 +113,10 @@ cmp -s "$trace_dir/fig8.sim.jobs1.csv" "$trace_dir/fig8.sim.jobs8.csv" \
   || { echo "simulated smoke: --jobs 1 vs 8 CSVs differ"; exit 1; }
 "$repo_root/build/bench/validate_bw_model" --quick > /dev/null \
   || { echo "simulated smoke: analytic-vs-simulated agreement gate failed"; exit 1; }
+# bottleneck_knee exits nonzero if the throughput knee and the first
+# resource saturation land on different core counts for either snoop mode.
+"$repo_root/build/bench/bottleneck_knee" --quick --seed 1 > /dev/null \
+  || { echo "simulated smoke: bottleneck knee does not match first saturation"; exit 1; }
 echo "simulated smoke: ok"
 
 if [[ "${HSWSIM_CHECK_SKIP_PERF:-0}" != "1" ]]; then
@@ -129,14 +133,15 @@ if [[ "${HSWSIM_CHECK_SKIP_PERF:-0}" != "1" ]]; then
   #    reintroduced per-event allocation or a broken tag-scan fast path,
   #    which show up as 2x+ ratio jumps;
   #  * instrumentation on/off pairs (attribution vs null tracer, metrics
-  #    attached vs detached, flight recorder attached vs detached) — catches
-  #    overhead creep on the observability hot paths.
+  #    attached vs detached, flight recorder attached vs detached, resource
+  #    telemetry attached vs detached) — catches overhead creep on the
+  #    observability hot paths.
   # A genuine regression moves a ratio by 2x+; run-to-run ratio noise on
   # the ns-scale rows is up to ~25%, hence the generous default
   # HSWSIM_PERF_TOLERANCE (50%).  Raise it or set HSWSIM_CHECK_SKIP_PERF=1
   # on very noisy machines.
   "$repo_root/build/bench/simbench" \
-    --benchmark_filter='TracingOff|Attribution|MetricsOn|MetricsOff|LineStatsOn|LineStatsOff|BM_Cache|BM_EventKernelChurn|BM_MesifTransition|BM_AccessThroughput' \
+    --benchmark_filter='TracingOff|Attribution|MetricsOn|MetricsOff|LineStatsOn|LineStatsOff|ResStatsOn|ResStatsOff|BM_Cache|BM_EventKernelChurn|BM_MesifTransition|BM_AccessThroughput' \
     --benchmark_repetitions=3 --benchmark_min_time=0.1 \
     --benchmark_out="$trace_dir/perf.json" --benchmark_out_format=json \
     > /dev/null 2>&1
@@ -161,6 +166,7 @@ PAIRS = [  # (numerator, denominator): gated on numerator/denominator growth
     ("BM_MemoryReadMetricsOn", "BM_MemoryReadMetricsOff"),
     ("BM_L1HitLineStatsOn", "BM_L1HitLineStatsOff"),
     ("BM_MemoryReadLineStatsOn", "BM_MemoryReadLineStatsOff"),
+    ("BM_ClosedLoopResStatsOn", "BM_ClosedLoopResStatsOff"),
 ]
 
 def times(path):

@@ -7,6 +7,34 @@
 
 namespace hsw::bw {
 
+std::vector<std::string> resource_names(std::size_t capacity_count) {
+  std::vector<std::string> names;
+  names.reserve(capacity_count);
+  // Layout mirror of the BandwidthModel constructor: [0, nodes) ring stops,
+  // [nodes, 2*nodes) iMC/DRAM per node, then one QPI direction and one
+  // bridge per socket.
+  if (capacity_count >= 6 && capacity_count % 2 == 0) {
+    const std::size_t nodes = (capacity_count - 4) / 2;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      names.push_back("RING_" + std::to_string(n));
+    }
+    for (std::size_t n = 0; n < nodes; ++n) {
+      names.push_back("IMC_" + std::to_string(n));
+    }
+    for (std::size_t s = 0; s < 2; ++s) {
+      names.push_back("QPI_" + std::to_string(s));
+    }
+    for (std::size_t s = 0; s < 2; ++s) {
+      names.push_back("BRIDGE_" + std::to_string(s));
+    }
+    return names;
+  }
+  for (std::size_t i = 0; i < capacity_count; ++i) {
+    names.push_back("RES_" + std::to_string(i));
+  }
+  return names;
+}
+
 BandwidthModel::BandwidthModel(const System& system, const BwParams& params)
     : system_(system), params_(params), nodes_(system.node_count()) {
   const bool cod = system_.topology().cod();

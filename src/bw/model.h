@@ -16,6 +16,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "bw/solver.h"
@@ -83,6 +84,15 @@ struct StreamSpec {
   // cache holds them (silent evictions) — every re-read broadcasts.
   bool stale_directory = false;
 };
+
+// Human-readable names for the shared-resource indices of a capacity
+// vector with `capacity_count` entries.  A count matching the model's
+// layout (2 x nodes + 2 QPI directions + 2 bridges) gets the semantic
+// names — RING_<node>, IMC_<node>, QPI_<socket>, BRIDGE_<socket> — and
+// anything else (hand-built solver scenarios) falls back to RES_<i>, so
+// per-resource telemetry can always label what it measured.
+[[nodiscard]] std::vector<std::string> resource_names(
+    std::size_t capacity_count);
 
 class BandwidthModel {
  public:

@@ -44,11 +44,14 @@ Probe run_probe(System& system, const StreamConfig& stream,
 }
 
 // Simulated engine: the same flows the analytic solver would see, run as
-// calibrated closed loops over the same resource capacities.
+// calibrated closed loops over the same resource capacities.  Returns the
+// per-stream rates; per-stream queueing and bottleneck attribution come
+// from the closed-loop result and the tasks' paths.
 std::vector<double> simulate_rates(const bw::BandwidthModel& model,
                                    const std::vector<bw::StreamSpec>& specs,
-                                   double window_ns,
-                                   std::vector<double>* queue_ns) {
+                                   const BandwidthConfig& config,
+                                   std::vector<double>* queue_ns,
+                                   std::vector<std::string>* bottleneck) {
   std::vector<exec::StreamTask> tasks;
   tasks.reserve(specs.size());
   for (const bw::StreamSpec& spec : specs) {
@@ -60,9 +63,28 @@ std::vector<double> simulate_rates(const bw::BandwidthModel& model,
     task.path = flow.uses;
     tasks.push_back(std::move(task));
   }
+  exec::ClosedLoopConfig loop;
+  loop.window_ns = config.window_ns;
+  loop.resstats = config.instrumentation.resstats;
   const exec::ClosedLoopResult sim =
-      exec::run_closed_loop(tasks, model.capacities(), {window_ns});
+      exec::run_closed_loop(tasks, model.capacities(), loop);
   *queue_ns = sim.mean_queue_ns;
+
+  // Bottleneck attribution: the busiest resource on each stream's own path
+  // (global busy residency, so a stream sees the box it actually shares).
+  const std::vector<std::string> names =
+      bw::resource_names(model.capacities().size());
+  bottleneck->assign(specs.size(), std::string{});
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    double best = -1.0;
+    for (const bw::Flow::Use& use : tasks[i].path) {
+      const auto r = static_cast<std::size_t>(use.resource);
+      if (r < sim.resource_busy_ns.size() && sim.resource_busy_ns[r] > best) {
+        best = sim.resource_busy_ns[r];
+        (*bottleneck)[i] = names[r];
+      }
+    }
+  }
   return sim.gbps;
 }
 
@@ -137,13 +159,15 @@ BandwidthResult measure_bandwidth(System& system,
 
   const bw::BandwidthModel model(system, config.model);
   std::vector<double> queue_ns(specs.size(), 0.0);
+  std::vector<std::string> bottleneck(specs.size());
   const std::vector<double> rates =
       config.engine == BandwidthEngine::kSimulated
-          ? simulate_rates(model, specs, config.window_ns, &queue_ns)
+          ? simulate_rates(model, specs, config, &queue_ns, &bottleneck)
           : model.concurrent(specs);
   for (std::size_t i = 0; i < rates.size(); ++i) {
     result.streams[i].gbps = rates[i];
     result.streams[i].queue_ns = queue_ns[i];
+    result.streams[i].bottleneck = bottleneck[i];
     result.total_gbps += rates[i];
   }
   return result;

@@ -79,6 +79,10 @@ struct StreamResult {
   // kSimulated only: mean per-line delay spent queued at saturated
   // resources (0 when uncontended, or under kAnalytic).
   double queue_ns = 0.0;
+  // kSimulated only: name of the busiest shared resource on this stream's
+  // path (RING_n / IMC_n / QPI_s / BRIDGE_s), from the closed loops'
+  // always-on busy accounting.  Empty under kAnalytic.
+  std::string bottleneck;
 };
 
 struct BandwidthResult {

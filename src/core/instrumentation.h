@@ -14,9 +14,13 @@
 
 #include "machine/system.h"
 
+namespace hsw::obs {
+class ResourceStatsRecorder;
+}  // namespace hsw::obs
+
 namespace hsw {
 
-// A (possibly empty) set of observers for a measured section.  Both fields
+// A (possibly empty) set of observers for a measured section.  All fields
 // are optional and non-owning; a default-constructed scope is "run dark"
 // and costs the engine one null-pointer test per instrumentation site.
 struct InstrumentationScope {
@@ -28,9 +32,16 @@ struct InstrumentationScope {
   // Receives per-line state transitions, residency time, and accessor
   // history (the coherence flight recorder, obs/line_stats.h).
   obs::LineStatsRecorder* linestats = nullptr;
+  // Receives per-resource queueing telemetry — busy residency, waits, and
+  // queue depths at every shared FIFO server (obs/resource_stats.h).  Fed
+  // directly by the event-driven exec engine, which owns the FIFO servers;
+  // it has no System attach point, so ScopedInstrumentation leaves it
+  // alone.
+  obs::ResourceStatsRecorder* resstats = nullptr;
 
   [[nodiscard]] bool any() const {
-    return tracer != nullptr || metrics != nullptr || linestats != nullptr;
+    return tracer != nullptr || metrics != nullptr || linestats != nullptr ||
+           resstats != nullptr;
   }
 };
 

@@ -62,6 +62,16 @@ std::optional<obs::LineStatsRecorder> make_recorder(
   return obs::LineStatsRecorder(protocol, stream_for(trace, sizes, bytes));
 }
 
+// Per-point resource recorder on the same shared stream id; fed by the
+// simulated bandwidth engine's closed loops, folded by the hub in stream
+// order.
+std::optional<obs::ResourceStatsRecorder> make_resource_recorder(
+    const SweepTraceOptions& trace, const std::vector<std::uint64_t>& sizes,
+    std::uint64_t bytes) {
+  if (!trace.resstats_enabled()) return std::nullopt;
+  return obs::ResourceStatsRecorder(stream_for(trace, sizes, bytes));
+}
+
 }  // namespace
 
 std::vector<std::uint64_t> sweep_sizes(std::uint64_t min_bytes,
@@ -150,13 +160,23 @@ BandwidthSweepPoint bandwidth_sweep_point(const BandwidthSweepConfig& config,
   std::optional<obs::LineStatsRecorder> recorder = make_recorder(
       config.trace, machine.protocol, config.sizes, bytes);
   bc.instrumentation.linestats = recorder ? &*recorder : nullptr;
+  std::optional<obs::ResourceStatsRecorder> resources =
+      make_resource_recorder(config.trace, config.sizes, bytes);
+  bc.instrumentation.resstats = resources ? &*resources : nullptr;
   const BandwidthResult result = measure_bandwidth(system, bc);
   if (config.trace.sink != nullptr && tracer) {
     config.trace.sink->absorb(std::move(*tracer));
   }
   if (registry) config.trace.metrics->absorb(std::move(*registry));
   if (recorder) config.trace.linestats->absorb(std::move(*recorder));
-  return {bytes, result.total_gbps, result.streams.front().source};
+  if (resources) config.trace.resstats->absorb(std::move(*resources));
+  BandwidthSweepPoint point;
+  point.bytes = bytes;
+  point.gbps = result.total_gbps;
+  point.source = result.streams.front().source;
+  point.mean_queue_ns = result.streams.front().queue_ns;
+  point.bottleneck = result.streams.front().bottleneck;
+  return point;
 }
 
 std::vector<BandwidthSweepPoint> bandwidth_sweep(

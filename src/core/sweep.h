@@ -21,6 +21,7 @@
 #include "machine/system.h"
 #include "metrics/hub.h"
 #include "obs/line_stats.h"
+#include "obs/resource_stats.h"
 #include "trace/sink.h"
 
 namespace hsw {
@@ -50,10 +51,15 @@ struct SweepTraceOptions {
   // the point finishes; the hub folds recorders in stream-id order, so the
   // merged line stats are byte-identical for any job count.
   obs::LineStatsHub* linestats = nullptr;
+  // When set, each bandwidth sweep point under the simulated engine also
+  // runs a per-resource queueing recorder (stream id shared with the
+  // tracer); same stream-id-ordered fold, same any-jobs byte identity.
+  obs::ResourceStatsHub* resstats = nullptr;
 
   [[nodiscard]] bool enabled() const { return sink != nullptr || attribution; }
   [[nodiscard]] bool metrics_enabled() const { return metrics != nullptr; }
   [[nodiscard]] bool linestats_enabled() const { return linestats != nullptr; }
+  [[nodiscard]] bool resstats_enabled() const { return resstats != nullptr; }
 };
 
 inline constexpr std::uint32_t kStreamsPerPlan = 4096;
@@ -98,6 +104,10 @@ struct BandwidthSweepPoint {
   std::uint64_t bytes = 0;
   double gbps = 0.0;
   ServiceSource source = ServiceSource::kL1;
+  // Simulated engine only: mean per-line queueing delay and the busiest
+  // resource on the stream's path (empty / 0 under the analytic engine).
+  double mean_queue_ns = 0.0;
+  std::string bottleneck;
 };
 
 struct BandwidthSweepConfig {

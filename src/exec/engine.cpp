@@ -5,10 +5,19 @@
 #include <limits>
 
 #include "mem/address.h"
+#include "obs/resource_stats.h"
 #include "sim/event_kernel.h"
 
 namespace hsw::exec {
 namespace {
+
+// First-use bind of an attached recorder: adopt the run's resource
+// vocabulary (names derived from the capacity-vector layout).
+void bind_recorder(obs::ResourceStatsRecorder* resstats,
+                   const std::vector<double>& capacities_gbps) {
+  if (resstats == nullptr || resstats->bound()) return;
+  resstats->bind(bw::resource_names(capacities_gbps.size()), capacities_gbps);
+}
 
 std::vector<double> service_times(const std::vector<double>& capacities_gbps) {
   std::vector<double> service_ns;
@@ -72,10 +81,12 @@ ClosedLoopResult run_closed_loop(const std::vector<StreamTask>& tasks,
   // covers the staggered warmup burst.
   queue.reserve(total_slots + 16);
   std::vector<double> free_at(service_ns.size(), 0.0);
+  std::vector<double> busy_ns(service_ns.size(), 0.0);
   const double warmup_ns = config.window_ns / 4.0;
   const double end_ns = warmup_ns + config.window_ns;
   std::vector<std::uint64_t> retired(tasks.size(), 0);
   std::vector<double> queued(tasks.size(), 0.0);
+  bind_recorder(config.resstats, capacities_gbps);
 
   // Advances one request slot of task `f` through path stage `stage`;
   // stage == path.size() means the request pays its tail and reissues.
@@ -89,6 +100,11 @@ ClosedLoopResult run_closed_loop(const std::vector<StreamTask>& tasks,
         queued[f] += start - queue.now();
       }
       const double done = start + service_ns[r] * use.weight;
+      busy_ns[r] += done - start;
+      if (config.resstats != nullptr) {
+        config.resstats->on_service(r, queue.now(), start, done,
+                                    64.0 * use.weight);
+      }
       free_at[r] = done;
       queue.schedule_at(done, task.core,
                         LoopEvent{static_cast<std::uint32_t>(f),
@@ -108,7 +124,11 @@ ClosedLoopResult run_closed_loop(const std::vector<StreamTask>& tasks,
                         LoopEvent{static_cast<std::uint32_t>(f), 0});
     }
   }
+  // run_until advances the clock to its horizon even after the last event;
+  // busy fractions must divide by the *drained* run length, so track it.
+  double drained_ns = 0.0;
   queue.run_until(end_ns + 1e6, [&](const LoopEvent& event) {
+    drained_ns = queue.now();
     const std::size_t f = event.task;
     if (event.stage == kTailStage) {
       if (queue.now() > warmup_ns && queue.now() <= end_ns) ++retired[f];
@@ -118,7 +138,11 @@ ClosedLoopResult run_closed_loop(const std::vector<StreamTask>& tasks,
     advance(f, event.stage);
   });
 
+  if (config.resstats != nullptr) config.resstats->finalize(drained_ns);
+
   ClosedLoopResult result;
+  result.resource_busy_ns = std::move(busy_ns);
+  result.elapsed_ns = drained_ns;
   result.gbps.resize(tasks.size());
   result.mean_queue_ns.resize(tasks.size());
   for (std::size_t f = 0; f < tasks.size(); ++f) {
@@ -193,6 +217,10 @@ ProgramExecStats run_programs(System& system,
   std::vector<double> free_at(service_ns.size(), 0.0);
 
   ScopedInstrumentation attached(system, config.instrumentation);
+  // The resource recorder has no System attach point: the engine owns the
+  // FIFO servers, so it feeds the recorder directly from `advance`.
+  obs::ResourceStatsRecorder* const resstats = config.instrumentation.resstats;
+  bind_recorder(resstats, model.capacities());
 
   auto request_issue = [&](std::size_t p, double at) {
     CoreState& cs = cores[p];
@@ -216,6 +244,9 @@ ProgramExecStats run_programs(System& system,
       const double start = std::max(queue.now(), free_at[r]);
       cstats.queue_ns += start - queue.now();
       const double done = start + service_ns[r] * use.weight;
+      if (resstats != nullptr) {
+        resstats->on_service(r, queue.now(), start, done, 64.0 * use.weight);
+      }
       free_at[r] = done;
       queue.schedule_at(done, prog.core,
                         ProgEvent{ProgEvent::Type::kStage, req_id,
@@ -311,6 +342,10 @@ ProgramExecStats run_programs(System& system,
       }
     }
   });
+
+  // queue.now() after the drain is the makespan — the last completion (or
+  // flush) the run processed — which closes the observation window.
+  if (resstats != nullptr) resstats->finalize(queue.now());
 
   stats.counters = attached.release();
   for (const CoreExecStats& cstats : stats.per_core) {

@@ -61,6 +61,14 @@ struct ClosedLoopConfig {
   // of window/4.  The default keeps quantization error below 0.1% at
   // single-GB/s rates while a full Fig. 8 sweep stays interactive.
   double window_ns = 100'000.0;
+  // Optional per-resource queueing telemetry (obs/resource_stats.h): one
+  // on_service() per (request, resource) visit, one null-pointer test when
+  // detached.  The closed loops have no System, so this is the only member
+  // of the usual InstrumentationScope that applies here; callers with a
+  // full scope (measure_bandwidth) pass scope.resstats through.  The
+  // recorder must be fresh (one recorder accounts one run) — the engine
+  // binds it to the capacity vector and finalizes it before returning.
+  obs::ResourceStatsRecorder* resstats = nullptr;
 };
 
 struct ClosedLoopResult {
@@ -70,6 +78,11 @@ struct ClosedLoopResult {
   // Mean per-line queueing delay (waiting for busy resources, ns) — zero
   // when the task's path is uncontended.
   std::vector<double> mean_queue_ns;
+  // Always-on per-resource busy residency over the whole run (indexed like
+  // `capacities_gbps`) and the run length it is measured against — enough
+  // to name each stream's bottleneck without attaching a recorder.
+  std::vector<double> resource_busy_ns;
+  double elapsed_ns = 0.0;
 };
 
 // Simulates the closed loops over shared FIFO resources.  Each task runs

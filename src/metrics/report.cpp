@@ -323,7 +323,8 @@ ReportLoadError load_report_flat(const std::string& path,
   // Either report flavour qualifies, but only at the schema version this
   // binary understands: a future version must be refused, not misread.
   const std::string expected = std::to_string(kReportVersion);
-  for (const char* key : {"hswsim_metrics_version", "hswsim_linestats_version"}) {
+  for (const char* key : {"hswsim_metrics_version", "hswsim_linestats_version",
+                          "hswsim_resources_version"}) {
     const auto it = out->find(key);
     if (it != out->end()) {
       return it->second == expected ? ReportLoadError::kOk

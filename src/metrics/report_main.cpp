@@ -1,9 +1,13 @@
 // hswsim-report: inspect and diff the --metrics / --linestats JSON reports.
 //
-//   hswsim-report show FILE              summary table of one report
+//   hswsim-report show FILE              summary table of one report (plus
+//                                        a listing of which sections the
+//                                        file carries)
 //   hswsim-report lines FILE             flight-recorder sharing summary +
 //                                        top contended lines
 //   hswsim-report transitions FILE       per-level state-transition matrix
+//   hswsim-report bottlenecks FILE       per-resource queueing telemetry
+//                                        ranked by utilization
 //   hswsim-report diff A B [--rel R] [--abs A] [--force]
 //
 // diff compares every metric key tolerance-aware with the same cell
@@ -17,7 +21,9 @@
 // change meaning across transition tables) unless --force is given.
 // Exit 0 = reports match, 1 = metric mismatch, refused cross-protocol
 // diff, or a missing/malformed/unknown-version report, 2 = usage.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -36,6 +42,7 @@ int usage() {
                "usage: hswsim-report show FILE\n"
                "       hswsim-report lines FILE\n"
                "       hswsim-report transitions FILE\n"
+               "       hswsim-report bottlenecks FILE\n"
                "       hswsim-report diff A B [--rel R] [--abs A] [--force]\n");
   return 2;
 }
@@ -69,9 +76,9 @@ int load(const std::string& path, FlatReport* out) {
     case ReportLoadError::kUnknownVersion:
       std::fprintf(stderr,
                    "hswsim-report: '%s' has an unknown report version "
-                   "(expected hswsim_metrics_version or "
-                   "hswsim_linestats_version = %d); regenerate the report "
-                   "with this build\n",
+                   "(expected hswsim_metrics_version, "
+                   "hswsim_linestats_version, or hswsim_resources_version "
+                   "= %d); regenerate the report with this build\n",
                    path.c_str(), hsw::metrics::kReportVersion);
       return 1;
   }
@@ -84,11 +91,14 @@ int load(const std::string& path, FlatReport* out) {
   return it == report.end() ? std::string{} : it->second;
 }
 
-// Both report flavours share the version value; the key names the flavour.
+// All report flavours share the version value; the key names the flavour.
 [[nodiscard]] std::string version_of(const FlatReport& report) {
-  const std::string metrics = lookup(report, "hswsim_metrics_version");
-  return metrics.empty() ? lookup(report, "hswsim_linestats_version")
-                         : metrics;
+  for (const char* key : {"hswsim_metrics_version", "hswsim_linestats_version",
+                          "hswsim_resources_version"}) {
+    const std::string version = lookup(report, key);
+    if (!version.empty()) return version;
+  }
+  return {};
 }
 
 // The flight-recorder section is present in --linestats reports and in
@@ -104,6 +114,73 @@ int require_linestats(const FlatReport& report, const std::string& path) {
                "with --linestats (or --metrics together with --linestats)\n",
                path.c_str());
   return 1;
+}
+
+// The resources section is present in --resstats reports and in --metrics
+// reports from simulated-engine runs that also set --resstats.
+[[nodiscard]] bool has_resources(const FlatReport& report) {
+  return !lookup(report, "resources.hswsim_resources_version").empty();
+}
+
+int require_resources(const FlatReport& report, const std::string& path) {
+  if (has_resources(report)) return 0;
+  std::fprintf(stderr,
+               "hswsim-report: %s has no resources section; rerun the bench "
+               "with --engine simulated and --resstats (or --metrics "
+               "together with --resstats)\n",
+               path.c_str());
+  return 1;
+}
+
+// `bottlenecks` view: every simulated FIFO resource ranked by busy-fraction
+// utilization (ties broken by total queueing wait), so the saturated box —
+// the bottleneck — tops the table.
+int bottlenecks_view(const FlatReport& report, const std::string& path) {
+  if (require_resources(report, path) != 0) return 1;
+  std::printf("resource telemetry %s (%s streams, %s ns simulated)\n",
+              path.c_str(), lookup(report, "resources.streams").c_str(),
+              lookup(report, "resources.elapsed_ns").c_str());
+
+  struct Item {
+    double utilization = 0.0;
+    double wait_total = 0.0;
+    std::vector<std::string> cells;
+  };
+  std::vector<Item> items;
+  for (int i = 0;; ++i) {
+    const std::string prefix = "resources.items." + std::to_string(i) + ".";
+    const std::string name = lookup(report, prefix + "name");
+    if (name.empty()) break;
+    Item item;
+    item.utilization = std::atof(lookup(report, prefix + "utilization").c_str());
+    item.wait_total = std::atof(lookup(report, prefix + "wait_total_ns").c_str());
+    item.cells = {name,
+                  lookup(report, prefix + "utilization"),
+                  lookup(report, prefix + "capacity_gbps"),
+                  lookup(report, prefix + "busy_ns"),
+                  lookup(report, prefix + "services"),
+                  lookup(report, prefix + "arrivals_per_us"),
+                  lookup(report, prefix + "wait_mean_ns"),
+                  lookup(report, prefix + "wait_max_ns"),
+                  lookup(report, prefix + "depth_mean"),
+                  lookup(report, prefix + "depth_max")};
+    items.push_back(std::move(item));
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) {
+                     if (a.utilization != b.utilization) {
+                       return a.utilization > b.utilization;
+                     }
+                     return a.wait_total > b.wait_total;
+                   });
+
+  hsw::Table table({"resource", "utilization", "capacity GB/s", "busy ns",
+                    "services", "arrivals/us", "wait mean ns", "wait max ns",
+                    "depth mean", "depth max"});
+  for (const Item& item : items) table.add_row(item.cells);
+  std::printf("resources by utilization (bottleneck first)\n%s\n",
+              table.to_string().c_str());
+  return 0;
 }
 
 // `lines` view: sharing-pattern census, per-state L3 residency, and the
@@ -184,6 +261,18 @@ int transitions_view(const FlatReport& report, const std::string& path) {
 int show(const FlatReport& report, const std::string& path) {
   std::printf("metrics report %s (version %s)\n", path.c_str(),
               version_of(report).c_str());
+
+  // Which optional sections this file carries, so the reader knows which
+  // views (lines / transitions / bottlenecks) will have data.
+  const bool metrics = !lookup(report, "hswsim_metrics_version").empty();
+  hsw::Table sections({"section", "present", "view"});
+  sections.add_row({"metrics", metrics ? "yes" : "no", "show"});
+  sections.add_row({"linestats", has_linestats(report) ? "yes" : "no",
+                    "lines, transitions"});
+  sections.add_row({"resources", has_resources(report) ? "yes" : "no",
+                    "bottlenecks"});
+  std::printf("%s\n", sections.to_string().c_str());
+
   hsw::Table manifest({"manifest", "value"});
   for (const auto& [key, value] : report) {
     if (key.starts_with("manifest.")) {
@@ -308,6 +397,11 @@ int main(int argc, char** argv) {
     FlatReport report;
     if (load(pos[1], &report) != 0) return 1;
     return transitions_view(report, pos[1]);
+  }
+  if (pos[0] == "bottlenecks" && pos.size() == 2) {
+    FlatReport report;
+    if (load(pos[1], &report) != 0) return 1;
+    return bottlenecks_view(report, pos[1]);
   }
   if (pos[0] == "diff" && pos.size() == 3) {
     FlatReport a;

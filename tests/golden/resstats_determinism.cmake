@@ -1,0 +1,53 @@
+# Asserts a bench's --resstats per-resource telemetry report is
+# byte-identical regardless of the worker thread count: recorder stream ids
+# come from the sweep configuration, ResourceStatsHub folds them in
+# stream-id order, and the renderer prints items in fixed index order.
+# Only the manifest's own "jobs" line legitimately differs between the two
+# runs, so it is masked before the comparison (same discipline as
+# linestats_determinism.cmake).
+#
+# Usage: cmake -DBENCH=<bench-binary> -DOUT_DIR=<dir>
+#              [-DEXTRA_ARGS=<space-separated flags>] [-DTAG=<suffix>]
+#              -P resstats_determinism.cmake
+
+foreach(var BENCH OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "resstats_determinism.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
+separate_arguments(EXTRA_ARGS)
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+get_filename_component(bench_name "${BENCH}" NAME)
+if(DEFINED TAG)
+  set(bench_name "${bench_name}.${TAG}")
+endif()
+
+foreach(jobs 1 8)
+  set(report "${OUT_DIR}/${bench_name}.jobs${jobs}.resstats.json")
+  execute_process(
+    COMMAND "${BENCH}" --quick --seed 1 --jobs ${jobs} ${EXTRA_ARGS}
+            --resstats "${report}"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench --jobs ${jobs} failed (rc=${rc}):\n${err}")
+  endif()
+  file(READ "${report}" text)
+  string(REGEX REPLACE "\"jobs\": *[0-9]+" "\"jobs\": MASKED" text "${text}")
+  file(WRITE "${report}.masked" "${text}")
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${OUT_DIR}/${bench_name}.jobs1.resstats.json.masked"
+          "${OUT_DIR}/${bench_name}.jobs8.resstats.json.masked"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "${bench_name}: --jobs 1 and --jobs 8 produced different resources "
+    "report bytes (beyond the masked manifest jobs line)")
+endif()

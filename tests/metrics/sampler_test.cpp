@@ -1,0 +1,67 @@
+// MetricsSampler edge cases: runs that never tick, a sample interval that
+// lands exactly on the run length (the final census must not duplicate the
+// periodic one), and gauges that first change after sampling has already
+// produced samples.
+#include "metrics/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/registry.h"
+
+namespace {
+
+using hsw::metrics::MetricsRegistry;
+using hsw::metrics::MetricsSample;
+using hsw::metrics::MGauge;
+
+TEST(MetricsSampler, ZeroAccessRunProducesNoSamples) {
+  MetricsRegistry registry(/*stream=*/0, /*sample_interval=*/16);
+  // A sweep point that never touched the system: the detach-time census
+  // must not fabricate a sample for an idle registry.
+  registry.take_final_sample();
+  EXPECT_TRUE(registry.samples().empty());
+}
+
+TEST(MetricsSampler, IntervalEqualToRunLengthSamplesExactlyOnce) {
+  constexpr std::uint64_t kInterval = 8;
+  MetricsRegistry registry(/*stream=*/0, kInterval);
+  for (std::uint64_t i = 0; i < kInterval; ++i) {
+    if (registry.access_tick()) registry.take_sample();
+  }
+  ASSERT_EQ(registry.samples().size(), 1u);
+  EXPECT_EQ(registry.samples()[0].access, kInterval);
+  // The final census lands on the same access count as the periodic sample
+  // that just fired; it must deduplicate, not append a twin.
+  registry.take_final_sample();
+  ASSERT_EQ(registry.samples().size(), 1u);
+  EXPECT_EQ(registry.samples()[0].seq, 0u);
+}
+
+TEST(MetricsSampler, GaugeSetAfterSamplingStartedAppearsInLaterSamples) {
+  constexpr std::uint64_t kInterval = 4;
+  MetricsRegistry registry(/*stream=*/0, kInterval);
+  // First window: the gauge still has its startup value.
+  for (std::uint64_t i = 0; i < kInterval; ++i) {
+    if (registry.access_tick()) registry.take_sample();
+  }
+  // The gauge first moves after the first census has already been taken.
+  registry.set_gauge(MGauge::kL1OccModified, 42);
+  for (std::uint64_t i = 0; i < kInterval; ++i) {
+    if (registry.access_tick()) registry.take_sample();
+  }
+  ASSERT_EQ(registry.samples().size(), 2u);
+  const auto g = static_cast<std::size_t>(MGauge::kL1OccModified);
+  EXPECT_EQ(registry.samples()[0].gauges[g], 0);   // before the change
+  EXPECT_EQ(registry.samples()[1].gauges[g], 42);  // after it
+  EXPECT_EQ(registry.samples()[1].seq, 1u);
+}
+
+TEST(MetricsSampler, DisabledSamplingNeverTicks) {
+  MetricsRegistry registry(/*stream=*/0, /*sample_interval=*/0);
+  for (int i = 0; i < 64; ++i) EXPECT_FALSE(registry.access_tick());
+  registry.take_final_sample();
+  EXPECT_TRUE(registry.samples().empty());
+  EXPECT_EQ(registry.accesses(), 64u);
+}
+
+}  // namespace
