@@ -61,34 +61,23 @@ struct BenchArgs {
   std::string summary;    // bench one-liner (report manifest)
 };
 
-// CLI-edge wrapper around hsw::parse_snoop_mode: exits 1 with a usage
-// message on an unknown name (the library helper never exits).
-inline hsw::SystemConfig config_for_mode(const std::string& mode) {
-  const std::optional<hsw::SnoopMode> parsed = hsw::parse_snoop_mode(mode);
-  if (!parsed) {
-    std::fprintf(stderr, "unknown --mode '%s' (source|home|cod)\n",
-                 mode.c_str());
-    std::exit(1);
-  }
-  return hsw::SystemConfig::for_mode(*parsed);
-}
-
 // Output flags fail fast: a typo'd directory should kill the run before the
 // sweeps burn minutes, not after.  Probes with O_APPEND so an existing file
-// is left untouched; a newly created probe file is removed again.
-inline void require_writable_path(const std::string& path, const char* flag) {
-  if (path.empty()) return;
+// is left untouched; a newly created probe file is removed again.  Returns
+// the error message (for a CommandLine check) instead of exiting.
+inline std::optional<std::string> writable_path_error(const std::string& path,
+                                                      const char* flag) {
+  if (path.empty()) return std::nullopt;
   std::FILE* pre = std::fopen(path.c_str(), "r");
   const bool existed = pre != nullptr;
   if (pre != nullptr) std::fclose(pre);
   std::FILE* probe = std::fopen(path.c_str(), "a");
   if (probe == nullptr) {
-    std::fprintf(stderr, "%s: cannot open %s for writing\n", flag,
-                 path.c_str());
-    std::exit(1);
+    return std::string(flag) + ": cannot open " + path + " for writing";
   }
   std::fclose(probe);
   if (!existed) std::remove(path.c_str());
+  return std::nullopt;
 }
 
 // How a bench relates to the --protocol axis.  kPinnedMesif (the default,
@@ -99,7 +88,11 @@ inline void require_writable_path(const std::string& path, const char* flag) {
 enum class ProtocolFlagPolicy { kPinnedMesif, kAllFamilies };
 
 // Parses the standard bench flags.  Exits 0 on --help, 1 on bad flags (CI
-// must see a failure when an invocation has a typo).
+// must see a failure when an invocation has a typo).  Every validation —
+// value ranges, flag combinations, the protocol pin, output-path probes —
+// runs as a CommandLine check inside parse_status(), so the switch below is
+// the binary's only exit site for argument errors (the facade rule in
+// core/hswbench.h: the library never exits, the CLI edge owns the policy).
 inline BenchArgs parse_args(
     int argc, char** argv, const char* summary,
     ProtocolFlagPolicy protocol_policy = ProtocolFlagPolicy::kPinnedMesif) {
@@ -148,6 +141,108 @@ inline BenchArgs parse_args(
   cli.add_int("sample-seed", &sample_seed,
               "re-randomizes the sampled realization (deterministic per "
               "(ratio, seed))");
+  std::string spec_path;
+  cli.add_string("spec", &spec_path,
+                 "load an ExperimentSpec JSON document (the same format "
+                 "hswsim-serve accepts); its seed / engine / protocol / "
+                 "sample-ratio / sample-seed override those flags, while the "
+                 "sweep geometry stays the bench's own");
+
+  cli.add_check([&]() -> std::optional<std::string> {
+    if (jobs < 0) return "--jobs must be >= 0";
+    args.jobs = static_cast<unsigned>(jobs);
+    args.seed = static_cast<std::uint64_t>(seed);
+    args.sampling.seed = static_cast<std::uint64_t>(sample_seed);
+    if (!(args.sampling.ratio > 0.0) || args.sampling.ratio > 1.0) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "--sample-ratio must be in (0, 1], got %g",
+                    args.sampling.ratio);
+      return std::string(buf);
+    }
+    return std::nullopt;
+  });
+  cli.add_check([&]() -> std::optional<std::string> {
+    const std::optional<hsw::BandwidthEngine> parsed =
+        hsw::parse_bandwidth_engine(engine);
+    if (!parsed) {
+      return "--engine must be analytic or simulated, got '" + engine + "'";
+    }
+    args.engine = *parsed;
+    return std::nullopt;
+  });
+  cli.add_check([&]() -> std::optional<std::string> {
+    const std::optional<hsw::Protocol> parsed = hsw::parse_protocol(protocol);
+    if (!parsed) {
+      return "--protocol must be mesif, mesi, moesi, or dragon, got '" +
+             protocol + "'";
+    }
+    args.protocol = *parsed;
+    return std::nullopt;
+  });
+  // --spec runs after the scalar flags so the spec's shared knobs override
+  // them, and before the policy checks below so those see the final values.
+  cli.add_check([&]() -> std::optional<std::string> {
+    if (spec_path.empty()) return std::nullopt;
+    std::string error;
+    const std::optional<hsw::ExperimentSpec> spec =
+        hsw::spec_from_file(spec_path, &error);
+    if (!spec) return "--spec: " + error;
+    args.seed = spec->seed;
+    args.engine = spec->engine;
+    args.protocol = spec->protocol;
+    args.sampling.ratio = spec->sample_ratio;
+    args.sampling.seed = spec->sample_seed;
+    return std::nullopt;
+  });
+  // The flight recorder classifies individual lines; a set-sampled run
+  // simulates only a fraction of them on a scaled machine, so the per-line
+  // report would silently describe a different population.  Refuse the
+  // combination instead of producing a misleading file.
+  cli.add_check([&]() -> std::optional<std::string> {
+    if (!args.linestats.empty() && args.sampling.ratio < 1.0) {
+      return "--linestats requires an exact run: remove --sample-ratio "
+             "(set-sampling simulates only a fraction of cache sets, so "
+             "per-line sharing stats would describe a scaled machine)";
+    }
+    return std::nullopt;
+  });
+  // The per-resource recorder watches the simulated engine's FIFO servers;
+  // the analytic solver (and every latency bench) has no queues to observe,
+  // so the report would be all zeros.  Refuse the combination instead of
+  // writing a misleading file — same policy as --linestats + --sample-ratio.
+  cli.add_check([&]() -> std::optional<std::string> {
+    if (!args.resstats.empty() &&
+        args.engine != hsw::BandwidthEngine::kSimulated) {
+      return "--resstats requires --engine simulated: only the event-driven "
+             "engine has FIFO servers to observe, so the resources report "
+             "would be all zeros";
+    }
+    return std::nullopt;
+  });
+  cli.add_check([&]() -> std::optional<std::string> {
+    if (args.protocol == hsw::Protocol::kMesif) return std::nullopt;
+    switch (protocol_policy) {
+      case ProtocolFlagPolicy::kPinnedMesif:
+        return "this bench reproduces the paper's MESIF machine and pins "
+               "its configs; for the --protocol axis use "
+               "bench/protocol_matrix or hswsim_cli";
+      case ProtocolFlagPolicy::kAllFamilies:
+        std::fprintf(stderr,
+                     "note: this bench sweeps every protocol family itself; "
+                     "--protocol %s is ignored\n",
+                     protocol.c_str());
+        break;
+    }
+    return std::nullopt;
+  });
+  cli.add_check([&]() -> std::optional<std::string> {
+    if (auto e = writable_path_error(args.trace, "--trace")) return e;
+    if (auto e = writable_path_error(args.metrics, "--metrics")) return e;
+    if (auto e = writable_path_error(args.linestats, "--linestats")) return e;
+    return writable_path_error(args.resstats, "--resstats");
+  });
+
   switch (cli.parse_status(argc, argv)) {
     case hsw::CommandLine::ParseStatus::kHelp:
       std::exit(0);
@@ -156,79 +251,6 @@ inline BenchArgs parse_args(
     case hsw::CommandLine::ParseStatus::kOk:
       break;
   }
-  if (jobs < 0) {
-    std::fprintf(stderr, "--jobs must be >= 0\n");
-    std::exit(1);
-  }
-  args.seed = static_cast<std::uint64_t>(seed);
-  args.jobs = static_cast<unsigned>(jobs);
-  args.sampling.seed = static_cast<std::uint64_t>(sample_seed);
-  if (!(args.sampling.ratio > 0.0) || args.sampling.ratio > 1.0) {
-    std::fprintf(stderr, "--sample-ratio must be in (0, 1], got %g\n",
-                 args.sampling.ratio);
-    std::exit(1);
-  }
-  // The flight recorder classifies individual lines; a set-sampled run
-  // simulates only a fraction of them on a scaled machine, so the per-line
-  // report would silently describe a different population.  Refuse the
-  // combination instead of producing a misleading file.
-  if (!args.linestats.empty() && args.sampling.ratio < 1.0) {
-    std::fprintf(stderr,
-                 "--linestats requires an exact run: remove --sample-ratio "
-                 "(set-sampling simulates only a fraction of cache sets, so "
-                 "per-line sharing stats would describe a scaled machine)\n");
-    std::exit(1);
-  }
-  const std::optional<hsw::BandwidthEngine> parsed_engine =
-      hsw::parse_bandwidth_engine(engine);
-  if (!parsed_engine) {
-    std::fprintf(stderr, "--engine must be analytic or simulated, got '%s'\n",
-                 engine.c_str());
-    std::exit(1);
-  }
-  args.engine = *parsed_engine;
-  // The per-resource recorder watches the simulated engine's FIFO servers;
-  // the analytic solver (and every latency bench) has no queues to observe,
-  // so the report would be all zeros.  Refuse the combination instead of
-  // writing a misleading file — same policy as --linestats + --sample-ratio.
-  if (!args.resstats.empty() &&
-      args.engine != hsw::BandwidthEngine::kSimulated) {
-    std::fprintf(stderr,
-                 "--resstats requires --engine simulated: only the "
-                 "event-driven engine has FIFO servers to observe, so the "
-                 "resources report would be all zeros\n");
-    std::exit(1);
-  }
-  const std::optional<hsw::Protocol> parsed_protocol =
-      hsw::parse_protocol(protocol);
-  if (!parsed_protocol) {
-    std::fprintf(stderr,
-                 "--protocol must be mesif, mesi, moesi, or dragon, got "
-                 "'%s'\n",
-                 protocol.c_str());
-    std::exit(1);
-  }
-  args.protocol = *parsed_protocol;
-  if (args.protocol != hsw::Protocol::kMesif) {
-    switch (protocol_policy) {
-      case ProtocolFlagPolicy::kPinnedMesif:
-        std::fprintf(stderr,
-                     "this bench reproduces the paper's MESIF machine and "
-                     "pins its configs; for the --protocol axis use "
-                     "bench/protocol_matrix or hswsim_cli\n");
-        std::exit(1);
-      case ProtocolFlagPolicy::kAllFamilies:
-        std::fprintf(stderr,
-                     "note: this bench sweeps every protocol family itself; "
-                     "--protocol %s is ignored\n",
-                     protocol.c_str());
-        break;
-    }
-  }
-  require_writable_path(args.trace, "--trace");
-  require_writable_path(args.metrics, "--metrics");
-  require_writable_path(args.linestats, "--linestats");
-  require_writable_path(args.resstats, "--resstats");
   if (argc > 0 && argv != nullptr) {
     const std::string path = argv[0];
     const std::size_t slash = path.find_last_of('/');

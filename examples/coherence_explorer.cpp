@@ -8,22 +8,11 @@
 //
 //   $ ./coherence_explorer --mode cod --level l3
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "core/hswbench.h"
 #include "util/cli.h"
-
-namespace {
-
-hsw::SystemConfig config_for(const std::string& mode) {
-  if (const auto parsed = hsw::parse_snoop_mode(mode)) {
-    return hsw::SystemConfig::for_mode(*parsed);
-  }
-  std::fprintf(stderr, "unknown --mode '%s' (source|home|cod)\n", mode.c_str());
-  std::exit(1);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   std::string mode = "source";
@@ -34,9 +23,22 @@ int main(int argc, char** argv) {
   cli.add_string("mode", &mode, "snoop mode: source | home | cod");
   cli.add_string("level", &level, "data location: cache | l3");
   cli.add_int("reader", &reader, "measuring core id");
-  if (!cli.parse(argc, argv)) return 1;
+  std::optional<hsw::SnoopMode> parsed_mode;
+  cli.add_check([&]() -> std::optional<std::string> {
+    parsed_mode = hsw::parse_snoop_mode(mode);
+    if (!parsed_mode) return "unknown --mode '" + mode + "' (source|home|cod)";
+    if (level != "cache" && level != "l3") {
+      return "unknown --level '" + level + "' (cache|l3)";
+    }
+    return std::nullopt;
+  });
+  switch (cli.parse_status(argc, argv)) {
+    case hsw::CommandLine::ParseStatus::kOk: break;
+    case hsw::CommandLine::ParseStatus::kHelp: return 0;
+    case hsw::CommandLine::ParseStatus::kError: return 1;
+  }
 
-  const hsw::SystemConfig config = config_for(mode);
+  const hsw::SystemConfig config = hsw::SystemConfig::for_mode(*parsed_mode);
   const hsw::CacheLevel cache_level =
       level == "cache" ? hsw::CacheLevel::kL1L2 : hsw::CacheLevel::kL3;
 

@@ -25,40 +25,26 @@
 
 namespace {
 
-// CLI-edge wrappers over the library parsers (hsw::parse_snoop_mode /
-// hsw::parse_protocol / hsw::parse_mesif return std::optional; only the
-// CLI exits).
-hsw::SystemConfig config_for(const std::string& mode,
-                             const std::string& protocol) {
-  const auto parsed_mode = hsw::parse_snoop_mode(mode);
-  if (!parsed_mode) {
-    std::fprintf(stderr, "unknown --mode '%s' (source|home|cod)\n",
-                 mode.c_str());
-    std::exit(1);
-  }
-  const auto parsed_protocol = hsw::parse_protocol(protocol);
-  if (!parsed_protocol) {
-    std::fprintf(stderr,
-                 "unknown --protocol '%s' (mesif|mesi|moesi|dragon)\n",
-                 protocol.c_str());
-    std::exit(1);
-  }
-  hsw::SystemConfig config = hsw::SystemConfig::for_mode(*parsed_mode);
-  config.protocol = *parsed_protocol;
-  return config;
-}
-
-hsw::Mesif state_for(const std::string& state) {
-  if (const auto parsed = hsw::parse_mesif(state)) return *parsed;
-  std::fprintf(stderr, "unknown --state '%s' (M|O|E|S|I|F)\n", state.c_str());
-  std::exit(1);
-}
-
-hsw::BandwidthEngine engine_for(const std::string& engine) {
-  if (const auto parsed = hsw::parse_bandwidth_engine(engine)) return *parsed;
-  std::fprintf(stderr, "unknown --engine '%s' (analytic|simulated)\n",
-               engine.c_str());
-  std::exit(1);
+// Registers the post-parse check that resolves --mode/--protocol into a
+// SystemConfig.  The library parsers return std::optional; running them
+// inside a CommandLine check keeps ParseStatus::kError the single
+// argument-error exit path (no exit() between parse and main body).
+void add_config_check(hsw::CommandLine& cli, const std::string& mode,
+                      const std::string& protocol,
+                      std::optional<hsw::SystemConfig>* config) {
+  cli.add_check([&mode, &protocol, config]() -> std::optional<std::string> {
+    const auto parsed_mode = hsw::parse_snoop_mode(mode);
+    if (!parsed_mode) {
+      return "unknown --mode '" + mode + "' (source|home|cod)";
+    }
+    const auto parsed_protocol = hsw::parse_protocol(protocol);
+    if (!parsed_protocol) {
+      return "unknown --protocol '" + protocol + "' (mesif|mesi|moesi|dragon)";
+    }
+    *config = hsw::SystemConfig::for_mode(*parsed_mode);
+    (*config)->protocol = *parsed_protocol;
+    return std::nullopt;
+  });
 }
 
 int cmd_latency(int argc, char** argv) {
@@ -81,16 +67,31 @@ int cmd_latency(int argc, char** argv) {
   cli.add_int("sharer", &sharer, "optional extra reader (takes Forward)");
   cli.add_int("node", &node, "memory NUMA node (-1: owner's node)");
   cli.add_bytes("size", &size, "data-set size");
-  if (!cli.parse(argc, argv)) return 1;
+  std::optional<hsw::SystemConfig> config;
+  add_config_check(cli, mode, protocol, &config);
+  std::optional<hsw::Mesif> parsed_state;
+  cli.add_check([&]() -> std::optional<std::string> {
+    parsed_state = hsw::parse_mesif(state);
+    if (!parsed_state) return "unknown --state '" + state + "' (M|O|E|S|I|F)";
+    if (level != "auto" && level != "l3" && level != "memory") {
+      return "unknown --level '" + level + "' (auto|l3|memory)";
+    }
+    return std::nullopt;
+  });
+  switch (cli.parse_status(argc, argv)) {
+    case hsw::CommandLine::ParseStatus::kOk: break;
+    case hsw::CommandLine::ParseStatus::kHelp: return 0;
+    case hsw::CommandLine::ParseStatus::kError: return 1;
+  }
 
-  hsw::System system(config_for(mode, protocol));
+  hsw::System system(*config);
   hsw::LatencyConfig lc;
   lc.reader_core = static_cast<int>(reader);
   lc.placement.owner_core = static_cast<int>(owner);
   lc.placement.memory_node =
       node >= 0 ? static_cast<int>(node)
                 : system.topology().node_of_core(static_cast<int>(owner));
-  lc.placement.state = state_for(state);
+  lc.placement.state = *parsed_state;
   if (sharer >= 0) lc.placement.sharers = {static_cast<int>(sharer)};
   if (level == "l3") lc.placement.level = hsw::CacheLevel::kL3;
   if (level == "memory") lc.placement.level = hsw::CacheLevel::kMemory;
@@ -136,19 +137,31 @@ int cmd_bandwidth(int argc, char** argv) {
   cli.add_string("resstats", &resstats,
                  "write per-resource queueing telemetry (JSON, simulated "
                  "engine only; view with hswsim-report bottlenecks)");
-  if (!cli.parse(argc, argv)) return 1;
-
-  hsw::System system(config_for(mode, protocol));
-  std::optional<hsw::obs::ResourceStatsRecorder> recorder;
-  if (!resstats.empty()) {
+  std::optional<hsw::SystemConfig> config;
+  add_config_check(cli, mode, protocol, &config);
+  std::optional<hsw::BandwidthEngine> parsed_engine;
+  cli.add_check([&]() -> std::optional<std::string> {
+    parsed_engine = hsw::parse_bandwidth_engine(engine);
+    if (!parsed_engine) {
+      return "unknown --engine '" + engine + "' (analytic|simulated)";
+    }
     // Only the event-driven engine has FIFO servers to observe; an analytic
     // run would write an all-zero resources report.
-    if (engine_for(engine) != hsw::BandwidthEngine::kSimulated) {
-      std::fprintf(stderr, "--resstats requires --engine simulated\n");
-      return 1;
+    if (!resstats.empty() &&
+        *parsed_engine != hsw::BandwidthEngine::kSimulated) {
+      return std::string("--resstats requires --engine simulated");
     }
-    recorder.emplace();
+    return std::nullopt;
+  });
+  switch (cli.parse_status(argc, argv)) {
+    case hsw::CommandLine::ParseStatus::kOk: break;
+    case hsw::CommandLine::ParseStatus::kHelp: return 0;
+    case hsw::CommandLine::ParseStatus::kError: return 1;
   }
+
+  hsw::System system(*config);
+  std::optional<hsw::obs::ResourceStatsRecorder> recorder;
+  if (!resstats.empty()) recorder.emplace();
   hsw::BandwidthConfig bc;
   for (int c = 0; c < cores; ++c) {
     hsw::StreamConfig stream;
@@ -161,7 +174,7 @@ int cmd_bandwidth(int argc, char** argv) {
     bc.streams.push_back(stream);
   }
   bc.buffer_bytes = size;
-  bc.engine = engine_for(engine);
+  bc.engine = *parsed_engine;
   if (recorder) bc.instrumentation.resstats = &*recorder;
   const hsw::BandwidthResult r = hsw::measure_bandwidth(system, bc);
   std::printf("machine   : %s\n", system.config().describe().c_str());
@@ -201,11 +214,18 @@ int cmd_bandwidth(int argc, char** argv) {
 
 int cmd_topo(int argc, char** argv) {
   std::string mode = "source";
+  const std::string protocol = "mesif";  // topology is protocol-independent
   hsw::CommandLine cli("hswsim_cli topo: topology and distances");
   cli.add_string("mode", &mode, "source | home | cod");
-  if (!cli.parse(argc, argv)) return 1;
+  std::optional<hsw::SystemConfig> config;
+  add_config_check(cli, mode, protocol, &config);
+  switch (cli.parse_status(argc, argv)) {
+    case hsw::CommandLine::ParseStatus::kOk: break;
+    case hsw::CommandLine::ParseStatus::kHelp: return 0;
+    case hsw::CommandLine::ParseStatus::kError: return 1;
+  }
 
-  hsw::System system(config_for(mode, "mesif"));
+  hsw::System system(*config);
   const hsw::SystemTopology& topo = system.topology();
   std::printf("%s\n\n", system.config().describe().c_str());
   for (const hsw::NumaNode& n : topo.nodes()) {
@@ -260,9 +280,23 @@ int cmd_trace(int argc, char** argv) {
                "serial replayer");
   cli.add_int("window", &window,
               "outstanding misses per core for --concurrent");
-  if (!cli.parse(argc, argv)) return 1;
+  std::optional<hsw::SystemConfig> config;
+  add_config_check(cli, mode, protocol, &config);
+  cli.add_check([&]() -> std::optional<std::string> {
+    for (const char* known :
+         {"stream", "chase", "producer-consumer", "hotset", "pingpong",
+          "lock", "false-sharing", "false-sharing-padded"}) {
+      if (pattern == known) return std::nullopt;
+    }
+    return "unknown --pattern '" + pattern + "'";
+  });
+  switch (cli.parse_status(argc, argv)) {
+    case hsw::CommandLine::ParseStatus::kOk: break;
+    case hsw::CommandLine::ParseStatus::kHelp: return 0;
+    case hsw::CommandLine::ParseStatus::kError: return 1;
+  }
 
-  hsw::System system(config_for(mode, protocol));
+  hsw::System system(*config);
   std::vector<int> core_list;
   for (int c = 0; c < cores; ++c) core_list.push_back(c);
   // Contention partner on the other socket when there is one.
@@ -290,14 +324,11 @@ int cmd_trace(int argc, char** argv) {
   } else if (pattern == "lock") {
     trace = hsw::make_lock_trace(system, core_list, 4,
                                  static_cast<int>(accesses / 7), 1);
-  } else if (pattern == "false-sharing" ||
-             pattern == "false-sharing-padded") {
+  } else {
+    // The pattern check above admitted only the names handled here.
     trace = hsw::make_false_sharing_trace(
         system, core_list, static_cast<int>(accesses / cores),
         pattern == "false-sharing-padded");
-  } else {
-    std::fprintf(stderr, "unknown --pattern '%s'\n", pattern.c_str());
-    return 1;
   }
 
   std::printf("machine : %s\n", system.config().describe().c_str());

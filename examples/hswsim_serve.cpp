@@ -1,0 +1,196 @@
+// hswsim-serve: the experiment daemon.
+//
+// Owns the transport (a unix-domain socket, or stdio for tests and one-shot
+// pipelines) and feeds newline-delimited JSON requests into serve::Server,
+// which schedules batches on the thread pool and memoizes results in the
+// content-addressed cache.  All policy lives in src/serve/; this file only
+// moves bytes and owns the process exit.
+//
+//   hswsim-serve --socket /tmp/hswsim.sock --cache-dir /tmp/hswsim-cache
+//   hswsim-serve --stdio < requests.ndjson > events.ndjson
+//
+// Shutdown: a {"op":"shutdown"} request stops the accept loop, drains
+// connections, writes the cache stats dump (--stats), and exits 0.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+#include "util/cli.h"
+
+namespace {
+
+// Writes one event line to a connection, tolerating partial writes; a
+// vanished client must not kill the daemon (MSG_NOSIGNAL suppresses
+// SIGPIPE; the failed send is simply dropped).
+void send_line(int fd, const std::string& event) {
+  std::string line = event;
+  line += '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+struct Daemon {
+  hsw::serve::Server* server = nullptr;
+  std::atomic<bool> shutdown{false};
+  int listen_fd = -1;
+};
+
+void serve_connection(Daemon* daemon, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t i = buffer.find('\n', start); i != std::string::npos;
+         i = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, i - start);
+      start = i + 1;
+      if (line.empty()) continue;
+      if (!daemon->server->handle_request(
+              line, [fd](const std::string& event) { send_line(fd, event); })) {
+        daemon->shutdown.store(true);
+        // Unblock accept() so the main loop can exit.
+        ::shutdown(daemon->listen_fd, SHUT_RDWR);
+        open = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  close(fd);
+}
+
+int run_stdio(hsw::serve::Server& server) {
+  std::string line;
+  int c = 0;
+  bool stop = false;
+  while (!stop && (c = std::fgetc(stdin)) != EOF) {
+    if (c != '\n') {
+      line += static_cast<char>(c);
+      continue;
+    }
+    if (!line.empty()) {
+      stop = !server.handle_request(line, [](const std::string& event) {
+        std::fwrite(event.data(), 1, event.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+      });
+    }
+    line.clear();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  bool stdio = false;
+  std::string cache_dir = "hswsim-cache";
+  std::uint64_t cache_cap = 256ull * 1024 * 1024;
+  std::int64_t jobs = 0;
+  std::string stats_path;
+
+  hsw::CommandLine cli(
+      "hswsim-serve: experiment server with a content-addressed result "
+      "cache.\nAccepts newline-delimited JSON requests (see "
+      "src/serve/server.h) over a\nunix socket (--socket) or stdio "
+      "(--stdio).");
+  cli.add_string("socket", &socket_path,
+                 "unix-domain socket path to listen on");
+  cli.add_bool("stdio", &stdio,
+               "serve one client over stdin/stdout instead of a socket");
+  cli.add_string("cache-dir", &cache_dir,
+                 "directory for the content-addressed result cache");
+  cli.add_bytes("cache-cap", &cache_cap,
+                "cache capacity (LRU-evicted beyond this)");
+  cli.add_int("jobs", &jobs,
+              "worker threads for batch fan-out (0 = hardware concurrency)");
+  cli.add_string("stats", &stats_path,
+                 "write the cache stats dump here on shutdown");
+  cli.add_check([&]() -> std::optional<std::string> {
+    if (jobs < 0) return "--jobs must be >= 0";
+    if (stdio != socket_path.empty()) {
+      return "exactly one of --socket or --stdio is required";
+    }
+    if (!socket_path.empty() && socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return "--socket path too long for a unix socket";
+    }
+    return std::nullopt;
+  });
+  switch (cli.parse_status(argc, argv)) {
+    case hsw::CommandLine::ParseStatus::kOk: break;
+    case hsw::CommandLine::ParseStatus::kHelp: return 0;
+    case hsw::CommandLine::ParseStatus::kError: return 1;
+  }
+
+  hsw::serve::ServerConfig config;
+  config.cache.dir = cache_dir;
+  config.cache.capacity_bytes = cache_cap;
+  config.jobs = static_cast<unsigned>(jobs);
+  hsw::serve::Server server(config);
+
+  int rc = 0;
+  if (stdio) {
+    rc = run_stdio(server);
+  } else {
+    Daemon daemon;
+    daemon.server = &server;
+    daemon.listen_fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (daemon.listen_fd < 0) {
+      std::perror("hswsim-serve: socket");
+      return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    unlink(socket_path.c_str());
+    if (bind(daemon.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+        listen(daemon.listen_fd, 16) != 0) {
+      std::perror("hswsim-serve: bind/listen");
+      close(daemon.listen_fd);
+      return 1;
+    }
+    std::fprintf(stderr, "hswsim-serve: listening on %s\n",
+                 socket_path.c_str());
+
+    std::vector<std::thread> connections;
+    while (!daemon.shutdown.load()) {
+      const int fd = accept(daemon.listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (daemon.shutdown.load()) break;
+        continue;
+      }
+      connections.emplace_back(serve_connection, &daemon, fd);
+    }
+    for (std::thread& t : connections) t.join();
+    close(daemon.listen_fd);
+    unlink(socket_path.c_str());
+  }
+
+  if (!stats_path.empty() && !server.cache().write_stats(stats_path)) {
+    std::fprintf(stderr, "hswsim-serve: cannot write stats to '%s'\n",
+                 stats_path.c_str());
+    return 1;
+  }
+  return rc;
+}

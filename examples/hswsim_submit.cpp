@@ -1,0 +1,227 @@
+// hswsim-submit: batch client for hswsim-serve.
+//
+// Reads ExperimentSpec JSON files, submits them as one batch over the
+// daemon's unix socket, and prints a one-line summary per result:
+//
+//   hswsim-submit --socket /tmp/hswsim.sock fig8_local.json fig8_remote.json
+//   result spec=0 cached=false key=... bytes=412
+//   result spec=1 cached=true key=... bytes=398
+//
+// --payload-dir DIR writes each result's payload verbatim to
+// DIR/result<i>.json (the byte-identity the cache guarantees makes these
+// files diffable across runs); --stats-out FILE captures the server's cache
+// stats dump for `hswsim-report cache`; --shutdown asks the daemon to exit
+// after this request.  Exit 0 on success, 1 on any error event or
+// transport failure.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/cli.h"
+#include "util/json.h"
+
+namespace {
+
+bool send_all(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n =
+        send(fd, text.data() + off, text.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads one newline-terminated event from the socket (buffered).
+std::optional<std::string> read_line(int fd, std::string* buffer) {
+  while (true) {
+    const std::size_t nl = buffer->find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer->substr(0, nl);
+      buffer->erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = read(fd, chunk, sizeof chunk);
+    if (n <= 0) return std::nullopt;
+    buffer->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+// The payload is the last field of a result/stats event, so its verbatim
+// bytes are the span between `"payload":` and the event's closing brace.
+std::optional<std::string> payload_of(const std::string& event) {
+  const std::size_t at = event.find("\"payload\":");
+  if (at == std::string::npos || event.empty() || event.back() != '}') {
+    return std::nullopt;
+  }
+  return event.substr(at + 10, event.size() - (at + 10) - 1);
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  return std::fclose(f) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string payload_dir;
+  std::string stats_out;
+  bool want_stats = false;
+  bool want_shutdown = false;
+  bool show_progress = false;
+
+  hsw::CommandLine cli(
+      "hswsim-submit: submit ExperimentSpec files to hswsim-serve as one "
+      "batch.\nPositional arguments are spec JSON files (see "
+      "src/core/experiment.h).");
+  cli.add_string("socket", &socket_path, "daemon unix-domain socket path");
+  cli.add_string("payload-dir", &payload_dir,
+                 "write each result payload to <dir>/result<i>.json");
+  cli.add_bool("stats", &want_stats, "request a cache stats snapshot");
+  cli.add_string("stats-out", &stats_out,
+                 "write the stats payload here (implies --stats)");
+  cli.add_bool("shutdown", &want_shutdown, "ask the daemon to exit");
+  cli.add_bool("progress", &show_progress,
+               "forward progress events to stderr");
+  cli.add_check([&]() -> std::optional<std::string> {
+    if (socket_path.empty()) return "--socket is required";
+    return std::nullopt;
+  });
+  switch (cli.parse_status(argc, argv)) {
+    case hsw::CommandLine::ParseStatus::kOk: break;
+    case hsw::CommandLine::ParseStatus::kHelp: return 0;
+    case hsw::CommandLine::ParseStatus::kError: return 1;
+  }
+  if (!stats_out.empty()) want_stats = true;
+
+  // Re-serialize every spec canonically: files may be pretty-printed, the
+  // transport wants one line, and the server hashes the parsed document
+  // anyway so the formatting round-trip cannot change the key.
+  std::vector<std::string> specs;
+  for (const std::string& path : cli.positional()) {
+    std::string error;
+    const auto spec = hsw::spec_from_file(path, &error);
+    if (!spec) {
+      std::fprintf(stderr, "hswsim-submit: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    specs.push_back(spec->canonical());
+  }
+
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("hswsim-submit: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::perror("hswsim-submit: connect");
+    close(fd);
+    return 1;
+  }
+
+  int rc = 0;
+  std::string buffer;
+  auto fail = [&](const char* message) {
+    std::fprintf(stderr, "hswsim-submit: %s\n", message);
+    rc = 1;
+  };
+
+  if (!specs.empty()) {
+    std::string request = "{\"op\":\"submit\",\"specs\":[";
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (i != 0) request += ",";
+      request += specs[i];
+    }
+    request += "]}\n";
+    if (!send_all(fd, request)) {
+      fail("cannot send batch");
+    }
+    std::size_t results = 0;
+    while (rc == 0 && results < specs.size()) {
+      const auto line = read_line(fd, &buffer);
+      if (!line) {
+        fail("connection closed before all results arrived");
+        break;
+      }
+      std::map<std::string, std::string> event;
+      if (!hsw::json::parse_flat(*line, &event)) continue;
+      const std::string kind = event.count("event") ? event["event"] : "";
+      if (kind == "error") {
+        std::fprintf(stderr, "hswsim-submit: server error: %s\n",
+                     event["message"].c_str());
+        rc = 1;
+      } else if (kind == "progress") {
+        if (show_progress) {
+          std::fprintf(stderr, "progress spec=%s %s/%s\n",
+                       event["spec"].c_str(), event["done"].c_str(),
+                       event["total"].c_str());
+        }
+      } else if (kind == "result") {
+        std::printf("result spec=%s cached=%s key=%s bytes=%s\n",
+                    event["spec"].c_str(), event["cached"].c_str(),
+                    event["key"].c_str(), event["bytes"].c_str());
+        if (!payload_dir.empty()) {
+          const auto payload = payload_of(*line);
+          std::string path = payload_dir;
+          path += "/result";
+          path += event["spec"];
+          path += ".json";
+          if (!payload || !write_file(path, *payload)) {
+            fail("cannot write result payload");
+          }
+        }
+        ++results;
+      }
+    }
+  }
+
+  if (rc == 0 && want_stats) {
+    if (!send_all(fd, "{\"op\":\"stats\"}\n")) fail("cannot send stats request");
+    const auto line = rc == 0 ? read_line(fd, &buffer) : std::nullopt;
+    if (rc == 0) {
+      const auto payload = line ? payload_of(*line) : std::nullopt;
+      if (!payload) {
+        fail("no stats payload");
+      } else if (!stats_out.empty()) {
+        if (!write_file(stats_out, *payload)) fail("cannot write stats file");
+      } else {
+        std::printf("%s\n", payload->c_str());
+      }
+    }
+  }
+
+  if (want_shutdown) {
+    if (!send_all(fd, "{\"op\":\"shutdown\"}\n")) {
+      fail("cannot send shutdown");
+    } else {
+      // Wait for the acknowledgement so the daemon observed the request
+      // before we report success.
+      const auto line = read_line(fd, &buffer);
+      if (!line || line->find("\"bye\"") == std::string::npos) {
+        fail("no shutdown acknowledgement");
+      }
+    }
+  }
+
+  close(fd);
+  return rc;
+}

@@ -203,6 +203,59 @@ sys.exit(1 if failed else 0)
 PY
 fi
 
+echo "== experiment-server smoke =="
+# The daemon end to end over its unix socket: the same 2-spec batch submits
+# twice; round 1 simulates, round 2 must be 100% cache hits with payload
+# files byte-identical to round 1's, the shutdown must be acknowledged and
+# the daemon must exit 0, and the stats dump must render via
+# `hswsim-report cache`.
+serve_sock="$trace_dir/hswsim.sock"
+cat > "$trace_dir/spec_lat.json" <<'SPEC'
+{"hswsim_spec_version": 1, "kind": "latency", "sizes": [16384],
+ "max_measured_lines": 256}
+SPEC
+cat > "$trace_dir/spec_bw.json" <<'SPEC'
+{"hswsim_spec_version": 1, "kind": "bandwidth", "sizes": [1048576]}
+SPEC
+"$repo_root/build/examples/hswsim-serve" --socket "$serve_sock" \
+  --cache-dir "$trace_dir/serve-cache" --jobs 2 \
+  --stats "$trace_dir/serve-stats.json" 2> /dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [[ -S "$serve_sock" ]] && break
+  sleep 0.05
+done
+[[ -S "$serve_sock" ]] \
+  || { echo "server smoke: daemon never opened its socket"; exit 1; }
+mkdir -p "$trace_dir/round1" "$trace_dir/round2"
+"$repo_root/build/examples/hswsim-submit" --socket "$serve_sock" \
+  --payload-dir "$trace_dir/round1" \
+  "$trace_dir/spec_lat.json" "$trace_dir/spec_bw.json" \
+  > "$trace_dir/round1.out" \
+  || { echo "server smoke: round 1 submit failed"; exit 1; }
+"$repo_root/build/examples/hswsim-submit" --socket "$serve_sock" \
+  --payload-dir "$trace_dir/round2" --shutdown \
+  "$trace_dir/spec_lat.json" "$trace_dir/spec_bw.json" \
+  > "$trace_dir/round2.out" \
+  || { echo "server smoke: round 2 submit failed"; exit 1; }
+[[ "$(grep -c 'cached=true' "$trace_dir/round2.out")" == "2" ]] \
+  || { echo "server smoke: round 2 was not served 100% from the cache"; \
+       cat "$trace_dir/round2.out"; exit 1; }
+for i in 0 1; do
+  cmp -s "$trace_dir/round1/result$i.json" "$trace_dir/round2/result$i.json" \
+    || { echo "server smoke: cached payload $i differs from the fresh one"; \
+         exit 1; }
+done
+wait "$serve_pid" \
+  || { echo "server smoke: daemon did not exit cleanly on shutdown"; exit 1; }
+"$repo_root/build/src/metrics/hswsim-report" cache \
+  "$trace_dir/serve-stats.json" > /dev/null \
+  || { echo "server smoke: hswsim-report cache cannot render the stats dump"; \
+       exit 1; }
+grep -q '"hits": 2' "$trace_dir/serve-stats.json" \
+  || { echo "server smoke: stats dump does not show 2 hits"; exit 1; }
+echo "server smoke: ok"
+
 echo "== sampling agreement smoke =="
 # Sampled sweeps must track exact runs within 2% on the quick Fig. 4/8
 # grids, reproduce bit-identically per (ratio, seed), and leave

@@ -1,0 +1,122 @@
+// The unified experiment vocabulary: one versioned document for every way
+// this project asks "run a sweep".
+//
+// An ExperimentSpec names a latency or bandwidth size sweep the same way the
+// benches and the metrics manifest already do — snoop mode, protocol family,
+// engine, seed, set-sampling, stream placement — as a small versioned JSON
+// document.  The benches accept it via --spec, hswsim-serve accepts batches
+// of them over its socket, and the content-addressed result cache keys on
+// it: `canonical()` is a whitespace-free, fixed-key-order serialization, so
+// the spec hash is independent of how a client formatted the JSON, and
+// `experiment_cache_key()` prefixes the timing fingerprint so any change to
+// a calibration constant (or the protocol family) invalidates cached
+// results.
+//
+// Library contract: nothing in here exits or prints.  Parse failures return
+// nullopt with a message in `*error`; callers own the error policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "coh/timing.h"
+#include "core/bandwidth.h"
+#include "core/placement.h"
+#include "core/sampling.h"
+#include "machine/system.h"
+
+namespace hsw {
+
+// Schema version stamped into every spec document ("hswsim_spec_version").
+// A document at any other version must be refused, not misread.
+inline constexpr int kSpecVersion = 1;
+
+enum class ExperimentKind : std::uint8_t { kLatency, kBandwidth };
+
+[[nodiscard]] const char* to_string(ExperimentKind kind);
+[[nodiscard]] std::optional<ExperimentKind> parse_experiment_kind(
+    std::string_view name);
+
+// Short tokens used by the spec JSON (to_string(SnoopMode) is the long
+// human-readable form; the spec wants the same tokens parse_snoop_mode
+// accepts).
+[[nodiscard]] const char* snoop_mode_token(SnoopMode mode);
+[[nodiscard]] const char* load_width_token(bw::LoadWidth width);
+[[nodiscard]] std::optional<bw::LoadWidth> parse_load_width(
+    std::string_view name);
+
+struct ExperimentSpec {
+  ExperimentKind kind = ExperimentKind::kLatency;
+  SnoopMode mode = SnoopMode::kSourceSnoop;
+  Protocol protocol = Protocol::kMesif;
+  // Bandwidth only (latency sweeps have no engine choice; the field still
+  // participates in the hash so a spec is one unambiguous document).
+  BandwidthEngine engine = BandwidthEngine::kAnalytic;
+  std::uint64_t seed = 1;
+  // Set-sampling (core/sampling.h): ratio 1 = exact.
+  double sample_ratio = 1.0;
+  std::uint64_t sample_seed = 0;
+  // The measuring (latency) / streaming (bandwidth) core.
+  int core = 0;
+  // Bandwidth only: store stream instead of load stream.
+  bool write = false;
+  bw::LoadWidth width = bw::LoadWidth::kAvx256;
+  // Placement of the buffer before measurement.  The cache level is always
+  // "natural" (the sweep's size axis decides the level — see sweep.h), so
+  // the spec carries no level field.
+  int owner_core = 0;
+  int memory_node = 0;
+  Mesif state = Mesif::kModified;
+  std::vector<int> sharers;
+  // The size axis, bytes per point.
+  std::vector<std::uint64_t> sizes = {64 * 1024};
+  std::uint64_t max_measured_lines = 16384;
+
+  bool operator==(const ExperimentSpec&) const = default;
+
+  // Pretty serialization for files humans edit (round-trips through
+  // spec_from_json).
+  [[nodiscard]] std::string to_json() const;
+  // Canonical serialization: single line, fixed key order, fixed number
+  // formatting.  This is the hash input — two documents that parse to the
+  // same spec always share it, regardless of key order or whitespace.
+  [[nodiscard]] std::string canonical() const;
+  // 64-bit FNV-1a over canonical(), as 16 hex chars.
+  [[nodiscard]] std::string hash() const;
+
+  // The machine this spec runs on: the snoop-mode preset with the spec's
+  // protocol family.
+  [[nodiscard]] SystemConfig system_config() const;
+  [[nodiscard]] SamplingConfig sampling() const;
+  [[nodiscard]] Placement placement() const;
+};
+
+// Parses one spec document.  nullopt on malformed JSON, unknown keys, an
+// unsupported hswsim_spec_version, or out-of-range values; `*error` (when
+// non-null) receives a one-line message.
+[[nodiscard]] std::optional<ExperimentSpec> spec_from_json(
+    const std::string& text, std::string* error);
+
+// Same, over an already-flattened document (util/json.h), reading the keys
+// under `prefix` (e.g. "specs.0." for a batch element; "" for a whole
+// document).  This is what lets the server parse a batch without
+// re-tokenizing each element.
+[[nodiscard]] std::optional<ExperimentSpec> spec_from_flat(
+    const std::map<std::string, std::string>& flat, const std::string& prefix,
+    std::string* error);
+
+// Reads and parses a spec file.
+[[nodiscard]] std::optional<ExperimentSpec> spec_from_file(
+    const std::string& path, std::string* error);
+
+// The content-addressed cache key: timing_fingerprint(timing, protocol) and
+// the canonical spec hash, dash-joined.  Any timing-constant change, any
+// protocol change, and any spec-field change each produce a different key.
+[[nodiscard]] std::string experiment_cache_key(const ExperimentSpec& spec,
+                                               const TimingParams& timing);
+
+}  // namespace hsw

@@ -1,10 +1,11 @@
 #include "metrics/report.h"
 
-#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "util/json.h"
 
 namespace hsw::metrics {
 namespace {
@@ -17,20 +18,7 @@ std::string fmt(double value) {
   return buf;
 }
 
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
+std::string escape(const std::string& s) { return json::escape(s); }
 
 }  // namespace
 
@@ -194,119 +182,6 @@ bool write_report(const std::string& path, const ReportManifest& manifest,
   return true;
 }
 
-namespace {
-
-// Minimal recursive-descent JSON reader for the documents write_report
-// produces (it is not a general-purpose parser).  Scalars land in `out`
-// keyed by their dotted path; array elements use numeric path segments.
-class FlatParser {
- public:
-  FlatParser(const std::string& text, std::map<std::string, std::string>& out)
-      : text_(text), out_(out) {}
-
-  bool parse() {
-    skip_ws();
-    if (!value("")) return false;
-    skip_ws();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool value(const std::string& path) {
-    skip_ws();
-    if (pos_ >= text_.size()) return false;
-    const char c = text_[pos_];
-    if (c == '{') return object(path);
-    if (c == '[') return array(path);
-    if (c == '"') {
-      std::string s;
-      if (!string(&s)) return false;
-      out_[path] = s;
-      return true;
-    }
-    return scalar(path);
-  }
-
-  bool object(const std::string& path) {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!string(&key)) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      if (!value(path.empty() ? key : path + "." + key)) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool array(const std::string& path) {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') { ++pos_; return true; }
-    std::size_t index = 0;
-    while (true) {
-      if (!value(path + "." + std::to_string(index++))) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool string(std::string* out) {
-    if (peek() != '"') return false;
-    ++pos_;
-    std::string s;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\' && pos_ < text_.size()) {
-        const char e = text_[pos_++];
-        c = e == 'n' ? '\n' : e == 't' ? '\t' : e;
-      }
-      s += c;
-    }
-    if (pos_ >= text_.size()) return false;
-    ++pos_;  // closing quote
-    *out = std::move(s);
-    return true;
-  }
-
-  bool scalar(const std::string& path) {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    out_[path] = text_.substr(start, pos_ - start);
-    return true;
-  }
-
-  [[nodiscard]] char peek() const {
-    return pos_ < text_.size() ? text_[pos_] : '\0';
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  std::map<std::string, std::string>& out_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
-
 ReportLoadError load_report_flat(const std::string& path,
                                  std::map<std::string, std::string>* out) {
   std::FILE* f = std::fopen(path.c_str(), "r");
@@ -317,14 +192,13 @@ ReportLoadError load_report_flat(const std::string& path,
   while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
   std::fclose(f);
 
-  out->clear();
-  FlatParser parser(text, *out);
-  if (!parser.parse()) return ReportLoadError::kMalformed;
-  // Either report flavour qualifies, but only at the schema version this
+  if (!json::parse_flat(text, out)) return ReportLoadError::kMalformed;
+  // Any report flavour qualifies, but only at the schema version this
   // binary understands: a future version must be refused, not misread.
   const std::string expected = std::to_string(kReportVersion);
   for (const char* key : {"hswsim_metrics_version", "hswsim_linestats_version",
-                          "hswsim_resources_version"}) {
+                          "hswsim_resources_version",
+                          "hswsim_cache_version"}) {
     const auto it = out->find(key);
     if (it != out->end()) {
       return it->second == expected ? ReportLoadError::kOk

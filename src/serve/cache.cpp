@@ -1,0 +1,226 @@
+#include "serve/cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "util/json.h"
+
+namespace hsw::serve {
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  const bool io_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (io_error) return std::nullopt;
+  return text;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool io_error = std::ferror(f) != 0;
+  return std::fclose(f) == 0 && !io_error && written == text.size();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(CacheConfig config) : config_(std::move(config)) {
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+  load_index();
+}
+
+std::string ResultCache::path_for(const std::string& key) const {
+  std::string path = config_.dir;
+  path += '/';
+  path += key;
+  path += ".json";
+  return path;
+}
+
+void ResultCache::load_index() {
+  const auto text = read_file(config_.dir + "/index");
+  if (!text) return;
+  std::size_t pos = 0;
+  while (pos < text->size()) {
+    std::size_t end = text->find('\n', pos);
+    if (end == std::string::npos) end = text->size();
+    const std::string line = text->substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    Entry entry;
+    entry.key = line.substr(0, space);
+    entry.bytes = std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    if (entry.key.empty() || by_key_.count(entry.key) != 0) continue;
+    // An entry whose payload vanished (manual deletion, partial copy) is
+    // silently dropped: the cache must only promise what it can serve.
+    std::error_code ec;
+    if (!std::filesystem::exists(path_for(entry.key), ec)) continue;
+    bytes_ += entry.bytes;
+    lru_.push_back(std::move(entry));
+    by_key_.emplace(lru_.back().key, std::prev(lru_.end()));
+  }
+}
+
+void ResultCache::persist_index() const {
+  std::string out;
+  for (const Entry& entry : lru_) {
+    out += entry.key;
+    out += ' ';
+    out += std::to_string(entry.bytes);
+    out += '\n';
+  }
+  write_file(config_.dir + "/index", out);
+}
+
+std::optional<std::string> ResultCache::lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  auto payload = read_file(path_for(key));
+  if (!payload) {
+    // Disk lost the payload: forget the entry and report a miss so the
+    // caller re-simulates.
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    by_key_.erase(it);
+    persist_index();
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.end(), lru_, it->second);
+  persist_index();
+  ++hits_;
+  return payload;
+}
+
+void ResultCache::insert(const std::string& key, const std::string& payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!write_file(path_for(key), payload)) return;
+  const auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    by_key_.erase(it);
+  }
+  Entry entry;
+  entry.key = key;
+  entry.bytes = payload.size();
+  bytes_ += entry.bytes;
+  lru_.push_back(std::move(entry));
+  by_key_.emplace(lru_.back().key, std::prev(lru_.end()));
+  ++insertions_;
+  evict_to_capacity();
+  persist_index();
+}
+
+void ResultCache::evict_to_capacity() {
+  // The newest entry always survives: evicting what was just inserted would
+  // turn an oversized payload into an infinite miss loop.
+  while (bytes_ > config_.capacity_bytes && lru_.size() > 1) {
+    const Entry& victim = lru_.front();
+    std::error_code ec;
+    std::filesystem::remove(path_for(victim.key), ec);
+    bytes_ -= victim.bytes;
+    by_key_.erase(victim.key);
+    lru_.pop_front();
+    ++evictions_;
+  }
+}
+
+std::string ResultCache::stats_json(bool pretty) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const char* nl = pretty ? "\n" : "";
+  const char* in1 = pretty ? "  " : "";
+  const char* in2 = pretty ? "    " : "";
+  const char* sp = pretty ? " " : "";
+  std::string out = "{";
+  out += nl;
+  auto field = [&](const char* name, const std::string& value, bool last) {
+    out += in1;
+    out += "\"";
+    out += name;
+    out += "\":";
+    out += sp;
+    out += value;
+    if (!last) out += ",";
+    out += nl;
+  };
+  field("hswsim_cache_version", std::to_string(kCacheVersion), false);
+  field("entries", std::to_string(lru_.size()), false);
+  field("bytes", std::to_string(bytes_), false);
+  field("capacity_bytes", std::to_string(config_.capacity_bytes), false);
+  field("hits", std::to_string(hits_), false);
+  field("misses", std::to_string(misses_), false);
+  field("insertions", std::to_string(insertions_), false);
+  field("evictions", std::to_string(evictions_), false);
+  out += in1;
+  out += "\"items\":";
+  out += sp;
+  out += "[";
+  bool first = true;
+  for (const Entry& entry : lru_) {
+    if (!first) out += ",";
+    first = false;
+    out += nl;
+    out += in2;
+    out += "{\"key\":";
+    out += sp;
+    out += '"';
+    out += json::escape(entry.key);
+    out += "\",";
+    out += sp;
+    out += "\"bytes\":";
+    out += sp;
+    out += std::to_string(entry.bytes);
+    out += "}";
+  }
+  if (!first) {
+    out += nl;
+    out += in1;
+  }
+  out += "]";
+  out += nl;
+  out += "}";
+  out += nl;
+  return out;
+}
+
+bool ResultCache::write_stats(const std::string& path) const {
+  return write_file(path, stats_json(/*pretty=*/true));
+}
+
+std::uint64_t ResultCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t ResultCache::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t ResultCache::bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+}  // namespace hsw::serve

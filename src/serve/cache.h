@@ -1,0 +1,91 @@
+// Content-addressed on-disk result cache with size-capped LRU eviction.
+//
+// Keys are experiment_cache_key() strings (timing fingerprint x canonical
+// spec hash — hex plus a dash, so they double as file names); values are the
+// serialized result payloads from serve/runner.h.  Each entry lives in
+// `<dir>/<key>.json`; recency order and sizes are persisted in an index file
+// rewritten on every mutation, so a reopened cache keeps both its contents
+// and its LRU order across daemon restarts.
+//
+// All operations are mutex-guarded (the server looks up from concurrent
+// connection threads).  Library contract: never exits, never prints; disk
+// failures degrade to cache misses.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace hsw::serve {
+
+// Schema version of the stats dump ("hswsim_cache_version"), the document
+// `hswsim-report cache` renders.
+inline constexpr int kCacheVersion = 1;
+
+struct CacheConfig {
+  std::string dir;
+  // Total payload bytes to retain; least-recently-used entries are evicted
+  // once an insert pushes past this (the entry being inserted survives even
+  // when it exceeds the cap on its own).
+  std::uint64_t capacity_bytes = 256ull * 1024 * 1024;
+};
+
+class ResultCache {
+ public:
+  // Creates `config.dir` if needed and loads the persisted index; entries
+  // whose payload file vanished are dropped.
+  explicit ResultCache(CacheConfig config);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Returns the payload and marks the entry most-recently-used; counts a
+  // hit or a miss.
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& key);
+
+  // Stores the payload (most-recently-used), then evicts from the LRU end
+  // until the total is back under the capacity.  Overwrites an existing
+  // entry for the key.
+  void insert(const std::string& key, const std::string& payload);
+
+  // Versioned stats document: entries, bytes, capacity, counters, and the
+  // entry list in LRU-to-MRU order.  `pretty` selects the indented form
+  // (the shutdown dump hswsim-report reads); otherwise one line (the stats
+  // event payload).
+  [[nodiscard]] std::string stats_json(bool pretty) const;
+
+  // Writes the pretty stats document to `path`; false on I/O failure.
+  bool write_stats(const std::string& path) const;
+
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::uint64_t bytes() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t bytes = 0;
+  };
+
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+  void load_index();
+  void persist_index() const;
+  void evict_to_capacity();
+
+  CacheConfig config_;
+  mutable std::mutex mutex_;
+  // LRU order: front = least recently used, back = most recently used.
+  std::list<Entry> lru_;
+  std::map<std::string, std::list<Entry>::iterator> by_key_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace hsw::serve

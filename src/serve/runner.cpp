@@ -1,0 +1,87 @@
+#include "serve/runner.h"
+
+#include <cstdio>
+
+#include "core/sweep.h"
+#include "util/json.h"
+
+namespace hsw::serve {
+namespace {
+
+std::string fmt(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string run_experiment(const ExperimentSpec& spec,
+                           const RunOptions& options) {
+  SystemConfig system = spec.system_config();
+  system.timing = options.timing;
+
+  std::string out = "{\"hswsim_result_version\":";
+  out += std::to_string(kResultVersion);
+  out += ",\"kind\":\"";
+  out += to_string(spec.kind);
+  out += "\",\"spec_hash\":\"";
+  out += spec.hash();
+  out += "\",\"timing_hash\":\"";
+  out += timing_fingerprint(options.timing, to_string(spec.protocol));
+  out += "\",\"points\":[";
+
+  const std::size_t total = spec.sizes.size();
+  if (spec.kind == ExperimentKind::kLatency) {
+    LatencySweepConfig config;
+    config.system = system;
+    config.reader_core = spec.core;
+    config.placement = spec.placement();
+    config.sizes = spec.sizes;
+    config.max_measured_lines = spec.max_measured_lines;
+    config.seed = spec.seed;
+    config.sampling = spec.sampling();
+    for (std::size_t i = 0; i < total; ++i) {
+      const LatencySweepPoint point =
+          latency_sweep_point(config, spec.sizes[i]);
+      if (i != 0) out += ",";
+      out += "{\"bytes\":" + std::to_string(point.bytes);
+      out += ",\"mean_ns\":" + fmt(point.result.mean_ns);
+      out += ",\"p50_ns\":" + fmt(point.result.p50_ns);
+      out += ",\"p95_ns\":" + fmt(point.result.p95_ns);
+      out += ",\"p99_ns\":" + fmt(point.result.p99_ns);
+      out += ",\"lines\":" + std::to_string(point.result.lines_measured);
+      out += ",\"source\":\"";
+      out += to_string(point.result.dominant_source);
+      out += "\"}";
+      if (options.progress) options.progress(i + 1, total);
+    }
+  } else {
+    BandwidthSweepConfig config;
+    config.system = system;
+    config.stream.core = spec.core;
+    config.stream.placement = spec.placement();
+    config.stream.write = spec.write;
+    config.stream.width = spec.width;
+    config.sizes = spec.sizes;
+    config.seed = spec.seed;
+    config.engine = spec.engine;
+    config.sampling = spec.sampling();
+    for (std::size_t i = 0; i < total; ++i) {
+      const BandwidthSweepPoint point =
+          bandwidth_sweep_point(config, spec.sizes[i]);
+      if (i != 0) out += ",";
+      out += "{\"bytes\":" + std::to_string(point.bytes);
+      out += ",\"gbps\":" + fmt(point.gbps);
+      out += ",\"source\":\"";
+      out += to_string(point.source);
+      out += "\",\"queue_ns\":" + fmt(point.mean_queue_ns);
+      out += ",\"bottleneck\":\"" + json::escape(point.bottleneck) + "\"}";
+      if (options.progress) options.progress(i + 1, total);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hsw::serve

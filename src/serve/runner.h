@@ -1,0 +1,43 @@
+// Spec execution: one ExperimentSpec in, one deterministic result document
+// out.
+//
+// The result is a compact single-line JSON document (NDJSON-transport- and
+// cache-friendly): fixed key order, %.6f float formatting, no timestamps or
+// host details — so a cached payload is byte-identical to a fresh
+// simulation of the same spec under the same timing calibration, which is
+// the property the content-addressed cache and its tests assert.
+//
+// Library contract (like the rest of src/serve/): never exits, never
+// prints.  Sweep configuration errors surface as std::invalid_argument from
+// the sweep layer; the server turns them into error events.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "coh/timing.h"
+#include "core/experiment.h"
+
+namespace hsw::serve {
+
+// Schema version stamped into every result payload.
+inline constexpr int kResultVersion = 1;
+
+struct RunOptions {
+  // The timing calibration the experiment composes latencies from.  The
+  // daemon runs the built-in calibration; tests inject perturbed constants
+  // to prove the cache key tracks the fingerprint.
+  TimingParams timing = TimingParams::haswell_ep();
+  // Called after each sweep point with (points_done, points_total) — the
+  // hook the server's streaming progress events (and the benches'
+  // --progress heartbeat contract) attach to.  May be empty.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+// Runs the spec's sweep serially (one point at a time; the server
+// parallelizes across specs, not within one) and renders the payload.
+[[nodiscard]] std::string run_experiment(const ExperimentSpec& spec,
+                                         const RunOptions& options);
+
+}  // namespace hsw::serve

@@ -1,0 +1,157 @@
+#include "serve/server.h"
+
+#include <exception>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "serve/runner.h"
+#include "util/json.h"
+
+namespace hsw::serve {
+namespace {
+
+std::string error_event(const std::string& message) {
+  return "{\"event\":\"error\",\"message\":\"" + json::escape(message) + "\"}";
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), cache_(config_.cache), pool_(config_.jobs) {}
+
+bool Server::handle_request(
+    const std::string& line,
+    const std::function<void(const std::string&)>& emit) {
+  // One emission lock per request: progress events arrive from pool worker
+  // threads while the batch runs, and response lines must never interleave
+  // mid-line.
+  std::mutex emit_mutex;
+  auto emit_sync = [&](const std::string& event) {
+    const std::lock_guard<std::mutex> lock(emit_mutex);
+    emit(event);
+  };
+
+  std::map<std::string, std::string> flat;
+  if (!json::parse_flat(line, &flat)) {
+    emit_sync(error_event("request is not valid JSON"));
+    return true;
+  }
+  const auto op_it = flat.find("op");
+  const std::string op = op_it == flat.end() ? "" : op_it->second;
+
+  if (op == "ping") {
+    emit_sync("{\"event\":\"pong\"}");
+    return true;
+  }
+  if (op == "shutdown") {
+    emit_sync("{\"event\":\"bye\"}");
+    return false;
+  }
+  if (op == "stats") {
+    emit_sync("{\"event\":\"stats\",\"payload\":" +
+              cache_.stats_json(/*pretty=*/false) + "}");
+    return true;
+  }
+  if (op != "submit") {
+    emit_sync(error_event("unknown op '" + op + "'"));
+    return true;
+  }
+
+  // Parse the batch up front: a submit is all-or-nothing, so a typo in spec
+  // 3 cannot waste the simulation of specs 0-2.
+  std::vector<ExperimentSpec> specs;
+  for (std::size_t i = 0;; ++i) {
+    const std::string prefix = "specs." + std::to_string(i) + ".";
+    if (flat.lower_bound(prefix) == flat.end() ||
+        !flat.lower_bound(prefix)->first.starts_with(prefix)) {
+      break;
+    }
+    std::string error;
+    const auto spec = spec_from_flat(flat, prefix, &error);
+    if (!spec) {
+      emit_sync(error_event("spec " + std::to_string(i) + ": " + error));
+      return true;
+    }
+    specs.push_back(*spec);
+  }
+  if (specs.empty()) {
+    emit_sync(error_event("submit carries no specs"));
+    return true;
+  }
+
+  const std::size_t count = specs.size();
+  std::vector<std::string> keys(count);
+  std::vector<std::string> payloads(count);
+  std::vector<bool> cached(count, false);
+  std::vector<std::size_t> to_run;        // spec indices that must simulate
+  std::map<std::string, std::size_t> first_for_key;
+  std::vector<std::size_t> dup_of(count, count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    keys[i] = experiment_cache_key(specs[i], config_.timing);
+    // Batch-local duplicates never touch the cache twice: the first
+    // occurrence decides, later ones share its payload as cache-served.
+    const auto seen = first_for_key.find(keys[i]);
+    if (seen != first_for_key.end()) {
+      dup_of[i] = seen->second;
+      cached[i] = true;
+      continue;
+    }
+    first_for_key.emplace(keys[i], i);
+    if (auto hit = cache_.lookup(keys[i])) {
+      payloads[i] = std::move(*hit);
+      cached[i] = true;
+    } else {
+      to_run.push_back(i);
+    }
+  }
+
+  if (!to_run.empty()) {
+    std::vector<std::string> fresh(to_run.size());
+    std::exception_ptr failure;
+    {
+      // The fork-join pool runs one wave at a time; a second client's batch
+      // waits here rather than corrupting the first wave's epoch.
+      const std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+      try {
+        parallel_for_indexed(pool_, to_run.size(), [&](std::size_t u) {
+          const std::size_t i = to_run[u];
+          RunOptions options;
+          options.timing = config_.timing;
+          options.progress = [&emit_sync, i](std::size_t done,
+                                             std::size_t total) {
+            emit_sync("{\"event\":\"progress\",\"spec\":" + std::to_string(i) +
+                      ",\"done\":" + std::to_string(done) +
+                      ",\"total\":" + std::to_string(total) + "}");
+          };
+          fresh[u] = run_experiment(specs[i], options);
+        });
+      } catch (const std::exception& e) {
+        failure = std::current_exception();
+        emit_sync(error_event("experiment failed: " + std::string(e.what())));
+      }
+    }
+    if (failure) return true;
+    for (std::size_t u = 0; u < to_run.size(); ++u) {
+      const std::size_t i = to_run[u];
+      payloads[i] = std::move(fresh[u]);
+      cache_.insert(keys[i], payloads[i]);
+    }
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string& payload =
+        dup_of[i] < count ? payloads[dup_of[i]] : payloads[i];
+    emit_sync("{\"event\":\"result\",\"spec\":" + std::to_string(i) +
+              ",\"cached\":" + (cached[i] ? "true" : "false") +
+              ",\"key\":\"" + keys[i] + "\",\"bytes\":" +
+              std::to_string(payload.size()) + ",\"payload\":" + payload +
+              "}");
+  }
+  return true;
+}
+
+}  // namespace hsw::serve

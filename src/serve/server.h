@@ -1,0 +1,72 @@
+// The experiment server: NDJSON requests in, NDJSON events out.
+//
+// The server is transport-independent — examples/hswsim_serve.cpp owns the
+// socket (or stdio) plumbing and feeds one request line at a time into
+// handle_request(), which emits zero or more single-line response events
+// through the supplied sink.  Requests:
+//
+//   {"op":"submit","specs":[<spec>, ...]}   batch of ExperimentSpec docs
+//   {"op":"stats"}                          cache stats snapshot
+//   {"op":"ping"}                           liveness probe
+//   {"op":"shutdown"}                       ask the daemon to exit
+//
+// Submit streams progress events per running spec as sweep points finish
+// (the same heartbeat contract as the benches' --progress), then one result
+// event per spec, in spec order:
+//
+//   {"event":"progress","spec":i,"done":d,"total":t}
+//   {"event":"result","spec":i,"cached":b,"key":"...","bytes":n,"payload":{...}}
+//
+// Specs in a batch run concurrently on the shared ThreadPool; identical or
+// previously seen specs are served from the content-addressed cache, and a
+// cached payload is byte-identical to what a fresh simulation would emit
+// (serve/runner.h).  Malformed requests produce {"event":"error",...} —
+// never an exit: src/serve/ holds the library side of the facade rule (no
+// exit(), no stdout).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "coh/timing.h"
+#include "serve/cache.h"
+#include "sim/thread_pool.h"
+
+namespace hsw::serve {
+
+struct ServerConfig {
+  CacheConfig cache;
+  // Timing calibration used for every simulation and for the cache keys.
+  TimingParams timing = TimingParams::haswell_ep();
+  // Worker threads for batch fan-out; 1 = serial, 0 = hardware concurrency.
+  unsigned jobs = 1;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+
+  // Handles one request line, emitting response events through `emit`
+  // (one complete line per call, without the trailing newline).  Returns
+  // false when the request asks the daemon to shut down.  Thread-safe:
+  // concurrent connections serialize on the scheduler, and `emit` is only
+  // invoked under the server's emission lock for this call.
+  bool handle_request(const std::string& line,
+                      const std::function<void(const std::string&)>& emit);
+
+  [[nodiscard]] ResultCache& cache() { return cache_; }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+ private:
+  ServerConfig config_;
+  ResultCache cache_;
+  ThreadPool pool_;
+  // The pool is fork-join, not reentrant: one batch fans out at a time and
+  // concurrent submits queue here.
+  std::mutex pool_mutex_;
+};
+
+}  // namespace hsw::serve

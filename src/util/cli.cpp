@@ -85,6 +85,11 @@ void CommandLine::add_bytes(std::string name, std::uint64_t* target,
   flags_.emplace(std::move(name), std::move(flag));
 }
 
+void CommandLine::add_check(
+    std::function<std::optional<std::string>()> check) {
+  checks_.push_back(std::move(check));
+}
+
 CommandLine::ParseStatus CommandLine::parse_status(int argc,
                                                    const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -140,6 +145,12 @@ CommandLine::ParseStatus CommandLine::parse_status(int argc,
       std::fprintf(stderr, "invalid value '%.*s' for flag --%s\n",
                    static_cast<int>(value.size()), value.data(),
                    it->first.c_str());
+      return ParseStatus::kError;
+    }
+  }
+  for (const auto& check : checks_) {
+    if (auto message = check()) {
+      std::fprintf(stderr, "%s\n", message->c_str());
       return ParseStatus::kError;
     }
   }

@@ -27,6 +27,14 @@ class CommandLine {
   // Byte-size flag accepting "64KiB"-style values (see parse_bytes()).
   void add_bytes(std::string name, std::uint64_t* target, std::string help);
 
+  // Post-parse validation hook.  Checks run in registration order after all
+  // flags were assigned; a check that returns a message fails the parse with
+  // ParseStatus::kError (message printed to stderr, like a bad flag value).
+  // This is how binaries keep cross-flag policy ("--linestats requires full
+  // sampling") inside the single ParseStatus exit path instead of sprinkling
+  // exit() calls after parsing.
+  void add_check(std::function<std::optional<std::string>()> check);
+
   // Result of parse_status(): callers that exit on failure should use a
   // nonzero exit code for kError (a typo must fail CI) and zero for kHelp.
   enum class ParseStatus { kOk, kHelp, kError };
@@ -56,6 +64,7 @@ class CommandLine {
 
   std::string summary_;
   std::map<std::string, Flag, std::less<>> flags_;
+  std::vector<std::function<std::optional<std::string>()>> checks_;
   std::vector<std::string> positional_;
 };
 

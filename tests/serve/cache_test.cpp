@@ -1,0 +1,136 @@
+// ResultCache: content-addressed lookup, size-capped LRU eviction, and the
+// on-disk persistence of both payloads and recency order.
+#include "serve/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace hsw::serve {
+namespace {
+
+// A fresh, empty directory per test (removed up front so a crashed earlier
+// run cannot leak state in).
+std::string fresh_dir(const char* name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      (std::string("hswsim_cache_test_") + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+CacheConfig config_for(const std::string& dir, std::uint64_t cap) {
+  CacheConfig config;
+  config.dir = dir;
+  config.capacity_bytes = cap;
+  return config;
+}
+
+TEST(ResultCache, MissThenHitRoundTripsPayload) {
+  ResultCache cache(config_for(fresh_dir("roundtrip"), 1 << 20));
+  EXPECT_FALSE(cache.lookup("aaaa-bbbb").has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.insert("aaaa-bbbb", "{\"payload\":1}");
+  const auto hit = cache.lookup("aaaa-bbbb");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "{\"payload\":1}");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), hit->size());
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedFirst) {
+  // Three 40-byte payloads fit a 100-byte cap two at a time.
+  const std::string payload(40, 'x');
+  ResultCache cache(config_for(fresh_dir("lru"), 100));
+  cache.insert("a", payload);
+  cache.insert("b", payload);
+  // Touch "a" so "b" becomes the LRU entry.
+  ASSERT_TRUE(cache.lookup("a").has_value());
+  cache.insert("c", payload);
+
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value());
+}
+
+TEST(ResultCache, NewestEntrySurvivesEvenOverCapacity) {
+  ResultCache cache(config_for(fresh_dir("oversize"), 16));
+  cache.insert("big", std::string(64, 'x'));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_TRUE(cache.lookup("big").has_value());
+}
+
+TEST(ResultCache, PersistsPayloadsAndRecencyAcrossReopen) {
+  const std::string dir = fresh_dir("persist");
+  const std::string payload(40, 'p');
+  {
+    ResultCache cache(config_for(dir, 1 << 20));
+    cache.insert("older", payload);
+    cache.insert("newer", payload);
+    // Touch "older" so the persisted LRU order is newer -> older.
+    ASSERT_TRUE(cache.lookup("older").has_value());
+  }
+  ResultCache reopened(config_for(dir, 100));
+  EXPECT_EQ(reopened.entries(), 2u);
+  const auto hit = reopened.lookup("older");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, payload);
+  // The reopened cache kept the recency order: a capacity squeeze must
+  // evict "newer" (least recently used after the touch), not "older".
+  reopened.insert("third", payload);
+  EXPECT_FALSE(reopened.lookup("newer").has_value());
+  EXPECT_TRUE(reopened.lookup("older").has_value());
+}
+
+TEST(ResultCache, VanishedPayloadFileDegradesToMiss) {
+  const std::string dir = fresh_dir("vanished");
+  ResultCache cache(config_for(dir, 1 << 20));
+  cache.insert("gone", "payload");
+  std::filesystem::remove(std::filesystem::path(dir) / "gone.json");
+  EXPECT_FALSE(cache.lookup("gone").has_value());
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCache, StatsJsonCarriesVersionCountersAndLruOrder) {
+  ResultCache cache(config_for(fresh_dir("stats"), 1 << 20));
+  cache.insert("first", "1234");
+  cache.insert("second", "12345678");
+  ASSERT_TRUE(cache.lookup("second").has_value());
+  ASSERT_FALSE(cache.lookup("absent").has_value());
+
+  const std::string stats = cache.stats_json(/*pretty=*/false);
+  EXPECT_NE(stats.find("\"hswsim_cache_version\":1"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"entries\":2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"bytes\":12"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"hits\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"misses\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"insertions\":2"), std::string::npos) << stats;
+  // Items list LRU first: "first" was never touched after "second"'s hit.
+  EXPECT_LT(stats.find("\"first\""), stats.find("\"second\"")) << stats;
+}
+
+TEST(ResultCache, WriteStatsFailsCleanlyOnBadPath) {
+  ResultCache cache(config_for(fresh_dir("badstats"), 1 << 20));
+  EXPECT_FALSE(cache.write_stats("/nonexistent/dir/stats.json"));
+}
+
+TEST(ResultCache, OverwriteReplacesPayloadWithoutGrowingEntries) {
+  ResultCache cache(config_for(fresh_dir("overwrite"), 1 << 20));
+  cache.insert("key", "old-payload");
+  cache.insert("key", "new");
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 3u);
+  const auto hit = cache.lookup("key");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "new");
+}
+
+}  // namespace
+}  // namespace hsw::serve

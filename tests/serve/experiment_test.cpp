@@ -1,0 +1,229 @@
+// ExperimentSpec: round-trip, canonical-hash stability, and the cache-key
+// contract (any spec field, any timing constant, and the protocol family
+// each perturb the key).
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "coh/timing.h"
+#include "core/experiment.h"
+#include "gtest/gtest.h"
+
+namespace hsw {
+namespace {
+
+ExperimentSpec busy_spec() {
+  ExperimentSpec spec;
+  spec.kind = ExperimentKind::kBandwidth;
+  spec.mode = SnoopMode::kCod;
+  spec.protocol = Protocol::kMesi;
+  spec.engine = BandwidthEngine::kSimulated;
+  spec.seed = 42;
+  spec.sample_ratio = 0.25;
+  spec.sample_seed = 7;
+  spec.core = 3;
+  spec.write = true;
+  spec.width = bw::LoadWidth::kSse128;
+  spec.owner_core = 13;
+  spec.memory_node = 2;
+  spec.state = Mesif::kShared;
+  spec.sharers = {1, 14};
+  spec.sizes = {16384, 1048576};
+  spec.max_measured_lines = 512;
+  return spec;
+}
+
+TEST(ExperimentSpec, PrettyJsonRoundTripsExactly) {
+  const ExperimentSpec spec = busy_spec();
+  std::string error;
+  const auto parsed = spec_from_json(spec.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(spec, *parsed);
+}
+
+TEST(ExperimentSpec, CanonicalRoundTripsExactly) {
+  const ExperimentSpec spec = busy_spec();
+  std::string error;
+  const auto parsed = spec_from_json(spec.canonical(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(spec, *parsed);
+  EXPECT_EQ(spec.canonical(), parsed->canonical());
+}
+
+TEST(ExperimentSpec, DefaultSpecRoundTrips) {
+  const ExperimentSpec spec;
+  std::string error;
+  const auto parsed = spec_from_json(spec.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(spec, *parsed);
+}
+
+TEST(ExperimentSpec, OmittedFieldsKeepDefaults) {
+  std::string error;
+  const auto parsed = spec_from_json(
+      "{\"hswsim_spec_version\": 1, \"kind\": \"latency\"}", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(ExperimentSpec{}, *parsed);
+  EXPECT_EQ(std::vector<std::uint64_t>{64 * 1024}, parsed->sizes);
+}
+
+// The hash is over the *parsed* document's canonical form, so key order and
+// whitespace cannot reach it.
+TEST(ExperimentSpec, HashIndependentOfKeyOrderAndWhitespace) {
+  const ExperimentSpec spec = busy_spec();
+  const std::string reordered =
+      "{ \"sizes\" : [ 16384 , 1048576 ],\n"
+      "  \"max_measured_lines\": 512,\n"
+      "  \"placement\": { \"state\": \"S\", \"sharers\": [1, 14],\n"
+      "                   \"memory_node\": 2, \"owner_core\": 13 },\n"
+      "  \"width\": \"sse128\", \"write\": true, \"core\": 3,\n"
+      "  \"sample_seed\": 7, \"sample_ratio\": 0.25, \"seed\": 42,\n"
+      "  \"engine\": \"simulated\", \"protocol\": \"mesi\",\n"
+      "  \"mode\": \"cod\", \"kind\": \"bandwidth\",\n"
+      "  \"hswsim_spec_version\": 1 }";
+  std::string error;
+  const auto parsed = spec_from_json(reordered, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(spec, *parsed);
+  EXPECT_EQ(spec.hash(), parsed->hash());
+}
+
+// Every spec field participates in the hash: perturbing each one (and only
+// it) must produce a distinct value.
+TEST(ExperimentSpec, EveryFieldPerturbsTheHash) {
+  const ExperimentSpec base = busy_spec();
+  std::vector<ExperimentSpec> variants(16, base);
+  variants[0].kind = ExperimentKind::kLatency;
+  variants[1].mode = SnoopMode::kHomeSnoop;
+  variants[2].protocol = Protocol::kMoesi;
+  variants[3].engine = BandwidthEngine::kAnalytic;
+  variants[4].seed = 43;
+  variants[5].sample_ratio = 0.5;
+  variants[6].sample_seed = 8;
+  variants[7].core = 4;
+  variants[8].write = false;
+  variants[9].width = bw::LoadWidth::kAvx256;
+  variants[10].owner_core = 12;
+  variants[11].memory_node = 1;
+  variants[12].state = Mesif::kExclusive;
+  variants[13].sharers = {1};
+  variants[14].sizes = {16384};
+  variants[15].max_measured_lines = 1024;
+
+  std::set<std::string> hashes{base.hash()};
+  for (const ExperimentSpec& variant : variants) {
+    EXPECT_NE(variant, base);
+    hashes.insert(variant.hash());
+  }
+  // Baseline plus 16 single-field perturbations, all distinct.
+  EXPECT_EQ(hashes.size(), 17u);
+}
+
+TEST(ExperimentSpec, SeedOnlyVariantsDoNotCollide) {
+  ExperimentSpec spec;
+  std::set<std::string> hashes;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    spec.seed = seed;
+    hashes.insert(spec.hash());
+  }
+  EXPECT_EQ(hashes.size(), 64u);
+}
+
+// The cache key is timing_fingerprint x spec hash: changing any of the ~25
+// timing constants must yield a fresh key even for an identical spec.
+TEST(ExperimentCacheKey, TracksEveryTimingConstant) {
+  const ExperimentSpec spec = busy_spec();
+  const TimingParams base = TimingParams::haswell_ep();
+  const std::string base_key = experiment_cache_key(spec, base);
+
+  std::set<std::string> keys{base_key};
+  std::size_t fields = 0;
+  TimingParams probe = base;
+  for_each_timing_field(probe, [&](const char* name, double& value) {
+    const double saved = value;
+    value = saved + 1.0;
+    const std::string key = experiment_cache_key(spec, probe);
+    EXPECT_NE(key, base_key) << "timing field " << name
+                             << " does not perturb the cache key";
+    keys.insert(key);
+    value = saved;
+    ++fields;
+  });
+  EXPECT_GE(fields, 20u);
+  EXPECT_EQ(keys.size(), fields + 1);
+}
+
+TEST(ExperimentCacheKey, TracksProtocolFamily) {
+  ExperimentSpec spec = busy_spec();
+  const TimingParams timing = TimingParams::haswell_ep();
+  const std::string mesi_key = experiment_cache_key(spec, timing);
+  spec.protocol = Protocol::kMesif;
+  EXPECT_NE(mesi_key, experiment_cache_key(spec, timing));
+}
+
+TEST(ExperimentCacheKey, IsFilenameSafe) {
+  const std::string key =
+      experiment_cache_key(busy_spec(), TimingParams::haswell_ep());
+  EXPECT_EQ(key.size(), 33u);  // 16 hex + '-' + 16 hex
+  for (const char c : key) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || c == '-')
+        << "character '" << c << "' in key " << key;
+  }
+}
+
+struct BadDoc {
+  const char* label;
+  const char* text;
+  const char* message_fragment;
+};
+
+TEST(ExperimentSpecErrors, EachFailureNamesItself) {
+  const BadDoc docs[] = {
+      {"malformed JSON", "{\"hswsim_spec_version\": 1,", "not valid JSON"},
+      {"missing version", "{\"kind\": \"latency\"}",
+       "missing hswsim_spec_version"},
+      {"unknown version", "{\"hswsim_spec_version\": 99}",
+       "unknown hswsim_spec_version"},
+      {"unknown key", "{\"hswsim_spec_version\": 1, \"knid\": \"latency\"}",
+       "unknown key"},
+      {"bad kind", "{\"hswsim_spec_version\": 1, \"kind\": \"both\"}",
+       "unknown kind"},
+      {"bad mode", "{\"hswsim_spec_version\": 1, \"mode\": \"snoopy\"}",
+       "unknown mode"},
+      {"bad protocol", "{\"hswsim_spec_version\": 1, \"protocol\": \"mosei\"}",
+       "unknown protocol"},
+      {"bad engine", "{\"hswsim_spec_version\": 1, \"engine\": \"exact\"}",
+       "unknown engine"},
+      {"zero sample ratio",
+       "{\"hswsim_spec_version\": 1, \"sample_ratio\": 0}", "sample_ratio"},
+      {"state I", "{\"hswsim_spec_version\": 1, \"placement\": {\"state\": "
+                  "\"I\"}}",
+       "placement state"},
+      {"core out of range", "{\"hswsim_spec_version\": 1, \"core\": 512}",
+       "core"},
+      {"node out of range",
+       "{\"hswsim_spec_version\": 1, \"placement\": {\"memory_node\": 9}}",
+       "memory_node"},
+      {"size too small", "{\"hswsim_spec_version\": 1, \"sizes\": [64]}",
+       "must be in [4096, 1GiB]"},
+  };
+  for (const BadDoc& doc : docs) {
+    std::string error;
+    const auto parsed = spec_from_json(doc.text, &error);
+    EXPECT_FALSE(parsed.has_value()) << doc.label;
+    EXPECT_NE(error.find(doc.message_fragment), std::string::npos)
+        << doc.label << ": error was '" << error << "'";
+  }
+}
+
+TEST(ExperimentSpecErrors, MissingFileReportsPath) {
+  std::string error;
+  const auto parsed =
+      spec_from_file("/nonexistent/spec_test_nowhere.json", &error);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_NE(error.find("cannot read"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace hsw

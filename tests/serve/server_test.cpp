@@ -1,0 +1,241 @@
+// Server: batch submit over the NDJSON protocol, the streaming progress
+// contract, and the cache-correctness gate — a cached response is
+// byte-identical to a fresh simulation, and a perturbed timing constant
+// forces a miss.
+#include "serve/server.h"
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "gtest/gtest.h"
+#include "serve/runner.h"
+
+namespace hsw::serve {
+namespace {
+
+std::string fresh_dir(const char* name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      (std::string("hswsim_server_test_") + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+ServerConfig config_for(const std::string& dir) {
+  ServerConfig config;
+  config.cache.dir = dir;
+  config.jobs = 2;
+  return config;
+}
+
+// Collects every emitted event line.
+struct Events {
+  std::vector<std::string> lines;
+  std::function<void(const std::string&)> sink() {
+    return [this](const std::string& event) { lines.push_back(event); };
+  }
+  [[nodiscard]] std::vector<std::string> of_kind(const std::string& kind) const {
+    std::vector<std::string> out;
+    const std::string tag = "\"event\":\"" + kind + "\"";
+    for (const std::string& line : lines) {
+      if (line.find(tag) != std::string::npos) out.push_back(line);
+    }
+    return out;
+  }
+};
+
+// The payload is the last field of a result event: its verbatim bytes are
+// the span between `"payload":` and the closing brace (the same extraction
+// hswsim-submit --payload-dir uses).
+std::optional<std::string> payload_of(const std::string& event) {
+  const std::size_t at = event.find("\"payload\":");
+  if (at == std::string::npos || event.empty() || event.back() != '}') {
+    return std::nullopt;
+  }
+  return event.substr(at + 10, event.size() - (at + 10) - 1);
+}
+
+// Two small specs (one latency, one bandwidth) kept fast for CI.
+std::string small_batch() {
+  return "{\"op\":\"submit\",\"specs\":["
+         "{\"hswsim_spec_version\":1,\"kind\":\"latency\","
+         "\"sizes\":[16384],\"max_measured_lines\":256},"
+         "{\"hswsim_spec_version\":1,\"kind\":\"bandwidth\","
+         "\"sizes\":[1048576]}]}";
+}
+
+TEST(Server, SubmitEmitsProgressAndResultsInSpecOrder) {
+  Server server(config_for(fresh_dir("submit")));
+  Events events;
+  EXPECT_TRUE(server.handle_request(small_batch(), events.sink()));
+
+  const auto results = events.of_kind("result");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].find("\"spec\":0,\"cached\":false"), std::string::npos)
+      << results[0];
+  EXPECT_NE(results[1].find("\"spec\":1,\"cached\":false"), std::string::npos)
+      << results[1];
+  // Each spec has one sweep point, so its final heartbeat is 1/1.
+  const auto progress = events.of_kind("progress");
+  EXPECT_GE(progress.size(), 2u);
+  // Both payloads are versioned single-line documents.
+  for (const std::string& result : results) {
+    const auto payload = payload_of(result);
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_NE(payload->find("\"hswsim_result_version\":1"), std::string::npos);
+    EXPECT_EQ(payload->find('\n'), std::string::npos);
+  }
+}
+
+// THE cache gate: the second submit of the same batch is served entirely
+// from the cache, and each cached payload is byte-identical both to the
+// first (fresh) response and to a direct single-job simulation.
+TEST(Server, CachedResponseIsByteIdenticalToFreshSimulation) {
+  Server server(config_for(fresh_dir("identical")));
+  Events first;
+  EXPECT_TRUE(server.handle_request(small_batch(), first.sink()));
+  Events second;
+  EXPECT_TRUE(server.handle_request(small_batch(), second.sink()));
+
+  const auto fresh = first.of_kind("result");
+  const auto cached = second.of_kind("result");
+  ASSERT_EQ(fresh.size(), 2u);
+  ASSERT_EQ(cached.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NE(cached[i].find("\"cached\":true"), std::string::npos)
+        << cached[i];
+    const auto fresh_payload = payload_of(fresh[i]);
+    const auto cached_payload = payload_of(cached[i]);
+    ASSERT_TRUE(fresh_payload.has_value());
+    ASSERT_TRUE(cached_payload.has_value());
+    EXPECT_EQ(*fresh_payload, *cached_payload) << "spec " << i;
+  }
+  EXPECT_EQ(server.cache().hits(), 2u);
+
+  // Direct, serial re-simulation under the server's timing reproduces the
+  // cached bytes exactly — the determinism the cache depends on.
+  std::string error;
+  const auto spec0 = spec_from_json(
+      "{\"hswsim_spec_version\":1,\"kind\":\"latency\","
+      "\"sizes\":[16384],\"max_measured_lines\":256}",
+      &error);
+  ASSERT_TRUE(spec0.has_value()) << error;
+  RunOptions options;
+  options.timing = server.config().timing;
+  EXPECT_EQ(run_experiment(*spec0, options), *payload_of(cached[0]));
+}
+
+TEST(Server, BatchLocalDuplicatesSimulateOnce) {
+  Server server(config_for(fresh_dir("dupes")));
+  Events events;
+  const std::string spec =
+      "{\"hswsim_spec_version\":1,\"kind\":\"latency\","
+      "\"sizes\":[16384],\"max_measured_lines\":256}";
+  EXPECT_TRUE(server.handle_request(
+      "{\"op\":\"submit\",\"specs\":[" + spec + "," + spec + "]}",
+      events.sink()));
+  const auto results = events.of_kind("result");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(results[1].find("\"cached\":true"), std::string::npos);
+  EXPECT_EQ(*payload_of(results[0]), *payload_of(results[1]));
+  // The duplicate neither hit nor missed: it never reached the cache.
+  EXPECT_EQ(server.cache().misses(), 1u);
+  EXPECT_EQ(server.cache().hits(), 0u);
+}
+
+// A formatting-only change to the request must not change the key: the
+// cache hashes the parsed document, not the request bytes.
+TEST(Server, SpecFormattingDoesNotChangeTheKey) {
+  Server server(config_for(fresh_dir("formatting")));
+  Events first;
+  EXPECT_TRUE(server.handle_request(
+      "{\"op\":\"submit\",\"specs\":[{\"hswsim_spec_version\":1,"
+      "\"kind\":\"latency\",\"sizes\":[16384],\"max_measured_lines\":256}]}",
+      first.sink()));
+  Events second;
+  EXPECT_TRUE(server.handle_request(
+      "{ \"op\": \"submit\", \"specs\": [ { \"max_measured_lines\": 256, "
+      "\"sizes\": [ 16384 ], \"kind\": \"latency\", "
+      "\"hswsim_spec_version\": 1 } ] }",
+      second.sink()));
+  const auto cached = second.of_kind("result");
+  ASSERT_EQ(cached.size(), 1u);
+  EXPECT_NE(cached[0].find("\"cached\":true"), std::string::npos) << cached[0];
+}
+
+// Changing one timing constant changes the fingerprint half of the key, so
+// a second server over the same cache directory must re-simulate.
+TEST(Server, PerturbedTimingConstantForcesMiss) {
+  const std::string dir = fresh_dir("timing");
+  {
+    Server server(config_for(dir));
+    Events events;
+    EXPECT_TRUE(server.handle_request(small_batch(), events.sink()));
+  }
+  ServerConfig perturbed = config_for(dir);
+  perturbed.timing.l3_base += 1.0;
+  Server server(perturbed);
+  Events events;
+  EXPECT_TRUE(server.handle_request(small_batch(), events.sink()));
+  for (const std::string& result : events.of_kind("result")) {
+    EXPECT_NE(result.find("\"cached\":false"), std::string::npos) << result;
+  }
+  // Four entries now coexist: two per timing calibration.
+  EXPECT_EQ(server.cache().entries(), 4u);
+}
+
+TEST(Server, MalformedRequestEmitsErrorNotExit) {
+  Server server(config_for(fresh_dir("malformed")));
+  Events events;
+  EXPECT_TRUE(server.handle_request("{\"op\":\"submit\",", events.sink()));
+  const auto errors = events.of_kind("error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("not valid JSON"), std::string::npos) << errors[0];
+}
+
+TEST(Server, BadSpecFailsTheWholeBatch) {
+  Server server(config_for(fresh_dir("badspec")));
+  Events events;
+  EXPECT_TRUE(server.handle_request(
+      "{\"op\":\"submit\",\"specs\":["
+      "{\"hswsim_spec_version\":1,\"kind\":\"latency\",\"sizes\":[16384]},"
+      "{\"hswsim_spec_version\":1,\"kind\":\"nonsense\"}]}",
+      events.sink()));
+  const auto errors = events.of_kind("error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("spec 1"), std::string::npos) << errors[0];
+  EXPECT_TRUE(events.of_kind("result").empty());
+  // All-or-nothing: spec 0 was not simulated either.
+  EXPECT_EQ(server.cache().entries(), 0u);
+}
+
+TEST(Server, UnknownOpAndEmptySubmitAreErrors) {
+  Server server(config_for(fresh_dir("ops")));
+  Events events;
+  EXPECT_TRUE(server.handle_request("{\"op\":\"frobnicate\"}", events.sink()));
+  EXPECT_TRUE(
+      server.handle_request("{\"op\":\"submit\",\"specs\":[]}", events.sink()));
+  EXPECT_EQ(events.of_kind("error").size(), 2u);
+}
+
+TEST(Server, PingStatsAndShutdown) {
+  Server server(config_for(fresh_dir("control")));
+  Events events;
+  EXPECT_TRUE(server.handle_request("{\"op\":\"ping\"}", events.sink()));
+  EXPECT_EQ(events.of_kind("pong").size(), 1u);
+
+  EXPECT_TRUE(server.handle_request("{\"op\":\"stats\"}", events.sink()));
+  const auto stats = events.of_kind("stats");
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_NE(stats[0].find("\"hswsim_cache_version\":1"), std::string::npos);
+
+  EXPECT_FALSE(server.handle_request("{\"op\":\"shutdown\"}", events.sink()));
+  EXPECT_EQ(events.of_kind("bye").size(), 1u);
+}
+
+}  // namespace
+}  // namespace hsw::serve

@@ -1,0 +1,90 @@
+# End-to-end NDJSON round trip over the hswsim-serve binary's --stdio
+# transport: the same 2-spec batch runs in two daemon processes sharing one
+# cache directory.  Run 1 simulates (cached=false); run 2 must be served
+# 100% from the cache (cached=true) with byte-identical payload lines, and
+# its shutdown stats dump must show two hits and no misses.
+#
+# Usage: cmake -DSERVE=<hswsim-serve-binary> -DOUT_DIR=<dir>
+#              -P stdio_roundtrip.cmake
+
+foreach(var SERVE OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "stdio_roundtrip.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+set(work "${OUT_DIR}/stdio_roundtrip")
+file(REMOVE_RECURSE "${work}")
+file(MAKE_DIRECTORY "${work}")
+
+file(WRITE "${work}/requests.ndjson"
+  "{\"op\":\"submit\",\"specs\":[{\"hswsim_spec_version\":1,\"kind\":\"latency\",\"sizes\":[16384],\"max_measured_lines\":256},{\"hswsim_spec_version\":1,\"kind\":\"bandwidth\",\"sizes\":[1048576]}]}\n{\"op\":\"shutdown\"}\n")
+
+function(run_serve round)
+  execute_process(
+    COMMAND "${SERVE}" --stdio --cache-dir "${work}/cache"
+            --stats "${work}/stats${round}.json"
+    INPUT_FILE "${work}/requests.ndjson"
+    OUTPUT_FILE "${work}/events${round}.ndjson"
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "round ${round}: hswsim-serve exited ${rc}\n${err}")
+  endif()
+endfunction()
+
+run_serve(1)
+run_serve(2)
+
+# Extract the result lines (strip progress heartbeats, which legitimately
+# differ in pacing) from each round.
+foreach(round 1 2)
+  file(STRINGS "${work}/events${round}.ndjson" lines)
+  set(results "")
+  foreach(line IN LISTS lines)
+    if(line MATCHES "\"event\":\"result\"")
+      string(APPEND results "${line}\n")
+    endif()
+    if(line MATCHES "\"event\":\"error\"")
+      message(FATAL_ERROR "round ${round} emitted an error event: ${line}")
+    endif()
+  endforeach()
+  file(WRITE "${work}/results${round}.txt" "${results}")
+endforeach()
+
+file(READ "${work}/results1.txt" round1)
+file(READ "${work}/results2.txt" round2)
+
+# Round 1 simulated both specs; round 2 hit the cache for both.
+string(REGEX MATCHALL "\"cached\":false" fresh "${round1}")
+list(LENGTH fresh fresh_count)
+if(NOT fresh_count EQUAL 2)
+  message(FATAL_ERROR
+    "round 1: expected 2 fresh results, saw ${fresh_count}:\n${round1}")
+endif()
+string(REGEX MATCHALL "\"cached\":true" hits "${round2}")
+list(LENGTH hits hit_count)
+if(NOT hit_count EQUAL 2)
+  message(FATAL_ERROR
+    "round 2: expected 2 cached results (100% hit rate), saw "
+    "${hit_count}:\n${round2}")
+endif()
+
+# Byte identity: apart from the cached flag flipping, the result lines —
+# payloads included — must match exactly.
+string(REPLACE "\"cached\":false" "\"cached\":true" round1_as_cached
+  "${round1}")
+if(NOT round1_as_cached STREQUAL round2)
+  message(FATAL_ERROR
+    "cached results are not byte-identical to the fresh ones\n"
+    "round 1 (fresh):\n${round1}\nround 2 (cached):\n${round2}")
+endif()
+
+# Round 2's shutdown stats dump: two hits, no misses.
+file(READ "${work}/stats2.json" stats)
+if(NOT stats MATCHES "\"hits\": 2")
+  message(FATAL_ERROR "round 2 stats do not show 2 hits:\n${stats}")
+endif()
+if(NOT stats MATCHES "\"misses\": 0")
+  message(FATAL_ERROR "round 2 stats do not show 0 misses:\n${stats}")
+endif()
